@@ -1,0 +1,104 @@
+// Shared helpers for the experiment harnesses: run the detector over a bag
+// stream, slice the result series for plotting, and compute the shape metrics
+// reported in EXPERIMENTS.md.
+
+#ifndef BAGCPD_BENCH_BENCH_UTIL_H_
+#define BAGCPD_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bagcpd/analysis/metrics.h"
+#include "bagcpd/core/detector.h"
+
+namespace bagcpd {
+namespace bench {
+
+/// \brief Aborts the harness with a message if a Result failed.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result.MoveValueUnsafe();
+}
+
+inline void UnwrapStatus(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// \brief Series views over detector output, index-aligned with the stream
+/// (times before the first inspection point are padded with the first value
+/// so charts line up with the planted change points).
+struct ResultSeries {
+  std::vector<double> score;
+  std::vector<double> lo;
+  std::vector<double> up;
+  std::vector<std::uint64_t> alarms;
+};
+
+inline ResultSeries Slice(const std::vector<StepResult>& results,
+                          std::size_t stream_length) {
+  ResultSeries out;
+  out.score.assign(stream_length, 0.0);
+  out.lo.assign(stream_length, 0.0);
+  out.up.assign(stream_length, 0.0);
+  if (results.empty()) return out;
+  for (const StepResult& r : results) {
+    if (r.time >= stream_length) continue;
+    out.score[static_cast<std::size_t>(r.time)] = r.score;
+    out.lo[static_cast<std::size_t>(r.time)] =
+        std::isnan(r.ci_lo) ? r.score : r.ci_lo;
+    out.up[static_cast<std::size_t>(r.time)] =
+        std::isnan(r.ci_up) ? r.score : r.ci_up;
+    if (r.alarm) out.alarms.push_back(r.time);
+  }
+  // Pad the warm-up prefix with the first computed values.
+  const std::size_t first = static_cast<std::size_t>(results.front().time);
+  for (std::size_t t = 0; t < first && t < stream_length; ++t) {
+    out.score[t] = out.score[first];
+    out.lo[t] = out.lo[first];
+    out.up[t] = out.up[first];
+  }
+  return out;
+}
+
+/// \brief AUC of the scores against a +-1-step window around each change
+/// point (the sharp-peak labeling used in the integration tests).
+inline double NearChangeAuc(const std::vector<StepResult>& results,
+                            const std::vector<std::size_t>& change_points) {
+  if (change_points.empty()) return std::nan("");
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const StepResult& r : results) {
+    scores.push_back(r.score);
+    bool near = false;
+    for (std::size_t cp : change_points) {
+      if (r.time + 1 >= cp && r.time <= cp + 1) near = true;
+    }
+    labels.push_back(near ? 1 : 0);
+  }
+  Result<double> auc = RocAuc(scores, labels);
+  return auc.ok() ? auc.ValueOrDie() : std::nan("");
+}
+
+/// \brief Header printed by every harness.
+inline void PrintHeader(const char* figure, const char* note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("%s\n", note);
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace bagcpd
+
+#endif  // BAGCPD_BENCH_BENCH_UTIL_H_

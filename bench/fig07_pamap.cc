@@ -1,0 +1,104 @@
+// Reproduces paper Table 1 and Fig. 7: activity-transition detection on the
+// PAMAP-like simulator (the offline stand-in for the PAMAP2 dataset; see
+// DESIGN.md section 3). Three subjects perform the 14-entry protocol; sensor
+// streams are cut into 10 s bags and the detector flags activity changes.
+//
+// Expected shape (paper): change points detected "with plausible accuracy" —
+// most transitions raise alarms near the boundary, scores rise at every
+// transition, and no alarms fire where the score merely oscillates.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bagcpd/analysis/ascii_plot.h"
+#include "bagcpd/analysis/metrics.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/data/pamap_simulator.h"
+#include "bagcpd/io/table.h"
+#include "bench_util.h"
+
+namespace bagcpd {
+namespace {
+
+int Main() {
+  bench::PrintHeader(
+      "Table 1 / Figure 7 — PAMAP-like activity monitoring (Sec. 5.2)",
+      "3 simulated subjects, 10 s bags, tau = tau' = 5. Simulator replaces\n"
+      "the (offline-unavailable) PAMAP2 recordings; see DESIGN.md.");
+
+  // Table 1: activities and their IDs.
+  TablePrinter activities({"Activity", "ID", "Activity", "ID"});
+  const auto& table = PamapActivityTable();
+  for (std::size_t i = 0; i < 6; ++i) {
+    activities.AddRow({table[i].name, std::to_string(table[i].id),
+                       table[i + 6].name, std::to_string(table[i + 6].id)});
+  }
+  std::printf("Table 1 — activities and their IDs:\n");
+  activities.Print(std::cout);
+  std::printf("\nprotocol order per subject: ");
+  for (int id : PamapProtocolOrder()) std::printf("%d ", id);
+  std::printf("\n\n");
+
+  TablePrinter summary({"subject", "bags", "avg bag size", "transitions",
+                        "alarms", "recall", "precision", "mean delay"});
+
+  for (int subject = 1; subject <= 3; ++subject) {
+    PamapSimulatorOptions sim;
+    sim.seed = 777;
+    sim.subject = subject;
+    sim.sampling_hz = 50.0;  // Reduced from the real ~100 Hz for runtime.
+    sim.mean_bags_per_activity = 18.0;  // ~252 bags/subject as in the paper.
+    PamapRecording rec =
+        bench::Unwrap(SimulatePamapSubject(sim), "pamap simulator");
+
+    DetectorOptions options;
+    options.tau = 5;
+    options.tau_prime = 5;
+    options.bootstrap.replicates = 200;
+    options.signature.method = SignatureMethod::kKMeans;
+    options.signature.k = 10;
+    options.seed = 70 + static_cast<std::uint64_t>(subject);
+    BagStreamDetector detector(options);
+    std::vector<StepResult> results =
+        bench::Unwrap(detector.Run(rec.stream.bags), "detector");
+    bench::ResultSeries series =
+        bench::Slice(results, rec.stream.bags.size());
+
+    std::printf("subject %d — score with alarms (':' = true transition):\n%s\n",
+                subject,
+                RenderLineChart(series.score, series.lo, series.up,
+                                series.alarms, rec.stream.change_points)
+                    .c_str());
+
+    const DetectionReport report = EvaluateAlarms(
+        series.alarms, rec.stream.change_points, /*tolerance=*/4);
+    double avg_bag = 0.0;
+    for (const Bag& bag : rec.stream.bags) {
+      avg_bag += static_cast<double>(bag.size());
+    }
+    avg_bag /= static_cast<double>(rec.stream.bags.size());
+    char recall_buf[32], precision_buf[32], delay_buf[32], avg_buf[32];
+    std::snprintf(recall_buf, sizeof(recall_buf), "%.2f", report.recall);
+    std::snprintf(precision_buf, sizeof(precision_buf), "%.2f",
+                  report.precision);
+    std::snprintf(delay_buf, sizeof(delay_buf), "%.1f", report.mean_delay);
+    std::snprintf(avg_buf, sizeof(avg_buf), "%.0f", avg_bag);
+    summary.AddRow({std::to_string(subject),
+                    std::to_string(rec.stream.bags.size()), avg_buf,
+                    std::to_string(rec.stream.change_points.size()),
+                    std::to_string(series.alarms.size()), recall_buf,
+                    precision_buf, delay_buf});
+  }
+
+  std::printf("per-subject detection summary (tolerance 4 bags = 40 s):\n");
+  summary.Print(std::cout);
+  std::printf(
+      "\nshape check (paper): most transitions detected, scores rise at all\n"
+      "of them, and rapid score oscillation does not trigger alarms.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bagcpd
+
+int main() { return bagcpd::Main(); }

@@ -1,0 +1,103 @@
+// Reproduces paper Fig. 11: the ENRON case study, on the event-driven email
+// network simulator (the corpus itself is not available offline; DESIGN.md
+// section 3 documents the substitution). Weekly bipartite graphs, 5-week
+// reference / 3-week test windows, the same seven features, scoreKL.
+//
+// Expected shape (paper): the change-point scores coincide with most of the
+// scripted events; our detector catches events comparable to (and some beyond)
+// the GraphScope-detected column.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bagcpd/analysis/ascii_plot.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/graph/enron_simulator.h"
+#include "bagcpd/graph/features.h"
+#include "bagcpd/io/table.h"
+#include "bench_util.h"
+
+namespace bagcpd {
+namespace {
+
+int Main() {
+  bench::PrintHeader(
+      "Figure 11 — ENRON-like email network case study (Sec. 5.4)",
+      "100 weekly graphs, tau = 5 weeks, tau' = 3 weeks, 7 features.\n"
+      "Event-driven simulator replaces the (offline-unavailable) corpus.");
+
+  EnronSimulatorOptions sim;
+  sim.seed = 2002;
+  sim.weeks = 100;
+  sim.node_rate = 50.0;
+  sim.edge_density = 0.25;
+  EnronStream stream =
+      bench::Unwrap(SimulateEnronStream(sim), "enron simulator");
+
+  // Run the detector per feature; remember alarms and one score series for
+  // the chart (destination strength tracks the crisis cascade best).
+  std::vector<std::vector<std::uint64_t>> alarms_per_feature;
+  bench::ResultSeries chart_series;
+  std::vector<std::size_t> event_weeks;
+  for (const EnronEvent& e : stream.events) event_weeks.push_back(e.week);
+
+  for (GraphFeature feature : AllGraphFeatures()) {
+    BagSequence bags;
+    for (const BipartiteGraph& g : stream.weekly_graphs) {
+      bags.push_back(bench::Unwrap(ExtractGraphFeature(g, feature), "feature"));
+    }
+    DetectorOptions options;
+    options.tau = 5;
+    options.tau_prime = 3;
+    options.bootstrap.replicates = 200;
+    options.signature.method = SignatureMethod::kKMeans;
+    options.signature.k = 8;
+    options.seed = 110 + static_cast<std::uint64_t>(feature);
+    BagStreamDetector detector(options);
+    std::vector<StepResult> results =
+        bench::Unwrap(detector.Run(bags), "detector");
+    alarms_per_feature.push_back(AlarmTimes(results));
+    if (feature == GraphFeature::kDestinationStrength) {
+      chart_series = bench::Slice(results, bags.size());
+    }
+    std::printf("feature %d (%-26s): %zu alarms\n", static_cast<int>(feature),
+                GraphFeatureName(feature), alarms_per_feature.back().size());
+  }
+
+  std::printf("\nweekly scoreKL for feature 6 (destination strength), ':' = "
+              "scripted events:\n%s\n",
+              RenderLineChart(chart_series.score, chart_series.lo,
+                              chart_series.up, chart_series.alarms,
+                              event_weeks)
+                  .c_str());
+
+  // The Fig. 11 event table: ours vs the GraphScope column.
+  TablePrinter table({"week", "ours", "GraphScope[22]", "event"});
+  std::size_t ours_detected = 0;
+  std::size_t graphscope_detected = 0;
+  for (const EnronEvent& event : stream.events) {
+    bool detected = false;
+    for (const auto& alarms : alarms_per_feature) {
+      for (std::uint64_t a : alarms) {
+        if (a + 1 >= event.week && a <= event.week + 3) detected = true;
+      }
+    }
+    if (detected) ++ours_detected;
+    if (event.detected_by_graphscope) ++graphscope_detected;
+    table.AddRow({std::to_string(event.week), detected ? "X" : "",
+                  event.detected_by_graphscope ? "X" : "", event.label});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nours: %zu/%zu events; GraphScope-style reference column: %zu/%zu.\n"
+      "shape check (paper): we detect most events including some the\n"
+      "GraphScope column misses.\n",
+      ours_detected, stream.events.size(), graphscope_detected,
+      stream.events.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bagcpd
+
+int main() { return bagcpd::Main(); }

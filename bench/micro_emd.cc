@@ -1,0 +1,138 @@
+// Microbenchmarks of the metric-space substrate: EMD solves as a function of
+// signature size, ground distances, quantizer throughput, and the pairwise
+// distance matrix (the building blocks behind every per-step cost in the
+// detector).
+
+#include <benchmark/benchmark.h>
+
+#include "bagcpd/common/rng.h"
+#include "bagcpd/data/gmm.h"
+#include "bagcpd/emd/emd.h"
+#include "bagcpd/emd/emd_1d.h"
+#include "bagcpd/signature/builder.h"
+
+namespace bagcpd {
+namespace {
+
+Signature RandomSignature(Rng* rng, std::size_t k, std::size_t dim) {
+  Signature s;
+  for (std::size_t i = 0; i < k; ++i) {
+    Point c(dim);
+    for (double& v : c) v = rng->Uniform(-5.0, 5.0);
+    s.centers.push_back(std::move(c));
+    s.weights.push_back(rng->Uniform(0.5, 3.0));
+  }
+  return s;
+}
+
+void BM_EmdSolve(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Signature a = RandomSignature(&rng, k, 2);
+  Signature b = RandomSignature(&rng, k, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeEmd(a, b).ValueOrDie());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_EmdSolve)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_EmdGroundDistances(benchmark::State& state) {
+  const GroundDistance kind = static_cast<GroundDistance>(state.range(0));
+  Rng rng(2);
+  Signature a = RandomSignature(&rng, 8, 3);
+  Signature b = RandomSignature(&rng, 8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeEmd(a, b, kind).ValueOrDie());
+  }
+}
+BENCHMARK(BM_EmdGroundDistances)
+    ->Arg(static_cast<int>(GroundDistance::kEuclidean))
+    ->Arg(static_cast<int>(GroundDistance::kSquaredEuclidean))
+    ->Arg(static_cast<int>(GroundDistance::kManhattan));
+
+void BM_EmdUnbalanced(benchmark::State& state) {
+  // Partial matching: one side carries 4x the mass.
+  Rng rng(3);
+  Signature a = RandomSignature(&rng, 16, 2);
+  Signature b = RandomSignature(&rng, 16, 2);
+  for (double& w : b.weights) w *= 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeEmd(a, b).ValueOrDie());
+  }
+}
+BENCHMARK(BM_EmdUnbalanced);
+
+void BM_KMeansQuantize(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  GaussianMixture mix = GaussianMixture::EqualWeight(
+      {{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}}, 1.0);
+  Bag bag = mix.SampleBag(n, &rng);
+  KMeansOptions options;
+  options.k = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KMeansQuantize(bag, options).ValueOrDie());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KMeansQuantize)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_HistogramQuantize(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  GaussianMixture mix = GaussianMixture::Isotropic({0.0}, 3.0);
+  Bag bag = mix.SampleBag(n, &rng);
+  HistogramOptions options;
+  options.bin_width = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HistogramQuantize(bag, options).ValueOrDie());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HistogramQuantize)->Arg(300)->Arg(1000);
+
+void BM_Emd1dFastPathVsSolver(benchmark::State& state) {
+  // The exact 1-d sweep vs the general transportation solver on the same
+  // normalized 1-d instance (arg 0 = sweep, 1 = solver).
+  const bool use_solver = state.range(0) != 0;
+  Rng rng(7);
+  Signature a, b;
+  for (std::size_t i = 0; i < 16; ++i) {
+    a.centers.push_back({rng.Uniform(-10.0, 10.0)});
+    a.weights.push_back(rng.Uniform(0.5, 2.0));
+    b.centers.push_back({rng.Uniform(-10.0, 10.0)});
+    b.weights.push_back(rng.Uniform(0.5, 2.0));
+  }
+  a = a.Normalized();
+  b = b.Normalized();
+  const GroundDistanceFn ground =
+      MakeGroundDistance(GroundDistance::kEuclidean);
+  for (auto _ : state) {
+    if (use_solver) {
+      benchmark::DoNotOptimize(ComputeEmd(a, b, ground).ValueOrDie());
+    } else {
+      benchmark::DoNotOptimize(ComputeEmd1d(a, b).ValueOrDie());
+    }
+  }
+  state.SetLabel(use_solver ? "flow solver" : "1-d sweep");
+}
+BENCHMARK(BM_Emd1dFastPathVsSolver)->Arg(0)->Arg(1);
+
+void BM_PairwiseEmdMatrix(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<Signature> sigs;
+  for (std::size_t i = 0; i < n; ++i) {
+    sigs.push_back(RandomSignature(&rng, 8, 2));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PairwiseEmdMatrix(sigs).ValueOrDie());
+  }
+}
+BENCHMARK(BM_PairwiseEmdMatrix)->Arg(10)->Arg(20);
+
+}  // namespace
+}  // namespace bagcpd

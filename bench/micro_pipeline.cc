@@ -1,0 +1,120 @@
+// Microbenchmarks of the detector pipeline: per-step cost with and without
+// the bootstrap, bootstrap scaling in T, and the estimator primitives that
+// make replicates cheap (the Section 4.2 efficiency claim: resampling never
+// recomputes an EMD).
+
+#include <benchmark/benchmark.h>
+
+#include "bagcpd/core/bootstrap.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/data/gmm.h"
+
+namespace bagcpd {
+namespace {
+
+BagSequence MakeStream(std::size_t steps, std::size_t bag_size,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  GaussianMixture mix = GaussianMixture::Isotropic({0.0, 0.0}, 1.0);
+  BagSequence bags;
+  for (std::size_t t = 0; t < steps; ++t) {
+    bags.push_back(mix.SampleBag(bag_size, &rng));
+  }
+  return bags;
+}
+
+void BM_DetectorStep(benchmark::State& state) {
+  const int replicates = static_cast<int>(state.range(0));
+  BagSequence bags = MakeStream(64, 50, 7);
+  DetectorOptions options;
+  options.tau = 5;
+  options.tau_prime = 5;
+  options.bootstrap.replicates = replicates;
+  options.signature.k = 8;
+  options.seed = 1;
+  BagStreamDetector detector(options);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    if (next == bags.size()) {
+      state.PauseTiming();
+      detector.Reset();
+      next = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(detector.Push(bags[next++]).ValueOrDie());
+  }
+  state.SetLabel(replicates == 0 ? "score only"
+                                 : "T=" + std::to_string(replicates));
+}
+BENCHMARK(BM_DetectorStep)->Arg(0)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_BootstrapInterval(benchmark::State& state) {
+  const int replicates = static_cast<int>(state.range(0));
+  const std::size_t tau = 5, tau_prime = 5;
+  ScoreContext ctx;
+  ctx.log_ref_ref = Matrix(tau, tau, 0.4);
+  ctx.log_test_test = Matrix(tau_prime, tau_prime, 0.5);
+  ctx.log_ref_test = Matrix(tau, tau_prime, 1.0);
+  std::vector<double> pi_ref(tau, 1.0 / tau);
+  std::vector<double> pi_test(tau_prime, 1.0 / tau_prime);
+  BootstrapOptions options;
+  options.replicates = replicates;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BootstrapScoreInterval(ScoreType::kSymmetrizedKl, ctx, pi_ref, pi_test,
+                               options, &rng)
+            .ValueOrDie());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          replicates);
+}
+BENCHMARK(BM_BootstrapInterval)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_ScoreKlFromCachedLogs(benchmark::State& state) {
+  // One replicate's marginal cost: a KL evaluation over cached log-EMDs.
+  const std::size_t tau = static_cast<std::size_t>(state.range(0));
+  ScoreContext ctx;
+  ctx.log_ref_ref = Matrix(tau, tau, 0.4);
+  ctx.log_test_test = Matrix(tau, tau, 0.5);
+  ctx.log_ref_test = Matrix(tau, tau, 1.0);
+  std::vector<double> gamma(tau, 1.0 / static_cast<double>(tau));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeScore(ScoreType::kSymmetrizedKl, ctx, gamma, gamma)
+            .ValueOrDie());
+  }
+}
+BENCHMARK(BM_ScoreKlFromCachedLogs)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_DirichletResample(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ResampleWeights(BootstrapMethod::kBayesian, pi, &rng));
+  }
+}
+BENCHMARK(BM_DirichletResample)->Arg(5)->Arg(10)->Arg(50);
+
+void BM_FullRunPerBag(benchmark::State& state) {
+  // End-to-end amortized per-bag cost on a realistic stream.
+  BagSequence bags = MakeStream(40, 100, 8);
+  DetectorOptions options;
+  options.tau = 5;
+  options.tau_prime = 5;
+  options.bootstrap.replicates = 200;
+  options.signature.k = 8;
+  options.seed = 4;
+  for (auto _ : state) {
+    BagStreamDetector detector(options);
+    benchmark::DoNotOptimize(detector.Run(bags).ValueOrDie());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bags.size()));
+}
+BENCHMARK(BM_FullRunPerBag)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bagcpd

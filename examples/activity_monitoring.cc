@@ -1,0 +1,66 @@
+// Activity monitoring (the paper's Section 5.2 scenario): wearable sensors
+// sample at an irregular rate, the stream is cut into 10-second bags, and the
+// detector flags the moments the wearer switches activity — without knowing
+// the activity catalogue.
+
+#include <cstdio>
+
+#include "bagcpd/analysis/metrics.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/data/pamap_simulator.h"
+
+int main() {
+  using namespace bagcpd;
+
+  PamapSimulatorOptions sim;
+  sim.seed = 2026;
+  sim.subject = 1;
+  sim.sampling_hz = 50.0;          // Lighter than the real 100 Hz.
+  sim.mean_bags_per_activity = 10.0;
+  Result<PamapRecording> recording = SimulatePamapSubject(sim);
+  if (!recording.ok()) {
+    std::fprintf(stderr, "%s\n", recording.status().ToString().c_str());
+    return 1;
+  }
+  const PamapRecording& rec = recording.ValueOrDie();
+  std::printf("subject 1: %zu bags (10 s each), %zu activity transitions\n\n",
+              rec.stream.bags.size(), rec.stream.change_points.size());
+
+  DetectorOptions options;
+  options.tau = 5;
+  options.tau_prime = 5;
+  options.bootstrap.replicates = 200;
+  options.signature.method = SignatureMethod::kKMeans;
+  options.signature.k = 10;
+  options.seed = 3;
+  BagStreamDetector detector(options);
+  Result<std::vector<StepResult>> results = detector.Run(rec.stream.bags);
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    return 1;
+  }
+
+  // Report each alarm with the activity context around it.
+  const auto& table = PamapActivityTable();
+  auto activity_name = [&](int id) -> const char* {
+    for (const PamapActivity& a : table) {
+      if (a.id == id) return a.name.c_str();
+    }
+    return "?";
+  };
+  std::printf("alarms:\n");
+  for (const StepResult& r : results.ValueOrDie()) {
+    if (!r.alarm) continue;
+    const std::size_t t = static_cast<std::size_t>(r.time);
+    std::printf("  t=%3zu  score=%6.3f   %s -> %s\n", t, r.score,
+                activity_name(rec.activity_ids[t > 0 ? t - 1 : 0]),
+                activity_name(rec.activity_ids[t]));
+  }
+
+  const DetectionReport report =
+      EvaluateAlarms(AlarmTimes(results.ValueOrDie()), rec.stream.change_points,
+                     /*tolerance=*/4);
+  std::printf("\nprecision %.2f, recall %.2f, mean delay %.1f bags\n",
+              report.precision, report.recall, report.mean_delay);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Network monitoring (the paper's Sections 5.3-5.4 scenario): a weekly
+// sender -> receiver email graph whose node sets change every week. Each week
+// is summarized as bags of per-node statistics, and the detector watches
+// every feature stream for significant changes — the alarms line up with the
+// scripted "corporate events" of the simulator.
+
+#include <cstdio>
+
+#include "bagcpd/core/detector.h"
+#include "bagcpd/graph/enron_simulator.h"
+#include "bagcpd/graph/features.h"
+
+int main() {
+  using namespace bagcpd;
+
+  EnronSimulatorOptions sim;
+  sim.seed = 99;
+  sim.weeks = 100;
+  sim.node_rate = 40.0;
+  sim.edge_density = 0.25;
+  Result<EnronStream> generated = SimulateEnronStream(sim);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+    return 1;
+  }
+  const EnronStream& stream = generated.ValueOrDie();
+  std::printf("simulated %zu weekly graphs; %zu scripted events\n\n",
+              stream.weekly_graphs.size(), stream.events.size());
+
+  // Watch every one of the seven features; collect per-week alarm hits.
+  std::vector<std::vector<std::uint64_t>> alarms_per_feature;
+  for (GraphFeature feature : AllGraphFeatures()) {
+    BagSequence bags;
+    for (const BipartiteGraph& g : stream.weekly_graphs) {
+      Result<Bag> bag = ExtractGraphFeature(g, feature);
+      if (!bag.ok()) {
+        std::fprintf(stderr, "%s\n", bag.status().ToString().c_str());
+        return 1;
+      }
+      bags.push_back(bag.MoveValueUnsafe());
+    }
+    DetectorOptions options;
+    options.tau = 5;        // 5 reference weeks (paper Section 5.4).
+    options.tau_prime = 3;  // 3 test weeks.
+    options.bootstrap.replicates = 200;
+    options.signature.method = SignatureMethod::kKMeans;
+    options.signature.k = 8;
+    options.seed = 17;
+    BagStreamDetector detector(options);
+    Result<std::vector<StepResult>> results = detector.Run(bags);
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+      return 1;
+    }
+    alarms_per_feature.push_back(AlarmTimes(results.ValueOrDie()));
+    std::printf("feature %d (%-26s): %zu alarms\n",
+                static_cast<int>(feature), GraphFeatureName(feature),
+                alarms_per_feature.back().size());
+  }
+
+  // Match events to alarms from any feature (within 3 weeks).
+  std::printf("\nevent timeline:\n");
+  for (const EnronEvent& event : stream.events) {
+    bool detected = false;
+    for (const auto& alarms : alarms_per_feature) {
+      for (std::uint64_t a : alarms) {
+        if (a >= event.week && a <= event.week + 3) detected = true;
+      }
+    }
+    std::printf("  week %3zu  [%s]  %-18s  %s\n", event.week,
+                detected ? "DETECTED" : "missed  ",
+                EnronEventKindName(event.kind), event.label.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Survey drift (the paper's Section 1 questionnaire scenario): a survey runs
+// every week with a different number of respondents; each answer sheet is a
+// point in R^2 (say, satisfaction x price-sensitivity). Mid-series the
+// population splits into two camps while the AVERAGE answer stays the same —
+// the classic case where mean-based monitoring sees nothing and the
+// bag-of-data detector fires.
+
+#include <cstdio>
+
+#include "bagcpd/baselines/mean_reduction.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/data/gmm.h"
+
+int main() {
+  using namespace bagcpd;
+
+  Rng rng(11);
+  BagSequence surveys;
+  for (int week = 0; week < 40; ++week) {
+    GaussianMixture opinions =
+        week < 20
+            ? GaussianMixture::Isotropic({5.0, 5.0}, 1.0)  // One consensus.
+            : GaussianMixture::EqualWeight({{2.0, 5.0}, {8.0, 5.0}}, 1.0);
+    const std::size_t respondents =
+        static_cast<std::size_t>(rng.Poisson(120, 20));
+    surveys.push_back(opinions.SampleBag(respondents, &rng));
+  }
+
+  // What a mean-based dashboard would show: nothing moves.
+  std::vector<Point> means = ReduceBags(surveys).ValueOrDie();
+  std::printf("weekly mean answer (the polarization at week 20 is invisible):\n");
+  for (int week : {0, 10, 19, 20, 21, 30, 39}) {
+    std::printf("  week %2d: (%.2f, %.2f)  n=%zu\n", week, means[week][0],
+                means[week][1], surveys[static_cast<std::size_t>(week)].size());
+  }
+
+  DetectorOptions options;
+  options.tau = 5;
+  options.tau_prime = 5;
+  options.bootstrap.replicates = 250;
+  options.signature.method = SignatureMethod::kKMeans;
+  options.signature.k = 6;
+  options.seed = 12;
+  BagStreamDetector detector(options);
+  Result<std::vector<StepResult>> results = detector.Run(surveys);
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nbag-of-data detector:\n");
+  for (const StepResult& r : results.ValueOrDie()) {
+    if (r.alarm) {
+      std::printf("  ALARM at week %llu (score %.3f, CI [%.3f, %.3f])\n",
+                  static_cast<unsigned long long>(r.time), r.score, r.ci_lo,
+                  r.ci_up);
+    }
+  }
+  std::printf("the polarization was planted at week 20.\n");
+  return 0;
+}

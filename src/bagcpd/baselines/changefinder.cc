@@ -1,0 +1,63 @@
+#include "bagcpd/baselines/changefinder.h"
+
+#include <numeric>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+namespace {
+
+double WindowMean(const std::deque<double>& window) {
+  if (window.empty()) return 0.0;
+  const double sum = std::accumulate(window.begin(), window.end(), 0.0);
+  return sum / static_cast<double>(window.size());
+}
+
+}  // namespace
+
+ChangeFinder::ChangeFinder(std::size_t dim, const ChangeFinderOptions& options)
+    : options_(options), stage1_(dim, options.sdar), stage2_(options.sdar) {
+  BAGCPD_CHECK_MSG(options.smoothing_window >= 1,
+                   "smoothing window must be >= 1");
+}
+
+void ChangeFinder::Reset() {
+  stage1_.Reset();
+  stage2_.Reset();
+  outlier_window_.clear();
+  change_window_.clear();
+}
+
+Result<double> ChangeFinder::Update(const Point& x) {
+  // Stage 1: outlier score.
+  BAGCPD_ASSIGN_OR_RETURN(double outlier_score, stage1_.Update(x));
+  outlier_window_.push_back(outlier_score);
+  if (outlier_window_.size() >
+      static_cast<std::size_t>(options_.smoothing_window)) {
+    outlier_window_.pop_front();
+  }
+  const double smoothed = WindowMean(outlier_window_);
+
+  // Stage 2: SDAR over the smoothed outlier scores.
+  const double change_score = stage2_.Update(smoothed);
+  change_window_.push_back(change_score);
+  if (change_window_.size() >
+      static_cast<std::size_t>(options_.smoothing_window)) {
+    change_window_.pop_front();
+  }
+  return WindowMean(change_window_);
+}
+
+Result<std::vector<double>> ChangeFinder::Run(const std::vector<Point>& series) {
+  Reset();
+  std::vector<double> scores;
+  scores.reserve(series.size());
+  for (const Point& x : series) {
+    BAGCPD_ASSIGN_OR_RETURN(double s, Update(x));
+    scores.push_back(s);
+  }
+  return scores;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,50 @@
+// ChangeFinder (Takeuchi & Yamanishi, "A unifying framework for detecting
+// outliers and change points from time series", TKDE 2006 — paper reference
+// [8]). Two-stage SDAR: stage one scores each observation by its log-loss;
+// the smoothed outlier scores form a derived series whose own SDAR log-loss
+// (smoothed again) is the change-point score. Applied to the sample-mean
+// sequence in the Fig. 1 comparison.
+
+#ifndef BAGCPD_BASELINES_CHANGEFINDER_H_
+#define BAGCPD_BASELINES_CHANGEFINDER_H_
+
+#include <deque>
+
+#include "bagcpd/baselines/sdar.h"
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+
+/// \brief Options for ChangeFinder.
+struct ChangeFinderOptions {
+  SdarOptions sdar;
+  /// Smoothing window T for both stages.
+  int smoothing_window = 5;
+};
+
+/// \brief Online ChangeFinder over d-dimensional observations.
+class ChangeFinder {
+ public:
+  ChangeFinder(std::size_t dim, const ChangeFinderOptions& options);
+
+  /// \brief Consumes x_t and returns the current change-point score (0 during
+  /// warm-up).
+  Result<double> Update(const Point& x);
+
+  /// \brief Scores a whole series (resets first).
+  Result<std::vector<double>> Run(const std::vector<Point>& series);
+
+  void Reset();
+
+ private:
+  ChangeFinderOptions options_;
+  VectorSdarModel stage1_;
+  SdarModel stage2_;
+  std::deque<double> outlier_window_;
+  std::deque<double> change_window_;
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_BASELINES_CHANGEFINDER_H_

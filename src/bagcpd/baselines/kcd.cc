@@ -1,0 +1,56 @@
+#include "bagcpd/baselines/kcd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+Result<double> KcdDissimilarity(const OneClassSvmModel& ref,
+                                const OneClassSvmModel& test) {
+  // Cross inner product <w_ref, w_test> = sum_ij a_i b_j k(x_i, y_j).
+  // Bandwidths can differ slightly (median heuristic per window); use their
+  // geometric mean for the cross kernel so the product stays a valid kernel.
+  const double sigma = std::sqrt(ref.sigma * test.sigma);
+  double cross = 0.0;
+  for (std::size_t i = 0; i < ref.support.size(); ++i) {
+    if (ref.alpha[i] <= 0.0) continue;
+    for (std::size_t j = 0; j < test.support.size(); ++j) {
+      if (test.alpha[j] <= 0.0) continue;
+      cross += ref.alpha[i] * test.alpha[j] *
+               RbfKernel(ref.support[i], test.support[j], sigma);
+    }
+  }
+  const double norm_ref = ref.WeightNormSquared();
+  const double norm_test = test.WeightNormSquared();
+  if (norm_ref <= 0.0 || norm_test <= 0.0) {
+    return Status::Internal("degenerate one-class SVM solution");
+  }
+  const double cosine =
+      std::clamp(cross / std::sqrt(norm_ref * norm_test), -1.0, 1.0);
+  return 1.0 - cosine;
+}
+
+Result<std::vector<double>> RunKcd(const std::vector<Point>& series,
+                                   const KcdOptions& options) {
+  if (options.window < 2) return Status::Invalid("window must be >= 2");
+  std::vector<double> scores(series.size(), 0.0);
+  const std::size_t w = options.window;
+  if (series.size() < 2 * w) return scores;
+
+  for (std::size_t t = w; t + w <= series.size(); ++t) {
+    std::vector<Point> ref(series.begin() + static_cast<long>(t - w),
+                           series.begin() + static_cast<long>(t));
+    std::vector<Point> test(series.begin() + static_cast<long>(t),
+                            series.begin() + static_cast<long>(t + w));
+    BAGCPD_ASSIGN_OR_RETURN(OneClassSvmModel ref_model,
+                            TrainOneClassSvm(ref, options.svm));
+    BAGCPD_ASSIGN_OR_RETURN(OneClassSvmModel test_model,
+                            TrainOneClassSvm(test, options.svm));
+    BAGCPD_ASSIGN_OR_RETURN(scores[t], KcdDissimilarity(ref_model, test_model));
+  }
+  return scores;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,41 @@
+// Kernel change detection (Desobry, Davy & Doncarli, "An online kernel change
+// detection algorithm", IEEE TSP 2005 — paper reference [9]). Two one-class
+// SVMs are trained on the reference and test windows; the change score is the
+// angular dissimilarity between the two weight vectors in the RKHS:
+//
+//   score(t) = 1 - <w_ref, w_test> / (||w_ref|| ||w_test||)
+//
+// which is the core of Desobry's dissimilarity index (their arc-length
+// normalization changes the scale, not the ordering). Used on the sample-mean
+// sequence for the Fig. 1 comparison.
+
+#ifndef BAGCPD_BASELINES_KCD_H_
+#define BAGCPD_BASELINES_KCD_H_
+
+#include "bagcpd/baselines/one_class_svm.h"
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+
+/// \brief Options for the kernel change detector.
+struct KcdOptions {
+  /// Reference / test window lengths.
+  std::size_t window = 25;
+  OneClassSvmOptions svm;
+};
+
+/// \brief Cosine dissimilarity between two trained one-class SVMs sharing a
+/// kernel bandwidth.
+Result<double> KcdDissimilarity(const OneClassSvmModel& ref,
+                                const OneClassSvmModel& test);
+
+/// \brief Scores an entire series offline: score[t] compares the window
+/// ending at t-1 with the window starting at t. Scores are 0 where a full
+/// pair of windows does not fit.
+Result<std::vector<double>> RunKcd(const std::vector<Point>& series,
+                                   const KcdOptions& options);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_BASELINES_KCD_H_

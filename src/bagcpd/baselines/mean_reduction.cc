@@ -1,0 +1,42 @@
+#include "bagcpd/baselines/mean_reduction.h"
+
+#include <cmath>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+Result<std::vector<Point>> ReduceBags(const BagSequence& bags,
+                                      BagReduction reduction) {
+  BAGCPD_RETURN_NOT_OK(ValidateBagSequence(bags));
+  std::vector<Point> series;
+  series.reserve(bags.size());
+  for (const Bag& bag : bags) {
+    const Point mean = BagMean(bag);
+    switch (reduction) {
+      case BagReduction::kMean:
+        series.push_back(mean);
+        break;
+      case BagReduction::kMeanAndStd: {
+        Point out = mean;
+        out.resize(2 * mean.size());
+        for (std::size_t j = 0; j < mean.size(); ++j) {
+          double acc = 0.0;
+          for (const Point& x : bag) {
+            acc += (x[j] - mean[j]) * (x[j] - mean[j]);
+          }
+          out[mean.size() + j] =
+              std::sqrt(acc / static_cast<double>(bag.size()));
+        }
+        series.push_back(std::move(out));
+        break;
+      }
+      case BagReduction::kCount:
+        series.push_back({static_cast<double>(bag.size())});
+        break;
+    }
+  }
+  return series;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,32 @@
+// The information-losing reduction the paper argues against (Section 1 /
+// Fig. 1b): collapse each bag to a descriptive statistic so single-vector
+// methods can be applied. Provided as the input pipeline for the baseline
+// comparisons.
+
+#ifndef BAGCPD_BASELINES_MEAN_REDUCTION_H_
+#define BAGCPD_BASELINES_MEAN_REDUCTION_H_
+
+#include <vector>
+
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+
+/// \brief Which statistic summarizes each bag.
+enum class BagReduction {
+  /// Component-wise sample mean (Fig. 1b).
+  kMean,
+  /// Mean plus per-dimension standard deviation (doubles the dimension).
+  kMeanAndStd,
+  /// Bag size only (1-d).
+  kCount,
+};
+
+/// \brief Reduces every bag of the sequence to one vector.
+Result<std::vector<Point>> ReduceBags(const BagSequence& bags,
+                                      BagReduction reduction = BagReduction::kMean);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_BASELINES_MEAN_REDUCTION_H_

@@ -1,0 +1,135 @@
+#include "bagcpd/baselines/one_class_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/stats.h"
+
+namespace bagcpd {
+
+double RbfKernel(const Point& a, const Point& b, double sigma) {
+  BAGCPD_DCHECK(sigma > 0.0);
+  return std::exp(-SquaredDistance(a, b) / (2.0 * sigma * sigma));
+}
+
+double MedianPairwiseDistance(const std::vector<Point>& points) {
+  if (points.size() < 2) return 1.0;
+  std::vector<double> dists;
+  dists.reserve(points.size() * (points.size() - 1) / 2);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      dists.push_back(EuclideanDistance(points[i], points[j]));
+    }
+  }
+  const double med = Quantile(std::move(dists), 0.5).ValueOr(1.0);
+  return med > 1e-12 ? med : 1.0;
+}
+
+double OneClassSvmModel::Decision(const Point& x) const {
+  double value = 0.0;
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    if (alpha[i] <= 0.0) continue;
+    value += alpha[i] * RbfKernel(support[i], x, sigma);
+  }
+  return value - rho;
+}
+
+double OneClassSvmModel::WeightNormSquared() const {
+  double norm = 0.0;
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    if (alpha[i] <= 0.0) continue;
+    for (std::size_t j = 0; j < support.size(); ++j) {
+      if (alpha[j] <= 0.0) continue;
+      norm += alpha[i] * alpha[j] * RbfKernel(support[i], support[j], sigma);
+    }
+  }
+  return norm;
+}
+
+Result<OneClassSvmModel> TrainOneClassSvm(const std::vector<Point>& window,
+                                          const OneClassSvmOptions& options) {
+  if (window.empty()) return Status::Invalid("empty training window");
+  if (options.nu <= 0.0 || options.nu > 1.0) {
+    return Status::Invalid("nu must be in (0, 1]");
+  }
+  const std::size_t n = window.size();
+  const double box = 1.0 / (options.nu * static_cast<double>(n));
+  if (box * static_cast<double>(n) < 1.0 - 1e-12) {
+    return Status::Invalid("infeasible: nu too large for window size");
+  }
+
+  OneClassSvmModel model;
+  model.support = window;
+  model.sigma = options.rbf_sigma > 0.0 ? options.rbf_sigma
+                                        : MedianPairwiseDistance(window);
+
+  // Gram matrix.
+  Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = RbfKernel(window[i], window[j], model.sigma);
+      gram(i, j) = k;
+      gram(j, i) = k;
+    }
+  }
+
+  // Feasible start: uniform weights (respects the box since 1/n <= box).
+  model.alpha.assign(n, 1.0 / static_cast<double>(n));
+  // Gradient g = K alpha, maintained incrementally.
+  std::vector<double> grad(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += gram(i, j) * model.alpha[j];
+    grad[i] = acc;
+  }
+
+  // Pairwise coordinate descent: for each (i, j), move delta mass from j to i
+  // minimizing the quadratic along the feasible segment.
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    double max_update = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double curvature = gram(i, i) + gram(j, j) - 2.0 * gram(i, j);
+        if (curvature <= 1e-14) continue;
+        // Unconstrained optimum of f(delta) with alpha_i += delta,
+        // alpha_j -= delta.
+        double delta = (grad[j] - grad[i]) / curvature;
+        // Box constraints.
+        delta = std::min(delta, box - model.alpha[i]);
+        delta = std::min(delta, model.alpha[j]);
+        delta = std::max(delta, -model.alpha[i]);
+        delta = std::max(delta, model.alpha[j] - box);
+        if (std::abs(delta) < 1e-15) continue;
+        model.alpha[i] += delta;
+        model.alpha[j] -= delta;
+        for (std::size_t m = 0; m < n; ++m) {
+          grad[m] += delta * (gram(m, i) - gram(m, j));
+        }
+        max_update = std::max(max_update, std::abs(delta));
+      }
+    }
+    if (max_update < options.tolerance) break;
+  }
+
+  // rho = decision threshold: the average of <w, phi(x_i)> over margin
+  // support vectors (0 < alpha_i < box); falls back to the weighted mean.
+  double rho_acc = 0.0;
+  int rho_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (model.alpha[i] > 1e-10 && model.alpha[i] < box - 1e-10) {
+      rho_acc += grad[i];
+      ++rho_count;
+    }
+  }
+  if (rho_count > 0) {
+    model.rho = rho_acc / rho_count;
+  } else {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += model.alpha[i] * grad[i];
+    model.rho = acc;
+  }
+  return model;
+}
+
+}  // namespace bagcpd

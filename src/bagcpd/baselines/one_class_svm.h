@@ -1,0 +1,60 @@
+// nu-one-class SVM (Schoelkopf et al. 2001): the per-window model of the
+// kernel change detection baseline (paper reference [9]). Solves the dual
+//
+//   min_alpha 1/2 alpha^T K alpha
+//   s.t.      0 <= alpha_i <= 1 / (nu n),  sum_i alpha_i = 1
+//
+// with pairwise (SMO-style) coordinate descent, which is exact in the limit
+// and plenty for the n <= 100 windows used by the baseline.
+
+#ifndef BAGCPD_BASELINES_ONE_CLASS_SVM_H_
+#define BAGCPD_BASELINES_ONE_CLASS_SVM_H_
+
+#include <vector>
+
+#include "bagcpd/common/matrix.h"
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+
+/// \brief Options for the one-class SVM solver.
+struct OneClassSvmOptions {
+  /// nu in (0, 1]: upper bound on the outlier fraction.
+  double nu = 0.5;
+  /// RBF kernel bandwidth; <= 0 selects the median-distance heuristic.
+  double rbf_sigma = -1.0;
+  /// Full sweeps of pairwise coordinate descent.
+  int max_sweeps = 60;
+  /// Stop early when the largest alpha update in a sweep falls below this.
+  double tolerance = 1e-8;
+};
+
+/// \brief RBF kernel value exp(-||a-b||^2 / (2 sigma^2)).
+double RbfKernel(const Point& a, const Point& b, double sigma);
+
+/// \brief Median pairwise distance of a point set (bandwidth heuristic);
+/// falls back to 1.0 for degenerate sets.
+double MedianPairwiseDistance(const std::vector<Point>& points);
+
+/// \brief A trained one-class SVM (dual weights over its training set).
+struct OneClassSvmModel {
+  std::vector<Point> support;     // The full training window.
+  std::vector<double> alpha;      // Dual weights, on the scaled simplex.
+  double sigma = 1.0;             // RBF bandwidth used.
+  double rho = 0.0;               // Offset (decision threshold).
+
+  /// \brief Decision value <w, phi(x)> - rho (>= 0 inside the support region).
+  double Decision(const Point& x) const;
+
+  /// \brief Squared RKHS norm of the weight vector, alpha^T K alpha.
+  double WeightNormSquared() const;
+};
+
+/// \brief Trains a one-class SVM on `window`.
+Result<OneClassSvmModel> TrainOneClassSvm(const std::vector<Point>& window,
+                                          const OneClassSvmOptions& options);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_BASELINES_ONE_CLASS_SVM_H_

@@ -1,0 +1,106 @@
+#include "bagcpd/baselines/sdar.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/matrix.h"
+
+namespace bagcpd {
+
+SdarModel::SdarModel(const SdarOptions& options) : options_(options) {
+  BAGCPD_CHECK_MSG(options.order >= 1, "SDAR order must be >= 1");
+  BAGCPD_CHECK_MSG(options.discount > 0.0 && options.discount < 1.0,
+                   "discount must be in (0, 1)");
+  Reset();
+}
+
+void SdarModel::Reset() {
+  mean_ = 0.0;
+  variance_ = 1.0;
+  autocov_.assign(static_cast<std::size_t>(options_.order) + 1, 0.0);
+  coefficients_.assign(static_cast<std::size_t>(options_.order), 0.0);
+  history_.clear();
+  observed_ = 0;
+}
+
+void SdarModel::RefitCoefficients() {
+  // Yule-Walker with the discounted autocovariances: solve R a = c where
+  // R_ij = C_|i-j| and c_i = C_{i+1}. Ridge-regularized for stability.
+  const int k = options_.order;
+  Matrix r(static_cast<std::size_t>(k), static_cast<std::size_t>(k));
+  std::vector<double> c(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      r(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          autocov_[static_cast<std::size_t>(std::abs(i - j))];
+    }
+    r(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += 1e-6;
+    c[static_cast<std::size_t>(i)] = autocov_[static_cast<std::size_t>(i) + 1];
+  }
+  Result<std::vector<double>> solved = r.SolveLu(c);
+  if (solved.ok()) {
+    coefficients_ = solved.MoveValueUnsafe();
+  }
+  // On a singular system, keep the previous coefficients.
+}
+
+double SdarModel::Update(double x) {
+  const double r = options_.discount;
+  const int k = options_.order;
+
+  double logloss = 0.0;
+  if (observed_ >= k) {
+    // One-step prediction from the current model.
+    double pred = mean_;
+    for (int i = 0; i < k; ++i) {
+      pred += coefficients_[static_cast<std::size_t>(i)] *
+              history_[static_cast<std::size_t>(i)];
+    }
+    const double err = x - pred;
+    const double var = std::max(variance_, options_.min_variance);
+    logloss = 0.5 * std::log(2.0 * std::numbers::pi * var) +
+              0.5 * err * err / var;
+    // Update the innovation variance with the observed error.
+    variance_ = (1.0 - r) * variance_ + r * err * err;
+  }
+
+  // Discounted mean and autocovariance updates.
+  mean_ = (1.0 - r) * mean_ + r * x;
+  const double centered = x - mean_;
+  autocov_[0] = (1.0 - r) * autocov_[0] + r * centered * centered;
+  for (int j = 1; j <= k; ++j) {
+    if (static_cast<std::size_t>(j) <= history_.size()) {
+      autocov_[static_cast<std::size_t>(j)] =
+          (1.0 - r) * autocov_[static_cast<std::size_t>(j)] +
+          r * centered * history_[static_cast<std::size_t>(j) - 1];
+    }
+  }
+  RefitCoefficients();
+
+  history_.push_front(centered);
+  if (history_.size() > static_cast<std::size_t>(k)) history_.pop_back();
+  ++observed_;
+  return logloss;
+}
+
+VectorSdarModel::VectorSdarModel(std::size_t dim, const SdarOptions& options) {
+  BAGCPD_CHECK(dim >= 1);
+  models_.reserve(dim);
+  for (std::size_t j = 0; j < dim; ++j) models_.emplace_back(options);
+}
+
+Result<double> VectorSdarModel::Update(const std::vector<double>& x) {
+  if (x.size() != models_.size()) {
+    return Status::Invalid("dimension mismatch in VectorSdarModel::Update");
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) total += models_[j].Update(x[j]);
+  return total;
+}
+
+void VectorSdarModel::Reset() {
+  for (SdarModel& m : models_) m.Reset();
+}
+
+}  // namespace bagcpd

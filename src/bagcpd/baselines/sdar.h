@@ -1,0 +1,80 @@
+// Sequentially Discounting Auto-Regressive (SDAR) model: the online AR
+// estimator underlying ChangeFinder (Takeuchi & Yamanishi 2006, paper
+// reference [8]). Parameters are updated with exponential discounting factor
+// r, and each observation is scored by its negative log-likelihood under the
+// one-step-ahead predictive Gaussian.
+
+#ifndef BAGCPD_BASELINES_SDAR_H_
+#define BAGCPD_BASELINES_SDAR_H_
+
+#include <deque>
+#include <vector>
+
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+
+/// \brief Options for a scalar SDAR model.
+struct SdarOptions {
+  /// AR order k.
+  int order = 2;
+  /// Discounting factor r in (0, 1); smaller adapts slower.
+  double discount = 0.02;
+  /// Variance floor keeping the log-loss finite.
+  double min_variance = 1e-6;
+};
+
+/// \brief Online scalar SDAR model.
+class SdarModel {
+ public:
+  explicit SdarModel(const SdarOptions& options);
+
+  /// \brief Consumes x_t and returns its log-loss -log p(x_t | past). The
+  /// first `order` observations return 0 (warm-up).
+  double Update(double x);
+
+  /// \brief Current mean estimate.
+  double mean() const { return mean_; }
+
+  /// \brief Current innovation variance estimate.
+  double variance() const { return variance_; }
+
+  /// \brief Current AR coefficients (size = order).
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+  void Reset();
+
+ private:
+  void RefitCoefficients();
+
+  SdarOptions options_;
+  double mean_ = 0.0;
+  double variance_ = 1.0;
+  // Autocovariances C_0 .. C_k.
+  std::vector<double> autocov_;
+  std::vector<double> coefficients_;
+  // The last `order` centered observations, newest first.
+  std::deque<double> history_;
+  long observed_ = 0;
+};
+
+/// \brief Vector SDAR: independent scalar SDAR per dimension; the log-loss of
+/// a d-dimensional observation is the sum of per-dimension log-losses. This
+/// is the standard practical simplification for multi-dimensional
+/// ChangeFinder.
+class VectorSdarModel {
+ public:
+  VectorSdarModel(std::size_t dim, const SdarOptions& options);
+
+  /// \brief Consumes x_t (size dim) and returns its total log-loss.
+  Result<double> Update(const std::vector<double>& x);
+
+  void Reset();
+
+ private:
+  std::vector<SdarModel> models_;
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_BASELINES_SDAR_H_

@@ -1,0 +1,44 @@
+// Fatal assertion macros for internal invariants. Following the Arrow/Google
+// convention, programming errors abort the process; recoverable conditions are
+// reported through bagcpd::Status instead (see status.h).
+
+#ifndef BAGCPD_COMMON_CHECK_H_
+#define BAGCPD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \brief Aborts with a diagnostic if `condition` is false.
+///
+/// Use for invariants that can only fail due to a bug inside this library,
+/// never for conditions triggered by caller input (those return Status).
+#define BAGCPD_CHECK(condition)                                                 \
+  do {                                                                          \
+    if (!(condition)) {                                                         \
+      std::fprintf(stderr, "BAGCPD_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #condition);                                       \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+
+/// \brief BAGCPD_CHECK with a custom printf-style message appended.
+#define BAGCPD_CHECK_MSG(condition, ...)                                        \
+  do {                                                                          \
+    if (!(condition)) {                                                         \
+      std::fprintf(stderr, "BAGCPD_CHECK failed at %s:%d: %s: ", __FILE__,      \
+                   __LINE__, #condition);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                        \
+      std::fprintf(stderr, "\n");                                               \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define BAGCPD_DCHECK(condition) \
+  do {                           \
+  } while (0)
+#else
+#define BAGCPD_DCHECK(condition) BAGCPD_CHECK(condition)
+#endif
+
+#endif  // BAGCPD_COMMON_CHECK_H_

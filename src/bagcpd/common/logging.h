@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr. Intended for diagnostics in examples and
+// long-running benches; the core algorithms never log on hot paths.
+
+#ifndef BAGCPD_COMMON_LOGGING_H_
+#define BAGCPD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bagcpd {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the global minimum level that will be emitted (default: Info).
+void SetLogLevel(LogLevel level);
+
+/// \brief Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace bagcpd
+
+#define BAGCPD_LOG(level)                                              \
+  ::bagcpd::internal::LogMessage(::bagcpd::LogLevel::k##level,         \
+                                 __FILE__, __LINE__)
+
+#endif  // BAGCPD_COMMON_LOGGING_H_

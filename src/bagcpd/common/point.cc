@@ -1,0 +1,74 @@
+#include "bagcpd/common/point.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  BAGCPD_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double EuclideanDistance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double ManhattanDistance(const Point& a, const Point& b) {
+  BAGCPD_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::abs(a[i] - b[i]);
+  }
+  return acc;
+}
+
+Point BagMean(const Bag& bag) {
+  BAGCPD_CHECK_MSG(!bag.empty(), "BagMean of empty bag");
+  Point mean(bag.front().size(), 0.0);
+  for (const Point& x : bag) {
+    BAGCPD_DCHECK(x.size() == mean.size());
+    for (std::size_t j = 0; j < mean.size(); ++j) mean[j] += x[j];
+  }
+  const double inv = 1.0 / static_cast<double>(bag.size());
+  for (double& v : mean) v *= inv;
+  return mean;
+}
+
+Status ValidateBag(const Bag& bag, std::size_t expected_dim) {
+  if (bag.empty()) return Status::Invalid("bag is empty");
+  std::size_t dim = expected_dim != 0 ? expected_dim : bag.front().size();
+  if (dim == 0) return Status::Invalid("bag contains zero-dimensional points");
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    if (bag[i].size() != dim) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "point %zu has dimension %zu, expected %zu", i,
+                    bag[i].size(), dim);
+      return Status::Invalid(buf);
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateBagSequence(const BagSequence& bags) {
+  if (bags.empty()) return Status::Invalid("bag sequence is empty");
+  const std::size_t dim = bags.front().empty() ? 0 : bags.front().front().size();
+  for (std::size_t t = 0; t < bags.size(); ++t) {
+    Status st = ValidateBag(bags[t], dim);
+    if (!st.ok()) {
+      return Status::Invalid("bag at time " + std::to_string(t) + ": " +
+                             st.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,47 @@
+// Core data vocabulary of the library: a Point is one d-dimensional
+// observation, a Bag is the collection of Points observed at one time step
+// (paper Eq. 3), and a BagSequence is the stream the detector consumes.
+
+#ifndef BAGCPD_COMMON_POINT_H_
+#define BAGCPD_COMMON_POINT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bagcpd/common/status.h"
+
+namespace bagcpd {
+
+/// \brief One d-dimensional observation x in R^d.
+using Point = std::vector<double>;
+
+/// \brief The bag B_t = {x_i^(t)} of observations at one time step. Bags in a
+/// sequence may have different sizes n_t but must share the dimension d.
+using Bag = std::vector<Point>;
+
+/// \brief A time-ordered sequence of bags.
+using BagSequence = std::vector<Bag>;
+
+/// \brief Squared Euclidean distance between two points of equal dimension.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// \brief Euclidean distance between two points of equal dimension.
+double EuclideanDistance(const Point& a, const Point& b);
+
+/// \brief L1 (Manhattan) distance between two points of equal dimension.
+double ManhattanDistance(const Point& a, const Point& b);
+
+/// \brief Component-wise mean of a non-empty bag.
+Point BagMean(const Bag& bag);
+
+/// \brief Verifies that `bag` is non-empty and every point has dimension
+/// `expected_dim` (or that all points agree if `expected_dim` == 0).
+Status ValidateBag(const Bag& bag, std::size_t expected_dim = 0);
+
+/// \brief Verifies that every bag in the sequence is non-empty and all points
+/// across all bags share one dimension.
+Status ValidateBagSequence(const BagSequence& bags);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_COMMON_POINT_H_

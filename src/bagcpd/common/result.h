@@ -1,0 +1,94 @@
+// Result<T>: value-or-Status, the return type of fallible factories.
+// Modeled after arrow::Result.
+
+#ifndef BAGCPD_COMMON_RESULT_H_
+#define BAGCPD_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/status.h"
+
+namespace bagcpd {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Usage:
+/// \code
+///   Result<Signature> r = builder.Build(bag);
+///   if (!r.ok()) return r.status();
+///   Signature sig = r.MoveValueUnsafe();
+/// \endcode
+/// or with the BAGCPD_ASSIGN_OR_RETURN macro below.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so `return st;` works).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    BAGCPD_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                     "Result constructed from OK status");
+  }
+
+  /// \brief True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The status; OK() when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief Const access to the value. Aborts if not ok().
+  const T& ValueOrDie() const {
+    BAGCPD_CHECK_MSG(ok(), "Result::ValueOrDie on error: %s",
+                     std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(repr_);
+  }
+
+  /// \brief Mutable access to the value. Aborts if not ok().
+  T& ValueOrDie() {
+    BAGCPD_CHECK_MSG(ok(), "Result::ValueOrDie on error: %s",
+                     std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(repr_);
+  }
+
+  /// \brief Moves the value out. Caller must have verified ok().
+  T MoveValueUnsafe() {
+    BAGCPD_CHECK(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// \brief Value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const { return ok() ? std::get<T>(repr_) : fallback; }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace bagcpd
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// Status from the enclosing function.
+#define BAGCPD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = tmp.MoveValueUnsafe()
+
+#define BAGCPD_ASSIGN_OR_RETURN_CONCAT_INNER(x, y) x##y
+#define BAGCPD_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  BAGCPD_ASSIGN_OR_RETURN_CONCAT_INNER(x, y)
+
+#define BAGCPD_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  BAGCPD_ASSIGN_OR_RETURN_IMPL(                                               \
+      BAGCPD_ASSIGN_OR_RETURN_CONCAT(_bagcpd_result_, __LINE__), lhs, rexpr)
+
+#endif  // BAGCPD_COMMON_RESULT_H_

@@ -1,0 +1,182 @@
+#include "bagcpd/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+namespace {
+
+// SplitMix64 finalizer; decorrelates fork streams from the parent seed.
+std::uint64_t MixSeed(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::Fork(std::uint64_t stream_id) const {
+  return Rng(MixSeed(seed_ ^ MixSeed(stream_id + 1)));
+}
+
+double Rng::Uniform() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  BAGCPD_DCHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  BAGCPD_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian() {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  BAGCPD_DCHECK(stddev >= 0.0);
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int Rng::Poisson(double lambda, int min_value) {
+  BAGCPD_DCHECK(lambda > 0.0);
+  std::poisson_distribution<int> dist(lambda);
+  return std::max(min_value, dist(engine_));
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(std::clamp(p, 0.0, 1.0));
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  BAGCPD_DCHECK(rate > 0.0);
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+double Rng::Gamma(double shape, double scale) {
+  BAGCPD_DCHECK(shape > 0.0 && scale > 0.0);
+  std::gamma_distribution<double> dist(shape, scale);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::Dirichlet(const std::vector<double>& alpha) {
+  BAGCPD_CHECK_MSG(!alpha.empty(), "Dirichlet with empty alpha");
+  std::vector<double> draws(alpha.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    BAGCPD_DCHECK(alpha[i] > 0.0);
+    draws[i] = Gamma(alpha[i], 1.0);
+    total += draws[i];
+  }
+  // All-zero draws are possible for tiny alpha due to underflow; fall back to
+  // the uniform simplex point rather than dividing by zero.
+  if (total <= 0.0) {
+    const double u = 1.0 / static_cast<double>(alpha.size());
+    std::fill(draws.begin(), draws.end(), u);
+    return draws;
+  }
+  for (double& v : draws) v /= total;
+  return draws;
+}
+
+std::vector<double> Rng::SymmetricDirichlet(std::size_t n, double alpha) {
+  return Dirichlet(std::vector<double>(n, alpha));
+}
+
+std::vector<int> Rng::Multinomial(int n, const std::vector<double>& probs) {
+  BAGCPD_CHECK(!probs.empty());
+  std::vector<int> counts(probs.size(), 0);
+  double remaining_prob = 0.0;
+  for (double p : probs) remaining_prob += p;
+  int remaining = n;
+  // Sequential binomial thinning: exact multinomial sampling.
+  for (std::size_t i = 0; i + 1 < probs.size() && remaining > 0; ++i) {
+    const double p = remaining_prob > 0.0
+                         ? std::clamp(probs[i] / remaining_prob, 0.0, 1.0)
+                         : 0.0;
+    std::binomial_distribution<int> dist(remaining, p);
+    counts[i] = dist(engine_);
+    remaining -= counts[i];
+    remaining_prob -= probs[i];
+  }
+  counts.back() += remaining;
+  return counts;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  BAGCPD_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    BAGCPD_DCHECK(w >= 0.0);
+    total += w;
+  }
+  BAGCPD_CHECK_MSG(total > 0.0, "Categorical with all-zero weights");
+  double u = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Point Rng::MultivariateGaussianIso(const Point& mean, double sigma) {
+  Point x(mean.size());
+  for (std::size_t j = 0; j < mean.size(); ++j) {
+    x[j] = Gaussian(mean[j], sigma);
+  }
+  return x;
+}
+
+Point Rng::MultivariateGaussianDiag(const Point& mean, const Point& stddevs) {
+  BAGCPD_DCHECK(mean.size() == stddevs.size());
+  Point x(mean.size());
+  for (std::size_t j = 0; j < mean.size(); ++j) {
+    x[j] = Gaussian(mean[j], stddevs[j]);
+  }
+  return x;
+}
+
+Point Rng::MultivariateGaussian(const Point& mean, const Matrix& covariance) {
+  BAGCPD_CHECK(covariance.rows() == covariance.cols());
+  BAGCPD_CHECK(covariance.rows() == mean.size());
+  Result<Matrix> chol = covariance.Cholesky();
+  BAGCPD_CHECK_MSG(chol.ok(), "covariance is not positive definite: %s",
+                   chol.status().ToString().c_str());
+  const Matrix& l = chol.ValueOrDie();
+  Point z(mean.size());
+  for (double& v : z) v = Gaussian();
+  Point x(mean);
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      x[i] += l(i, j) * z[j];
+    }
+  }
+  return x;
+}
+
+std::vector<std::size_t> Rng::Permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(UniformInt(0, static_cast<int>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,96 @@
+// Deterministic random-number facility. Every stochastic component of the
+// library draws from an explicitly seeded Rng so experiments are reproducible.
+
+#ifndef BAGCPD_COMMON_RNG_H_
+#define BAGCPD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bagcpd/common/matrix.h"
+#include "bagcpd/common/point.h"
+
+namespace bagcpd {
+
+/// \brief Seedable pseudo-random generator with the distributions used across
+/// the library (Gaussian, multivariate Gaussian, Poisson, Dirichlet, ...).
+///
+/// Wraps std::mt19937_64. Not thread-safe; clone one per thread with
+/// `Fork()` which derives an independent stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// \brief Derives an independent generator (seed mixed with `stream_id`).
+  Rng Fork(std::uint64_t stream_id) const;
+
+  /// \brief Uniform double in [0, 1).
+  double Uniform();
+
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// \brief Standard normal draw.
+  double Gaussian();
+
+  /// \brief Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// \brief Poisson draw with rate `lambda`; returns at least `min_value`
+  /// (the paper's bag sizes must be >= 1 for estimation to be defined).
+  int Poisson(double lambda, int min_value = 0);
+
+  /// \brief Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// \brief Exponential draw with the given rate.
+  double Exponential(double rate);
+
+  /// \brief Gamma draw with the given shape and scale.
+  double Gamma(double shape, double scale);
+
+  /// \brief Dirichlet draw with concentration vector `alpha`; the result sums
+  /// to one. Used by the Bayesian bootstrap (paper Eqs. 21-22, Appendix A/B).
+  std::vector<double> Dirichlet(const std::vector<double>& alpha);
+
+  /// \brief Symmetric Dirichlet Dir(alpha, ..., alpha) of dimension n.
+  std::vector<double> SymmetricDirichlet(std::size_t n, double alpha = 1.0);
+
+  /// \brief Multinomial counts: n trials over the probability vector `probs`.
+  std::vector<int> Multinomial(int n, const std::vector<double>& probs);
+
+  /// \brief Draws an index in [0, weights.size()) with probability
+  /// proportional to weights[i].
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  /// \brief Isotropic multivariate normal N(mean, sigma^2 I).
+  Point MultivariateGaussianIso(const Point& mean, double sigma);
+
+  /// \brief Diagonal-covariance multivariate normal.
+  Point MultivariateGaussianDiag(const Point& mean, const Point& stddevs);
+
+  /// \brief Full-covariance multivariate normal via the Cholesky factor of
+  /// `covariance` (must be symmetric positive definite).
+  Point MultivariateGaussian(const Point& mean, const Matrix& covariance);
+
+  /// \brief Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> Permutation(std::size_t n);
+
+  /// \brief The seed this generator was constructed with.
+  std::uint64_t seed() const { return seed_; }
+
+  /// \brief Access to the underlying engine (for std distributions in tests).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_COMMON_RNG_H_

@@ -1,0 +1,52 @@
+#include "bagcpd/common/status.h"
+
+#include <ostream>
+
+namespace bagcpd {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IOError";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : state_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<State>(State{code, std::move(message)})) {}
+
+const std::string& Status::message() const {
+  return ok() ? kEmptyString : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,98 @@
+// Arrow-style Status: the uniform recoverable-error channel of the library.
+// Public APIs that can fail on caller input return Status or Result<T>
+// (see result.h); they never throw.
+
+#ifndef BAGCPD_COMMON_STATUS_H_
+#define BAGCPD_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace bagcpd {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotImplemented = 3,
+  kInternal = 4,
+  kIoError = 5,
+  kUnknown = 6,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("OK", "Invalid", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK (cheap, no allocation) or an error code
+/// with a message.
+///
+/// The OK state is represented by a null internal pointer so that returning
+/// Status::OK() costs nothing. Modeled after arrow::Status.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  /// Creates a status with the given code and message.
+  Status(StatusCode code, std::string message);
+
+  /// \brief The success singleton.
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status NotImplemented(std::string message) {
+    return Status(StatusCode::kNotImplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+
+  /// \brief True iff the status is OK.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// \brief The error message; empty for OK.
+  const std::string& message() const;
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    if (ok() || other.ok()) return ok() == other.ok();
+    return code() == other.code() && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK.
+  std::shared_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace bagcpd
+
+/// \brief Propagates a non-OK Status to the caller.
+#define BAGCPD_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::bagcpd::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // BAGCPD_COMMON_STATUS_H_

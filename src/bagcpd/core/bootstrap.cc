@@ -1,0 +1,91 @@
+#include "bagcpd/core/bootstrap.h"
+
+#include <cmath>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/stats.h"
+
+namespace bagcpd {
+
+const char* BootstrapMethodName(BootstrapMethod method) {
+  switch (method) {
+    case BootstrapMethod::kBayesian:
+      return "bayesian";
+    case BootstrapMethod::kStandard:
+      return "standard";
+  }
+  return "unknown";
+}
+
+std::vector<double> ResampleWeights(BootstrapMethod method,
+                                    const std::vector<double>& pi, Rng* rng) {
+  BAGCPD_CHECK(!pi.empty());
+  const std::size_t n = pi.size();
+  switch (method) {
+    case BootstrapMethod::kBayesian: {
+      // Appendix B: alpha_i = n * pi_i, which reduces to Dir(1,...,1) for the
+      // uniform prior of Appendix A.
+      std::vector<double> alpha(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        alpha[i] = std::max(static_cast<double>(n) * pi[i], 1e-9);
+      }
+      return rng->Dirichlet(alpha);
+    }
+    case BootstrapMethod::kStandard: {
+      std::vector<int> counts = rng->Multinomial(static_cast<int>(n), pi);
+      std::vector<double> gamma(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        gamma[i] = static_cast<double>(counts[i]) / static_cast<double>(n);
+      }
+      return gamma;
+    }
+  }
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+Result<BootstrapInterval> BootstrapScoreInterval(
+    ScoreType score_type, const ScoreContext& ctx,
+    const std::vector<double>& pi_ref, const std::vector<double>& pi_test,
+    const BootstrapOptions& options, Rng* rng) {
+  BAGCPD_RETURN_NOT_OK(ctx.Validate());
+  if (options.replicates < 2) {
+    return Status::Invalid("need at least 2 bootstrap replicates");
+  }
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::Invalid("alpha must be in (0, 1)");
+  }
+  if (pi_ref.size() != ctx.tau() || pi_test.size() != ctx.tau_prime()) {
+    return Status::Invalid("base weight size mismatch");
+  }
+
+  std::vector<double> replicate_scores;
+  replicate_scores.reserve(static_cast<std::size_t>(options.replicates));
+  for (int r = 0; r < options.replicates; ++r) {
+    // The standard bootstrap can draw gamma_test[0] == 1 (every resample hit
+    // element 0), which makes scoreLR undefined; redraw in that rare case.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::vector<double> gamma_ref =
+          ResampleWeights(options.method, pi_ref, rng);
+      std::vector<double> gamma_test =
+          ResampleWeights(options.method, pi_test, rng);
+      Result<double> score =
+          ComputeScore(score_type, ctx, gamma_ref, gamma_test);
+      if (score.ok()) {
+        replicate_scores.push_back(score.ValueOrDie());
+        break;
+      }
+      if (attempt == 63) return score.status();
+    }
+  }
+
+  BAGCPD_ASSIGN_OR_RETURN(Interval interval,
+                          CentralInterval(replicate_scores, options.alpha));
+  BootstrapInterval out;
+  out.lo = interval.lo;
+  out.up = interval.up;
+  out.replicate_mean = Mean(replicate_scores);
+  out.replicate_stddev = StdDev(replicate_scores);
+  return out;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,184 @@
+#include "bagcpd/core/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/emd/emd.h"
+#include "bagcpd/info/weighted_set.h"
+
+namespace bagcpd {
+
+const char* WeightSchemeName(WeightScheme scheme) {
+  switch (scheme) {
+    case WeightScheme::kUniform:
+      return "uniform";
+    case WeightScheme::kDiscounted:
+      return "discounted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status ValidateOptions(const DetectorOptions& options) {
+  if (options.tau < 2) return Status::Invalid("tau must be >= 2");
+  if (options.tau_prime < 2) return Status::Invalid("tau' must be >= 2");
+  if (options.bootstrap.replicates > 0) {
+    if (options.bootstrap.alpha <= 0.0 || options.bootstrap.alpha >= 1.0) {
+      return Status::Invalid("bootstrap alpha must be in (0, 1)");
+    }
+  }
+  if (options.info.distance_floor <= 0.0) {
+    return Status::Invalid("distance floor must be > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+BagStreamDetector::BagStreamDetector(const DetectorOptions& options)
+    : options_(options),
+      init_status_(ValidateOptions(options)),
+      builder_(options.signature),
+      rng_(options.seed) {
+  const GroundDistanceFn ground = MakeGroundDistance(options_.ground);
+  cache_ = std::make_unique<PairwiseDistanceCache>(
+      [this, ground](std::uint64_t i, std::uint64_t j) -> Result<double> {
+        return ComputeEmd(SignatureAt(i), SignatureAt(j), ground);
+      });
+  if (init_status_.ok()) {
+    if (options_.weight_scheme == WeightScheme::kUniform) {
+      pi_ref_.assign(options_.tau, 1.0 / static_cast<double>(options_.tau));
+      pi_test_.assign(options_.tau_prime,
+                      1.0 / static_cast<double>(options_.tau_prime));
+    } else {
+      pi_ref_ = DiscountWeights(options_.tau, /*toward_end=*/true);
+      pi_test_ = DiscountWeights(options_.tau_prime, /*toward_end=*/false);
+    }
+  }
+}
+
+const Signature& BagStreamDetector::SignatureAt(
+    std::uint64_t global_index) const {
+  const std::uint64_t window_start = next_index_ - window_.size();
+  BAGCPD_CHECK_MSG(global_index >= window_start && global_index < next_index_,
+                   "signature %llu outside window [%llu, %llu)",
+                   static_cast<unsigned long long>(global_index),
+                   static_cast<unsigned long long>(window_start),
+                   static_cast<unsigned long long>(next_index_));
+  return window_[static_cast<std::size_t>(global_index - window_start)];
+}
+
+void BagStreamDetector::Reset() {
+  window_.clear();
+  upper_history_.clear();
+  next_index_ = 0;
+  const GroundDistanceFn ground = MakeGroundDistance(options_.ground);
+  cache_ = std::make_unique<PairwiseDistanceCache>(
+      [this, ground](std::uint64_t i, std::uint64_t j) -> Result<double> {
+        return ComputeEmd(SignatureAt(i), SignatureAt(j), ground);
+      });
+}
+
+Result<std::optional<StepResult>> BagStreamDetector::Push(const Bag& bag) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  BAGCPD_ASSIGN_OR_RETURN(Signature sig, builder_.Build(bag, next_index_));
+  window_.push_back(std::move(sig));
+  ++next_index_;
+
+  const std::size_t full = options_.tau + options_.tau_prime;
+  if (window_.size() < full) return std::optional<StepResult>();
+  BAGCPD_CHECK(window_.size() == full);
+
+  BAGCPD_ASSIGN_OR_RETURN(StepResult step, ScoreInspectionPoint());
+
+  // Slide: drop the oldest signature and its cached distances.
+  window_.pop_front();
+  cache_->EvictBefore(next_index_ - (full - 1));
+  return std::optional<StepResult>(step);
+}
+
+Result<StepResult> BagStreamDetector::ScoreInspectionPoint() {
+  const std::size_t tau = options_.tau;
+  const std::size_t tau_prime = options_.tau_prime;
+  // Global indices: reference = [t - tau, t), test = [t, t + tau').
+  const std::uint64_t t = next_index_ - tau_prime;
+  const std::uint64_t ref_start = t - tau;
+
+  // Assemble the log-EMD tables from the rolling cache.
+  ScoreContext ctx;
+  ctx.info = options_.info;
+  ctx.log_ref_ref = Matrix(tau, tau, 0.0);
+  ctx.log_test_test = Matrix(tau_prime, tau_prime, 0.0);
+  ctx.log_ref_test = Matrix(tau, tau_prime, 0.0);
+  const double floor = options_.info.distance_floor;
+  auto log_dist = [&](std::uint64_t i, std::uint64_t j) -> Result<double> {
+    BAGCPD_ASSIGN_OR_RETURN(double d, cache_->Get(i, j));
+    return std::log(std::max(d, floor));
+  };
+  for (std::size_t i = 0; i < tau; ++i) {
+    for (std::size_t j = i + 1; j < tau; ++j) {
+      BAGCPD_ASSIGN_OR_RETURN(double v, log_dist(ref_start + i, ref_start + j));
+      ctx.log_ref_ref(i, j) = v;
+      ctx.log_ref_ref(j, i) = v;
+    }
+  }
+  for (std::size_t i = 0; i < tau_prime; ++i) {
+    for (std::size_t j = i + 1; j < tau_prime; ++j) {
+      BAGCPD_ASSIGN_OR_RETURN(double v, log_dist(t + i, t + j));
+      ctx.log_test_test(i, j) = v;
+      ctx.log_test_test(j, i) = v;
+    }
+  }
+  for (std::size_t i = 0; i < tau; ++i) {
+    for (std::size_t j = 0; j < tau_prime; ++j) {
+      BAGCPD_ASSIGN_OR_RETURN(double v, log_dist(ref_start + i, t + j));
+      ctx.log_ref_test(i, j) = v;
+    }
+  }
+
+  StepResult step;
+  step.time = t;
+  BAGCPD_ASSIGN_OR_RETURN(
+      step.score, ComputeScore(options_.score_type, ctx, pi_ref_, pi_test_));
+
+  if (options_.bootstrap.replicates > 0) {
+    BAGCPD_ASSIGN_OR_RETURN(
+        BootstrapInterval ci,
+        BootstrapScoreInterval(options_.score_type, ctx, pi_ref_, pi_test_,
+                               options_.bootstrap, &rng_));
+    step.ci_lo = ci.lo;
+    step.ci_up = ci.up;
+    // Eq. 20: compare with theta_up of inspection time t - tau'. The history
+    // deque holds the last tau' upper endpoints, front = oldest = t - tau'.
+    if (upper_history_.size() == options_.tau_prime) {
+      step.xi = step.ci_lo - upper_history_.front();
+      step.alarm = step.xi > 0.0;  // Eq. 18.
+    }
+    upper_history_.push_back(step.ci_up);
+    if (upper_history_.size() > options_.tau_prime) upper_history_.pop_front();
+  }
+  return step;
+}
+
+Result<std::vector<StepResult>> BagStreamDetector::Run(const BagSequence& bags) {
+  Reset();
+  std::vector<StepResult> results;
+  results.reserve(bags.size());
+  for (const Bag& bag : bags) {
+    BAGCPD_ASSIGN_OR_RETURN(std::optional<StepResult> step, Push(bag));
+    if (step.has_value()) results.push_back(*step);
+  }
+  return results;
+}
+
+std::vector<std::uint64_t> AlarmTimes(const std::vector<StepResult>& results) {
+  std::vector<std::uint64_t> times;
+  for (const StepResult& r : results) {
+    if (r.alarm) times.push_back(r.time);
+  }
+  return times;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,131 @@
+// BagStreamDetector: the end-to-end online change-point detector over a
+// stream of bags — the library's primary public API. Each pushed bag is
+// quantized into a signature; once tau + tau' signatures are buffered the
+// detector scores the inspection point t = (latest - tau' + 1), bootstraps its
+// confidence interval, applies the adaptive alarm test of Eq. 20, and slides
+// the window. EMDs are memoized across steps so each new bag costs only
+// (tau + tau' - 1) transportation solves.
+
+#ifndef BAGCPD_CORE_DETECTOR_H_
+#define BAGCPD_CORE_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+#include "bagcpd/common/rng.h"
+#include "bagcpd/core/bootstrap.h"
+#include "bagcpd/core/scores.h"
+#include "bagcpd/emd/distance_cache.h"
+#include "bagcpd/emd/ground_distance.h"
+#include "bagcpd/signature/builder.h"
+
+namespace bagcpd {
+
+/// \brief How the base (prior) weights gamma of the windows are chosen.
+enum class WeightScheme {
+  /// gamma_i = 1/tau (resp. 1/tau'); the paper's setting for all experiments.
+  kUniform,
+  /// Hyperbolic discounting toward the inspection point (paper Eq. 15).
+  kDiscounted,
+};
+
+/// \brief Short lowercase name ("uniform" / "discounted").
+const char* WeightSchemeName(WeightScheme scheme);
+
+/// \brief Full configuration of the detector.
+struct DetectorOptions {
+  /// Reference window length tau (>= 2).
+  std::size_t tau = 5;
+  /// Test window length tau' (>= 2).
+  std::size_t tau_prime = 5;
+  ScoreType score_type = ScoreType::kSymmetrizedKl;
+  WeightScheme weight_scheme = WeightScheme::kUniform;
+  /// Bootstrap CI settings; set bootstrap.replicates <= 0 to skip CIs (the
+  /// detector then reports scores only and never raises alarms).
+  BootstrapOptions bootstrap;
+  /// How bags are quantized into signatures.
+  SignatureBuilderOptions signature;
+  GroundDistance ground = GroundDistance::kEuclidean;
+  InfoEstimatorOptions info;
+  std::uint64_t seed = 0;
+};
+
+/// \brief Per-inspection-point output.
+struct StepResult {
+  /// Inspection time t (0-based index into the pushed stream). The result for
+  /// t becomes available once bag t + tau' - 1 has been pushed.
+  std::uint64_t time = 0;
+  /// Change-point score (Eq. 16 or 17).
+  double score = 0.0;
+  /// Bootstrap CI endpoints theta_lo^(t), theta_up^(t); NaN when CIs are off.
+  double ci_lo = std::numeric_limits<double>::quiet_NaN();
+  double ci_up = std::numeric_limits<double>::quiet_NaN();
+  /// Test statistic xi_t = theta_lo^(t) - theta_up^(t - tau') (Eq. 20); NaN
+  /// until the interval tau' steps back exists.
+  double xi = std::numeric_limits<double>::quiet_NaN();
+  /// Eq. 18: xi_t > 0.
+  bool alarm = false;
+};
+
+/// \brief Online detector over a stream of bags.
+class BagStreamDetector {
+ public:
+  /// Validates `options`; check `init_status()` before use (construction
+  /// itself never fails hard).
+  explicit BagStreamDetector(const DetectorOptions& options);
+
+  /// \brief OK iff the options were coherent.
+  const Status& init_status() const { return init_status_; }
+
+  /// \brief Feeds the bag observed at the next time index.
+  ///
+  /// Returns the StepResult for inspection time (pushed_count - tau') if the
+  /// window is full after this push, std::nullopt while still warming up.
+  Result<std::optional<StepResult>> Push(const Bag& bag);
+
+  /// \brief Convenience: Reset(), push every bag, and collect all results.
+  Result<std::vector<StepResult>> Run(const BagSequence& bags);
+
+  /// \brief Clears all buffered state (signatures, cache, CI history).
+  void Reset();
+
+  /// \brief Number of bags pushed since the last Reset().
+  std::uint64_t pushed_count() const { return next_index_; }
+
+  /// \brief EMD cache statistics (diagnostics / benchmarks).
+  std::uint64_t emd_cache_hits() const { return cache_->hits(); }
+  std::uint64_t emd_cache_misses() const { return cache_->misses(); }
+
+  const DetectorOptions& options() const { return options_; }
+
+ private:
+  Result<StepResult> ScoreInspectionPoint();
+  const Signature& SignatureAt(std::uint64_t global_index) const;
+
+  DetectorOptions options_;
+  Status init_status_;
+  SignatureBuilder builder_;
+  Rng rng_;
+  std::unique_ptr<PairwiseDistanceCache> cache_;
+  // Sliding window of the most recent tau + tau' signatures; front() is the
+  // oldest and has global index next_index_ - window_.size().
+  std::deque<Signature> window_;
+  std::uint64_t next_index_ = 0;
+  // theta_up history for the xi test, keyed relative to inspection time:
+  // upper_history_[k] is theta_up of inspection time (current_t - 1 - k).
+  std::deque<double> upper_history_;
+  std::vector<double> pi_ref_;
+  std::vector<double> pi_test_;
+};
+
+/// \brief Extracts the times where `results` raised alarms.
+std::vector<std::uint64_t> AlarmTimes(const std::vector<StepResult>& results);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_CORE_DETECTOR_H_

@@ -1,0 +1,98 @@
+#include "bagcpd/core/feature_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/stats.h"
+
+namespace bagcpd {
+
+Result<std::vector<double>> LearnFeatureScaling(
+    const BagSequence& bags, const std::vector<int>& segment_labels,
+    const FeatureSelectorOptions& options) {
+  BAGCPD_RETURN_NOT_OK(ValidateBagSequence(bags));
+  if (segment_labels.size() != bags.size()) {
+    return Status::Invalid("labels/bags size mismatch");
+  }
+  const std::size_t d = bags.front().front().size();
+
+  // Per-segment collections of per-bag means, plus pooled within-bag variance.
+  std::map<int, std::vector<Point>> segment_means;
+  std::vector<double> within(d, 0.0);
+  for (std::size_t t = 0; t < bags.size(); ++t) {
+    const Point mean = BagMean(bags[t]);
+    segment_means[segment_labels[t]].push_back(mean);
+    for (std::size_t j = 0; j < d; ++j) {
+      double acc = 0.0;
+      for (const Point& x : bags[t]) acc += (x[j] - mean[j]) * (x[j] - mean[j]);
+      within[j] += acc / static_cast<double>(bags[t].size());
+    }
+  }
+  if (segment_means.size() < 2) {
+    return Status::Invalid("need at least two distinct segment labels");
+  }
+  for (double& w : within) {
+    w = std::max(w / static_cast<double>(bags.size()), options.epsilon);
+  }
+
+  // Between-segment variance of the segment-average means per dimension.
+  std::vector<Point> segment_centroids;
+  for (const auto& [label, means] : segment_means) {
+    Point centroid(d, 0.0);
+    for (const Point& m : means) {
+      for (std::size_t j = 0; j < d; ++j) centroid[j] += m[j];
+    }
+    for (double& v : centroid) v /= static_cast<double>(means.size());
+    segment_centroids.push_back(std::move(centroid));
+  }
+  std::vector<double> ratio(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    std::vector<double> vals;
+    vals.reserve(segment_centroids.size());
+    for (const Point& c : segment_centroids) vals.push_back(c[j]);
+    ratio[j] = Variance(vals) / within[j];
+  }
+
+  // Normalize to unit mean and prune.
+  const double max_ratio = *std::max_element(ratio.begin(), ratio.end());
+  std::vector<double> scale(d, 1.0);
+  if (max_ratio <= 0.0) return scale;  // Nothing separates; identity scaling.
+  double mean_ratio = 0.0;
+  for (double r : ratio) mean_ratio += r;
+  mean_ratio /= static_cast<double>(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    if (ratio[j] < options.prune_below * max_ratio) {
+      scale[j] = options.pruned_scale;
+    } else {
+      scale[j] = mean_ratio > 0.0 ? std::sqrt(ratio[j] / mean_ratio)
+                                  : 1.0;
+      scale[j] = std::max(scale[j], options.pruned_scale);
+    }
+  }
+  return scale;
+}
+
+Result<Bag> ApplyFeatureScaling(const Bag& bag,
+                                const std::vector<double>& scale) {
+  BAGCPD_RETURN_NOT_OK(ValidateBag(bag, scale.size()));
+  Bag out = bag;
+  for (Point& x : out) {
+    for (std::size_t j = 0; j < scale.size(); ++j) x[j] *= scale[j];
+  }
+  return out;
+}
+
+Result<BagSequence> ApplyFeatureScaling(const BagSequence& bags,
+                                        const std::vector<double>& scale) {
+  BagSequence out;
+  out.reserve(bags.size());
+  for (const Bag& bag : bags) {
+    BAGCPD_ASSIGN_OR_RETURN(Bag scaled, ApplyFeatureScaling(bag, scale));
+    out.push_back(std::move(scaled));
+  }
+  return out;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,52 @@
+// Supervised per-dimension feature scaling — the "online feature selection"
+// extension sketched in the paper's future work (Section 6): when segment
+// labels ("change" / "no change" regimes) are available, learn a diagonal
+// scaling that amplifies the dimensions that actually separate the regimes
+// and damps irrelevant ones, then apply it to every bag before signatures are
+// built.
+//
+// The importance of dimension j is its Fisher-style ratio
+//   between-segment variance of per-bag means / mean within-bag variance,
+// normalized so the scaling has unit mean. Dimensions with ratio below
+// `prune_below` are dropped to (near) zero.
+
+#ifndef BAGCPD_CORE_FEATURE_SELECTOR_H_
+#define BAGCPD_CORE_FEATURE_SELECTOR_H_
+
+#include <vector>
+
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+
+/// \brief Options for LearnFeatureScaling.
+struct FeatureSelectorOptions {
+  /// Ratios below this fraction of the maximum ratio are pruned to
+  /// `pruned_scale`.
+  double prune_below = 0.0;
+  /// Scale assigned to pruned dimensions.
+  double pruned_scale = 1e-3;
+  /// Numerical floor on within variances.
+  double epsilon = 1e-9;
+};
+
+/// \brief Learns a per-dimension scaling from labeled bags.
+///
+/// `segment_labels[t]` identifies the regime of bag t; at least two distinct
+/// labels are required. Returns a vector of d multiplicative scales.
+Result<std::vector<double>> LearnFeatureScaling(
+    const BagSequence& bags, const std::vector<int>& segment_labels,
+    const FeatureSelectorOptions& options = {});
+
+/// \brief Applies a diagonal scaling to one bag.
+Result<Bag> ApplyFeatureScaling(const Bag& bag,
+                                const std::vector<double>& scale);
+
+/// \brief Applies a diagonal scaling to every bag of a sequence.
+Result<BagSequence> ApplyFeatureScaling(const BagSequence& bags,
+                                        const std::vector<double>& scale);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_CORE_FEATURE_SELECTOR_H_

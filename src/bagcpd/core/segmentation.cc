@@ -1,0 +1,55 @@
+#include "bagcpd/core/segmentation.h"
+
+namespace bagcpd {
+
+Result<SegmentationResult> SegmentBagSequence(
+    const BagSequence& bags, const SegmentationOptions& options) {
+  if (options.detector.bootstrap.replicates <= 0) {
+    return Status::Invalid(
+        "segmentation needs bootstrap alarms; enable bootstrap.replicates");
+  }
+  if (options.min_segment_length == 0) {
+    return Status::Invalid("min_segment_length must be >= 1");
+  }
+  const std::size_t window =
+      options.detector.tau + options.detector.tau_prime;
+  if (bags.size() < window) {
+    return Status::Invalid("sequence shorter than one detector window (" +
+                           std::to_string(window) + " bags)");
+  }
+
+  BagStreamDetector detector(options.detector);
+  BAGCPD_RETURN_NOT_OK(detector.init_status());
+  SegmentationResult result;
+  BAGCPD_ASSIGN_OR_RETURN(result.steps, detector.Run(bags));
+
+  // Alarms -> boundaries, merging clusters of alarms (an abrupt change often
+  // alarms on a couple of consecutive inspection points).
+  std::size_t last_boundary = 0;
+  for (const StepResult& step : result.steps) {
+    if (!step.alarm) continue;
+    const std::size_t t = static_cast<std::size_t>(step.time);
+    if (result.boundaries.empty()) {
+      if (t >= options.min_segment_length) {
+        result.boundaries.push_back(t);
+        last_boundary = t;
+      }
+      continue;
+    }
+    if (t >= last_boundary + options.min_segment_length) {
+      result.boundaries.push_back(t);
+      last_boundary = t;
+    }
+  }
+
+  // Boundaries -> segments.
+  std::size_t begin = 0;
+  for (std::size_t boundary : result.boundaries) {
+    result.segments.push_back(Segment{begin, boundary});
+    begin = boundary;
+  }
+  result.segments.push_back(Segment{begin, bags.size()});
+  return result;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,56 @@
+// Offline segmentation of a bag sequence — the "segment time-series data
+// before prediction / signal processing" application of the paper's
+// introduction. Runs the online detector over the full sequence, takes its
+// adaptive alarms as segment boundaries, and merges boundaries closer than a
+// minimum segment length (consecutive alarms for one change collapse to the
+// earliest).
+
+#ifndef BAGCPD_CORE_SEGMENTATION_H_
+#define BAGCPD_CORE_SEGMENTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bagcpd/core/detector.h"
+
+namespace bagcpd {
+
+/// \brief A half-open segment [begin, end) of bag indices.
+struct Segment {
+  std::size_t begin;
+  std::size_t end;
+
+  std::size_t length() const { return end - begin; }
+  bool operator==(const Segment& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// \brief Options for SegmentBagSequence.
+struct SegmentationOptions {
+  /// Detector configuration (bootstrap must be enabled: the adaptive alarms
+  /// are the boundary signal).
+  DetectorOptions detector;
+  /// Boundaries closer than this merge into one (the earliest alarm wins).
+  std::size_t min_segment_length = 2;
+};
+
+/// \brief Segmentation output: segments, their boundaries, and the raw
+/// per-step detector results for inspection.
+struct SegmentationResult {
+  std::vector<Segment> segments;
+  /// Bag indices where a new segment starts (excluding index 0).
+  std::vector<std::size_t> boundaries;
+  std::vector<StepResult> steps;
+};
+
+/// \brief Splits `bags` into homogeneous segments at the detector's alarms.
+///
+/// Fails with Invalid if the sequence is shorter than one full window or the
+/// detector options are incoherent / have the bootstrap disabled.
+Result<SegmentationResult> SegmentBagSequence(const BagSequence& bags,
+                                              const SegmentationOptions& options);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_CORE_SEGMENTATION_H_

@@ -1,0 +1,38 @@
+#include "bagcpd/data/bag_generators.h"
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/rng.h"
+
+namespace bagcpd {
+
+Result<LabeledBagSequence> GenerateMixtureStream(
+    const std::string& name, std::size_t steps,
+    const std::function<GaussianMixture(std::size_t)>& mixture_at,
+    const std::function<int(std::size_t)>& segment_of,
+    const MixtureStreamOptions& options) {
+  if (steps == 0) return Status::Invalid("steps must be >= 1");
+  if (options.bag_size_rate <= 0.0) {
+    return Status::Invalid("bag_size_rate must be > 0");
+  }
+
+  LabeledBagSequence out;
+  out.name = name;
+  out.bags.reserve(steps);
+  out.segment_labels.reserve(steps);
+  Rng rng(options.seed);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const GaussianMixture mixture = mixture_at(t);
+    BAGCPD_RETURN_NOT_OK(mixture.Validate());
+    const int n = rng.Poisson(options.bag_size_rate, options.min_bag_size);
+    out.bags.push_back(mixture.SampleBag(static_cast<std::size_t>(n), &rng));
+    const int segment = segment_of(t);
+    out.segment_labels.push_back(segment);
+    if (t > 0 && segment != out.segment_labels[t - 1]) {
+      out.change_points.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace bagcpd

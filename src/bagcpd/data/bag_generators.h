@@ -1,0 +1,48 @@
+// Generic bag-stream generation: a schedule of generating mixtures plus a
+// bag-size law produces a BagSequence with known change points.
+
+#ifndef BAGCPD_DATA_BAG_GENERATORS_H_
+#define BAGCPD_DATA_BAG_GENERATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+#include "bagcpd/data/gmm.h"
+
+namespace bagcpd {
+
+/// \brief A bag stream with ground-truth change points.
+struct LabeledBagSequence {
+  std::string name;
+  BagSequence bags;
+  /// 0-based times t whose generating distribution differs from t-1.
+  std::vector<std::size_t> change_points;
+  /// Segment id per bag (for the feature-selection extension and metrics).
+  std::vector<int> segment_labels;
+};
+
+/// \brief Options for GenerateMixtureStream.
+struct MixtureStreamOptions {
+  /// Poisson rate of the bag sizes n_t.
+  double bag_size_rate = 50.0;
+  /// Bags never shrink below this (estimators need a few points).
+  int min_bag_size = 3;
+  std::uint64_t seed = 0;
+};
+
+/// \brief Generates `steps` bags; `mixture_at(t)` (0-based) supplies the
+/// generating distribution of step t. Change points are recorded at every t
+/// where `segment_of(t) != segment_of(t-1)`.
+Result<LabeledBagSequence> GenerateMixtureStream(
+    const std::string& name, std::size_t steps,
+    const std::function<GaussianMixture(std::size_t)>& mixture_at,
+    const std::function<int(std::size_t)>& segment_of,
+    const MixtureStreamOptions& options);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_DATA_BAG_GENERATORS_H_

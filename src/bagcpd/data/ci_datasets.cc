@@ -1,0 +1,102 @@
+#include "bagcpd/data/ci_datasets.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace bagcpd {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Dataset 3/5 circular path: mu(t) = r (cos(pi (t - 0.5) / 5),
+// sin(pi (t - 0.5) / 5)) with t 1-based as in the paper.
+Point CircleMean(double radius, std::size_t t_one_based) {
+  const double angle = kPi * (static_cast<double>(t_one_based) - 0.5) / 5.0;
+  return {radius * std::cos(angle), radius * std::sin(angle)};
+}
+
+}  // namespace
+
+Result<LabeledBagSequence> MakeCiDataset(int index,
+                                         const CiDatasetOptions& options) {
+  MixtureStreamOptions stream_options;
+  stream_options.bag_size_rate = options.bag_size_rate;
+  stream_options.seed = options.seed;
+  const std::size_t steps = options.steps;
+  const std::size_t half = steps / 2;
+
+  switch (index) {
+    case 1:
+      // Large isotropic variance, stationary.
+      return GenerateMixtureStream(
+          "ci-ds1-large-variance", steps,
+          [](std::size_t) {
+            return GaussianMixture::Isotropic({0.0, 0.0}, 15.0);
+          },
+          [](std::size_t) { return 0; }, stream_options);
+    case 2:
+      // 80% standard normal + 20% scattered noise component. The noise mean
+      // mu ~ N(0, 20^2 I) is drawn per bag; modeled here by refreshing the
+      // component each step from a dedicated stream.
+      return GenerateMixtureStream(
+          "ci-ds2-background-noise", steps,
+          [options](std::size_t t) {
+            Rng noise_rng(options.seed ^ (0xABCDULL + t * 7919ULL));
+            GmmComponent clean;
+            clean.weight = 0.8;
+            clean.mean = {0.0, 0.0};
+            clean.sigma = 1.0;
+            GmmComponent noise;
+            noise.weight = 0.2;
+            noise.mean = noise_rng.MultivariateGaussianIso({0.0, 0.0}, 20.0);
+            noise.sigma = 5.0;
+            return GaussianMixture({clean, noise});
+          },
+          [](std::size_t) { return 0; }, stream_options);
+    case 3:
+      // Gradual circular drift, radius sqrt(3); no significant change point.
+      return GenerateMixtureStream(
+          "ci-ds3-gradual-drift", steps,
+          [](std::size_t t) {
+            return GaussianMixture::Isotropic(CircleMean(std::sqrt(3.0), t + 1),
+                                              1.0);
+          },
+          [](std::size_t) { return 0; }, stream_options);
+    case 4:
+      // Mean jump (3,0) -> (-3,0) at 1-based t = 11.
+      return GenerateMixtureStream(
+          "ci-ds4-mean-jump", steps,
+          [half](std::size_t t) {
+            return GaussianMixture::Isotropic(
+                t < half ? Point{3.0, 0.0} : Point{-3.0, 0.0}, 1.0);
+          },
+          [half](std::size_t t) { return t < half ? 0 : 1; }, stream_options);
+    case 5:
+      // Drift speed-up: radius sqrt(3) -> 3 at 1-based t = 11.
+      return GenerateMixtureStream(
+          "ci-ds5-drift-speedup", steps,
+          [half](std::size_t t) {
+            const double radius = t < half ? std::sqrt(3.0) : 3.0;
+            return GaussianMixture::Isotropic(CircleMean(radius, t + 1), 1.0);
+          },
+          [half](std::size_t t) { return t < half ? 0 : 1; }, stream_options);
+    default:
+      return Status::Invalid("dataset index must be in 1..5");
+  }
+}
+
+Result<std::vector<LabeledBagSequence>> MakeAllCiDatasets(
+    const CiDatasetOptions& options) {
+  std::vector<LabeledBagSequence> all;
+  all.reserve(5);
+  for (int i = 1; i <= 5; ++i) {
+    BAGCPD_ASSIGN_OR_RETURN(LabeledBagSequence ds, MakeCiDataset(i, options));
+    all.push_back(std::move(ds));
+  }
+  return all;
+}
+
+bool CiDatasetHasDetectableChange(int index) { return index == 4; }
+
+}  // namespace bagcpd

@@ -1,0 +1,46 @@
+// The five confidence-interval behaviour datasets of paper Section 5.1.
+// Every dataset is a sequence of 20 bags of two-dimensional Gaussians with
+// bag sizes n_t ~ Poisson(50); the detector is run with tau = tau' = 5.
+//
+//   Dataset 1: N(0, 15^2 I), no change points (high variance, stationary).
+//   Dataset 2: 80% N(0, I) + 20% noise with mu ~ N(0, 20^2 I), Sigma = 5^2 I,
+//              no change points (heavy noise, stationary).
+//   Dataset 3: mean moves on a circle of radius sqrt(3) (continuous drift,
+//              no *significant* change point).
+//   Dataset 4: mean jumps from (3, 0) to (-3, 0) at t = 11 (1-based).
+//   Dataset 5: circular drift whose radius/speed changes at t = 11.
+
+#ifndef BAGCPD_DATA_CI_DATASETS_H_
+#define BAGCPD_DATA_CI_DATASETS_H_
+
+#include <cstdint>
+
+#include "bagcpd/common/result.h"
+#include "bagcpd/data/bag_generators.h"
+
+namespace bagcpd {
+
+/// \brief Options for the Section 5.1 datasets.
+struct CiDatasetOptions {
+  std::uint64_t seed = 0;
+  /// Sequence length (paper: 20).
+  std::size_t steps = 20;
+  /// Poisson rate of the bag sizes (paper: 50).
+  double bag_size_rate = 50.0;
+};
+
+/// \brief Builds dataset `index` in 1..5.
+Result<LabeledBagSequence> MakeCiDataset(int index,
+                                         const CiDatasetOptions& options);
+
+/// \brief All five datasets in order.
+Result<std::vector<LabeledBagSequence>> MakeAllCiDatasets(
+    const CiDatasetOptions& options);
+
+/// \brief True iff the paper expects alarms on this dataset (only dataset 4;
+/// dataset 5's change is real but the paper's method misses it too).
+bool CiDatasetHasDetectableChange(int index);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_DATA_CI_DATASETS_H_

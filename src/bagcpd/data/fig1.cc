@@ -1,0 +1,42 @@
+#include "bagcpd/data/fig1.h"
+
+#include <cmath>
+
+namespace bagcpd {
+
+Result<LabeledBagSequence> MakeFig1Stream(const Fig1Options& options) {
+  if (options.phase_length == 0) {
+    return Status::Invalid("phase_length must be >= 1");
+  }
+  const std::size_t p = options.phase_length;
+
+  // All three phases have mean zero AND total variance 9; only the shape
+  // (modality) changes. This makes the sample-mean sequence of Fig. 1b
+  // statistically identical across phases — mean-based pipelines provably
+  // carry no signal, which is the point of the example.
+  //   phase 1: N(0, 3^2)                                   (unimodal)
+  //   phase 2: 1/2 N(-sqrt(8), 1) + 1/2 N(+sqrt(8), 1)     (bimodal)
+  //   phase 3: 1/3 N(-sqrt(12), 1) + 1/3 N(0, 1) + 1/3 N(+sqrt(12), 1)
+  const double m2 = std::sqrt(8.0);
+  const double m3 = std::sqrt(12.0);
+  const GaussianMixture phase1 = GaussianMixture::Isotropic({0.0}, 3.0);
+  const GaussianMixture phase2 =
+      GaussianMixture::EqualWeight({{-m2}, {m2}}, 1.0);
+  const GaussianMixture phase3 =
+      GaussianMixture::EqualWeight({{-m3}, {0.0}, {m3}}, 1.0);
+
+  MixtureStreamOptions stream_options;
+  stream_options.bag_size_rate = options.bag_size_rate;
+  stream_options.seed = options.seed;
+
+  return GenerateMixtureStream(
+      "fig1-motivating", 3 * p,
+      [&](std::size_t t) {
+        if (t < p) return phase1;
+        if (t < 2 * p) return phase2;
+        return phase3;
+      },
+      [&](std::size_t t) { return static_cast<int>(t / p); }, stream_options);
+}
+
+}  // namespace bagcpd

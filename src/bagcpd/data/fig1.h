@@ -1,0 +1,33 @@
+// The motivating example of paper Fig. 1: 150 time steps of ~300
+// one-dimensional observations each, generated from a single Gaussian
+// (t = 1..50), a two-component mixture (t = 51..100), and a three-component
+// mixture (t = 101..150). The component means are symmetric around zero so
+// the sample-mean sequence (Fig. 1b) carries no change signal — the bag-level
+// detector sees the changes, centroid-based baselines do not.
+
+#ifndef BAGCPD_DATA_FIG1_H_
+#define BAGCPD_DATA_FIG1_H_
+
+#include <cstdint>
+
+#include "bagcpd/common/result.h"
+#include "bagcpd/data/bag_generators.h"
+
+namespace bagcpd {
+
+/// \brief Options for the Fig. 1 stream.
+struct Fig1Options {
+  std::uint64_t seed = 0;
+  /// Steps per phase (paper: 50 + 50 + 50).
+  std::size_t phase_length = 50;
+  /// Poisson rate of instances per step (paper: "about 300").
+  double bag_size_rate = 300.0;
+};
+
+/// \brief Generates the Fig. 1 bag stream. Change points fall at
+/// t = phase_length and t = 2 * phase_length (0-based).
+Result<LabeledBagSequence> MakeFig1Stream(const Fig1Options& options);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_DATA_FIG1_H_

@@ -1,0 +1,77 @@
+#include "bagcpd/data/gmm.h"
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+GaussianMixture::GaussianMixture(std::vector<GmmComponent> components)
+    : components_(std::move(components)) {}
+
+GaussianMixture GaussianMixture::Isotropic(Point mean, double sigma) {
+  GmmComponent c;
+  c.weight = 1.0;
+  c.mean = std::move(mean);
+  c.sigma = sigma;
+  return GaussianMixture({std::move(c)});
+}
+
+GaussianMixture GaussianMixture::EqualWeight(std::vector<Point> means,
+                                             double sigma) {
+  std::vector<GmmComponent> components;
+  components.reserve(means.size());
+  for (Point& m : means) {
+    GmmComponent c;
+    c.weight = 1.0;
+    c.mean = std::move(m);
+    c.sigma = sigma;
+    components.push_back(std::move(c));
+  }
+  return GaussianMixture(std::move(components));
+}
+
+Status GaussianMixture::Validate() const {
+  if (components_.empty()) return Status::Invalid("mixture has no components");
+  const std::size_t d = components_.front().mean.size();
+  if (d == 0) return Status::Invalid("zero-dimensional mixture");
+  for (const GmmComponent& c : components_) {
+    if (!(c.weight > 0.0)) return Status::Invalid("non-positive mixing weight");
+    if (c.mean.size() != d) return Status::Invalid("inconsistent mean dims");
+    if (!c.covariance.empty()) {
+      if (c.covariance.rows() != d || c.covariance.cols() != d) {
+        return Status::Invalid("covariance shape mismatch");
+      }
+    } else if (!(c.sigma > 0.0)) {
+      return Status::Invalid("non-positive sigma");
+    }
+  }
+  return Status::OK();
+}
+
+Point GaussianMixture::Sample(Rng* rng) const {
+  BAGCPD_CHECK(!components_.empty());
+  std::size_t idx = 0;
+  if (components_.size() > 1) {
+    std::vector<double> weights;
+    weights.reserve(components_.size());
+    for (const GmmComponent& c : components_) weights.push_back(c.weight);
+    idx = rng->Categorical(weights);
+  }
+  const GmmComponent& c = components_[idx];
+  if (!c.covariance.empty()) {
+    return rng->MultivariateGaussian(c.mean, c.covariance);
+  }
+  return rng->MultivariateGaussianIso(c.mean, c.sigma);
+}
+
+Bag GaussianMixture::SampleBag(std::size_t n, Rng* rng) const {
+  Bag bag;
+  bag.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) bag.push_back(Sample(rng));
+  return bag;
+}
+
+std::size_t GaussianMixture::dim() const {
+  return components_.empty() ? 0 : components_.front().mean.size();
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,56 @@
+// Gaussian mixture models: the generating distributions of the synthetic
+// experiments (paper Fig. 1 and Section 5.1).
+
+#ifndef BAGCPD_DATA_GMM_H_
+#define BAGCPD_DATA_GMM_H_
+
+#include <vector>
+
+#include "bagcpd/common/matrix.h"
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+#include "bagcpd/common/rng.h"
+
+namespace bagcpd {
+
+/// \brief One mixture component: N(mean, covariance) with mixing weight.
+struct GmmComponent {
+  double weight = 1.0;
+  Point mean;
+  /// Isotropic shortcut: when covariance is empty, N(mean, sigma^2 I).
+  double sigma = 1.0;
+  /// Full covariance (optional; must be SPD when non-empty).
+  Matrix covariance;
+};
+
+/// \brief A finite Gaussian mixture.
+class GaussianMixture {
+ public:
+  GaussianMixture() = default;
+  explicit GaussianMixture(std::vector<GmmComponent> components);
+
+  /// \brief Single isotropic Gaussian N(mean, sigma^2 I).
+  static GaussianMixture Isotropic(Point mean, double sigma);
+
+  /// \brief Equal-weight mixture of isotropic components.
+  static GaussianMixture EqualWeight(std::vector<Point> means, double sigma);
+
+  /// \brief Structural validation (weights positive, dims consistent).
+  Status Validate() const;
+
+  /// \brief One draw.
+  Point Sample(Rng* rng) const;
+
+  /// \brief A bag of n iid draws.
+  Bag SampleBag(std::size_t n, Rng* rng) const;
+
+  std::size_t dim() const;
+  const std::vector<GmmComponent>& components() const { return components_; }
+
+ private:
+  std::vector<GmmComponent> components_;
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_DATA_GMM_H_

@@ -1,0 +1,31 @@
+#include "bagcpd/emd/distance_cache.h"
+
+#include <vector>
+
+namespace bagcpd {
+
+Result<double> PairwiseDistanceCache::Get(std::uint64_t i, std::uint64_t j) {
+  if (i == j) return 0.0;
+  const std::uint64_t key = Key(i, j);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  BAGCPD_ASSIGN_OR_RETURN(double value, compute_(i, j));
+  cache_.emplace(key, value);
+  return value;
+}
+
+void PairwiseDistanceCache::EvictBefore(std::uint64_t min_index) {
+  std::vector<std::uint64_t> doomed;
+  doomed.reserve(cache_.size());
+  for (const auto& [key, value] : cache_) {
+    const std::uint64_t lo = key >> 32;
+    if (lo < min_index) doomed.push_back(key);
+  }
+  for (std::uint64_t key : doomed) cache_.erase(key);
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,53 @@
+// Rolling cache of pairwise EMD values keyed by bag index. The detector slides
+// a window of tau + tau' signatures; each new time step only requires EMDs
+// between the newest signature and the window — everything else is reused.
+// Bootstrap replicates never recompute distances at all (they only resample
+// the Dirichlet weights), which is what makes the Section 4 procedure cheap.
+
+#ifndef BAGCPD_EMD_DISTANCE_CACHE_H_
+#define BAGCPD_EMD_DISTANCE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+
+/// \brief Memoizes a symmetric pairwise distance over stream indices.
+class PairwiseDistanceCache {
+ public:
+  /// `compute(i, j)` produces the distance between stream items i and j; it is
+  /// called at most once per unordered pair.
+  using ComputeFn = std::function<Result<double>(std::uint64_t, std::uint64_t)>;
+
+  explicit PairwiseDistanceCache(ComputeFn compute)
+      : compute_(std::move(compute)) {}
+
+  /// \brief The distance between items i and j (0 when i == j).
+  Result<double> Get(std::uint64_t i, std::uint64_t j);
+
+  /// \brief Drops every cached pair touching an index < `min_index`. Call as
+  /// the window slides to keep memory proportional to the window size.
+  void EvictBefore(std::uint64_t min_index);
+
+  std::size_t size() const { return cache_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  static std::uint64_t Key(std::uint64_t i, std::uint64_t j) {
+    if (i > j) std::swap(i, j);
+    return (i << 32) | (j & 0xFFFFFFFFULL);
+  }
+
+  ComputeFn compute_;
+  std::unordered_map<std::uint64_t, double> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_EMD_DISTANCE_CACHE_H_

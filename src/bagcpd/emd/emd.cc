@@ -1,0 +1,106 @@
+#include "bagcpd/emd/emd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/emd/emd_1d.h"
+#include "bagcpd/emd/min_cost_flow.h"
+
+namespace bagcpd {
+
+Result<EmdSolution> ComputeEmdDetailed(const Signature& a, const Signature& b,
+                                       const GroundDistanceFn& ground) {
+  BAGCPD_RETURN_NOT_OK(a.Validate());
+  BAGCPD_RETURN_NOT_OK(b.Validate());
+  if (a.dim() != b.dim()) {
+    return Status::Invalid("signatures have different dimensions");
+  }
+
+  const std::size_t k = a.size();
+  const std::size_t l = b.size();
+  const double supply = a.TotalWeight();
+  const double demand = b.TotalWeight();
+  const double total_flow = std::min(supply, demand);
+
+  // Network layout: source = 0, supply nodes 1..K, demand nodes K+1..K+L,
+  // sink = K+L+1. Constraints (8)-(10) are the arc capacities; requesting
+  // `total_flow` units enforces (11).
+  const std::size_t source = 0;
+  const std::size_t sink = k + l + 1;
+  MinCostFlow network(k + l + 2);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    network.AddArc(source, 1 + i, a.weights[i], 0.0);
+  }
+  // Arc ids of the transport arcs, for flow extraction.
+  std::vector<std::vector<int>> transport_ids(k, std::vector<int>(l));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      const double dist = ground(a.centers[i], b.centers[j]);
+      if (!(dist >= 0.0) || !std::isfinite(dist)) {
+        return Status::Invalid("ground distance produced a negative or "
+                               "non-finite value");
+      }
+      transport_ids[i][j] = network.AddArc(
+          1 + i, 1 + k + j, std::min(a.weights[i], b.weights[j]), dist);
+    }
+  }
+  for (std::size_t j = 0; j < l; ++j) {
+    network.AddArc(1 + k + j, sink, b.weights[j], 0.0);
+  }
+
+  BAGCPD_ASSIGN_OR_RETURN(FlowSolution flow_solution,
+                          network.Solve(source, sink, total_flow));
+
+  EmdSolution out;
+  out.total_flow = flow_solution.flow;
+  out.cost = flow_solution.cost;
+  out.flow = Matrix(k, l);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      out.flow(i, j) = network.FlowOn(transport_ids[i][j]);
+    }
+  }
+  // Eq. 12. total_flow > 0 because signature weights are strictly positive.
+  BAGCPD_CHECK(out.total_flow > 0.0);
+  out.emd = out.cost / out.total_flow;
+  return out;
+}
+
+Result<double> ComputeEmd(const Signature& a, const Signature& b,
+                          GroundDistance ground) {
+  // In one dimension Euclidean and Manhattan coincide and the balanced
+  // problem has a closed-form sweep solution; use it when it applies.
+  if ((ground == GroundDistance::kEuclidean ||
+       ground == GroundDistance::kManhattan) &&
+      Emd1dApplicable(a, b)) {
+    return ComputeEmd1d(a, b);
+  }
+  return ComputeEmd(a, b, MakeGroundDistance(ground));
+}
+
+Result<double> ComputeEmd(const Signature& a, const Signature& b,
+                          const GroundDistanceFn& ground) {
+  BAGCPD_ASSIGN_OR_RETURN(EmdSolution sol, ComputeEmdDetailed(a, b, ground));
+  return sol.emd;
+}
+
+Result<Matrix> PairwiseEmdMatrix(const std::vector<Signature>& signatures,
+                                 GroundDistance ground) {
+  if (signatures.empty()) return Status::Invalid("no signatures");
+  const GroundDistanceFn fn = MakeGroundDistance(ground);
+  const std::size_t n = signatures.size();
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      BAGCPD_ASSIGN_OR_RETURN(double d,
+                              ComputeEmd(signatures[i], signatures[j], fn));
+      m(i, j) = d;
+      m(j, i) = d;
+    }
+  }
+  return m;
+}
+
+}  // namespace bagcpd

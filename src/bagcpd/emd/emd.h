@@ -1,0 +1,53 @@
+// Earth Mover's Distance between signatures (paper Section 3.2, Eqs. 7-12;
+// Rubner, Tomasi & Guibas 2000). Supports partial matching: when the two
+// signatures carry different total weight, only min(W, W') mass is moved and
+// the distance is normalized by the moved mass (Eq. 12), exactly as in the
+// paper's formulation.
+
+#ifndef BAGCPD_EMD_EMD_H_
+#define BAGCPD_EMD_EMD_H_
+
+#include <vector>
+
+#include "bagcpd/common/matrix.h"
+#include "bagcpd/common/result.h"
+#include "bagcpd/emd/ground_distance.h"
+#include "bagcpd/signature/signature.h"
+
+namespace bagcpd {
+
+/// \brief Detailed EMD output including the optimal flow.
+struct EmdSolution {
+  /// The Earth Mover's Distance (Eq. 12): cost / moved mass.
+  double emd = 0.0;
+  /// Total transported mass == min(total weight of a, total weight of b).
+  double total_flow = 0.0;
+  /// Total transportation cost sum_kl f*_kl d_kl.
+  double cost = 0.0;
+  /// flow(k, l) = optimal f*_kl (size K x L).
+  Matrix flow;
+};
+
+/// \brief Computes the EMD and the optimal flow between two signatures.
+///
+/// Fails with Invalid if either signature is structurally invalid.
+Result<EmdSolution> ComputeEmdDetailed(const Signature& a, const Signature& b,
+                                       const GroundDistanceFn& ground);
+
+/// \brief Convenience overload returning only the distance value, using the
+/// given built-in ground distance (default: Euclidean, the paper's choice).
+Result<double> ComputeEmd(const Signature& a, const Signature& b,
+                          GroundDistance ground = GroundDistance::kEuclidean);
+
+/// \brief Convenience overload with a custom ground distance.
+Result<double> ComputeEmd(const Signature& a, const Signature& b,
+                          const GroundDistanceFn& ground);
+
+/// \brief Dense symmetric matrix of pairwise EMDs over a set of signatures
+/// (used by the Fig. 6 EMD heat maps and MDS embeddings).
+Result<Matrix> PairwiseEmdMatrix(const std::vector<Signature>& signatures,
+                                 GroundDistance ground = GroundDistance::kEuclidean);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_EMD_EMD_H_

@@ -1,0 +1,60 @@
+#include "bagcpd/emd/emd_1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bagcpd {
+
+namespace {
+constexpr double kRelativeTolerance = 1e-9;
+}  // namespace
+
+bool Emd1dApplicable(const Signature& a, const Signature& b) {
+  if (a.dim() != 1 || b.dim() != 1) return false;
+  const double wa = a.TotalWeight();
+  const double wb = b.TotalWeight();
+  return std::abs(wa - wb) <= kRelativeTolerance * std::max(wa, wb);
+}
+
+Result<double> ComputeEmd1d(const Signature& a, const Signature& b) {
+  BAGCPD_RETURN_NOT_OK(a.Validate());
+  BAGCPD_RETURN_NOT_OK(b.Validate());
+  if (!Emd1dApplicable(a, b)) {
+    return Status::Invalid(
+        "1-d fast path needs 1-d signatures with equal total weight");
+  }
+
+  // Sweep events: position, signed weight (+ for a, - for b).
+  struct Event {
+    double position;
+    double delta;
+  };
+  std::vector<Event> events;
+  events.reserve(a.size() + b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    events.push_back(Event{a.centers[k][0], a.weights[k]});
+  }
+  for (std::size_t l = 0; l < b.size(); ++l) {
+    events.push_back(Event{b.centers[l][0], -b.weights[l]});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& x, const Event& y) {
+              return x.position < y.position;
+            });
+
+  // cost = sum over gaps of |F_a - F_b| * gap.
+  double cost = 0.0;
+  double cdf_gap = 0.0;  // F_a(x) - F_b(x) after processing events <= x.
+  for (std::size_t i = 0; i + 1 <= events.size(); ++i) {
+    cdf_gap += events[i].delta;
+    if (i + 1 < events.size()) {
+      cost += std::abs(cdf_gap) *
+              (events[i + 1].position - events[i].position);
+    }
+  }
+  // Eq. 12 normalization by the transported mass (= the common total).
+  return cost / a.TotalWeight();
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,35 @@
+#include "bagcpd/emd/ground_distance.h"
+
+namespace bagcpd {
+
+GroundDistanceFn MakeGroundDistance(GroundDistance kind) {
+  switch (kind) {
+    case GroundDistance::kEuclidean:
+      return [](const Point& a, const Point& b) {
+        return EuclideanDistance(a, b);
+      };
+    case GroundDistance::kSquaredEuclidean:
+      return [](const Point& a, const Point& b) {
+        return SquaredDistance(a, b);
+      };
+    case GroundDistance::kManhattan:
+      return [](const Point& a, const Point& b) {
+        return ManhattanDistance(a, b);
+      };
+  }
+  return [](const Point& a, const Point& b) { return EuclideanDistance(a, b); };
+}
+
+const char* GroundDistanceName(GroundDistance kind) {
+  switch (kind) {
+    case GroundDistance::kEuclidean:
+      return "euclidean";
+    case GroundDistance::kSquaredEuclidean:
+      return "sq_euclidean";
+    case GroundDistance::kManhattan:
+      return "manhattan";
+  }
+  return "unknown";
+}
+
+}  // namespace bagcpd

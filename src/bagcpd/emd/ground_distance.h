@@ -1,0 +1,33 @@
+// Ground distances d_kl between signature centers (paper Section 3.2): the
+// per-pair dissimilarity the transportation problem minimizes over.
+
+#ifndef BAGCPD_EMD_GROUND_DISTANCE_H_
+#define BAGCPD_EMD_GROUND_DISTANCE_H_
+
+#include <functional>
+
+#include "bagcpd/common/point.h"
+
+namespace bagcpd {
+
+/// \brief A ground distance is any non-negative dissimilarity between centers.
+/// It does not need to be a metric, but EMD between normalized signatures is a
+/// metric iff the ground distance is (Rubner et al. 2000).
+using GroundDistanceFn = std::function<double(const Point&, const Point&)>;
+
+/// \brief Built-in ground distances.
+enum class GroundDistance {
+  kEuclidean,
+  kSquaredEuclidean,
+  kManhattan,
+};
+
+/// \brief Returns the callable for a built-in ground distance.
+GroundDistanceFn MakeGroundDistance(GroundDistance kind);
+
+/// \brief Short lowercase name ("euclidean", ...).
+const char* GroundDistanceName(GroundDistance kind);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_EMD_GROUND_DISTANCE_H_

@@ -1,0 +1,74 @@
+#include "bagcpd/graph/bipartite_graph.h"
+
+#include <algorithm>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+BipartiteGraph::BipartiteGraph(std::size_t num_sources,
+                               std::size_t num_destinations)
+    : num_sources_(num_sources), num_destinations_(num_destinations) {}
+
+Status BipartiteGraph::AddEdge(std::size_t source, std::size_t destination,
+                               double weight) {
+  if (source >= num_sources_) {
+    return Status::OutOfRange("source " + std::to_string(source) +
+                              " >= " + std::to_string(num_sources_));
+  }
+  if (destination >= num_destinations_) {
+    return Status::OutOfRange("destination " + std::to_string(destination) +
+                              " >= " + std::to_string(num_destinations_));
+  }
+  if (!(weight > 0.0)) return Status::Invalid("edge weight must be > 0");
+  edges_[{source, destination}] += weight;
+  adjacency_dirty_ = true;
+  return Status::OK();
+}
+
+std::vector<BipartiteEdge> BipartiteGraph::Edges() const {
+  std::vector<BipartiteEdge> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, weight] : edges_) {
+    out.push_back(BipartiteEdge{key.first, key.second, weight});
+  }
+  return out;
+}
+
+double BipartiteGraph::EdgeWeight(std::size_t source,
+                                  std::size_t destination) const {
+  auto it = edges_.find({source, destination});
+  return it == edges_.end() ? 0.0 : it->second;
+}
+
+void BipartiteGraph::RebuildAdjacency() const {
+  out_adjacency_.assign(num_sources_, {});
+  in_adjacency_.assign(num_destinations_, {});
+  for (const auto& [key, weight] : edges_) {
+    out_adjacency_[key.first].push_back(key.second);
+    in_adjacency_[key.second].push_back(key.first);
+  }
+  adjacency_dirty_ = false;
+}
+
+const std::vector<std::size_t>& BipartiteGraph::DestinationsOf(
+    std::size_t source) const {
+  BAGCPD_CHECK(source < num_sources_);
+  if (adjacency_dirty_) RebuildAdjacency();
+  return out_adjacency_[source];
+}
+
+const std::vector<std::size_t>& BipartiteGraph::SourcesOf(
+    std::size_t destination) const {
+  BAGCPD_CHECK(destination < num_destinations_);
+  if (adjacency_dirty_) RebuildAdjacency();
+  return in_adjacency_[destination];
+}
+
+double BipartiteGraph::TotalWeight() const {
+  double total = 0.0;
+  for (const auto& [key, weight] : edges_) total += weight;
+  return total;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,71 @@
+// Weighted bipartite graphs: the observation type of the network-monitoring
+// experiments (paper Section 5.3). A graph snapshot covers one time window of
+// sender -> receiver traffic; node counts differ across snapshots, which is
+// exactly why the bag representation is needed.
+
+#ifndef BAGCPD_GRAPH_BIPARTITE_GRAPH_H_
+#define BAGCPD_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "bagcpd/common/result.h"
+#include "bagcpd/common/status.h"
+
+namespace bagcpd {
+
+/// \brief One weighted edge source -> destination.
+struct BipartiteEdge {
+  std::size_t source;
+  std::size_t destination;
+  double weight;
+};
+
+/// \brief A bipartite graph over `num_sources` sender nodes and
+/// `num_destinations` receiver nodes with non-negative edge weights.
+///
+/// Duplicate AddEdge calls on the same (source, destination) accumulate
+/// weight. Zero-weight pairs are simply absent.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t num_sources, std::size_t num_destinations);
+
+  /// \brief Accumulates `weight` (> 0) on the edge source -> destination.
+  Status AddEdge(std::size_t source, std::size_t destination, double weight);
+
+  std::size_t num_sources() const { return num_sources_; }
+  std::size_t num_destinations() const { return num_destinations_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// \brief All edges in insertion-independent (source, destination) order.
+  std::vector<BipartiteEdge> Edges() const;
+
+  /// \brief Weight on (source, destination); 0 when absent.
+  double EdgeWeight(std::size_t source, std::size_t destination) const;
+
+  /// \brief Destinations adjacent to `source` (sorted).
+  const std::vector<std::size_t>& DestinationsOf(std::size_t source) const;
+
+  /// \brief Sources adjacent to `destination` (sorted).
+  const std::vector<std::size_t>& SourcesOf(std::size_t destination) const;
+
+  /// \brief Sum of all edge weights.
+  double TotalWeight() const;
+
+ private:
+  std::size_t num_sources_;
+  std::size_t num_destinations_;
+  // Sparse weights keyed by (source, destination).
+  std::map<std::pair<std::size_t, std::size_t>, double> edges_;
+  // Adjacency lists (kept sorted by construction via std::map iteration cache).
+  mutable std::vector<std::vector<std::size_t>> out_adjacency_;
+  mutable std::vector<std::vector<std::size_t>> in_adjacency_;
+  mutable bool adjacency_dirty_ = true;
+
+  void RebuildAdjacency() const;
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_GRAPH_BIPARTITE_GRAPH_H_

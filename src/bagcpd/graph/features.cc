@@ -1,0 +1,167 @@
+#include "bagcpd/graph/features.h"
+
+#include <set>
+
+namespace bagcpd {
+
+std::array<GraphFeature, 7> AllGraphFeatures() {
+  return {GraphFeature::kSourceDegree,          GraphFeature::kDestinationDegree,
+          GraphFeature::kSourceSecondDegree,    GraphFeature::kDestinationSecondDegree,
+          GraphFeature::kSourceStrength,        GraphFeature::kDestinationStrength,
+          GraphFeature::kEdgeWeight};
+}
+
+const char* GraphFeatureName(GraphFeature feature) {
+  switch (feature) {
+    case GraphFeature::kSourceDegree:
+      return "source_degree";
+    case GraphFeature::kDestinationDegree:
+      return "destination_degree";
+    case GraphFeature::kSourceSecondDegree:
+      return "source_second_degree";
+    case GraphFeature::kDestinationSecondDegree:
+      return "destination_second_degree";
+    case GraphFeature::kSourceStrength:
+      return "source_strength";
+    case GraphFeature::kDestinationStrength:
+      return "destination_strength";
+    case GraphFeature::kEdgeWeight:
+      return "edge_weight";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Bag SourceDegrees(const BipartiteGraph& g) {
+  Bag bag;
+  bag.reserve(g.num_sources());
+  for (std::size_t s = 0; s < g.num_sources(); ++s) {
+    bag.push_back({static_cast<double>(g.DestinationsOf(s).size())});
+  }
+  return bag;
+}
+
+Bag DestinationDegrees(const BipartiteGraph& g) {
+  Bag bag;
+  bag.reserve(g.num_destinations());
+  for (std::size_t d = 0; d < g.num_destinations(); ++d) {
+    bag.push_back({static_cast<double>(g.SourcesOf(d).size())});
+  }
+  return bag;
+}
+
+Bag SourceSecondDegrees(const BipartiteGraph& g) {
+  Bag bag;
+  bag.reserve(g.num_sources());
+  for (std::size_t s = 0; s < g.num_sources(); ++s) {
+    std::set<std::size_t> peers;
+    for (std::size_t d : g.DestinationsOf(s)) {
+      for (std::size_t other : g.SourcesOf(d)) {
+        if (other != s) peers.insert(other);
+      }
+    }
+    bag.push_back({static_cast<double>(peers.size())});
+  }
+  return bag;
+}
+
+Bag DestinationSecondDegrees(const BipartiteGraph& g) {
+  Bag bag;
+  bag.reserve(g.num_destinations());
+  for (std::size_t d = 0; d < g.num_destinations(); ++d) {
+    std::set<std::size_t> peers;
+    for (std::size_t s : g.SourcesOf(d)) {
+      for (std::size_t other : g.DestinationsOf(s)) {
+        if (other != d) peers.insert(other);
+      }
+    }
+    bag.push_back({static_cast<double>(peers.size())});
+  }
+  return bag;
+}
+
+Bag SourceStrengths(const BipartiteGraph& g) {
+  Bag bag;
+  bag.reserve(g.num_sources());
+  for (std::size_t s = 0; s < g.num_sources(); ++s) {
+    double total = 0.0;
+    for (std::size_t d : g.DestinationsOf(s)) total += g.EdgeWeight(s, d);
+    bag.push_back({total});
+  }
+  return bag;
+}
+
+Bag DestinationStrengths(const BipartiteGraph& g) {
+  Bag bag;
+  bag.reserve(g.num_destinations());
+  for (std::size_t d = 0; d < g.num_destinations(); ++d) {
+    double total = 0.0;
+    for (std::size_t s : g.SourcesOf(d)) total += g.EdgeWeight(s, d);
+    bag.push_back({total});
+  }
+  return bag;
+}
+
+Bag EdgeWeights(const BipartiteGraph& g) {
+  Bag bag;
+  bag.reserve(g.num_edges());
+  for (const BipartiteEdge& e : g.Edges()) bag.push_back({e.weight});
+  return bag;
+}
+
+}  // namespace
+
+Result<Bag> ExtractGraphFeature(const BipartiteGraph& graph,
+                                GraphFeature feature) {
+  switch (feature) {
+    case GraphFeature::kSourceDegree:
+      if (graph.num_sources() == 0) {
+        return Status::Invalid("graph has no source nodes");
+      }
+      return SourceDegrees(graph);
+    case GraphFeature::kDestinationDegree:
+      if (graph.num_destinations() == 0) {
+        return Status::Invalid("graph has no destination nodes");
+      }
+      return DestinationDegrees(graph);
+    case GraphFeature::kSourceSecondDegree:
+      if (graph.num_sources() == 0) {
+        return Status::Invalid("graph has no source nodes");
+      }
+      return SourceSecondDegrees(graph);
+    case GraphFeature::kDestinationSecondDegree:
+      if (graph.num_destinations() == 0) {
+        return Status::Invalid("graph has no destination nodes");
+      }
+      return DestinationSecondDegrees(graph);
+    case GraphFeature::kSourceStrength:
+      if (graph.num_sources() == 0) {
+        return Status::Invalid("graph has no source nodes");
+      }
+      return SourceStrengths(graph);
+    case GraphFeature::kDestinationStrength:
+      if (graph.num_destinations() == 0) {
+        return Status::Invalid("graph has no destination nodes");
+      }
+      return DestinationStrengths(graph);
+    case GraphFeature::kEdgeWeight:
+      if (graph.num_edges() == 0) {
+        return Status::Invalid("graph has no edges");
+      }
+      return EdgeWeights(graph);
+  }
+  return Status::Invalid("unknown graph feature");
+}
+
+Result<std::array<Bag, 7>> ExtractAllGraphFeatures(
+    const BipartiteGraph& graph) {
+  std::array<Bag, 7> out;
+  const auto features = AllGraphFeatures();
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    BAGCPD_ASSIGN_OR_RETURN(out[i], ExtractGraphFeature(graph, features[i]));
+  }
+  return out;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,57 @@
+// The seven per-node / per-edge statistics of paper Section 5.3 (semantics
+// fixed by the worked example of Fig. 9). Each feature maps a bipartite graph
+// to a bag of one-dimensional points, one point per node or edge, so graphs
+// with different node counts become bags of different sizes.
+
+#ifndef BAGCPD_GRAPH_FEATURES_H_
+#define BAGCPD_GRAPH_FEATURES_H_
+
+#include <array>
+
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+#include "bagcpd/graph/bipartite_graph.h"
+
+namespace bagcpd {
+
+/// \brief The seven features, numbered exactly as in the paper.
+enum class GraphFeature : int {
+  /// 1) For each source node: number of destinations connected to it.
+  kSourceDegree = 1,
+  /// 2) For each destination node: number of sources connected to it.
+  kDestinationDegree = 2,
+  /// 3) For each source node: number of *other* sources reachable via a
+  /// shared destination.
+  kSourceSecondDegree = 3,
+  /// 4) For each destination node: number of *other* destinations reachable
+  /// via a shared source.
+  kDestinationSecondDegree = 4,
+  /// 5) For each source node: total weight of outgoing edges.
+  kSourceStrength = 5,
+  /// 6) For each destination node: total weight of incoming edges.
+  kDestinationStrength = 6,
+  /// 7) For each edge: its weight.
+  kEdgeWeight = 7,
+};
+
+/// \brief All seven features in paper order.
+std::array<GraphFeature, 7> AllGraphFeatures();
+
+/// \brief Human-readable name ("source_degree", ...).
+const char* GraphFeatureName(GraphFeature feature);
+
+/// \brief Extracts one feature as a bag of 1-d points.
+///
+/// Nodes with no incident edges contribute a 0-valued point for degree and
+/// strength features (they were observed but silent). Fails with Invalid when
+/// the graph has no edges and the feature is kEdgeWeight (an empty bag cannot
+/// be summarized).
+Result<Bag> ExtractGraphFeature(const BipartiteGraph& graph,
+                                GraphFeature feature);
+
+/// \brief Extracts all seven features; result[i] corresponds to feature i+1.
+Result<std::array<Bag, 7>> ExtractAllGraphFeatures(const BipartiteGraph& graph);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_GRAPH_FEATURES_H_

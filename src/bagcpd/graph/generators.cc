@@ -1,0 +1,260 @@
+#include "bagcpd/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+namespace {
+
+// Cluster boundary helper: nodes [0, cut) are cluster 0, [cut, n) cluster 1.
+std::size_t Cut(double fraction, std::size_t n) {
+  const double c = std::clamp(fraction, 0.0, 1.0) * static_cast<double>(n);
+  return std::min(static_cast<std::size_t>(std::llround(c)), n);
+}
+
+}  // namespace
+
+Result<BipartiteGraph> SampleCommunityGraph(const CommunityGraphParams& params,
+                                            Rng* rng) {
+  if (params.lambda.empty() || params.lambda.front().empty()) {
+    return Status::Invalid("lambda matrix is empty");
+  }
+  const std::size_t num_src_clusters = params.lambda.size();
+  const std::size_t num_dst_clusters = params.lambda.front().size();
+  for (const auto& row : params.lambda) {
+    if (row.size() != num_dst_clusters) {
+      return Status::Invalid("lambda matrix is ragged");
+    }
+  }
+  if (num_src_clusters != 2 || num_dst_clusters != 2) {
+    // The alpha/beta split is defined for 2 x 2 communities (as in the paper).
+    return Status::NotImplemented("community sampler supports 2x2 clusters");
+  }
+
+  const std::size_t ns =
+      static_cast<std::size_t>(rng->Poisson(params.source_rate, /*min=*/4));
+  const std::size_t nd =
+      static_cast<std::size_t>(rng->Poisson(params.destination_rate, /*min=*/4));
+  const std::size_t src_cut = Cut(params.alpha, ns);
+  const std::size_t dst_cut = Cut(params.beta, nd);
+
+  BipartiteGraph graph(ns, nd);
+
+  if (params.fixed_total_weight >= 0.0) {
+    // Dataset-3 style: distribute a fixed budget over communities by lambda
+    // ratio, then randomly over pairs inside each community. Communities
+    // emptied by an extreme partition fraction are excluded from the ratio so
+    // the total stays pinned.
+    auto community_rows = [&](std::size_t k) {
+      return (k == 0) ? src_cut : ns - src_cut;
+    };
+    auto community_cols = [&](std::size_t l) {
+      return (l == 0) ? dst_cut : nd - dst_cut;
+    };
+    double lambda_sum = 0.0;
+    for (std::size_t k = 0; k < 2; ++k) {
+      for (std::size_t l = 0; l < 2; ++l) {
+        if (community_rows(k) > 0 && community_cols(l) > 0) {
+          lambda_sum += params.lambda[k][l];
+        }
+      }
+    }
+    if (lambda_sum <= 0.0) return Status::Invalid("lambda sums to zero");
+    for (std::size_t k = 0; k < 2; ++k) {
+      for (std::size_t l = 0; l < 2; ++l) {
+        const std::size_t src_lo = (k == 0) ? 0 : src_cut;
+        const std::size_t src_hi = (k == 0) ? src_cut : ns;
+        const std::size_t dst_lo = (l == 0) ? 0 : dst_cut;
+        const std::size_t dst_hi = (l == 0) ? dst_cut : nd;
+        const std::size_t rows = src_hi - src_lo;
+        const std::size_t cols = dst_hi - dst_lo;
+        if (rows == 0 || cols == 0) continue;
+        const double budget =
+            params.fixed_total_weight * params.lambda[k][l] / lambda_sum;
+        const int whole = static_cast<int>(std::llround(budget));
+        if (whole <= 0) continue;
+        // Spread the integer budget uniformly over the community's pairs.
+        const std::size_t pairs = rows * cols;
+        std::vector<double> probs(pairs, 1.0 / static_cast<double>(pairs));
+        std::vector<int> alloc = rng->Multinomial(whole, probs);
+        for (std::size_t p = 0; p < pairs; ++p) {
+          if (alloc[p] <= 0) continue;
+          const std::size_t s = src_lo + p / cols;
+          const std::size_t d = dst_lo + p % cols;
+          BAGCPD_RETURN_NOT_OK(
+              graph.AddEdge(s, d, static_cast<double>(alloc[p])));
+        }
+      }
+    }
+    return graph;
+  }
+
+  for (std::size_t s = 0; s < ns; ++s) {
+    const std::size_t k = (s < src_cut) ? 0 : 1;
+    for (std::size_t d = 0; d < nd; ++d) {
+      const std::size_t l = (d < dst_cut) ? 0 : 1;
+      if (params.edge_density < 1.0 && !rng->Bernoulli(params.edge_density)) {
+        continue;
+      }
+      const int weight = rng->Poisson(params.lambda[k][l], /*min=*/0);
+      if (weight > 0) {
+        BAGCPD_RETURN_NOT_OK(
+            graph.AddEdge(s, d, static_cast<double>(weight)));
+      }
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+// Shared scaffolding: walks `steps` time steps; `params_at(t)` yields the
+// parameters of step t (1-based as in the paper's formulas) and the generator
+// records a change point wherever consecutive parameters differ.
+template <typename ParamsAt>
+Result<BipartiteStream> GenerateStream(const std::string& name,
+                                       std::size_t steps,
+                                       const BipartiteStreamOptions& options,
+                                       ParamsAt params_at) {
+  BipartiteStream stream;
+  stream.name = name;
+  Rng rng(options.seed);
+  CommunityGraphParams previous;
+  bool has_previous = false;
+  for (std::size_t t = 1; t <= steps; ++t) {
+    CommunityGraphParams params = params_at(t);
+    params.source_rate = options.node_rate;
+    params.destination_rate = options.node_rate;
+    params.edge_density = options.edge_density;
+    BAGCPD_ASSIGN_OR_RETURN(BipartiteGraph graph,
+                            SampleCommunityGraph(params, &rng));
+    if (has_previous) {
+      const bool changed = params.lambda != previous.lambda ||
+                           params.alpha != previous.alpha ||
+                           params.beta != previous.beta;
+      if (changed) stream.change_points.push_back(t - 1);  // 0-based index.
+    }
+    previous = params;
+    has_previous = true;
+    stream.graphs.push_back(std::move(graph));
+  }
+  return stream;
+}
+
+// Block index a = 1..5 if t falls inside the elevated block of parameter a,
+// else 0. Paper: block a covers t in [20(a+1)+1, 20(a+1)+20], scaled by
+// `block` / 20.
+int BlockOf(std::size_t t, std::size_t block) {
+  for (int a = 1; a <= 5; ++a) {
+    const std::size_t lo = block * static_cast<std::size_t>(a + 1) + 1;
+    const std::size_t hi = lo + block - 1;
+    if (t >= lo && t <= hi) return a;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<BipartiteStream> MakeBipartiteDataset1(
+    const BipartiteStreamOptions& options) {
+  const std::size_t block =
+      std::max<std::size_t>(2, static_cast<std::size_t>(20 * options.length_scale));
+  const std::size_t steps = 10 * block;
+  return GenerateStream("bipartite-ds1-traffic-level", steps, options,
+                        [&](std::size_t t) {
+                          CommunityGraphParams p;
+                          const int a = BlockOf(t, block);
+                          const double level = a > 0 ? a + 1.0 : 1.0;
+                          p.lambda = {{level, level}, {level, level}};
+                          p.alpha = 0.5;
+                          p.beta = 0.5;
+                          return p;
+                        });
+}
+
+Result<BipartiteStream> MakeBipartiteDataset2(
+    const BipartiteStreamOptions& options) {
+  const std::size_t block =
+      std::max<std::size_t>(2, static_cast<std::size_t>(20 * options.length_scale));
+  const std::size_t steps = 10 * block;
+  // The random sign delta of each block is fixed up front (one draw per block,
+  // as in the paper's description).
+  Rng sign_rng(options.seed ^ 0x5157ULL);
+  std::vector<double> signs(6, 1.0);
+  for (int a = 1; a <= 5; ++a) signs[a] = sign_rng.Bernoulli(0.5) ? 1.0 : -1.0;
+  return GenerateStream("bipartite-ds2-partition", steps, options,
+                        [&, signs](std::size_t t) {
+                          CommunityGraphParams p;  // Initial-state lambda.
+                          const int a = BlockOf(t, block);
+                          const double frac =
+                              a > 0 ? 0.5 + 0.1 * a * signs[a] : 0.5;
+                          p.alpha = frac;
+                          p.beta = frac;
+                          return p;
+                        });
+}
+
+Result<BipartiteStream> MakeBipartiteDataset3(
+    const BipartiteStreamOptions& options) {
+  const std::size_t block =
+      std::max<std::size_t>(2, static_cast<std::size_t>(20 * options.length_scale));
+  const std::size_t steps = 10 * block;
+  Rng sign_rng(options.seed ^ 0x5157ULL);
+  std::vector<double> signs(6, 1.0);
+  for (int a = 1; a <= 5; ++a) signs[a] = sign_rng.Bernoulli(0.5) ? 1.0 : -1.0;
+  // Fixed total weight scales with graph size so reduced-size test streams
+  // keep comparable per-edge weights (100,000 at the paper's 200-node rate).
+  const double total_weight =
+      100000.0 * (options.node_rate / 200.0) * (options.node_rate / 200.0) *
+      options.edge_density;
+  return GenerateStream("bipartite-ds3-partition-fixed-traffic", steps, options,
+                        [&, signs](std::size_t t) {
+                          CommunityGraphParams p;
+                          const int a = BlockOf(t, block);
+                          const double frac =
+                              a > 0 ? 0.5 + 0.1 * a * signs[a] : 0.5;
+                          p.alpha = frac;
+                          p.beta = frac;
+                          p.fixed_total_weight = total_weight;
+                          return p;
+                        });
+}
+
+Result<BipartiteStream> MakeBipartiteDataset4(
+    const BipartiteStreamOptions& options) {
+  const std::size_t block =
+      std::max<std::size_t>(2, static_cast<std::size_t>(20 * options.length_scale));
+  const std::size_t steps = 12 * block;  // The paper's 240 at block = 20.
+  // Twelve fixed arrangements of the four rates (10, 3, 1, 5): the identity
+  // followed by interchanges "in different ways" (paper's wording).
+  static const double kPerms[12][4] = {
+      {10, 3, 1, 5}, {5, 3, 1, 10}, {10, 1, 3, 5}, {3, 10, 5, 1},
+      {10, 3, 1, 5}, {1, 5, 10, 3}, {10, 5, 3, 1}, {5, 1, 3, 10},
+      {10, 3, 1, 5}, {3, 1, 10, 5}, {1, 10, 5, 3}, {5, 10, 3, 1}};
+  return GenerateStream(
+      "bipartite-ds4-lambda-interchange", steps, options, [&](std::size_t t) {
+        CommunityGraphParams p;
+        const std::size_t b = std::min<std::size_t>((t - 1) / block, 11);
+        p.lambda = {{kPerms[b][0], kPerms[b][1]}, {kPerms[b][2], kPerms[b][3]}};
+        return p;
+      });
+}
+
+Result<std::vector<BipartiteStream>> MakeAllBipartiteDatasets(
+    const BipartiteStreamOptions& options) {
+  std::vector<BipartiteStream> streams;
+  BAGCPD_ASSIGN_OR_RETURN(BipartiteStream s1, MakeBipartiteDataset1(options));
+  BAGCPD_ASSIGN_OR_RETURN(BipartiteStream s2, MakeBipartiteDataset2(options));
+  BAGCPD_ASSIGN_OR_RETURN(BipartiteStream s3, MakeBipartiteDataset3(options));
+  BAGCPD_ASSIGN_OR_RETURN(BipartiteStream s4, MakeBipartiteDataset4(options));
+  streams.push_back(std::move(s1));
+  streams.push_back(std::move(s2));
+  streams.push_back(std::move(s3));
+  streams.push_back(std::move(s4));
+  return streams;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,90 @@
+// Synthetic bipartite-graph streams with planted change points: the four
+// datasets of paper Section 5.3. Graphs have two source-node clusters and two
+// destination-node clusters; community (k, l) is the block of edges between
+// source cluster k and destination cluster l, with Poisson(lambda_kl) edge
+// weights. Node counts are resampled from Poisson(200) every step.
+
+#ifndef BAGCPD_GRAPH_GENERATORS_H_
+#define BAGCPD_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bagcpd/common/result.h"
+#include "bagcpd/common/rng.h"
+#include "bagcpd/graph/bipartite_graph.h"
+
+namespace bagcpd {
+
+/// \brief Parameters of one community-structured bipartite snapshot.
+struct CommunityGraphParams {
+  /// lambda[k][l]: Poisson rate of edge weights in community (k, l).
+  /// The paper's initial state: {{10, 3}, {1, 5}}.
+  std::vector<std::vector<double>> lambda = {{10.0, 3.0}, {1.0, 5.0}};
+  /// Fraction of source nodes in cluster 0 (paper's alpha).
+  double alpha = 0.5;
+  /// Fraction of destination nodes in cluster 0 (paper's beta).
+  double beta = 0.5;
+  /// Poisson rate of the number of source / destination nodes.
+  double source_rate = 200.0;
+  double destination_rate = 200.0;
+  /// Probability that a given (source, destination) pair inside a community
+  /// carries an edge at all; the paper draws a weight for each pair, which is
+  /// density 1. Smaller values produce sparser graphs for fast tests.
+  double edge_density = 1.0;
+  /// If >= 0, the total edge weight is fixed to this value and distributed
+  /// over communities proportionally to lambda_kl, then randomly over the
+  /// pairs inside each community (dataset 3's construction).
+  double fixed_total_weight = -1.0;
+};
+
+/// \brief Samples one snapshot.
+Result<BipartiteGraph> SampleCommunityGraph(const CommunityGraphParams& params,
+                                            Rng* rng);
+
+/// \brief A generated stream with its planted change points.
+struct BipartiteStream {
+  std::string name;
+  std::vector<BipartiteGraph> graphs;
+  /// 0-based indices t such that the generating parameters of graph t differ
+  /// from those of graph t-1.
+  std::vector<std::size_t> change_points;
+};
+
+/// \brief Options shared by the four dataset generators.
+struct BipartiteStreamOptions {
+  std::uint64_t seed = 0;
+  /// Node-count rate (the paper uses 200; tests may lower it for speed).
+  double node_rate = 200.0;
+  /// Edge density (1.0 in the paper).
+  double edge_density = 1.0;
+  /// Scales the number of time steps (1.0 = the paper's 200 / 240 steps;
+  /// the block length 20 is scaled proportionally).
+  double length_scale = 1.0;
+};
+
+/// \brief Dataset 1: partitions fixed, total traffic level changes.
+/// lambda_kl = a + 1 inside block a (t in [20(a+1)+1, 20(a+1)+20], a = 1..5),
+/// else 1.
+Result<BipartiteStream> MakeBipartiteDataset1(const BipartiteStreamOptions& options);
+
+/// \brief Dataset 2: partition fractions alpha = beta jump to 0.5 +- 0.1a
+/// inside block a; lambda keeps the initial state.
+Result<BipartiteStream> MakeBipartiteDataset2(const BipartiteStreamOptions& options);
+
+/// \brief Dataset 3: dataset 2's partition changes but with the total edge
+/// weight pinned to 100,000, split over communities by the lambda ratios.
+Result<BipartiteStream> MakeBipartiteDataset3(const BipartiteStreamOptions& options);
+
+/// \brief Dataset 4: partitions fixed; the four lambda values are permuted in
+/// a different way every 20 steps (240 steps total).
+Result<BipartiteStream> MakeBipartiteDataset4(const BipartiteStreamOptions& options);
+
+/// \brief All four datasets in paper order.
+Result<std::vector<BipartiteStream>> MakeAllBipartiteDatasets(
+    const BipartiteStreamOptions& options);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_GRAPH_GENERATORS_H_

@@ -1,0 +1,56 @@
+#include "bagcpd/io/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace bagcpd {
+
+namespace {
+
+std::string EscapeField(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) file << ',';
+    file << EscapeField(header[i]);
+  }
+  file << '\n';
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      return Status::Invalid("row width does not match header");
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) file << ',';
+      file << EscapeField(row[i]);
+    }
+    file << '\n';
+  }
+  if (!file.good()) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace bagcpd

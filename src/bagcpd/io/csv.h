@@ -1,0 +1,23 @@
+// Minimal CSV writing for experiment outputs.
+
+#ifndef BAGCPD_IO_CSV_H_
+#define BAGCPD_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "bagcpd/common/status.h"
+
+namespace bagcpd {
+
+/// \brief Writes a CSV file with a header row. Fields containing commas,
+/// quotes, or newlines are quoted.
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// \brief Formats a double with fixed precision for CSV/table cells.
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_IO_CSV_H_

@@ -1,0 +1,32 @@
+// Fixed-width table rendering for bench/experiment reports.
+
+#ifndef BAGCPD_IO_TABLE_H_
+#define BAGCPD_IO_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bagcpd {
+
+/// \brief Accumulates rows and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// \brief Appends a row; width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Renders the table with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_IO_TABLE_H_

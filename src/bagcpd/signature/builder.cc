@@ -1,0 +1,78 @@
+#include "bagcpd/signature/builder.h"
+
+namespace bagcpd {
+
+namespace {
+
+// SplitMix64-style mix for per-bag seeds.
+std::uint64_t MixSeed(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* SignatureMethodName(SignatureMethod method) {
+  switch (method) {
+    case SignatureMethod::kKMeans:
+      return "kmeans";
+    case SignatureMethod::kKMedoids:
+      return "kmedoids";
+    case SignatureMethod::kLvq:
+      return "lvq";
+    case SignatureMethod::kHistogram:
+      return "histogram";
+    case SignatureMethod::kCentroid:
+      return "centroid";
+  }
+  return "unknown";
+}
+
+Result<Signature> SignatureBuilder::Build(const Bag& bag,
+                                          std::uint64_t bag_index) const {
+  BAGCPD_ASSIGN_OR_RETURN(Signature sig, BuildRaw(bag, bag_index));
+  if (options_.normalize) return sig.Normalized();
+  return sig;
+}
+
+Result<Signature> SignatureBuilder::BuildRaw(const Bag& bag,
+                                             std::uint64_t bag_index) const {
+  const std::uint64_t seed = MixSeed(options_.seed ^ MixSeed(bag_index));
+  switch (options_.method) {
+    case SignatureMethod::kKMeans: {
+      KMeansOptions opts;
+      opts.k = options_.k;
+      opts.seed = seed;
+      BAGCPD_ASSIGN_OR_RETURN(KMeansResult res, KMeansQuantize(bag, opts));
+      return std::move(res.signature);
+    }
+    case SignatureMethod::kKMedoids: {
+      KMedoidsOptions opts;
+      opts.k = options_.k;
+      opts.seed = seed;
+      BAGCPD_ASSIGN_OR_RETURN(KMedoidsResult res, KMedoidsQuantize(bag, opts));
+      return std::move(res.signature);
+    }
+    case SignatureMethod::kLvq: {
+      LvqOptions opts;
+      opts.k = options_.k;
+      opts.seed = seed;
+      return LvqQuantize(bag, opts);
+    }
+    case SignatureMethod::kHistogram: {
+      HistogramOptions opts;
+      opts.bin_width = options_.bin_width;
+      opts.origin = options_.histogram_origin;
+      return HistogramQuantize(bag, opts);
+    }
+    case SignatureMethod::kCentroid: {
+      BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+      return CentroidSignature(bag);
+    }
+  }
+  return Status::Invalid("unknown signature method");
+}
+
+}  // namespace bagcpd

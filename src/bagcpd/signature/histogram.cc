@@ -1,0 +1,60 @@
+#include "bagcpd/signature/histogram.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+Result<Signature> HistogramQuantize(const Bag& bag,
+                                    const HistogramOptions& options) {
+  BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+  if (!(options.bin_width > 0.0)) {
+    return Status::Invalid("bin_width must be > 0");
+  }
+
+  const std::size_t d = bag.front().size();
+
+  struct BinStats {
+    double count = 0.0;
+    Point sum;
+  };
+  // Multi-index of the bin -> stats. std::map keeps deterministic ordering.
+  std::map<std::vector<std::int64_t>, BinStats> bins;
+
+  std::vector<std::int64_t> key(d);
+  for (const Point& x : bag) {
+    for (std::size_t j = 0; j < d; ++j) {
+      key[j] = static_cast<std::int64_t>(
+          std::floor((x[j] - options.origin) / options.bin_width));
+    }
+    BinStats& stats = bins[key];
+    if (stats.sum.empty()) stats.sum.assign(d, 0.0);
+    stats.count += 1.0;
+    for (std::size_t j = 0; j < d; ++j) stats.sum[j] += x[j];
+  }
+
+  Signature sig;
+  sig.centers.reserve(bins.size());
+  sig.weights.reserve(bins.size());
+  for (const auto& [index, stats] : bins) {
+    Point center(d);
+    if (options.use_bin_centers) {
+      for (std::size_t j = 0; j < d; ++j) {
+        center[j] = options.origin +
+                    (static_cast<double>(index[j]) + 0.5) * options.bin_width;
+      }
+    } else {
+      for (std::size_t j = 0; j < d; ++j) center[j] = stats.sum[j] / stats.count;
+    }
+    sig.centers.push_back(std::move(center));
+    sig.weights.push_back(stats.count);
+  }
+  BAGCPD_RETURN_NOT_OK(sig.Validate());
+  return sig;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,33 @@
+// Fixed-width histogram signatures: partition R^d into axis-aligned bins and
+// count the observations per bin (paper Section 3.1, "another very simple way
+// to make signatures"). Only non-empty bins are materialized, so the signature
+// stays sparse even in higher dimensions.
+
+#ifndef BAGCPD_SIGNATURE_HISTOGRAM_H_
+#define BAGCPD_SIGNATURE_HISTOGRAM_H_
+
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+#include "bagcpd/signature/signature.h"
+
+namespace bagcpd {
+
+/// \brief Configuration for HistogramQuantize.
+struct HistogramOptions {
+  /// Bin width along every axis.
+  double bin_width = 1.0;
+  /// Origin of the grid (bin b covers [origin + b*w, origin + (b+1)*w)).
+  double origin = 0.0;
+  /// If true, the center of each occupied bin is used as the signature center;
+  /// if false, the mean of the samples inside the bin is used (tighter ground
+  /// distances; still a histogram partition).
+  bool use_bin_centers = true;
+};
+
+/// \brief Histogram-quantizes `bag`; weights are per-bin counts.
+Result<Signature> HistogramQuantize(const Bag& bag,
+                                    const HistogramOptions& options);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_SIGNATURE_HISTOGRAM_H_

@@ -1,0 +1,157 @@
+#include "bagcpd/signature/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/rng.h"
+
+namespace bagcpd {
+
+namespace {
+
+// k-means++ seeding (Arthur & Vassilvitskii 2007): iteratively picks centers
+// with probability proportional to the squared distance to the closest
+// already-chosen center.
+std::vector<Point> SeedPlusPlus(const Bag& bag, std::size_t k, Rng* rng) {
+  std::vector<Point> centers;
+  centers.reserve(k);
+  centers.push_back(bag[static_cast<std::size_t>(
+      rng->UniformInt(0, static_cast<int>(bag.size()) - 1))]);
+
+  std::vector<double> closest_sq(bag.size(),
+                                 std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < bag.size(); ++i) {
+      const double d2 = SquaredDistance(bag[i], centers.back());
+      closest_sq[i] = std::min(closest_sq[i], d2);
+      total += closest_sq[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centers; duplicate one.
+      centers.push_back(bag[static_cast<std::size_t>(
+          rng->UniformInt(0, static_cast<int>(bag.size()) - 1))]);
+      continue;
+    }
+    double u = rng->Uniform() * total;
+    std::size_t chosen = bag.size() - 1;
+    for (std::size_t i = 0; i < bag.size(); ++i) {
+      u -= closest_sq[i];
+      if (u <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(bag[chosen]);
+  }
+  return centers;
+}
+
+std::size_t NearestCenter(const Point& x, const std::vector<Point>& centers) {
+  std::size_t best = 0;
+  double best_d2 = SquaredDistance(x, centers[0]);
+  for (std::size_t k = 1; k < centers.size(); ++k) {
+    const double d2 = SquaredDistance(x, centers[k]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeansQuantize(const Bag& bag,
+                                    const KMeansOptions& options) {
+  BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+  if (options.k == 0) return Status::Invalid("k must be >= 1");
+
+  const std::size_t n = bag.size();
+  const std::size_t d = bag.front().size();
+  const std::size_t k = std::min(options.k, n);
+  Rng rng(options.seed);
+
+  std::vector<Point> centers = SeedPlusPlus(bag, k, &rng);
+  std::vector<std::size_t> assignment(n, 0);
+
+  KMeansResult out;
+  for (out.iterations = 0; out.iterations < options.max_iterations;
+       ++out.iterations) {
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i) {
+      assignment[i] = NearestCenter(bag[i], centers);
+    }
+    // Update step.
+    std::vector<Point> new_centers(k, Point(d, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      counts[assignment[i]]++;
+      for (std::size_t j = 0; j < d; ++j) {
+        new_centers[assignment[i]][j] += bag[i][j];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster at the point farthest from its own center.
+        std::size_t farthest = 0;
+        double far_d2 = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d2 = SquaredDistance(bag[i], centers[assignment[i]]);
+          if (d2 > far_d2) {
+            far_d2 = d2;
+            farthest = i;
+          }
+        }
+        new_centers[c] = bag[farthest];
+        counts[c] = 1;  // Will be fixed by the next assignment pass.
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (std::size_t j = 0; j < d; ++j) new_centers[c][j] *= inv;
+    }
+    // Convergence check.
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      movement += SquaredDistance(centers[c], new_centers[c]);
+    }
+    centers = std::move(new_centers);
+    if (movement <= options.tolerance) {
+      ++out.iterations;
+      break;
+    }
+  }
+
+  // Final assignment + signature.
+  std::vector<double> weights(k, 0.0);
+  out.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    assignment[i] = NearestCenter(bag[i], centers);
+    weights[assignment[i]] += 1.0;
+    out.inertia += SquaredDistance(bag[i], centers[assignment[i]]);
+  }
+
+  // Drop empty clusters (can remain after the final assignment).
+  Signature sig;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (weights[c] > 0.0) {
+      sig.centers.push_back(std::move(centers[c]));
+      sig.weights.push_back(weights[c]);
+    }
+  }
+  // Remap assignments to the compacted cluster indices.
+  std::vector<std::size_t> remap(k, 0);
+  for (std::size_t c = 0, next = 0; c < k; ++c) {
+    if (weights[c] > 0.0) remap[c] = next++;
+  }
+  for (std::size_t i = 0; i < n; ++i) assignment[i] = remap[assignment[i]];
+
+  out.signature = std::move(sig);
+  out.assignment = std::move(assignment);
+  BAGCPD_RETURN_NOT_OK(out.signature.Validate());
+  return out;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,121 @@
+#include "bagcpd/signature/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/rng.h"
+
+namespace bagcpd {
+
+namespace {
+
+double DeviationToNearest(const Bag& bag,
+                          const std::vector<std::size_t>& medoids,
+                          std::vector<std::size_t>* assignment) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_m = 0;
+    for (std::size_t m = 0; m < medoids.size(); ++m) {
+      const double dist = EuclideanDistance(bag[i], bag[medoids[m]]);
+      if (dist < best) {
+        best = dist;
+        best_m = m;
+      }
+    }
+    if (assignment) (*assignment)[i] = best_m;
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<KMedoidsResult> KMedoidsQuantize(const Bag& bag,
+                                        const KMedoidsOptions& options) {
+  BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+  if (options.k == 0) return Status::Invalid("k must be >= 1");
+
+  const std::size_t n = bag.size();
+  const std::size_t k = std::min(options.k, n);
+  Rng rng(options.seed);
+
+  // BUILD: greedy distance-weighted seeding (k-means++-style on distances).
+  std::vector<std::size_t> medoids;
+  medoids.reserve(k);
+  medoids.push_back(
+      static_cast<std::size_t>(rng.UniformInt(0, static_cast<int>(n) - 1)));
+  std::vector<double> closest(n, std::numeric_limits<double>::infinity());
+  while (medoids.size() < k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      closest[i] =
+          std::min(closest[i], EuclideanDistance(bag[i], bag[medoids.back()]));
+    }
+    double total = 0.0;
+    for (double c : closest) total += c;
+    if (total <= 0.0) {
+      medoids.push_back(
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<int>(n) - 1)));
+      continue;
+    }
+    double u = rng.Uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      u -= closest[i];
+      if (u <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    medoids.push_back(chosen);
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  double best_total = DeviationToNearest(bag, medoids, &assignment);
+
+  // SWAP passes over sampled candidates.
+  for (int pass = 0; pass < options.max_iterations; ++pass) {
+    bool improved = false;
+    const std::size_t sample =
+        std::min(options.swap_candidate_sample, n);
+    std::vector<std::size_t> perm = rng.Permutation(n);
+    for (std::size_t m = 0; m < medoids.size(); ++m) {
+      for (std::size_t s = 0; s < sample; ++s) {
+        const std::size_t candidate = perm[s];
+        if (std::find(medoids.begin(), medoids.end(), candidate) !=
+            medoids.end()) {
+          continue;
+        }
+        const std::size_t saved = medoids[m];
+        medoids[m] = candidate;
+        const double total = DeviationToNearest(bag, medoids, nullptr);
+        if (total + 1e-12 < best_total) {
+          best_total = total;
+          improved = true;
+        } else {
+          medoids[m] = saved;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  best_total = DeviationToNearest(bag, medoids, &assignment);
+
+  KMedoidsResult out;
+  out.total_deviation = best_total;
+  std::vector<double> weights(medoids.size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) weights[assignment[i]] += 1.0;
+  for (std::size_t m = 0; m < medoids.size(); ++m) {
+    if (weights[m] > 0.0) {
+      out.signature.centers.push_back(bag[medoids[m]]);
+      out.signature.weights.push_back(weights[m]);
+      out.medoid_indices.push_back(medoids[m]);
+    }
+  }
+  BAGCPD_RETURN_NOT_OK(out.signature.Validate());
+  return out;
+}
+
+}  // namespace bagcpd

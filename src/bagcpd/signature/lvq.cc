@@ -1,0 +1,77 @@
+#include "bagcpd/signature/lvq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/rng.h"
+
+namespace bagcpd {
+
+Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options) {
+  BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+  if (options.k == 0) return Status::Invalid("k must be >= 1");
+  if (options.epochs <= 0) return Status::Invalid("epochs must be >= 1");
+
+  const std::size_t n = bag.size();
+  const std::size_t k = std::min(options.k, n);
+  Rng rng(options.seed);
+
+  // Initialize prototypes at k distinct random bag points.
+  std::vector<std::size_t> perm = rng.Permutation(n);
+  std::vector<Point> prototypes(k);
+  for (std::size_t m = 0; m < k; ++m) prototypes[m] = bag[perm[m]];
+
+  const long total_updates = static_cast<long>(options.epochs) * n;
+  long update = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<std::size_t> order = rng.Permutation(n);
+    for (std::size_t idx : order) {
+      // Find the winner.
+      std::size_t winner = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t m = 0; m < k; ++m) {
+        const double d2 = SquaredDistance(bag[idx], prototypes[m]);
+        if (d2 < best) {
+          best = d2;
+          winner = m;
+        }
+      }
+      // Move the winner toward the sample.
+      const double rate =
+          options.initial_learning_rate *
+          (1.0 - static_cast<double>(update) / static_cast<double>(total_updates));
+      for (std::size_t j = 0; j < prototypes[winner].size(); ++j) {
+        prototypes[winner][j] += rate * (bag[idx][j] - prototypes[winner][j]);
+      }
+      ++update;
+    }
+  }
+
+  // Final hard assignment defines the weights.
+  std::vector<double> weights(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t winner = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t m = 0; m < k; ++m) {
+      const double d2 = SquaredDistance(bag[i], prototypes[m]);
+      if (d2 < best) {
+        best = d2;
+        winner = m;
+      }
+    }
+    weights[winner] += 1.0;
+  }
+
+  Signature sig;
+  for (std::size_t m = 0; m < k; ++m) {
+    if (weights[m] > 0.0) {
+      sig.centers.push_back(std::move(prototypes[m]));
+      sig.weights.push_back(weights[m]);
+    }
+  }
+  BAGCPD_RETURN_NOT_OK(sig.Validate());
+  return sig;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,81 @@
+#include "bagcpd/signature/signature.h"
+
+#include <sstream>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+double Signature::TotalWeight() const {
+  double acc = 0.0;
+  for (double w : weights) acc += w;
+  return acc;
+}
+
+Signature Signature::Normalized() const {
+  Signature out = *this;
+  const double total = TotalWeight();
+  BAGCPD_CHECK_MSG(total > 0.0, "normalizing a zero-mass signature");
+  for (double& w : out.weights) w /= total;
+  return out;
+}
+
+Point Signature::Centroid() const {
+  BAGCPD_CHECK(!centers.empty());
+  Point c(dim(), 0.0);
+  double total = 0.0;
+  for (std::size_t k = 0; k < centers.size(); ++k) {
+    for (std::size_t j = 0; j < c.size(); ++j) c[j] += weights[k] * centers[k][j];
+    total += weights[k];
+  }
+  BAGCPD_CHECK(total > 0.0);
+  for (double& v : c) v /= total;
+  return c;
+}
+
+Status Signature::Validate() const {
+  if (centers.empty()) return Status::Invalid("signature has no centers");
+  if (weights.size() != centers.size()) {
+    return Status::Invalid("signature weights/centers size mismatch");
+  }
+  const std::size_t d = centers.front().size();
+  if (d == 0) return Status::Invalid("signature centers are zero-dimensional");
+  for (std::size_t k = 0; k < centers.size(); ++k) {
+    if (centers[k].size() != d) {
+      return Status::Invalid("center " + std::to_string(k) +
+                             " has inconsistent dimension");
+    }
+    if (!(weights[k] > 0.0)) {
+      return Status::Invalid("weight " + std::to_string(k) +
+                             " is not strictly positive");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Signature::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << "{";
+  for (std::size_t k = 0; k < centers.size(); ++k) {
+    if (k) os << ", ";
+    os << "(";
+    for (std::size_t j = 0; j < centers[k].size(); ++j) {
+      if (j) os << " ";
+      os << centers[k][j];
+    }
+    os << "):" << weights[k];
+  }
+  os << "}";
+  return os.str();
+}
+
+Signature CentroidSignature(const Bag& bag) {
+  BAGCPD_CHECK(!bag.empty());
+  Signature sig;
+  sig.centers.push_back(BagMean(bag));
+  sig.weights.push_back(static_cast<double>(bag.size()));
+  return sig;
+}
+
+}  // namespace bagcpd

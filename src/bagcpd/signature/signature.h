@@ -1,0 +1,54 @@
+// Signature: the quantized representation S_t = {(u_k, w_k)} of a bag's
+// underlying distribution (paper Eq. 6). Centers u_k live in R^d and w_k > 0
+// counts (or weights) the observations assigned to center k.
+
+#ifndef BAGCPD_SIGNATURE_SIGNATURE_H_
+#define BAGCPD_SIGNATURE_SIGNATURE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/status.h"
+
+namespace bagcpd {
+
+/// \brief A weighted point set summarizing one bag's distribution.
+///
+/// Invariants (checked by Validate()): centers non-empty, all centers share
+/// one dimension, weights.size() == centers.size(), all weights > 0.
+struct Signature {
+  std::vector<Point> centers;
+  std::vector<double> weights;
+
+  /// \brief Number of clusters K.
+  std::size_t size() const { return centers.size(); }
+
+  /// \brief Dimension d of the centers (0 if empty).
+  std::size_t dim() const { return centers.empty() ? 0 : centers.front().size(); }
+
+  /// \brief Sum of weights (total mass).
+  double TotalWeight() const;
+
+  /// \brief Returns a copy whose weights sum to one.
+  Signature Normalized() const;
+
+  /// \brief Weighted centroid of the signature.
+  Point Centroid() const;
+
+  /// \brief Structural validation of the invariants listed above.
+  Status Validate() const;
+
+  /// \brief Human-readable rendering for diagnostics.
+  std::string ToString(int precision = 3) const;
+};
+
+/// \brief Builds a signature with a single cluster at the bag mean carrying the
+/// full bag weight. This is the degenerate "centroid" summarization the paper
+/// argues against (Section 1) — kept as a baseline representation.
+Signature CentroidSignature(const Bag& bag);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_SIGNATURE_SIGNATURE_H_

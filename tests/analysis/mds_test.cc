@@ -1,0 +1,91 @@
+#include "bagcpd/analysis/mds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/point.h"
+
+namespace bagcpd {
+namespace {
+
+Matrix DistanceMatrixOf(const std::vector<Point>& points) {
+  Matrix d(points.size(), points.size(), 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      d(i, j) = EuclideanDistance(points[i], points[j]);
+    }
+  }
+  return d;
+}
+
+TEST(MdsTest, RecoversLineConfiguration) {
+  // Colinear points: distances recoverable in 1-d.
+  std::vector<Point> points = {{0.0}, {1.0}, {3.0}, {7.0}};
+  Matrix d = DistanceMatrixOf(points);
+  MdsEmbedding emb = ClassicalMds(d, 2).ValueOrDie();
+  // Pairwise distances of the embedding match the input.
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      Point a = {emb.coordinates(i, 0), emb.coordinates(i, 1)};
+      Point b = {emb.coordinates(j, 0), emb.coordinates(j, 1)};
+      EXPECT_NEAR(EuclideanDistance(a, b), d(i, j), 1e-8);
+    }
+  }
+  // Second coordinate is (near) zero: the configuration is 1-dimensional.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(emb.coordinates(i, 1), 0.0, 1e-8);
+  }
+}
+
+TEST(MdsTest, RecoversSquareConfiguration) {
+  std::vector<Point> points = {{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  Matrix d = DistanceMatrixOf(points);
+  MdsEmbedding emb = ClassicalMds(d, 2).ValueOrDie();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      Point a = {emb.coordinates(i, 0), emb.coordinates(i, 1)};
+      Point b = {emb.coordinates(j, 0), emb.coordinates(j, 1)};
+      EXPECT_NEAR(EuclideanDistance(a, b), d(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(MdsTest, EigenvaluesDescending) {
+  std::vector<Point> points = {{0.0, 0.0}, {2.0, 0.0}, {0.0, 1.0}, {3.0, 2.0}};
+  MdsEmbedding emb = ClassicalMds(DistanceMatrixOf(points), 2).ValueOrDie();
+  for (std::size_t k = 1; k < emb.eigenvalues.size(); ++k) {
+    EXPECT_GE(emb.eigenvalues[k - 1], emb.eigenvalues[k] - 1e-9);
+  }
+}
+
+TEST(MdsTest, SeparatesTwoClusters) {
+  // Two groups with small within- and large between-distances: the first MDS
+  // axis should separate them.
+  Matrix d(6, 6, 0.0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      if (i == j) continue;
+      const bool same = (i < 3) == (j < 3);
+      d(i, j) = same ? 1.0 : 10.0;
+    }
+  }
+  MdsEmbedding emb = ClassicalMds(d, 2).ValueOrDie();
+  // Group means on axis 0 are far apart.
+  double g0 = 0.0, g1 = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) g0 += emb.coordinates(i, 0);
+  for (std::size_t i = 3; i < 6; ++i) g1 += emb.coordinates(i, 0);
+  EXPECT_GT(std::abs(g0 - g1) / 3.0, 5.0);
+}
+
+TEST(MdsTest, RejectsBadInput) {
+  EXPECT_FALSE(ClassicalMds(Matrix(2, 3), 2).ok());
+  Matrix asym = Matrix::FromRows({{0.0, 1.0}, {2.0, 0.0}});
+  EXPECT_FALSE(ClassicalMds(asym, 1).ok());
+  Matrix ok = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_FALSE(ClassicalMds(ok, 0).ok());
+  EXPECT_FALSE(ClassicalMds(ok, 3).ok());
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,141 @@
+#include "bagcpd/baselines/kcd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/baselines/mean_reduction.h"
+#include "bagcpd/common/rng.h"
+
+namespace bagcpd {
+namespace {
+
+std::vector<Point> GaussianCloud(Point mean, double sigma, std::size_t n,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(rng.MultivariateGaussianIso(mean, sigma));
+  }
+  return points;
+}
+
+TEST(OneClassSvmTest, DualConstraintsHold) {
+  std::vector<Point> window = GaussianCloud({0.0, 0.0}, 1.0, 30, 1);
+  OneClassSvmOptions options;
+  options.nu = 0.5;
+  OneClassSvmModel model = TrainOneClassSvm(window, options).ValueOrDie();
+  const double box = 1.0 / (options.nu * 30.0);
+  double total = 0.0;
+  for (double a : model.alpha) {
+    EXPECT_GE(a, -1e-12);
+    EXPECT_LE(a, box + 1e-12);
+    total += a;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(OneClassSvmTest, InliersScoreHigherThanOutliers) {
+  std::vector<Point> window = GaussianCloud({0.0, 0.0}, 1.0, 40, 2);
+  OneClassSvmOptions options;
+  options.nu = 0.2;
+  OneClassSvmModel model = TrainOneClassSvm(window, options).ValueOrDie();
+  const double inside = model.Decision({0.0, 0.0});
+  const double outside = model.Decision({15.0, 15.0});
+  EXPECT_GT(inside, outside);
+  EXPECT_LT(outside, 0.0);
+}
+
+TEST(OneClassSvmTest, MedianHeuristicBandwidth) {
+  std::vector<Point> window = GaussianCloud({0.0}, 2.0, 25, 3);
+  OneClassSvmOptions options;
+  options.rbf_sigma = -1.0;
+  OneClassSvmModel model = TrainOneClassSvm(window, options).ValueOrDie();
+  EXPECT_GT(model.sigma, 0.1);
+  EXPECT_LT(model.sigma, 20.0);
+}
+
+TEST(OneClassSvmTest, RejectsBadInputs) {
+  EXPECT_FALSE(TrainOneClassSvm({}, OneClassSvmOptions{}).ok());
+  OneClassSvmOptions bad_nu;
+  bad_nu.nu = 0.0;
+  EXPECT_FALSE(TrainOneClassSvm(GaussianCloud({0.0}, 1.0, 5, 4), bad_nu).ok());
+}
+
+TEST(KcdTest, SameDistributionLowDissimilarity) {
+  std::vector<Point> a = GaussianCloud({0.0, 0.0}, 1.0, 30, 5);
+  std::vector<Point> b = GaussianCloud({0.0, 0.0}, 1.0, 30, 6);
+  OneClassSvmOptions svm;
+  OneClassSvmModel ma = TrainOneClassSvm(a, svm).ValueOrDie();
+  OneClassSvmModel mb = TrainOneClassSvm(b, svm).ValueOrDie();
+  const double d_same = KcdDissimilarity(ma, mb).ValueOrDie();
+
+  std::vector<Point> c = GaussianCloud({20.0, 20.0}, 1.0, 30, 7);
+  OneClassSvmModel mc = TrainOneClassSvm(c, svm).ValueOrDie();
+  const double d_diff = KcdDissimilarity(ma, mc).ValueOrDie();
+
+  EXPECT_GE(d_same, 0.0);
+  EXPECT_LE(d_same, 1.0 + 1e-9);
+  EXPECT_GT(d_diff, d_same + 0.2);
+}
+
+TEST(KcdTest, SelfDissimilarityIsZero) {
+  std::vector<Point> a = GaussianCloud({1.0}, 1.0, 20, 8);
+  OneClassSvmModel m = TrainOneClassSvm(a, OneClassSvmOptions{}).ValueOrDie();
+  EXPECT_NEAR(KcdDissimilarity(m, m).ValueOrDie(), 0.0, 1e-9);
+}
+
+TEST(KcdTest, SeriesScorePeaksAtChange) {
+  Rng rng(9);
+  std::vector<Point> series;
+  for (int t = 0; t < 120; ++t) {
+    series.push_back(t < 60 ? rng.MultivariateGaussianIso({0.0}, 1.0)
+                            : rng.MultivariateGaussianIso({8.0}, 1.0));
+  }
+  KcdOptions options;
+  options.window = 20;
+  std::vector<double> scores = RunKcd(series, options).ValueOrDie();
+  ASSERT_EQ(scores.size(), 120u);
+  // The maximum score lands within a window length of the change at t = 60.
+  const std::size_t argmax = static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  EXPECT_GE(argmax, 45u);
+  EXPECT_LE(argmax, 75u);
+}
+
+TEST(KcdTest, ShortSeriesYieldsZeros) {
+  std::vector<Point> series = GaussianCloud({0.0}, 1.0, 10, 10);
+  KcdOptions options;
+  options.window = 20;
+  std::vector<double> scores = RunKcd(series, options).ValueOrDie();
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(MeanReductionTest, ReducesToMeans) {
+  BagSequence bags = {{{1.0, 2.0}, {3.0, 4.0}}, {{5.0, 6.0}}};
+  std::vector<Point> means = ReduceBags(bags).ValueOrDie();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(means[0][1], 3.0);
+  EXPECT_DOUBLE_EQ(means[1][0], 5.0);
+}
+
+TEST(MeanReductionTest, MeanAndStdDoublesDimension) {
+  BagSequence bags = {{{0.0}, {2.0}}};
+  std::vector<Point> out =
+      ReduceBags(bags, BagReduction::kMeanAndStd).ValueOrDie();
+  ASSERT_EQ(out[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(out[0][1], 1.0);  // Population std of {0, 2}.
+}
+
+TEST(MeanReductionTest, CountReduction) {
+  BagSequence bags = {{{1.0}, {2.0}, {3.0}}, {{4.0}}};
+  std::vector<Point> out = ReduceBags(bags, BagReduction::kCount).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1][0], 1.0);
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,135 @@
+#include "bagcpd/baselines/sdar.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/baselines/changefinder.h"
+#include "bagcpd/common/rng.h"
+#include "bagcpd/common/stats.h"
+
+namespace bagcpd {
+namespace {
+
+TEST(SdarTest, LearnsConstantSeries) {
+  SdarOptions options;
+  options.order = 2;
+  options.discount = 0.1;
+  SdarModel model(options);
+  Rng rng(1);
+  double late_loss = 0.0;
+  for (int t = 0; t < 300; ++t) {
+    const double loss = model.Update(5.0 + rng.Gaussian(0.0, 0.01));
+    if (t >= 250) late_loss += loss;
+  }
+  // Mean settles near the series level and losses are small.
+  EXPECT_NEAR(model.mean(), 5.0, 0.2);
+  EXPECT_LT(late_loss / 50.0, 0.0);  // Well below the N(0,1) entropy ~1.42.
+}
+
+TEST(SdarTest, LogLossSpikesAtMeanShift) {
+  SdarOptions options;
+  options.order = 2;
+  options.discount = 0.05;
+  SdarModel model(options);
+  Rng rng(2);
+  double pre_loss = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    const double loss = model.Update(rng.Gaussian(0.0, 1.0));
+    if (t >= 150) pre_loss = std::max(pre_loss, loss);
+  }
+  // Large jump: the first post-shift losses should dwarf the running losses.
+  const double shift_loss = model.Update(12.0 + rng.Gaussian(0.0, 1.0));
+  EXPECT_GT(shift_loss, 2.0 * pre_loss);
+}
+
+TEST(SdarTest, WarmupReturnsZero) {
+  SdarOptions options;
+  options.order = 3;
+  SdarModel model(options);
+  EXPECT_DOUBLE_EQ(model.Update(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Update(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Update(3.0), 0.0);
+  // Fourth observation is scored.
+  EXPECT_NE(model.Update(4.0), 0.0);
+}
+
+TEST(SdarTest, TracksAr1Process) {
+  // x_t = 0.8 x_{t-1} + eps: the AR coefficient estimate should approach 0.8.
+  SdarOptions options;
+  options.order = 1;
+  options.discount = 0.02;
+  SdarModel model(options);
+  Rng rng(3);
+  double x = 0.0;
+  for (int t = 0; t < 3000; ++t) {
+    x = 0.8 * x + rng.Gaussian(0.0, 1.0);
+    model.Update(x);
+  }
+  ASSERT_EQ(model.coefficients().size(), 1u);
+  EXPECT_NEAR(model.coefficients()[0], 0.8, 0.15);
+}
+
+TEST(SdarTest, ResetClearsState) {
+  SdarOptions options;
+  SdarModel model(options);
+  for (int t = 0; t < 50; ++t) model.Update(9.0);
+  model.Reset();
+  EXPECT_DOUBLE_EQ(model.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(model.Update(1.0), 0.0);  // Warm-up again.
+}
+
+TEST(VectorSdarTest, SumsPerDimensionLosses) {
+  SdarOptions options;
+  options.order = 1;
+  VectorSdarModel model(2, options);
+  Rng rng(4);
+  double loss = 0.0;
+  for (int t = 0; t < 100; ++t) {
+    loss = model.Update({rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0)})
+               .ValueOrDie();
+  }
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_FALSE(model.Update({1.0}).ok());  // Dimension mismatch.
+}
+
+TEST(ChangeFinderTest, PeaksNearMeanShift) {
+  ChangeFinderOptions options;
+  options.sdar.order = 2;
+  options.sdar.discount = 0.05;
+  options.smoothing_window = 5;
+  ChangeFinder cf(1, options);
+  Rng rng(5);
+  std::vector<Point> series;
+  for (int t = 0; t < 200; ++t) {
+    series.push_back({t < 100 ? rng.Gaussian(0.0, 1.0)
+                              : rng.Gaussian(10.0, 1.0)});
+  }
+  std::vector<double> scores = cf.Run(series).ValueOrDie();
+  ASSERT_EQ(scores.size(), 200u);
+  // Peak score in [100, 115] exceeds the stationary background by a margin.
+  double peak_near_change = 0.0;
+  for (int t = 100; t < 115; ++t) {
+    peak_near_change = std::max(peak_near_change, scores[t]);
+  }
+  double background = 0.0;
+  for (int t = 50; t < 95; ++t) background = std::max(background, scores[t]);
+  EXPECT_GT(peak_near_change, background);
+}
+
+TEST(ChangeFinderTest, RunResetsBetweenCalls) {
+  ChangeFinderOptions options;
+  ChangeFinder cf(1, options);
+  std::vector<Point> series;
+  Rng rng(6);
+  for (int t = 0; t < 60; ++t) series.push_back({rng.Gaussian(0.0, 1.0)});
+  std::vector<double> first = cf.Run(series).ValueOrDie();
+  std::vector<double> second = cf.Run(series).ValueOrDie();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,159 @@
+#include "bagcpd/common/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromRowsAndIdentity) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(id.Trace(), 3.0);
+}
+
+TEST(MatrixTest, ArithmeticOps) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+  Matrix prod = a * b;
+  EXPECT_DOUBLE_EQ(prod(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(prod(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 50.0);
+  Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(MatrixTest, TransposeAndMatVec) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  std::vector<double> v = {1.0, 0.0, -1.0};
+  std::vector<double> out = a.MatVec(v);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(MatrixTest, CholeskyOfSpdMatrix) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  Result<Matrix> l = a.Cholesky();
+  ASSERT_TRUE(l.ok());
+  // Verify L L^T = A.
+  Matrix reconstructed = l.ValueOrDie() * l.ValueOrDie().Transpose();
+  EXPECT_LT(reconstructed.MaxAbsDiff(a), 1e-12);
+}
+
+TEST(MatrixTest, CholeskyFailsOnIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // Eigenvalues 3, -1.
+  EXPECT_FALSE(a.Cholesky().ok());
+  Matrix rect(2, 3);
+  EXPECT_FALSE(rect.Cholesky().ok());
+}
+
+TEST(MatrixTest, SolveSpd) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  Result<std::vector<double>> x = a.SolveSpd({10.0, 8.0});
+  ASSERT_TRUE(x.ok());
+  std::vector<double> ax = a.MatVec(x.ValueOrDie());
+  EXPECT_NEAR(ax[0], 10.0, 1e-10);
+  EXPECT_NEAR(ax[1], 8.0, 1e-10);
+}
+
+TEST(MatrixTest, SolveLuGeneral) {
+  Matrix a = Matrix::FromRows({{0, 2, 1}, {3, -1, 2}, {1, 1, 1}});
+  Result<std::vector<double>> x = a.SolveLu({5.0, 4.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  std::vector<double> ax = a.MatVec(x.ValueOrDie());
+  EXPECT_NEAR(ax[0], 5.0, 1e-10);
+  EXPECT_NEAR(ax[1], 4.0, 1e-10);
+  EXPECT_NEAR(ax[2], 3.0, 1e-10);
+}
+
+TEST(MatrixTest, SolveLuSingularFails) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(a.SolveLu({1.0, 2.0}).ok());
+}
+
+TEST(MatrixTest, IsSymmetric) {
+  EXPECT_TRUE(Matrix::Identity(4).IsSymmetric());
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_FALSE(a.IsSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix a = Matrix::Diagonal({3.0, 1.0, 2.0});
+  Result<SymmetricEigen> eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig->values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig->values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  Result<SymmetricEigen> eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, EigenEquationHolds) {
+  Matrix a = Matrix::FromRows(
+      {{4, 1, 0.5}, {1, 3, -0.2}, {0.5, -0.2, 2}});
+  Result<SymmetricEigen> eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  const std::size_t n = 3;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = eig->vectors(i, k);
+    std::vector<double> av = a.MatVec(v);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], eig->values[k] * v[i], 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, VectorsAreOrthonormal) {
+  Matrix a = Matrix::FromRows(
+      {{5, 2, 1, 0}, {2, 4, 0.5, 0.1}, {1, 0.5, 3, 0.2}, {0, 0.1, 0.2, 2}});
+  Result<SymmetricEigen> eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  Matrix vtv = eig->vectors.Transpose() * eig->vectors;
+  EXPECT_LT(vtv.MaxAbsDiff(Matrix::Identity(4)), 1e-9);
+}
+
+TEST(JacobiEigenTest, TraceEqualsEigenvalueSum) {
+  Matrix a = Matrix::FromRows({{7, 1}, {1, -3}});
+  Result<SymmetricEigen> eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0] + eig->values[1], a.Trace(), 1e-10);
+}
+
+TEST(JacobiEigenTest, RejectsAsymmetric) {
+  Matrix a = Matrix::FromRows({{1, 2}, {0, 1}});
+  EXPECT_FALSE(JacobiEigenSymmetric(a).ok());
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,62 @@
+#include "bagcpd/common/point.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace {
+
+TEST(PointTest, Distances) {
+  Point a = {0.0, 0.0};
+  Point b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(PointTest, BagMean) {
+  Bag bag = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Point mean = BagMean(bag);
+  EXPECT_DOUBLE_EQ(mean[0], 3.0);
+  EXPECT_DOUBLE_EQ(mean[1], 4.0);
+}
+
+TEST(PointTest, ValidateBagAcceptsConsistent) {
+  Bag bag = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(ValidateBag(bag).ok());
+  EXPECT_TRUE(ValidateBag(bag, 2).ok());
+}
+
+TEST(PointTest, ValidateBagRejectsEmpty) {
+  EXPECT_FALSE(ValidateBag({}).ok());
+}
+
+TEST(PointTest, ValidateBagRejectsRagged) {
+  Bag bag = {{1.0, 2.0}, {3.0}};
+  EXPECT_FALSE(ValidateBag(bag).ok());
+}
+
+TEST(PointTest, ValidateBagRejectsWrongDim) {
+  Bag bag = {{1.0, 2.0}};
+  EXPECT_FALSE(ValidateBag(bag, 3).ok());
+}
+
+TEST(PointTest, ValidateBagRejectsZeroDim) {
+  Bag bag = {{}};
+  EXPECT_FALSE(ValidateBag(bag).ok());
+}
+
+TEST(PointTest, ValidateBagSequence) {
+  BagSequence good = {{{1.0}, {2.0}}, {{3.0}}};
+  EXPECT_TRUE(ValidateBagSequence(good).ok());
+  BagSequence mixed_dim = {{{1.0}}, {{1.0, 2.0}}};
+  EXPECT_FALSE(ValidateBagSequence(mixed_dim).ok());
+  BagSequence with_empty = {{{1.0}}, {}};
+  EXPECT_FALSE(ValidateBagSequence(with_empty).ok());
+  EXPECT_FALSE(ValidateBagSequence({}).ok());
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,166 @@
+#include "bagcpd/common/rng.h"
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/stats.h"
+
+namespace bagcpd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng base(7);
+  Rng f1 = base.Fork(1);
+  Rng f2 = base.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (f1.Uniform() == f2.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(4);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.UniformInt(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.Gaussian(2.0, 3.0);
+  EXPECT_NEAR(Mean(xs), 2.0, 0.1);
+  EXPECT_NEAR(StdDev(xs), 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanAndMinValue) {
+  Rng rng(6);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.Poisson(50.0);
+  EXPECT_NEAR(Mean(xs), 50.0, 0.5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(rng.Poisson(0.01, 3), 3);
+  }
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> g = rng.SymmetricDirichlet(5, 1.0);
+    EXPECT_EQ(g.size(), 5u);
+    const double total = std::accumulate(g.begin(), g.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    for (double v : g) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(RngTest, DirichletRespectsConcentration) {
+  // Heavily skewed alpha concentrates mass on the large component.
+  Rng rng(8);
+  double mass0 = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> g = rng.Dirichlet({50.0, 1.0, 1.0});
+    mass0 += g[0];
+  }
+  EXPECT_NEAR(mass0 / trials, 50.0 / 52.0, 0.02);
+}
+
+TEST(RngTest, MultinomialTotals) {
+  Rng rng(9);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<int> counts = rng.Multinomial(100, {0.2, 0.3, 0.5});
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 100);
+    for (int c : counts) EXPECT_GE(c, 0);
+  }
+}
+
+TEST(RngTest, MultinomialProportions) {
+  Rng rng(10);
+  std::vector<long> totals(3, 0);
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> counts = rng.Multinomial(100, {0.2, 0.3, 0.5});
+    for (int i = 0; i < 3; ++i) totals[i] += counts[i];
+  }
+  EXPECT_NEAR(totals[0] / (100.0 * trials), 0.2, 0.02);
+  EXPECT_NEAR(totals[2] / (100.0 * trials), 0.5, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(11);
+  std::vector<int> counts(3, 0);
+  for (int t = 0; t < 6000; ++t) {
+    counts[rng.Categorical({1.0, 2.0, 3.0})]++;
+  }
+  EXPECT_NEAR(counts[0] / 6000.0, 1.0 / 6.0, 0.03);
+  EXPECT_NEAR(counts[2] / 6000.0, 0.5, 0.03);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(12);
+  std::vector<std::size_t> p = rng.Permutation(20);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 19u);
+}
+
+TEST(RngTest, MultivariateGaussianIsoShape) {
+  Rng rng(13);
+  Point x = rng.MultivariateGaussianIso({1.0, -1.0, 0.0}, 0.5);
+  EXPECT_EQ(x.size(), 3u);
+}
+
+TEST(RngTest, MultivariateGaussianFullCovariance) {
+  Rng rng(14);
+  Matrix cov = Matrix::FromRows({{2.0, 0.8}, {0.8, 1.0}});
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    Point p = rng.MultivariateGaussian({0.0, 0.0}, cov);
+    xs.push_back(p[0]);
+    ys.push_back(p[1]);
+  }
+  EXPECT_NEAR(Variance(xs), 2.0, 0.1);
+  EXPECT_NEAR(Variance(ys), 1.0, 0.05);
+  EXPECT_NEAR(Covariance(xs, ys), 0.8, 0.05);
+}
+
+}  // namespace
+}  // namespace bagcpd

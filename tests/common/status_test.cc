@@ -1,0 +1,104 @@
+#include "bagcpd/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryMethodsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("ni").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("int").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("io").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Invalid("bad").message(), "bad");
+  EXPECT_FALSE(Status::Invalid("bad").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::Invalid("no good").ToString(), "Invalid: no good");
+  EXPECT_EQ(Status::IoError("disk").ToString(), "IOError: disk");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Invalid("x"), Status::Invalid("x"));
+  EXPECT_NE(Status::Invalid("x"), Status::Invalid("y"));
+  EXPECT_NE(Status::Invalid("x"), Status::Internal("x"));
+  EXPECT_NE(Status::Invalid("x"), Status::OK());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    BAGCPD_RETURN_NOT_OK(Status::Invalid("inner"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().message(), "inner");
+
+  auto passes = []() -> Status {
+    BAGCPD_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached end");
+  };
+  EXPECT_EQ(passes().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Invalid("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "nope");
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveValueUnsafeTransfersOwnership) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner_fail = []() -> Result<int> { return Status::Invalid("deep"); };
+  auto outer = [&]() -> Result<int> {
+    BAGCPD_ASSIGN_OR_RETURN(int v, inner_fail());
+    return v + 1;
+  };
+  EXPECT_FALSE(outer().ok());
+  EXPECT_EQ(outer().status().message(), "deep");
+
+  auto inner_ok = []() -> Result<int> { return 10; };
+  auto outer_ok = [&]() -> Result<int> {
+    BAGCPD_ASSIGN_OR_RETURN(int v, inner_ok());
+    return v + 1;
+  };
+  EXPECT_EQ(outer_ok().ValueOrDie(), 11);
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace bagcpd

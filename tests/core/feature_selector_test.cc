@@ -1,0 +1,97 @@
+#include "bagcpd/core/feature_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/rng.h"
+
+namespace bagcpd {
+namespace {
+
+// Two segments that differ only in dimension 0; dimension 1 is pure noise.
+BagSequence MakeLabeledData(std::vector<int>* labels, std::uint64_t seed) {
+  Rng rng(seed);
+  BagSequence bags;
+  labels->clear();
+  for (int t = 0; t < 20; ++t) {
+    const bool second = t >= 10;
+    Bag bag;
+    for (int i = 0; i < 40; ++i) {
+      bag.push_back({rng.Gaussian(second ? 5.0 : 0.0, 1.0),
+                     rng.Gaussian(0.0, 1.0)});
+    }
+    bags.push_back(std::move(bag));
+    labels->push_back(second ? 1 : 0);
+  }
+  return bags;
+}
+
+TEST(FeatureSelectorTest, UpweightsDiscriminativeDimension) {
+  std::vector<int> labels;
+  BagSequence bags = MakeLabeledData(&labels, 1);
+  Result<std::vector<double>> scale = LearnFeatureScaling(bags, labels);
+  ASSERT_TRUE(scale.ok());
+  ASSERT_EQ(scale->size(), 2u);
+  EXPECT_GT((*scale)[0], (*scale)[1]);
+  EXPECT_GT((*scale)[0], 1.0);
+}
+
+TEST(FeatureSelectorTest, PruningZeroesIrrelevantDims) {
+  std::vector<int> labels;
+  BagSequence bags = MakeLabeledData(&labels, 2);
+  FeatureSelectorOptions options;
+  options.prune_below = 0.5;  // Dim 1's ratio is far below half of dim 0's.
+  Result<std::vector<double>> scale = LearnFeatureScaling(bags, labels, options);
+  ASSERT_TRUE(scale.ok());
+  EXPECT_NEAR((*scale)[1], options.pruned_scale, 1e-12);
+}
+
+TEST(FeatureSelectorTest, ApplyScalesPoints) {
+  Bag bag = {{2.0, 4.0}};
+  Result<Bag> scaled = ApplyFeatureScaling(bag, {0.5, 2.0});
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_DOUBLE_EQ((*scaled)[0][0], 1.0);
+  EXPECT_DOUBLE_EQ((*scaled)[0][1], 8.0);
+}
+
+TEST(FeatureSelectorTest, ApplyToSequence) {
+  BagSequence bags = {{{1.0}}, {{2.0}}};
+  Result<BagSequence> scaled = ApplyFeatureScaling(bags, {3.0});
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_DOUBLE_EQ((*scaled)[1][0][0], 6.0);
+}
+
+TEST(FeatureSelectorTest, RejectsMismatchedInputs) {
+  std::vector<int> labels = {0};
+  BagSequence bags = {{{1.0}}, {{2.0}}};
+  EXPECT_FALSE(LearnFeatureScaling(bags, labels).ok());
+  EXPECT_FALSE(ApplyFeatureScaling(Bag{{1.0, 2.0}}, {1.0}).ok());
+}
+
+TEST(FeatureSelectorTest, RejectsSingleSegment) {
+  BagSequence bags = {{{1.0}}, {{2.0}}};
+  std::vector<int> labels = {0, 0};
+  EXPECT_FALSE(LearnFeatureScaling(bags, labels).ok());
+}
+
+TEST(FeatureSelectorTest, IdentityWhenNothingSeparates) {
+  // Both segments identical distribution: ratios ~ 0, expect near-uniform
+  // scaling (no dimension blown up).
+  Rng rng(3);
+  BagSequence bags;
+  std::vector<int> labels;
+  for (int t = 0; t < 10; ++t) {
+    Bag bag;
+    for (int i = 0; i < 30; ++i) {
+      bag.push_back({rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0)});
+    }
+    bags.push_back(std::move(bag));
+    labels.push_back(t >= 5 ? 1 : 0);
+  }
+  Result<std::vector<double>> scale = LearnFeatureScaling(bags, labels);
+  ASSERT_TRUE(scale.ok());
+  // No dimension should dominate by an order of magnitude.
+  EXPECT_LT((*scale)[0] / (*scale)[1] + (*scale)[1] / (*scale)[0], 20.0);
+}
+
+}  // namespace
+}  // namespace bagcpd

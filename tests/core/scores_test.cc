@@ -1,0 +1,145 @@
+#include "bagcpd/core/scores.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace {
+
+// Builds a context where every ref-ref log distance is `rr`, every test-test
+// log distance is `tt`, and every ref-test log distance is `rt`.
+ScoreContext UniformContext(std::size_t tau, std::size_t tau_prime, double rr,
+                            double tt, double rt) {
+  ScoreContext ctx;
+  ctx.log_ref_ref = Matrix(tau, tau, rr);
+  ctx.log_test_test = Matrix(tau_prime, tau_prime, tt);
+  ctx.log_ref_test = Matrix(tau, tau_prime, rt);
+  for (std::size_t i = 0; i < tau; ++i) ctx.log_ref_ref(i, i) = 0.0;
+  for (std::size_t i = 0; i < tau_prime; ++i) ctx.log_test_test(i, i) = 0.0;
+  return ctx;
+}
+
+std::vector<double> UniformWeights(std::size_t n) {
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+TEST(ScoresTest, KlZeroWhenAllDistancesEqual) {
+  // If within- and cross-distances all share one log value, Eq. 17 cancels.
+  ScoreContext ctx = UniformContext(4, 4, 1.3, 1.3, 1.3);
+  Result<double> kl =
+      ScoreSymmetrizedKl(ctx, UniformWeights(4), UniformWeights(4));
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(kl.ValueOrDie(), 0.0, 1e-12);
+}
+
+TEST(ScoresTest, KlPositiveWhenCrossExceedsWithin) {
+  // Cross-window distances larger than within-window: clear change signal.
+  ScoreContext ctx = UniformContext(4, 4, 0.2, 0.2, 2.0);
+  Result<double> kl =
+      ScoreSymmetrizedKl(ctx, UniformWeights(4), UniformWeights(4));
+  ASSERT_TRUE(kl.ok());
+  // cross = 2.0; auto terms = 0.2 => 2.0 - 0.2 = 1.8.
+  EXPECT_NEAR(kl.ValueOrDie(), 1.8, 1e-12);
+}
+
+TEST(ScoresTest, KlHandValueAsymmetricWindows) {
+  ScoreContext ctx = UniformContext(3, 2, 0.5, 0.3, 1.1);
+  Result<double> kl =
+      ScoreSymmetrizedKl(ctx, UniformWeights(3), UniformWeights(2));
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(kl.ValueOrDie(), 1.1 - 0.5 * (0.5 + 0.3), 1e-12);
+}
+
+TEST(ScoresTest, LrHandValue) {
+  // tau = 2, tau' = 3. S_t = test element 0.
+  ScoreContext ctx;
+  ctx.log_ref_ref = Matrix(2, 2, 0.0);
+  ctx.log_test_test = Matrix(3, 3, 0.0);
+  ctx.log_ref_test = Matrix(2, 3, 0.0);
+  // Distances from S_t to the reference bags: log values 1.0 and 2.0.
+  ctx.log_ref_test(0, 0) = 1.0;
+  ctx.log_ref_test(1, 0) = 2.0;
+  // Distances from S_t to the other test bags: log values 0.4 and 0.6.
+  ctx.log_test_test(1, 0) = 0.4;
+  ctx.log_test_test(2, 0) = 0.6;
+  const std::vector<double> gref = UniformWeights(2);
+  const std::vector<double> gtest = UniformWeights(3);
+  Result<double> lr = ScoreLogLikelihoodRatio(ctx, gref, gtest);
+  ASSERT_TRUE(lr.ok());
+  // I(S_t; S_ref) = (1 + 2)/2 = 1.5.
+  // I(S_t; S_test\S_t) = ((1/3)(0.4) + (1/3)(0.6)) / (1 - 1/3) = 0.5.
+  EXPECT_NEAR(lr.ValueOrDie(), 1.0, 1e-12);
+}
+
+TEST(ScoresTest, LrZeroWhenRefEqualsTestDistances) {
+  ScoreContext ctx = UniformContext(3, 3, 0.7, 0.7, 0.7);
+  Result<double> lr =
+      ScoreLogLikelihoodRatio(ctx, UniformWeights(3), UniformWeights(3));
+  ASSERT_TRUE(lr.ok());
+  EXPECT_NEAR(lr.ValueOrDie(), 0.0, 1e-12);
+}
+
+TEST(ScoresTest, LrRequiresTauPrimeAtLeastTwo) {
+  ScoreContext ctx = UniformContext(3, 1, 0.5, 0.5, 0.5);
+  EXPECT_FALSE(
+      ScoreLogLikelihoodRatio(ctx, UniformWeights(3), UniformWeights(1)).ok());
+}
+
+TEST(ScoresTest, KlRequiresBothWindowsAtLeastTwo) {
+  ScoreContext ctx = UniformContext(1, 3, 0.5, 0.5, 0.5);
+  EXPECT_FALSE(
+      ScoreSymmetrizedKl(ctx, UniformWeights(1), UniformWeights(3)).ok());
+}
+
+TEST(ScoresTest, RejectsWeightSizeMismatch) {
+  ScoreContext ctx = UniformContext(3, 3, 0.5, 0.5, 0.5);
+  EXPECT_FALSE(
+      ScoreSymmetrizedKl(ctx, UniformWeights(2), UniformWeights(3)).ok());
+  EXPECT_FALSE(
+      ScoreLogLikelihoodRatio(ctx, UniformWeights(3), UniformWeights(4)).ok());
+}
+
+TEST(ScoresTest, RejectsShapeMismatch) {
+  ScoreContext ctx = UniformContext(3, 3, 0.5, 0.5, 0.5);
+  ctx.log_ref_test = Matrix(2, 3, 0.5);
+  EXPECT_FALSE(ctx.Validate().ok());
+}
+
+TEST(ScoresTest, GammaConcentrationShiftsLr) {
+  // Putting all test weight on S_t itself must fail (division by zero in the
+  // renormalization of S_test \ S_t).
+  ScoreContext ctx = UniformContext(2, 2, 0.5, 0.5, 0.5);
+  EXPECT_FALSE(ScoreLogLikelihoodRatio(ctx, UniformWeights(2), {1.0, 0.0}).ok());
+  // Weight fully on the other test element works.
+  EXPECT_TRUE(ScoreLogLikelihoodRatio(ctx, UniformWeights(2), {0.0, 1.0}).ok());
+}
+
+TEST(ScoresTest, ComputeScoreDispatch) {
+  ScoreContext ctx = UniformContext(3, 3, 0.2, 0.2, 1.0);
+  const double kl = ComputeScore(ScoreType::kSymmetrizedKl, ctx,
+                                 UniformWeights(3), UniformWeights(3))
+                        .ValueOrDie();
+  const double lr = ComputeScore(ScoreType::kLogLikelihoodRatio, ctx,
+                                 UniformWeights(3), UniformWeights(3))
+                        .ValueOrDie();
+  EXPECT_NEAR(kl, 0.8, 1e-12);
+  EXPECT_NEAR(lr, 1.0 - 0.2, 1e-12);
+}
+
+TEST(ScoresTest, InfoScaleDoublesScores) {
+  ScoreContext ctx = UniformContext(3, 3, 0.2, 0.2, 1.0);
+  ctx.info.d = 2.0;
+  const double kl = ComputeScore(ScoreType::kSymmetrizedKl, ctx,
+                                 UniformWeights(3), UniformWeights(3))
+                        .ValueOrDie();
+  EXPECT_NEAR(kl, 1.6, 1e-12);
+}
+
+TEST(ScoresTest, ScoreTypeNames) {
+  EXPECT_STREQ(ScoreTypeName(ScoreType::kLogLikelihoodRatio), "lr");
+  EXPECT_STREQ(ScoreTypeName(ScoreType::kSymmetrizedKl), "kl");
+}
+
+}  // namespace
+}  // namespace bagcpd

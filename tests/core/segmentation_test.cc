@@ -1,0 +1,116 @@
+#include "bagcpd/core/segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/data/bag_generators.h"
+
+namespace bagcpd {
+namespace {
+
+// Three clearly separated regimes over 36 bags.
+LabeledBagSequence ThreeRegimes(std::uint64_t seed) {
+  MixtureStreamOptions options;
+  options.bag_size_rate = 60.0;
+  options.seed = seed;
+  return GenerateMixtureStream(
+             "three-regimes", 36,
+             [](std::size_t t) {
+               if (t < 12) return GaussianMixture::Isotropic({0.0, 0.0}, 1.0);
+               if (t < 24) return GaussianMixture::Isotropic({6.0, 0.0}, 1.0);
+               return GaussianMixture::Isotropic({0.0, 6.0}, 1.0);
+             },
+             [](std::size_t t) { return static_cast<int>(t / 12); }, options)
+      .ValueOrDie();
+}
+
+SegmentationOptions FastOptions() {
+  SegmentationOptions options;
+  options.detector.tau = 4;
+  options.detector.tau_prime = 4;
+  options.detector.bootstrap.replicates = 150;
+  options.detector.signature.k = 6;
+  options.detector.seed = 5;
+  options.min_segment_length = 3;
+  return options;
+}
+
+TEST(SegmentationTest, RecoversThreeSegments) {
+  LabeledBagSequence stream = ThreeRegimes(1);
+  SegmentationResult result =
+      SegmentBagSequence(stream.bags, FastOptions()).ValueOrDie();
+  ASSERT_EQ(result.segments.size(), 3u);
+  EXPECT_EQ(result.boundaries.size(), 2u);
+  // Boundaries land within 2 bags of the planted changes at 12 and 24.
+  EXPECT_NEAR(static_cast<double>(result.boundaries[0]), 12.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(result.boundaries[1]), 24.0, 2.0);
+}
+
+TEST(SegmentationTest, SegmentsTileTheSequence) {
+  LabeledBagSequence stream = ThreeRegimes(2);
+  SegmentationResult result =
+      SegmentBagSequence(stream.bags, FastOptions()).ValueOrDie();
+  ASSERT_FALSE(result.segments.empty());
+  EXPECT_EQ(result.segments.front().begin, 0u);
+  EXPECT_EQ(result.segments.back().end, stream.bags.size());
+  for (std::size_t i = 1; i < result.segments.size(); ++i) {
+    EXPECT_EQ(result.segments[i - 1].end, result.segments[i].begin);
+    EXPECT_GT(result.segments[i].length(), 0u);
+  }
+}
+
+TEST(SegmentationTest, StationarySequenceIsOneSegment) {
+  MixtureStreamOptions stream_options;
+  stream_options.bag_size_rate = 50.0;
+  stream_options.seed = 3;
+  LabeledBagSequence stream =
+      GenerateMixtureStream(
+          "flat", 24,
+          [](std::size_t) {
+            return GaussianMixture::Isotropic({0.0, 0.0}, 1.0);
+          },
+          [](std::size_t) { return 0; }, stream_options)
+          .ValueOrDie();
+  SegmentationResult result =
+      SegmentBagSequence(stream.bags, FastOptions()).ValueOrDie();
+  EXPECT_EQ(result.segments.size(), 1u);
+  EXPECT_TRUE(result.boundaries.empty());
+}
+
+TEST(SegmentationTest, MinSegmentLengthMergesAlarmClusters) {
+  LabeledBagSequence stream = ThreeRegimes(4);
+  SegmentationOptions options = FastOptions();
+  options.min_segment_length = 1;
+  SegmentationResult loose =
+      SegmentBagSequence(stream.bags, options).ValueOrDie();
+  options.min_segment_length = 8;
+  SegmentationResult tight =
+      SegmentBagSequence(stream.bags, options).ValueOrDie();
+  EXPECT_GE(loose.segments.size(), tight.segments.size());
+  for (std::size_t i = 1; i < tight.boundaries.size(); ++i) {
+    EXPECT_GE(tight.boundaries[i] - tight.boundaries[i - 1], 8u);
+  }
+}
+
+TEST(SegmentationTest, RejectsBadInputs) {
+  LabeledBagSequence stream = ThreeRegimes(5);
+  SegmentationOptions options = FastOptions();
+  options.detector.bootstrap.replicates = 0;
+  EXPECT_FALSE(SegmentBagSequence(stream.bags, options).ok());
+  options = FastOptions();
+  options.min_segment_length = 0;
+  EXPECT_FALSE(SegmentBagSequence(stream.bags, options).ok());
+  options = FastOptions();
+  BagSequence too_short(stream.bags.begin(), stream.bags.begin() + 5);
+  EXPECT_FALSE(SegmentBagSequence(too_short, options).ok());
+}
+
+TEST(SegmentationTest, StepsExposedForInspection) {
+  LabeledBagSequence stream = ThreeRegimes(6);
+  SegmentationResult result =
+      SegmentBagSequence(stream.bags, FastOptions()).ValueOrDie();
+  EXPECT_EQ(result.steps.size(),
+            stream.bags.size() - (4 + 4) + 1);
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,216 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/stats.h"
+#include "bagcpd/data/ci_datasets.h"
+#include "bagcpd/data/fig1.h"
+#include "bagcpd/data/gmm.h"
+
+namespace bagcpd {
+namespace {
+
+TEST(GmmTest, ValidateCatchesErrors) {
+  GaussianMixture empty;
+  EXPECT_FALSE(empty.Validate().ok());
+  GmmComponent c;
+  c.mean = {0.0};
+  c.weight = -1.0;
+  EXPECT_FALSE(GaussianMixture({c}).Validate().ok());
+  c.weight = 1.0;
+  c.sigma = 0.0;
+  EXPECT_FALSE(GaussianMixture({c}).Validate().ok());
+}
+
+TEST(GmmTest, IsotropicSamplesHaveRightMoments) {
+  GaussianMixture mix = GaussianMixture::Isotropic({2.0, -1.0}, 0.5);
+  Rng rng(1);
+  Bag bag = mix.SampleBag(20000, &rng);
+  std::vector<double> xs, ys;
+  for (const Point& p : bag) {
+    xs.push_back(p[0]);
+    ys.push_back(p[1]);
+  }
+  EXPECT_NEAR(Mean(xs), 2.0, 0.02);
+  EXPECT_NEAR(Mean(ys), -1.0, 0.02);
+  EXPECT_NEAR(StdDev(xs), 0.5, 0.02);
+}
+
+TEST(GmmTest, MixtureUsesAllComponents) {
+  GaussianMixture mix = GaussianMixture::EqualWeight({{-10.0}, {10.0}}, 0.1);
+  Rng rng(2);
+  Bag bag = mix.SampleBag(1000, &rng);
+  int negatives = 0;
+  for (const Point& p : bag) {
+    if (p[0] < 0.0) ++negatives;
+  }
+  EXPECT_GT(negatives, 350);
+  EXPECT_LT(negatives, 650);
+}
+
+TEST(GmmTest, FullCovarianceComponent) {
+  GmmComponent c;
+  c.mean = {0.0, 0.0};
+  c.covariance = Matrix::FromRows({{2.0, 0.5}, {0.5, 1.0}});
+  GaussianMixture mix({c});
+  ASSERT_TRUE(mix.Validate().ok());
+  Rng rng(3);
+  Bag bag = mix.SampleBag(20000, &rng);
+  std::vector<double> xs, ys;
+  for (const Point& p : bag) {
+    xs.push_back(p[0]);
+    ys.push_back(p[1]);
+  }
+  EXPECT_NEAR(Variance(xs), 2.0, 0.1);
+  EXPECT_NEAR(Covariance(xs, ys), 0.5, 0.05);
+}
+
+TEST(Fig1Test, StructureMatchesPaper) {
+  Fig1Options options;
+  options.seed = 4;
+  options.phase_length = 50;
+  options.bag_size_rate = 100.0;  // Smaller bags for test speed.
+  LabeledBagSequence stream = MakeFig1Stream(options).ValueOrDie();
+  EXPECT_EQ(stream.bags.size(), 150u);
+  EXPECT_EQ(stream.change_points, (std::vector<std::size_t>{50, 100}));
+  EXPECT_EQ(stream.segment_labels[0], 0);
+  EXPECT_EQ(stream.segment_labels[75], 1);
+  EXPECT_EQ(stream.segment_labels[149], 2);
+}
+
+TEST(Fig1Test, SampleMeanAndVarianceCarryNoSignalButShapeDoes) {
+  Fig1Options options;
+  options.seed = 5;
+  options.bag_size_rate = 300.0;
+  LabeledBagSequence stream = MakeFig1Stream(options).ValueOrDie();
+  // Phase means all ~0 (that is the point of the example)...
+  auto phase_mean_of_means = [&](std::size_t lo, std::size_t hi) {
+    double acc = 0.0;
+    for (std::size_t t = lo; t < hi; ++t) acc += BagMean(stream.bags[t])[0];
+    return acc / static_cast<double>(hi - lo);
+  };
+  EXPECT_NEAR(phase_mean_of_means(0, 50), 0.0, 0.3);
+  EXPECT_NEAR(phase_mean_of_means(50, 100), 0.0, 0.3);
+  EXPECT_NEAR(phase_mean_of_means(100, 150), 0.0, 0.3);
+  // ...and the within-bag spread is variance-matched across phases, so even
+  // second-moment monitoring sees nothing.
+  auto phase_mean_std = [&](std::size_t lo, std::size_t hi) {
+    double acc = 0.0;
+    for (std::size_t t = lo; t < hi; ++t) {
+      std::vector<double> xs;
+      for (const Point& p : stream.bags[t]) xs.push_back(p[0]);
+      acc += StdDev(xs);
+    }
+    return acc / static_cast<double>(hi - lo);
+  };
+  const double s1 = phase_mean_std(0, 50);
+  const double s2 = phase_mean_std(50, 100);
+  const double s3 = phase_mean_std(100, 150);
+  EXPECT_NEAR(s1, 3.0, 0.15);
+  EXPECT_NEAR(s2, 3.0, 0.15);
+  EXPECT_NEAR(s3, 3.0, 0.15);
+  // What DOES change is the modality: the central region empties out in the
+  // bimodal phase and partially refills in the trimodal phase.
+  auto central_fraction = [&](std::size_t lo, std::size_t hi) {
+    double inside = 0.0, total = 0.0;
+    for (std::size_t t = lo; t < hi; ++t) {
+      for (const Point& p : stream.bags[t]) {
+        if (std::abs(p[0]) < 1.0) inside += 1.0;
+        total += 1.0;
+      }
+    }
+    return inside / total;
+  };
+  const double c1 = central_fraction(0, 50);
+  const double c2 = central_fraction(50, 100);
+  const double c3 = central_fraction(100, 150);
+  EXPECT_GT(c1, 3.0 * c2);  // Bimodal phase empties the center.
+  EXPECT_GT(c3, 3.0 * c2);  // Trimodal phase refills it.
+}
+
+TEST(CiDatasetsTest, AllFiveGenerate) {
+  CiDatasetOptions options;
+  options.seed = 6;
+  auto all = MakeAllCiDatasets(options).ValueOrDie();
+  ASSERT_EQ(all.size(), 5u);
+  for (const LabeledBagSequence& ds : all) {
+    EXPECT_EQ(ds.bags.size(), 20u);
+    for (const Bag& bag : ds.bags) {
+      EXPECT_GE(bag.size(), 3u);
+      EXPECT_EQ(bag.front().size(), 2u);
+    }
+  }
+}
+
+TEST(CiDatasetsTest, ChangePointsOnlyWhereExpected) {
+  CiDatasetOptions options;
+  options.seed = 7;
+  EXPECT_TRUE(MakeCiDataset(1, options).ValueOrDie().change_points.empty());
+  EXPECT_TRUE(MakeCiDataset(2, options).ValueOrDie().change_points.empty());
+  EXPECT_TRUE(MakeCiDataset(3, options).ValueOrDie().change_points.empty());
+  EXPECT_EQ(MakeCiDataset(4, options).ValueOrDie().change_points,
+            (std::vector<std::size_t>{10}));
+  EXPECT_EQ(MakeCiDataset(5, options).ValueOrDie().change_points,
+            (std::vector<std::size_t>{10}));
+}
+
+TEST(CiDatasetsTest, Dataset4MeansJump) {
+  CiDatasetOptions options;
+  options.seed = 8;
+  options.bag_size_rate = 200.0;
+  LabeledBagSequence ds = MakeCiDataset(4, options).ValueOrDie();
+  EXPECT_NEAR(BagMean(ds.bags[0])[0], 3.0, 0.5);
+  EXPECT_NEAR(BagMean(ds.bags[15])[0], -3.0, 0.5);
+}
+
+TEST(CiDatasetsTest, Dataset1HasLargeSpread) {
+  CiDatasetOptions options;
+  options.seed = 9;
+  options.bag_size_rate = 200.0;
+  LabeledBagSequence ds = MakeCiDataset(1, options).ValueOrDie();
+  std::vector<double> xs;
+  for (const Point& p : ds.bags[0]) xs.push_back(p[0]);
+  EXPECT_GT(StdDev(xs), 10.0);
+}
+
+TEST(CiDatasetsTest, Dataset3MeanMovesGradually) {
+  CiDatasetOptions options;
+  options.seed = 10;
+  options.bag_size_rate = 300.0;
+  LabeledBagSequence ds = MakeCiDataset(3, options).ValueOrDie();
+  // Consecutive bag means are close; distant bags are farther apart.
+  const double step = EuclideanDistance(BagMean(ds.bags[0]), BagMean(ds.bags[1]));
+  const double far = EuclideanDistance(BagMean(ds.bags[0]), BagMean(ds.bags[5]));
+  EXPECT_LT(step, far);
+}
+
+TEST(CiDatasetsTest, RejectsBadIndex) {
+  CiDatasetOptions options;
+  EXPECT_FALSE(MakeCiDataset(0, options).ok());
+  EXPECT_FALSE(MakeCiDataset(6, options).ok());
+}
+
+TEST(CiDatasetsTest, DetectabilityFlags) {
+  EXPECT_FALSE(CiDatasetHasDetectableChange(1));
+  EXPECT_FALSE(CiDatasetHasDetectableChange(3));
+  EXPECT_TRUE(CiDatasetHasDetectableChange(4));
+  EXPECT_FALSE(CiDatasetHasDetectableChange(5));
+}
+
+TEST(CiDatasetsTest, BagSizesFollowPoisson) {
+  CiDatasetOptions options;
+  options.seed = 11;
+  LabeledBagSequence ds = MakeCiDataset(1, options).ValueOrDie();
+  std::set<std::size_t> sizes;
+  double total = 0.0;
+  for (const Bag& bag : ds.bags) {
+    sizes.insert(bag.size());
+    total += static_cast<double>(bag.size());
+  }
+  EXPECT_GT(sizes.size(), 3u);  // Sizes genuinely vary.
+  EXPECT_NEAR(total / 20.0, 50.0, 10.0);
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,118 @@
+#include "bagcpd/data/pamap_simulator.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/stats.h"
+
+namespace bagcpd {
+namespace {
+
+PamapSimulatorOptions FastOptions() {
+  PamapSimulatorOptions options;
+  options.seed = 1;
+  options.subject = 1;
+  options.sampling_hz = 30.0;  // Lighter than the real 100 Hz for test speed.
+  options.mean_bags_per_activity = 6.0;
+  return options;
+}
+
+TEST(PamapTest, ActivityTableMatchesPaperTable1) {
+  const auto& table = PamapActivityTable();
+  ASSERT_EQ(table.size(), 12u);
+  EXPECT_EQ(table[0].id, 1);
+  EXPECT_EQ(table[0].name, "lying");
+  EXPECT_EQ(table[6].id, 7);
+  EXPECT_EQ(table[6].name, "descending stairs");
+  EXPECT_EQ(table[11].id, 12);
+  EXPECT_EQ(table[11].name, "rope jumping");
+}
+
+TEST(PamapTest, ProtocolHasFourteenEntriesWithRepeatedStairs) {
+  const auto& order = PamapProtocolOrder();
+  ASSERT_EQ(order.size(), 14u);
+  int sixes = 0, sevens = 0;
+  for (int id : order) {
+    if (id == 6) ++sixes;
+    if (id == 7) ++sevens;
+  }
+  EXPECT_EQ(sixes, 2);
+  EXPECT_EQ(sevens, 2);
+}
+
+TEST(PamapTest, RecordingStructure) {
+  PamapRecording rec = SimulatePamapSubject(FastOptions()).ValueOrDie();
+  EXPECT_EQ(rec.stream.bags.size(), rec.activity_ids.size());
+  EXPECT_EQ(rec.stream.bags.size(), rec.stream.segment_labels.size());
+  // 14 protocol entries => 13 transitions.
+  EXPECT_EQ(rec.stream.change_points.size(), 13u);
+  // All bags are 4-dimensional.
+  for (const Bag& bag : rec.stream.bags) {
+    ASSERT_FALSE(bag.empty());
+    EXPECT_EQ(bag.front().size(), 4u);
+  }
+}
+
+TEST(PamapTest, BagSizesVary) {
+  PamapRecording rec = SimulatePamapSubject(FastOptions()).ValueOrDie();
+  std::set<std::size_t> sizes;
+  for (const Bag& bag : rec.stream.bags) sizes.insert(bag.size());
+  EXPECT_GT(sizes.size(), 5u);
+}
+
+TEST(PamapTest, HeartRateOrdersActivities) {
+  PamapSimulatorOptions options = FastOptions();
+  options.mean_bags_per_activity = 8.0;
+  PamapRecording rec = SimulatePamapSubject(options).ValueOrDie();
+  double lying_hr = 0.0, running_hr = 0.0;
+  int lying_n = 0, running_n = 0;
+  for (std::size_t t = 0; t < rec.stream.bags.size(); ++t) {
+    const double hr = BagMean(rec.stream.bags[t])[0];
+    if (rec.activity_ids[t] == 1) {
+      lying_hr += hr;
+      ++lying_n;
+    } else if (rec.activity_ids[t] == 11) {
+      running_hr += hr;
+      ++running_n;
+    }
+  }
+  ASSERT_GT(lying_n, 0);
+  ASSERT_GT(running_n, 0);
+  EXPECT_GT(running_hr / running_n, lying_hr / lying_n + 50.0);
+}
+
+TEST(PamapTest, SubjectsDiffer) {
+  PamapSimulatorOptions s1 = FastOptions();
+  PamapSimulatorOptions s2 = FastOptions();
+  s2.subject = 2;
+  PamapRecording r1 = SimulatePamapSubject(s1).ValueOrDie();
+  PamapRecording r2 = SimulatePamapSubject(s2).ValueOrDie();
+  // Subject idiosyncrasies (resting heart rate, vigor) make the very first
+  // bag's sensor means differ.
+  EXPECT_NE(BagMean(r1.stream.bags[0])[0], BagMean(r2.stream.bags[0])[0]);
+}
+
+TEST(PamapTest, ChangePointsAlignWithActivityBoundaries) {
+  PamapRecording rec = SimulatePamapSubject(FastOptions()).ValueOrDie();
+  for (std::size_t cp : rec.stream.change_points) {
+    ASSERT_GT(cp, 0u);
+    EXPECT_NE(rec.activity_ids[cp], rec.activity_ids[cp - 1]);
+  }
+}
+
+TEST(PamapTest, RejectsBadOptions) {
+  PamapSimulatorOptions bad = FastOptions();
+  bad.subject = 0;
+  EXPECT_FALSE(SimulatePamapSubject(bad).ok());
+  bad = FastOptions();
+  bad.sampling_hz = 0.0;
+  EXPECT_FALSE(SimulatePamapSubject(bad).ok());
+  bad = FastOptions();
+  bad.dropout = 1.0;
+  EXPECT_FALSE(SimulatePamapSubject(bad).ok());
+}
+
+}  // namespace
+}  // namespace bagcpd

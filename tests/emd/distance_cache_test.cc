@@ -1,0 +1,67 @@
+#include "bagcpd/emd/distance_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace {
+
+TEST(DistanceCacheTest, MemoizesSymmetricPairs) {
+  int calls = 0;
+  PairwiseDistanceCache cache(
+      [&](std::uint64_t i, std::uint64_t j) -> Result<double> {
+        ++calls;
+        return static_cast<double>(i * 100 + j);
+      });
+  EXPECT_DOUBLE_EQ(cache.Get(1, 2).ValueOrDie(), 102.0);
+  EXPECT_EQ(calls, 1);
+  // Same pair, either order: cached.
+  EXPECT_DOUBLE_EQ(cache.Get(2, 1).ValueOrDie(), 102.0);
+  EXPECT_DOUBLE_EQ(cache.Get(1, 2).ValueOrDie(), 102.0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DistanceCacheTest, DiagonalIsFreeZero) {
+  int calls = 0;
+  PairwiseDistanceCache cache(
+      [&](std::uint64_t, std::uint64_t) -> Result<double> {
+        ++calls;
+        return 1.0;
+      });
+  EXPECT_DOUBLE_EQ(cache.Get(7, 7).ValueOrDie(), 0.0);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(DistanceCacheTest, EvictBeforeDropsOldPairs) {
+  int calls = 0;
+  PairwiseDistanceCache cache(
+      [&](std::uint64_t, std::uint64_t) -> Result<double> {
+        ++calls;
+        return 1.0;
+      });
+  cache.Get(0, 5);
+  cache.Get(4, 5);
+  cache.Get(5, 6);
+  EXPECT_EQ(cache.size(), 3u);
+  cache.EvictBefore(5);
+  // Pairs touching 0 and 4 are gone; (5, 6) survives.
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Get(5, 6);
+  EXPECT_EQ(calls, 3);  // Still cached.
+  cache.Get(4, 5);
+  EXPECT_EQ(calls, 4);  // Recomputed after eviction.
+}
+
+TEST(DistanceCacheTest, PropagatesComputeErrors) {
+  PairwiseDistanceCache cache(
+      [&](std::uint64_t, std::uint64_t) -> Result<double> {
+        return Status::Invalid("boom");
+      });
+  EXPECT_FALSE(cache.Get(1, 2).ok());
+  // Errors are not cached.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,146 @@
+#include "bagcpd/emd/emd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace {
+
+Signature Sig(std::vector<Point> centers, std::vector<double> weights) {
+  Signature s;
+  s.centers = std::move(centers);
+  s.weights = std::move(weights);
+  return s;
+}
+
+TEST(EmdTest, IdenticalSignaturesHaveZeroDistance) {
+  Signature s = Sig({{0.0, 0.0}, {1.0, 1.0}}, {2.0, 3.0});
+  Result<double> d = ComputeEmd(s, s);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.ValueOrDie(), 0.0, 1e-12);
+}
+
+TEST(EmdTest, SingleClusterPairIsGroundDistance) {
+  Signature a = Sig({{0.0, 0.0}}, {5.0});
+  Signature b = Sig({{3.0, 4.0}}, {5.0});
+  EXPECT_NEAR(ComputeEmd(a, b).ValueOrDie(), 5.0, 1e-12);
+  // Total-weight scale of both signatures does not matter.
+  Signature b2 = Sig({{3.0, 4.0}}, {50.0});
+  EXPECT_NEAR(ComputeEmd(a, b2).ValueOrDie(), 5.0, 1e-12);
+}
+
+TEST(EmdTest, HandComputedTwoToOne) {
+  // Two supply clusters at x=0 (w=1) and x=2 (w=1); one demand at x=1 (w=2).
+  // All mass moves distance 1 => EMD = 1.
+  Signature a = Sig({{0.0}, {2.0}}, {1.0, 1.0});
+  Signature b = Sig({{1.0}}, {2.0});
+  EXPECT_NEAR(ComputeEmd(a, b).ValueOrDie(), 1.0, 1e-12);
+}
+
+TEST(EmdTest, HandComputedAsymmetricWeights) {
+  // Supplies: x=0 w=3, x=4 w=1. Demands: x=0 w=1, x=4 w=3.
+  // Move 2 units from 0 to 4 (distance 4); 2 units stay => cost 8, flow 4.
+  Signature a = Sig({{0.0}, {4.0}}, {3.0, 1.0});
+  Signature b = Sig({{0.0}, {4.0}}, {1.0, 3.0});
+  EXPECT_NEAR(ComputeEmd(a, b).ValueOrDie(), 8.0 / 4.0, 1e-12);
+}
+
+TEST(EmdTest, PartialMatchingUnequalTotals) {
+  // Supply 2 at x=0; demands 1 at x=1 and 1 at x=10. Only min(2, 2) = 2 total
+  // but make totals differ: supply 1 at x=0, demands 1 at x=1, 1 at x=10.
+  // Flow = min(1, 2) = 1, all to the near demand => EMD = 1.
+  Signature a = Sig({{0.0}}, {1.0});
+  Signature b = Sig({{1.0}, {10.0}}, {1.0, 1.0});
+  Result<EmdSolution> sol =
+      ComputeEmdDetailed(a, b, MakeGroundDistance(GroundDistance::kEuclidean));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->total_flow, 1.0, 1e-12);
+  EXPECT_NEAR(sol->emd, 1.0, 1e-12);
+  EXPECT_NEAR(sol->flow(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(sol->flow(0, 1), 0.0, 1e-12);
+}
+
+TEST(EmdTest, FlowMatrixRespectsMarginals) {
+  Signature a = Sig({{0.0}, {5.0}, {9.0}}, {2.0, 1.0, 1.5});
+  Signature b = Sig({{1.0}, {6.0}}, {2.5, 2.0});
+  Result<EmdSolution> sol =
+      ComputeEmdDetailed(a, b, MakeGroundDistance(GroundDistance::kEuclidean));
+  ASSERT_TRUE(sol.ok());
+  // Row sums <= supply weights; column sums <= demand weights (Eqs. 9-10).
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < b.size(); ++j) row += sol->flow(i, j);
+    EXPECT_LE(row, a.weights[i] + 1e-9);
+  }
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    double col = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) col += sol->flow(i, j);
+    EXPECT_LE(col, b.weights[j] + 1e-9);
+  }
+  // Eq. 11: total flow = min of total weights.
+  EXPECT_NEAR(sol->total_flow, 4.5, 1e-9);
+}
+
+TEST(EmdTest, SymmetricInArguments) {
+  Signature a = Sig({{0.0, 0.0}, {2.0, 1.0}}, {1.0, 2.0});
+  Signature b = Sig({{1.0, 1.0}, {3.0, 0.0}, {0.5, 2.0}}, {1.5, 1.0, 0.5});
+  EXPECT_NEAR(ComputeEmd(a, b).ValueOrDie(), ComputeEmd(b, a).ValueOrDie(),
+              1e-10);
+}
+
+TEST(EmdTest, ManhattanGroundDistance) {
+  Signature a = Sig({{0.0, 0.0}}, {1.0});
+  Signature b = Sig({{3.0, 4.0}}, {1.0});
+  EXPECT_NEAR(ComputeEmd(a, b, GroundDistance::kManhattan).ValueOrDie(), 7.0,
+              1e-12);
+  EXPECT_NEAR(
+      ComputeEmd(a, b, GroundDistance::kSquaredEuclidean).ValueOrDie(), 25.0,
+      1e-12);
+}
+
+TEST(EmdTest, RejectsDimensionMismatch) {
+  Signature a = Sig({{0.0}}, {1.0});
+  Signature b = Sig({{0.0, 0.0}}, {1.0});
+  EXPECT_FALSE(ComputeEmd(a, b).ok());
+}
+
+TEST(EmdTest, RejectsInvalidSignature) {
+  Signature a = Sig({{0.0}}, {0.0});  // Zero weight.
+  Signature b = Sig({{1.0}}, {1.0});
+  EXPECT_FALSE(ComputeEmd(a, b).ok());
+}
+
+TEST(EmdTest, RejectsNegativeGroundDistance) {
+  Signature a = Sig({{0.0}}, {1.0});
+  Signature b = Sig({{1.0}}, {1.0});
+  GroundDistanceFn bad = [](const Point&, const Point&) { return -1.0; };
+  EXPECT_FALSE(ComputeEmd(a, b, bad).ok());
+}
+
+TEST(EmdTest, PairwiseMatrixIsSymmetricWithZeroDiagonal) {
+  std::vector<Signature> sigs = {
+      Sig({{0.0}}, {1.0}),
+      Sig({{2.0}}, {1.0}),
+      Sig({{5.0}}, {1.0}),
+  };
+  Result<Matrix> m = PairwiseEmdMatrix(sigs);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ((*m)(0, 0), 0.0);
+  EXPECT_NEAR((*m)(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR((*m)(1, 2), 3.0, 1e-12);
+  EXPECT_NEAR((*m)(0, 2), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ((*m)(2, 0), (*m)(0, 2));
+}
+
+TEST(EmdTest, RubnerStyleExample) {
+  // A classic small instance: supplies {(1,0):0.4, (0,1):0.6} vs demands
+  // {(0,0):0.5, (1,1):0.5}. Optimal cost is 1.0 * (all unit distances):
+  // every pairwise ground distance here is 1, so EMD = 1 regardless of flow.
+  Signature a = Sig({{1.0, 0.0}, {0.0, 1.0}}, {0.4, 0.6});
+  Signature b = Sig({{0.0, 0.0}, {1.0, 1.0}}, {0.5, 0.5});
+  EXPECT_NEAR(ComputeEmd(a, b).ValueOrDie(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bagcpd

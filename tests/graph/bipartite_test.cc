@@ -1,0 +1,173 @@
+#include "bagcpd/graph/bipartite_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/graph/features.h"
+
+namespace bagcpd {
+namespace {
+
+// The exact worked example of paper Fig. 9: five source nodes sending to four
+// destination nodes. Edges (1-based in the figure, 0-based here):
+//   s1->d1: 6,  s1->d3: 14, s2->d1: 8,  s3->d2: 12,
+//   s4->d3: 9,  s5->d3: 3,  s5->d4: 11.
+// Weights are chosen to reproduce the figure's stated totals: source 1 emits
+// 20 total, source 4 emits 9; destination 1 receives 14, destination 3
+// receives 26.
+BipartiteGraph MakeFig9Graph() {
+  BipartiteGraph g(5, 4);
+  EXPECT_TRUE(g.AddEdge(0, 0, 6.0).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 14.0).ok());
+  EXPECT_TRUE(g.AddEdge(1, 0, 8.0).ok());
+  EXPECT_TRUE(g.AddEdge(2, 1, 12.0).ok());
+  EXPECT_TRUE(g.AddEdge(3, 2, 9.0).ok());
+  EXPECT_TRUE(g.AddEdge(4, 2, 3.0).ok());
+  EXPECT_TRUE(g.AddEdge(4, 3, 11.0).ok());
+  return g;
+}
+
+TEST(BipartiteGraphTest, BasicStructure) {
+  BipartiteGraph g = MakeFig9Graph();
+  EXPECT_EQ(g.num_sources(), 5u);
+  EXPECT_EQ(g.num_destinations(), 4u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 14.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 63.0);
+}
+
+TEST(BipartiteGraphTest, DuplicateEdgesAccumulate) {
+  BipartiteGraph g(2, 2);
+  ASSERT_TRUE(g.AddEdge(0, 0, 1.5).ok());
+  ASSERT_TRUE(g.AddEdge(0, 0, 2.5).ok());
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 0), 4.0);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(BipartiteGraphTest, RejectsOutOfRangeAndZeroWeight) {
+  BipartiteGraph g(2, 2);
+  EXPECT_FALSE(g.AddEdge(2, 0, 1.0).ok());
+  EXPECT_FALSE(g.AddEdge(0, 5, 1.0).ok());
+  EXPECT_FALSE(g.AddEdge(0, 0, 0.0).ok());
+  EXPECT_FALSE(g.AddEdge(0, 0, -1.0).ok());
+}
+
+TEST(BipartiteGraphTest, AdjacencyLists) {
+  BipartiteGraph g = MakeFig9Graph();
+  EXPECT_EQ(g.DestinationsOf(0), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(g.SourcesOf(2), (std::vector<std::size_t>{0, 3, 4}));
+  EXPECT_TRUE(g.DestinationsOf(1) == std::vector<std::size_t>{0});
+}
+
+// ---- The seven features, pinned to the Fig. 9 worked numbers. ----
+
+TEST(GraphFeaturesTest, Fig9SourceDegree) {
+  // "source node 1 is connected to 2 destination nodes, so its degree is 2".
+  Bag f = ExtractGraphFeature(MakeFig9Graph(), GraphFeature::kSourceDegree)
+              .ValueOrDie();
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_DOUBLE_EQ(f[0][0], 2.0);  // Source 1.
+  EXPECT_DOUBLE_EQ(f[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(f[2][0], 1.0);
+  EXPECT_DOUBLE_EQ(f[3][0], 1.0);
+  EXPECT_DOUBLE_EQ(f[4][0], 2.0);
+}
+
+TEST(GraphFeaturesTest, Fig9DestinationDegree) {
+  // "destination node 1 is connected to 2 source nodes, so its degree is 2".
+  Bag f = ExtractGraphFeature(MakeFig9Graph(), GraphFeature::kDestinationDegree)
+              .ValueOrDie();
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0][0], 2.0);  // Destination 1.
+  EXPECT_DOUBLE_EQ(f[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(f[2][0], 3.0);
+  EXPECT_DOUBLE_EQ(f[3][0], 1.0);
+}
+
+TEST(GraphFeaturesTest, Fig9SourceSecondDegree) {
+  // "source node 1 ... its second degree is 3" (sources 2, 4, 5 via d1/d3).
+  Bag f =
+      ExtractGraphFeature(MakeFig9Graph(), GraphFeature::kSourceSecondDegree)
+          .ValueOrDie();
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_DOUBLE_EQ(f[0][0], 3.0);  // Source 1.
+  EXPECT_DOUBLE_EQ(f[1][0], 1.0);  // Source 2 shares d1 with source 1.
+  EXPECT_DOUBLE_EQ(f[2][0], 0.0);  // Source 3 alone on d2.
+  EXPECT_DOUBLE_EQ(f[3][0], 2.0);  // Source 4 shares d3 with sources 1, 5.
+  EXPECT_DOUBLE_EQ(f[4][0], 2.0);  // Source 5 shares d3 with sources 1, 4.
+}
+
+TEST(GraphFeaturesTest, Fig9DestinationSecondDegree) {
+  // "destination node 1 ... its second degree is 1" (d3 via source 1; source
+  // 2 connects nowhere else).
+  Bag f = ExtractGraphFeature(MakeFig9Graph(),
+                              GraphFeature::kDestinationSecondDegree)
+              .ValueOrDie();
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0][0], 1.0);  // Destination 1.
+  EXPECT_DOUBLE_EQ(f[1][0], 0.0);  // Destination 2: source 3 goes nowhere else.
+  EXPECT_DOUBLE_EQ(f[2][0], 2.0);  // Destination 3: d1 via s1, d4 via s5.
+  EXPECT_DOUBLE_EQ(f[3][0], 1.0);  // Destination 4: d3 via s5.
+}
+
+TEST(GraphFeaturesTest, Fig9SourceStrength) {
+  // "it would be 20 for source node 1, and 9 for source node 4".
+  Bag f = ExtractGraphFeature(MakeFig9Graph(), GraphFeature::kSourceStrength)
+              .ValueOrDie();
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_DOUBLE_EQ(f[0][0], 20.0);
+  EXPECT_DOUBLE_EQ(f[3][0], 9.0);
+}
+
+TEST(GraphFeaturesTest, Fig9DestinationStrength) {
+  // "it would be 14 for destination node 1, and 26 for destination node 3".
+  Bag f =
+      ExtractGraphFeature(MakeFig9Graph(), GraphFeature::kDestinationStrength)
+          .ValueOrDie();
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0][0], 14.0);
+  EXPECT_DOUBLE_EQ(f[2][0], 26.0);
+}
+
+TEST(GraphFeaturesTest, Fig9EdgeWeights) {
+  Bag f = ExtractGraphFeature(MakeFig9Graph(), GraphFeature::kEdgeWeight)
+              .ValueOrDie();
+  ASSERT_EQ(f.size(), 7u);
+  double total = 0.0;
+  for (const Point& p : f) total += p[0];
+  EXPECT_DOUBLE_EQ(total, 63.0);
+}
+
+TEST(GraphFeaturesTest, SilentNodesContributeZeros) {
+  BipartiteGraph g(3, 2);
+  ASSERT_TRUE(g.AddEdge(0, 0, 5.0).ok());
+  Bag deg = ExtractGraphFeature(g, GraphFeature::kSourceDegree).ValueOrDie();
+  ASSERT_EQ(deg.size(), 3u);
+  EXPECT_DOUBLE_EQ(deg[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(deg[2][0], 0.0);
+  Bag strength =
+      ExtractGraphFeature(g, GraphFeature::kSourceStrength).ValueOrDie();
+  EXPECT_DOUBLE_EQ(strength[0][0], 5.0);
+  EXPECT_DOUBLE_EQ(strength[1][0], 0.0);
+}
+
+TEST(GraphFeaturesTest, EdgeWeightFeatureFailsOnEmptyGraph) {
+  BipartiteGraph g(2, 2);
+  EXPECT_FALSE(ExtractGraphFeature(g, GraphFeature::kEdgeWeight).ok());
+}
+
+TEST(GraphFeaturesTest, ExtractAllReturnsSevenBags) {
+  auto all = ExtractAllGraphFeatures(MakeFig9Graph()).ValueOrDie();
+  EXPECT_EQ(all.size(), 7u);
+  EXPECT_EQ(all[0].size(), 5u);  // Source features.
+  EXPECT_EQ(all[1].size(), 4u);  // Destination features.
+  EXPECT_EQ(all[6].size(), 7u);  // Edge weights.
+}
+
+TEST(GraphFeaturesTest, FeatureNames) {
+  EXPECT_STREQ(GraphFeatureName(GraphFeature::kSourceDegree), "source_degree");
+  EXPECT_STREQ(GraphFeatureName(GraphFeature::kEdgeWeight), "edge_weight");
+}
+
+}  // namespace
+}  // namespace bagcpd

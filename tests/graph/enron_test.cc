@@ -1,0 +1,93 @@
+#include "bagcpd/graph/enron_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/graph/features.h"
+
+namespace bagcpd {
+namespace {
+
+EnronSimulatorOptions FastOptions() {
+  EnronSimulatorOptions options;
+  options.seed = 11;
+  options.weeks = 100;
+  options.node_rate = 25.0;
+  options.edge_density = 0.2;
+  return options;
+}
+
+TEST(EnronSimulatorTest, ProducesWeeklyGraphs) {
+  EnronStream stream = SimulateEnronStream(FastOptions()).ValueOrDie();
+  EXPECT_EQ(stream.weekly_graphs.size(), 100u);
+  for (const BipartiteGraph& g : stream.weekly_graphs) {
+    EXPECT_GT(g.num_sources(), 0u);
+    EXPECT_GT(g.num_edges(), 0u);
+  }
+}
+
+TEST(EnronSimulatorTest, EventsAreWithinHorizon) {
+  EnronSimulatorOptions options = FastOptions();
+  options.weeks = 60;
+  EnronStream stream = SimulateEnronStream(options).ValueOrDie();
+  for (const EnronEvent& e : stream.events) {
+    EXPECT_LT(e.week, 60u);
+    EXPECT_FALSE(e.label.empty());
+  }
+  // Later events (weeks >= 60) must have been dropped.
+  EXPECT_LT(stream.events.size(), DefaultEnronEvents().size());
+}
+
+TEST(EnronSimulatorTest, TrafficSurgeIsVisibleInTotalWeight) {
+  EnronStream stream = SimulateEnronStream(FastOptions()).ValueOrDie();
+  // Find the bankruptcy surge at week 74 (magnitude 3.0).
+  double before = 0.0, during = 0.0;
+  for (std::size_t w = 68; w < 72; ++w) {
+    before += stream.weekly_graphs[w].TotalWeight();
+  }
+  for (std::size_t w = 74; w < 78; ++w) {
+    during += stream.weekly_graphs[w].TotalWeight();
+  }
+  EXPECT_GT(during, 1.8 * before);
+}
+
+TEST(EnronSimulatorTest, HeadcountChangeShrinksNodeCounts) {
+  EnronStream stream = SimulateEnronStream(FastOptions()).ValueOrDie();
+  // Mass layoffs at week 82 (magnitude 0.5).
+  double before = 0.0, during = 0.0;
+  for (std::size_t w = 78; w < 82; ++w) {
+    before += static_cast<double>(stream.weekly_graphs[w].num_sources());
+  }
+  for (std::size_t w = 82; w < 86; ++w) {
+    during += static_cast<double>(stream.weekly_graphs[w].num_sources());
+  }
+  EXPECT_LT(during, 0.8 * before);
+}
+
+TEST(EnronSimulatorTest, FeaturesExtractableEveryWeek) {
+  EnronSimulatorOptions options = FastOptions();
+  options.weeks = 20;
+  EnronStream stream = SimulateEnronStream(options).ValueOrDie();
+  for (const BipartiteGraph& g : stream.weekly_graphs) {
+    auto features = ExtractAllGraphFeatures(g);
+    ASSERT_TRUE(features.ok());
+    for (const Bag& bag : features.ValueOrDie()) {
+      EXPECT_FALSE(bag.empty());
+    }
+  }
+}
+
+TEST(EnronSimulatorTest, RejectsTooShortHorizon) {
+  EnronSimulatorOptions options = FastOptions();
+  options.weeks = 5;
+  EXPECT_FALSE(SimulateEnronStream(options).ok());
+}
+
+TEST(EnronSimulatorTest, EventKindNames) {
+  EXPECT_STREQ(EnronEventKindName(EnronEventKind::kTrafficSurge),
+               "traffic_surge");
+  EXPECT_STREQ(EnronEventKindName(EnronEventKind::kCommunitySwap),
+               "community_swap");
+}
+
+}  // namespace
+}  // namespace bagcpd

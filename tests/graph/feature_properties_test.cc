@@ -1,0 +1,127 @@
+// Property-based tests of the seven graph features over randomly generated
+// community graphs: conservation laws that must hold for every bipartite
+// graph (degree handshake, strength/weight conservation, second-degree
+// bounds), checked across a parameter sweep of sizes and densities.
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/rng.h"
+#include "bagcpd/graph/features.h"
+#include "bagcpd/graph/generators.h"
+
+namespace bagcpd {
+namespace {
+
+struct GraphCase {
+  std::uint64_t seed;
+  double node_rate;
+  double density;
+};
+
+class GraphFeaturePropertyTest : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  BipartiteGraph MakeGraph() {
+    const GraphCase& gc = GetParam();
+    CommunityGraphParams params;
+    params.source_rate = gc.node_rate;
+    params.destination_rate = gc.node_rate;
+    params.edge_density = gc.density;
+    Rng rng(gc.seed);
+    return SampleCommunityGraph(params, &rng).ValueOrDie();
+  }
+
+  static double Sum(const Bag& bag) {
+    double acc = 0.0;
+    for (const Point& p : bag) acc += p[0];
+    return acc;
+  }
+};
+
+TEST_P(GraphFeaturePropertyTest, DegreeHandshake) {
+  BipartiteGraph g = MakeGraph();
+  const Bag src = ExtractGraphFeature(g, GraphFeature::kSourceDegree)
+                      .ValueOrDie();
+  const Bag dst = ExtractGraphFeature(g, GraphFeature::kDestinationDegree)
+                      .ValueOrDie();
+  // Both degree totals count every edge exactly once.
+  EXPECT_DOUBLE_EQ(Sum(src), static_cast<double>(g.num_edges()));
+  EXPECT_DOUBLE_EQ(Sum(dst), static_cast<double>(g.num_edges()));
+}
+
+TEST_P(GraphFeaturePropertyTest, StrengthConservation) {
+  BipartiteGraph g = MakeGraph();
+  const Bag src = ExtractGraphFeature(g, GraphFeature::kSourceStrength)
+                      .ValueOrDie();
+  const Bag dst = ExtractGraphFeature(g, GraphFeature::kDestinationStrength)
+                      .ValueOrDie();
+  const Bag edges =
+      ExtractGraphFeature(g, GraphFeature::kEdgeWeight).ValueOrDie();
+  // Every unit of weight is emitted once, received once, and listed once.
+  EXPECT_NEAR(Sum(src), g.TotalWeight(), 1e-9);
+  EXPECT_NEAR(Sum(dst), g.TotalWeight(), 1e-9);
+  EXPECT_NEAR(Sum(edges), g.TotalWeight(), 1e-9);
+}
+
+TEST_P(GraphFeaturePropertyTest, BagSizesMatchNodeAndEdgeCounts) {
+  BipartiteGraph g = MakeGraph();
+  auto all = ExtractAllGraphFeatures(g).ValueOrDie();
+  EXPECT_EQ(all[0].size(), g.num_sources());
+  EXPECT_EQ(all[1].size(), g.num_destinations());
+  EXPECT_EQ(all[2].size(), g.num_sources());
+  EXPECT_EQ(all[3].size(), g.num_destinations());
+  EXPECT_EQ(all[4].size(), g.num_sources());
+  EXPECT_EQ(all[5].size(), g.num_destinations());
+  EXPECT_EQ(all[6].size(), g.num_edges());
+}
+
+TEST_P(GraphFeaturePropertyTest, SecondDegreeBounds) {
+  BipartiteGraph g = MakeGraph();
+  const Bag src2 = ExtractGraphFeature(g, GraphFeature::kSourceSecondDegree)
+                       .ValueOrDie();
+  const Bag dst2 =
+      ExtractGraphFeature(g, GraphFeature::kDestinationSecondDegree)
+          .ValueOrDie();
+  // A node can reach at most all *other* nodes on its side.
+  for (const Point& p : src2) {
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LE(p[0], static_cast<double>(g.num_sources() - 1));
+  }
+  for (const Point& p : dst2) {
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LE(p[0], static_cast<double>(g.num_destinations() - 1));
+  }
+}
+
+TEST_P(GraphFeaturePropertyTest, IsolatedNodesHaveZeroEverywhere) {
+  BipartiteGraph g = MakeGraph();
+  const Bag deg = ExtractGraphFeature(g, GraphFeature::kSourceDegree)
+                      .ValueOrDie();
+  const Bag strength = ExtractGraphFeature(g, GraphFeature::kSourceStrength)
+                           .ValueOrDie();
+  const Bag second = ExtractGraphFeature(g, GraphFeature::kSourceSecondDegree)
+                         .ValueOrDie();
+  for (std::size_t s = 0; s < g.num_sources(); ++s) {
+    if (deg[s][0] == 0.0) {
+      EXPECT_DOUBLE_EQ(strength[s][0], 0.0);
+      EXPECT_DOUBLE_EQ(second[s][0], 0.0);
+    }
+  }
+}
+
+TEST_P(GraphFeaturePropertyTest, WeightsArePositive) {
+  BipartiteGraph g = MakeGraph();
+  const Bag edges =
+      ExtractGraphFeature(g, GraphFeature::kEdgeWeight).ValueOrDie();
+  for (const Point& p : edges) EXPECT_GT(p[0], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, GraphFeaturePropertyTest,
+    ::testing::Values(GraphCase{1, 10.0, 1.0}, GraphCase{2, 20.0, 0.5},
+                      GraphCase{3, 40.0, 0.2}, GraphCase{4, 60.0, 0.1},
+                      GraphCase{5, 15.0, 0.8}, GraphCase{6, 30.0, 0.05}));
+
+}  // namespace
+}  // namespace bagcpd

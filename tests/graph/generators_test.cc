@@ -1,0 +1,159 @@
+#include "bagcpd/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace {
+
+BipartiteStreamOptions FastOptions() {
+  BipartiteStreamOptions options;
+  options.seed = 7;
+  options.node_rate = 30.0;    // Small graphs for speed.
+  options.edge_density = 0.5;
+  options.length_scale = 0.25;  // Blocks of 5 instead of 20.
+  return options;
+}
+
+TEST(CommunityGraphTest, SamplesRequestedShape) {
+  CommunityGraphParams params;
+  params.source_rate = 50.0;
+  params.destination_rate = 40.0;
+  Rng rng(1);
+  BipartiteGraph g = SampleCommunityGraph(params, &rng).ValueOrDie();
+  EXPECT_GT(g.num_sources(), 25u);
+  EXPECT_GT(g.num_destinations(), 20u);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(CommunityGraphTest, NodeCountsVaryAcrossDraws) {
+  CommunityGraphParams params;
+  params.source_rate = 50.0;
+  params.destination_rate = 50.0;
+  Rng rng(2);
+  std::set<std::size_t> source_counts;
+  for (int i = 0; i < 10; ++i) {
+    BipartiteGraph g = SampleCommunityGraph(params, &rng).ValueOrDie();
+    source_counts.insert(g.num_sources());
+  }
+  EXPECT_GT(source_counts.size(), 3u);
+}
+
+TEST(CommunityGraphTest, CommunityRatesShowInBlockWeights) {
+  // lambda = {{10, 1}, {1, 10}}: diagonal communities should carry much more
+  // weight than off-diagonal ones.
+  CommunityGraphParams params;
+  params.lambda = {{10.0, 1.0}, {1.0, 10.0}};
+  params.source_rate = 60.0;
+  params.destination_rate = 60.0;
+  Rng rng(3);
+  BipartiteGraph g = SampleCommunityGraph(params, &rng).ValueOrDie();
+  const std::size_t sc = g.num_sources() / 2;
+  const std::size_t dc = g.num_destinations() / 2;
+  double diag = 0.0, off = 0.0;
+  for (const BipartiteEdge& e : g.Edges()) {
+    const bool s0 = e.source < sc;
+    const bool d0 = e.destination < dc;
+    if (s0 == d0) {
+      diag += e.weight;
+    } else {
+      off += e.weight;
+    }
+  }
+  EXPECT_GT(diag, 3.0 * off);
+}
+
+TEST(CommunityGraphTest, FixedTotalWeightRespected) {
+  CommunityGraphParams params;
+  params.fixed_total_weight = 5000.0;
+  params.source_rate = 40.0;
+  params.destination_rate = 40.0;
+  Rng rng(4);
+  BipartiteGraph g = SampleCommunityGraph(params, &rng).ValueOrDie();
+  EXPECT_NEAR(g.TotalWeight(), 5000.0, 4.0);  // Rounding of 4 communities.
+}
+
+TEST(CommunityGraphTest, RejectsBadLambda) {
+  CommunityGraphParams params;
+  params.lambda = {};
+  Rng rng(5);
+  EXPECT_FALSE(SampleCommunityGraph(params, &rng).ok());
+  params.lambda = {{1.0, 2.0}, {3.0}};
+  EXPECT_FALSE(SampleCommunityGraph(params, &rng).ok());
+  params.lambda = {{1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}};
+  EXPECT_FALSE(SampleCommunityGraph(params, &rng).ok());  // 3x3 unsupported.
+}
+
+TEST(BipartiteDatasetsTest, Dataset1ChangePointsAtBlockBoundaries) {
+  BipartiteStream s = MakeBipartiteDataset1(FastOptions()).ValueOrDie();
+  // block = 5 => elevated blocks [11,15], [16,20], ..., returning to baseline
+  // at 36 (1-based). 0-based changes: 10, 15, 20, 25, 30, 35.
+  EXPECT_EQ(s.graphs.size(), 50u);
+  EXPECT_EQ(s.change_points,
+            (std::vector<std::size_t>{10, 15, 20, 25, 30, 35}));
+}
+
+TEST(BipartiteDatasetsTest, Dataset1TrafficActuallyRises) {
+  BipartiteStreamOptions options = FastOptions();
+  options.edge_density = 1.0;
+  BipartiteStream s = MakeBipartiteDataset1(options).ValueOrDie();
+  // Baseline block [0, 10) vs the strongest block [30, 35): mean total weight
+  // per graph should grow roughly by the lambda ratio 6.
+  double base = 0.0, peak = 0.0;
+  for (std::size_t t = 0; t < 10; ++t) base += s.graphs[t].TotalWeight();
+  base /= 10.0;
+  for (std::size_t t = 30; t < 35; ++t) peak += s.graphs[t].TotalWeight();
+  peak /= 5.0;
+  EXPECT_GT(peak, 3.0 * base);
+}
+
+TEST(BipartiteDatasetsTest, Dataset2KeepsInitialLambda) {
+  BipartiteStream s = MakeBipartiteDataset2(FastOptions()).ValueOrDie();
+  EXPECT_EQ(s.graphs.size(), 50u);
+  EXPECT_FALSE(s.change_points.empty());
+  // All change points land on block boundaries (multiples of 5).
+  for (std::size_t cp : s.change_points) EXPECT_EQ(cp % 5, 0u);
+}
+
+TEST(BipartiteDatasetsTest, Dataset3HoldsTotalWeightNearlyConstant) {
+  BipartiteStreamOptions options = FastOptions();
+  BipartiteStream s = MakeBipartiteDataset3(options).ValueOrDie();
+  std::vector<double> totals;
+  for (const BipartiteGraph& g : s.graphs) totals.push_back(g.TotalWeight());
+  const double mn = *std::min_element(totals.begin(), totals.end());
+  const double mx = *std::max_element(totals.begin(), totals.end());
+  // The budget is fixed up to integer rounding.
+  EXPECT_LT((mx - mn) / mx, 0.01);
+}
+
+TEST(BipartiteDatasetsTest, Dataset4HasTwelveBlocks) {
+  BipartiteStream s = MakeBipartiteDataset4(FastOptions()).ValueOrDie();
+  EXPECT_EQ(s.graphs.size(), 60u);  // 12 blocks of 5.
+  // Change points only where consecutive permutations differ.
+  EXPECT_FALSE(s.change_points.empty());
+  for (std::size_t cp : s.change_points) EXPECT_EQ(cp % 5, 0u);
+}
+
+TEST(BipartiteDatasetsTest, AllDatasetsGenerate) {
+  auto all = MakeAllBipartiteDatasets(FastOptions()).ValueOrDie();
+  ASSERT_EQ(all.size(), 4u);
+  for (const BipartiteStream& s : all) {
+    EXPECT_FALSE(s.graphs.empty()) << s.name;
+    EXPECT_FALSE(s.name.empty());
+  }
+}
+
+TEST(BipartiteDatasetsTest, DeterministicForSeed) {
+  BipartiteStream a = MakeBipartiteDataset1(FastOptions()).ValueOrDie();
+  BipartiteStream b = MakeBipartiteDataset1(FastOptions()).ValueOrDie();
+  ASSERT_EQ(a.graphs.size(), b.graphs.size());
+  for (std::size_t t = 0; t < a.graphs.size(); ++t) {
+    EXPECT_EQ(a.graphs[t].num_sources(), b.graphs[t].num_sources());
+    EXPECT_DOUBLE_EQ(a.graphs[t].TotalWeight(), b.graphs[t].TotalWeight());
+  }
+}
+
+}  // namespace
+}  // namespace bagcpd

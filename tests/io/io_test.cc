@@ -1,0 +1,74 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/io/csv.h"
+#include "bagcpd/io/table.h"
+
+namespace bagcpd {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream os;
+  os << file.rdbuf();
+  return os.str();
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/bagcpd_csv_test.csv";
+  Status st = WriteCsv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(ReadAll(path), "a,b\n1,2\n3,4\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  const std::string path = ::testing::TempDir() + "/bagcpd_csv_escape.csv";
+  ASSERT_TRUE(WriteCsv(path, {"x"}, {{"has,comma"}, {"has\"quote"}}).ok());
+  EXPECT_EQ(ReadAll(path), "x\n\"has,comma\"\n\"has\"\"quote\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  const std::string path = ::testing::TempDir() + "/bagcpd_csv_ragged.csv";
+  EXPECT_FALSE(WriteCsv(path, {"a", "b"}, {{"only-one"}}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FailsOnUnwritablePath) {
+  EXPECT_FALSE(WriteCsv("/nonexistent-dir/foo.csv", {"a"}, {}).ok());
+}
+
+TEST(CsvTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5, 2), "1.50");
+  EXPECT_EQ(FormatDouble(-0.125, 3), "-0.125");
+}
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"x", "123456"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Header row ends aligned: "value" column starts at same offset in rows.
+  std::istringstream is(out);
+  std::string header_line, sep, row1;
+  std::getline(is, header_line);
+  std::getline(is, sep);
+  std::getline(is, row1);
+  EXPECT_EQ(header_line.find("value"), row1.find("1"));
+}
+
+TEST(TableTest, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"only"});
+  EXPECT_NE(table.ToString().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,80 @@
+#include "bagcpd/signature/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace {
+
+Signature MakeSimple() {
+  Signature s;
+  s.centers = {{0.0, 0.0}, {2.0, 0.0}};
+  s.weights = {1.0, 3.0};
+  return s;
+}
+
+TEST(SignatureTest, BasicAccessors) {
+  Signature s = MakeSimple();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.dim(), 2u);
+  EXPECT_DOUBLE_EQ(s.TotalWeight(), 4.0);
+}
+
+TEST(SignatureTest, Normalized) {
+  Signature n = MakeSimple().Normalized();
+  EXPECT_DOUBLE_EQ(n.TotalWeight(), 1.0);
+  EXPECT_DOUBLE_EQ(n.weights[0], 0.25);
+  EXPECT_DOUBLE_EQ(n.weights[1], 0.75);
+  // Centers untouched.
+  EXPECT_DOUBLE_EQ(n.centers[1][0], 2.0);
+}
+
+TEST(SignatureTest, Centroid) {
+  Point c = MakeSimple().Centroid();
+  EXPECT_DOUBLE_EQ(c[0], 1.5);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+}
+
+TEST(SignatureTest, ValidateAcceptsGood) {
+  EXPECT_TRUE(MakeSimple().Validate().ok());
+}
+
+TEST(SignatureTest, ValidateRejectsEmpty) {
+  Signature s;
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SignatureTest, ValidateRejectsSizeMismatch) {
+  Signature s = MakeSimple();
+  s.weights.pop_back();
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SignatureTest, ValidateRejectsNonPositiveWeight) {
+  Signature s = MakeSimple();
+  s.weights[0] = 0.0;
+  EXPECT_FALSE(s.Validate().ok());
+  s.weights[0] = -1.0;
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SignatureTest, ValidateRejectsInconsistentDims) {
+  Signature s = MakeSimple();
+  s.centers[1] = {1.0};
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SignatureTest, CentroidSignatureCollapsesBag) {
+  Bag bag = {{0.0, 0.0}, {4.0, 2.0}};
+  Signature s = CentroidSignature(bag);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.centers[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(s.centers[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(s.weights[0], 2.0);
+}
+
+TEST(SignatureTest, ToStringIsNonEmpty) {
+  EXPECT_FALSE(MakeSimple().ToString().empty());
+}
+
+}  // namespace
+}  // namespace bagcpd
