@@ -1,0 +1,77 @@
+// Multi-stream monitoring with the concurrent runtime.
+//
+// A fleet of sensors each emits a bag of 2-d readings per tick. The
+// StreamEngine hash-routes every sensor to one shard worker, runs an
+// independent detector per sensor, and delivers alarms through a callback —
+// the serving shape for monitoring many users/devices at once. Results are
+// reproducible for a fixed engine seed no matter how many shards run.
+//
+// Build & run:
+//   cmake -B build && cmake --build build -j
+//   ./build/example_multi_stream
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "bagcpd/data/gmm.h"
+#include "bagcpd/runtime/stream_engine.h"
+
+int main() {
+  using namespace bagcpd;
+
+  // 1) Engine: 4 shard workers, one small detector per stream key.
+  StreamEngineOptions options;
+  options.num_shards = 4;
+  options.seed = 42;
+  options.detector.tau = 4;
+  options.detector.tau_prime = 4;
+  options.detector.bootstrap.replicates = 150;
+  options.detector.signature.method = SignatureMethod::kKMeans;
+  options.detector.signature.k = 5;
+  StreamEngine engine(options);
+  if (!engine.init_status().ok()) {
+    std::fprintf(stderr, "engine init failed: %s\n",
+                 engine.init_status().ToString().c_str());
+    return 1;
+  }
+
+  // 2) Alarms arrive on shard threads; guard shared output with a mutex.
+  std::mutex print_mu;
+  engine.set_callback([&](const StreamStepResult& r) {
+    if (!r.step.alarm) return;
+    std::lock_guard<std::mutex> lock(print_mu);
+    std::printf("ALARM  %-10s t=%-3llu score=%.3f xi=%.3f\n",
+                r.stream_id.c_str(),
+                static_cast<unsigned long long>(r.step.time), r.step.score,
+                r.step.xi);
+  });
+
+  // 3) Simulate 12 sensors; the odd ones drift to a new regime at t = 20.
+  Rng rng(7);
+  const GaussianMixture normal = GaussianMixture::Isotropic({0.0, 0.0}, 0.7);
+  const GaussianMixture drifted = GaussianMixture::Isotropic({4.0, 4.0}, 0.7);
+  const int kSensors = 12;
+  const int kTicks = 40;
+  for (int t = 0; t < kTicks; ++t) {
+    for (int s = 0; s < kSensors; ++s) {
+      const GaussianMixture& mix =
+          (s % 2 == 1 && t >= 20) ? drifted : normal;
+      const std::string key = "sensor-" + std::to_string(s);
+      const Status status = engine.Submit(key, mix.SampleBag(25, &rng));
+      if (!status.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  engine.Flush();
+
+  std::printf(
+      "\nprocessed %llu bags across %zu streams on %zu shards "
+      "(%llu step results)\n",
+      static_cast<unsigned long long>(engine.processed_count()),
+      engine.stream_count(), engine.num_shards(),
+      static_cast<unsigned long long>(engine.result_count()));
+  return 0;
+}

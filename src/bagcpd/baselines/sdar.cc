@@ -1,10 +1,10 @@
 #include "bagcpd/baselines/sdar.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "bagcpd/common/check.h"
 #include "bagcpd/common/matrix.h"
+#include "bagcpd/common/stats.h"
 
 namespace bagcpd {
 
@@ -59,7 +59,7 @@ double SdarModel::Update(double x) {
     }
     const double err = x - pred;
     const double var = std::max(variance_, options_.min_variance);
-    logloss = 0.5 * std::log(2.0 * std::numbers::pi * var) +
+    logloss = 0.5 * std::log(2.0 * kPi * var) +
               0.5 * err * err / var;
     // Update the innovation variance with the observed error.
     variance_ = (1.0 - r) * variance_ + r * err * err;

@@ -7,21 +7,29 @@
 
 namespace bagcpd {
 
-namespace {
-
-// SplitMix64 finalizer; decorrelates fork streams from the parent seed.
-std::uint64_t MixSeed(std::uint64_t x) {
+std::uint64_t Rng::MixSeed64(std::uint64_t x) {
+  // SplitMix64 finalizer; decorrelates fork streams from the parent seed.
   x += 0x9E3779B97F4A7C15ULL;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
 }
 
-}  // namespace
+std::uint64_t Rng::StableHash64(const std::string& key) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : key) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
 
 Rng Rng::Fork(std::uint64_t stream_id) const {
-  return Rng(MixSeed(seed_ ^ MixSeed(stream_id + 1)));
+  return Rng(MixSeed64(seed_ ^ MixSeed64(stream_id + 1)));
 }
+
+std::uint64_t Rng::NextUInt64() { return engine_(); }
 
 double Rng::Uniform() {
   std::uniform_real_distribution<double> dist(0.0, 1.0);

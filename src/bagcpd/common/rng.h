@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "bagcpd/common/matrix.h"
@@ -23,7 +24,29 @@ class Rng {
   explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
 
   /// \brief Derives an independent generator (seed mixed with `stream_id`).
+  ///
+  /// Forking depends only on the construction seed, never on how much of the
+  /// stream has been consumed, so `rng.Fork(k)` is stable over time. This is
+  /// the primitive behind per-replicate and per-stream determinism in the
+  /// concurrent runtime: give every unit of parallel work its own fork and
+  /// results are bitwise-identical for any thread count.
   Rng Fork(std::uint64_t stream_id) const;
+
+  /// \brief Draws one raw 64-bit word from the engine (advances the state).
+  ///
+  /// Use to derive a fresh sub-seed from a sequential generator:
+  /// `Rng base(rng.NextUInt64());` then `base.Fork(i)` per parallel unit.
+  std::uint64_t NextUInt64();
+
+  /// \brief SplitMix64 finalizer; the avalanche mix used by Fork(). Exposed so
+  /// callers can derive decorrelated seeds from structured ids.
+  static std::uint64_t MixSeed64(std::uint64_t x);
+
+  /// \brief Deterministic, platform-stable FNV-1a hash of a string key.
+  ///
+  /// Unlike std::hash, the value is fixed by the standard's byte sequence, so
+  /// stream-keyed seeds reproduce across runs, shard counts, and platforms.
+  static std::uint64_t StableHash64(const std::string& key);
 
   /// \brief Uniform double in [0, 1).
   double Uniform();

@@ -11,6 +11,9 @@
 
 namespace bagcpd {
 
+/// \brief Pi (C++17 has no std::numbers::pi).
+inline constexpr double kPi = 3.14159265358979323846;
+
 /// \brief Arithmetic mean of a non-empty vector.
 double Mean(const std::vector<double>& xs);
 

@@ -4,6 +4,7 @@
 
 #include "bagcpd/common/check.h"
 #include "bagcpd/common/stats.h"
+#include "bagcpd/runtime/thread_pool.h"
 
 namespace bagcpd {
 
@@ -46,7 +47,7 @@ std::vector<double> ResampleWeights(BootstrapMethod method,
 Result<BootstrapInterval> BootstrapScoreInterval(
     ScoreType score_type, const ScoreContext& ctx,
     const std::vector<double>& pi_ref, const std::vector<double>& pi_test,
-    const BootstrapOptions& options, Rng* rng) {
+    const BootstrapOptions& options, Rng* rng, ThreadPool* pool) {
   BAGCPD_RETURN_NOT_OK(ctx.Validate());
   if (options.replicates < 2) {
     return Status::Invalid("need at least 2 bootstrap replicates");
@@ -58,24 +59,40 @@ Result<BootstrapInterval> BootstrapScoreInterval(
     return Status::Invalid("base weight size mismatch");
   }
 
-  std::vector<double> replicate_scores;
-  replicate_scores.reserve(static_cast<std::size_t>(options.replicates));
-  for (int r = 0; r < options.replicates; ++r) {
+  // One engine word seeds the whole replicate set; replicate r then draws
+  // from Fork(r), its own stream. The caller's rng advances identically
+  // whether or not a pool is attached, and replicate r's draws never depend
+  // on which thread (or chunk) ran it: fixed seed => bitwise-identical
+  // intervals for any thread count.
+  const Rng replicate_base(rng->NextUInt64());
+  const std::size_t replicates = static_cast<std::size_t>(options.replicates);
+  std::vector<double> replicate_scores(replicates, 0.0);
+  std::vector<Status> replicate_status(replicates, Status::OK());
+  auto run_replicate = [&](std::size_t r) {
+    Rng rep_rng = replicate_base.Fork(r);
     // The standard bootstrap can draw gamma_test[0] == 1 (every resample hit
     // element 0), which makes scoreLR undefined; redraw in that rare case.
     for (int attempt = 0; attempt < 64; ++attempt) {
       std::vector<double> gamma_ref =
-          ResampleWeights(options.method, pi_ref, rng);
+          ResampleWeights(options.method, pi_ref, &rep_rng);
       std::vector<double> gamma_test =
-          ResampleWeights(options.method, pi_test, rng);
+          ResampleWeights(options.method, pi_test, &rep_rng);
       Result<double> score =
           ComputeScore(score_type, ctx, gamma_ref, gamma_test);
       if (score.ok()) {
-        replicate_scores.push_back(score.ValueOrDie());
-        break;
+        replicate_scores[r] = score.ValueOrDie();
+        return;
       }
-      if (attempt == 63) return score.status();
+      if (attempt == 63) replicate_status[r] = score.status();
     }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, replicates, run_replicate);
+  } else {
+    for (std::size_t r = 0; r < replicates; ++r) run_replicate(r);
+  }
+  for (const Status& status : replicate_status) {
+    BAGCPD_RETURN_NOT_OK(status);
   }
 
   BAGCPD_ASSIGN_OR_RETURN(Interval interval,

@@ -21,6 +21,8 @@
 
 namespace bagcpd {
 
+class ThreadPool;
+
 /// \brief Which resampling scheme generates the weight replicates.
 enum class BootstrapMethod {
   /// Dirichlet posterior weights (the paper's choice).
@@ -59,10 +61,16 @@ std::vector<double> ResampleWeights(BootstrapMethod method,
 /// `pi_ref` / `pi_test` are the base (prior) weights of the two windows; pass
 /// uniform vectors for the paper's default. The same EMD tables in `ctx` are
 /// reused by every replicate.
+///
+/// Each replicate draws from its own RNG stream forked off one fresh base
+/// seed pulled from `rng` (which advances by exactly one word per call), so
+/// the interval is bitwise-identical whether the replicate loop runs
+/// serially or chunked over `pool` — and for any pool size. Pass
+/// `pool == nullptr` for the serial loop.
 Result<BootstrapInterval> BootstrapScoreInterval(
     ScoreType score_type, const ScoreContext& ctx,
     const std::vector<double>& pi_ref, const std::vector<double>& pi_test,
-    const BootstrapOptions& options, Rng* rng);
+    const BootstrapOptions& options, Rng* rng, ThreadPool* pool = nullptr);
 
 }  // namespace bagcpd
 

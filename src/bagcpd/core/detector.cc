@@ -6,6 +6,7 @@
 #include "bagcpd/common/check.h"
 #include "bagcpd/emd/emd.h"
 #include "bagcpd/info/weighted_set.h"
+#include "bagcpd/runtime/thread_pool.h"
 
 namespace bagcpd {
 
@@ -41,11 +42,11 @@ BagStreamDetector::BagStreamDetector(const DetectorOptions& options)
     : options_(options),
       init_status_(ValidateOptions(options)),
       builder_(options.signature),
-      rng_(options.seed) {
-  const GroundDistanceFn ground = MakeGroundDistance(options_.ground);
+      rng_(options.seed),
+      ground_(MakeGroundDistance(options_.ground)) {
   cache_ = std::make_unique<PairwiseDistanceCache>(
-      [this, ground](std::uint64_t i, std::uint64_t j) -> Result<double> {
-        return ComputeEmd(SignatureAt(i), SignatureAt(j), ground);
+      [this](std::uint64_t i, std::uint64_t j) -> Result<double> {
+        return ComputeEmd(SignatureAt(i), SignatureAt(j), ground_);
       });
   if (init_status_.ok()) {
     if (options_.weight_scheme == WeightScheme::kUniform) {
@@ -74,10 +75,9 @@ void BagStreamDetector::Reset() {
   window_.clear();
   upper_history_.clear();
   next_index_ = 0;
-  const GroundDistanceFn ground = MakeGroundDistance(options_.ground);
   cache_ = std::make_unique<PairwiseDistanceCache>(
-      [this, ground](std::uint64_t i, std::uint64_t j) -> Result<double> {
-        return ComputeEmd(SignatureAt(i), SignatureAt(j), ground);
+      [this](std::uint64_t i, std::uint64_t j) -> Result<double> {
+        return ComputeEmd(SignatureAt(i), SignatureAt(j), ground_);
       });
 }
 
@@ -91,12 +91,47 @@ Result<std::optional<StepResult>> BagStreamDetector::Push(const Bag& bag) {
   if (window_.size() < full) return std::optional<StepResult>();
   BAGCPD_CHECK(window_.size() == full);
 
+  if (pool_ != nullptr) {
+    BAGCPD_RETURN_NOT_OK(PrefillWindowDistances());
+  }
   BAGCPD_ASSIGN_OR_RETURN(StepResult step, ScoreInspectionPoint());
 
   // Slide: drop the oldest signature and its cached distances.
   window_.pop_front();
   cache_->EvictBefore(next_index_ - (full - 1));
   return std::optional<StepResult>(step);
+}
+
+Status BagStreamDetector::PrefillWindowDistances() {
+  // Collect the window pairs missing from the cache — (tau + tau' - 1) per
+  // step in steady state, the full C(tau + tau', 2) table on the first step —
+  // and solve them concurrently. Each EMD depends only on its two signatures,
+  // so the cache contents (and everything downstream) are independent of the
+  // pool size; only the insertion happens on this thread.
+  const std::uint64_t window_start = next_index_ - window_.size();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> missing;
+  for (std::uint64_t i = window_start; i < next_index_; ++i) {
+    for (std::uint64_t j = i + 1; j < next_index_; ++j) {
+      if (!cache_->Contains(i, j)) missing.emplace_back(i, j);
+    }
+  }
+  if (missing.empty()) return Status::OK();
+  std::vector<double> values(missing.size(), 0.0);
+  std::vector<Status> statuses(missing.size(), Status::OK());
+  pool_->ParallelFor(0, missing.size(), [&](std::size_t p) {
+    const auto [i, j] = missing[p];
+    Result<double> d = ComputeEmd(SignatureAt(i), SignatureAt(j), ground_);
+    if (d.ok()) {
+      values[p] = d.ValueOrDie();
+    } else {
+      statuses[p] = d.status();
+    }
+  });
+  for (std::size_t p = 0; p < missing.size(); ++p) {
+    BAGCPD_RETURN_NOT_OK(statuses[p]);
+    cache_->Put(missing[p].first, missing[p].second, values[p]);
+  }
+  return Status::OK();
 }
 
 Result<StepResult> BagStreamDetector::ScoreInspectionPoint() {
@@ -147,7 +182,7 @@ Result<StepResult> BagStreamDetector::ScoreInspectionPoint() {
     BAGCPD_ASSIGN_OR_RETURN(
         BootstrapInterval ci,
         BootstrapScoreInterval(options_.score_type, ctx, pi_ref_, pi_test_,
-                               options_.bootstrap, &rng_));
+                               options_.bootstrap, &rng_, pool_));
     step.ci_lo = ci.lo;
     step.ci_up = ci.up;
     // Eq. 20: compare with theta_up of inspection time t - tau'. The history

@@ -26,6 +26,8 @@
 
 namespace bagcpd {
 
+class ThreadPool;
+
 /// \brief How the base (prior) weights gamma of the windows are chosen.
 enum class WeightScheme {
   /// gamma_i = 1/tau (resp. 1/tau'); the paper's setting for all experiments.
@@ -103,14 +105,27 @@ class BagStreamDetector {
 
   const DetectorOptions& options() const { return options_; }
 
+  /// \brief Attaches a compute pool (non-owning; may be nullptr to detach).
+  ///
+  /// With a pool, each step prefills the missing window EMDs via ParallelFor
+  /// and chunks the bootstrap replicate loop over the pool. Results are
+  /// bitwise-identical to the serial path for any pool size: the EMD of a
+  /// pair does not depend on which thread solves it, and bootstrap replicates
+  /// draw from per-replicate forked RNG streams.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
  private:
   Result<StepResult> ScoreInspectionPoint();
+  Status PrefillWindowDistances();
   const Signature& SignatureAt(std::uint64_t global_index) const;
 
   DetectorOptions options_;
   Status init_status_;
   SignatureBuilder builder_;
   Rng rng_;
+  ThreadPool* pool_ = nullptr;
+  GroundDistanceFn ground_;
   std::unique_ptr<PairwiseDistanceCache> cache_;
   // Sliding window of the most recent tau + tau' signatures; front() is the
   // oldest and has global index next_index_ - window_.size().

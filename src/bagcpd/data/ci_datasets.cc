@@ -1,13 +1,13 @@
 #include "bagcpd/data/ci_datasets.h"
 
 #include <cmath>
-#include <numbers>
+
+#include "bagcpd/common/stats.h"
 
 namespace bagcpd {
 
 namespace {
 
-constexpr double kPi = std::numbers::pi;
 
 // Dataset 3/5 circular path: mu(t) = r (cos(pi (t - 0.5) / 5),
 // sin(pi (t - 0.5) / 5)) with t 1-based as in the paper.

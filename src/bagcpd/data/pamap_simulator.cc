@@ -1,10 +1,10 @@
 #include "bagcpd/data/pamap_simulator.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "bagcpd/common/check.h"
 #include "bagcpd/common/rng.h"
+#include "bagcpd/common/stats.h"
 
 namespace bagcpd {
 
@@ -111,7 +111,7 @@ Result<PamapRecording> SimulatePamapSubject(
           const double periodic =
               profile.motion_hz > 0.0
                   ? profile.motion_amp *
-                        std::sin(2.0 * std::numbers::pi * profile.motion_hz *
+                        std::sin(2.0 * kPi * profile.motion_hz *
                                      tsec +
                                  c * 1.3)
                   : 0.0;

@@ -6,7 +6,7 @@ namespace bagcpd {
 
 Result<double> PairwiseDistanceCache::Get(std::uint64_t i, std::uint64_t j) {
   if (i == j) return 0.0;
-  const std::uint64_t key = Key(i, j);
+  const Key key = MakeKey(i, j);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
@@ -18,14 +18,24 @@ Result<double> PairwiseDistanceCache::Get(std::uint64_t i, std::uint64_t j) {
   return value;
 }
 
+bool PairwiseDistanceCache::Contains(std::uint64_t i, std::uint64_t j) const {
+  if (i == j) return true;
+  return cache_.find(MakeKey(i, j)) != cache_.end();
+}
+
+void PairwiseDistanceCache::Put(std::uint64_t i, std::uint64_t j,
+                                double value) {
+  if (i == j) return;
+  if (cache_.emplace(MakeKey(i, j), value).second) ++misses_;
+}
+
 void PairwiseDistanceCache::EvictBefore(std::uint64_t min_index) {
-  std::vector<std::uint64_t> doomed;
+  std::vector<Key> doomed;
   doomed.reserve(cache_.size());
   for (const auto& [key, value] : cache_) {
-    const std::uint64_t lo = key >> 32;
-    if (lo < min_index) doomed.push_back(key);
+    if (key.first < min_index) doomed.push_back(key);
   }
-  for (std::uint64_t key : doomed) cache_.erase(key);
+  for (const Key& key : doomed) cache_.erase(key);
 }
 
 }  // namespace bagcpd

@@ -3,6 +3,10 @@
 // between the newest signature and the window — everything else is reused.
 // Bootstrap replicates never recompute distances at all (they only resample
 // the Dirichlet weights), which is what makes the Section 4 procedure cheap.
+//
+// Keys are the full (i, j) index pair: a long-running stream pushes an
+// unbounded number of bags, so packing two indices into one 64-bit word would
+// silently collide once indices exceed 2^32.
 
 #ifndef BAGCPD_EMD_DISTANCE_CACHE_H_
 #define BAGCPD_EMD_DISTANCE_CACHE_H_
@@ -10,12 +14,17 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 
 #include "bagcpd/common/result.h"
 
 namespace bagcpd {
 
 /// \brief Memoizes a symmetric pairwise distance over stream indices.
+///
+/// Not thread-safe; the concurrent runtime keeps each cache owned by exactly
+/// one stream and fills it through Put() after computing distances in
+/// parallel outside the cache.
 class PairwiseDistanceCache {
  public:
   /// `compute(i, j)` produces the distance between stream items i and j; it is
@@ -28,6 +37,15 @@ class PairwiseDistanceCache {
   /// \brief The distance between items i and j (0 when i == j).
   Result<double> Get(std::uint64_t i, std::uint64_t j);
 
+  /// \brief True iff the unordered pair (i, j) is already cached (the
+  /// diagonal counts as cached). Does not touch the hit/miss counters.
+  bool Contains(std::uint64_t i, std::uint64_t j) const;
+
+  /// \brief Stores a distance computed externally (e.g. by a parallel
+  /// prefill). Counts as a miss when the pair was absent — the value was
+  /// computed either way — and is a no-op when already present.
+  void Put(std::uint64_t i, std::uint64_t j, double value);
+
   /// \brief Drops every cached pair touching an index < `min_index`. Call as
   /// the window slides to keep memory proportional to the window size.
   void EvictBefore(std::uint64_t min_index);
@@ -37,13 +55,26 @@ class PairwiseDistanceCache {
   std::uint64_t misses() const { return misses_; }
 
  private:
-  static std::uint64_t Key(std::uint64_t i, std::uint64_t j) {
+  // Unordered pair as (min, max): the full 128 bits of both indices.
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      // SplitMix64-style avalanche over both words.
+      std::uint64_t x = key.first * 0x9E3779B97F4A7C15ULL;
+      x ^= key.second + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
+  static Key MakeKey(std::uint64_t i, std::uint64_t j) {
     if (i > j) std::swap(i, j);
-    return (i << 32) | (j & 0xFFFFFFFFULL);
+    return Key(i, j);
   }
 
   ComputeFn compute_;
-  std::unordered_map<std::uint64_t, double> cache_;
+  std::unordered_map<Key, double, KeyHash> cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

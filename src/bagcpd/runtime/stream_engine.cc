@@ -1,0 +1,222 @@
+#include "bagcpd/runtime/stream_engine.h"
+
+#include <algorithm>
+
+#include "bagcpd/common/check.h"
+#include "bagcpd/common/rng.h"
+
+namespace bagcpd {
+
+namespace {
+
+Status ValidateEngineOptions(const StreamEngineOptions& options) {
+  if (options.shard_queue_capacity < 1) {
+    return Status::Invalid("shard_queue_capacity must be >= 1");
+  }
+  // Fail fast on a detector misconfiguration instead of quarantining every
+  // stream on first push.
+  BagStreamDetector probe(options.detector);
+  return probe.init_status();
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(const StreamEngineOptions& options)
+    : options_(options), init_status_(ValidateEngineOptions(options)) {
+  if (!init_status_.ok()) return;
+  std::size_t n = options_.num_shards;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+StreamEngine::~StreamEngine() { Shutdown(); }
+
+void StreamEngine::set_callback(ResultCallback callback) {
+  callback_ = std::move(callback);
+}
+
+std::size_t StreamEngine::ShardOf(const std::string& stream_id) const {
+  // Stable hash: the shard assignment (and hence nothing observable) depends
+  // on platform or process; the per-stream seed derives from the same hash.
+  return static_cast<std::size_t>(Rng::StableHash64(stream_id)) %
+         shards_.size();
+}
+
+Status StreamEngine::Submit(const std::string& stream_id, Bag bag) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  if (stop_.load()) {
+    return Status::Invalid("Submit on a stopped StreamEngine");
+  }
+  Shard& shard = *shards_[ShardOf(stream_id)];
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.not_full.wait(lock, [&] {
+      return shard.queue.size() < options_.shard_queue_capacity || stop_.load();
+    });
+    if (stop_.load()) {
+      return Status::Invalid("Submit on a stopped StreamEngine");
+    }
+    shard.queue.push_back(Task{stream_id, std::move(bag)});
+  }
+  shard.not_empty.notify_one();
+  submitted_.fetch_add(1);
+  return Status::OK();
+}
+
+void StreamEngine::WorkerLoop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.not_empty.wait(
+          lock, [&] { return stop_.load() || !shard.queue.empty(); });
+      if (shard.queue.empty()) return;  // Stopping and fully drained.
+      task = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.busy = true;
+    }
+    shard.not_full.notify_one();
+    Process(shard, std::move(task));
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.busy = false;
+      if (shard.queue.empty()) shard.drained.notify_all();
+    }
+  }
+}
+
+void StreamEngine::Process(Shard& shard, Task task) {
+  processed_.fetch_add(1);
+  if (shard.quarantined.count(task.stream_id) > 0) {
+    dropped_.fetch_add(1);
+    return;
+  }
+  auto it = shard.detectors.find(task.stream_id);
+  if (it == shard.detectors.end()) {
+    DetectorOptions per_stream = options_.detector;
+    // Seeded by (engine seed, key) only — never by shard index or count — so
+    // a stream's entire output is reproducible under resharding.
+    per_stream.seed =
+        Rng::MixSeed64(options_.seed ^ Rng::StableHash64(task.stream_id));
+    it = shard.detectors
+             .emplace(task.stream_id,
+                      std::make_unique<BagStreamDetector>(per_stream))
+             .first;
+    streams_created_.fetch_add(1);
+  }
+  Result<std::optional<StepResult>> step = it->second->Push(task.bag);
+  if (!step.ok()) {
+    shard.quarantined.emplace(task.stream_id, step.status());
+    std::lock_guard<std::mutex> lock(errors_mu_);
+    errors_.emplace_back(task.stream_id, step.status());
+    quarantined_keys_.insert(task.stream_id);
+    return;
+  }
+  if (!step.ValueOrDie().has_value()) return;
+  StreamStepResult result{task.stream_id, *step.ValueOrDie()};
+  results_emitted_.fetch_add(1);
+  if (callback_) {
+    callback_(result);
+  } else if (options_.collect_results) {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    results_.push_back(std::move(result));
+  }
+}
+
+void StreamEngine::Flush() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->drained.wait(lock,
+                        [&] { return shard->queue.empty() && !shard->busy; });
+  }
+}
+
+std::vector<StreamStepResult> StreamEngine::Drain() {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  std::vector<StreamStepResult> out;
+  out.swap(results_);
+  return out;
+}
+
+std::vector<std::pair<std::string, Status>> StreamEngine::DrainErrors() {
+  std::lock_guard<std::mutex> lock(errors_mu_);
+  std::vector<std::pair<std::string, Status>> out;
+  out.swap(errors_);
+  return out;
+}
+
+Result<std::map<std::string, std::vector<StepResult>>> StreamEngine::RunBatch(
+    const std::map<std::string, BagSequence>& streams) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  if (callback_ || !options_.collect_results) {
+    return Status::Invalid(
+        "RunBatch needs collect_results = true and no callback");
+  }
+  // Isolate this batch from any earlier online traffic still in the queues.
+  Flush();
+  Drain();
+  DrainErrors();
+  // A key quarantined by earlier traffic would have its batch bags silently
+  // dropped; refuse up front instead.
+  {
+    std::lock_guard<std::mutex> lock(errors_mu_);
+    for (const auto& [key, bags] : streams) {
+      if (quarantined_keys_.count(key) > 0) {
+        return Status::Invalid("stream '" + key +
+                               "' was quarantined by an earlier failure");
+      }
+    }
+  }
+  // Interleave submissions time-step-first so every shard has work from the
+  // start instead of filling one stream's shard at a time.
+  std::size_t max_len = 0;
+  for (const auto& [key, bags] : streams) {
+    max_len = std::max(max_len, bags.size());
+  }
+  for (std::size_t t = 0; t < max_len; ++t) {
+    for (const auto& [key, bags] : streams) {
+      if (t < bags.size()) {
+        BAGCPD_RETURN_NOT_OK(Submit(key, bags[t]));
+      }
+    }
+  }
+  Flush();
+  std::vector<std::pair<std::string, Status>> errors = DrainErrors();
+  if (!errors.empty()) {
+    return Status::Invalid("stream '" + errors.front().first +
+                           "' failed: " + errors.front().second.ToString());
+  }
+  std::map<std::string, std::vector<StepResult>> out;
+  for (const auto& [key, bags] : streams) {
+    out.emplace(key, std::vector<StepResult>());
+  }
+  for (StreamStepResult& r : Drain()) {
+    out[r.stream_id].push_back(r.step);
+  }
+  return out;
+}
+
+void StreamEngine::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  stop_.store(true);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->not_empty.notify_all();
+    shard->not_full.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,182 @@
+// StreamEngine: multiplexes many independent keyed bag streams over a set of
+// shard worker threads. Every stream key is hash-routed to exactly one shard,
+// so the bags of one stream are always processed in submission order by a
+// single thread against that stream's own BagStreamDetector — no locking on
+// the hot path, bounded per-shard queues for backpressure, and per-stream
+// results that are bitwise-independent of the shard count (each detector is
+// seeded from the engine seed and a platform-stable hash of its key only).
+//
+// This is the serving layer the ROADMAP's "millions of streams" target grows
+// on: Submit() for online pushes (callback or drainable result queue),
+// RunBatch() for offline sweeps over a keyed corpus.
+
+#ifndef BAGCPD_RUNTIME_STREAM_ENGINE_H_
+#define BAGCPD_RUNTIME_STREAM_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+#include "bagcpd/core/detector.h"
+
+namespace bagcpd {
+
+/// \brief Configuration of a StreamEngine.
+struct StreamEngineOptions {
+  /// Number of shard worker threads; 0 picks std::thread::hardware_concurrency
+  /// (at least 1).
+  std::size_t num_shards = 0;
+  /// Bound on each shard's pending-bag queue; Submit blocks (backpressure)
+  /// while the target shard is full. Must be >= 1.
+  std::size_t shard_queue_capacity = 1024;
+  /// Detector configuration shared by every stream. The per-stream seed is
+  /// derived as Mix(seed, StableHash64(stream_id)), so `detector.seed` itself
+  /// is ignored in favor of the engine seed below.
+  DetectorOptions detector;
+  /// Engine seed; combined with each stream key to seed that stream's
+  /// detector deterministically (independent of num_shards).
+  std::uint64_t seed = 0;
+  /// When true (and no callback is set) step results accumulate in an
+  /// internal queue read via Drain(). Disable for fire-and-forget callers
+  /// that only watch the counters.
+  bool collect_results = true;
+};
+
+/// \brief One detector step result tagged with the stream that produced it.
+struct StreamStepResult {
+  std::string stream_id;
+  StepResult step;
+};
+
+/// \brief Concurrent multi-stream change-point detection runtime.
+///
+/// Thread-safety: Submit/Flush/Drain/DrainErrors may be called from any
+/// thread (typically one producer). The result callback runs on shard worker
+/// threads and must be thread-safe if it touches shared state.
+class StreamEngine {
+ public:
+  /// Called on a shard thread for every step result when set; replaces the
+  /// internal result queue.
+  using ResultCallback = std::function<void(const StreamStepResult&)>;
+
+  explicit StreamEngine(const StreamEngineOptions& options);
+
+  /// Shuts down (draining all queued work) and joins the shard workers.
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// \brief OK iff the options were coherent.
+  const Status& init_status() const { return init_status_; }
+
+  /// \brief Installs the result callback. Must be called before the first
+  /// Submit; not thread-safe against concurrent Submit.
+  void set_callback(ResultCallback callback);
+
+  /// \brief Enqueues `bag` as the next observation of `stream_id`, creating
+  /// the stream's detector on first sight. Blocks while the target shard's
+  /// queue is full. Returns an error after Shutdown() or a bad init.
+  Status Submit(const std::string& stream_id, Bag bag);
+
+  /// \brief Blocks until every queued bag has been fully processed.
+  void Flush();
+
+  /// \brief Removes and returns all accumulated step results. Order across
+  /// streams is arrival order (unspecified between shards); results of one
+  /// stream always appear in time order.
+  std::vector<StreamStepResult> Drain();
+
+  /// \brief Removes and returns per-stream failures. A stream that fails
+  /// (e.g. a ragged bag) is quarantined: its later bags are dropped and
+  /// counted in dropped_count(). Other streams are unaffected.
+  std::vector<std::pair<std::string, Status>> DrainErrors();
+
+  /// \brief Offline sweep: feeds every sequence through the engine (bags
+  /// interleaved round-robin across streams to keep all shards busy), waits
+  /// for completion, and returns the per-stream result series.
+  ///
+  /// Requires collect_results and no callback. The batch fails if any
+  /// requested stream is already quarantined or fails during the sweep.
+  /// Deterministic for a fixed engine seed: per-stream output is identical
+  /// for any num_shards. Note that detectors persist across calls, so a key
+  /// already fed online (or by a previous batch) continues from its existing
+  /// window state; use a fresh engine for a from-scratch sweep.
+  Result<std::map<std::string, std::vector<StepResult>>> RunBatch(
+      const std::map<std::string, BagSequence>& streams);
+
+  /// \brief Stops accepting work, drains in-flight work, joins workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::uint64_t submitted_count() const { return submitted_.load(); }
+  std::uint64_t processed_count() const { return processed_.load(); }
+  std::uint64_t result_count() const { return results_emitted_.load(); }
+  std::uint64_t dropped_count() const { return dropped_.load(); }
+  /// \brief Number of distinct stream keys seen so far.
+  std::size_t stream_count() const { return streams_created_.load(); }
+
+ private:
+  struct Task {
+    std::string stream_id;
+    Bag bag;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::condition_variable drained;
+    std::deque<Task> queue;
+    bool busy = false;
+    // Touched only by this shard's worker thread (keyed state lives with the
+    // shard that owns the key).
+    std::unordered_map<std::string, std::unique_ptr<BagStreamDetector>>
+        detectors;
+    std::unordered_map<std::string, Status> quarantined;
+  };
+
+  void WorkerLoop(std::size_t shard_index);
+  void Process(Shard& shard, Task task);
+  std::size_t ShardOf(const std::string& stream_id) const;
+
+  StreamEngineOptions options_;
+  Status init_status_;
+  ResultCallback callback_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  bool shut_down_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> results_emitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::size_t> streams_created_{0};
+
+  mutable std::mutex results_mu_;
+  std::vector<StreamStepResult> results_;
+  mutable std::mutex errors_mu_;
+  std::vector<std::pair<std::string, Status>> errors_;
+  // Every key ever quarantined; unlike errors_ this is never drained, so
+  // RunBatch can refuse keys that failed in earlier traffic.
+  std::unordered_set<std::string> quarantined_keys_;
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_RUNTIME_STREAM_ENGINE_H_

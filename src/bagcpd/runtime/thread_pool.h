@@ -1,0 +1,85 @@
+// Sharded fixed-size thread pool, the execution substrate of the concurrent
+// runtime. Each worker owns its own task queue (no work stealing): Submit()
+// round-robins across shards, SubmitTo() pins a task to one shard so that all
+// tasks sharing a key run in submission order on one thread. ParallelFor()
+// statically chunks an index range over the workers plus the calling thread
+// and blocks until every index has run — chunking is a pure function of the
+// range and pool size, never of timing, which is what lets callers guarantee
+// bitwise-deterministic results for any thread count.
+
+#ifndef BAGCPD_RUNTIME_THREAD_POOL_H_
+#define BAGCPD_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bagcpd {
+
+/// \brief Fixed-size pool of worker threads with per-worker (sharded) queues.
+///
+/// A pool of size 0 is valid and runs everything inline on the calling
+/// thread; it is the degenerate serial mode used by determinism tests.
+/// Tasks must not throw; report failures through captured state instead
+/// (the library's Status/Result convention).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = fully inline execution).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains every queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Number of worker threads (and shards).
+  std::size_t size() const { return shards_.size(); }
+
+  /// \brief Enqueues `task` on the next shard (round-robin). With no workers
+  /// the task runs inline before Submit returns.
+  void Submit(std::function<void()> task);
+
+  /// \brief Enqueues `task` on shard `shard % size()`. Tasks submitted to one
+  /// shard run in FIFO order on a single thread.
+  void SubmitTo(std::size_t shard, std::function<void()> task);
+
+  /// \brief Runs `body(i)` for every i in [begin, end) across the pool and
+  /// the calling thread; returns once all indices have completed.
+  ///
+  /// The range is split into at most size() + 1 contiguous chunks; the split
+  /// depends only on (begin, end, size()), so any per-index work that is
+  /// itself deterministic yields results independent of scheduling.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& body);
+
+  /// \brief Chunked variant: `body(chunk_begin, chunk_end)` per contiguous
+  /// chunk. Useful when per-index dispatch overhead matters.
+  void ParallelForChunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t shard_index);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_shard_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_RUNTIME_THREAD_POOL_H_

@@ -53,6 +53,52 @@ TEST(DistanceCacheTest, EvictBeforeDropsOldPairs) {
   EXPECT_EQ(calls, 4);  // Recomputed after eviction.
 }
 
+TEST(DistanceCacheTest, IndicesBeyond32BitsDoNotCollide) {
+  // Regression: the key used to be (i << 32) | (j & 0xFFFFFFFF), so the pair
+  // (0, 2^32 + 1) collided with (0, 1) once a stream ran long enough.
+  int calls = 0;
+  PairwiseDistanceCache cache(
+      [&](std::uint64_t i, std::uint64_t j) -> Result<double> {
+        ++calls;
+        return static_cast<double>(i) * 3.0 + static_cast<double>(j);
+      });
+  const std::uint64_t big = (1ULL << 32) + 1;
+  EXPECT_DOUBLE_EQ(cache.Get(0, 1).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(cache.Get(0, big).ValueOrDie(),
+                   static_cast<double>(big));
+  EXPECT_EQ(calls, 2);  // Distinct pairs, distinct entries.
+  EXPECT_EQ(cache.size(), 2u);
+  // High bits of the smaller index matter too.
+  const std::uint64_t huge = 1ULL << 33;
+  EXPECT_DOUBLE_EQ(cache.Get(huge, huge + 1).ValueOrDie(),
+                   static_cast<double>(huge) * 3.0 +
+                       static_cast<double>(huge + 1));
+  EXPECT_EQ(calls, 3);
+  // Eviction keyed by the full smaller index.
+  cache.EvictBefore(huge);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Contains(huge, huge + 1));
+}
+
+TEST(DistanceCacheTest, ContainsAndPutSupportExternalPrefill) {
+  int calls = 0;
+  PairwiseDistanceCache cache(
+      [&](std::uint64_t, std::uint64_t) -> Result<double> {
+        ++calls;
+        return 9.0;
+      });
+  EXPECT_FALSE(cache.Contains(1, 2));
+  EXPECT_TRUE(cache.Contains(3, 3));  // Diagonal is implicitly cached.
+  cache.Put(1, 2, 4.5);
+  EXPECT_TRUE(cache.Contains(2, 1));
+  EXPECT_EQ(cache.misses(), 1u);  // A Put of an absent pair counts as a miss.
+  EXPECT_DOUBLE_EQ(cache.Get(1, 2).ValueOrDie(), 4.5);
+  EXPECT_EQ(calls, 0);  // Prefilled: the compute fn never ran.
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.Put(1, 2, 99.0);  // No-op when present.
+  EXPECT_DOUBLE_EQ(cache.Get(1, 2).ValueOrDie(), 4.5);
+}
+
 TEST(DistanceCacheTest, PropagatesComputeErrors) {
   PairwiseDistanceCache cache(
       [&](std::uint64_t, std::uint64_t) -> Result<double> {

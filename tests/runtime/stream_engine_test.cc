@@ -1,0 +1,192 @@
+#include "bagcpd/runtime/stream_engine.h"
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/rng.h"
+#include "bagcpd/data/gmm.h"
+
+namespace bagcpd {
+namespace {
+
+DetectorOptions SmallDetector() {
+  DetectorOptions options;
+  options.tau = 4;
+  options.tau_prime = 4;
+  options.bootstrap.replicates = 40;
+  options.signature.method = SignatureMethod::kKMeans;
+  options.signature.k = 4;
+  return options;
+}
+
+// A 2-d stream with a mean jump at `change_at` (no jump when change_at == 0).
+BagSequence JumpStream(std::size_t length, std::size_t change_at,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  const GaussianMixture before = GaussianMixture::Isotropic({0.0, 0.0}, 0.5);
+  const GaussianMixture after = GaussianMixture::Isotropic({5.0, 5.0}, 0.5);
+  BagSequence bags;
+  for (std::size_t t = 0; t < length; ++t) {
+    const GaussianMixture& mix =
+        (change_at > 0 && t >= change_at) ? after : before;
+    bags.push_back(mix.SampleBag(20, &rng));
+  }
+  return bags;
+}
+
+StreamEngineOptions SmallEngine(std::size_t shards) {
+  StreamEngineOptions options;
+  options.num_shards = shards;
+  options.detector = SmallDetector();
+  options.seed = 99;
+  return options;
+}
+
+TEST(StreamEngineTest, RejectsBadOptions) {
+  StreamEngineOptions options = SmallEngine(2);
+  options.shard_queue_capacity = 0;
+  EXPECT_FALSE(StreamEngine(options).init_status().ok());
+
+  StreamEngineOptions bad_detector = SmallEngine(2);
+  bad_detector.detector.tau = 1;
+  EXPECT_FALSE(StreamEngine(bad_detector).init_status().ok());
+}
+
+TEST(StreamEngineTest, SubmitFlushDrainProcessesEveryBag) {
+  StreamEngine engine(SmallEngine(3));
+  ASSERT_TRUE(engine.init_status().ok());
+  const std::size_t kStreams = 6;
+  const std::size_t kLength = 12;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    BagSequence bags = JumpStream(kLength, 0, 100 + s);
+    for (Bag& bag : bags) {
+      ASSERT_TRUE(engine.Submit("stream-" + std::to_string(s), bag).ok());
+    }
+  }
+  engine.Flush();
+  EXPECT_EQ(engine.submitted_count(), kStreams * kLength);
+  EXPECT_EQ(engine.processed_count(), kStreams * kLength);
+  EXPECT_EQ(engine.stream_count(), kStreams);
+  std::vector<StreamStepResult> results = engine.Drain();
+  // Each stream yields length - (tau + tau') + 1 = 12 - 8 + 1 = 5 results.
+  EXPECT_EQ(results.size(), kStreams * 5u);
+  EXPECT_EQ(engine.result_count(), kStreams * 5u);
+  // Per-stream results arrive in time order.
+  std::map<std::string, std::uint64_t> last_time;
+  for (const StreamStepResult& r : results) {
+    auto it = last_time.find(r.stream_id);
+    if (it != last_time.end()) EXPECT_GT(r.step.time, it->second);
+    last_time[r.stream_id] = r.step.time;
+  }
+  EXPECT_EQ(last_time.size(), kStreams);
+  // Drain removes: a second drain is empty.
+  EXPECT_TRUE(engine.Drain().empty());
+}
+
+TEST(StreamEngineTest, RunBatchDetectsPlantedChanges) {
+  StreamEngine engine(SmallEngine(4));
+  ASSERT_TRUE(engine.init_status().ok());
+  std::map<std::string, BagSequence> streams;
+  streams["changing-a"] = JumpStream(30, 15, 1);
+  streams["changing-b"] = JumpStream(30, 15, 2);
+  streams["stationary"] = JumpStream(30, 0, 3);
+  auto batch = engine.RunBatch(streams);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 3u);
+  for (const char* key : {"changing-a", "changing-b"}) {
+    const std::vector<StepResult>& series = batch->at(key);
+    ASSERT_EQ(series.size(), 30u - 8u + 1u);
+    std::vector<std::uint64_t> alarms = AlarmTimes(series);
+    ASSERT_FALSE(alarms.empty()) << key;
+    for (std::uint64_t a : alarms) {
+      EXPECT_GE(a, 13u) << key;
+      EXPECT_LE(a, 18u) << key;
+    }
+  }
+  EXPECT_TRUE(AlarmTimes(batch->at("stationary")).empty());
+}
+
+TEST(StreamEngineTest, CallbackDeliversResultsOnShardThreads) {
+  StreamEngine engine(SmallEngine(2));
+  std::atomic<int> callbacks{0};
+  engine.set_callback([&](const StreamStepResult& r) {
+    EXPECT_FALSE(r.stream_id.empty());
+    callbacks.fetch_add(1);
+  });
+  BagSequence bags = JumpStream(12, 0, 5);
+  for (const Bag& bag : bags) {
+    ASSERT_TRUE(engine.Submit("cb", bag).ok());
+  }
+  engine.Flush();
+  EXPECT_EQ(callbacks.load(), 5);
+  // Callback mode bypasses the drainable queue.
+  EXPECT_TRUE(engine.Drain().empty());
+}
+
+TEST(StreamEngineTest, QuarantinesFailingStreamOnly) {
+  StreamEngine engine(SmallEngine(2));
+  // A ragged bag (mismatched dimensions) fails the stream.
+  Bag ragged = {{1.0, 2.0}, {3.0}};
+  ASSERT_TRUE(engine.Submit("bad", ragged).ok());
+  BagSequence good_bags = JumpStream(12, 0, 6);
+  for (const Bag& bag : good_bags) {
+    ASSERT_TRUE(engine.Submit("good", bag).ok());
+    ASSERT_TRUE(engine.Submit("bad", bag).ok());  // Dropped after failure.
+  }
+  engine.Flush();
+  auto errors = engine.DrainErrors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors.front().first, "bad");
+  EXPECT_FALSE(errors.front().second.ok());
+  EXPECT_EQ(engine.dropped_count(), 12u);
+  // The healthy stream was unaffected.
+  std::vector<StreamStepResult> results = engine.Drain();
+  EXPECT_EQ(results.size(), 5u);
+  for (const StreamStepResult& r : results) EXPECT_EQ(r.stream_id, "good");
+}
+
+TEST(StreamEngineTest, RunBatchRefusesStreamsQuarantinedEarlier) {
+  // A stream that failed during online traffic must fail a later batch that
+  // includes it, not silently return an empty series.
+  StreamEngine engine(SmallEngine(2));
+  Bag ragged = {{1.0, 2.0}, {3.0}};
+  ASSERT_TRUE(engine.Submit("poisoned", ragged).ok());
+  engine.Flush();
+  std::map<std::string, BagSequence> streams;
+  streams["poisoned"] = JumpStream(12, 0, 8);
+  streams["fresh"] = JumpStream(12, 0, 9);
+  Result<std::map<std::string, std::vector<StepResult>>> batch =
+      engine.RunBatch(streams);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_NE(batch.status().ToString().find("poisoned"), std::string::npos);
+  // Without the quarantined key the batch goes through.
+  streams.erase("poisoned");
+  EXPECT_TRUE(engine.RunBatch(streams).ok());
+}
+
+TEST(StreamEngineTest, SubmitAfterShutdownFails) {
+  StreamEngine engine(SmallEngine(2));
+  engine.Shutdown();
+  EXPECT_FALSE(engine.Submit("x", JumpStream(1, 0, 7).front()).ok());
+}
+
+TEST(StreamEngineTest, BackpressureDoesNotDeadlockTinyQueues) {
+  StreamEngineOptions options = SmallEngine(2);
+  options.shard_queue_capacity = 1;
+  StreamEngine engine(options);
+  for (std::size_t s = 0; s < 4; ++s) {
+    BagSequence bags = JumpStream(15, 0, 200 + s);
+    for (const Bag& bag : bags) {
+      ASSERT_TRUE(engine.Submit("k" + std::to_string(s), bag).ok());
+    }
+  }
+  engine.Flush();
+  EXPECT_EQ(engine.processed_count(), 60u);
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,112 @@
+#include "bagcpd/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int counter = 0;
+  pool.Submit([&] { ++counter; });
+  // Inline execution: visible immediately, no synchronization needed.
+  EXPECT_EQ(counter, 1);
+  pool.ParallelFor(0, 10, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter, 11);
+}
+
+TEST(ThreadPoolTest, SubmitExecutesAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+    // Destructor drains the queues before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitToSameShardPreservesFifoOrder) {
+  std::vector<int> order;
+  std::mutex mu;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.SubmitTo(1, [&, i] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(i);
+      });
+    }
+  }
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(0, hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int counter = 0;
+  pool.ParallelFor(5, 5, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter, 0);
+  std::atomic<int> one{0};
+  pool.ParallelFor(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    one.fetch_add(1);
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedPartitionsRange) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.ParallelForChunked(10, 110, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_LE(chunks.size(), 4u);  // At most size() + 1 chunks.
+  EXPECT_EQ(chunks.front().first, 10u);
+  EXPECT_EQ(chunks.back().second, 110u);
+  for (std::size_t c = 1; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, chunks[c - 1].second);  // Contiguous, disjoint.
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRunsConcurrentTasksToCompletion) {
+  // A body that blocks until all chunks have started would deadlock if the
+  // pool lost tasks; with enough threads it must complete.
+  ThreadPool pool(2);
+  std::atomic<long> total{0};
+  pool.ParallelFor(0, 1000, [&](std::size_t i) {
+    total.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(total.load(), 999L * 1000L / 2);
+}
+
+}  // namespace
+}  // namespace bagcpd
