@@ -19,8 +19,7 @@ Signature RandomSignature(Rng* rng, std::size_t k, std::size_t dim) {
   for (std::size_t i = 0; i < k; ++i) {
     Point c(dim);
     for (double& v : c) v = rng->Uniform(-5.0, 5.0);
-    s.centers.push_back(std::move(c));
-    s.weights.push_back(rng->Uniform(0.5, 3.0));
+    s.AddCenter(c, rng->Uniform(0.5, 3.0));
   }
   return s;
 }
@@ -101,10 +100,10 @@ void BM_Emd1dFastPathVsSolver(benchmark::State& state) {
   Rng rng(7);
   Signature a, b;
   for (std::size_t i = 0; i < 16; ++i) {
-    a.centers.push_back({rng.Uniform(-10.0, 10.0)});
-    a.weights.push_back(rng.Uniform(0.5, 2.0));
-    b.centers.push_back({rng.Uniform(-10.0, 10.0)});
-    b.weights.push_back(rng.Uniform(0.5, 2.0));
+    const double ax = rng.Uniform(-10.0, 10.0);
+    a.AddCenter(Point{ax}, rng.Uniform(0.5, 2.0));
+    const double bx = rng.Uniform(-10.0, 10.0);
+    b.AddCenter(Point{bx}, rng.Uniform(0.5, 2.0));
   }
   a = a.Normalized();
   b = b.Normalized();

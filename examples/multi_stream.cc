@@ -29,6 +29,10 @@ int main() {
   options.detector.bootstrap.replicates = 150;
   options.detector.signature.method = SignatureMethod::kKMeans;
   options.detector.signature.k = 5;
+  // Serving hygiene: a sensor silent for > 4096 engine-wide submissions is
+  // evicted and restarts fresh on its next bag, so idle keys don't pin
+  // detector memory. Deterministic for any shard count.
+  options.max_idle_submissions = 4096;
   StreamEngine engine(options);
   if (!engine.init_status().ok()) {
     std::fprintf(stderr, "engine init failed: %s\n",
@@ -58,7 +62,13 @@ int main() {
       const GaussianMixture& mix =
           (s % 2 == 1 && t >= 20) ? drifted : normal;
       const std::string key = "sensor-" + std::to_string(s);
-      const Status status = engine.Submit(key, mix.SampleBag(25, &rng));
+      // Non-blocking ingest first (high-fan-in shape). Flatten once; a
+      // rejected TrySubmit hands the FlatBag back un-consumed, so the
+      // blocking fallback reuses it without re-flattening.
+      FlatBag bag =
+          FlatBag::FromBag(mix.SampleBag(25, &rng)).ValueOrDie();
+      Status status = engine.TrySubmit(key, std::move(bag));
+      if (status.IsUnavailable()) status = engine.Submit(key, std::move(bag));
       if (!status.ok()) {
         std::fprintf(stderr, "submit failed: %s\n", status.ToString().c_str());
         return 1;

@@ -1,0 +1,77 @@
+#include "bagcpd/common/flat_bag.h"
+
+#include <cstdio>
+
+namespace bagcpd {
+
+Result<FlatBag> FlatBag::FromFlat(std::vector<double> values,
+                                  std::size_t dim) {
+  if (dim == 0) {
+    if (!values.empty()) {
+      return Status::Invalid("flat bag with dimension 0 must be empty");
+    }
+    return FlatBag();
+  }
+  if (values.size() % dim != 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "flat buffer of %zu values is not a multiple of dim %zu",
+                  values.size(), dim);
+    return Status::Invalid(buf);
+  }
+  return FlatBag(std::move(values), dim);
+}
+
+Result<FlatBag> FlatBag::FromBag(const Bag& bag) {
+  BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+  const std::size_t dim = bag.front().size();
+  std::vector<double> values;
+  values.reserve(bag.size() * dim);
+  for (const Point& x : bag) {
+    values.insert(values.end(), x.begin(), x.end());
+  }
+  return FlatBag(std::move(values), dim);
+}
+
+Status FlatBag::Append(PointView x) {
+  if (x.empty()) {
+    return Status::Invalid("cannot append a zero-dimensional point");
+  }
+  if (dim_ == 0) {
+    dim_ = x.size();
+  } else if (x.size() != dim_) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "point has dimension %zu, expected %zu", x.size(), dim_);
+    return Status::Invalid(buf);
+  }
+  AppendRow(&data_, x);
+  return Status::OK();
+}
+
+void AppendRow(std::vector<double>* buffer, PointView row) {
+  if (buffer->size() + row.size() > buffer->capacity() && !buffer->empty() &&
+      row.data() >= buffer->data() &&
+      row.data() < buffer->data() + buffer->size()) {
+    const Point copy = row.ToPoint();
+    buffer->insert(buffer->end(), copy.begin(), copy.end());
+  } else {
+    buffer->insert(buffer->end(), row.begin(), row.end());
+  }
+}
+
+Result<FlatBagSequence> FlattenSequence(const BagSequence& bags) {
+  FlatBagSequence out;
+  out.reserve(bags.size());
+  for (std::size_t t = 0; t < bags.size(); ++t) {
+    Result<FlatBag> flat = FlatBag::FromBag(bags[t]);
+    if (!flat.ok()) {
+      return Status::Invalid("bag at time " + std::to_string(t) + ": " +
+                             flat.status().message());
+    }
+    out.push_back(flat.MoveValueUnsafe());
+  }
+  return out;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,91 @@
+// FlatBag: the owning, contiguous bag representation behind BagView. One
+// `std::vector<double>` holds all n observations row-major (n x d), so the
+// whole bag is a single allocation that moves through queues and shards
+// without copying, and every kernel walks it linearly through the cache.
+//
+// The nested `Bag` (std::vector<std::vector<double>>) stays as the
+// convenience/interchange type; FromBag/ToBag convert between the two. The
+// intended flow is: flatten once at the ingest boundary (FromBag or
+// Append), then hand out zero-copy BagViews to quantizers and distance
+// kernels.
+
+#ifndef BAGCPD_COMMON_FLAT_BAG_H_
+#define BAGCPD_COMMON_FLAT_BAG_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+#include "bagcpd/common/status.h"
+
+namespace bagcpd {
+
+/// \brief Owning flat bag storage: n observations of dimension d in one
+/// contiguous row-major buffer. Rectangular by construction.
+class FlatBag {
+ public:
+  /// \brief Empty bag of unknown dimension (fixed by the first Append).
+  FlatBag() = default;
+
+  /// \brief Empty bag whose observations will have dimension `dim`.
+  explicit FlatBag(std::size_t dim) : dim_(dim) {}
+
+  /// \brief Adopts an already-flat buffer. `values.size()` must be a
+  /// positive multiple of `dim` (or empty).
+  static Result<FlatBag> FromFlat(std::vector<double> values, std::size_t dim);
+
+  /// \brief Flattens a nested bag, validating it exactly like ValidateBag
+  /// (non-empty, no zero-dimensional points, not ragged).
+  static Result<FlatBag> FromBag(const Bag& bag);
+
+  /// \brief Materializes the nested convenience form.
+  Bag ToBag() const { return view().ToBag(); }
+
+  /// \brief Zero-copy view over the storage.
+  BagView view() const { return BagView(data_.data(), size(), dim_); }
+
+  /// \brief Implicit view conversion so FlatBag can be passed anywhere a
+  /// BagView is accepted.
+  operator BagView() const { return view(); }  // NOLINT(runtime/explicit)
+
+  /// \brief Number of observations n.
+  std::size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  /// \brief Dimension d (0 until the first Append fixes it).
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return data_.empty(); }
+
+  PointView operator[](std::size_t i) const {
+    return PointView(data_.data() + i * dim_, dim_);
+  }
+
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& storage() const { return data_; }
+
+  /// \brief Appends one observation. The first Append fixes the dimension
+  /// when it was not set at construction; later dimension mismatches fail.
+  Status Append(PointView x);
+
+ private:
+  FlatBag(std::vector<double> values, std::size_t dim)
+      : data_(std::move(values)), dim_(dim) {}
+
+  std::vector<double> data_;
+  std::size_t dim_ = 0;
+};
+
+/// \brief A time-ordered sequence of flat bags.
+using FlatBagSequence = std::vector<FlatBag>;
+
+/// \brief Appends `row` to `buffer`, copying through a temporary when `row`
+/// points into `buffer` and the insert would reallocate (which would
+/// invalidate the view mid-copy). Shared by FlatBag and Signature storage.
+void AppendRow(std::vector<double>* buffer, PointView row);
+
+/// \brief Flattens every bag of a nested sequence (validating each).
+Result<FlatBagSequence> FlattenSequence(const BagSequence& bags);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_COMMON_FLAT_BAG_H_

@@ -7,25 +7,36 @@
 
 namespace bagcpd {
 
-double SquaredDistance(const Point& a, const Point& b) {
+Bag BagView::ToBag() const {
+  Bag out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i].ToPoint());
+  return out;
+}
+
+double SquaredDistance(PointView a, PointView b) {
   BAGCPD_DCHECK(a.size() == b.size());
+  const double* pa = a.data();
+  const double* pb = b.data();
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
+    const double diff = pa[i] - pb[i];
     acc += diff * diff;
   }
   return acc;
 }
 
-double EuclideanDistance(const Point& a, const Point& b) {
+double EuclideanDistance(PointView a, PointView b) {
   return std::sqrt(SquaredDistance(a, b));
 }
 
-double ManhattanDistance(const Point& a, const Point& b) {
+double ManhattanDistance(PointView a, PointView b) {
   BAGCPD_DCHECK(a.size() == b.size());
+  const double* pa = a.data();
+  const double* pb = b.data();
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += std::abs(a[i] - b[i]);
+    acc += std::abs(pa[i] - pb[i]);
   }
   return acc;
 }
@@ -36,6 +47,18 @@ Point BagMean(const Bag& bag) {
   for (const Point& x : bag) {
     BAGCPD_DCHECK(x.size() == mean.size());
     for (std::size_t j = 0; j < mean.size(); ++j) mean[j] += x[j];
+  }
+  const double inv = 1.0 / static_cast<double>(bag.size());
+  for (double& v : mean) v *= inv;
+  return mean;
+}
+
+Point BagMean(BagView bag) {
+  BAGCPD_CHECK_MSG(!bag.empty(), "BagMean of empty bag");
+  Point mean(bag.dim(), 0.0);
+  const double* row = bag.data();
+  for (std::size_t i = 0; i < bag.size(); ++i, row += bag.dim()) {
+    for (std::size_t j = 0; j < mean.size(); ++j) mean[j] += row[j];
   }
   const double inv = 1.0 / static_cast<double>(bag.size());
   for (double& v : mean) v *= inv;
@@ -54,6 +77,20 @@ Status ValidateBag(const Bag& bag, std::size_t expected_dim) {
                     bag[i].size(), dim);
       return Status::Invalid(buf);
     }
+  }
+  return Status::OK();
+}
+
+Status ValidateBagView(BagView bag, std::size_t expected_dim) {
+  if (bag.empty()) return Status::Invalid("bag is empty");
+  if (bag.dim() == 0) {
+    return Status::Invalid("bag contains zero-dimensional points");
+  }
+  if (expected_dim != 0 && bag.dim() != expected_dim) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "bag has dimension %zu, expected %zu",
+                  bag.dim(), expected_dim);
+    return Status::Invalid(buf);
   }
   return Status::OK();
 }

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

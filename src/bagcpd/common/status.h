@@ -21,6 +21,9 @@ enum class StatusCode : int {
   kInternal = 4,
   kIoError = 5,
   kUnknown = 6,
+  /// A resource is transiently full/busy; retrying later may succeed
+  /// (e.g. StreamEngine::TrySubmit on a full shard queue).
+  kUnavailable = 7,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK", "Invalid", ...).
@@ -57,6 +60,12 @@ class Status {
   static Status IoError(std::string message) {
     return Status(StatusCode::kIoError, std::move(message));
   }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+
+  /// \brief True iff the status carries the transient-unavailability code.
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// \brief True iff the status is OK.
   bool ok() const { return state_ == nullptr; }

@@ -83,6 +83,12 @@ void BagStreamDetector::Reset() {
 
 Result<std::optional<StepResult>> BagStreamDetector::Push(const Bag& bag) {
   BAGCPD_RETURN_NOT_OK(init_status_);
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
+  return Push(flat.view());
+}
+
+Result<std::optional<StepResult>> BagStreamDetector::Push(BagView bag) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
   BAGCPD_ASSIGN_OR_RETURN(Signature sig, builder_.Build(bag, next_index_));
   window_.push_back(std::move(sig));
   ++next_index_;
@@ -203,6 +209,18 @@ Result<std::vector<StepResult>> BagStreamDetector::Run(const BagSequence& bags) 
   results.reserve(bags.size());
   for (const Bag& bag : bags) {
     BAGCPD_ASSIGN_OR_RETURN(std::optional<StepResult> step, Push(bag));
+    if (step.has_value()) results.push_back(*step);
+  }
+  return results;
+}
+
+Result<std::vector<StepResult>> BagStreamDetector::Run(
+    const FlatBagSequence& bags) {
+  Reset();
+  std::vector<StepResult> results;
+  results.reserve(bags.size());
+  for (const FlatBag& bag : bags) {
+    BAGCPD_ASSIGN_OR_RETURN(std::optional<StepResult> step, Push(bag.view()));
     if (step.has_value()) results.push_back(*step);
   }
   return results;

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/common/rng.h"
@@ -84,14 +85,22 @@ class BagStreamDetector {
   /// \brief OK iff the options were coherent.
   const Status& init_status() const { return init_status_; }
 
-  /// \brief Feeds the bag observed at the next time index.
+  /// \brief Feeds the bag observed at the next time index (zero-copy flat
+  /// path; a FlatBag converts implicitly).
   ///
   /// Returns the StepResult for inspection time (pushed_count - tau') if the
   /// window is full after this push, std::nullopt while still warming up.
+  Result<std::optional<StepResult>> Push(BagView bag);
+
+  /// \brief Nested-bag convenience: validates and flattens once at this
+  /// boundary, then runs the view path. Bitwise-identical results.
   Result<std::optional<StepResult>> Push(const Bag& bag);
 
   /// \brief Convenience: Reset(), push every bag, and collect all results.
   Result<std::vector<StepResult>> Run(const BagSequence& bags);
+
+  /// \brief Flat-sequence counterpart of Run(); bitwise-identical results.
+  Result<std::vector<StepResult>> Run(const FlatBagSequence& bags);
 
   /// \brief Clears all buffered state (signatures, cache, CI history).
   void Reset();

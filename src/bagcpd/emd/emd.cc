@@ -37,7 +37,7 @@ Result<EmdSolution> ComputeEmdDetailed(const Signature& a, const Signature& b,
   std::vector<std::vector<int>> transport_ids(k, std::vector<int>(l));
   for (std::size_t i = 0; i < k; ++i) {
     for (std::size_t j = 0; j < l; ++j) {
-      const double dist = ground(a.centers[i], b.centers[j]);
+      const double dist = ground(a.center(i), b.center(j));
       if (!(dist >= 0.0) || !std::isfinite(dist)) {
         return Status::Invalid("ground distance produced a negative or "
                                "non-finite value");

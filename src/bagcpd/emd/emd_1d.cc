@@ -33,10 +33,10 @@ Result<double> ComputeEmd1d(const Signature& a, const Signature& b) {
   std::vector<Event> events;
   events.reserve(a.size() + b.size());
   for (std::size_t k = 0; k < a.size(); ++k) {
-    events.push_back(Event{a.centers[k][0], a.weights[k]});
+    events.push_back(Event{a.center(k)[0], a.weights[k]});
   }
   for (std::size_t l = 0; l < b.size(); ++l) {
-    events.push_back(Event{b.centers[l][0], -b.weights[l]});
+    events.push_back(Event{b.center(l)[0], -b.weights[l]});
   }
   std::sort(events.begin(), events.end(),
             [](const Event& x, const Event& y) {

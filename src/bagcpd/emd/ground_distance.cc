@@ -5,19 +5,13 @@ namespace bagcpd {
 GroundDistanceFn MakeGroundDistance(GroundDistance kind) {
   switch (kind) {
     case GroundDistance::kEuclidean:
-      return [](const Point& a, const Point& b) {
-        return EuclideanDistance(a, b);
-      };
+      return [](PointView a, PointView b) { return EuclideanDistance(a, b); };
     case GroundDistance::kSquaredEuclidean:
-      return [](const Point& a, const Point& b) {
-        return SquaredDistance(a, b);
-      };
+      return [](PointView a, PointView b) { return SquaredDistance(a, b); };
     case GroundDistance::kManhattan:
-      return [](const Point& a, const Point& b) {
-        return ManhattanDistance(a, b);
-      };
+      return [](PointView a, PointView b) { return ManhattanDistance(a, b); };
   }
-  return [](const Point& a, const Point& b) { return EuclideanDistance(a, b); };
+  return [](PointView a, PointView b) { return EuclideanDistance(a, b); };
 }
 
 const char* GroundDistanceName(GroundDistance kind) {

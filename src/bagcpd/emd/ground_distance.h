@@ -13,7 +13,10 @@ namespace bagcpd {
 /// \brief A ground distance is any non-negative dissimilarity between centers.
 /// It does not need to be a metric, but EMD between normalized signatures is a
 /// metric iff the ground distance is (Rubner et al. 2000).
-using GroundDistanceFn = std::function<double(const Point&, const Point&)>;
+///
+/// Centers are passed as zero-copy PointViews over the signatures' contiguous
+/// storage; `const Point&` arguments convert implicitly.
+using GroundDistanceFn = std::function<double(PointView, PointView)>;
 
 /// \brief Built-in ground distances.
 enum class GroundDistance {

@@ -9,6 +9,11 @@ namespace bagcpd {
 
 namespace {
 
+// How many tasks a shard processes between idle-eviction sweeps. The sweep
+// only reclaims memory: any detector it frees would also have been recreated
+// from scratch by the lazy per-task check, so results are unaffected.
+constexpr std::uint64_t kIdleSweepPeriod = 512;
+
 Status ValidateEngineOptions(const StreamEngineOptions& options) {
   if (options.shard_queue_capacity < 1) {
     return Status::Invalid("shard_queue_capacity must be >= 1");
@@ -51,7 +56,35 @@ std::size_t StreamEngine::ShardOf(const std::string& stream_id) const {
          shards_.size();
 }
 
-Status StreamEngine::Submit(const std::string& stream_id, Bag bag) {
+Status StreamEngine::Submit(const std::string& stream_id, const Bag& bag) {
+  // Flatten exactly once at the ingest boundary; a ragged bag becomes an
+  // error task that quarantines the stream on its shard, matching the
+  // detector-failure path.
+  Result<FlatBag> flat = FlatBag::FromBag(bag);
+  return SubmitImpl(stream_id, &flat, /*blocking=*/true);
+}
+
+Status StreamEngine::Submit(const std::string& stream_id, FlatBag bag) {
+  Result<FlatBag> flat(std::move(bag));
+  return SubmitImpl(stream_id, &flat, /*blocking=*/true);
+}
+
+Status StreamEngine::TrySubmit(const std::string& stream_id, const Bag& bag) {
+  Result<FlatBag> flat = FlatBag::FromBag(bag);
+  return SubmitImpl(stream_id, &flat, /*blocking=*/false);
+}
+
+Status StreamEngine::TrySubmit(const std::string& stream_id, FlatBag&& bag) {
+  Result<FlatBag> flat(std::move(bag));
+  const Status status = SubmitImpl(stream_id, &flat, /*blocking=*/false);
+  // Hand the payload back on a transient rejection so callers can retry
+  // without re-flattening.
+  if (status.IsUnavailable()) bag = flat.MoveValueUnsafe();
+  return status;
+}
+
+Status StreamEngine::SubmitImpl(const std::string& stream_id,
+                                Result<FlatBag>* bag, bool blocking) {
   BAGCPD_RETURN_NOT_OK(init_status_);
   if (stop_.load()) {
     return Status::Invalid("Submit on a stopped StreamEngine");
@@ -59,16 +92,24 @@ Status StreamEngine::Submit(const std::string& stream_id, Bag bag) {
   Shard& shard = *shards_[ShardOf(stream_id)];
   {
     std::unique_lock<std::mutex> lock(shard.mu);
-    shard.not_full.wait(lock, [&] {
-      return shard.queue.size() < options_.shard_queue_capacity || stop_.load();
-    });
+    if (blocking) {
+      shard.not_full.wait(lock, [&] {
+        return shard.queue.size() < options_.shard_queue_capacity ||
+               stop_.load();
+      });
+    } else if (shard.queue.size() >= options_.shard_queue_capacity &&
+               !stop_.load()) {
+      return Status::Unavailable("shard queue full");
+    }
     if (stop_.load()) {
       return Status::Invalid("Submit on a stopped StreamEngine");
     }
-    shard.queue.push_back(Task{stream_id, std::move(bag)});
+    // The sequence number is taken only once queue space is secured, so a
+    // rejected TrySubmit never advances the idle clock.
+    const std::uint64_t seq = submit_seq_.fetch_add(1) + 1;
+    shard.queue.push_back(Task{stream_id, std::move(*bag), seq});
   }
   shard.not_empty.notify_one();
-  submitted_.fetch_add(1);
   return Status::OK();
 }
 
@@ -86,11 +127,34 @@ void StreamEngine::WorkerLoop(std::size_t shard_index) {
       shard.busy = true;
     }
     shard.not_full.notify_one();
+    const std::uint64_t seq = task.seq;
     Process(shard, std::move(task));
+    if (options_.max_idle_submissions > 0 &&
+        ++shard.processed_since_sweep >= kIdleSweepPeriod) {
+      shard.processed_since_sweep = 0;
+      SweepIdle(shard, seq);
+    }
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.busy = false;
       if (shard.queue.empty()) shard.drained.notify_all();
+    }
+  }
+}
+
+void StreamEngine::SweepIdle(Shard& shard, std::uint64_t now_seq) {
+  // Reclaims detectors idle past the threshold. Any stream erased here would
+  // also be restarted by the lazy check on its next bag (its gap can only
+  // grow), so the sweep changes memory usage, never results.
+  const std::uint64_t max_idle = options_.max_idle_submissions;
+  for (auto it = shard.detectors.begin(); it != shard.detectors.end();) {
+    if (now_seq > it->second.last_seq &&
+        now_seq - it->second.last_seq > max_idle) {
+      it = shard.detectors.erase(it);
+      evicted_.fetch_add(1);
+      live_streams_.fetch_sub(1);
+    } else {
+      ++it;
     }
   }
 }
@@ -101,22 +165,52 @@ void StreamEngine::Process(Shard& shard, Task task) {
     dropped_.fetch_add(1);
     return;
   }
+  if (!task.bag.ok()) {
+    // Flattening failed at the ingest boundary: quarantine exactly like a
+    // detector failure so later bags of this key are dropped, not processed
+    // out of order, and any detector built by earlier good bags is freed.
+    auto existing = shard.detectors.find(task.stream_id);
+    if (existing != shard.detectors.end()) {
+      shard.detectors.erase(existing);
+      live_streams_.fetch_sub(1);
+    }
+    shard.quarantined.emplace(task.stream_id, task.bag.status());
+    std::lock_guard<std::mutex> lock(errors_mu_);
+    errors_.emplace_back(task.stream_id, task.bag.status());
+    quarantined_keys_.insert(task.stream_id);
+    return;
+  }
   auto it = shard.detectors.find(task.stream_id);
+  if (it != shard.detectors.end() && options_.max_idle_submissions > 0 &&
+      task.seq - it->second.last_seq - 1 > options_.max_idle_submissions) {
+    // The key sat idle past the threshold: restart it from scratch. The
+    // decision depends only on the global submission sequence, so it is
+    // identical for any shard count.
+    shard.detectors.erase(it);
+    it = shard.detectors.end();
+    evicted_.fetch_add(1);
+    live_streams_.fetch_sub(1);
+  }
   if (it == shard.detectors.end()) {
     DetectorOptions per_stream = options_.detector;
     // Seeded by (engine seed, key) only — never by shard index or count — so
-    // a stream's entire output is reproducible under resharding.
+    // a stream's entire output is reproducible under resharding, and a
+    // restarted stream behaves exactly like a fresh one.
     per_stream.seed =
         Rng::MixSeed64(options_.seed ^ Rng::StableHash64(task.stream_id));
-    it = shard.detectors
-             .emplace(task.stream_id,
-                      std::make_unique<BagStreamDetector>(per_stream))
-             .first;
+    StreamState state;
+    state.detector = std::make_unique<BagStreamDetector>(per_stream);
+    it = shard.detectors.emplace(task.stream_id, std::move(state)).first;
     streams_created_.fetch_add(1);
+    live_streams_.fetch_add(1);
   }
-  Result<std::optional<StepResult>> step = it->second->Push(task.bag);
+  it->second.last_seq = task.seq;
+  Result<std::optional<StepResult>> step =
+      it->second.detector->Push(task.bag.ValueOrDie().view());
   if (!step.ok()) {
     shard.quarantined.emplace(task.stream_id, step.status());
+    shard.detectors.erase(it);
+    live_streams_.fetch_sub(1);
     std::lock_guard<std::mutex> lock(errors_mu_);
     errors_.emplace_back(task.stream_id, step.status());
     quarantined_keys_.insert(task.stream_id);

@@ -6,9 +6,15 @@
 // results that are bitwise-independent of the shard count (each detector is
 // seeded from the engine seed and a platform-stable hash of its key only).
 //
+// Ingestion is zero-copy past the boundary: nested bags are flattened into a
+// FlatBag exactly once at Submit/TrySubmit and then *moved* — never copied —
+// through the shard queue to the detector, which consumes a BagView.
+//
 // This is the serving layer the ROADMAP's "millions of streams" target grows
 // on: Submit() for online pushes (callback or drainable result queue),
-// RunBatch() for offline sweeps over a keyed corpus.
+// TrySubmit() for non-blocking ingest, RunBatch() for offline sweeps over a
+// keyed corpus, and optional idle-stream eviction so mostly-idle keys do not
+// pin detector memory forever.
 
 #ifndef BAGCPD_RUNTIME_STREAM_ENGINE_H_
 #define BAGCPD_RUNTIME_STREAM_ENGINE_H_
@@ -28,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/core/detector.h"
@@ -40,7 +47,8 @@ struct StreamEngineOptions {
   /// (at least 1).
   std::size_t num_shards = 0;
   /// Bound on each shard's pending-bag queue; Submit blocks (backpressure)
-  /// while the target shard is full. Must be >= 1.
+  /// while the target shard is full, TrySubmit returns Unavailable. Must be
+  /// >= 1.
   std::size_t shard_queue_capacity = 1024;
   /// Detector configuration shared by every stream. The per-stream seed is
   /// derived as Mix(seed, StableHash64(stream_id)), so `detector.seed` itself
@@ -53,6 +61,19 @@ struct StreamEngineOptions {
   /// internal queue read via Drain(). Disable for fire-and-forget callers
   /// that only watch the counters.
   bool collect_results = true;
+  /// When > 0, a stream key is evicted once strictly more than this many
+  /// engine-wide submissions (of any key) have been enqueued since the key's
+  /// previous bag: its detector (window state, EMD cache, CI history) is
+  /// destroyed, and a later bag for the key starts a fresh detector with the
+  /// same per-key seed. Idleness is measured on the global submission
+  /// sequence — never on shard-local activity — so for every key that
+  /// receives another bag, the evict-or-continue decision (and therefore
+  /// every result) is independent of the shard count. Keys that never
+  /// return are reclaimed by a periodic per-shard sweep whose timing does
+  /// depend on sharding, so evicted_count()/live_stream_count() may differ
+  /// across shard counts even though results never do.
+  /// 0 disables eviction (streams live forever).
+  std::uint64_t max_idle_submissions = 0;
 };
 
 /// \brief One detector step result tagged with the stream that produced it.
@@ -63,9 +84,9 @@ struct StreamStepResult {
 
 /// \brief Concurrent multi-stream change-point detection runtime.
 ///
-/// Thread-safety: Submit/Flush/Drain/DrainErrors may be called from any
-/// thread (typically one producer). The result callback runs on shard worker
-/// threads and must be thread-safe if it touches shared state.
+/// Thread-safety: Submit/TrySubmit/Flush/Drain/DrainErrors may be called from
+/// any thread (typically one producer). The result callback runs on shard
+/// worker threads and must be thread-safe if it touches shared state.
 class StreamEngine {
  public:
   /// Called on a shard thread for every step result when set; replaces the
@@ -88,9 +109,20 @@ class StreamEngine {
   void set_callback(ResultCallback callback);
 
   /// \brief Enqueues `bag` as the next observation of `stream_id`, creating
-  /// the stream's detector on first sight. Blocks while the target shard's
+  /// the stream's detector on first sight. The nested bag is flattened once
+  /// here and moved through the shard queue. Blocks while the target shard's
   /// queue is full. Returns an error after Shutdown() or a bad init.
-  Status Submit(const std::string& stream_id, Bag bag);
+  Status Submit(const std::string& stream_id, const Bag& bag);
+
+  /// \brief Zero-copy submission: `bag` is moved — never copied — through
+  /// the shard queue.
+  Status Submit(const std::string& stream_id, FlatBag bag);
+
+  /// \brief Non-blocking Submit: returns Unavailable (Status::IsUnavailable)
+  /// immediately when the target shard's queue is full instead of blocking.
+  /// The bag is NOT consumed in that case — retry or shed load upstream.
+  Status TrySubmit(const std::string& stream_id, const Bag& bag);
+  Status TrySubmit(const std::string& stream_id, FlatBag&& bag);
 
   /// \brief Blocks until every queued bag has been fully processed.
   void Flush();
@@ -123,17 +155,33 @@ class StreamEngine {
   void Shutdown();
 
   std::size_t num_shards() const { return shards_.size(); }
-  std::uint64_t submitted_count() const { return submitted_.load(); }
+  std::uint64_t submitted_count() const { return submit_seq_.load(); }
   std::uint64_t processed_count() const { return processed_.load(); }
   std::uint64_t result_count() const { return results_emitted_.load(); }
   std::uint64_t dropped_count() const { return dropped_.load(); }
-  /// \brief Number of distinct stream keys seen so far.
+  /// \brief Number of detectors created so far (a key evicted and seen again
+  /// counts twice).
   std::size_t stream_count() const { return streams_created_.load(); }
+  /// \brief Number of idle-stream evictions so far.
+  std::uint64_t evicted_count() const { return evicted_.load(); }
+  /// \brief Detectors currently resident across all shards.
+  std::size_t live_stream_count() const { return live_streams_.load(); }
 
  private:
   struct Task {
     std::string stream_id;
-    Bag bag;
+    // Carries either the flattened bag or the flattening error; a conversion
+    // failure must quarantine the stream on its shard (exactly like a
+    // detector failure), not reject the Submit call. The initializer only
+    // makes Task default-constructible for the worker's pop loop.
+    Result<FlatBag> bag = Status::Invalid("empty task");
+    // Global submission sequence number; drives idle eviction.
+    std::uint64_t seq = 0;
+  };
+
+  struct StreamState {
+    std::unique_ptr<BagStreamDetector> detector;
+    std::uint64_t last_seq = 0;
   };
 
   struct Shard {
@@ -145,13 +193,19 @@ class StreamEngine {
     bool busy = false;
     // Touched only by this shard's worker thread (keyed state lives with the
     // shard that owns the key).
-    std::unordered_map<std::string, std::unique_ptr<BagStreamDetector>>
-        detectors;
+    std::unordered_map<std::string, StreamState> detectors;
     std::unordered_map<std::string, Status> quarantined;
+    // Worker-local counter driving the periodic idle sweep.
+    std::uint64_t processed_since_sweep = 0;
   };
 
+  // Moves *bag into the shard queue only once space is secured, so a
+  // non-blocking rejection leaves the caller's payload intact.
+  Status SubmitImpl(const std::string& stream_id, Result<FlatBag>* bag,
+                    bool blocking);
   void WorkerLoop(std::size_t shard_index);
   void Process(Shard& shard, Task task);
+  void SweepIdle(Shard& shard, std::uint64_t now_seq);
   std::size_t ShardOf(const std::string& stream_id) const;
 
   StreamEngineOptions options_;
@@ -162,11 +216,16 @@ class StreamEngine {
   std::atomic<bool> stop_{false};
   bool shut_down_ = false;
 
-  std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> results_emitted_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::size_t> streams_created_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::size_t> live_streams_{0};
+  // Global submission sequence; tasks record it so idleness is measured in
+  // engine-wide submissions, independent of sharding. Doubles as the
+  // submitted_count() value: exactly one increment per accepted submission.
+  std::atomic<std::uint64_t> submit_seq_{0};
 
   mutable std::mutex results_mu_;
   std::vector<StreamStepResult> results_;

@@ -30,14 +30,20 @@ const char* SignatureMethodName(SignatureMethod method) {
   return "unknown";
 }
 
-Result<Signature> SignatureBuilder::Build(const Bag& bag,
+Result<Signature> SignatureBuilder::Build(BagView bag,
                                           std::uint64_t bag_index) const {
   BAGCPD_ASSIGN_OR_RETURN(Signature sig, BuildRaw(bag, bag_index));
   if (options_.normalize) return sig.Normalized();
   return sig;
 }
 
-Result<Signature> SignatureBuilder::BuildRaw(const Bag& bag,
+Result<Signature> SignatureBuilder::Build(const Bag& bag,
+                                          std::uint64_t bag_index) const {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
+  return Build(flat.view(), bag_index);
+}
+
+Result<Signature> SignatureBuilder::BuildRaw(BagView bag,
                                              std::uint64_t bag_index) const {
   const std::uint64_t seed = MixSeed(options_.seed ^ MixSeed(bag_index));
   switch (options_.method) {
@@ -68,7 +74,7 @@ Result<Signature> SignatureBuilder::BuildRaw(const Bag& bag,
       return HistogramQuantize(bag, opts);
     }
     case SignatureMethod::kCentroid: {
-      BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+      BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
       return CentroidSignature(bag);
     }
   }

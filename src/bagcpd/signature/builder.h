@@ -1,12 +1,14 @@
 // SignatureBuilder: the single configuration point choosing how bags are
 // summarized into signatures. The detector and all experiment harnesses go
-// through this interface.
+// through this interface. The primary entry point takes a zero-copy BagView;
+// the nested-Bag overload flattens once and is bitwise-identical.
 
 #ifndef BAGCPD_SIGNATURE_BUILDER_H_
 #define BAGCPD_SIGNATURE_BUILDER_H_
 
 #include <cstdint>
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/signature/histogram.h"
@@ -64,13 +66,17 @@ class SignatureBuilder {
   /// \brief Builds the signature of `bag` (normalized iff options().normalize).
   /// `bag_index` seeds any stochastic quantizer deterministically per
   /// position in the stream.
+  Result<Signature> Build(BagView bag, std::uint64_t bag_index = 0) const;
+
+  /// \brief Nested-bag convenience: validates and flattens once, then runs
+  /// the view path. Output is bitwise-identical to the flat entry point.
   Result<Signature> Build(const Bag& bag, std::uint64_t bag_index = 0) const;
 
   const SignatureBuilderOptions& options() const { return options_; }
 
  private:
   /// \brief Quantizes without the normalization step.
-  Result<Signature> BuildRaw(const Bag& bag, std::uint64_t bag_index) const;
+  Result<Signature> BuildRaw(BagView bag, std::uint64_t bag_index) const;
 
  private:
   SignatureBuilderOptions options_;

@@ -9,14 +9,14 @@
 
 namespace bagcpd {
 
-Result<Signature> HistogramQuantize(const Bag& bag,
+Result<Signature> HistogramQuantize(BagView bag,
                                     const HistogramOptions& options) {
-  BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+  BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (!(options.bin_width > 0.0)) {
     return Status::Invalid("bin_width must be > 0");
   }
 
-  const std::size_t d = bag.front().size();
+  const std::size_t d = bag.dim();
 
   struct BinStats {
     double count = 0.0;
@@ -26,7 +26,7 @@ Result<Signature> HistogramQuantize(const Bag& bag,
   std::map<std::vector<std::int64_t>, BinStats> bins;
 
   std::vector<std::int64_t> key(d);
-  for (const Point& x : bag) {
+  for (const PointView x : bag) {
     for (std::size_t j = 0; j < d; ++j) {
       key[j] = static_cast<std::int64_t>(
           std::floor((x[j] - options.origin) / options.bin_width));
@@ -38,10 +38,9 @@ Result<Signature> HistogramQuantize(const Bag& bag,
   }
 
   Signature sig;
-  sig.centers.reserve(bins.size());
-  sig.weights.reserve(bins.size());
+  sig.ReserveCenters(bins.size(), d);
+  Point center(d);
   for (const auto& [index, stats] : bins) {
-    Point center(d);
     if (options.use_bin_centers) {
       for (std::size_t j = 0; j < d; ++j) {
         center[j] = options.origin +
@@ -50,11 +49,16 @@ Result<Signature> HistogramQuantize(const Bag& bag,
     } else {
       for (std::size_t j = 0; j < d; ++j) center[j] = stats.sum[j] / stats.count;
     }
-    sig.centers.push_back(std::move(center));
-    sig.weights.push_back(stats.count);
+    sig.AddCenter(center, stats.count);
   }
   BAGCPD_RETURN_NOT_OK(sig.Validate());
   return sig;
+}
+
+Result<Signature> HistogramQuantize(const Bag& bag,
+                                    const HistogramOptions& options) {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
+  return HistogramQuantize(flat.view(), options);
 }
 
 }  // namespace bagcpd

@@ -6,6 +6,7 @@
 #ifndef BAGCPD_SIGNATURE_HISTOGRAM_H_
 #define BAGCPD_SIGNATURE_HISTOGRAM_H_
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/signature/signature.h"
@@ -25,6 +26,11 @@ struct HistogramOptions {
 };
 
 /// \brief Histogram-quantizes `bag`; weights are per-bin counts.
+Result<Signature> HistogramQuantize(BagView bag,
+                                    const HistogramOptions& options);
+
+/// \brief Nested-bag convenience: validates and flattens once, then runs the
+/// view path. Output is bitwise-identical to the flat entry point.
 Result<Signature> HistogramQuantize(const Bag& bag,
                                     const HistogramOptions& options);
 

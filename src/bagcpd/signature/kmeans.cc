@@ -11,18 +11,38 @@ namespace bagcpd {
 
 namespace {
 
+// Flat row-major (k x d) center buffer used by all internal stages; rows are
+// appended during seeding and rewritten in place during Lloyd updates.
+class FlatCenters {
+ public:
+  FlatCenters(std::size_t k, std::size_t d) : dim_(d) { data_.reserve(k * d); }
+
+  std::size_t count() const { return data_.size() / dim_; }
+  PointView row(std::size_t c) const {
+    return PointView(data_.data() + c * dim_, dim_);
+  }
+  PointView back() const { return row(count() - 1); }
+  void Append(PointView x) {
+    data_.insert(data_.end(), x.begin(), x.end());
+  }
+  std::vector<double>&& TakeFlat() { return std::move(data_); }
+
+ private:
+  std::vector<double> data_;
+  std::size_t dim_;
+};
+
 // k-means++ seeding (Arthur & Vassilvitskii 2007): iteratively picks centers
 // with probability proportional to the squared distance to the closest
 // already-chosen center.
-std::vector<Point> SeedPlusPlus(const Bag& bag, std::size_t k, Rng* rng) {
-  std::vector<Point> centers;
-  centers.reserve(k);
-  centers.push_back(bag[static_cast<std::size_t>(
+FlatCenters SeedPlusPlus(BagView bag, std::size_t k, Rng* rng) {
+  FlatCenters centers(k, bag.dim());
+  centers.Append(bag[static_cast<std::size_t>(
       rng->UniformInt(0, static_cast<int>(bag.size()) - 1))]);
 
   std::vector<double> closest_sq(bag.size(),
                                  std::numeric_limits<double>::infinity());
-  while (centers.size() < k) {
+  while (centers.count() < k) {
     double total = 0.0;
     for (std::size_t i = 0; i < bag.size(); ++i) {
       const double d2 = SquaredDistance(bag[i], centers.back());
@@ -31,7 +51,7 @@ std::vector<Point> SeedPlusPlus(const Bag& bag, std::size_t k, Rng* rng) {
     }
     if (total <= 0.0) {
       // All remaining points coincide with chosen centers; duplicate one.
-      centers.push_back(bag[static_cast<std::size_t>(
+      centers.Append(bag[static_cast<std::size_t>(
           rng->UniformInt(0, static_cast<int>(bag.size()) - 1))]);
       continue;
     }
@@ -44,19 +64,20 @@ std::vector<Point> SeedPlusPlus(const Bag& bag, std::size_t k, Rng* rng) {
         break;
       }
     }
-    centers.push_back(bag[chosen]);
+    centers.Append(bag[chosen]);
   }
   return centers;
 }
 
-std::size_t NearestCenter(const Point& x, const std::vector<Point>& centers) {
+std::size_t NearestCenter(PointView x, const std::vector<double>& centers,
+                          std::size_t k, std::size_t d) {
   std::size_t best = 0;
-  double best_d2 = SquaredDistance(x, centers[0]);
-  for (std::size_t k = 1; k < centers.size(); ++k) {
-    const double d2 = SquaredDistance(x, centers[k]);
+  double best_d2 = SquaredDistance(x, PointView(centers.data(), d));
+  for (std::size_t c = 1; c < k; ++c) {
+    const double d2 = SquaredDistance(x, PointView(centers.data() + c * d, d));
     if (d2 < best_d2) {
       best_d2 = d2;
-      best = k;
+      best = c;
     }
   }
   return best;
@@ -64,17 +85,16 @@ std::size_t NearestCenter(const Point& x, const std::vector<Point>& centers) {
 
 }  // namespace
 
-Result<KMeansResult> KMeansQuantize(const Bag& bag,
-                                    const KMeansOptions& options) {
-  BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options) {
+  BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (options.k == 0) return Status::Invalid("k must be >= 1");
 
   const std::size_t n = bag.size();
-  const std::size_t d = bag.front().size();
+  const std::size_t d = bag.dim();
   const std::size_t k = std::min(options.k, n);
   Rng rng(options.seed);
 
-  std::vector<Point> centers = SeedPlusPlus(bag, k, &rng);
+  std::vector<double> centers = SeedPlusPlus(bag, k, &rng).TakeFlat();
   std::vector<std::size_t> assignment(n, 0);
 
   KMeansResult out;
@@ -82,16 +102,16 @@ Result<KMeansResult> KMeansQuantize(const Bag& bag,
        ++out.iterations) {
     // Assignment step.
     for (std::size_t i = 0; i < n; ++i) {
-      assignment[i] = NearestCenter(bag[i], centers);
+      assignment[i] = NearestCenter(bag[i], centers, k, d);
     }
     // Update step.
-    std::vector<Point> new_centers(k, Point(d, 0.0));
+    std::vector<double> new_centers(k * d, 0.0);
     std::vector<std::size_t> counts(k, 0);
     for (std::size_t i = 0; i < n; ++i) {
       counts[assignment[i]]++;
-      for (std::size_t j = 0; j < d; ++j) {
-        new_centers[assignment[i]][j] += bag[i][j];
-      }
+      const double* x = bag[i].data();
+      double* acc = new_centers.data() + assignment[i] * d;
+      for (std::size_t j = 0; j < d; ++j) acc[j] += x[j];
     }
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
@@ -99,23 +119,27 @@ Result<KMeansResult> KMeansQuantize(const Bag& bag,
         std::size_t farthest = 0;
         double far_d2 = -1.0;
         for (std::size_t i = 0; i < n; ++i) {
-          const double d2 = SquaredDistance(bag[i], centers[assignment[i]]);
+          const double d2 = SquaredDistance(
+              bag[i], PointView(centers.data() + assignment[i] * d, d));
           if (d2 > far_d2) {
             far_d2 = d2;
             farthest = i;
           }
         }
-        new_centers[c] = bag[farthest];
+        std::copy(bag[farthest].begin(), bag[farthest].end(),
+                  new_centers.begin() + c * d);
         counts[c] = 1;  // Will be fixed by the next assignment pass.
         continue;
       }
       const double inv = 1.0 / static_cast<double>(counts[c]);
-      for (std::size_t j = 0; j < d; ++j) new_centers[c][j] *= inv;
+      double* row = new_centers.data() + c * d;
+      for (std::size_t j = 0; j < d; ++j) row[j] *= inv;
     }
     // Convergence check.
     double movement = 0.0;
     for (std::size_t c = 0; c < k; ++c) {
-      movement += SquaredDistance(centers[c], new_centers[c]);
+      movement += SquaredDistance(PointView(centers.data() + c * d, d),
+                                  PointView(new_centers.data() + c * d, d));
     }
     centers = std::move(new_centers);
     if (movement <= options.tolerance) {
@@ -128,17 +152,19 @@ Result<KMeansResult> KMeansQuantize(const Bag& bag,
   std::vector<double> weights(k, 0.0);
   out.inertia = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    assignment[i] = NearestCenter(bag[i], centers);
+    assignment[i] = NearestCenter(bag[i], centers, k, d);
     weights[assignment[i]] += 1.0;
-    out.inertia += SquaredDistance(bag[i], centers[assignment[i]]);
+    out.inertia += SquaredDistance(
+        bag[i], PointView(centers.data() + assignment[i] * d, d));
   }
 
-  // Drop empty clusters (can remain after the final assignment).
+  // Drop empty clusters (can remain after the final assignment), compacting
+  // the surviving rows into the signature's flat buffer.
   Signature sig;
+  sig.ReserveCenters(k, d);
   for (std::size_t c = 0; c < k; ++c) {
     if (weights[c] > 0.0) {
-      sig.centers.push_back(std::move(centers[c]));
-      sig.weights.push_back(weights[c]);
+      sig.AddCenter(PointView(centers.data() + c * d, d), weights[c]);
     }
   }
   // Remap assignments to the compacted cluster indices.
@@ -152,6 +178,12 @@ Result<KMeansResult> KMeansQuantize(const Bag& bag,
   out.assignment = std::move(assignment);
   BAGCPD_RETURN_NOT_OK(out.signature.Validate());
   return out;
+}
+
+Result<KMeansResult> KMeansQuantize(const Bag& bag,
+                                    const KMeansOptions& options) {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
+  return KMeansQuantize(flat.view(), options);
 }
 
 }  // namespace bagcpd

@@ -1,11 +1,13 @@
 // Lloyd's k-means with k-means++ seeding: the default quantizer turning a bag
-// into a signature (paper Section 3.1).
+// into a signature (paper Section 3.1). Operates on contiguous BagViews with
+// flat center buffers — no per-point heap allocation in the hot loops.
 
 #ifndef BAGCPD_SIGNATURE_KMEANS_H_
 #define BAGCPD_SIGNATURE_KMEANS_H_
 
 #include <cstdint>
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/signature/signature.h"
@@ -40,8 +42,13 @@ struct KMeansResult {
 ///
 /// Empty clusters are reseeded to the point farthest from its center, so the
 /// returned signature always has strictly positive weights. Fails with
-/// Invalid if the bag is empty or ragged.
-Result<KMeansResult> KMeansQuantize(const Bag& bag, const KMeansOptions& options);
+/// Invalid if the bag is empty.
+Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options);
+
+/// \brief Nested-bag convenience: validates and flattens once, then runs the
+/// view path. Output is bitwise-identical to the flat entry point.
+Result<KMeansResult> KMeansQuantize(const Bag& bag,
+                                    const KMeansOptions& options);
 
 }  // namespace bagcpd
 

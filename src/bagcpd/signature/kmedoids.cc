@@ -10,7 +10,7 @@ namespace bagcpd {
 
 namespace {
 
-double DeviationToNearest(const Bag& bag,
+double DeviationToNearest(BagView bag,
                           const std::vector<std::size_t>& medoids,
                           std::vector<std::size_t>* assignment) {
   double total = 0.0;
@@ -32,9 +32,9 @@ double DeviationToNearest(const Bag& bag,
 
 }  // namespace
 
-Result<KMedoidsResult> KMedoidsQuantize(const Bag& bag,
+Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
                                         const KMedoidsOptions& options) {
-  BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+  BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (options.k == 0) return Status::Invalid("k must be >= 1");
 
   const std::size_t n = bag.size();
@@ -107,15 +107,21 @@ Result<KMedoidsResult> KMedoidsQuantize(const Bag& bag,
   out.total_deviation = best_total;
   std::vector<double> weights(medoids.size(), 0.0);
   for (std::size_t i = 0; i < n; ++i) weights[assignment[i]] += 1.0;
+  out.signature.ReserveCenters(medoids.size(), bag.dim());
   for (std::size_t m = 0; m < medoids.size(); ++m) {
     if (weights[m] > 0.0) {
-      out.signature.centers.push_back(bag[medoids[m]]);
-      out.signature.weights.push_back(weights[m]);
+      out.signature.AddCenter(bag[medoids[m]], weights[m]);
       out.medoid_indices.push_back(medoids[m]);
     }
   }
   BAGCPD_RETURN_NOT_OK(out.signature.Validate());
   return out;
+}
+
+Result<KMedoidsResult> KMedoidsQuantize(const Bag& bag,
+                                        const KMedoidsOptions& options) {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
+  return KMedoidsQuantize(flat.view(), options);
 }
 
 }  // namespace bagcpd

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/signature/signature.h"
@@ -36,6 +37,11 @@ struct KMedoidsResult {
 
 /// \brief Clusters `bag` around k of its own points (Euclidean distance) and
 /// returns medoids as centers with member counts as weights.
+Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
+                                        const KMedoidsOptions& options);
+
+/// \brief Nested-bag convenience: validates and flattens once, then runs the
+/// view path. Output is bitwise-identical to the flat entry point.
 Result<KMedoidsResult> KMedoidsQuantize(const Bag& bag,
                                         const KMedoidsOptions& options);
 

@@ -8,19 +8,23 @@
 
 namespace bagcpd {
 
-Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options) {
-  BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
+Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options) {
+  BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (options.k == 0) return Status::Invalid("k must be >= 1");
   if (options.epochs <= 0) return Status::Invalid("epochs must be >= 1");
 
   const std::size_t n = bag.size();
+  const std::size_t d = bag.dim();
   const std::size_t k = std::min(options.k, n);
   Rng rng(options.seed);
 
-  // Initialize prototypes at k distinct random bag points.
+  // Initialize prototypes at k distinct random bag points (flat k x d buffer).
   std::vector<std::size_t> perm = rng.Permutation(n);
-  std::vector<Point> prototypes(k);
-  for (std::size_t m = 0; m < k; ++m) prototypes[m] = bag[perm[m]];
+  std::vector<double> prototypes(k * d);
+  for (std::size_t m = 0; m < k; ++m) {
+    const PointView x = bag[perm[m]];
+    std::copy(x.begin(), x.end(), prototypes.begin() + m * d);
+  }
 
   const long total_updates = static_cast<long>(options.epochs) * n;
   long update = 0;
@@ -31,7 +35,8 @@ Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options) {
       std::size_t winner = 0;
       double best = std::numeric_limits<double>::infinity();
       for (std::size_t m = 0; m < k; ++m) {
-        const double d2 = SquaredDistance(bag[idx], prototypes[m]);
+        const double d2 =
+            SquaredDistance(bag[idx], PointView(prototypes.data() + m * d, d));
         if (d2 < best) {
           best = d2;
           winner = m;
@@ -41,8 +46,10 @@ Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options) {
       const double rate =
           options.initial_learning_rate *
           (1.0 - static_cast<double>(update) / static_cast<double>(total_updates));
-      for (std::size_t j = 0; j < prototypes[winner].size(); ++j) {
-        prototypes[winner][j] += rate * (bag[idx][j] - prototypes[winner][j]);
+      const double* x = bag[idx].data();
+      double* proto = prototypes.data() + winner * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        proto[j] += rate * (x[j] - proto[j]);
       }
       ++update;
     }
@@ -54,7 +61,8 @@ Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options) {
     std::size_t winner = 0;
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t m = 0; m < k; ++m) {
-      const double d2 = SquaredDistance(bag[i], prototypes[m]);
+      const double d2 =
+          SquaredDistance(bag[i], PointView(prototypes.data() + m * d, d));
       if (d2 < best) {
         best = d2;
         winner = m;
@@ -64,14 +72,19 @@ Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options) {
   }
 
   Signature sig;
+  sig.ReserveCenters(k, d);
   for (std::size_t m = 0; m < k; ++m) {
     if (weights[m] > 0.0) {
-      sig.centers.push_back(std::move(prototypes[m]));
-      sig.weights.push_back(weights[m]);
+      sig.AddCenter(PointView(prototypes.data() + m * d, d), weights[m]);
     }
   }
   BAGCPD_RETURN_NOT_OK(sig.Validate());
   return sig;
+}
+
+Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options) {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
+  return LvqQuantize(flat.view(), options);
 }
 
 }  // namespace bagcpd

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/signature/signature.h"
@@ -28,6 +29,10 @@ struct LvqOptions {
 
 /// \brief Quantizes `bag` with competitive learning and returns prototypes as
 /// centers with final assignment counts as weights.
+Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options);
+
+/// \brief Nested-bag convenience: validates and flattens once, then runs the
+/// view path. Output is bitwise-identical to the flat entry point.
 Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options);
 
 }  // namespace bagcpd

@@ -6,6 +6,52 @@
 
 namespace bagcpd {
 
+Signature Signature::FromCenters(const std::vector<Point>& centers,
+                                 std::vector<double> weights) {
+  BAGCPD_CHECK_MSG(centers.size() == weights.size(),
+                   "FromCenters: %zu centers but %zu weights", centers.size(),
+                   weights.size());
+  Signature out;
+  if (!centers.empty()) out.ReserveCenters(centers.size(), centers.front().size());
+  for (std::size_t k = 0; k < centers.size(); ++k) {
+    out.AddCenter(centers[k], weights[k]);
+  }
+  return out;
+}
+
+Signature Signature::FromFlat(std::vector<double> flat_centers,
+                              std::size_t dim, std::vector<double> weights) {
+  BAGCPD_CHECK_MSG(dim > 0 || flat_centers.empty(),
+                   "FromFlat: zero dim with non-empty centers");
+  BAGCPD_CHECK_MSG(dim == 0 || flat_centers.size() == dim * weights.size(),
+                   "FromFlat: %zu values != %zu centers x dim %zu",
+                   flat_centers.size(), weights.size(), dim);
+  Signature out;
+  out.flat_ = std::move(flat_centers);
+  out.dim_ = dim;
+  out.weights = std::move(weights);
+  return out;
+}
+
+void Signature::AddCenter(PointView center, double weight) {
+  BAGCPD_CHECK_MSG(!center.empty(), "AddCenter: zero-dimensional center");
+  if (dim_ == 0) {
+    dim_ = center.size();
+  } else {
+    BAGCPD_CHECK_MSG(center.size() == dim_,
+                     "AddCenter: dimension %zu, expected %zu", center.size(),
+                     dim_);
+  }
+  AppendRow(&flat_, center);
+  weights.push_back(weight);
+}
+
+void Signature::ReserveCenters(std::size_t count, std::size_t dim) {
+  if (dim_ == 0) dim_ = dim;
+  flat_.reserve(flat_.size() + count * dim_);
+  weights.reserve(weights.size() + count);
+}
+
 double Signature::TotalWeight() const {
   double acc = 0.0;
   for (double w : weights) acc += w;
@@ -21,11 +67,12 @@ Signature Signature::Normalized() const {
 }
 
 Point Signature::Centroid() const {
-  BAGCPD_CHECK(!centers.empty());
+  BAGCPD_CHECK(size() > 0);
   Point c(dim(), 0.0);
   double total = 0.0;
-  for (std::size_t k = 0; k < centers.size(); ++k) {
-    for (std::size_t j = 0; j < c.size(); ++j) c[j] += weights[k] * centers[k][j];
+  for (std::size_t k = 0; k < size(); ++k) {
+    const double* row = flat_.data() + k * dim_;
+    for (std::size_t j = 0; j < c.size(); ++j) c[j] += weights[k] * row[j];
     total += weights[k];
   }
   BAGCPD_CHECK(total > 0.0);
@@ -34,17 +81,16 @@ Point Signature::Centroid() const {
 }
 
 Status Signature::Validate() const {
-  if (centers.empty()) return Status::Invalid("signature has no centers");
-  if (weights.size() != centers.size()) {
+  if (weights.empty() && flat_.empty()) {
+    return Status::Invalid("signature has no centers");
+  }
+  if (dim_ == 0) {
+    return Status::Invalid("signature centers are zero-dimensional");
+  }
+  if (flat_.size() != weights.size() * dim_) {
     return Status::Invalid("signature weights/centers size mismatch");
   }
-  const std::size_t d = centers.front().size();
-  if (d == 0) return Status::Invalid("signature centers are zero-dimensional");
-  for (std::size_t k = 0; k < centers.size(); ++k) {
-    if (centers[k].size() != d) {
-      return Status::Invalid("center " + std::to_string(k) +
-                             " has inconsistent dimension");
-    }
+  for (std::size_t k = 0; k < weights.size(); ++k) {
     if (!(weights[k] > 0.0)) {
       return Status::Invalid("weight " + std::to_string(k) +
                              " is not strictly positive");
@@ -57,12 +103,13 @@ std::string Signature::ToString(int precision) const {
   std::ostringstream os;
   os.precision(precision);
   os << std::fixed << "{";
-  for (std::size_t k = 0; k < centers.size(); ++k) {
+  for (std::size_t k = 0; k < size(); ++k) {
     if (k) os << ", ";
     os << "(";
-    for (std::size_t j = 0; j < centers[k].size(); ++j) {
+    const PointView c = center(k);
+    for (std::size_t j = 0; j < c.size(); ++j) {
       if (j) os << " ";
-      os << centers[k][j];
+      os << c[j];
     }
     os << "):" << weights[k];
   }
@@ -70,11 +117,17 @@ std::string Signature::ToString(int precision) const {
   return os.str();
 }
 
+Signature CentroidSignature(BagView bag) {
+  BAGCPD_CHECK(!bag.empty());
+  Signature sig;
+  sig.AddCenter(BagMean(bag), static_cast<double>(bag.size()));
+  return sig;
+}
+
 Signature CentroidSignature(const Bag& bag) {
   BAGCPD_CHECK(!bag.empty());
   Signature sig;
-  sig.centers.push_back(BagMean(bag));
-  sig.weights.push_back(static_cast<double>(bag.size()));
+  sig.AddCenter(BagMean(bag), static_cast<double>(bag.size()));
   return sig;
 }
 

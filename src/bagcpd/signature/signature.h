@@ -1,6 +1,11 @@
 // Signature: the quantized representation S_t = {(u_k, w_k)} of a bag's
 // underlying distribution (paper Eq. 6). Centers u_k live in R^d and w_k > 0
 // counts (or weights) the observations assigned to center k.
+//
+// Centers are stored flat: one contiguous row-major (K x d) buffer, so the
+// EMD cost-matrix build and every ground-distance evaluation stream through
+// the cache with zero per-center pointer chasing. Access centers through
+// `center(k)` (a PointView) or `centers()` (a BagView over all rows).
 
 #ifndef BAGCPD_SIGNATURE_SIGNATURE_H_
 #define BAGCPD_SIGNATURE_SIGNATURE_H_
@@ -9,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/status.h"
 
@@ -17,16 +23,51 @@ namespace bagcpd {
 /// \brief A weighted point set summarizing one bag's distribution.
 ///
 /// Invariants (checked by Validate()): centers non-empty, all centers share
-/// one dimension, weights.size() == centers.size(), all weights > 0.
+/// one dimension (guaranteed by the flat layout), weights.size() == number of
+/// centers, all weights > 0.
 struct Signature {
-  std::vector<Point> centers;
+  /// w_k > 0 for every center; kept public because scores/bootstrap resample
+  /// and normalize weights in place.
   std::vector<double> weights;
 
+  /// \brief Builds a signature from nested centers (test/interop helper).
+  /// Aborts on ragged centers or a weight-count mismatch; use Validate() for
+  /// recoverable checking of the remaining invariants.
+  static Signature FromCenters(const std::vector<Point>& centers,
+                               std::vector<double> weights);
+
+  /// \brief Adopts an already-flat row-major (K x d) center buffer.
+  static Signature FromFlat(std::vector<double> flat_centers, std::size_t dim,
+                            std::vector<double> weights);
+
   /// \brief Number of clusters K.
-  std::size_t size() const { return centers.size(); }
+  std::size_t size() const { return weights.size(); }
 
   /// \brief Dimension d of the centers (0 if empty).
-  std::size_t dim() const { return centers.empty() ? 0 : centers.front().size(); }
+  std::size_t dim() const { return dim_; }
+
+  /// \brief Zero-copy view of center u_k.
+  PointView center(std::size_t k) const {
+    return PointView(flat_.data() + k * dim_, dim_);
+  }
+
+  /// \brief Mutable pointer to center u_k's row (dim() doubles).
+  double* mutable_center(std::size_t k) { return flat_.data() + k * dim_; }
+
+  /// \brief Zero-copy view over all centers as a (K x d) bag.
+  BagView centers() const { return BagView(flat_.data(), size(), dim_); }
+
+  /// \brief The raw contiguous center storage (size() * dim() doubles).
+  const std::vector<double>& flat_centers() const { return flat_; }
+
+  /// \brief Appends center u_k = `center` with weight w_k = `weight`. The
+  /// first center fixes the dimension; later mismatches abort (quantizers
+  /// produce consistent dimensions by construction). Safe to pass a view
+  /// into this signature's own storage.
+  void AddCenter(PointView center, double weight);
+
+  /// \brief Pre-allocates room for `count` centers of dimension `dim`.
+  void ReserveCenters(std::size_t count, std::size_t dim);
 
   /// \brief Sum of weights (total mass).
   double TotalWeight() const;
@@ -42,11 +83,17 @@ struct Signature {
 
   /// \brief Human-readable rendering for diagnostics.
   std::string ToString(int precision = 3) const;
+
+ private:
+  // Row-major (K x d) center storage; row k is center u_k.
+  std::vector<double> flat_;
+  std::size_t dim_ = 0;
 };
 
-/// \brief Builds a signature with a single cluster at the bag mean carrying the
-/// full bag weight. This is the degenerate "centroid" summarization the paper
-/// argues against (Section 1) — kept as a baseline representation.
+/// \brief Builds a signature with a single cluster at the bag mean carrying
+/// the full bag weight. This is the degenerate "centroid" summarization the
+/// paper argues against (Section 1) — kept as a baseline representation.
+Signature CentroidSignature(BagView bag);
 Signature CentroidSignature(const Bag& bag);
 
 }  // namespace bagcpd

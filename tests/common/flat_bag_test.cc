@@ -1,0 +1,134 @@
+#include "bagcpd/common/flat_bag.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace {
+
+TEST(PointViewTest, ImplicitFromPointAndAccessors) {
+  const Point p = {1.0, 2.0, 3.0};
+  const PointView v = p;
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.data(), p.data());  // Zero-copy.
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_EQ(v.ToPoint(), p);
+}
+
+TEST(PointViewTest, KernelsAcceptViewsAndPoints) {
+  const Point a = {0.0, 0.0};
+  const Point b = {3.0, 4.0};
+  const double flat[] = {3.0, 4.0};
+  const PointView bv(flat, 2);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, bv), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, bv), 5.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance(a, bv), 7.0);
+}
+
+TEST(BagViewTest, RowsAndIteration) {
+  const std::vector<double> data = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const BagView view(data.data(), 3, 2);
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.dim(), 2u);
+  EXPECT_DOUBLE_EQ(view[1][0], 3.0);
+  EXPECT_DOUBLE_EQ(view[2][1], 6.0);
+  std::size_t rows = 0;
+  for (const PointView row : view) {
+    EXPECT_EQ(row.size(), 2u);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3u);
+}
+
+TEST(FlatBagTest, FromBagToBagRoundTripIsIdentity) {
+  const Bag bag = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Result<FlatBag> flat = FlatBag::FromBag(bag);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->size(), 3u);
+  EXPECT_EQ(flat->dim(), 2u);
+  EXPECT_EQ(flat->ToBag(), bag);
+  // The storage really is one contiguous row-major buffer.
+  const std::vector<double> expected = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  EXPECT_EQ(flat->storage(), expected);
+}
+
+TEST(FlatBagTest, FromBagValidates) {
+  EXPECT_FALSE(FlatBag::FromBag(Bag{}).ok());               // Empty.
+  EXPECT_FALSE(FlatBag::FromBag(Bag{{}}).ok());             // Zero-dim.
+  EXPECT_FALSE(FlatBag::FromBag(Bag{{1.0, 2.0}, {3.0}}).ok());  // Ragged.
+}
+
+TEST(FlatBagTest, AppendChecksDimension) {
+  FlatBag bag;
+  ASSERT_TRUE(bag.Append(Point{1.0, 2.0}).ok());  // Fixes dim = 2.
+  ASSERT_TRUE(bag.Append(Point{3.0, 4.0}).ok());
+  EXPECT_FALSE(bag.Append(Point{5.0}).ok());      // Mismatch.
+  EXPECT_FALSE(bag.Append(Point{}).ok());         // Zero-dim.
+  EXPECT_EQ(bag.size(), 2u);
+  EXPECT_DOUBLE_EQ(bag[1][1], 4.0);
+}
+
+TEST(FlatBagTest, AppendOwnRowSurvivesReallocation) {
+  FlatBag bag(2);
+  ASSERT_TRUE(bag.Append(Point{1.0, 2.0}).ok());
+  // Repeatedly append the bag's own first row; each insert may reallocate.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(bag.Append(bag[0]).ok());
+  }
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bag[i][0], 1.0);
+    EXPECT_DOUBLE_EQ(bag[i][1], 2.0);
+  }
+}
+
+TEST(FlatBagTest, FromFlatChecksMultiple) {
+  EXPECT_TRUE(FlatBag::FromFlat({1.0, 2.0, 3.0, 4.0}, 2).ok());
+  EXPECT_FALSE(FlatBag::FromFlat({1.0, 2.0, 3.0}, 2).ok());
+  EXPECT_FALSE(FlatBag::FromFlat({1.0}, 0).ok());
+  EXPECT_TRUE(FlatBag::FromFlat({}, 0).ok());  // Empty is representable.
+}
+
+TEST(FlatBagTest, ImplicitBagViewConversion) {
+  FlatBag bag = FlatBag::FromBag(Bag{{1.0}, {2.0}, {6.0}}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(BagMean(bag)[0], 3.0);  // Picks the BagView overload.
+  const BagView view = bag;
+  EXPECT_EQ(view.data(), bag.data());
+}
+
+TEST(FlatBagTest, BagMeanAgreesBitwiseAcrossRepresentations) {
+  const Bag bag = {{1.5, -2.0}, {0.25, 8.0}, {-3.75, 1.0}, {2.5, 0.125}};
+  FlatBag flat = FlatBag::FromBag(bag).ValueOrDie();
+  const Point nested_mean = BagMean(bag);
+  const Point flat_mean = BagMean(flat.view());
+  ASSERT_EQ(nested_mean.size(), flat_mean.size());
+  for (std::size_t j = 0; j < nested_mean.size(); ++j) {
+    EXPECT_EQ(nested_mean[j], flat_mean[j]);  // Bitwise.
+  }
+}
+
+TEST(FlatBagTest, ValidateBagViewMirrorsValidateBag) {
+  FlatBag bag = FlatBag::FromBag(Bag{{1.0, 2.0}}).ValueOrDie();
+  EXPECT_TRUE(ValidateBagView(bag.view()).ok());
+  EXPECT_TRUE(ValidateBagView(bag.view(), 2).ok());
+  EXPECT_FALSE(ValidateBagView(bag.view(), 3).ok());
+  EXPECT_FALSE(ValidateBagView(BagView()).ok());
+}
+
+TEST(FlattenSequenceTest, ConvertsAllOrReportsOffendingTime) {
+  const BagSequence good = {{{1.0}, {2.0}}, {{3.0}}};
+  Result<FlatBagSequence> flat = FlattenSequence(good);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_EQ(flat->size(), 2u);
+  EXPECT_EQ((*flat)[0].size(), 2u);
+  EXPECT_EQ((*flat)[1].size(), 1u);
+
+  const BagSequence bad = {{{1.0}}, {{1.0, 2.0}, {3.0}}};
+  Result<FlatBagSequence> failed = FlattenSequence(bad);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("time 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bagcpd

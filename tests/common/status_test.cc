@@ -21,8 +21,17 @@ TEST(StatusTest, FactoryMethodsCarryCodeAndMessage) {
   EXPECT_EQ(Status::NotImplemented("ni").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::Internal("int").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("io").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("full").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Invalid("bad").message(), "bad");
   EXPECT_FALSE(Status::Invalid("bad").ok());
+}
+
+TEST(StatusTest, IsUnavailableDistinguishesTransientFullness) {
+  EXPECT_TRUE(Status::Unavailable("queue full").IsUnavailable());
+  EXPECT_FALSE(Status::Invalid("bad").IsUnavailable());
+  EXPECT_FALSE(Status::OK().IsUnavailable());
+  EXPECT_EQ(Status::Unavailable("queue full").ToString(),
+            "Unavailable: queue full");
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {

@@ -11,10 +11,12 @@
 namespace bagcpd {
 namespace {
 
-Signature Sig1d(std::vector<double> positions, std::vector<double> weights) {
+Signature Sig1d(const std::vector<double>& positions,
+                const std::vector<double>& weights) {
   Signature s;
-  for (double x : positions) s.centers.push_back({x});
-  s.weights = std::move(weights);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    s.AddCenter(Point{positions[i]}, weights[i]);
+  }
   return s;
 }
 
@@ -30,9 +32,7 @@ TEST(Emd1dTest, ApplicabilityConditions) {
   EXPECT_TRUE(Emd1dApplicable(a, b));
   Signature unequal = Sig1d({2.0}, {3.0});
   EXPECT_FALSE(Emd1dApplicable(a, unequal));
-  Signature twod;
-  twod.centers = {{0.0, 0.0}};
-  twod.weights = {2.0};
+  Signature twod = Signature::FromCenters({{0.0, 0.0}}, {2.0});
   EXPECT_FALSE(Emd1dApplicable(a, twod));
   EXPECT_FALSE(ComputeEmd1d(a, unequal).ok());
 }
@@ -69,12 +69,12 @@ TEST_P(Emd1dEquivalenceTest, MatchesTransportationSolver) {
     const std::size_t l = static_cast<std::size_t>(rng.UniformInt(1, 12));
     Signature a, b;
     for (std::size_t i = 0; i < k; ++i) {
-      a.centers.push_back({rng.Uniform(-10.0, 10.0)});
-      a.weights.push_back(rng.Uniform(0.1, 2.0));
+      const double x = rng.Uniform(-10.0, 10.0);
+      a.AddCenter(Point{x}, rng.Uniform(0.1, 2.0));
     }
     for (std::size_t j = 0; j < l; ++j) {
-      b.centers.push_back({rng.Uniform(-10.0, 10.0)});
-      b.weights.push_back(rng.Uniform(0.1, 2.0));
+      const double x = rng.Uniform(-10.0, 10.0);
+      b.AddCenter(Point{x}, rng.Uniform(0.1, 2.0));
     }
     // Balance the totals.
     a = a.Normalized();
@@ -113,8 +113,8 @@ TEST(Emd1dTest, TranslationInvariance) {
   Signature a = Sig1d({0.0, 1.0}, {0.5, 0.5});
   Signature b = Sig1d({2.0, 5.0}, {0.7, 0.3});
   const double before = ComputeEmd1d(a, b).ValueOrDie();
-  for (Point& c : a.centers) c[0] += 100.0;
-  for (Point& c : b.centers) c[0] += 100.0;
+  for (std::size_t k = 0; k < a.size(); ++k) a.mutable_center(k)[0] += 100.0;
+  for (std::size_t k = 0; k < b.size(); ++k) b.mutable_center(k)[0] += 100.0;
   EXPECT_NEAR(ComputeEmd1d(a, b).ValueOrDie(), before, 1e-9);
 }
 

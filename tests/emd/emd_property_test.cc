@@ -20,8 +20,7 @@ Signature RandomSignature(Rng* rng, std::size_t k, std::size_t dim,
   for (std::size_t i = 0; i < k; ++i) {
     Point c(dim);
     for (double& v : c) v = rng->Uniform(-5.0, 5.0);
-    s.centers.push_back(std::move(c));
-    s.weights.push_back(rng->Uniform(0.1, 3.0));
+    s.AddCenter(c, rng->Uniform(0.1, 3.0));
   }
   return normalize ? s.Normalized() : s;
 }
@@ -72,10 +71,12 @@ TEST_P(EmdMetricPropertyTest, TranslationInvariance) {
   const double before = ComputeEmd(a, b).ValueOrDie();
   Point shift(pc.dim);
   for (double& v : shift) v = rng.Uniform(-10.0, 10.0);
-  for (Point& c : a.centers) {
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    double* c = a.mutable_center(k);
     for (std::size_t j = 0; j < pc.dim; ++j) c[j] += shift[j];
   }
-  for (Point& c : b.centers) {
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    double* c = b.mutable_center(k);
     for (std::size_t j = 0; j < pc.dim; ++j) c[j] += shift[j];
   }
   EXPECT_NEAR(ComputeEmd(a, b).ValueOrDie(), before, 1e-8);
@@ -100,9 +101,8 @@ TEST_P(EmdMetricPropertyTest, MergingCoincidentCentersIsNeutral) {
   const double before = ComputeEmd(a, b).ValueOrDie();
   // Split a's first cluster into two half-weight copies.
   Signature a_split = a;
-  a_split.centers.push_back(a.centers[0]);
   a_split.weights[0] /= 2.0;
-  a_split.weights.push_back(a_split.weights[0]);
+  a_split.AddCenter(a.center(0), a_split.weights[0]);
   EXPECT_NEAR(ComputeEmd(a_split, b).ValueOrDie(), before, 1e-8);
 }
 
@@ -126,7 +126,7 @@ TEST_P(EmdMetricPropertyTest, FlowMatrixIsConsistent) {
     for (std::size_t j = 0; j < b.size(); ++j) {
       EXPECT_GE(sol.flow(i, j), -1e-9);  // Eq. 8.
       row += sol.flow(i, j);
-      recomputed_cost += sol.flow(i, j) * ground(a.centers[i], b.centers[j]);
+      recomputed_cost += sol.flow(i, j) * ground(a.center(i), b.center(j));
       recomputed_flow += sol.flow(i, j);
     }
     EXPECT_LE(row, a.weights[i] + 1e-8);  // Eq. 9.

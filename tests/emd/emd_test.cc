@@ -7,11 +7,8 @@
 namespace bagcpd {
 namespace {
 
-Signature Sig(std::vector<Point> centers, std::vector<double> weights) {
-  Signature s;
-  s.centers = std::move(centers);
-  s.weights = std::move(weights);
-  return s;
+Signature Sig(const std::vector<Point>& centers, std::vector<double> weights) {
+  return Signature::FromCenters(centers, std::move(weights));
 }
 
 TEST(EmdTest, IdenticalSignaturesHaveZeroDistance) {
@@ -114,7 +111,7 @@ TEST(EmdTest, RejectsInvalidSignature) {
 TEST(EmdTest, RejectsNegativeGroundDistance) {
   Signature a = Sig({{0.0}}, {1.0});
   Signature b = Sig({{1.0}}, {1.0});
-  GroundDistanceFn bad = [](const Point&, const Point&) { return -1.0; };
+  GroundDistanceFn bad = [](PointView, PointView) { return -1.0; };
   EXPECT_FALSE(ComputeEmd(a, b, bad).ok());
 }
 

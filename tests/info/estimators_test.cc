@@ -10,10 +10,7 @@ namespace bagcpd {
 namespace {
 
 Signature PointMass(double x) {
-  Signature s;
-  s.centers = {{x}};
-  s.weights = {1.0};
-  return s;
+  return Signature::FromCenters({{x}}, {1.0});
 }
 
 WeightedSignatureSet UniformSet(std::vector<double> positions) {

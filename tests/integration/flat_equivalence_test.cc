@@ -1,0 +1,209 @@
+// Equivalence suite for the flat storage layer: every pipeline stage must
+// produce bitwise-identical output whether a bag enters as the nested
+// convenience type (Bag) or as flat contiguous storage (FlatBag/BagView).
+// This is the contract that lets callers migrate incrementally: the flat
+// path is a layout change, never a numeric change.
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/flat_bag.h"
+#include "bagcpd/common/rng.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/data/gmm.h"
+#include "bagcpd/emd/emd.h"
+#include "bagcpd/runtime/stream_engine.h"
+#include "bagcpd/signature/builder.h"
+
+namespace bagcpd {
+namespace {
+
+Bag RandomBag(std::size_t n, std::size_t dim, Rng* rng) {
+  Bag bag;
+  bag.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point x(dim);
+    for (double& v : x) v = rng->Uniform(-5.0, 5.0);
+    bag.push_back(std::move(x));
+  }
+  return bag;
+}
+
+BagSequence JumpStream(std::size_t length, std::size_t change_at,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  const GaussianMixture before = GaussianMixture::Isotropic({0.0, 0.0}, 0.5);
+  const GaussianMixture after = GaussianMixture::Isotropic({4.0, 4.0}, 0.5);
+  BagSequence bags;
+  for (std::size_t t = 0; t < length; ++t) {
+    const GaussianMixture& mix =
+        (change_at > 0 && t >= change_at) ? after : before;
+    bags.push_back(mix.SampleBag(20, &rng));
+  }
+  return bags;
+}
+
+void ExpectBitwiseEqual(const Signature& a, const Signature& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(a.dim(), b.dim()) << what;
+  EXPECT_EQ(a.flat_centers(), b.flat_centers()) << what;
+  EXPECT_EQ(a.weights, b.weights) << what;
+}
+
+void ExpectBitwiseEqual(const std::vector<StepResult>& a,
+                        const std::vector<StepResult>& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << what << " step " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << what << " step " << i;
+    EXPECT_TRUE((std::isnan(a[i].ci_lo) && std::isnan(b[i].ci_lo)) ||
+                a[i].ci_lo == b[i].ci_lo)
+        << what << " step " << i;
+    EXPECT_TRUE((std::isnan(a[i].ci_up) && std::isnan(b[i].ci_up)) ||
+                a[i].ci_up == b[i].ci_up)
+        << what << " step " << i;
+    EXPECT_TRUE((std::isnan(a[i].xi) && std::isnan(b[i].xi)) ||
+                a[i].xi == b[i].xi)
+        << what << " step " << i;
+    EXPECT_EQ(a[i].alarm, b[i].alarm) << what << " step " << i;
+  }
+}
+
+TEST(FlatEquivalenceTest, EveryQuantizerMatchesBitwise) {
+  Rng rng(11);
+  for (SignatureMethod method :
+       {SignatureMethod::kKMeans, SignatureMethod::kKMedoids,
+        SignatureMethod::kLvq, SignatureMethod::kHistogram,
+        SignatureMethod::kCentroid}) {
+    const Bag bag = RandomBag(60, 3, &rng);
+    const FlatBag flat = FlatBag::FromBag(bag).ValueOrDie();
+    SignatureBuilderOptions options;
+    options.method = method;
+    options.k = 5;
+    options.bin_width = 2.0;
+    options.seed = 77;
+    SignatureBuilder builder(options);
+    const Signature nested = builder.Build(bag, 3).ValueOrDie();
+    const Signature viewed = builder.Build(flat.view(), 3).ValueOrDie();
+    ExpectBitwiseEqual(nested, viewed, SignatureMethodName(method));
+  }
+}
+
+TEST(FlatEquivalenceTest, KMeansAssignmentAndInertiaMatchBitwise) {
+  Rng rng(5);
+  const Bag bag = RandomBag(100, 2, &rng);
+  const FlatBag flat = FlatBag::FromBag(bag).ValueOrDie();
+  KMeansOptions options;
+  options.k = 7;
+  options.seed = 123;
+  const KMeansResult nested = KMeansQuantize(bag, options).ValueOrDie();
+  const KMeansResult viewed =
+      KMeansQuantize(flat.view(), options).ValueOrDie();
+  ExpectBitwiseEqual(nested.signature, viewed.signature, "kmeans");
+  EXPECT_EQ(nested.assignment, viewed.assignment);
+  EXPECT_EQ(nested.inertia, viewed.inertia);
+  EXPECT_EQ(nested.iterations, viewed.iterations);
+}
+
+TEST(FlatEquivalenceTest, EmdOverBothPathsMatchesBitwise) {
+  Rng rng(21);
+  SignatureBuilderOptions options;
+  options.k = 6;
+  options.seed = 9;
+  SignatureBuilder builder(options);
+  const Bag bag_a = RandomBag(40, 2, &rng);
+  const Bag bag_b = RandomBag(50, 2, &rng);
+  const Signature a_nested = builder.Build(bag_a, 0).ValueOrDie();
+  const Signature b_nested = builder.Build(bag_b, 1).ValueOrDie();
+  const Signature a_flat =
+      builder.Build(FlatBag::FromBag(bag_a).ValueOrDie().view(), 0)
+          .ValueOrDie();
+  const Signature b_flat =
+      builder.Build(FlatBag::FromBag(bag_b).ValueOrDie().view(), 1)
+          .ValueOrDie();
+  for (GroundDistance ground :
+       {GroundDistance::kEuclidean, GroundDistance::kSquaredEuclidean,
+        GroundDistance::kManhattan}) {
+    const double nested = ComputeEmd(a_nested, b_nested, ground).ValueOrDie();
+    const double flat = ComputeEmd(a_flat, b_flat, ground).ValueOrDie();
+    EXPECT_EQ(nested, flat) << GroundDistanceName(ground);
+  }
+}
+
+TEST(FlatEquivalenceTest, DetectorRunMatchesBitwise) {
+  const BagSequence bags = JumpStream(24, 12, 99);
+  const FlatBagSequence flat = FlattenSequence(bags).ValueOrDie();
+
+  DetectorOptions options;
+  options.tau = 4;
+  options.tau_prime = 4;
+  options.bootstrap.replicates = 60;
+  options.signature.k = 4;
+  options.seed = 2;
+
+  BagStreamDetector nested(options);
+  const std::vector<StepResult> nested_results =
+      nested.Run(bags).ValueOrDie();
+  BagStreamDetector viewed(options);
+  const std::vector<StepResult> flat_results = viewed.Run(flat).ValueOrDie();
+  ExpectBitwiseEqual(nested_results, flat_results, "detector");
+}
+
+TEST(FlatEquivalenceTest, EngineMatchesBitwiseForAnyShardCountAndIngestForm) {
+  std::map<std::string, BagSequence> streams;
+  for (int s = 0; s < 4; ++s) {
+    streams["stream-" + std::to_string(s)] =
+        JumpStream(18, (s % 2 == 0) ? 9 : 0, 500 + s);
+  }
+
+  StreamEngineOptions base;
+  base.detector.tau = 4;
+  base.detector.tau_prime = 4;
+  base.detector.bootstrap.replicates = 40;
+  base.detector.signature.k = 4;
+  base.seed = 31;
+
+  std::map<std::string, std::vector<StepResult>> baseline;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const bool flat_ingest : {false, true}) {
+      StreamEngineOptions options = base;
+      options.num_shards = shards;
+      StreamEngine engine(options);
+      ASSERT_TRUE(engine.init_status().ok());
+      for (const auto& [key, bags] : streams) {
+        for (const Bag& bag : bags) {
+          if (flat_ingest) {
+            ASSERT_TRUE(
+                engine.Submit(key, FlatBag::FromBag(bag).ValueOrDie()).ok());
+          } else {
+            ASSERT_TRUE(engine.Submit(key, bag).ok());
+          }
+        }
+      }
+      engine.Flush();
+      std::map<std::string, std::vector<StepResult>> grouped;
+      for (StreamStepResult& r : engine.Drain()) {
+        grouped[r.stream_id].push_back(r.step);
+      }
+      if (baseline.empty()) {
+        baseline = std::move(grouped);
+        continue;
+      }
+      ASSERT_EQ(grouped.size(), baseline.size());
+      for (const auto& [key, series] : baseline) {
+        ExpectBitwiseEqual(series, grouped[key],
+                           key + (flat_ingest ? " flat" : " nested") + " @ " +
+                               std::to_string(shards) + " shards");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bagcpd

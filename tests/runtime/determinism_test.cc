@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/core/bootstrap.h"
 #include "bagcpd/core/detector.h"
 #include "bagcpd/data/gmm.h"
@@ -152,6 +153,25 @@ TEST(DeterminismTest, EngineRunBatchInvariantToShardCount) {
       ExpectIdenticalSteps(series, batch->at(key),
                            key + " @ " + std::to_string(shards) + " shards");
     }
+  }
+}
+
+TEST(DeterminismTest, FlatIngestMatchesNestedForAnyPoolSize) {
+  // The flat storage path must be bitwise-equal to the nested path under
+  // every parallelism configuration, not just serially.
+  const BagSequence bags = JumpStream(24, 12, 7);
+  const FlatBagSequence flat = FlattenSequence(bags).ValueOrDie();
+
+  BagStreamDetector serial(SmallDetector());
+  const std::vector<StepResult> baseline = serial.Run(bags).ValueOrDie();
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    BagStreamDetector pooled(SmallDetector());
+    pooled.set_thread_pool(&pool);
+    const std::vector<StepResult> results = pooled.Run(flat).ValueOrDie();
+    ExpectIdenticalSteps(baseline, results,
+                         "flat ingest, pool size " + std::to_string(threads));
   }
 }
 

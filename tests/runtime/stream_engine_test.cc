@@ -1,13 +1,16 @@
 #include "bagcpd/runtime/stream_engine.h"
 
 #include <atomic>
+#include <future>
 #include <map>
 #include <set>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/rng.h"
+#include "bagcpd/core/detector.h"
 #include "bagcpd/data/gmm.h"
 
 namespace bagcpd {
@@ -79,7 +82,9 @@ TEST(StreamEngineTest, SubmitFlushDrainProcessesEveryBag) {
   std::map<std::string, std::uint64_t> last_time;
   for (const StreamStepResult& r : results) {
     auto it = last_time.find(r.stream_id);
-    if (it != last_time.end()) EXPECT_GT(r.step.time, it->second);
+    if (it != last_time.end()) {
+      EXPECT_GT(r.step.time, it->second);
+    }
     last_time[r.stream_id] = r.step.time;
   }
   EXPECT_EQ(last_time.size(), kStreams);
@@ -149,6 +154,22 @@ TEST(StreamEngineTest, QuarantinesFailingStreamOnly) {
   for (const StreamStepResult& r : results) EXPECT_EQ(r.stream_id, "good");
 }
 
+TEST(StreamEngineTest, QuarantineFreesTheStreamsDetector) {
+  // Whether the failure is a ragged bag at the boundary or a detector error,
+  // the quarantined key's detector must be released, not pinned forever.
+  StreamEngine engine(SmallEngine(1));
+  const BagSequence good = JumpStream(3, 0, 13);
+  for (const Bag& bag : good) {
+    ASSERT_TRUE(engine.Submit("doomed", bag).ok());
+  }
+  engine.Flush();
+  EXPECT_EQ(engine.live_stream_count(), 1u);
+  ASSERT_TRUE(engine.Submit("doomed", Bag{{1.0, 2.0}, {3.0}}).ok());
+  engine.Flush();
+  EXPECT_EQ(engine.live_stream_count(), 0u);
+  EXPECT_EQ(engine.DrainErrors().size(), 1u);
+}
+
 TEST(StreamEngineTest, RunBatchRefusesStreamsQuarantinedEarlier) {
   // A stream that failed during online traffic must fail a later batch that
   // includes it, not silently return an empty series.
@@ -172,6 +193,179 @@ TEST(StreamEngineTest, SubmitAfterShutdownFails) {
   StreamEngine engine(SmallEngine(2));
   engine.Shutdown();
   EXPECT_FALSE(engine.Submit("x", JumpStream(1, 0, 7).front()).ok());
+}
+
+TEST(StreamEngineTest, FlatBagSubmitMatchesNestedSubmit) {
+  const BagSequence bags = JumpStream(14, 7, 11);
+  StreamEngine nested(SmallEngine(2));
+  StreamEngine flat(SmallEngine(2));
+  for (const Bag& bag : bags) {
+    ASSERT_TRUE(nested.Submit("k", bag).ok());
+    ASSERT_TRUE(flat.Submit("k", FlatBag::FromBag(bag).ValueOrDie()).ok());
+  }
+  nested.Flush();
+  flat.Flush();
+  const std::vector<StreamStepResult> a = nested.Drain();
+  const std::vector<StreamStepResult> b = flat.Drain();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].step.time, b[i].step.time);
+    EXPECT_EQ(a[i].step.score, b[i].step.score);
+  }
+}
+
+TEST(StreamEngineTest, TrySubmitReturnsUnavailableWhenShardQueueFull) {
+  StreamEngineOptions options = SmallEngine(1);
+  options.detector.bootstrap.replicates = 0;
+  options.shard_queue_capacity = 2;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.init_status().ok());
+
+  // Park the single worker inside the result callback so the queue can be
+  // filled deterministically.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  std::atomic<bool> signaled{false};
+  engine.set_callback([&](const StreamStepResult&) {
+    if (!signaled.exchange(true)) {
+      entered.set_value();
+      release_future.wait();
+    }
+  });
+
+  // tau + tau' = 8 pushes produce the first result, which blocks the worker.
+  const BagSequence bags = JumpStream(8, 0, 21);
+  for (const Bag& bag : bags) {
+    ASSERT_TRUE(engine.Submit("k", bag).ok());
+  }
+  entered.get_future().wait();
+
+  // Worker is parked and its queue is empty: capacity admits exactly two.
+  const Bag extra = JumpStream(1, 0, 22).front();
+  EXPECT_TRUE(engine.TrySubmit("k", extra).ok());
+  EXPECT_TRUE(engine.TrySubmit("k", extra).ok());
+  const Status full = engine.TrySubmit("k", extra);
+  EXPECT_FALSE(full.ok());
+  EXPECT_TRUE(full.IsUnavailable());
+  // The FlatBag overload reports the same condition without consuming.
+  FlatBag flat = FlatBag::FromBag(extra).ValueOrDie();
+  const Status full_flat = engine.TrySubmit("k", std::move(flat));
+  EXPECT_TRUE(full_flat.IsUnavailable());
+  EXPECT_EQ(flat.size(), extra.size());  // Not consumed on rejection.
+
+  release.set_value();
+  engine.Flush();
+  // After draining, TrySubmit goes through again.
+  EXPECT_TRUE(engine.TrySubmit("k", extra).ok());
+  engine.Flush();
+  EXPECT_EQ(engine.processed_count(), 11u);
+}
+
+TEST(StreamEngineTest, IdleStreamsAreEvictedAndRestartFresh) {
+  StreamEngineOptions options = SmallEngine(1);
+  options.detector.bootstrap.replicates = 0;
+  options.max_idle_submissions = 4;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.init_status().ok());
+
+  const BagSequence cold_bags = JumpStream(12, 0, 31);
+  // First segment of the cold stream.
+  for (std::size_t t = 0; t < 3; ++t) {
+    ASSERT_TRUE(engine.Submit("cold", cold_bags[t]).ok());
+  }
+  // More than max_idle_submissions of other traffic idles the key out.
+  const BagSequence hot_bags = JumpStream(8, 0, 32);
+  for (const Bag& bag : hot_bags) {
+    ASSERT_TRUE(engine.Submit("hot", bag).ok());
+  }
+  // Second segment: the key must restart from scratch.
+  for (std::size_t t = 3; t < cold_bags.size(); ++t) {
+    ASSERT_TRUE(engine.Submit("cold", cold_bags[t]).ok());
+  }
+  engine.Flush();
+  EXPECT_EQ(engine.evicted_count(), 1u);
+
+  std::vector<StepResult> cold_results;
+  for (const StreamStepResult& r : engine.Drain()) {
+    if (r.stream_id == "cold") cold_results.push_back(r.step);
+  }
+  // Reference: a fresh detector fed only the second segment (the first
+  // segment's 3 bags are < tau + tau', so it yielded no results).
+  DetectorOptions per_stream = options.detector;
+  per_stream.seed = Rng::MixSeed64(options.seed ^ Rng::StableHash64("cold"));
+  BagStreamDetector reference(per_stream);
+  std::vector<StepResult> expected;
+  for (std::size_t t = 3; t < cold_bags.size(); ++t) {
+    auto step = reference.Push(cold_bags[t]).ValueOrDie();
+    if (step.has_value()) expected.push_back(*step);
+  }
+  ASSERT_EQ(cold_results.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Times restart at the detector's own clock after eviction.
+    EXPECT_EQ(cold_results[i].time, expected[i].time);
+    EXPECT_EQ(cold_results[i].score, expected[i].score);
+  }
+}
+
+TEST(StreamEngineTest, EvictionIsDeterministicAcrossShardCounts) {
+  const std::size_t kStreams = 6;
+  std::map<std::string, std::vector<double>> baseline;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    StreamEngineOptions options = SmallEngine(shards);
+    options.detector.bootstrap.replicates = 0;
+    // Bursts of other keys put ~20 submissions between a key's adjacent
+    // bursts and ~36 when it skips one; 24 evicts only the skippers.
+    options.max_idle_submissions = 24;
+    StreamEngine engine(options);
+    ASSERT_TRUE(engine.init_status().ok());
+    // Alternate bursts so some keys go idle past the threshold mid-run; the
+    // submission order (and hence the global idle clock) is fixed.
+    std::map<std::string, BagSequence> bags;
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      bags["s" + std::to_string(s)] = JumpStream(12, 0, 700 + s);
+    }
+    for (std::size_t burst = 0; burst < 3; ++burst) {
+      for (std::size_t s = 0; s < kStreams; ++s) {
+        if (burst == 1 && s < 2) continue;  // Keys s0, s1 sit out a burst.
+        const std::string key = "s" + std::to_string(s);
+        for (std::size_t t = burst * 4; t < burst * 4 + 4; ++t) {
+          ASSERT_TRUE(engine.Submit(key, bags[key][t]).ok());
+        }
+      }
+    }
+    engine.Flush();
+    std::map<std::string, std::vector<double>> grouped;
+    for (const StreamStepResult& r : engine.Drain()) {
+      grouped[r.stream_id].push_back(r.step.score);
+    }
+    EXPECT_GT(engine.evicted_count(), 0u) << shards << " shards";
+    if (baseline.empty()) {
+      baseline = std::move(grouped);
+      continue;
+    }
+    EXPECT_EQ(grouped, baseline) << shards << " shards";
+  }
+}
+
+TEST(StreamEngineTest, IdleSweepReclaimsDetectorMemory) {
+  StreamEngineOptions options = SmallEngine(1);
+  options.detector.bootstrap.replicates = 0;
+  options.max_idle_submissions = 16;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.init_status().ok());
+
+  // One bag for a key that then goes silent forever.
+  ASSERT_TRUE(engine.Submit("silent", JumpStream(1, 0, 41).front()).ok());
+  // Enough follow-on traffic to cross the periodic sweep threshold (512).
+  const Bag filler = JumpStream(1, 0, 42).front();
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(engine.Submit("busy", filler).ok());
+  }
+  engine.Flush();
+  // The sweep freed the silent key's detector without it ever returning.
+  EXPECT_GE(engine.evicted_count(), 1u);
+  EXPECT_EQ(engine.live_stream_count(), 1u);
 }
 
 TEST(StreamEngineTest, BackpressureDoesNotDeadlockTinyQueues) {

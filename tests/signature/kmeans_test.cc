@@ -36,7 +36,7 @@ TEST(KMeansTest, RecoversSeparatedClusters) {
   const std::vector<Point> truth = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
   for (const Point& t : truth) {
     double best = 1e9;
-    for (const Point& c : sig.centers) {
+    for (const PointView c : sig.centers()) {
       best = std::min(best, EuclideanDistance(t, c));
     }
     EXPECT_LT(best, 0.5);
@@ -89,8 +89,8 @@ TEST(KMeansTest, DeterministicForSeed) {
   Result<KMeansResult> b = KMeansQuantize(bag, options);
   ASSERT_TRUE(a.ok() && b.ok());
   ASSERT_EQ(a->signature.size(), b->signature.size());
+  EXPECT_EQ(a->signature.flat_centers(), b->signature.flat_centers());
   for (std::size_t c = 0; c < a->signature.size(); ++c) {
-    EXPECT_EQ(a->signature.centers[c], b->signature.centers[c]);
     EXPECT_EQ(a->signature.weights[c], b->signature.weights[c]);
   }
 }
@@ -106,13 +106,13 @@ TEST(KMeansTest, DuplicatePointsHandled) {
 }
 
 TEST(KMeansTest, RejectsEmptyBag) {
-  EXPECT_FALSE(KMeansQuantize({}, KMeansOptions{}).ok());
+  EXPECT_FALSE(KMeansQuantize(Bag{}, KMeansOptions{}).ok());
 }
 
 TEST(KMeansTest, RejectsZeroK) {
   KMeansOptions options;
   options.k = 0;
-  EXPECT_FALSE(KMeansQuantize({{1.0}}, options).ok());
+  EXPECT_FALSE(KMeansQuantize(Bag{{1.0}}, options).ok());
 }
 
 TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {

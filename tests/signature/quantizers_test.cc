@@ -31,7 +31,7 @@ TEST(KMedoidsTest, MedoidsAreBagPoints) {
   Result<KMedoidsResult> res = KMedoidsQuantize(bag, options);
   ASSERT_TRUE(res.ok());
   for (std::size_t m = 0; m < res->signature.size(); ++m) {
-    const Point& center = res->signature.centers[m];
+    const Point center = res->signature.center(m).ToPoint();
     const bool is_bag_point =
         std::any_of(bag.begin(), bag.end(),
                     [&](const Point& x) { return x == center; });
@@ -47,17 +47,17 @@ TEST(KMedoidsTest, SeparatesClusters) {
   Result<KMedoidsResult> res = KMedoidsQuantize(bag, options);
   ASSERT_TRUE(res.ok());
   ASSERT_EQ(res->signature.size(), 2u);
-  const double d = EuclideanDistance(res->signature.centers[0],
-                                     res->signature.centers[1]);
+  const double d = EuclideanDistance(res->signature.center(0),
+                                     res->signature.center(1));
   EXPECT_GT(d, 5.0);
   EXPECT_DOUBLE_EQ(res->signature.TotalWeight(), 50.0);
 }
 
 TEST(KMedoidsTest, RejectsEmptyBagAndZeroK) {
-  EXPECT_FALSE(KMedoidsQuantize({}, KMedoidsOptions{}).ok());
+  EXPECT_FALSE(KMedoidsQuantize(Bag{}, KMedoidsOptions{}).ok());
   KMedoidsOptions zero;
   zero.k = 0;
-  EXPECT_FALSE(KMedoidsQuantize({{1.0}}, zero).ok());
+  EXPECT_FALSE(KMedoidsQuantize(Bag{{1.0}}, zero).ok());
 }
 
 TEST(LvqTest, SeparatesClusters) {
@@ -68,14 +68,14 @@ TEST(LvqTest, SeparatesClusters) {
   Result<Signature> sig = LvqQuantize(bag, options);
   ASSERT_TRUE(sig.ok());
   ASSERT_EQ(sig->size(), 2u);
-  EXPECT_GT(EuclideanDistance(sig->centers[0], sig->centers[1]), 5.0);
+  EXPECT_GT(EuclideanDistance(sig->center(0), sig->center(1)), 5.0);
   EXPECT_DOUBLE_EQ(sig->TotalWeight(), 60.0);
 }
 
 TEST(LvqTest, RejectsBadOptions) {
   LvqOptions bad_epochs;
   bad_epochs.epochs = 0;
-  EXPECT_FALSE(LvqQuantize({{1.0}}, bad_epochs).ok());
+  EXPECT_FALSE(LvqQuantize(Bag{{1.0}}, bad_epochs).ok());
 }
 
 TEST(HistogramTest, ExactCountsOnCraftedData) {
@@ -87,11 +87,11 @@ TEST(HistogramTest, ExactCountsOnCraftedData) {
   ASSERT_TRUE(sig.ok());
   ASSERT_EQ(sig->size(), 3u);
   // Map ordered (bin 0, 1, 2) -> counts (2, 1, 3); centers at 0.5, 1.5, 2.5.
-  EXPECT_DOUBLE_EQ(sig->centers[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(sig->center(0)[0], 0.5);
   EXPECT_DOUBLE_EQ(sig->weights[0], 2.0);
-  EXPECT_DOUBLE_EQ(sig->centers[1][0], 1.5);
+  EXPECT_DOUBLE_EQ(sig->center(1)[0], 1.5);
   EXPECT_DOUBLE_EQ(sig->weights[1], 1.0);
-  EXPECT_DOUBLE_EQ(sig->centers[2][0], 2.5);
+  EXPECT_DOUBLE_EQ(sig->center(2)[0], 2.5);
   EXPECT_DOUBLE_EQ(sig->weights[2], 3.0);
 }
 
@@ -103,7 +103,7 @@ TEST(HistogramTest, SampleMeanCenters) {
   Result<Signature> sig = HistogramQuantize(bag, options);
   ASSERT_TRUE(sig.ok());
   ASSERT_EQ(sig->size(), 1u);
-  EXPECT_DOUBLE_EQ(sig->centers[0][0], 0.25);
+  EXPECT_DOUBLE_EQ(sig->center(0)[0], 0.25);
 }
 
 TEST(HistogramTest, NegativeValuesAndOrigin) {
@@ -113,8 +113,8 @@ TEST(HistogramTest, NegativeValuesAndOrigin) {
   Result<Signature> sig = HistogramQuantize(bag, options);
   ASSERT_TRUE(sig.ok());
   ASSERT_EQ(sig->size(), 2u);
-  EXPECT_DOUBLE_EQ(sig->centers[0][0], -1.5);
-  EXPECT_DOUBLE_EQ(sig->centers[1][0], -0.5);
+  EXPECT_DOUBLE_EQ(sig->center(0)[0], -1.5);
+  EXPECT_DOUBLE_EQ(sig->center(1)[0], -0.5);
 }
 
 TEST(HistogramTest, MultiDimensionalBins) {
@@ -139,7 +139,7 @@ TEST(HistogramTest, OriginShiftByBinWidthIsNeutral) {
   Signature s1 = HistogramQuantize(bag, base).ValueOrDie();
   Signature s2 = HistogramQuantize(bag, shifted).ValueOrDie();
   ASSERT_EQ(s1.size(), s2.size());
-  EXPECT_EQ(s1.centers, s2.centers);
+  EXPECT_EQ(s1.flat_centers(), s2.flat_centers());
   EXPECT_EQ(s1.weights, s2.weights);
 }
 
@@ -164,7 +164,7 @@ TEST(SignatureTest, NormalizedIsIdempotent) {
 TEST(HistogramTest, RejectsNonPositiveWidth) {
   HistogramOptions options;
   options.bin_width = 0.0;
-  EXPECT_FALSE(HistogramQuantize({{1.0}}, options).ok());
+  EXPECT_FALSE(HistogramQuantize(Bag{{1.0}}, options).ok());
 }
 
 TEST(BuilderTest, DispatchesAllMethods) {
@@ -183,7 +183,9 @@ TEST(BuilderTest, DispatchesAllMethods) {
                           << sig.status().ToString();
     EXPECT_TRUE(sig->Validate().ok());
     EXPECT_NEAR(sig->TotalWeight(), 40.0, 1e-9);
-    if (method == SignatureMethod::kCentroid) EXPECT_EQ(sig->size(), 1u);
+    if (method == SignatureMethod::kCentroid) {
+      EXPECT_EQ(sig->size(), 1u);
+    }
   }
 }
 
@@ -197,7 +199,7 @@ TEST(BuilderTest, DeterministicPerBagIndex) {
   Result<Signature> a = builder.Build(bag, 5);
   Result<Signature> b = builder.Build(bag, 5);
   ASSERT_TRUE(a.ok() && b.ok());
-  EXPECT_EQ(a->centers, b->centers);
+  EXPECT_EQ(a->flat_centers(), b->flat_centers());
   EXPECT_EQ(a->weights, b->weights);
 }
 

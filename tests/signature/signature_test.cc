@@ -1,15 +1,14 @@
 #include "bagcpd/signature/signature.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace bagcpd {
 namespace {
 
 Signature MakeSimple() {
-  Signature s;
-  s.centers = {{0.0, 0.0}, {2.0, 0.0}};
-  s.weights = {1.0, 3.0};
-  return s;
+  return Signature::FromCenters({{0.0, 0.0}, {2.0, 0.0}}, {1.0, 3.0});
 }
 
 TEST(SignatureTest, BasicAccessors) {
@@ -25,7 +24,7 @@ TEST(SignatureTest, Normalized) {
   EXPECT_DOUBLE_EQ(n.weights[0], 0.25);
   EXPECT_DOUBLE_EQ(n.weights[1], 0.75);
   // Centers untouched.
-  EXPECT_DOUBLE_EQ(n.centers[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(n.center(1)[0], 2.0);
 }
 
 TEST(SignatureTest, Centroid) {
@@ -57,18 +56,44 @@ TEST(SignatureTest, ValidateRejectsNonPositiveWeight) {
   EXPECT_FALSE(s.Validate().ok());
 }
 
-TEST(SignatureTest, ValidateRejectsInconsistentDims) {
+TEST(SignatureTest, ValidateRejectsDanglingWeight) {
+  // The flat layout makes ragged centers unrepresentable; the remaining
+  // inconsistency is a weight without a center row.
   Signature s = MakeSimple();
-  s.centers[1] = {1.0};
+  s.weights.push_back(1.0);
   EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SignatureTest, FlatCentersAreContiguousRowMajor) {
+  Signature s = MakeSimple();
+  const std::vector<double> expected = {0.0, 0.0, 2.0, 0.0};
+  EXPECT_EQ(s.flat_centers(), expected);
+  EXPECT_EQ(s.center(1).data(), s.flat_centers().data() + 2);
+  EXPECT_EQ(s.centers().size(), 2u);
+  EXPECT_EQ(s.centers().dim(), 2u);
+}
+
+TEST(SignatureTest, FromFlatAdoptsBuffer) {
+  Signature s = Signature::FromFlat({0.0, 0.0, 2.0, 0.0}, 2, {1.0, 3.0});
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.dim(), 2u);
+  EXPECT_DOUBLE_EQ(s.center(1)[0], 2.0);
+  EXPECT_EQ(s.flat_centers(), MakeSimple().flat_centers());
+}
+
+TEST(SignatureTest, MutableCenterWritesThrough) {
+  Signature s = MakeSimple();
+  s.mutable_center(0)[1] = 7.0;
+  EXPECT_DOUBLE_EQ(s.center(0)[1], 7.0);
 }
 
 TEST(SignatureTest, CentroidSignatureCollapsesBag) {
   Bag bag = {{0.0, 0.0}, {4.0, 2.0}};
   Signature s = CentroidSignature(bag);
   EXPECT_EQ(s.size(), 1u);
-  EXPECT_DOUBLE_EQ(s.centers[0][0], 2.0);
-  EXPECT_DOUBLE_EQ(s.centers[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(s.center(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.center(0)[1], 1.0);
   EXPECT_DOUBLE_EQ(s.weights[0], 2.0);
 }
 
