@@ -18,6 +18,7 @@
 #include "bagcpd/data/ci_datasets.h"
 #include "bagcpd/emd/emd.h"
 #include "bagcpd/io/table.h"
+#include "bagcpd/signature/signature_set.h"
 #include "bench_util.h"
 
 namespace bagcpd {
@@ -51,10 +52,13 @@ int Main() {
     sig_options.k = 8;
     sig_options.seed = 60;
     SignatureBuilder builder(sig_options);
-    std::vector<Signature> signatures;
+    // One shared-buffer SignatureSet for the whole sequence: the batch EMD
+    // matrix walks every signature back to back through the cache.
+    SignatureSet signatures;
     for (std::size_t t = 0; t < ds.bags.size(); ++t) {
-      signatures.push_back(
-          bench::Unwrap(builder.Build(ds.bags[t], t), "signature"));
+      const Signature sig =
+          bench::Unwrap(builder.Build(ds.bags[t], t), "signature");
+      bench::UnwrapStatus(signatures.Append(sig), "append signature");
     }
     Matrix emd = bench::Unwrap(PairwiseEmdMatrix(signatures), "emd matrix");
     std::printf("left panel: pairwise EMD between bags (dark = far)\n%s\n",

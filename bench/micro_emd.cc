@@ -55,7 +55,7 @@ void BM_EmdUnbalanced(benchmark::State& state) {
   Rng rng(3);
   Signature a = RandomSignature(&rng, 16, 2);
   Signature b = RandomSignature(&rng, 16, 2);
-  for (double& w : b.weights) w *= 4.0;
+  for (std::size_t i = 0; i < b.size(); ++i) b.mutable_weights()[i] *= 4.0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(ComputeEmd(a, b).ValueOrDie());
   }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "bagcpd/emd/emd.h"
+
 namespace bagcpd {
 
 Result<MdsEmbedding> ClassicalMds(const Matrix& distances, std::size_t dims) {
@@ -50,6 +52,13 @@ Result<MdsEmbedding> ClassicalMds(const Matrix& distances, std::size_t dims) {
     }
   }
   return out;
+}
+
+Result<MdsEmbedding> EmdMds(const SignatureSet& signatures, std::size_t dims,
+                            GroundDistance ground) {
+  BAGCPD_ASSIGN_OR_RETURN(Matrix distances,
+                          PairwiseEmdMatrix(signatures, ground));
+  return ClassicalMds(distances, dims);
 }
 
 }  // namespace bagcpd

@@ -7,6 +7,8 @@
 
 #include "bagcpd/common/matrix.h"
 #include "bagcpd/common/result.h"
+#include "bagcpd/emd/ground_distance.h"
+#include "bagcpd/signature/signature_set.h"
 
 namespace bagcpd {
 
@@ -23,6 +25,13 @@ struct MdsEmbedding {
 /// \brief Embeds the symmetric distance matrix `distances` into `dims`
 /// dimensions. Components with non-positive eigenvalues are zeroed.
 Result<MdsEmbedding> ClassicalMds(const Matrix& distances, std::size_t dims = 2);
+
+/// \brief Convenience for the Fig. 6 center panels: computes the pairwise
+/// EMD matrix of a shared-buffer SignatureSet and embeds it. Identical to
+/// calling PairwiseEmdMatrix + ClassicalMds by hand.
+Result<MdsEmbedding> EmdMds(const SignatureSet& signatures,
+                            std::size_t dims = 2,
+                            GroundDistance ground = GroundDistance::kEuclidean);
 
 }  // namespace bagcpd
 

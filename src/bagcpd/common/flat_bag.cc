@@ -1,6 +1,7 @@
 #include "bagcpd/common/flat_bag.h"
 
 #include <cstdio>
+#include <functional>
 
 namespace bagcpd {
 
@@ -22,15 +23,16 @@ Result<FlatBag> FlatBag::FromFlat(std::vector<double> values,
   return FlatBag(std::move(values), dim);
 }
 
-Result<FlatBag> FlatBag::FromBag(const Bag& bag) {
+Result<FlatBag> FlatBag::FromBag(const Bag& bag, BufferArena* arena) {
   BAGCPD_RETURN_NOT_OK(ValidateBag(bag));
   const std::size_t dim = bag.front().size();
-  std::vector<double> values;
+  PooledBuffer buffer = PooledBuffer::AcquireFrom(arena, bag.size() * dim);
+  std::vector<double>& values = buffer.vec();
   values.reserve(bag.size() * dim);
   for (const Point& x : bag) {
     values.insert(values.end(), x.begin(), x.end());
   }
-  return FlatBag(std::move(values), dim);
+  return FlatBag(std::move(buffer), dim);
 }
 
 Status FlatBag::Append(PointView x) {
@@ -45,14 +47,17 @@ Status FlatBag::Append(PointView x) {
                   "point has dimension %zu, expected %zu", x.size(), dim_);
     return Status::Invalid(buf);
   }
-  AppendRow(&data_, x);
+  AppendRow(&data_.vec(), x);
   return Status::OK();
 }
 
 void AppendRow(std::vector<double>* buffer, PointView row) {
+  // std::less gives the total pointer order the raw operators don't
+  // guarantee for unrelated objects.
+  const std::less<const double*> before;
   if (buffer->size() + row.size() > buffer->capacity() && !buffer->empty() &&
-      row.data() >= buffer->data() &&
-      row.data() < buffer->data() + buffer->size()) {
+      !before(row.data(), buffer->data()) &&
+      before(row.data(), buffer->data() + buffer->size())) {
     const Point copy = row.ToPoint();
     buffer->insert(buffer->end(), copy.begin(), copy.end());
   } else {

@@ -1,7 +1,13 @@
 // FlatBag: the owning, contiguous bag representation behind BagView. One
-// `std::vector<double>` holds all n observations row-major (n x d), so the
+// contiguous buffer holds all n observations row-major (n x d), so the
 // whole bag is a single allocation that moves through queues and shards
 // without copying, and every kernel walks it linearly through the cache.
+//
+// The buffer lives behind a PooledBuffer handle: flattening at a high-rate
+// ingest boundary can draw the buffer from a BufferArena (FromBag's arena
+// parameter), and the storage returns to that arena automatically when the
+// FlatBag dies — on whichever thread that happens. Without an arena the
+// handle degrades to a plain malloc'd vector.
 //
 // The nested `Bag` (std::vector<std::vector<double>>) stays as the
 // convenience/interchange type; FromBag/ToBag convert between the two. The
@@ -16,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "bagcpd/common/buffer_arena.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/common/status.h"
@@ -37,31 +44,35 @@ class FlatBag {
   static Result<FlatBag> FromFlat(std::vector<double> values, std::size_t dim);
 
   /// \brief Flattens a nested bag, validating it exactly like ValidateBag
-  /// (non-empty, no zero-dimensional points, not ragged).
-  static Result<FlatBag> FromBag(const Bag& bag);
+  /// (non-empty, no zero-dimensional points, not ragged). With a non-null
+  /// `arena` the flat buffer is acquired from (and returns to) that arena;
+  /// the contents and all downstream results are identical either way.
+  static Result<FlatBag> FromBag(const Bag& bag, BufferArena* arena = nullptr);
 
   /// \brief Materializes the nested convenience form.
   Bag ToBag() const { return view().ToBag(); }
 
   /// \brief Zero-copy view over the storage.
-  BagView view() const { return BagView(data_.data(), size(), dim_); }
+  BagView view() const { return BagView(data_.vec().data(), size(), dim_); }
 
   /// \brief Implicit view conversion so FlatBag can be passed anywhere a
   /// BagView is accepted.
   operator BagView() const { return view(); }  // NOLINT(runtime/explicit)
 
   /// \brief Number of observations n.
-  std::size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  std::size_t size() const {
+    return dim_ == 0 ? 0 : data_.vec().size() / dim_;
+  }
   /// \brief Dimension d (0 until the first Append fixes it).
   std::size_t dim() const { return dim_; }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return data_.vec().empty(); }
 
   PointView operator[](std::size_t i) const {
-    return PointView(data_.data() + i * dim_, dim_);
+    return PointView(data_.vec().data() + i * dim_, dim_);
   }
 
-  const double* data() const { return data_.data(); }
-  const std::vector<double>& storage() const { return data_; }
+  const double* data() const { return data_.vec().data(); }
+  const std::vector<double>& storage() const { return data_.vec(); }
 
   /// \brief Appends one observation. The first Append fixes the dimension
   /// when it was not set at construction; later dimension mismatches fail.
@@ -69,9 +80,13 @@ class FlatBag {
 
  private:
   FlatBag(std::vector<double> values, std::size_t dim)
+      : data_(std::move(values), nullptr), dim_(dim) {}
+  FlatBag(PooledBuffer values, std::size_t dim)
       : data_(std::move(values)), dim_(dim) {}
 
-  std::vector<double> data_;
+  // One contiguous n x d buffer; returns to its arena (if any) on
+  // destruction, copies degrade to unpooled storage.
+  PooledBuffer data_;
   std::size_t dim_ = 0;
 };
 

@@ -44,6 +44,9 @@ BagStreamDetector::BagStreamDetector(const DetectorOptions& options)
       builder_(options.signature),
       rng_(options.seed),
       ground_(MakeGroundDistance(options_.ground)) {
+  if (init_status_.ok()) {
+    window_.Reset(options_.tau + options_.tau_prime);
+  }
   cache_ = std::make_unique<PairwiseDistanceCache>(
       [this](std::uint64_t i, std::uint64_t j) -> Result<double> {
         return ComputeEmd(SignatureAt(i), SignatureAt(j), ground_);
@@ -60,7 +63,7 @@ BagStreamDetector::BagStreamDetector(const DetectorOptions& options)
   }
 }
 
-const Signature& BagStreamDetector::SignatureAt(
+SignatureView BagStreamDetector::SignatureAt(
     std::uint64_t global_index) const {
   const std::uint64_t window_start = next_index_ - window_.size();
   BAGCPD_CHECK_MSG(global_index >= window_start && global_index < next_index_,
@@ -68,11 +71,13 @@ const Signature& BagStreamDetector::SignatureAt(
                    static_cast<unsigned long long>(global_index),
                    static_cast<unsigned long long>(window_start),
                    static_cast<unsigned long long>(next_index_));
-  return window_[static_cast<std::size_t>(global_index - window_start)];
+  return window_.view(static_cast<std::size_t>(global_index - window_start));
 }
 
 void BagStreamDetector::Reset() {
-  window_.clear();
+  if (init_status_.ok()) {
+    window_.Reset(options_.tau + options_.tau_prime);
+  }
   upper_history_.clear();
   next_index_ = 0;
   cache_ = std::make_unique<PairwiseDistanceCache>(
@@ -83,14 +88,22 @@ void BagStreamDetector::Reset() {
 
 Result<std::optional<StepResult>> BagStreamDetector::Push(const Bag& bag) {
   BAGCPD_RETURN_NOT_OK(init_status_);
-  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
+  // The boundary flatten recycles through the attached arena too, like the
+  // signature build below.
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag, arena_));
   return Push(flat.view());
 }
 
 Result<std::optional<StepResult>> BagStreamDetector::Push(BagView bag) {
   BAGCPD_RETURN_NOT_OK(init_status_);
-  BAGCPD_ASSIGN_OR_RETURN(Signature sig, builder_.Build(bag, next_index_));
-  window_.push_back(std::move(sig));
+  {
+    // The builder's signature (an arena-pooled packed buffer when an arena
+    // is attached) is copied into the window ring's shared storage, after
+    // which its buffer recycles immediately.
+    BAGCPD_ASSIGN_OR_RETURN(Signature sig,
+                            builder_.Build(bag, next_index_, arena_));
+    window_.PushBack(sig);
+  }
   ++next_index_;
 
   const std::size_t full = options_.tau + options_.tau_prime;
@@ -103,7 +116,7 @@ Result<std::optional<StepResult>> BagStreamDetector::Push(BagView bag) {
   BAGCPD_ASSIGN_OR_RETURN(StepResult step, ScoreInspectionPoint());
 
   // Slide: drop the oldest signature and its cached distances.
-  window_.pop_front();
+  window_.PopFront();
   cache_->EvictBefore(next_index_ - (full - 1));
   return std::optional<StepResult>(step);
 }

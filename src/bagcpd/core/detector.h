@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "bagcpd/common/buffer_arena.h"
 #include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
@@ -24,6 +25,7 @@
 #include "bagcpd/emd/distance_cache.h"
 #include "bagcpd/emd/ground_distance.h"
 #include "bagcpd/signature/builder.h"
+#include "bagcpd/signature/signature_set.h"
 
 namespace bagcpd {
 
@@ -124,10 +126,19 @@ class BagStreamDetector {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
+  /// \brief Attaches a buffer arena (non-owning; may be nullptr to detach).
+  ///
+  /// With an arena, the per-push signature build recycles its packed buffer
+  /// and scratch through the pool instead of malloc. The arena must outlive
+  /// the detector (StreamEngine owns one per shard and guarantees this).
+  /// Results are bitwise-identical with or without an arena.
+  void set_buffer_arena(BufferArena* arena) { arena_ = arena; }
+  BufferArena* buffer_arena() const { return arena_; }
+
  private:
   Result<StepResult> ScoreInspectionPoint();
   Status PrefillWindowDistances();
-  const Signature& SignatureAt(std::uint64_t global_index) const;
+  SignatureView SignatureAt(std::uint64_t global_index) const;
 
   DetectorOptions options_;
   Status init_status_;
@@ -135,10 +146,12 @@ class BagStreamDetector {
   Rng rng_;
   ThreadPool* pool_ = nullptr;
   GroundDistanceFn ground_;
+  BufferArena* arena_ = nullptr;
   std::unique_ptr<PairwiseDistanceCache> cache_;
-  // Sliding window of the most recent tau + tau' signatures; front() is the
-  // oldest and has global index next_index_ - window_.size().
-  std::deque<Signature> window_;
+  // Sliding window of the most recent tau + tau' signatures packed into one
+  // shared ring buffer; view(0) is the oldest and has global index
+  // next_index_ - window_.size(). Sliding is allocation-free in steady state.
+  SignatureRing window_;
   std::uint64_t next_index_ = 0;
   // theta_up history for the xi test, keyed relative to inspection time:
   // upper_history_[k] is theta_up of inspection time (current_t - 1 - k).

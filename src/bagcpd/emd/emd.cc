@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "bagcpd/common/check.h"
 #include "bagcpd/emd/emd_1d.h"
@@ -9,7 +10,7 @@
 
 namespace bagcpd {
 
-Result<EmdSolution> ComputeEmdDetailed(const Signature& a, const Signature& b,
+Result<EmdSolution> ComputeEmdDetailed(SignatureView a, SignatureView b,
                                        const GroundDistanceFn& ground) {
   BAGCPD_RETURN_NOT_OK(a.Validate());
   BAGCPD_RETURN_NOT_OK(b.Validate());
@@ -31,7 +32,7 @@ Result<EmdSolution> ComputeEmdDetailed(const Signature& a, const Signature& b,
   MinCostFlow network(k + l + 2);
 
   for (std::size_t i = 0; i < k; ++i) {
-    network.AddArc(source, 1 + i, a.weights[i], 0.0);
+    network.AddArc(source, 1 + i, a.weight(i), 0.0);
   }
   // Arc ids of the transport arcs, for flow extraction.
   std::vector<std::vector<int>> transport_ids(k, std::vector<int>(l));
@@ -43,11 +44,11 @@ Result<EmdSolution> ComputeEmdDetailed(const Signature& a, const Signature& b,
                                "non-finite value");
       }
       transport_ids[i][j] = network.AddArc(
-          1 + i, 1 + k + j, std::min(a.weights[i], b.weights[j]), dist);
+          1 + i, 1 + k + j, std::min(a.weight(i), b.weight(j)), dist);
     }
   }
   for (std::size_t j = 0; j < l; ++j) {
-    network.AddArc(1 + k + j, sink, b.weights[j], 0.0);
+    network.AddArc(1 + k + j, sink, b.weight(j), 0.0);
   }
 
   BAGCPD_ASSIGN_OR_RETURN(FlowSolution flow_solution,
@@ -68,7 +69,7 @@ Result<EmdSolution> ComputeEmdDetailed(const Signature& a, const Signature& b,
   return out;
 }
 
-Result<double> ComputeEmd(const Signature& a, const Signature& b,
+Result<double> ComputeEmd(SignatureView a, SignatureView b,
                           GroundDistance ground) {
   // In one dimension Euclidean and Manhattan coincide and the balanced
   // problem has a closed-form sweep solution; use it when it applies.
@@ -80,27 +81,80 @@ Result<double> ComputeEmd(const Signature& a, const Signature& b,
   return ComputeEmd(a, b, MakeGroundDistance(ground));
 }
 
-Result<double> ComputeEmd(const Signature& a, const Signature& b,
+Result<double> ComputeEmd(SignatureView a, SignatureView b,
                           const GroundDistanceFn& ground) {
   BAGCPD_ASSIGN_OR_RETURN(EmdSolution sol, ComputeEmdDetailed(a, b, ground));
   return sol.emd;
 }
 
-Result<Matrix> PairwiseEmdMatrix(const std::vector<Signature>& signatures,
-                                 GroundDistance ground) {
-  if (signatures.empty()) return Status::Invalid("no signatures");
+namespace {
+
+// Shared batch kernels over any indexable source of views, so the
+// SignatureSet and std::vector<Signature> entry points run the exact same
+// EMD sequence (bitwise-identical matrices).
+using ViewAt = std::function<SignatureView(std::size_t)>;
+
+Result<Matrix> PairwiseEmdImpl(const ViewAt& at, std::size_t n,
+                               GroundDistance ground) {
+  if (n == 0) return Status::Invalid("no signatures");
+  // Materialize the ground function once (this also pins the historical
+  // behaviour of always solving the full transportation problem here).
   const GroundDistanceFn fn = MakeGroundDistance(ground);
-  const std::size_t n = signatures.size();
   Matrix m(n, n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      BAGCPD_ASSIGN_OR_RETURN(double d,
-                              ComputeEmd(signatures[i], signatures[j], fn));
+      BAGCPD_ASSIGN_OR_RETURN(double d, ComputeEmd(at(i), at(j), fn));
       m(i, j) = d;
       m(j, i) = d;
     }
   }
   return m;
+}
+
+Result<Matrix> CrossDistanceImpl(const ViewAt& at_a, std::size_t n,
+                                 const ViewAt& at_b, std::size_t m,
+                                 GroundDistance ground) {
+  if (n == 0 || m == 0) return Status::Invalid("no signatures");
+  const GroundDistanceFn fn = MakeGroundDistance(ground);
+  Matrix out(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      BAGCPD_ASSIGN_OR_RETURN(double dij, ComputeEmd(at_a(i), at_b(j), fn));
+      out(i, j) = dij;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Matrix> PairwiseEmdMatrix(const SignatureSet& signatures,
+                                 GroundDistance ground) {
+  return PairwiseEmdImpl([&](std::size_t i) { return signatures.view(i); },
+                         signatures.size(), ground);
+}
+
+Result<Matrix> PairwiseEmdMatrix(const std::vector<Signature>& signatures,
+                                 GroundDistance ground) {
+  return PairwiseEmdImpl(
+      [&](std::size_t i) { return SignatureView(signatures[i]); },
+      signatures.size(), ground);
+}
+
+Result<Matrix> CrossDistanceMatrix(const SignatureSet& a,
+                                   const SignatureSet& b,
+                                   GroundDistance ground) {
+  return CrossDistanceImpl([&](std::size_t i) { return a.view(i); }, a.size(),
+                           [&](std::size_t j) { return b.view(j); }, b.size(),
+                           ground);
+}
+
+Result<Matrix> CrossDistanceMatrix(const std::vector<Signature>& a,
+                                   const std::vector<Signature>& b,
+                                   GroundDistance ground) {
+  return CrossDistanceImpl(
+      [&](std::size_t i) { return SignatureView(a[i]); }, a.size(),
+      [&](std::size_t j) { return SignatureView(b[j]); }, b.size(), ground);
 }
 
 }  // namespace bagcpd

@@ -3,6 +3,12 @@
 // signatures carry different total weight, only min(W, W') mass is moved and
 // the distance is normalized by the moved mass (Eq. 12), exactly as in the
 // paper's formulation.
+//
+// All entry points take SignatureView, so owning Signatures (implicit
+// conversion), SignatureSet members, and SignatureRing slots all flow through
+// one code path. The batch helpers take SignatureSet — one shared buffer for
+// the whole batch — with std::vector<Signature> shims for incremental
+// migration; both produce bitwise-identical matrices.
 
 #ifndef BAGCPD_EMD_EMD_H_
 #define BAGCPD_EMD_EMD_H_
@@ -13,6 +19,7 @@
 #include "bagcpd/common/result.h"
 #include "bagcpd/emd/ground_distance.h"
 #include "bagcpd/signature/signature.h"
+#include "bagcpd/signature/signature_set.h"
 
 namespace bagcpd {
 
@@ -31,22 +38,37 @@ struct EmdSolution {
 /// \brief Computes the EMD and the optimal flow between two signatures.
 ///
 /// Fails with Invalid if either signature is structurally invalid.
-Result<EmdSolution> ComputeEmdDetailed(const Signature& a, const Signature& b,
+Result<EmdSolution> ComputeEmdDetailed(SignatureView a, SignatureView b,
                                        const GroundDistanceFn& ground);
 
 /// \brief Convenience overload returning only the distance value, using the
 /// given built-in ground distance (default: Euclidean, the paper's choice).
-Result<double> ComputeEmd(const Signature& a, const Signature& b,
+Result<double> ComputeEmd(SignatureView a, SignatureView b,
                           GroundDistance ground = GroundDistance::kEuclidean);
 
 /// \brief Convenience overload with a custom ground distance.
-Result<double> ComputeEmd(const Signature& a, const Signature& b,
+Result<double> ComputeEmd(SignatureView a, SignatureView b,
                           const GroundDistanceFn& ground);
 
 /// \brief Dense symmetric matrix of pairwise EMDs over a set of signatures
 /// (used by the Fig. 6 EMD heat maps and MDS embeddings).
+Result<Matrix> PairwiseEmdMatrix(const SignatureSet& signatures,
+                                 GroundDistance ground = GroundDistance::kEuclidean);
+
+/// \brief AoS compatibility shim; identical output to the SignatureSet form.
 Result<Matrix> PairwiseEmdMatrix(const std::vector<Signature>& signatures,
                                  GroundDistance ground = GroundDistance::kEuclidean);
+
+/// \brief Dense |a| x |b| matrix of EMDs between two signature sets (the
+/// cross-entropy table of the information estimators).
+Result<Matrix> CrossDistanceMatrix(const SignatureSet& a,
+                                   const SignatureSet& b,
+                                   GroundDistance ground = GroundDistance::kEuclidean);
+
+/// \brief AoS compatibility shim; identical output to the SignatureSet form.
+Result<Matrix> CrossDistanceMatrix(const std::vector<Signature>& a,
+                                   const std::vector<Signature>& b,
+                                   GroundDistance ground = GroundDistance::kEuclidean);
 
 }  // namespace bagcpd
 

@@ -10,14 +10,14 @@ namespace {
 constexpr double kRelativeTolerance = 1e-9;
 }  // namespace
 
-bool Emd1dApplicable(const Signature& a, const Signature& b) {
+bool Emd1dApplicable(SignatureView a, SignatureView b) {
   if (a.dim() != 1 || b.dim() != 1) return false;
   const double wa = a.TotalWeight();
   const double wb = b.TotalWeight();
   return std::abs(wa - wb) <= kRelativeTolerance * std::max(wa, wb);
 }
 
-Result<double> ComputeEmd1d(const Signature& a, const Signature& b) {
+Result<double> ComputeEmd1d(SignatureView a, SignatureView b) {
   BAGCPD_RETURN_NOT_OK(a.Validate());
   BAGCPD_RETURN_NOT_OK(b.Validate());
   if (!Emd1dApplicable(a, b)) {
@@ -33,10 +33,10 @@ Result<double> ComputeEmd1d(const Signature& a, const Signature& b) {
   std::vector<Event> events;
   events.reserve(a.size() + b.size());
   for (std::size_t k = 0; k < a.size(); ++k) {
-    events.push_back(Event{a.center(k)[0], a.weights[k]});
+    events.push_back(Event{a.center(k)[0], a.weight(k)});
   }
   for (std::size_t l = 0; l < b.size(); ++l) {
-    events.push_back(Event{b.center(l)[0], -b.weights[l]});
+    events.push_back(Event{b.center(l)[0], -b.weight(l)});
   }
   std::sort(events.begin(), events.end(),
             [](const Event& x, const Event& y) {

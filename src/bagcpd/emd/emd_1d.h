@@ -24,11 +24,11 @@ namespace bagcpd {
 
 /// \brief True iff the fast path applies: both signatures 1-d with equal
 /// total weight (relative tolerance 1e-9).
-bool Emd1dApplicable(const Signature& a, const Signature& b);
+bool Emd1dApplicable(SignatureView a, SignatureView b);
 
 /// \brief Exact 1-d balanced EMD (Eq. 12 value). Fails with Invalid if the
 /// preconditions of Emd1dApplicable do not hold.
-Result<double> ComputeEmd1d(const Signature& a, const Signature& b);
+Result<double> ComputeEmd1d(SignatureView a, SignatureView b);
 
 }  // namespace bagcpd
 

@@ -70,24 +70,6 @@ double CrossEntropyFromLog(const Matrix& log_dist,
   return options.c + options.d * acc;
 }
 
-namespace {
-
-Result<Matrix> CrossDistanceMatrix(const std::vector<Signature>& a,
-                                   const std::vector<Signature>& b,
-                                   GroundDistance ground) {
-  const GroundDistanceFn fn = MakeGroundDistance(ground);
-  Matrix m(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      BAGCPD_ASSIGN_OR_RETURN(double dij, ComputeEmd(a[i], b[j], fn));
-      m(i, j) = dij;
-    }
-  }
-  return m;
-}
-
-}  // namespace
-
 Result<double> InformationContent(const Signature& s,
                                   const WeightedSignatureSet& s_prime,
                                   GroundDistance ground,
@@ -97,7 +79,8 @@ Result<double> InformationContent(const Signature& s,
   const GroundDistanceFn fn = MakeGroundDistance(ground);
   std::vector<double> log_dist(s_prime.size());
   for (std::size_t j = 0; j < s_prime.size(); ++j) {
-    BAGCPD_ASSIGN_OR_RETURN(double d, ComputeEmd(s_prime.signatures[j], s, fn));
+    BAGCPD_ASSIGN_OR_RETURN(double d,
+                            ComputeEmd(s_prime.signatures.view(j), s, fn));
     log_dist[j] = std::log(std::max(d, options.distance_floor));
   }
   return InformationContentFromLog(log_dist, s_prime.weights, options);

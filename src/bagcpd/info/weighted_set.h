@@ -1,6 +1,11 @@
 // A weighted collection of signatures: the object the distance-based
 // information estimators operate on (paper Section 3.3,
 // S = {(S_i, gamma_i)} with gamma_i >= 0, sum gamma_i = 1).
+//
+// Members live in a SignatureSet — one shared center buffer, one shared
+// weight buffer — so the estimators' distance-matrix builds stream all
+// signatures through the cache instead of chasing per-signature heap blocks.
+// The Uniform(std::vector<Signature>) shim keeps AoS call sites working.
 
 #ifndef BAGCPD_INFO_WEIGHTED_SET_H_
 #define BAGCPD_INFO_WEIGHTED_SET_H_
@@ -9,22 +14,36 @@
 
 #include "bagcpd/common/status.h"
 #include "bagcpd/signature/signature.h"
+#include "bagcpd/signature/signature_set.h"
 
 namespace bagcpd {
 
-/// \brief Signatures with simplex weights.
+/// \brief Signatures (shared-buffer SoA) with simplex weights.
 struct WeightedSignatureSet {
-  std::vector<Signature> signatures;
+  SignatureSet signatures;
   /// gamma_i: non-negative, summing to one (checked by Validate()).
   std::vector<double> weights;
+  /// Sticky error from gathering the members (e.g. an AoS vector whose
+  /// signatures disagree on dimension, which the shared-buffer layout cannot
+  /// represent). Validate() reports it first, so construction never aborts
+  /// and every estimator surfaces the problem as a Status — the historical
+  /// error-handling contract.
+  Status gather_status = Status::OK();
 
   std::size_t size() const { return signatures.size(); }
 
-  /// \brief Structural validation: sizes match, weights on the simplex
-  /// (within `tol` of summing to one), every signature valid.
+  /// \brief Structural validation: gather_status OK, sizes match, weights on
+  /// the simplex (within `tol` of summing to one), every signature valid.
   Status Validate(double tol = 1e-9) const;
 
   /// \brief Builds a set with uniform weights 1/n.
+  static WeightedSignatureSet Uniform(SignatureSet signatures);
+
+  /// \brief AoS shim: gathers the vector into a SignatureSet, then weights
+  /// uniformly. Never aborts: invalid members (empty, non-positive weights)
+  /// are stored as-is, and an unrepresentable gather (mixed dimensions)
+  /// parks the error in gather_status — both surface recoverably through
+  /// Validate(), matching the historical behaviour.
   static WeightedSignatureSet Uniform(std::vector<Signature> signatures);
 };
 

@@ -18,6 +18,9 @@ Status ValidateEngineOptions(const StreamEngineOptions& options) {
   if (options.shard_queue_capacity < 1) {
     return Status::Invalid("shard_queue_capacity must be >= 1");
   }
+  // Surface bad arena tuning like any other option (the BufferArena
+  // constructor would abort on it).
+  BAGCPD_RETURN_NOT_OK(ValidateBufferArenaOptions(options.arena));
   // Fail fast on a detector misconfiguration instead of quarantining every
   // stream on first push.
   BagStreamDetector probe(options.detector);
@@ -33,9 +36,12 @@ StreamEngine::StreamEngine(const StreamEngineOptions& options)
   if (n == 0) {
     n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  arenas_.reserve(n);
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    arenas_.push_back(std::make_unique<BufferArena>(options_.arena));
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->arena = arenas_.back().get();
   }
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -57,26 +63,35 @@ std::size_t StreamEngine::ShardOf(const std::string& stream_id) const {
 }
 
 Status StreamEngine::Submit(const std::string& stream_id, const Bag& bag) {
-  // Flatten exactly once at the ingest boundary; a ragged bag becomes an
-  // error task that quarantines the stream on its shard, matching the
-  // detector-failure path.
-  Result<FlatBag> flat = FlatBag::FromBag(bag);
-  return SubmitImpl(stream_id, &flat, /*blocking=*/true);
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  // Flatten exactly once at the ingest boundary, into a buffer recycled
+  // through the target shard's arena (released on the shard thread when the
+  // task dies — the cross-thread pattern the arena supports). A ragged bag
+  // becomes an error task that quarantines the stream on its shard, matching
+  // the detector-failure path.
+  const std::size_t shard_index = ShardOf(stream_id);
+  Result<FlatBag> flat = FlatBag::FromBag(bag, arenas_[shard_index].get());
+  return SubmitImpl(stream_id, shard_index, &flat, /*blocking=*/true);
 }
 
 Status StreamEngine::Submit(const std::string& stream_id, FlatBag bag) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
   Result<FlatBag> flat(std::move(bag));
-  return SubmitImpl(stream_id, &flat, /*blocking=*/true);
+  return SubmitImpl(stream_id, ShardOf(stream_id), &flat, /*blocking=*/true);
 }
 
 Status StreamEngine::TrySubmit(const std::string& stream_id, const Bag& bag) {
-  Result<FlatBag> flat = FlatBag::FromBag(bag);
-  return SubmitImpl(stream_id, &flat, /*blocking=*/false);
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  const std::size_t shard_index = ShardOf(stream_id);
+  Result<FlatBag> flat = FlatBag::FromBag(bag, arenas_[shard_index].get());
+  return SubmitImpl(stream_id, shard_index, &flat, /*blocking=*/false);
 }
 
 Status StreamEngine::TrySubmit(const std::string& stream_id, FlatBag&& bag) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
   Result<FlatBag> flat(std::move(bag));
-  const Status status = SubmitImpl(stream_id, &flat, /*blocking=*/false);
+  const Status status =
+      SubmitImpl(stream_id, ShardOf(stream_id), &flat, /*blocking=*/false);
   // Hand the payload back on a transient rejection so callers can retry
   // without re-flattening.
   if (status.IsUnavailable()) bag = flat.MoveValueUnsafe();
@@ -84,12 +99,12 @@ Status StreamEngine::TrySubmit(const std::string& stream_id, FlatBag&& bag) {
 }
 
 Status StreamEngine::SubmitImpl(const std::string& stream_id,
-                                Result<FlatBag>* bag, bool blocking) {
-  BAGCPD_RETURN_NOT_OK(init_status_);
+                                std::size_t shard_index, Result<FlatBag>* bag,
+                                bool blocking) {
   if (stop_.load()) {
     return Status::Invalid("Submit on a stopped StreamEngine");
   }
-  Shard& shard = *shards_[ShardOf(stream_id)];
+  Shard& shard = *shards_[shard_index];
   {
     std::unique_lock<std::mutex> lock(shard.mu);
     if (blocking) {
@@ -200,6 +215,9 @@ void StreamEngine::Process(Shard& shard, Task task) {
         Rng::MixSeed64(options_.seed ^ Rng::StableHash64(task.stream_id));
     StreamState state;
     state.detector = std::make_unique<BagStreamDetector>(per_stream);
+    // Signature builds for this stream recycle buffers through the shard's
+    // pool; the arena outlives every detector (member declaration order).
+    state.detector->set_buffer_arena(shard.arena);
     it = shard.detectors.emplace(task.stream_id, std::move(state)).first;
     streams_created_.fetch_add(1);
     live_streams_.fetch_add(1);
@@ -298,6 +316,20 @@ Result<std::map<std::string, std::vector<StepResult>>> StreamEngine::RunBatch(
     out[r.stream_id].push_back(r.step);
   }
   return out;
+}
+
+BufferArenaStats StreamEngine::arena_stats() const {
+  BufferArenaStats total;
+  for (const auto& arena : arenas_) {
+    const BufferArenaStats s = arena->stats();
+    total.acquires += s.acquires;
+    total.pool_hits += s.pool_hits;
+    total.releases += s.releases;
+    total.dropped_releases += s.dropped_releases;
+    total.pooled_buffers += s.pooled_buffers;
+    total.pooled_doubles += s.pooled_doubles;
+  }
+  return total;
 }
 
 void StreamEngine::Shutdown() {

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "bagcpd/common/buffer_arena.h"
 #include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
@@ -74,6 +75,11 @@ struct StreamEngineOptions {
   /// across shard counts even though results never do.
   /// 0 disables eviction (streams live forever).
   std::uint64_t max_idle_submissions = 0;
+  /// Per-shard buffer-arena tuning. Each shard owns one BufferArena; ingest
+  /// flattening and the shard's detector signature builds recycle buffers
+  /// through it, so the steady-state hot path never touches malloc. Pooling
+  /// never changes results (buffers are fully overwritten).
+  BufferArenaOptions arena;
 };
 
 /// \brief One detector step result tagged with the stream that produced it.
@@ -166,6 +172,8 @@ class StreamEngine {
   std::uint64_t evicted_count() const { return evicted_.load(); }
   /// \brief Detectors currently resident across all shards.
   std::size_t live_stream_count() const { return live_streams_.load(); }
+  /// \brief Aggregated buffer-pool counters across all shard arenas.
+  BufferArenaStats arena_stats() const;
 
  private:
   struct Task {
@@ -186,6 +194,8 @@ class StreamEngine {
 
   struct Shard {
     std::mutex mu;
+    // The shard's buffer pool (owned by arenas_; set once at construction).
+    BufferArena* arena = nullptr;
     std::condition_variable not_empty;
     std::condition_variable not_full;
     std::condition_variable drained;
@@ -201,8 +211,8 @@ class StreamEngine {
 
   // Moves *bag into the shard queue only once space is secured, so a
   // non-blocking rejection leaves the caller's payload intact.
-  Status SubmitImpl(const std::string& stream_id, Result<FlatBag>* bag,
-                    bool blocking);
+  Status SubmitImpl(const std::string& stream_id, std::size_t shard_index,
+                    Result<FlatBag>* bag, bool blocking);
   void WorkerLoop(std::size_t shard_index);
   void Process(Shard& shard, Task task);
   void SweepIdle(Shard& shard, std::uint64_t now_seq);
@@ -211,6 +221,10 @@ class StreamEngine {
   StreamEngineOptions options_;
   Status init_status_;
   ResultCallback callback_;
+  // One arena per shard; declared before shards_ so every pooled buffer
+  // still referenced by shard state (queued FlatBags, detector scratch) dies
+  // before its arena does.
+  std::vector<std::unique_ptr<BufferArena>> arenas_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stop_{false};

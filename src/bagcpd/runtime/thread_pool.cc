@@ -6,6 +6,18 @@
 
 namespace bagcpd {
 
+namespace {
+
+// The pool (if any) whose worker is executing on this thread. Lets
+// ParallelFor detect re-entrant use from one of its own workers, where
+// blocking on queued chunks could deadlock (the worker cannot drain its own
+// queue while waiting on the latch).
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   shards_.reserve(num_threads);
   workers_.reserve(num_threads);
@@ -28,6 +40,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(std::size_t shard_index) {
+  tls_worker_pool = this;
   Shard& shard = *shards_[shard_index];
   for (;;) {
     std::function<void()> task;
@@ -80,6 +93,14 @@ void ThreadPool::ParallelForChunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (begin >= end) return;
+  // Re-entrant call from one of this pool's own workers: queueing chunks
+  // back onto the pool and blocking on them can deadlock (this worker's own
+  // shard queue cannot make progress while it waits). Run inline instead —
+  // serial, deterministic, every index exactly once.
+  if (InWorkerThread()) {
+    body(begin, end);
+    return;
+  }
   const std::size_t n = end - begin;
   // The calling thread participates, so up to size() + 1 chunks. The chunk
   // layout depends only on (n, size()): deterministic for a fixed pool size,

@@ -56,14 +56,24 @@ class ThreadPool {
   /// The range is split into at most size() + 1 contiguous chunks; the split
   /// depends only on (begin, end, size()), so any per-index work that is
   /// itself deterministic yields results independent of scheduling.
+  ///
+  /// Re-entrancy: calling this from inside a task running on this pool's own
+  /// workers is detected and falls back to inline serial execution on the
+  /// calling worker — correct (every index still runs exactly once) instead
+  /// of deadlocking on the worker's own queue. Nesting across *different*
+  /// pools parallelizes normally.
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& body);
 
   /// \brief Chunked variant: `body(chunk_begin, chunk_end)` per contiguous
-  /// chunk. Useful when per-index dispatch overhead matters.
+  /// chunk. Useful when per-index dispatch overhead matters. Same
+  /// re-entrancy fallback as ParallelFor.
   void ParallelForChunked(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// \brief True iff the calling thread is one of THIS pool's workers.
+  bool InWorkerThread() const;
 
  private:
   struct Shard {

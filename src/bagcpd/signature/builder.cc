@@ -30,52 +30,58 @@ const char* SignatureMethodName(SignatureMethod method) {
   return "unknown";
 }
 
-Result<Signature> SignatureBuilder::Build(BagView bag,
-                                          std::uint64_t bag_index) const {
-  BAGCPD_ASSIGN_OR_RETURN(Signature sig, BuildRaw(bag, bag_index));
-  if (options_.normalize) return sig.Normalized();
+Result<Signature> SignatureBuilder::Build(BagView bag, std::uint64_t bag_index,
+                                          BufferArena* arena) const {
+  BAGCPD_ASSIGN_OR_RETURN(Signature sig, BuildRaw(bag, bag_index, arena));
+  // In-place normalization keeps the (possibly arena-pooled) packed buffer;
+  // the arithmetic is identical to the copying Normalized().
+  if (options_.normalize) sig.NormalizeInPlace();
   return sig;
 }
 
 Result<Signature> SignatureBuilder::Build(const Bag& bag,
-                                          std::uint64_t bag_index) const {
-  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
-  return Build(flat.view(), bag_index);
+                                          std::uint64_t bag_index,
+                                          BufferArena* arena) const {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag, arena));
+  return Build(flat.view(), bag_index, arena);
 }
 
 Result<Signature> SignatureBuilder::BuildRaw(BagView bag,
-                                             std::uint64_t bag_index) const {
+                                             std::uint64_t bag_index,
+                                             BufferArena* arena) const {
   const std::uint64_t seed = MixSeed(options_.seed ^ MixSeed(bag_index));
   switch (options_.method) {
     case SignatureMethod::kKMeans: {
       KMeansOptions opts;
       opts.k = options_.k;
       opts.seed = seed;
-      BAGCPD_ASSIGN_OR_RETURN(KMeansResult res, KMeansQuantize(bag, opts));
+      BAGCPD_ASSIGN_OR_RETURN(KMeansResult res,
+                              KMeansQuantize(bag, opts, arena));
       return std::move(res.signature);
     }
     case SignatureMethod::kKMedoids: {
       KMedoidsOptions opts;
       opts.k = options_.k;
       opts.seed = seed;
-      BAGCPD_ASSIGN_OR_RETURN(KMedoidsResult res, KMedoidsQuantize(bag, opts));
+      BAGCPD_ASSIGN_OR_RETURN(KMedoidsResult res,
+                              KMedoidsQuantize(bag, opts, arena));
       return std::move(res.signature);
     }
     case SignatureMethod::kLvq: {
       LvqOptions opts;
       opts.k = options_.k;
       opts.seed = seed;
-      return LvqQuantize(bag, opts);
+      return LvqQuantize(bag, opts, arena);
     }
     case SignatureMethod::kHistogram: {
       HistogramOptions opts;
       opts.bin_width = options_.bin_width;
       opts.origin = options_.histogram_origin;
-      return HistogramQuantize(bag, opts);
+      return HistogramQuantize(bag, opts, arena);
     }
     case SignatureMethod::kCentroid: {
       BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
-      return CentroidSignature(bag);
+      return CentroidSignature(bag, arena);
     }
   }
   return Status::Invalid("unknown signature method");

@@ -65,18 +65,23 @@ class SignatureBuilder {
 
   /// \brief Builds the signature of `bag` (normalized iff options().normalize).
   /// `bag_index` seeds any stochastic quantizer deterministically per
-  /// position in the stream.
-  Result<Signature> Build(BagView bag, std::uint64_t bag_index = 0) const;
+  /// position in the stream. With a non-null `arena`, the signature's packed
+  /// buffer and the quantizer scratch recycle through that arena (identical
+  /// output either way).
+  Result<Signature> Build(BagView bag, std::uint64_t bag_index = 0,
+                          BufferArena* arena = nullptr) const;
 
   /// \brief Nested-bag convenience: validates and flattens once, then runs
   /// the view path. Output is bitwise-identical to the flat entry point.
-  Result<Signature> Build(const Bag& bag, std::uint64_t bag_index = 0) const;
+  Result<Signature> Build(const Bag& bag, std::uint64_t bag_index = 0,
+                          BufferArena* arena = nullptr) const;
 
   const SignatureBuilderOptions& options() const { return options_; }
 
  private:
   /// \brief Quantizes without the normalization step.
-  Result<Signature> BuildRaw(BagView bag, std::uint64_t bag_index) const;
+  Result<Signature> BuildRaw(BagView bag, std::uint64_t bag_index,
+                             BufferArena* arena) const;
 
  private:
   SignatureBuilderOptions options_;

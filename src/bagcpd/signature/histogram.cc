@@ -10,7 +10,8 @@
 namespace bagcpd {
 
 Result<Signature> HistogramQuantize(BagView bag,
-                                    const HistogramOptions& options) {
+                                    const HistogramOptions& options,
+                                    BufferArena* arena) {
   BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (!(options.bin_width > 0.0)) {
     return Status::Invalid("bin_width must be > 0");
@@ -37,8 +38,7 @@ Result<Signature> HistogramQuantize(BagView bag,
     for (std::size_t j = 0; j < d; ++j) stats.sum[j] += x[j];
   }
 
-  Signature sig;
-  sig.ReserveCenters(bins.size(), d);
+  SignatureAssembler assembler(bins.size(), d, arena);
   Point center(d);
   for (const auto& [index, stats] : bins) {
     if (options.use_bin_centers) {
@@ -49,16 +49,18 @@ Result<Signature> HistogramQuantize(BagView bag,
     } else {
       for (std::size_t j = 0; j < d; ++j) center[j] = stats.sum[j] / stats.count;
     }
-    sig.AddCenter(center, stats.count);
+    assembler.Add(center, stats.count);
   }
+  Signature sig = assembler.Finish();
   BAGCPD_RETURN_NOT_OK(sig.Validate());
   return sig;
 }
 
 Result<Signature> HistogramQuantize(const Bag& bag,
-                                    const HistogramOptions& options) {
-  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
-  return HistogramQuantize(flat.view(), options);
+                                    const HistogramOptions& options,
+                                    BufferArena* arena) {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag, arena));
+  return HistogramQuantize(flat.view(), options, arena);
 }
 
 }  // namespace bagcpd

@@ -27,12 +27,14 @@ struct HistogramOptions {
 
 /// \brief Histogram-quantizes `bag`; weights are per-bin counts.
 Result<Signature> HistogramQuantize(BagView bag,
-                                    const HistogramOptions& options);
+                                    const HistogramOptions& options,
+                                    BufferArena* arena = nullptr);
 
 /// \brief Nested-bag convenience: validates and flattens once, then runs the
 /// view path. Output is bitwise-identical to the flat entry point.
 Result<Signature> HistogramQuantize(const Bag& bag,
-                                    const HistogramOptions& options);
+                                    const HistogramOptions& options,
+                                    BufferArena* arena = nullptr);
 
 }  // namespace bagcpd
 

@@ -15,7 +15,10 @@ namespace {
 // appended during seeding and rewritten in place during Lloyd updates.
 class FlatCenters {
  public:
-  FlatCenters(std::size_t k, std::size_t d) : dim_(d) { data_.reserve(k * d); }
+  FlatCenters(std::size_t k, std::size_t d, BufferArena* arena) : dim_(d) {
+    if (arena != nullptr) data_ = arena->Acquire(k * d);
+    data_.reserve(k * d);
+  }
 
   std::size_t count() const { return data_.size() / dim_; }
   PointView row(std::size_t c) const {
@@ -35,13 +38,15 @@ class FlatCenters {
 // k-means++ seeding (Arthur & Vassilvitskii 2007): iteratively picks centers
 // with probability proportional to the squared distance to the closest
 // already-chosen center.
-FlatCenters SeedPlusPlus(BagView bag, std::size_t k, Rng* rng) {
-  FlatCenters centers(k, bag.dim());
+FlatCenters SeedPlusPlus(BagView bag, std::size_t k, Rng* rng,
+                         BufferArena* arena) {
+  FlatCenters centers(k, bag.dim(), arena);
   centers.Append(bag[static_cast<std::size_t>(
       rng->UniformInt(0, static_cast<int>(bag.size()) - 1))]);
 
-  std::vector<double> closest_sq(bag.size(),
-                                 std::numeric_limits<double>::infinity());
+  PooledBuffer closest_buf = PooledBuffer::AcquireFrom(arena, bag.size());
+  std::vector<double>& closest_sq = closest_buf.vec();
+  closest_sq.assign(bag.size(), std::numeric_limits<double>::infinity());
   while (centers.count() < k) {
     double total = 0.0;
     for (std::size_t i = 0; i < bag.size(); ++i) {
@@ -85,7 +90,8 @@ std::size_t NearestCenter(PointView x, const std::vector<double>& centers,
 
 }  // namespace
 
-Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options) {
+Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options,
+                                    BufferArena* arena) {
   BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (options.k == 0) return Status::Invalid("k must be >= 1");
 
@@ -94,8 +100,15 @@ Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options) {
   const std::size_t k = std::min(options.k, n);
   Rng rng(options.seed);
 
-  std::vector<double> centers = SeedPlusPlus(bag, k, &rng).TakeFlat();
+  // The Lloyd loop double-buffers between `centers` and `update_buf`, so the
+  // iterations allocate nothing; both scratch buffers recycle through the
+  // arena when one is attached.
+  PooledBuffer centers_buf(SeedPlusPlus(bag, k, &rng, arena).TakeFlat(),
+                           arena);
+  std::vector<double>& centers = centers_buf.vec();
+  PooledBuffer update_buf = PooledBuffer::AcquireFrom(arena, k * d);
   std::vector<std::size_t> assignment(n, 0);
+  std::vector<std::size_t> counts(k, 0);
 
   KMeansResult out;
   for (out.iterations = 0; out.iterations < options.max_iterations;
@@ -105,8 +118,9 @@ Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options) {
       assignment[i] = NearestCenter(bag[i], centers, k, d);
     }
     // Update step.
-    std::vector<double> new_centers(k * d, 0.0);
-    std::vector<std::size_t> counts(k, 0);
+    std::vector<double>& new_centers = update_buf.vec();
+    new_centers.assign(k * d, 0.0);
+    counts.assign(k, 0);
     for (std::size_t i = 0; i < n; ++i) {
       counts[assignment[i]]++;
       const double* x = bag[i].data();
@@ -141,7 +155,7 @@ Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options) {
       movement += SquaredDistance(PointView(centers.data() + c * d, d),
                                   PointView(new_centers.data() + c * d, d));
     }
-    centers = std::move(new_centers);
+    std::swap(centers, new_centers);
     if (movement <= options.tolerance) {
       ++out.iterations;
       break;
@@ -159,14 +173,15 @@ Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options) {
   }
 
   // Drop empty clusters (can remain after the final assignment), compacting
-  // the surviving rows into the signature's flat buffer.
-  Signature sig;
-  sig.ReserveCenters(k, d);
+  // the surviving rows into the signature's packed buffer (one allocation,
+  // no per-add weight shifting).
+  SignatureAssembler assembler(k, d, arena);
   for (std::size_t c = 0; c < k; ++c) {
     if (weights[c] > 0.0) {
-      sig.AddCenter(PointView(centers.data() + c * d, d), weights[c]);
+      assembler.Add(PointView(centers.data() + c * d, d), weights[c]);
     }
   }
+  Signature sig = assembler.Finish();
   // Remap assignments to the compacted cluster indices.
   std::vector<std::size_t> remap(k, 0);
   for (std::size_t c = 0, next = 0; c < k; ++c) {
@@ -181,9 +196,10 @@ Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options) {
 }
 
 Result<KMeansResult> KMeansQuantize(const Bag& bag,
-                                    const KMeansOptions& options) {
-  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
-  return KMeansQuantize(flat.view(), options);
+                                    const KMeansOptions& options,
+                                    BufferArena* arena) {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag, arena));
+  return KMeansQuantize(flat.view(), options, arena);
 }
 
 }  // namespace bagcpd

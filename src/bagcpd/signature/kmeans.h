@@ -43,12 +43,18 @@ struct KMeansResult {
 /// Empty clusters are reseeded to the point farthest from its center, so the
 /// returned signature always has strictly positive weights. Fails with
 /// Invalid if the bag is empty.
-Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options);
+///
+/// With a non-null `arena` the signature's packed buffer and the per-call
+/// scratch are drawn from (and recycled through) that arena; results are
+/// bitwise-identical either way.
+Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options,
+                                    BufferArena* arena = nullptr);
 
 /// \brief Nested-bag convenience: validates and flattens once, then runs the
 /// view path. Output is bitwise-identical to the flat entry point.
 Result<KMeansResult> KMeansQuantize(const Bag& bag,
-                                    const KMeansOptions& options);
+                                    const KMeansOptions& options,
+                                    BufferArena* arena = nullptr);
 
 }  // namespace bagcpd
 

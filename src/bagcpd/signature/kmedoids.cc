@@ -33,7 +33,8 @@ double DeviationToNearest(BagView bag,
 }  // namespace
 
 Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
-                                        const KMedoidsOptions& options) {
+                                        const KMedoidsOptions& options,
+                                        BufferArena* arena) {
   BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (options.k == 0) return Status::Invalid("k must be >= 1");
 
@@ -46,7 +47,9 @@ Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
   medoids.reserve(k);
   medoids.push_back(
       static_cast<std::size_t>(rng.UniformInt(0, static_cast<int>(n) - 1)));
-  std::vector<double> closest(n, std::numeric_limits<double>::infinity());
+  PooledBuffer closest_buf = PooledBuffer::AcquireFrom(arena, n);
+  std::vector<double>& closest = closest_buf.vec();
+  closest.assign(n, std::numeric_limits<double>::infinity());
   while (medoids.size() < k) {
     for (std::size_t i = 0; i < n; ++i) {
       closest[i] =
@@ -107,21 +110,23 @@ Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
   out.total_deviation = best_total;
   std::vector<double> weights(medoids.size(), 0.0);
   for (std::size_t i = 0; i < n; ++i) weights[assignment[i]] += 1.0;
-  out.signature.ReserveCenters(medoids.size(), bag.dim());
+  SignatureAssembler assembler(medoids.size(), bag.dim(), arena);
   for (std::size_t m = 0; m < medoids.size(); ++m) {
     if (weights[m] > 0.0) {
-      out.signature.AddCenter(bag[medoids[m]], weights[m]);
+      assembler.Add(bag[medoids[m]], weights[m]);
       out.medoid_indices.push_back(medoids[m]);
     }
   }
+  out.signature = assembler.Finish();
   BAGCPD_RETURN_NOT_OK(out.signature.Validate());
   return out;
 }
 
 Result<KMedoidsResult> KMedoidsQuantize(const Bag& bag,
-                                        const KMedoidsOptions& options) {
-  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
-  return KMedoidsQuantize(flat.view(), options);
+                                        const KMedoidsOptions& options,
+                                        BufferArena* arena) {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag, arena));
+  return KMedoidsQuantize(flat.view(), options, arena);
 }
 
 }  // namespace bagcpd

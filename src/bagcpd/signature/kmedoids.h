@@ -38,12 +38,14 @@ struct KMedoidsResult {
 /// \brief Clusters `bag` around k of its own points (Euclidean distance) and
 /// returns medoids as centers with member counts as weights.
 Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
-                                        const KMedoidsOptions& options);
+                                        const KMedoidsOptions& options,
+                                        BufferArena* arena = nullptr);
 
 /// \brief Nested-bag convenience: validates and flattens once, then runs the
 /// view path. Output is bitwise-identical to the flat entry point.
 Result<KMedoidsResult> KMedoidsQuantize(const Bag& bag,
-                                        const KMedoidsOptions& options);
+                                        const KMedoidsOptions& options,
+                                        BufferArena* arena = nullptr);
 
 }  // namespace bagcpd
 

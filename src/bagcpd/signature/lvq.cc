@@ -8,7 +8,8 @@
 
 namespace bagcpd {
 
-Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options) {
+Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options,
+                              BufferArena* arena) {
   BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (options.k == 0) return Status::Invalid("k must be >= 1");
   if (options.epochs <= 0) return Status::Invalid("epochs must be >= 1");
@@ -20,7 +21,9 @@ Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options) {
 
   // Initialize prototypes at k distinct random bag points (flat k x d buffer).
   std::vector<std::size_t> perm = rng.Permutation(n);
-  std::vector<double> prototypes(k * d);
+  PooledBuffer prototype_buf = PooledBuffer::AcquireFrom(arena, k * d);
+  std::vector<double>& prototypes = prototype_buf.vec();
+  prototypes.assign(k * d, 0.0);
   for (std::size_t m = 0; m < k; ++m) {
     const PointView x = bag[perm[m]];
     std::copy(x.begin(), x.end(), prototypes.begin() + m * d);
@@ -71,20 +74,21 @@ Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options) {
     weights[winner] += 1.0;
   }
 
-  Signature sig;
-  sig.ReserveCenters(k, d);
+  SignatureAssembler assembler(k, d, arena);
   for (std::size_t m = 0; m < k; ++m) {
     if (weights[m] > 0.0) {
-      sig.AddCenter(PointView(prototypes.data() + m * d, d), weights[m]);
+      assembler.Add(PointView(prototypes.data() + m * d, d), weights[m]);
     }
   }
+  Signature sig = assembler.Finish();
   BAGCPD_RETURN_NOT_OK(sig.Validate());
   return sig;
 }
 
-Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options) {
-  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag));
-  return LvqQuantize(flat.view(), options);
+Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options,
+                              BufferArena* arena) {
+  BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag, arena));
+  return LvqQuantize(flat.view(), options, arena);
 }
 
 }  // namespace bagcpd

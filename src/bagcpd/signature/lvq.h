@@ -29,11 +29,13 @@ struct LvqOptions {
 
 /// \brief Quantizes `bag` with competitive learning and returns prototypes as
 /// centers with final assignment counts as weights.
-Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options);
+Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options,
+                              BufferArena* arena = nullptr);
 
 /// \brief Nested-bag convenience: validates and flattens once, then runs the
 /// view path. Output is bitwise-identical to the flat entry point.
-Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options);
+Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options,
+                              BufferArena* arena = nullptr);
 
 }  // namespace bagcpd
 

@@ -1,10 +1,55 @@
 #include "bagcpd/signature/signature.h"
 
+#include <cstring>
+#include <functional>
 #include <sstream>
 
 #include "bagcpd/common/check.h"
 
 namespace bagcpd {
+
+namespace {
+
+Status ValidateShape(std::size_t k, std::size_t dim, const double* weights) {
+  if (k == 0) return Status::Invalid("signature has no centers");
+  if (dim == 0) {
+    return Status::Invalid("signature centers are zero-dimensional");
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!(weights[i] > 0.0)) {
+      return Status::Invalid("weight " + std::to_string(i) +
+                             " is not strictly positive");
+    }
+  }
+  return Status::OK();
+}
+
+double SumWeights(const double* weights, std::size_t k) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) acc += weights[i];
+  return acc;
+}
+
+}  // namespace
+
+SignatureView::SignatureView(const Signature& s)
+    : centers_(s.centers().data()),
+      weights_(s.weights().data()),
+      k_(s.size()),
+      dim_(s.dim()) {}
+
+double SignatureView::TotalWeight() const { return SumWeights(weights_, k_); }
+
+Status SignatureView::Validate() const {
+  return ValidateShape(k_, dim_, weights_);
+}
+
+Signature SignatureView::ToSignature() const {
+  Signature out;
+  out.ReserveCenters(k_, dim_);
+  for (std::size_t k = 0; k < k_; ++k) out.AddCenter(center(k), weights_[k]);
+  return out;
+}
 
 Signature Signature::FromCenters(const std::vector<Point>& centers,
                                  std::vector<double> weights) {
@@ -27,9 +72,13 @@ Signature Signature::FromFlat(std::vector<double> flat_centers,
                    "FromFlat: %zu values != %zu centers x dim %zu",
                    flat_centers.size(), weights.size(), dim);
   Signature out;
-  out.flat_ = std::move(flat_centers);
-  out.dim_ = dim;
-  out.weights = std::move(weights);
+  // Reuse the center buffer as the packed buffer: the weights append behind
+  // the center block, matching the packed layout exactly.
+  out.k_ = weights.size();
+  out.dim_ = flat_centers.empty() ? 0 : dim;
+  std::vector<double>& buf = out.storage_.vec();
+  buf = std::move(flat_centers);
+  buf.insert(buf.end(), weights.begin(), weights.end());
   return out;
 }
 
@@ -42,61 +91,77 @@ void Signature::AddCenter(PointView center, double weight) {
                      "AddCenter: dimension %zu, expected %zu", center.size(),
                      dim_);
   }
-  AppendRow(&flat_, center);
-  weights.push_back(weight);
+  std::vector<double>& buf = storage_.vec();
+  // The new center slots in before the weight block (the insert shifts the
+  // k_ weights right by dim_). A view into this signature's own storage
+  // would be invalidated by the shift or a reallocation — copy it out first.
+  // std::less gives the total pointer order the raw operators don't
+  // guarantee for unrelated objects.
+  const std::less<const double*> before;
+  const double* src = center.data();
+  Point alias_copy;
+  if (!buf.empty() && !before(src, buf.data()) &&
+      before(src, buf.data() + buf.size())) {
+    alias_copy = center.ToPoint();
+    src = alias_copy.data();
+  }
+  buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(k_ * dim_), src,
+             src + dim_);
+  buf.push_back(weight);
+  ++k_;
 }
 
-void Signature::ReserveCenters(std::size_t count, std::size_t dim) {
+void Signature::ReserveCenters(std::size_t count, std::size_t dim,
+                               BufferArena* arena) {
   if (dim_ == 0) dim_ = dim;
-  flat_.reserve(flat_.size() + count * dim_);
-  weights.reserve(weights.size() + count);
+  const std::size_t want = (k_ + count) * (dim_ + 1);
+  std::vector<double>& buf = storage_.vec();
+  if (arena != nullptr && buf.empty() && buf.capacity() == 0 &&
+      storage_.arena() == nullptr) {
+    storage_ = PooledBuffer(arena->Acquire(want), arena);
+    return;
+  }
+  buf.reserve(want);
 }
 
 double Signature::TotalWeight() const {
-  double acc = 0.0;
-  for (double w : weights) acc += w;
-  return acc;
+  return SumWeights(data() + k_ * dim_, k_);
+}
+
+void Signature::NormalizeInPlace() {
+  const double total = TotalWeight();
+  BAGCPD_CHECK_MSG(total > 0.0, "normalizing a zero-mass signature");
+  double* w = mutable_weights();
+  for (std::size_t k = 0; k < k_; ++k) w[k] /= total;
 }
 
 Signature Signature::Normalized() const {
   Signature out = *this;
-  const double total = TotalWeight();
-  BAGCPD_CHECK_MSG(total > 0.0, "normalizing a zero-mass signature");
-  for (double& w : out.weights) w /= total;
+  out.NormalizeInPlace();
   return out;
 }
 
 Point Signature::Centroid() const {
   BAGCPD_CHECK(size() > 0);
   Point c(dim(), 0.0);
+  const double* w = data() + k_ * dim_;
   double total = 0.0;
   for (std::size_t k = 0; k < size(); ++k) {
-    const double* row = flat_.data() + k * dim_;
-    for (std::size_t j = 0; j < c.size(); ++j) c[j] += weights[k] * row[j];
-    total += weights[k];
+    const double* row = data() + k * dim_;
+    for (std::size_t j = 0; j < c.size(); ++j) c[j] += w[k] * row[j];
+    total += w[k];
   }
   BAGCPD_CHECK(total > 0.0);
   for (double& v : c) v /= total;
   return c;
 }
 
+std::vector<double> Signature::flat_centers() const {
+  return std::vector<double>(data(), data() + k_ * dim_);
+}
+
 Status Signature::Validate() const {
-  if (weights.empty() && flat_.empty()) {
-    return Status::Invalid("signature has no centers");
-  }
-  if (dim_ == 0) {
-    return Status::Invalid("signature centers are zero-dimensional");
-  }
-  if (flat_.size() != weights.size() * dim_) {
-    return Status::Invalid("signature weights/centers size mismatch");
-  }
-  for (std::size_t k = 0; k < weights.size(); ++k) {
-    if (!(weights[k] > 0.0)) {
-      return Status::Invalid("weight " + std::to_string(k) +
-                             " is not strictly positive");
-    }
-  }
-  return Status::OK();
+  return ValidateShape(k_, dim_, data() + k_ * dim_);
 }
 
 std::string Signature::ToString(int precision) const {
@@ -111,15 +176,56 @@ std::string Signature::ToString(int precision) const {
       if (j) os << " ";
       os << c[j];
     }
-    os << "):" << weights[k];
+    os << "):" << weight(k);
   }
   os << "}";
   return os.str();
 }
 
-Signature CentroidSignature(BagView bag) {
+SignatureAssembler::SignatureAssembler(std::size_t max_count, std::size_t dim,
+                                       BufferArena* arena)
+    : buffer_(PooledBuffer::AcquireFrom(arena, max_count * (dim + 1))),
+      max_count_(max_count),
+      dim_(dim) {
+  BAGCPD_CHECK_MSG(dim > 0, "SignatureAssembler: zero dimension");
+  // Centers fill [0, count*dim); weights stage at [max_count*dim, ...): both
+  // regions live in the one buffer, so assembly allocates exactly once.
+  buffer_.vec().resize(max_count * (dim + 1));
+}
+
+void SignatureAssembler::Add(PointView center, double weight) {
+  BAGCPD_CHECK_MSG(count_ < max_count_, "SignatureAssembler: over capacity");
+  BAGCPD_CHECK_MSG(center.size() == dim_,
+                   "SignatureAssembler: dimension %zu, expected %zu",
+                   center.size(), dim_);
+  double* base = buffer_.vec().data();
+  std::memcpy(base + count_ * dim_, center.data(), dim_ * sizeof(double));
+  base[max_count_ * dim_ + count_] = weight;
+  ++count_;
+}
+
+Signature SignatureAssembler::Finish() {
+  double* base = buffer_.vec().data();
+  if (count_ < max_count_) {
+    // Fewer centers than reserved (e.g. empty clusters dropped): compact the
+    // staged weights down to their packed position and trim.
+    std::memmove(base + count_ * dim_, base + max_count_ * dim_,
+                 count_ * sizeof(double));
+  }
+  buffer_.vec().resize(count_ * (dim_ + 1));
+  Signature out;
+  out.storage_ = std::move(buffer_);
+  out.k_ = count_;
+  out.dim_ = count_ == 0 ? 0 : dim_;
+  max_count_ = 0;
+  count_ = 0;
+  return out;
+}
+
+Signature CentroidSignature(BagView bag, BufferArena* arena) {
   BAGCPD_CHECK(!bag.empty());
   Signature sig;
+  sig.ReserveCenters(1, bag.dim(), arena);
   sig.AddCenter(BagMean(bag), static_cast<double>(bag.size()));
   return sig;
 }

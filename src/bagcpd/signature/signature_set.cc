@@ -1,0 +1,144 @@
+#include "bagcpd/signature/signature_set.h"
+
+#include <cstring>
+
+#include "bagcpd/common/check.h"
+
+namespace bagcpd {
+
+Status SignatureSet::Append(SignatureView sig) {
+  BAGCPD_RETURN_NOT_OK(sig.Validate());
+  return AppendUnchecked(sig);
+}
+
+Status SignatureSet::AppendUnchecked(SignatureView sig) {
+  if (sig.empty()) {
+    // A member with no centers: representable (zero-width offset slot) and
+    // reported by a later Validate() pass.
+    offsets_.push_back(offsets_.back());
+    return Status::OK();
+  }
+  if (dim_ == 0) {
+    dim_ = sig.dim();
+  } else if (sig.dim() != dim_) {
+    return Status::Invalid("signature has dimension " +
+                           std::to_string(sig.dim()) + ", set has " +
+                           std::to_string(dim_));
+  }
+  const std::size_t k = sig.size();
+  centers_.insert(centers_.end(), sig.centers_data(),
+                  sig.centers_data() + k * dim_);
+  weights_.insert(weights_.end(), sig.weights_data(),
+                  sig.weights_data() + k);
+  offsets_.push_back(offsets_.back() + k);
+  return Status::OK();
+}
+
+void SignatureSet::Reserve(std::size_t signatures, std::size_t centers_hint,
+                           std::size_t dim) {
+  if (dim_ == 0) dim_ = dim;
+  centers_.reserve(centers_.size() + centers_hint * dim_);
+  weights_.reserve(weights_.size() + centers_hint);
+  offsets_.reserve(offsets_.size() + signatures);
+}
+
+void SignatureSet::Clear() {
+  centers_.clear();
+  weights_.clear();
+  offsets_.assign(1, 0);
+  dim_ = 0;
+}
+
+Result<SignatureSet> SignatureSet::FromSignatures(
+    const std::vector<Signature>& signatures) {
+  SignatureSet set;
+  std::size_t centers = 0;
+  for (const Signature& s : signatures) centers += s.size();
+  if (!signatures.empty()) {
+    set.Reserve(signatures.size(), centers, signatures.front().dim());
+  }
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    Status appended = set.Append(signatures[i]);
+    if (!appended.ok()) {
+      return Status::Invalid("signature " + std::to_string(i) + ": " +
+                             appended.message());
+    }
+  }
+  return set;
+}
+
+std::vector<Signature> SignatureSet::ToSignatures() const {
+  std::vector<Signature> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.push_back(view(i).ToSignature());
+  }
+  return out;
+}
+
+void SignatureRing::Reset(std::size_t capacity) {
+  BAGCPD_CHECK_MSG(capacity > 0, "SignatureRing needs capacity >= 1");
+  capacity_ = capacity;
+  head_ = 0;
+  count_ = 0;
+  dim_ = 0;
+  stride_ = 0;
+  data_.clear();
+  ks_.assign(capacity, 0);
+}
+
+void SignatureRing::PushBack(SignatureView sig) {
+  BAGCPD_CHECK_MSG(count_ < capacity_, "SignatureRing overflow");
+  BAGCPD_CHECK_MSG(!sig.empty() && sig.dim() > 0,
+                   "SignatureRing: empty signature");
+  if (dim_ == 0) {
+    dim_ = sig.dim();
+  } else {
+    BAGCPD_CHECK_MSG(sig.dim() == dim_,
+                     "SignatureRing: dimension %zu, expected %zu", sig.dim(),
+                     dim_);
+  }
+  const std::size_t need = sig.size() * (dim_ + 1);
+  if (need > stride_) {
+    // Re-layout with a wider stride, compacting live slots to the front in
+    // age order. Rare: stride only grows until the largest signature the
+    // stream produces has been seen once.
+    const std::size_t new_stride = need + (dim_ + 1);  // Headroom row.
+    std::vector<double> grown(capacity_ * new_stride, 0.0);
+    std::vector<std::size_t> new_ks(capacity_, 0);
+    for (std::size_t i = 0; i < count_; ++i) {
+      const std::size_t slot = SlotOf(i);
+      std::memcpy(grown.data() + i * new_stride,
+                  data_.data() + slot * stride_,
+                  ks_[slot] * (dim_ + 1) * sizeof(double));
+      new_ks[i] = ks_[slot];
+    }
+    data_ = std::move(grown);
+    ks_ = std::move(new_ks);
+    stride_ = new_stride;
+    head_ = 0;
+  }
+  const std::size_t slot = SlotOf(count_);
+  double* base = data_.data() + slot * stride_;
+  std::memcpy(base, sig.centers_data(), sig.size() * dim_ * sizeof(double));
+  std::memcpy(base + sig.size() * dim_, sig.weights_data(),
+              sig.size() * sizeof(double));
+  ks_[slot] = sig.size();
+  ++count_;
+}
+
+void SignatureRing::PopFront() {
+  BAGCPD_CHECK_MSG(count_ > 0, "SignatureRing underflow");
+  ks_[head_] = 0;
+  head_ = (head_ + 1) % capacity_;
+  --count_;
+}
+
+SignatureView SignatureRing::view(std::size_t i) const {
+  BAGCPD_CHECK_MSG(i < count_, "SignatureRing: index %zu of %zu", i, count_);
+  const std::size_t slot = SlotOf(i);
+  const double* base = data_.data() + slot * stride_;
+  return SignatureView(base, base + ks_[slot] * dim_, ks_[slot], dim_);
+}
+
+}  // namespace bagcpd

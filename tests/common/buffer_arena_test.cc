@@ -1,0 +1,166 @@
+#include "bagcpd/common/buffer_arena.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/flat_bag.h"
+
+namespace bagcpd {
+namespace {
+
+TEST(BufferArenaTest, AcquireRoundsUpToSizeClass) {
+  BufferArena arena;
+  std::vector<double> small = arena.Acquire(1);
+  EXPECT_GE(small.capacity(), arena.options().min_buffer_capacity);
+  EXPECT_TRUE(small.empty());
+  std::vector<double> big = arena.Acquire(1000);
+  EXPECT_GE(big.capacity(), 1000u);
+}
+
+TEST(BufferArenaTest, SizeClassReuse) {
+  BufferArena arena;
+  std::vector<double> buffer = arena.Acquire(100);
+  buffer.assign(100, 3.5);
+  const double* payload = buffer.data();
+  arena.Release(std::move(buffer));
+
+  // Same class: the exact buffer comes back, empty.
+  std::vector<double> reused = arena.Acquire(100);
+  EXPECT_EQ(reused.data(), payload);
+  EXPECT_TRUE(reused.empty());
+
+  const BufferArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_EQ(stats.pool_hits, 1u);
+  EXPECT_EQ(stats.releases, 1u);
+  EXPECT_EQ(stats.pooled_buffers, 0u);
+}
+
+TEST(BufferArenaTest, LargerClassSatisfiesSmallerRequest) {
+  BufferArena arena;
+  std::vector<double> big = arena.Acquire(4096);
+  const double* payload = big.data();
+  arena.Release(std::move(big));
+  // A smaller request may be served by the pooled larger buffer rather than
+  // a fresh allocation.
+  std::vector<double> small = arena.Acquire(64);
+  EXPECT_EQ(small.data(), payload);
+  EXPECT_GE(small.capacity(), 4096u);
+}
+
+TEST(BufferArenaTest, FreelistBoundDropsExcessReleases) {
+  BufferArenaOptions options;
+  options.max_buffers_per_class = 2;
+  BufferArena arena(options);
+  // Acquire five distinct buffers first so the releases all land on one
+  // class's freelist at once.
+  std::vector<std::vector<double>> held;
+  for (int i = 0; i < 5; ++i) held.push_back(arena.Acquire(64));
+  for (auto& buffer : held) arena.Release(std::move(buffer));
+  const BufferArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.pooled_buffers, 2u);
+  EXPECT_EQ(stats.dropped_releases, 3u);
+}
+
+TEST(BufferArenaTest, OutOfRangeCapacitiesAreNeverPooled) {
+  BufferArenaOptions options;
+  options.min_buffer_capacity = 64;
+  options.max_buffer_capacity = 1024;
+  BufferArena arena(options);
+  // Oversized request: served but not pooled on return.
+  std::vector<double> huge = arena.Acquire(10000);
+  EXPECT_GE(huge.capacity(), 10000u);
+  arena.Release(std::move(huge));
+  // Undersized buffer (below the smallest class): dropped on return.
+  std::vector<double> tiny;
+  tiny.reserve(8);
+  arena.Release(std::move(tiny));
+  const BufferArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.pooled_buffers, 0u);
+  EXPECT_EQ(stats.dropped_releases, 2u);
+}
+
+TEST(BufferArenaTest, CrossThreadReturn) {
+  // The engine's steady-state pattern: buffers acquired on a producer thread
+  // are released on a consumer thread. Run enough cycles that reuse must
+  // occur for the final pooled/outstanding accounting to balance.
+  BufferArena arena;
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<double> buffer = arena.Acquire(256);
+    buffer.assign(256, static_cast<double>(round));
+    std::thread consumer(
+        [&arena](std::vector<double> owned) {
+          ASSERT_EQ(owned.size(), 256u);
+          arena.Release(std::move(owned));
+        },
+        std::move(buffer));
+    consumer.join();
+  }
+  const BufferArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.acquires, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(stats.releases, static_cast<std::uint64_t>(kRounds));
+  // After the first round every acquire is served from the freelist.
+  EXPECT_EQ(stats.pool_hits, static_cast<std::uint64_t>(kRounds - 1));
+  EXPECT_EQ(stats.pooled_buffers, 1u);
+}
+
+TEST(BufferArenaTest, PooledBufferReleasesOnDestruction) {
+  BufferArena arena;
+  {
+    PooledBuffer handle = PooledBuffer::AcquireFrom(&arena, 128);
+    handle.vec().assign(128, 1.0);
+    EXPECT_EQ(handle.arena(), &arena);
+  }
+  EXPECT_EQ(arena.stats().pooled_buffers, 1u);
+  EXPECT_EQ(arena.stats().releases, 1u);
+}
+
+TEST(BufferArenaTest, PooledBufferCopyIsUnpooledMoveTransfers) {
+  BufferArena arena;
+  PooledBuffer original = PooledBuffer::AcquireFrom(&arena, 64);
+  original.vec().assign(3, 2.0);
+
+  PooledBuffer copy = original;
+  EXPECT_EQ(copy.arena(), nullptr);  // Copies never double-release.
+  EXPECT_EQ(copy.vec(), original.vec());
+
+  PooledBuffer moved = std::move(original);
+  EXPECT_EQ(moved.arena(), &arena);
+  EXPECT_EQ(original.arena(), nullptr);  // NOLINT(bugprone-use-after-move)
+  ASSERT_EQ(moved.vec().size(), 3u);
+}
+
+TEST(BufferArenaTest, PooledBufferDetachSeversArena) {
+  BufferArena arena;
+  std::vector<double> detached;
+  {
+    PooledBuffer handle = PooledBuffer::AcquireFrom(&arena, 64);
+    handle.vec().assign(4, 9.0);
+    detached = handle.Detach();
+  }
+  EXPECT_EQ(arena.stats().releases, 0u);
+  EXPECT_EQ(detached.size(), 4u);
+}
+
+TEST(BufferArenaTest, FlatBagRecyclesThroughArena) {
+  BufferArena arena;
+  const Bag bag = {{1.0, 2.0}, {3.0, 4.0}};
+  const double* payload = nullptr;
+  {
+    FlatBag flat = FlatBag::FromBag(bag, &arena).ValueOrDie();
+    payload = flat.data();
+    EXPECT_EQ(flat.ToBag(), bag);
+  }
+  // The next flatten of an equal-sized bag reuses the same buffer.
+  FlatBag again = FlatBag::FromBag(bag, &arena).ValueOrDie();
+  EXPECT_EQ(again.data(), payload);
+  EXPECT_EQ(again.ToBag(), bag);
+  EXPECT_EQ(arena.stats().pool_hits, 1u);
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -88,8 +88,8 @@ TEST_P(EmdMetricPropertyTest, CommonWeightScaleInvariance) {
   Signature a = RandomSignature(&rng, pc.k1, pc.dim, false);
   Signature b = RandomSignature(&rng, pc.k2, pc.dim, false);
   const double before = ComputeEmd(a, b).ValueOrDie();
-  for (double& w : a.weights) w *= 7.5;
-  for (double& w : b.weights) w *= 7.5;
+  for (std::size_t i = 0; i < a.size(); ++i) a.mutable_weights()[i] *= 7.5;
+  for (std::size_t i = 0; i < b.size(); ++i) b.mutable_weights()[i] *= 7.5;
   EXPECT_NEAR(ComputeEmd(a, b).ValueOrDie(), before, 1e-8);
 }
 
@@ -101,8 +101,8 @@ TEST_P(EmdMetricPropertyTest, MergingCoincidentCentersIsNeutral) {
   const double before = ComputeEmd(a, b).ValueOrDie();
   // Split a's first cluster into two half-weight copies.
   Signature a_split = a;
-  a_split.weights[0] /= 2.0;
-  a_split.AddCenter(a.center(0), a_split.weights[0]);
+  a_split.mutable_weights()[0] /= 2.0;
+  a_split.AddCenter(a.center(0), a_split.weight(0));
   EXPECT_NEAR(ComputeEmd(a_split, b).ValueOrDie(), before, 1e-8);
 }
 
@@ -129,12 +129,12 @@ TEST_P(EmdMetricPropertyTest, FlowMatrixIsConsistent) {
       recomputed_cost += sol.flow(i, j) * ground(a.center(i), b.center(j));
       recomputed_flow += sol.flow(i, j);
     }
-    EXPECT_LE(row, a.weights[i] + 1e-8);  // Eq. 9.
+    EXPECT_LE(row, a.weight(i) + 1e-8);  // Eq. 9.
   }
   for (std::size_t j = 0; j < b.size(); ++j) {
     double col = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) col += sol.flow(i, j);
-    EXPECT_LE(col, b.weights[j] + 1e-8);  // Eq. 10.
+    EXPECT_LE(col, b.weight(j) + 1e-8);  // Eq. 10.
   }
   const double expected_flow = std::min(a.TotalWeight(), b.TotalWeight());
   EXPECT_NEAR(recomputed_flow, expected_flow, 1e-7);       // Eq. 11.

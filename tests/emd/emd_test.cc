@@ -68,12 +68,12 @@ TEST(EmdTest, FlowMatrixRespectsMarginals) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     double row = 0.0;
     for (std::size_t j = 0; j < b.size(); ++j) row += sol->flow(i, j);
-    EXPECT_LE(row, a.weights[i] + 1e-9);
+    EXPECT_LE(row, a.weight(i) + 1e-9);
   }
   for (std::size_t j = 0; j < b.size(); ++j) {
     double col = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) col += sol->flow(i, j);
-    EXPECT_LE(col, b.weights[j] + 1e-9);
+    EXPECT_LE(col, b.weight(j) + 1e-9);
   }
   // Eq. 11: total flow = min of total weights.
   EXPECT_NEAR(sol->total_flow, 4.5, 1e-9);

@@ -146,13 +146,34 @@ TEST(EstimatorsTest, MatrixLevelPrimitivesMatchConveniences) {
   EXPECT_NEAR(h_matrix, h_direct, 1e-10);
 }
 
+TEST(EstimatorsTest, UniformKeepsInvalidMembersForRecoverableValidate) {
+  // The AoS Uniform shim must not abort on invalid member signatures: the
+  // estimators report them through Status, as they always have.
+  std::vector<Signature> sigs;
+  sigs.push_back(PointMass(0.0));
+  sigs.push_back(Signature::FromFlat({1.0}, 1, {0.0}));  // Zero weight.
+  WeightedSignatureSet set = WeightedSignatureSet::Uniform(std::move(sigs));
+  EXPECT_FALSE(set.Validate().ok());
+  EXPECT_FALSE(AutoEntropy(set).ok());
+
+  // Mixed dimensions cannot live in the shared buffers; Uniform must still
+  // not abort — the error parks in gather_status and flows out as a Status.
+  std::vector<Signature> mixed;
+  mixed.push_back(PointMass(0.0));
+  mixed.push_back(Signature::FromCenters({{1.0, 2.0}}, {1.0}));
+  WeightedSignatureSet ragged = WeightedSignatureSet::Uniform(std::move(mixed));
+  EXPECT_FALSE(ragged.gather_status.ok());
+  EXPECT_FALSE(ragged.Validate().ok());
+  EXPECT_FALSE(AutoEntropy(ragged).ok());
+}
+
 TEST(EstimatorsTest, InformationContentIsSingletonCrossEntropy) {
   // I(S; S') equals H(S'', S') with S'' the singleton weighted set {(S, 1)}
   // — a consistency identity between the two estimators.
   Signature s = PointMass(0.7);
   WeightedSignatureSet sp = UniformSet({1.5, 3.0, 6.0});
   WeightedSignatureSet singleton;
-  singleton.signatures = {s};
+  singleton.signatures = SignatureSet::FromSignatures({s}).ValueOrDie();
   singleton.weights = {1.0};
   const double info = InformationContent(s, sp).ValueOrDie();
   const double cross = CrossEntropy(singleton, sp).ValueOrDie();

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bagcpd/analysis/mds.h"
+#include "bagcpd/common/buffer_arena.h"
 #include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/rng.h"
 #include "bagcpd/core/detector.h"
@@ -18,6 +20,7 @@
 #include "bagcpd/emd/emd.h"
 #include "bagcpd/runtime/stream_engine.h"
 #include "bagcpd/signature/builder.h"
+#include "bagcpd/signature/signature_set.h"
 
 namespace bagcpd {
 namespace {
@@ -52,7 +55,7 @@ void ExpectBitwiseEqual(const Signature& a, const Signature& b,
   ASSERT_EQ(a.size(), b.size()) << what;
   ASSERT_EQ(a.dim(), b.dim()) << what;
   EXPECT_EQ(a.flat_centers(), b.flat_centers()) << what;
-  EXPECT_EQ(a.weights, b.weights) << what;
+  EXPECT_EQ(a.weights(), b.weights()) << what;
 }
 
 void ExpectBitwiseEqual(const std::vector<StepResult>& a,
@@ -153,6 +156,91 @@ TEST(FlatEquivalenceTest, DetectorRunMatchesBitwise) {
   BagStreamDetector viewed(options);
   const std::vector<StepResult> flat_results = viewed.Run(flat).ValueOrDie();
   ExpectBitwiseEqual(nested_results, flat_results, "detector");
+}
+
+TEST(FlatEquivalenceTest, ArenaPooledBuildMatchesMallocBuildBitwise) {
+  // The pooled path is a storage change, never a numeric change: every
+  // quantizer must produce the identical packed signature whether its
+  // buffers come from malloc or recycle through an arena — including on
+  // reuse, when the arena hands back a previously-used buffer.
+  Rng rng(321);
+  BufferArena arena;
+  for (SignatureMethod method :
+       {SignatureMethod::kKMeans, SignatureMethod::kKMedoids,
+        SignatureMethod::kLvq, SignatureMethod::kHistogram,
+        SignatureMethod::kCentroid}) {
+    SignatureBuilderOptions options;
+    options.method = method;
+    options.k = 5;
+    options.bin_width = 2.0;
+    options.seed = 77;
+    SignatureBuilder builder(options);
+    for (int round = 0; round < 3; ++round) {
+      const Bag bag = RandomBag(60, 3, &rng);
+      const FlatBag flat = FlatBag::FromBag(bag).ValueOrDie();
+      const Signature malloced =
+          builder.Build(flat.view(), round).ValueOrDie();
+      const Signature pooled =
+          builder.Build(flat.view(), round, &arena).ValueOrDie();
+      ExpectBitwiseEqual(malloced, pooled,
+                         std::string(SignatureMethodName(method)) + " round " +
+                             std::to_string(round));
+    }
+  }
+  // The rounds actually exercised reuse, not just fresh allocations.
+  EXPECT_GT(arena.stats().pool_hits, 0u);
+}
+
+TEST(FlatEquivalenceTest, DetectorWithArenaMatchesBitwise) {
+  const BagSequence bags = JumpStream(24, 12, 44);
+  DetectorOptions options;
+  options.tau = 4;
+  options.tau_prime = 4;
+  options.bootstrap.replicates = 60;
+  options.signature.k = 4;
+  options.seed = 8;
+
+  BagStreamDetector plain(options);
+  const std::vector<StepResult> baseline = plain.Run(bags).ValueOrDie();
+
+  BufferArena arena;
+  BagStreamDetector pooled(options);
+  pooled.set_buffer_arena(&arena);
+  const std::vector<StepResult> with_arena = pooled.Run(bags).ValueOrDie();
+  ExpectBitwiseEqual(baseline, with_arena, "detector with arena");
+  EXPECT_GT(arena.stats().pool_hits, 0u);
+}
+
+TEST(FlatEquivalenceTest, SignatureSetBatchPathsMatchVectorPathsBitwise) {
+  // Fig. 6-style batch analysis: pairwise EMD + MDS over the stream's
+  // signatures must not change when the AoS vector is migrated to the
+  // shared-buffer SignatureSet.
+  const BagSequence bags = JumpStream(12, 6, 2024);
+  SignatureBuilderOptions options;
+  options.k = 4;
+  options.seed = 19;
+  SignatureBuilder builder(options);
+  std::vector<Signature> vec;
+  SignatureSet set;
+  for (std::size_t t = 0; t < bags.size(); ++t) {
+    vec.push_back(builder.Build(bags[t], t).ValueOrDie());
+    ASSERT_TRUE(set.Append(vec.back()).ok());
+  }
+  const Matrix m_vec = PairwiseEmdMatrix(vec).ValueOrDie();
+  const Matrix m_set = PairwiseEmdMatrix(set).ValueOrDie();
+  for (std::size_t i = 0; i < m_vec.rows(); ++i) {
+    for (std::size_t j = 0; j < m_vec.cols(); ++j) {
+      EXPECT_EQ(m_vec(i, j), m_set(i, j)) << i << "," << j;
+    }
+  }
+  const MdsEmbedding direct = ClassicalMds(m_vec, 2).ValueOrDie();
+  const MdsEmbedding from_set = EmdMds(set, 2).ValueOrDie();
+  ASSERT_EQ(direct.coordinates.rows(), from_set.coordinates.rows());
+  for (std::size_t i = 0; i < direct.coordinates.rows(); ++i) {
+    for (std::size_t j = 0; j < direct.coordinates.cols(); ++j) {
+      EXPECT_EQ(direct.coordinates(i, j), from_set.coordinates(i, j));
+    }
+  }
 }
 
 TEST(FlatEquivalenceTest, EngineMatchesBitwiseForAnyShardCountAndIngestForm) {

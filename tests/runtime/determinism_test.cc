@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bagcpd/common/buffer_arena.h"
 #include "bagcpd/common/flat_bag.h"
 #include "bagcpd/core/bootstrap.h"
 #include "bagcpd/core/detector.h"
@@ -172,6 +173,71 @@ TEST(DeterminismTest, FlatIngestMatchesNestedForAnyPoolSize) {
     const std::vector<StepResult> results = pooled.Run(flat).ValueOrDie();
     ExpectIdenticalSteps(baseline, results,
                          "flat ingest, pool size " + std::to_string(threads));
+  }
+}
+
+TEST(DeterminismTest, ArenaPooledDetectorInvariantToPoolSizeAndArena) {
+  // The pooled-memory path composes with the thread pool: for any pool size,
+  // a detector recycling its signature buffers through a BufferArena must be
+  // bitwise-equal to the serial malloc baseline.
+  const BagSequence bags = JumpStream(24, 12, 7);
+
+  BagStreamDetector serial(SmallDetector());
+  const std::vector<StepResult> baseline = serial.Run(bags).ValueOrDie();
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    BufferArena arena;
+    BagStreamDetector pooled(SmallDetector());
+    pooled.set_thread_pool(&pool);
+    pooled.set_buffer_arena(&arena);
+    const std::vector<StepResult> results = pooled.Run(bags).ValueOrDie();
+    ExpectIdenticalSteps(
+        baseline, results,
+        "arena + pool size " + std::to_string(threads));
+    EXPECT_GT(arena.stats().pool_hits, 0u)
+        << "arena attached but never exercised";
+  }
+}
+
+TEST(DeterminismTest, EngineArenaTuningNeverChangesResults) {
+  // Shard arenas are pure memory plumbing: wildly different pool tunings
+  // (including an effectively disabled pool) must not perturb a single
+  // result bit for any shard count.
+  std::map<std::string, BagSequence> streams;
+  for (int s = 0; s < 4; ++s) {
+    streams["stream-" + std::to_string(s)] =
+        JumpStream(16, (s % 2 == 0) ? 8 : 0, 900 + s);
+  }
+
+  std::map<std::string, std::vector<StepResult>> baseline;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const bool tiny_pool : {false, true}) {
+      StreamEngineOptions options;
+      options.num_shards = shards;
+      options.detector = SmallDetector();
+      options.seed = 13;
+      if (tiny_pool) {
+        // Degenerate tuning: nothing in the hot path fits the pool, so every
+        // release is dropped and acquisition falls back to plain allocation.
+        options.arena.min_buffer_capacity = 2;
+        options.arena.max_buffer_capacity = 2;
+        options.arena.max_buffers_per_class = 1;
+      }
+      StreamEngine engine(options);
+      auto batch = engine.RunBatch(streams);
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      if (baseline.empty()) {
+        baseline = *batch;
+        continue;
+      }
+      ASSERT_EQ(batch->size(), baseline.size());
+      for (const auto& [key, series] : baseline) {
+        ExpectIdenticalSteps(series, batch->at(key),
+                             key + " @ " + std::to_string(shards) +
+                                 (tiny_pool ? " tiny pool" : " default pool"));
+      }
+    }
   }
 }
 

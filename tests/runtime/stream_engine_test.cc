@@ -57,6 +57,17 @@ TEST(StreamEngineTest, RejectsBadOptions) {
   StreamEngineOptions bad_detector = SmallEngine(2);
   bad_detector.detector.tau = 1;
   EXPECT_FALSE(StreamEngine(bad_detector).init_status().ok());
+
+  // Bad arena tuning surfaces through init_status like every other option
+  // (instead of aborting inside the BufferArena constructor).
+  StreamEngineOptions bad_arena = SmallEngine(2);
+  bad_arena.arena.min_buffer_capacity = 100;  // Not a power of two.
+  EXPECT_FALSE(StreamEngine(bad_arena).init_status().ok());
+
+  StreamEngineOptions inverted_arena = SmallEngine(2);
+  inverted_arena.arena.min_buffer_capacity = 64;
+  inverted_arena.arena.max_buffer_capacity = 32;
+  EXPECT_FALSE(StreamEngine(inverted_arena).init_status().ok());
 }
 
 TEST(StreamEngineTest, SubmitFlushDrainProcessesEveryBag) {

@@ -108,5 +108,54 @@ TEST(ThreadPoolTest, ParallelForRunsConcurrentTasksToCompletion) {
   EXPECT_EQ(total.load(), 999L * 1000L / 2);
 }
 
+TEST(ThreadPoolTest, NestedParallelForFromWorkerFallsBackInline) {
+  // Regression: a ParallelFor issued from inside one of the pool's own tasks
+  // used to queue chunks behind the very worker that was blocking on them —
+  // a deadlock whenever the inner range spilled onto the caller's shard.
+  // The pool now detects re-entrancy and runs the inner loop inline; every
+  // inner index must still run exactly once.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kOuter, [&](std::size_t outer) {
+    pool.ParallelFor(0, kInner, [&](std::size_t inner) {
+      hits[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedSubmitDetectionOnlyAppliesToOwningPool) {
+  // A worker of pool A calling ParallelFor on pool B must still parallelize
+  // on B — the inline fallback is scoped to re-entrancy on the same pool.
+  ThreadPool outer(1);
+  ThreadPool inner(2);
+  std::atomic<int> ran{0};
+  std::atomic<bool> outer_was_worker{false};
+  std::atomic<bool> saw_inner_worker{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  outer.SubmitTo(0, [&] {
+    outer_was_worker.store(outer.InWorkerThread() && !inner.InWorkerThread());
+    inner.ParallelFor(0, 64, [&](std::size_t) {
+      if (inner.InWorkerThread()) saw_inner_worker.store(true);
+      ran.fetch_add(1);
+    });
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_TRUE(outer_was_worker.load());
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_TRUE(saw_inner_worker.load());
+}
+
 }  // namespace
 }  // namespace bagcpd

@@ -42,7 +42,7 @@ TEST(KMeansTest, RecoversSeparatedClusters) {
     EXPECT_LT(best, 0.5);
   }
   // Balanced weights.
-  for (double w : sig.weights) EXPECT_NEAR(w, 40.0, 2.0);
+  for (double w : sig.weights()) EXPECT_NEAR(w, 40.0, 2.0);
 }
 
 TEST(KMeansTest, WeightsSumToBagSize) {
@@ -66,7 +66,7 @@ TEST(KMeansTest, AssignmentsMatchWeights) {
     counted[a] += 1.0;
   }
   for (std::size_t c = 0; c < counted.size(); ++c) {
-    EXPECT_DOUBLE_EQ(counted[c], res->signature.weights[c]);
+    EXPECT_DOUBLE_EQ(counted[c], res->signature.weight(c));
   }
 }
 
@@ -91,7 +91,7 @@ TEST(KMeansTest, DeterministicForSeed) {
   ASSERT_EQ(a->signature.size(), b->signature.size());
   EXPECT_EQ(a->signature.flat_centers(), b->signature.flat_centers());
   for (std::size_t c = 0; c < a->signature.size(); ++c) {
-    EXPECT_EQ(a->signature.weights[c], b->signature.weights[c]);
+    EXPECT_EQ(a->signature.weight(c), b->signature.weight(c));
   }
 }
 

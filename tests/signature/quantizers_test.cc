@@ -88,11 +88,11 @@ TEST(HistogramTest, ExactCountsOnCraftedData) {
   ASSERT_EQ(sig->size(), 3u);
   // Map ordered (bin 0, 1, 2) -> counts (2, 1, 3); centers at 0.5, 1.5, 2.5.
   EXPECT_DOUBLE_EQ(sig->center(0)[0], 0.5);
-  EXPECT_DOUBLE_EQ(sig->weights[0], 2.0);
+  EXPECT_DOUBLE_EQ(sig->weight(0), 2.0);
   EXPECT_DOUBLE_EQ(sig->center(1)[0], 1.5);
-  EXPECT_DOUBLE_EQ(sig->weights[1], 1.0);
+  EXPECT_DOUBLE_EQ(sig->weight(1), 1.0);
   EXPECT_DOUBLE_EQ(sig->center(2)[0], 2.5);
-  EXPECT_DOUBLE_EQ(sig->weights[2], 3.0);
+  EXPECT_DOUBLE_EQ(sig->weight(2), 3.0);
 }
 
 TEST(HistogramTest, SampleMeanCenters) {
@@ -140,7 +140,7 @@ TEST(HistogramTest, OriginShiftByBinWidthIsNeutral) {
   Signature s2 = HistogramQuantize(bag, shifted).ValueOrDie();
   ASSERT_EQ(s1.size(), s2.size());
   EXPECT_EQ(s1.flat_centers(), s2.flat_centers());
-  EXPECT_EQ(s1.weights, s2.weights);
+  EXPECT_EQ(s1.weights(), s2.weights());
 }
 
 TEST(BuilderTest, NormalizeOptionYieldsUnitMass) {
@@ -158,7 +158,7 @@ TEST(SignatureTest, NormalizedIsIdempotent) {
   Bag bag = {{0.0}, {1.0}, {1.0}};
   Signature sig = CentroidSignature(bag).Normalized();
   Signature twice = sig.Normalized();
-  EXPECT_EQ(sig.weights, twice.weights);
+  EXPECT_EQ(sig.weights(), twice.weights());
 }
 
 TEST(HistogramTest, RejectsNonPositiveWidth) {
@@ -200,7 +200,7 @@ TEST(BuilderTest, DeterministicPerBagIndex) {
   Result<Signature> b = builder.Build(bag, 5);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a->flat_centers(), b->flat_centers());
-  EXPECT_EQ(a->weights, b->weights);
+  EXPECT_EQ(a->weights(), b->weights());
 }
 
 TEST(BuilderTest, MethodNames) {

@@ -1,0 +1,231 @@
+#include "bagcpd/signature/signature_set.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/rng.h"
+#include "bagcpd/emd/emd.h"
+
+namespace bagcpd {
+namespace {
+
+Signature RandomSignature(Rng* rng, std::size_t k, std::size_t dim) {
+  Signature s;
+  s.ReserveCenters(k, dim);
+  for (std::size_t i = 0; i < k; ++i) {
+    Point c(dim);
+    for (double& v : c) v = rng->Uniform(-3.0, 3.0);
+    s.AddCenter(c, rng->Uniform(0.5, 2.0));
+  }
+  return s;
+}
+
+TEST(SignatureSetTest, RoundTripMatchesVectorOfSignatures) {
+  Rng rng(41);
+  std::vector<Signature> originals;
+  for (std::size_t i = 0; i < 6; ++i) {
+    originals.push_back(RandomSignature(&rng, 2 + i % 3, 3));
+  }
+  SignatureSet set = SignatureSet::FromSignatures(originals).ValueOrDie();
+  ASSERT_EQ(set.size(), originals.size());
+  EXPECT_EQ(set.dim(), 3u);
+
+  // Views alias the shared buffers and match the originals bitwise.
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const SignatureView v = set.view(i);
+    ASSERT_EQ(v.size(), originals[i].size());
+    EXPECT_EQ(v.weights(), originals[i].weights());
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      for (std::size_t j = 0; j < v.dim(); ++j) {
+        EXPECT_EQ(v.center(k)[j], originals[i].center(k)[j]);
+      }
+    }
+  }
+
+  // And scatter back to owning signatures round-trips exactly.
+  const std::vector<Signature> back = set.ToSignatures();
+  ASSERT_EQ(back.size(), originals.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].packed(), originals[i].packed());
+  }
+}
+
+TEST(SignatureSetTest, StorageIsShared) {
+  Rng rng(7);
+  SignatureSet set;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(set.Append(RandomSignature(&rng, 3, 2)).ok());
+  }
+  EXPECT_EQ(set.total_centers(), 12u);
+  EXPECT_EQ(set.center_data().size(), 12u * 2u);
+  EXPECT_EQ(set.weight_data().size(), 12u);
+  // Consecutive members are adjacent in the one shared buffer.
+  EXPECT_EQ(set.view(1).centers_data(), set.center_data().data() + 3 * 2);
+  EXPECT_EQ(set.view(1).weights_data(), set.weight_data().data() + 3);
+}
+
+TEST(SignatureSetTest, RejectsEmptySignature) {
+  SignatureSet set;
+  EXPECT_FALSE(set.Append(SignatureView()).ok());
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(SignatureSetTest, RejectsDimensionMismatch) {
+  Rng rng(13);
+  SignatureSet set;
+  ASSERT_TRUE(set.Append(RandomSignature(&rng, 2, 3)).ok());
+  const Signature wrong_dim = RandomSignature(&rng, 2, 4);
+  EXPECT_FALSE(set.Append(wrong_dim).ok());
+  // A failed append leaves the set untouched.
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.total_centers(), 2u);
+}
+
+TEST(SignatureSetTest, RejectsNonPositiveWeight) {
+  SignatureSet set;
+  Signature bad = Signature::FromFlat({1.0, 2.0}, 1, {1.0, 0.0});
+  EXPECT_FALSE(set.Append(bad).ok());
+}
+
+TEST(SignatureSetTest, AppendUncheckedDefersValidationToValidate) {
+  // The unchecked path stores invalid members for a later recoverable
+  // Validate() report (WeightedSignatureSet's historical contract); only a
+  // dimension mismatch is rejected because the layout cannot hold it.
+  SignatureSet set;
+  Signature bad_weight = Signature::FromFlat({1.0, 2.0}, 1, {1.0, 0.0});
+  ASSERT_TRUE(set.AppendUnchecked(bad_weight).ok());
+  ASSERT_TRUE(set.AppendUnchecked(SignatureView()).ok());  // Empty member.
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.view(0).Validate().ok());
+  EXPECT_FALSE(set.view(1).Validate().ok());
+  Signature wrong_dim = Signature::FromFlat({1.0, 2.0}, 2, {1.0});
+  EXPECT_FALSE(set.AppendUnchecked(wrong_dim).ok());
+}
+
+TEST(SignatureSetTest, MovedFromSetIsEmptyAndReusable) {
+  Rng rng(55);
+  SignatureSet set;
+  ASSERT_TRUE(set.Append(RandomSignature(&rng, 3, 2)).ok());
+  SignatureSet stolen = std::move(set);
+  EXPECT_EQ(stolen.size(), 1u);
+  // The moved-from set must be a valid empty set: size() does not
+  // underflow, and it accepts new members of any dimension.
+  EXPECT_EQ(set.size(), 0u);       // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(set.empty());        // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(set.total_centers(), 0u);
+  ASSERT_TRUE(set.Append(RandomSignature(&rng, 2, 5)).ok());
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.dim(), 5u);
+}
+
+TEST(SignatureSetTest, FromSignaturesReportsOffendingIndex) {
+  Rng rng(3);
+  std::vector<Signature> mixed = {RandomSignature(&rng, 2, 2),
+                                  RandomSignature(&rng, 2, 5)};
+  Result<SignatureSet> set = SignatureSet::FromSignatures(mixed);
+  ASSERT_FALSE(set.ok());
+  EXPECT_NE(set.status().message().find("signature 1"), std::string::npos);
+}
+
+TEST(SignatureSetTest, PairwiseEmdMatrixMatchesVectorPathBitwise) {
+  Rng rng(99);
+  std::vector<Signature> sigs;
+  for (std::size_t i = 0; i < 5; ++i) {
+    sigs.push_back(RandomSignature(&rng, 2 + i % 2, 2));
+  }
+  SignatureSet set = SignatureSet::FromSignatures(sigs).ValueOrDie();
+  const Matrix from_vector = PairwiseEmdMatrix(sigs).ValueOrDie();
+  const Matrix from_set = PairwiseEmdMatrix(set).ValueOrDie();
+  ASSERT_EQ(from_set.rows(), from_vector.rows());
+  for (std::size_t i = 0; i < from_set.rows(); ++i) {
+    for (std::size_t j = 0; j < from_set.cols(); ++j) {
+      EXPECT_EQ(from_set(i, j), from_vector(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(SignatureSetTest, CrossDistanceMatrixMatchesVectorPathBitwise) {
+  Rng rng(123);
+  std::vector<Signature> a, b;
+  for (std::size_t i = 0; i < 4; ++i) a.push_back(RandomSignature(&rng, 3, 2));
+  for (std::size_t i = 0; i < 3; ++i) b.push_back(RandomSignature(&rng, 2, 2));
+  SignatureSet sa = SignatureSet::FromSignatures(a).ValueOrDie();
+  SignatureSet sb = SignatureSet::FromSignatures(b).ValueOrDie();
+  const Matrix from_vector = CrossDistanceMatrix(a, b).ValueOrDie();
+  const Matrix from_set = CrossDistanceMatrix(sa, sb).ValueOrDie();
+  ASSERT_EQ(from_set.rows(), 4u);
+  ASSERT_EQ(from_set.cols(), 3u);
+  for (std::size_t i = 0; i < from_set.rows(); ++i) {
+    for (std::size_t j = 0; j < from_set.cols(); ++j) {
+      EXPECT_EQ(from_set(i, j), from_vector(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(SignatureRingTest, SlidesWithoutReallocationInSteadyState) {
+  Rng rng(17);
+  SignatureRing ring(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ring.PushBack(RandomSignature(&rng, 3, 2));
+  }
+  ASSERT_TRUE(ring.full());
+  // Record slot addresses; steady-state sliding must reuse them in place.
+  const double* slot0 = ring.view(0).centers_data();
+  for (int round = 0; round < 20; ++round) {
+    ring.PopFront();
+    ring.PushBack(RandomSignature(&rng, 3, 2));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  bool found = false;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (ring.view(i).centers_data() == slot0) found = true;
+  }
+  EXPECT_TRUE(found) << "ring stopped reusing its slots";
+}
+
+TEST(SignatureRingTest, PreservesFifoOrderAndValues) {
+  Rng rng(5);
+  SignatureRing ring(3);
+  std::vector<Signature> reference;
+  for (std::size_t i = 0; i < 3; ++i) {
+    reference.push_back(RandomSignature(&rng, 2 + i, 2));
+    ring.PushBack(reference.back());
+  }
+  // Slide twice.
+  for (int i = 0; i < 2; ++i) {
+    ring.PopFront();
+    reference.erase(reference.begin());
+    reference.push_back(RandomSignature(&rng, 2, 2));
+    ring.PushBack(reference.back());
+  }
+  ASSERT_EQ(ring.size(), reference.size());
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const SignatureView v = ring.view(i);
+    ASSERT_EQ(v.size(), reference[i].size());
+    EXPECT_EQ(v.weights(), reference[i].weights());
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      for (std::size_t j = 0; j < v.dim(); ++j) {
+        EXPECT_EQ(v.center(k)[j], reference[i].center(k)[j]);
+      }
+    }
+  }
+}
+
+TEST(SignatureRingTest, GrowsStrideWhenLargerSignaturesArrive) {
+  Rng rng(29);
+  SignatureRing ring(3);
+  ring.PushBack(RandomSignature(&rng, 1, 2));
+  ring.PushBack(RandomSignature(&rng, 2, 2));
+  const Signature big = RandomSignature(&rng, 16, 2);
+  ring.PushBack(big);  // Forces a re-layout.
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.view(0).size(), 1u);
+  EXPECT_EQ(ring.view(1).size(), 2u);
+  const SignatureView grown = ring.view(2);
+  ASSERT_EQ(grown.size(), 16u);
+  EXPECT_EQ(grown.weights(), big.weights());
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CI perf gate: fail the multi-core perf job when the engine stops scaling.
+
+Parses the BENCH_engine.json emitted by bench/micro_engine.cc and enforces
+that RunBatch at --threads shards is at least --min-speedup times faster than
+the single-shard baseline (the ">2x @ 4 threads" criterion from the roadmap).
+Optionally also enforces the arena-ingest floor from BENCH_flatbag.json.
+
+Usage:
+  check_perf_gate.py BENCH_engine.json [--threads 4] [--min-speedup 2.0]
+  check_perf_gate.py BENCH_flatbag.json --memory-run arena_ingest \
+      --min-speedup 1.15
+
+Exits 0 when the gate passes, 1 when it fails or the row is missing.
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_engine(data, threads, min_speedup):
+    runs = data.get("runs", [])
+    row = next((r for r in runs if r.get("threads") == threads), None)
+    if row is None:
+        print(f"FAIL: no run with threads={threads} in "
+              f"{[r.get('threads') for r in runs]}")
+        return False
+    speedup = row.get("speedup_vs_first")
+    if speedup is None:
+        print("FAIL: run is missing 'speedup_vs_first'")
+        return False
+    ok = speedup >= min_speedup
+    verdict = "PASS" if ok else "FAIL"
+    print(f"{verdict}: engine speedup @ {threads} threads = {speedup:.3f}x "
+          f"(gate: >= {min_speedup:.2f}x)")
+    return ok
+
+
+def check_memory_run(data, name, min_speedup):
+    runs = data.get("memory_runs", [])
+    row = next((r for r in runs if r.get("name") == name), None)
+    if row is None:
+        print(f"FAIL: no memory run named '{name}' in "
+              f"{[r.get('name') for r in runs]}")
+        return False
+    speedup = row.get("pooled_speedup")
+    if speedup is None:
+        print(f"FAIL: memory run '{name}' is missing 'pooled_speedup'")
+        return False
+    ok = speedup >= min_speedup
+    verdict = "PASS" if ok else "FAIL"
+    print(f"{verdict}: {name} pooled speedup = {speedup:.3f}x "
+          f"(gate: >= {min_speedup:.2f}x)")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="path to a BENCH_*.json file")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="engine row to gate on (default: 4)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="minimum acceptable speedup (default: 2.0)")
+    parser.add_argument("--memory-run", default=None,
+                        help="gate on a memory_runs row of this name instead "
+                             "of the engine thread-scaling rows")
+    args = parser.parse_args()
+
+    try:
+        with open(args.bench_json, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: cannot parse {args.bench_json}: {error}")
+        return 1
+
+    if args.memory_run is not None:
+        ok = check_memory_run(data, args.memory_run, args.min_speedup)
+    else:
+        ok = check_engine(data, args.threads, args.min_speedup)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
