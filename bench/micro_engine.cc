@@ -60,7 +60,16 @@ struct Row {
   double streams_per_sec = 0.0;
   double speedup = 0.0;
   std::uint64_t results = 0;
+  // Aggregated shard-arena counters after the run, so CI can watch pool
+  // efficiency (hit rate, dropped releases) over time alongside throughput.
+  BufferArenaStats arena;
 };
+
+double ArenaHitRate(const BufferArenaStats& stats) {
+  return stats.acquires > 0 ? static_cast<double>(stats.pool_hits) /
+                                  static_cast<double>(stats.acquires)
+                            : 0.0;
+}
 
 int Main(int argc, char** argv) {
   const std::size_t num_streams =
@@ -109,13 +118,15 @@ int Main(int argc, char** argv) {
     row.bags_per_sec = total_bags / seconds;
     row.streams_per_sec = static_cast<double>(num_streams) / seconds;
     row.results = engine.result_count();
+    row.arena = engine.arena_stats();
     if (baseline_seconds == 0.0) baseline_seconds = seconds;
     row.speedup = baseline_seconds / seconds;
     rows.push_back(row);
     std::printf(
-        "threads=%2zu  %8.3fs  %10.0f bags/s  %8.1f streams/s  speedup %.2fx\n",
+        "threads=%2zu  %8.3fs  %10.0f bags/s  %8.1f streams/s  speedup %.2fx"
+        "  arena hit %.1f%%\n",
         row.threads, row.seconds, row.bags_per_sec, row.streams_per_sec,
-        row.speedup);
+        row.speedup, 100.0 * ArenaHitRate(row.arena));
   }
 
   std::FILE* json = std::fopen("BENCH_engine.json", "w");
@@ -133,9 +144,19 @@ int Main(int argc, char** argv) {
     std::fprintf(json,
                  "    {\"threads\": %zu, \"seconds\": %.6f, "
                  "\"bags_per_sec\": %.1f, \"streams_per_sec\": %.3f, "
-                 "\"speedup_vs_first\": %.3f, \"results\": %llu}%s\n",
+                 "\"speedup_vs_first\": %.3f, \"results\": %llu,\n"
+                 "     \"arena\": {\"acquires\": %llu, \"pool_hits\": %llu, "
+                 "\"hit_rate\": %.4f, \"releases\": %llu, "
+                 "\"dropped_releases\": %llu, \"pooled_buffers\": %zu, "
+                 "\"pooled_doubles\": %zu}}%s\n",
                  r.threads, r.seconds, r.bags_per_sec, r.streams_per_sec,
                  r.speedup, static_cast<unsigned long long>(r.results),
+                 static_cast<unsigned long long>(r.arena.acquires),
+                 static_cast<unsigned long long>(r.arena.pool_hits),
+                 ArenaHitRate(r.arena),
+                 static_cast<unsigned long long>(r.arena.releases),
+                 static_cast<unsigned long long>(r.arena.dropped_releases),
+                 r.arena.pooled_buffers, r.arena.pooled_doubles,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

@@ -5,9 +5,7 @@
 
 #include <cstdio>
 
-#include "bagcpd/analysis/metrics.h"
-#include "bagcpd/core/detector.h"
-#include "bagcpd/data/pamap_simulator.h"
+#include "bagcpd/bagcpd.h"
 
 int main() {
   using namespace bagcpd;
@@ -26,15 +24,21 @@ int main() {
   std::printf("subject 1: %zu bags (10 s each), %zu activity transitions\n\n",
               rec.stream.bags.size(), rec.stream.change_points.size());
 
-  DetectorOptions options;
-  options.tau = 5;
-  options.tau_prime = 5;
-  options.bootstrap.replicates = 200;
-  options.signature.method = SignatureMethod::kKMeans;
-  options.signature.k = 10;
-  options.seed = 3;
-  BagStreamDetector detector(options);
-  Result<std::vector<StepResult>> results = detector.Run(rec.stream.bags);
+  Result<std::unique_ptr<BagStreamDetector>> detector =
+      api::DetectorSpec()
+          .Tau(5)
+          .TauPrime(5)
+          .Replicates(200)
+          .Quantizer(SignatureMethod::kKMeans)
+          .K(10)
+          .Seed(3)
+          .Create();
+  if (!detector.ok()) {
+    std::fprintf(stderr, "%s\n", detector.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<StepResult>> results =
+      (*detector)->Run(rec.stream.bags);
   if (!results.ok()) {
     std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
     return 1;

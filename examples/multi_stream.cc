@@ -2,9 +2,12 @@
 //
 // A fleet of sensors each emits a bag of 2-d readings per tick. The
 // StreamEngine hash-routes every sensor to one shard worker, runs an
-// independent detector per sensor, and delivers alarms through a callback —
-// the serving shape for monitoring many users/devices at once. Results are
-// reproducible for a fixed engine seed no matter how many shards run.
+// independent detector per sensor, and delivers alarms through the typed
+// event sink — the serving shape for monitoring many users/devices at once.
+// Results are reproducible for a fixed engine seed no matter how many shards
+// run. (Engines can also carry several named detector profiles —
+// EngineSpec::Profile + Submit(key, bag, "profile") — to run differently
+// configured streams side by side; this demo uses one.)
 //
 // Build & run:
 //   cmake -B build && cmake --build build -j
@@ -14,41 +17,44 @@
 #include <mutex>
 #include <string>
 
-#include "bagcpd/data/gmm.h"
-#include "bagcpd/runtime/stream_engine.h"
+#include "bagcpd/bagcpd.h"
 
 int main() {
   using namespace bagcpd;
 
-  // 1) Engine: 4 shard workers, one small detector per stream key.
-  StreamEngineOptions options;
-  options.num_shards = 4;
-  options.seed = 42;
-  options.detector.tau = 4;
-  options.detector.tau_prime = 4;
-  options.detector.bootstrap.replicates = 150;
-  options.detector.signature.method = SignatureMethod::kKMeans;
-  options.detector.signature.k = 5;
-  // Serving hygiene: a sensor silent for > 4096 engine-wide submissions is
-  // evicted and restarts fresh on its next bag, so idle keys don't pin
-  // detector memory. Deterministic for any shard count.
-  options.max_idle_submissions = 4096;
-  StreamEngine engine(options);
-  if (!engine.init_status().ok()) {
+  // 1) Engine: 4 shard workers, one small detector per stream key. Serving
+  //    hygiene: a sensor silent for > 4096 engine-wide submissions is
+  //    evicted and restarts fresh on its next bag, so idle keys don't pin
+  //    detector memory. Deterministic for any shard count.
+  Result<std::unique_ptr<StreamEngine>> created =
+      api::EngineSpec()
+          .NumShards(4)
+          .Seed(42)
+          .MaxIdleSubmissions(4096)
+          .Detector(api::DetectorSpec()
+                        .Tau(4)
+                        .TauPrime(4)
+                        .Replicates(150)
+                        .Quantizer("kmeans")
+                        .K(5))
+          .Create();
+  if (!created.ok()) {
     std::fprintf(stderr, "engine init failed: %s\n",
-                 engine.init_status().ToString().c_str());
+                 created.status().ToString().c_str());
     return 1;
   }
+  StreamEngine& engine = **created;
 
-  // 2) Alarms arrive on shard threads; guard shared output with a mutex.
+  // 2) Every step result, eviction, and stream error arrives as one typed
+  //    EngineEvent on shard threads; guard shared output with a mutex.
   std::mutex print_mu;
-  engine.set_callback([&](const StreamStepResult& r) {
-    if (!r.step.alarm) return;
+  engine.set_event_sink([&](const EngineEvent& ev) {
+    if (ev.kind != EngineEvent::Kind::kStep || !ev.step.alarm) return;
     std::lock_guard<std::mutex> lock(print_mu);
     std::printf("ALARM  %-10s t=%-3llu score=%.3f xi=%.3f\n",
-                r.stream_id.c_str(),
-                static_cast<unsigned long long>(r.step.time), r.step.score,
-                r.step.xi);
+                ev.stream_id.c_str(),
+                static_cast<unsigned long long>(ev.step.time), ev.step.score,
+                ev.step.xi);
   });
 
   // 3) Simulate 12 sensors; the odd ones drift to a new regime at t = 20.

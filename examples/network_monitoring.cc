@@ -6,9 +6,7 @@
 
 #include <cstdio>
 
-#include "bagcpd/core/detector.h"
-#include "bagcpd/graph/enron_simulator.h"
-#include "bagcpd/graph/features.h"
+#include "bagcpd/bagcpd.h"
 
 int main() {
   using namespace bagcpd;
@@ -27,6 +25,16 @@ int main() {
   std::printf("simulated %zu weekly graphs; %zu scripted events\n\n",
               stream.weekly_graphs.size(), stream.events.size());
 
+  // One spec shared by every feature watcher (paper Section 5.4: 5 reference
+  // weeks, 3 test weeks); each feature gets its own detector from Create().
+  const api::DetectorSpec spec = api::DetectorSpec()
+                                     .Tau(5)
+                                     .TauPrime(3)
+                                     .Replicates(200)
+                                     .Quantizer("kmeans")
+                                     .K(8)
+                                     .Seed(17);
+
   // Watch every one of the seven features; collect per-week alarm hits.
   std::vector<std::vector<std::uint64_t>> alarms_per_feature;
   for (GraphFeature feature : AllGraphFeatures()) {
@@ -39,15 +47,12 @@ int main() {
       }
       bags.push_back(bag.MoveValueUnsafe());
     }
-    DetectorOptions options;
-    options.tau = 5;        // 5 reference weeks (paper Section 5.4).
-    options.tau_prime = 3;  // 3 test weeks.
-    options.bootstrap.replicates = 200;
-    options.signature.method = SignatureMethod::kKMeans;
-    options.signature.k = 8;
-    options.seed = 17;
-    BagStreamDetector detector(options);
-    Result<std::vector<StepResult>> results = detector.Run(bags);
+    Result<std::unique_ptr<BagStreamDetector>> detector = spec.Create();
+    if (!detector.ok()) {
+      std::fprintf(stderr, "%s\n", detector.status().ToString().c_str());
+      return 1;
+    }
+    Result<std::vector<StepResult>> results = (*detector)->Run(bags);
     if (!results.ok()) {
       std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
       return 1;

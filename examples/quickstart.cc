@@ -11,8 +11,7 @@
 
 #include <cstdio>
 
-#include "bagcpd/core/detector.h"
-#include "bagcpd/data/gmm.h"
+#include "bagcpd/bagcpd.h"
 
 int main() {
   using namespace bagcpd;
@@ -27,29 +26,32 @@ int main() {
                                    &rng));
   }
 
-  // 2) Configure the detector: tau / tau' windows, signature quantizer,
-  //    bootstrap CI level. Defaults reproduce the paper's setup.
-  DetectorOptions options;
-  options.tau = 5;                       // Reference window (past bags).
-  options.tau_prime = 5;                 // Test window (future bags).
-  options.score_type = ScoreType::kSymmetrizedKl;  // Eq. 17.
-  options.bootstrap.replicates = 300;    // Bayesian bootstrap T.
-  options.bootstrap.alpha = 0.05;        // 95% confidence intervals.
-  options.signature.method = SignatureMethod::kKMeans;
-  options.signature.k = 8;
-  options.seed = 42;
-
-  BagStreamDetector detector(options);
-  if (!detector.init_status().ok()) {
-    std::fprintf(stderr, "bad options: %s\n",
-                 detector.init_status().ToString().c_str());
+  // 2) Configure the detector from a config string: tau / tau' windows,
+  //    signature quantizer, bootstrap CI level — every component is
+  //    addressable by its registry name ("kmeans", "skl", ...). Defaults
+  //    reproduce the paper's setup. The same spec can also be built
+  //    fluently: api::DetectorSpec().Tau(5).Quantizer("kmeans")...
+  Result<api::DetectorSpec> spec = api::DetectorSpec::FromKeyValues(
+      "tau=5,tau_prime=5,score=skl,replicates=300,alpha=0.05,"
+      "quantizer=kmeans,k=8,seed=42");
+  if (!spec.ok()) {
+    std::fprintf(stderr, "bad spec: %s\n", spec.status().ToString().c_str());
     return 1;
   }
 
-  // 3) Stream the bags; a StepResult appears once the windows are full.
+  // 3) Create() validates and fails with a typed Status instead of handing
+  //    back a half-built detector.
+  Result<std::unique_ptr<BagStreamDetector>> detector = spec->Create();
+  if (!detector.ok()) {
+    std::fprintf(stderr, "bad options: %s\n",
+                 detector.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4) Stream the bags; a StepResult appears once the windows are full.
   std::printf("%-6s %-10s %-20s %-8s\n", "t", "score", "95%-CI", "alarm");
   for (std::size_t t = 0; t < stream.size(); ++t) {
-    Result<std::optional<StepResult>> step = detector.Push(stream[t]);
+    Result<std::optional<StepResult>> step = (*detector)->Push(stream[t]);
     if (!step.ok()) {
       std::fprintf(stderr, "push failed: %s\n", step.status().ToString().c_str());
       return 1;

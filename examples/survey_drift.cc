@@ -7,9 +7,7 @@
 
 #include <cstdio>
 
-#include "bagcpd/baselines/mean_reduction.h"
-#include "bagcpd/core/detector.h"
-#include "bagcpd/data/gmm.h"
+#include "bagcpd/bagcpd.h"
 
 int main() {
   using namespace bagcpd;
@@ -34,15 +32,20 @@ int main() {
                 means[week][1], surveys[static_cast<std::size_t>(week)].size());
   }
 
-  DetectorOptions options;
-  options.tau = 5;
-  options.tau_prime = 5;
-  options.bootstrap.replicates = 250;
-  options.signature.method = SignatureMethod::kKMeans;
-  options.signature.k = 6;
-  options.seed = 12;
-  BagStreamDetector detector(options);
-  Result<std::vector<StepResult>> results = detector.Run(surveys);
+  Result<std::unique_ptr<BagStreamDetector>> detector =
+      api::DetectorSpec()
+          .Tau(5)
+          .TauPrime(5)
+          .Replicates(250)
+          .Quantizer("kmeans")
+          .K(6)
+          .Seed(12)
+          .Create();
+  if (!detector.ok()) {
+    std::fprintf(stderr, "%s\n", detector.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<StepResult>> results = (*detector)->Run(surveys);
   if (!results.ok()) {
     std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
     return 1;

@@ -55,9 +55,9 @@ Result<MdsEmbedding> ClassicalMds(const Matrix& distances, std::size_t dims) {
 }
 
 Result<MdsEmbedding> EmdMds(const SignatureSet& signatures, std::size_t dims,
-                            GroundDistance ground) {
+                            GroundDistance ground, ThreadPool* pool) {
   BAGCPD_ASSIGN_OR_RETURN(Matrix distances,
-                          PairwiseEmdMatrix(signatures, ground));
+                          PairwiseEmdMatrix(signatures, ground, pool));
   return ClassicalMds(distances, dims);
 }
 

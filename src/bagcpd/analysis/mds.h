@@ -12,6 +12,8 @@
 
 namespace bagcpd {
 
+class ThreadPool;
+
 /// \brief Classical MDS output.
 struct MdsEmbedding {
   /// n x dims coordinate matrix.
@@ -28,10 +30,13 @@ Result<MdsEmbedding> ClassicalMds(const Matrix& distances, std::size_t dims = 2)
 
 /// \brief Convenience for the Fig. 6 center panels: computes the pairwise
 /// EMD matrix of a shared-buffer SignatureSet and embeds it. Identical to
-/// calling PairwiseEmdMatrix + ClassicalMds by hand.
+/// calling PairwiseEmdMatrix + ClassicalMds by hand. With a non-null `pool`
+/// the EMD matrix is solved over the pool (bitwise-identical for any pool
+/// size).
 Result<MdsEmbedding> EmdMds(const SignatureSet& signatures,
                             std::size_t dims = 2,
-                            GroundDistance ground = GroundDistance::kEuclidean);
+                            GroundDistance ground = GroundDistance::kEuclidean,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace bagcpd
 

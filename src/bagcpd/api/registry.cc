@@ -1,0 +1,59 @@
+#include "bagcpd/api/registry.h"
+
+namespace bagcpd {
+namespace api {
+
+namespace {
+
+template <typename E>
+ComponentInfo InfoFor() {
+  ComponentInfo info;
+  info.kind = Component<E>::kKind;
+  for (E value : Component<E>::Values()) {
+    info.names.push_back(Component<E>::Name(value));
+  }
+  return info;
+}
+
+template <typename E>
+Result<std::string> RoundTrip(const std::string& name) {
+  BAGCPD_ASSIGN_OR_RETURN(E value, Component<E>::Parse(name));
+  return std::string(Component<E>::Name(value));
+}
+
+}  // namespace
+
+std::vector<ComponentInfo> KnownComponents() {
+  return {InfoFor<SignatureMethod>(), InfoFor<ScoreType>(),
+          InfoFor<GroundDistance>(), InfoFor<WeightScheme>(),
+          InfoFor<BootstrapMethod>()};
+}
+
+Result<std::string> CanonicalName(const std::string& kind,
+                                  const std::string& name) {
+  if (kind == Component<SignatureMethod>::kKind) {
+    return RoundTrip<SignatureMethod>(name);
+  }
+  if (kind == Component<ScoreType>::kKind) return RoundTrip<ScoreType>(name);
+  if (kind == Component<GroundDistance>::kKind) {
+    return RoundTrip<GroundDistance>(name);
+  }
+  if (kind == Component<WeightScheme>::kKind) {
+    return RoundTrip<WeightScheme>(name);
+  }
+  if (kind == Component<BootstrapMethod>::kKind) {
+    return RoundTrip<BootstrapMethod>(name);
+  }
+  // Derive the kind list from the same table a new registration extends, so
+  // the message can never go stale.
+  std::string known;
+  for (const ComponentInfo& info : KnownComponents()) {
+    if (!known.empty()) known += ", ";
+    known += info.kind;
+  }
+  return Status::Invalid("unknown component kind '" + kind + "' (known: " +
+                         known + ")");
+}
+
+}  // namespace api
+}  // namespace bagcpd

@@ -1,0 +1,111 @@
+// Named-component registry: the string-addressable view of every
+// interchangeable piece of the detector (quantizer, score, ground distance,
+// weight scheme, bootstrap method). Each component kind maps a stable
+// lowercase name to its enum value and back — the name tables live with the
+// enums themselves (SignatureMethodName/ParseSignatureMethod, ...); this
+// header is the uniform bridge the spec builders, tools, and config-driven
+// services drive. Names are stable API: benches and CI artifacts key on
+// them.
+
+#ifndef BAGCPD_API_REGISTRY_H_
+#define BAGCPD_API_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "bagcpd/common/result.h"
+#include "bagcpd/core/bootstrap.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/core/scores.h"
+#include "bagcpd/emd/ground_distance.h"
+#include "bagcpd/signature/builder.h"
+
+namespace bagcpd {
+namespace api {
+
+/// \brief Compile-time traits tying one component enum to its kind string,
+/// value list, and name round-trip. Specialized for every registered enum;
+/// generic code (the spec builders, the registry tests) is written once
+/// against this interface.
+template <typename E>
+struct Component;
+
+template <>
+struct Component<SignatureMethod> {
+  static constexpr const char* kKind = "quantizer";
+  static const std::vector<SignatureMethod>& Values() {
+    return AllSignatureMethods();
+  }
+  static const char* Name(SignatureMethod v) { return SignatureMethodName(v); }
+  static Result<SignatureMethod> Parse(const std::string& name) {
+    return ParseSignatureMethod(name);
+  }
+};
+
+template <>
+struct Component<ScoreType> {
+  static constexpr const char* kKind = "score";
+  static const std::vector<ScoreType>& Values() { return AllScoreTypes(); }
+  static const char* Name(ScoreType v) { return ScoreTypeName(v); }
+  static Result<ScoreType> Parse(const std::string& name) {
+    return ParseScoreType(name);
+  }
+};
+
+template <>
+struct Component<GroundDistance> {
+  static constexpr const char* kKind = "ground";
+  static const std::vector<GroundDistance>& Values() {
+    return AllGroundDistances();
+  }
+  static const char* Name(GroundDistance v) { return GroundDistanceName(v); }
+  static Result<GroundDistance> Parse(const std::string& name) {
+    return ParseGroundDistance(name);
+  }
+};
+
+template <>
+struct Component<WeightScheme> {
+  static constexpr const char* kKind = "weights";
+  static const std::vector<WeightScheme>& Values() {
+    return AllWeightSchemes();
+  }
+  static const char* Name(WeightScheme v) { return WeightSchemeName(v); }
+  static Result<WeightScheme> Parse(const std::string& name) {
+    return ParseWeightScheme(name);
+  }
+};
+
+template <>
+struct Component<BootstrapMethod> {
+  static constexpr const char* kKind = "bootstrap";
+  static const std::vector<BootstrapMethod>& Values() {
+    return AllBootstrapMethods();
+  }
+  static const char* Name(BootstrapMethod v) { return BootstrapMethodName(v); }
+  static Result<BootstrapMethod> Parse(const std::string& name) {
+    return ParseBootstrapMethod(name);
+  }
+};
+
+/// \brief One component kind with the canonical names it accepts.
+struct ComponentInfo {
+  std::string kind;
+  std::vector<std::string> names;
+};
+
+/// \brief Every registered component kind ("quantizer", "score", "ground",
+/// "weights", "bootstrap") with its canonical names, for --help output and
+/// config validation in tools.
+std::vector<ComponentInfo> KnownComponents();
+
+/// \brief Parses `name` as a component of `kind` and echoes its canonical
+/// name back — the generic round-trip entry point for tools that only have
+/// strings. Fails on an unknown kind or name.
+Result<std::string> CanonicalName(const std::string& kind,
+                                  const std::string& name);
+
+}  // namespace api
+}  // namespace bagcpd
+
+#endif  // BAGCPD_API_REGISTRY_H_

@@ -1,0 +1,425 @@
+#include "bagcpd/api/spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <iomanip>
+#include <locale>
+#include <sstream>
+
+#include "bagcpd/api/registry.h"
+
+namespace bagcpd {
+namespace api {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Status BadValue(const std::string& key, const std::string& value,
+                const char* expected) {
+  return Status::Invalid("key '" + key + "': expected " + expected +
+                         ", got '" + value + "'");
+}
+
+// All numeric parsing/formatting goes through <charconv>: locale-independent
+// (a host app calling setlocale() can't break config strings) and with real
+// range errors (an out-of-range literal is rejected, never wrapped/clamped).
+
+Result<std::uint64_t> ParseUnsigned(const std::string& key,
+                                    const std::string& value) {
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed, 10);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    return BadValue(key, value, "a non-negative integer");
+  }
+  return parsed;
+}
+
+Result<int> ParseInt(const std::string& key, const std::string& value) {
+  int parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed, 10);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    return BadValue(key, value, "an integer");
+  }
+  return parsed;
+}
+
+// Floating-point from_chars/to_chars is missing on older standard libraries
+// (notably libc++ before LLVM 20); there the fallback streams through the
+// classic locale, which is just as locale-independent, only slower.
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+#define BAGCPD_HAS_FP_CHARCONV 1
+#else
+#define BAGCPD_HAS_FP_CHARCONV 0
+#endif
+
+bool ParseDoubleRaw(const std::string& value, double* out) {
+#if BAGCPD_HAS_FP_CHARCONV
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), *out);
+  return ec == std::errc() && ptr == value.data() + value.size();
+#else
+  std::istringstream stream(value);
+  stream.imbue(std::locale::classic());
+  stream >> *out;
+  return !stream.fail() && stream.eof();
+#endif
+}
+
+Result<double> ParseDouble(const std::string& key, const std::string& value) {
+  double parsed = 0.0;
+  if (value.empty() || !ParseDoubleRaw(value, &parsed) ||
+      !std::isfinite(parsed)) {
+    return BadValue(key, value, "a finite number");
+  }
+  return parsed;
+}
+
+Result<bool> ParseBool(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  return BadValue(key, value, "true/false");
+}
+
+// Shortest decimal form that parses back to exactly `v`, locale-independent
+// like the parsers above (std::to_chars' round-trip guarantee where
+// available; elsewhere the fewest classic-locale digits that survive a
+// parse-back).
+std::string FormatDouble(double v) {
+#if BAGCPD_HAS_FP_CHARCONV
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, ec == std::errc() ? ptr : buf);
+#else
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::ostringstream stream;
+    stream.imbue(std::locale::classic());
+    stream << std::setprecision(precision) << v;
+    double back = 0.0;
+    if (ParseDoubleRaw(stream.str(), &back) && back == v) return stream.str();
+  }
+  std::ostringstream stream;
+  stream.imbue(std::locale::classic());
+  stream << std::setprecision(17) << v;
+  return stream.str();
+#endif
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DetectorSpec
+// ---------------------------------------------------------------------------
+
+DetectorSpec& DetectorSpec::Tau(std::size_t tau) {
+  options_.tau = tau;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::TauPrime(std::size_t tau_prime) {
+  options_.tau_prime = tau_prime;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Score(ScoreType type) {
+  options_.score_type = type;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Score(const std::string& name) {
+  Result<ScoreType> parsed = ParseScoreType(name);
+  if (parsed.ok()) {
+    options_.score_type = parsed.ValueOrDie();
+  } else if (error_.ok()) {
+    error_ = parsed.status();
+  }
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Weights(WeightScheme scheme) {
+  options_.weight_scheme = scheme;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Weights(const std::string& name) {
+  Result<WeightScheme> parsed = ParseWeightScheme(name);
+  if (parsed.ok()) {
+    options_.weight_scheme = parsed.ValueOrDie();
+  } else if (error_.ok()) {
+    error_ = parsed.status();
+  }
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Ground(GroundDistance kind) {
+  options_.ground = kind;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Ground(const std::string& name) {
+  Result<GroundDistance> parsed = ParseGroundDistance(name);
+  if (parsed.ok()) {
+    options_.ground = parsed.ValueOrDie();
+  } else if (error_.ok()) {
+    error_ = parsed.status();
+  }
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::DistanceFloor(double floor) {
+  options_.info.distance_floor = floor;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Quantizer(SignatureMethod method) {
+  options_.signature.method = method;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Quantizer(const std::string& name) {
+  Result<SignatureMethod> parsed = ParseSignatureMethod(name);
+  if (parsed.ok()) {
+    options_.signature.method = parsed.ValueOrDie();
+  } else if (error_.ok()) {
+    error_ = parsed.status();
+  }
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::K(std::size_t k) {
+  options_.signature.k = k;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::BinWidth(double width) {
+  options_.signature.bin_width = width;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::HistogramOrigin(double origin) {
+  options_.signature.histogram_origin = origin;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Normalize(bool normalize) {
+  options_.signature.normalize = normalize;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Replicates(int replicates) {
+  options_.bootstrap.replicates = replicates;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Alpha(double alpha) {
+  options_.bootstrap.alpha = alpha;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Bootstrap(BootstrapMethod method) {
+  options_.bootstrap.method = method;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Bootstrap(const std::string& name) {
+  Result<BootstrapMethod> parsed = ParseBootstrapMethod(name);
+  if (parsed.ok()) {
+    options_.bootstrap.method = parsed.ValueOrDie();
+  } else if (error_.ok()) {
+    error_ = parsed.status();
+  }
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Seed(std::uint64_t seed) {
+  options_.seed = seed;
+  return *this;
+}
+
+Status DetectorSpec::Set(const std::string& key, const std::string& value) {
+  if (key == "tau") {
+    BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
+    options_.tau = static_cast<std::size_t>(v);
+  } else if (key == "tau_prime") {
+    BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
+    options_.tau_prime = static_cast<std::size_t>(v);
+  } else if (key == "score") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.score_type, ParseScoreType(value));
+  } else if (key == "weights") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.weight_scheme, ParseWeightScheme(value));
+  } else if (key == "ground") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.ground, ParseGroundDistance(value));
+  } else if (key == "quantizer") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.signature.method,
+                            ParseSignatureMethod(value));
+  } else if (key == "k") {
+    BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
+    options_.signature.k = static_cast<std::size_t>(v);
+  } else if (key == "bin_width") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.signature.bin_width,
+                            ParseDouble(key, value));
+  } else if (key == "histogram_origin") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.signature.histogram_origin,
+                            ParseDouble(key, value));
+  } else if (key == "normalize") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.signature.normalize,
+                            ParseBool(key, value));
+  } else if (key == "replicates") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.bootstrap.replicates,
+                            ParseInt(key, value));
+  } else if (key == "alpha") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.bootstrap.alpha, ParseDouble(key, value));
+  } else if (key == "bootstrap") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.bootstrap.method,
+                            ParseBootstrapMethod(value));
+  } else if (key == "distance_floor") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.info.distance_floor,
+                            ParseDouble(key, value));
+  } else if (key == "seed") {
+    BAGCPD_ASSIGN_OR_RETURN(options_.seed, ParseUnsigned(key, value));
+  } else {
+    return Status::Invalid(
+        "unknown key '" + key +
+        "' (known: quantizer, k, bin_width, histogram_origin, normalize, "
+        "tau, tau_prime, score, weights, ground, bootstrap, replicates, "
+        "alpha, distance_floor, seed)");
+  }
+  return Status::OK();
+}
+
+Result<DetectorSpec> DetectorSpec::FromKeyValues(const std::string& text) {
+  DetectorSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = Trim(text.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (token.empty()) continue;  // Tolerates trailing/duplicate commas.
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::Invalid("malformed token '" + token +
+                             "' (expected key=value)");
+    }
+    const std::string key = Trim(token.substr(0, eq));
+    const std::string value = Trim(token.substr(eq + 1));
+    BAGCPD_RETURN_NOT_OK(spec.Set(key, value));
+  }
+  return spec;
+}
+
+Result<DetectorOptions> DetectorSpec::Build() const {
+  BAGCPD_RETURN_NOT_OK(error_);
+  BAGCPD_RETURN_NOT_OK(ValidateDetectorOptions(options_));
+  return options_;
+}
+
+Result<std::unique_ptr<BagStreamDetector>> DetectorSpec::Create() const {
+  BAGCPD_ASSIGN_OR_RETURN(DetectorOptions options, Build());
+  return BagStreamDetector::Create(options);
+}
+
+std::string DetectorSpec::ToKeyValues() const {
+  std::string out;
+  out += "quantizer=";
+  out += SignatureMethodName(options_.signature.method);
+  out += ",k=" + std::to_string(options_.signature.k);
+  out += ",bin_width=" + FormatDouble(options_.signature.bin_width);
+  out += ",histogram_origin=" + FormatDouble(options_.signature.histogram_origin);
+  out += std::string(",normalize=") +
+         (options_.signature.normalize ? "true" : "false");
+  out += ",tau=" + std::to_string(options_.tau);
+  out += ",tau_prime=" + std::to_string(options_.tau_prime);
+  out += ",score=";
+  out += ScoreTypeName(options_.score_type);
+  out += ",weights=";
+  out += WeightSchemeName(options_.weight_scheme);
+  out += ",ground=";
+  out += GroundDistanceName(options_.ground);
+  out += ",bootstrap=";
+  out += BootstrapMethodName(options_.bootstrap.method);
+  out += ",replicates=" + std::to_string(options_.bootstrap.replicates);
+  out += ",alpha=" + FormatDouble(options_.bootstrap.alpha);
+  out += ",distance_floor=" + FormatDouble(options_.info.distance_floor);
+  out += ",seed=" + std::to_string(options_.seed);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EngineSpec
+// ---------------------------------------------------------------------------
+
+EngineSpec& EngineSpec::NumShards(std::size_t num_shards) {
+  options_.num_shards = num_shards;
+  return *this;
+}
+
+EngineSpec& EngineSpec::QueueCapacity(std::size_t capacity) {
+  options_.shard_queue_capacity = capacity;
+  return *this;
+}
+
+EngineSpec& EngineSpec::Seed(std::uint64_t seed) {
+  options_.seed = seed;
+  return *this;
+}
+
+EngineSpec& EngineSpec::CollectResults(bool collect) {
+  options_.collect_results = collect;
+  return *this;
+}
+
+EngineSpec& EngineSpec::MaxIdleSubmissions(std::uint64_t max_idle) {
+  options_.max_idle_submissions = max_idle;
+  return *this;
+}
+
+EngineSpec& EngineSpec::Arena(const BufferArenaOptions& arena) {
+  options_.arena = arena;
+  return *this;
+}
+
+EngineSpec& EngineSpec::Detector(const DetectorSpec& spec) {
+  detector_ = spec;
+  return *this;
+}
+
+EngineSpec& EngineSpec::Profile(const std::string& name,
+                                const DetectorSpec& spec) {
+  profiles_.emplace_back(name, spec);
+  return *this;
+}
+
+Result<StreamEngineOptions> EngineSpec::Build() const {
+  StreamEngineOptions options = options_;
+  BAGCPD_ASSIGN_OR_RETURN(options.detector, detector_.Build());
+  BAGCPD_RETURN_NOT_OK(ValidateStreamEngineOptions(options));
+  return options;
+}
+
+Result<std::unique_ptr<StreamEngine>> EngineSpec::Create() const {
+  BAGCPD_ASSIGN_OR_RETURN(StreamEngineOptions options, Build());
+  BAGCPD_ASSIGN_OR_RETURN(std::unique_ptr<StreamEngine> engine,
+                          StreamEngine::Create(options));
+  for (const auto& [name, spec] : profiles_) {
+    BAGCPD_ASSIGN_OR_RETURN(DetectorOptions profile, spec.Build());
+    BAGCPD_RETURN_NOT_OK(engine->RegisterProfile(name, profile));
+  }
+  return engine;
+}
+
+}  // namespace api
+}  // namespace bagcpd

@@ -1,0 +1,144 @@
+// Fluent, validated specs for the two public entry points. A DetectorSpec /
+// EngineSpec is a plain value describing a configuration: setters accept
+// either enum values or registry names (api/registry.h), errors are deferred
+// to Build()/Create() so call chains stay clean, and every spec can be
+// produced from a config string (FromKeyValues) and echoed back canonically
+// (ToKeyValues) — the text form benches, tools, and services pass around.
+//
+//   auto detector = DetectorSpec()
+//                       .Tau(5).TauPrime(5)
+//                       .Quantizer("kmeans").K(8)
+//                       .Score("kl").Replicates(300).Seed(42)
+//                       .Create();                 // Result<unique_ptr<...>>
+//
+//   auto engine = EngineSpec()
+//                     .NumShards(8).Seed(42)
+//                     .Detector(DetectorSpec().Tau(5).TauPrime(5))
+//                     .Profile("network", DetectorSpec().Score("lr"))
+//                     .Create();                   // profiles pre-registered
+
+#ifndef BAGCPD_API_SPEC_H_
+#define BAGCPD_API_SPEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bagcpd/common/result.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/runtime/stream_engine.h"
+
+namespace bagcpd {
+namespace api {
+
+/// \brief Builder for DetectorOptions.
+///
+/// Defaults equal a default-constructed DetectorOptions. String overloads
+/// parse through the component registry; a bad name (or key=value token) is
+/// remembered and surfaced by Build()/Create() — the first error wins.
+class DetectorSpec {
+ public:
+  DetectorSpec() = default;
+
+  /// \brief Parses a comma-separated "key=value" config string, e.g.
+  ///   "quantizer=kmeans,tau=5,score=skl,replicates=300,seed=42".
+  /// Keys are the ToKeyValues() names; values go through the registry for
+  /// enum-valued keys. Unknown keys, malformed tokens, and unparsable values
+  /// fail immediately with a message naming the offending token. Later
+  /// occurrences of a key overwrite earlier ones.
+  static Result<DetectorSpec> FromKeyValues(const std::string& text);
+
+  // -- Window / scoring ------------------------------------------------
+  DetectorSpec& Tau(std::size_t tau);
+  DetectorSpec& TauPrime(std::size_t tau_prime);
+  DetectorSpec& Score(ScoreType type);
+  DetectorSpec& Score(const std::string& name);
+  DetectorSpec& Weights(WeightScheme scheme);
+  DetectorSpec& Weights(const std::string& name);
+  DetectorSpec& Ground(GroundDistance kind);
+  DetectorSpec& Ground(const std::string& name);
+  DetectorSpec& DistanceFloor(double floor);
+
+  // -- Quantizer -------------------------------------------------------
+  DetectorSpec& Quantizer(SignatureMethod method);
+  DetectorSpec& Quantizer(const std::string& name);
+  DetectorSpec& K(std::size_t k);
+  DetectorSpec& BinWidth(double width);
+  DetectorSpec& HistogramOrigin(double origin);
+  DetectorSpec& Normalize(bool normalize);
+
+  // -- Bootstrap -------------------------------------------------------
+  DetectorSpec& Replicates(int replicates);
+  DetectorSpec& Alpha(double alpha);
+  DetectorSpec& Bootstrap(BootstrapMethod method);
+  DetectorSpec& Bootstrap(const std::string& name);
+
+  DetectorSpec& Seed(std::uint64_t seed);
+
+  /// \brief The validated options: surfaces any deferred setter error, then
+  /// runs ValidateDetectorOptions — so Build() fails exactly when
+  /// BagStreamDetector::Create would.
+  Result<DetectorOptions> Build() const;
+
+  /// \brief Build() + BagStreamDetector::Create in one step.
+  Result<std::unique_ptr<BagStreamDetector>> Create() const;
+
+  /// \brief Canonical "key=value,..." form covering every field;
+  /// FromKeyValues(spec.ToKeyValues()) reproduces the spec exactly.
+  std::string ToKeyValues() const;
+
+ private:
+  // Applies one key=value pair (the FromKeyValues worker).
+  Status Set(const std::string& key, const std::string& value);
+
+  DetectorOptions options_;
+  Status error_;  // First deferred fluent-setter error; OK when clean.
+};
+
+/// \brief Builder for StreamEngineOptions plus the engine's named detector
+/// profiles (which live on the engine, not in the options struct):
+/// Create() constructs the engine and registers every Profile() before any
+/// traffic can race it.
+///
+/// Seeding rule (applies to Detector() and every Profile()): the detector
+/// spec's seed must stay 0. Per-stream seeds always derive from the engine
+/// Seed(), the stream key, and the profile name; a nonzero detector seed is
+/// rejected at Build()/Create() so it can never be silently ignored.
+class EngineSpec {
+ public:
+  EngineSpec() = default;
+
+  DetectorSpec& detector() { return detector_; }
+
+  EngineSpec& NumShards(std::size_t num_shards);
+  EngineSpec& QueueCapacity(std::size_t capacity);
+  EngineSpec& Seed(std::uint64_t seed);
+  EngineSpec& CollectResults(bool collect);
+  EngineSpec& MaxIdleSubmissions(std::uint64_t max_idle);
+  EngineSpec& Arena(const BufferArenaOptions& arena);
+  /// \brief The default profile every unqualified Submit routes to.
+  EngineSpec& Detector(const DetectorSpec& spec);
+  /// \brief Adds a named profile; Submit(key, bag, name) routes to it.
+  EngineSpec& Profile(const std::string& name, const DetectorSpec& spec);
+
+  /// \brief The validated engine options (profiles are not part of the
+  /// options struct; use Create() to get them registered). Fails exactly
+  /// when StreamEngine::Create would, including on a nonzero detector seed.
+  Result<StreamEngineOptions> Build() const;
+
+  /// \brief Build() + StreamEngine::Create + RegisterProfile for every
+  /// Profile() in registration order.
+  Result<std::unique_ptr<StreamEngine>> Create() const;
+
+ private:
+  StreamEngineOptions options_;
+  DetectorSpec detector_;
+  std::vector<std::pair<std::string, DetectorSpec>> profiles_;
+};
+
+}  // namespace api
+}  // namespace bagcpd
+
+#endif  // BAGCPD_API_SPEC_H_

@@ -1,0 +1,31 @@
+// Shared worker behind the per-enum Parse* functions: match a name against
+// an All*() value table (via the enum's Name function) or fail listing the
+// known names. Keeping the loop in one place means a new enum value only
+// needs its All*/Name entries — the parser and its error message follow.
+
+#ifndef BAGCPD_COMMON_ENUM_NAMES_H_
+#define BAGCPD_COMMON_ENUM_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+
+template <typename E, typename NameFn>
+Result<E> ParseNamedEnum(const std::string& name, const std::vector<E>& values,
+                         NameFn name_fn, const char* what) {
+  std::string known;
+  for (E value : values) {
+    if (name == name_fn(value)) return value;
+    if (!known.empty()) known += ", ";
+    known += name_fn(value);
+  }
+  return Status::Invalid(std::string("unknown ") + what + " '" + name +
+                         "' (known: " + known + ")");
+}
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_COMMON_ENUM_NAMES_H_

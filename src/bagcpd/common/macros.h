@@ -1,0 +1,19 @@
+// Shared public-API macros.
+
+#ifndef BAGCPD_COMMON_MACROS_H_
+#define BAGCPD_COMMON_MACROS_H_
+
+/// \brief Marks a legacy entry point kept as a migration shim.
+///
+/// The attribute is opt-in: compile with -DBAGCPD_ENABLE_DEPRECATION_WARNINGS
+/// to have the compiler flag every remaining use of a shimmed API (the
+/// default build stays quiet so existing code keeps building warning-free).
+/// The shims themselves remain fully functional; see the README migration
+/// table for the replacement of each one.
+#ifdef BAGCPD_ENABLE_DEPRECATION_WARNINGS
+#define BAGCPD_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define BAGCPD_DEPRECATED(msg)
+#endif
+
+#endif  // BAGCPD_COMMON_MACROS_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "bagcpd/common/check.h"
+#include "bagcpd/common/enum_names.h"
 #include "bagcpd/common/stats.h"
 #include "bagcpd/runtime/thread_pool.h"
 
@@ -16,6 +17,17 @@ const char* BootstrapMethodName(BootstrapMethod method) {
       return "standard";
   }
   return "unknown";
+}
+
+const std::vector<BootstrapMethod>& AllBootstrapMethods() {
+  static const std::vector<BootstrapMethod> kAll = {BootstrapMethod::kBayesian,
+                                                    BootstrapMethod::kStandard};
+  return kAll;
+}
+
+Result<BootstrapMethod> ParseBootstrapMethod(const std::string& name) {
+  return ParseNamedEnum(name, AllBootstrapMethods(), BootstrapMethodName,
+                        "bootstrap method");
 }
 
 std::vector<double> ResampleWeights(BootstrapMethod method,

@@ -13,6 +13,7 @@
 #define BAGCPD_CORE_BOOTSTRAP_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bagcpd/common/result.h"
@@ -33,6 +34,12 @@ enum class BootstrapMethod {
 
 /// \brief Short lowercase name ("bayesian" / "standard").
 const char* BootstrapMethodName(BootstrapMethod method);
+
+/// \brief Every bootstrap method, in declaration order (api/ registry table).
+const std::vector<BootstrapMethod>& AllBootstrapMethods();
+
+/// \brief Inverse of BootstrapMethodName; rejects unknown names.
+Result<BootstrapMethod> ParseBootstrapMethod(const std::string& name);
 
 /// \brief Configuration of the bootstrap procedure.
 struct BootstrapOptions {

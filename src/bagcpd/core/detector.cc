@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "bagcpd/common/check.h"
+#include "bagcpd/common/enum_names.h"
 #include "bagcpd/emd/emd.h"
 #include "bagcpd/info/weighted_set.h"
 #include "bagcpd/runtime/thread_pool.h"
@@ -20,9 +21,18 @@ const char* WeightSchemeName(WeightScheme scheme) {
   return "unknown";
 }
 
-namespace {
+const std::vector<WeightScheme>& AllWeightSchemes() {
+  static const std::vector<WeightScheme> kAll = {WeightScheme::kUniform,
+                                                 WeightScheme::kDiscounted};
+  return kAll;
+}
 
-Status ValidateOptions(const DetectorOptions& options) {
+Result<WeightScheme> ParseWeightScheme(const std::string& name) {
+  return ParseNamedEnum(name, AllWeightSchemes(), WeightSchemeName,
+                        "weight scheme");
+}
+
+Status ValidateDetectorOptions(const DetectorOptions& options) {
   if (options.tau < 2) return Status::Invalid("tau must be >= 2");
   if (options.tau_prime < 2) return Status::Invalid("tau' must be >= 2");
   if (options.bootstrap.replicates > 0) {
@@ -36,11 +46,15 @@ Status ValidateOptions(const DetectorOptions& options) {
   return Status::OK();
 }
 
-}  // namespace
+Result<std::unique_ptr<BagStreamDetector>> BagStreamDetector::Create(
+    const DetectorOptions& options) {
+  BAGCPD_RETURN_NOT_OK(ValidateDetectorOptions(options));
+  return std::make_unique<BagStreamDetector>(options);
+}
 
 BagStreamDetector::BagStreamDetector(const DetectorOptions& options)
     : options_(options),
-      init_status_(ValidateOptions(options)),
+      init_status_(ValidateDetectorOptions(options)),
       builder_(options.signature),
       rng_(options.seed),
       ground_(MakeGroundDistance(options_.ground)) {

@@ -12,10 +12,13 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bagcpd/common/buffer_arena.h"
+#include "bagcpd/common/macros.h"
 #include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
@@ -42,6 +45,12 @@ enum class WeightScheme {
 /// \brief Short lowercase name ("uniform" / "discounted").
 const char* WeightSchemeName(WeightScheme scheme);
 
+/// \brief Every weight scheme, in declaration order (api/ registry table).
+const std::vector<WeightScheme>& AllWeightSchemes();
+
+/// \brief Inverse of WeightSchemeName; rejects unknown names.
+Result<WeightScheme> ParseWeightScheme(const std::string& name);
+
 /// \brief Full configuration of the detector.
 struct DetectorOptions {
   /// Reference window length tau (>= 2).
@@ -59,6 +68,11 @@ struct DetectorOptions {
   InfoEstimatorOptions info;
   std::uint64_t seed = 0;
 };
+
+/// \brief Checks that `options` form a coherent detector configuration; this
+/// is exactly the condition BagStreamDetector::Create succeeds under (and
+/// what the legacy constructor surfaces through init_status()).
+Status ValidateDetectorOptions(const DetectorOptions& options);
 
 /// \brief Per-inspection-point output.
 struct StepResult {
@@ -80,9 +94,23 @@ struct StepResult {
 /// \brief Online detector over a stream of bags.
 class BagStreamDetector {
  public:
-  /// Validates `options`; check `init_status()` before use (construction
-  /// itself never fails hard).
+  /// \brief Validating factory: fails with the exact ValidateDetectorOptions
+  /// status on incoherent options, otherwise returns a ready-to-use detector
+  /// (init_status() is OK by construction). This is the preferred entry
+  /// point; see also api/spec.h for DetectorSpec::Create().
+  static Result<std::unique_ptr<BagStreamDetector>> Create(
+      const DetectorOptions& options);
+
+  /// Legacy constructor kept as a migration shim: construction never fails
+  /// hard, so callers must check `init_status()` before use. Prefer Create().
+  BAGCPD_DEPRECATED("use BagStreamDetector::Create(options)")
   explicit BagStreamDetector(const DetectorOptions& options);
+
+  // The EMD memo table is wired to this object's window storage, so a moved
+  // detector would leave the memo reading the husk; Create() hands out a
+  // unique_ptr instead.
+  BagStreamDetector(BagStreamDetector&&) = delete;
+  BagStreamDetector& operator=(BagStreamDetector&&) = delete;
 
   /// \brief OK iff the options were coherent.
   const Status& init_status() const { return init_status_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "bagcpd/common/check.h"
+#include "bagcpd/common/enum_names.h"
 
 namespace bagcpd {
 
@@ -14,6 +15,18 @@ const char* ScoreTypeName(ScoreType type) {
       return "kl";
   }
   return "unknown";
+}
+
+const std::vector<ScoreType>& AllScoreTypes() {
+  static const std::vector<ScoreType> kAll = {ScoreType::kLogLikelihoodRatio,
+                                              ScoreType::kSymmetrizedKl};
+  return kAll;
+}
+
+Result<ScoreType> ParseScoreType(const std::string& name) {
+  if (name == "llr") return ScoreType::kLogLikelihoodRatio;
+  if (name == "skl") return ScoreType::kSymmetrizedKl;
+  return ParseNamedEnum(name, AllScoreTypes(), ScoreTypeName, "score type");
 }
 
 Status ScoreContext::Validate() const {

@@ -6,6 +6,7 @@
 #ifndef BAGCPD_CORE_SCORES_H_
 #define BAGCPD_CORE_SCORES_H_
 
+#include <string>
 #include <vector>
 
 #include "bagcpd/common/matrix.h"
@@ -25,6 +26,13 @@ enum class ScoreType {
 
 /// \brief Short lowercase name ("lr" / "kl").
 const char* ScoreTypeName(ScoreType type);
+
+/// \brief Every score type, in declaration order (api/ registry name table).
+const std::vector<ScoreType>& AllScoreTypes();
+
+/// \brief Inverse of ScoreTypeName. Accepts the aliases "llr" (kLogLikelihoodRatio)
+/// and "skl" (kSymmetrizedKl); rejects unknown names.
+Result<ScoreType> ParseScoreType(const std::string& name);
 
 /// \brief Precomputed log-EMD tables for one inspection point t.
 ///

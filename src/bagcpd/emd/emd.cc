@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <mutex>
 
 #include "bagcpd/common/check.h"
 #include "bagcpd/emd/emd_1d.h"
 #include "bagcpd/emd/min_cost_flow.h"
+#include "bagcpd/runtime/thread_pool.h"
 
 namespace bagcpd {
 
@@ -132,6 +134,55 @@ Result<Matrix> PairwiseEmdMatrix(const SignatureSet& signatures,
                                  GroundDistance ground) {
   return PairwiseEmdImpl([&](std::size_t i) { return signatures.view(i); },
                          signatures.size(), ground);
+}
+
+Result<Matrix> PairwiseEmdMatrix(const SignatureSet& signatures,
+                                 GroundDistance ground, ThreadPool* pool) {
+  if (pool == nullptr) return PairwiseEmdMatrix(signatures, ground);
+  const std::size_t n = signatures.size();
+  if (n == 0) return Status::Invalid("no signatures");
+  const GroundDistanceFn fn = MakeGroundDistance(ground);
+  // ParallelFor over the flat index of the strict upper triangle so the
+  // static chunking splits the actual workload; each worker recovers its
+  // (i, j) arithmetically and writes its two (distinct) matrix cells
+  // directly — no O(n^2) pair/status side tables next to the O(n^2) output.
+  // Every pair's EMD depends only on its two signatures, so the matrix
+  // matches the serial overload bit for bit for any pool size.
+  const std::size_t total = n * (n - 1) / 2;
+  Matrix m(n, n, 0.0);
+  // Flat index of pair (i, i + 1), i.e. pairs with first index < i.
+  auto start_of = [n](std::size_t i) {
+    return i * (n - 1) - (i * (i - 1)) / 2;
+  };
+  std::mutex error_mu;
+  std::size_t first_error_p = total;  // total == "no error".
+  Status first_error;
+  pool->ParallelFor(0, total, [&](std::size_t p) {
+    // Largest i with start_of(i) <= p: solve the quadratic, then nudge for
+    // floating-point error (the loops move at most a step or two).
+    const double root = (n - 0.5) - std::sqrt((n - 0.5) * (n - 0.5) -
+                                              2.0 * static_cast<double>(p));
+    std::size_t i = static_cast<std::size_t>(
+        std::max(0.0, std::min(static_cast<double>(n - 2), root)));
+    while (i > 0 && start_of(i) > p) --i;
+    while (i < n - 2 && start_of(i + 1) <= p) ++i;
+    const std::size_t j = i + 1 + (p - start_of(i));
+    Result<double> d = ComputeEmd(signatures.view(i), signatures.view(j), fn);
+    if (d.ok()) {
+      m(i, j) = d.ValueOrDie();
+      m(j, i) = d.ValueOrDie();
+    } else {
+      // Deterministically surface the error the serial loop would hit first
+      // (the smallest flat index), independent of thread timing.
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (p < first_error_p) {
+        first_error_p = p;
+        first_error = d.status();
+      }
+    }
+  });
+  BAGCPD_RETURN_NOT_OK(first_error);
+  return m;
 }
 
 Result<Matrix> PairwiseEmdMatrix(const std::vector<Signature>& signatures,

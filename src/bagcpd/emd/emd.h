@@ -23,6 +23,8 @@
 
 namespace bagcpd {
 
+class ThreadPool;
+
 /// \brief Detailed EMD output including the optimal flow.
 struct EmdSolution {
   /// The Earth Mover's Distance (Eq. 12): cost / moved mass.
@@ -54,6 +56,15 @@ Result<double> ComputeEmd(SignatureView a, SignatureView b,
 /// (used by the Fig. 6 EMD heat maps and MDS embeddings).
 Result<Matrix> PairwiseEmdMatrix(const SignatureSet& signatures,
                                  GroundDistance ground = GroundDistance::kEuclidean);
+
+/// \brief Parallel variant: solves the C(n, 2) transportation problems over
+/// `pool` (ParallelFor with deterministic chunking — the chunk split is a
+/// pure function of the pair count and pool size). Each EMD depends only on
+/// its two signatures, so the matrix is bitwise-identical to the serial
+/// overload for any pool size; `pool == nullptr` falls back to the serial
+/// path outright.
+Result<Matrix> PairwiseEmdMatrix(const SignatureSet& signatures,
+                                 GroundDistance ground, ThreadPool* pool);
 
 /// \brief AoS compatibility shim; identical output to the SignatureSet form.
 Result<Matrix> PairwiseEmdMatrix(const std::vector<Signature>& signatures,

@@ -1,5 +1,7 @@
 #include "bagcpd/emd/ground_distance.h"
 
+#include "bagcpd/common/enum_names.h"
+
 namespace bagcpd {
 
 GroundDistanceFn MakeGroundDistance(GroundDistance kind) {
@@ -24,6 +26,20 @@ const char* GroundDistanceName(GroundDistance kind) {
       return "manhattan";
   }
   return "unknown";
+}
+
+const std::vector<GroundDistance>& AllGroundDistances() {
+  static const std::vector<GroundDistance> kAll = {
+      GroundDistance::kEuclidean, GroundDistance::kSquaredEuclidean,
+      GroundDistance::kManhattan};
+  return kAll;
+}
+
+Result<GroundDistance> ParseGroundDistance(const std::string& name) {
+  if (name == "l2") return GroundDistance::kEuclidean;
+  if (name == "l1") return GroundDistance::kManhattan;
+  return ParseNamedEnum(name, AllGroundDistances(), GroundDistanceName,
+                        "ground distance");
 }
 
 }  // namespace bagcpd

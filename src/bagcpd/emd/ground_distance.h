@@ -5,8 +5,11 @@
 #define BAGCPD_EMD_GROUND_DISTANCE_H_
 
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
 
 namespace bagcpd {
 
@@ -30,6 +33,16 @@ GroundDistanceFn MakeGroundDistance(GroundDistance kind);
 
 /// \brief Short lowercase name ("euclidean", ...).
 const char* GroundDistanceName(GroundDistance kind);
+
+/// \brief Every built-in ground distance, in declaration order. Together with
+/// GroundDistanceName/ParseGroundDistance this forms the stable name table the
+/// api/ registry exposes.
+const std::vector<GroundDistance>& AllGroundDistances();
+
+/// \brief Inverse of GroundDistanceName. Accepts the alias "l2" for
+/// kEuclidean and "l1" for kManhattan; rejects unknown names with a message
+/// listing the known ones.
+Result<GroundDistance> ParseGroundDistance(const std::string& name);
 
 }  // namespace bagcpd
 

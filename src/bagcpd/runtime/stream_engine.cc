@@ -14,7 +14,9 @@ namespace {
 // from scratch by the lazy per-task check, so results are unaffected.
 constexpr std::uint64_t kIdleSweepPeriod = 512;
 
-Status ValidateEngineOptions(const StreamEngineOptions& options) {
+}  // namespace
+
+Status ValidateStreamEngineOptions(const StreamEngineOptions& options) {
   if (options.shard_queue_capacity < 1) {
     return Status::Invalid("shard_queue_capacity must be >= 1");
   }
@@ -23,14 +25,26 @@ Status ValidateEngineOptions(const StreamEngineOptions& options) {
   BAGCPD_RETURN_NOT_OK(ValidateBufferArenaOptions(options.arena));
   // Fail fast on a detector misconfiguration instead of quarantining every
   // stream on first push.
-  BagStreamDetector probe(options.detector);
-  return probe.init_status();
+  BAGCPD_RETURN_NOT_OK(ValidateDetectorOptions(options.detector));
+  // Historically a nonzero detector.seed was silently ignored (per-stream
+  // seeds derive from the engine seed); reject it so the footgun is loud.
+  if (options.detector.seed != 0) {
+    return Status::Invalid(
+        "StreamEngineOptions.detector.seed must be 0: per-stream seeds derive "
+        "from StreamEngineOptions.seed and the stream key (set the engine "
+        "seed instead)");
+  }
+  return Status::OK();
 }
 
-}  // namespace
+Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
+    const StreamEngineOptions& options) {
+  BAGCPD_RETURN_NOT_OK(ValidateStreamEngineOptions(options));
+  return std::make_unique<StreamEngine>(options);
+}
 
 StreamEngine::StreamEngine(const StreamEngineOptions& options)
-    : options_(options), init_status_(ValidateEngineOptions(options)) {
+    : options_(options), init_status_(ValidateStreamEngineOptions(options)) {
   if (!init_status_.ok()) return;
   std::size_t n = options_.num_shards;
   if (n == 0) {
@@ -51,8 +65,61 @@ StreamEngine::StreamEngine(const StreamEngineOptions& options)
 
 StreamEngine::~StreamEngine() { Shutdown(); }
 
-void StreamEngine::set_callback(ResultCallback callback) {
+Status StreamEngine::RegisterProfile(const std::string& name,
+                                     const DetectorOptions& profile) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  if (name.empty() || name == kDefaultProfileName) {
+    return Status::Invalid(
+        "profile name '" + name +
+        "' is reserved (the default profile is StreamEngineOptions.detector)");
+  }
+  if (submit_seq_.load() > 0) {
+    return Status::Invalid(
+        "RegisterProfile must be called before the first Submit");
+  }
+  if (profiles_.count(name) > 0) {
+    return Status::Invalid("profile '" + name + "' is already registered");
+  }
+  BAGCPD_RETURN_NOT_OK(ValidateDetectorOptions(profile));
+  if (profile.seed != 0) {
+    return Status::Invalid(
+        "profile '" + name +
+        "' has a nonzero detector seed: per-stream seeds derive from the "
+        "engine seed, the stream key, and the profile name");
+  }
+  profiles_.emplace(name, profile);
+  return Status::OK();
+}
+
+Status StreamEngine::set_event_sink(EventSink sink) {
+  // Both documented preconditions are enforced: installing after traffic has
+  // started would race shard workers reading sink_ in EmitEvent, and a sink
+  // next to a legacy callback would silently starve one of them.
+  if (submit_seq_.load() > 0) {
+    return Status::Invalid(
+        "set_event_sink must be called before the first Submit");
+  }
+  if (callback_) {
+    return Status::Invalid(
+        "set_event_sink on an engine with a legacy callback installed; use "
+        "one delivery mechanism");
+  }
+  sink_ = std::move(sink);
+  return Status::OK();
+}
+
+Status StreamEngine::set_callback(ResultCallback callback) {
+  if (submit_seq_.load() > 0) {
+    return Status::Invalid(
+        "set_callback must be called before the first Submit");
+  }
+  if (sink_) {
+    return Status::Invalid(
+        "set_callback on an engine with an event sink installed; use one "
+        "delivery mechanism");
+  }
   callback_ = std::move(callback);
+  return Status::OK();
 }
 
 std::size_t StreamEngine::ShardOf(const std::string& stream_id) const {
@@ -62,8 +129,44 @@ std::size_t StreamEngine::ShardOf(const std::string& stream_id) const {
          shards_.size();
 }
 
-Status StreamEngine::Submit(const std::string& stream_id, const Bag& bag) {
+Result<std::string> StreamEngine::ResolveProfile(
+    const std::string& profile) const {
+  if (profile.empty() || profile == kDefaultProfileName) {
+    return std::string(kDefaultProfileName);
+  }
+  if (profiles_.count(profile) == 0) {
+    return Status::Invalid("unknown detector profile '" + profile +
+                           "' (register it before the first Submit)");
+  }
+  return profile;
+}
+
+const DetectorOptions& StreamEngine::ProfileOptions(
+    const std::string& profile) const {
+  if (profile == kDefaultProfileName) return options_.detector;
+  auto it = profiles_.find(profile);
+  BAGCPD_CHECK_MSG(it != profiles_.end(), "unresolved profile '%s'",
+                   profile.c_str());
+  return it->second;
+}
+
+std::uint64_t StreamEngine::DeriveStreamSeed(const std::string& stream_id,
+                                             const std::string& profile) const {
+  // Seeded by (engine seed, key, profile) only — never by shard index or
+  // count — so a stream's entire output is reproducible under resharding and
+  // a restarted stream behaves exactly like a fresh one. The default profile
+  // keeps the historical (engine seed, key) derivation bit for bit.
+  std::uint64_t base = options_.seed ^ Rng::StableHash64(stream_id);
+  if (profile != kDefaultProfileName) {
+    base ^= Rng::MixSeed64(Rng::StableHash64(profile));
+  }
+  return Rng::MixSeed64(base);
+}
+
+Status StreamEngine::Submit(const std::string& stream_id, const Bag& bag,
+                            const std::string& profile) {
   BAGCPD_RETURN_NOT_OK(init_status_);
+  BAGCPD_ASSIGN_OR_RETURN(std::string canonical, ResolveProfile(profile));
   // Flatten exactly once at the ingest boundary, into a buffer recycled
   // through the target shard's arena (released on the shard thread when the
   // task dies — the cross-thread pattern the arena supports). A ragged bag
@@ -71,27 +174,36 @@ Status StreamEngine::Submit(const std::string& stream_id, const Bag& bag) {
   // the detector-failure path.
   const std::size_t shard_index = ShardOf(stream_id);
   Result<FlatBag> flat = FlatBag::FromBag(bag, arenas_[shard_index].get());
-  return SubmitImpl(stream_id, shard_index, &flat, /*blocking=*/true);
+  return SubmitImpl(stream_id, canonical, shard_index, &flat,
+                    /*blocking=*/true);
 }
 
-Status StreamEngine::Submit(const std::string& stream_id, FlatBag bag) {
+Status StreamEngine::Submit(const std::string& stream_id, FlatBag bag,
+                            const std::string& profile) {
   BAGCPD_RETURN_NOT_OK(init_status_);
+  BAGCPD_ASSIGN_OR_RETURN(std::string canonical, ResolveProfile(profile));
   Result<FlatBag> flat(std::move(bag));
-  return SubmitImpl(stream_id, ShardOf(stream_id), &flat, /*blocking=*/true);
+  return SubmitImpl(stream_id, canonical, ShardOf(stream_id), &flat,
+                    /*blocking=*/true);
 }
 
-Status StreamEngine::TrySubmit(const std::string& stream_id, const Bag& bag) {
+Status StreamEngine::TrySubmit(const std::string& stream_id, const Bag& bag,
+                               const std::string& profile) {
   BAGCPD_RETURN_NOT_OK(init_status_);
+  BAGCPD_ASSIGN_OR_RETURN(std::string canonical, ResolveProfile(profile));
   const std::size_t shard_index = ShardOf(stream_id);
   Result<FlatBag> flat = FlatBag::FromBag(bag, arenas_[shard_index].get());
-  return SubmitImpl(stream_id, shard_index, &flat, /*blocking=*/false);
+  return SubmitImpl(stream_id, canonical, shard_index, &flat,
+                    /*blocking=*/false);
 }
 
-Status StreamEngine::TrySubmit(const std::string& stream_id, FlatBag&& bag) {
+Status StreamEngine::TrySubmit(const std::string& stream_id, FlatBag&& bag,
+                               const std::string& profile) {
   BAGCPD_RETURN_NOT_OK(init_status_);
+  BAGCPD_ASSIGN_OR_RETURN(std::string canonical, ResolveProfile(profile));
   Result<FlatBag> flat(std::move(bag));
-  const Status status =
-      SubmitImpl(stream_id, ShardOf(stream_id), &flat, /*blocking=*/false);
+  const Status status = SubmitImpl(stream_id, canonical, ShardOf(stream_id),
+                                   &flat, /*blocking=*/false);
   // Hand the payload back on a transient rejection so callers can retry
   // without re-flattening.
   if (status.IsUnavailable()) bag = flat.MoveValueUnsafe();
@@ -99,6 +211,7 @@ Status StreamEngine::TrySubmit(const std::string& stream_id, FlatBag&& bag) {
 }
 
 Status StreamEngine::SubmitImpl(const std::string& stream_id,
+                                const std::string& profile,
                                 std::size_t shard_index, Result<FlatBag>* bag,
                                 bool blocking) {
   if (stop_.load()) {
@@ -122,7 +235,7 @@ Status StreamEngine::SubmitImpl(const std::string& stream_id,
     // The sequence number is taken only once queue space is secured, so a
     // rejected TrySubmit never advances the idle clock.
     const std::uint64_t seq = submit_seq_.fetch_add(1) + 1;
-    shard.queue.push_back(Task{stream_id, std::move(*bag), seq});
+    shard.queue.push_back(Task{stream_id, profile, std::move(*bag), seq});
   }
   shard.not_empty.notify_one();
   return Status::OK();
@@ -157,6 +270,48 @@ void StreamEngine::WorkerLoop(std::size_t shard_index) {
   }
 }
 
+void StreamEngine::EmitEvent(EngineEvent event) {
+  if (event.kind == EngineEvent::Kind::kStep) results_emitted_.fetch_add(1);
+  if (sink_) {
+    sink_(event);
+    return;
+  }
+  if (event.kind == EngineEvent::Kind::kStep && callback_) {
+    callback_(StreamStepResult{event.stream_id, event.step});
+    return;
+  }
+  // The legacy contract queues errors even in callback mode (DrainErrors is
+  // how failures surface there); steps and evictions honor collect_results.
+  if (event.kind != EngineEvent::Kind::kError &&
+      (callback_ || !options_.collect_results)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(events_mu_);
+  events_.push_back(std::move(event));
+}
+
+void StreamEngine::QuarantineStream(Shard& shard, const std::string& stream_id,
+                                    const std::string& profile,
+                                    std::uint64_t seq, const Status& error) {
+  shard.quarantined.emplace(stream_id, error);
+  auto existing = shard.detectors.find(stream_id);
+  if (existing != shard.detectors.end()) {
+    shard.detectors.erase(existing);
+    live_streams_.fetch_sub(1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(events_mu_);
+    quarantined_keys_.insert(stream_id);
+  }
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kError;
+  event.stream_id = stream_id;
+  event.profile = profile;
+  event.sequence = seq;
+  event.error = error;
+  EmitEvent(std::move(event));
+}
+
 void StreamEngine::SweepIdle(Shard& shard, std::uint64_t now_seq) {
   // Reclaims detectors idle past the threshold. Any stream erased here would
   // also be restarted by the lazy check on its next bag (its gap can only
@@ -165,9 +320,15 @@ void StreamEngine::SweepIdle(Shard& shard, std::uint64_t now_seq) {
   for (auto it = shard.detectors.begin(); it != shard.detectors.end();) {
     if (now_seq > it->second.last_seq &&
         now_seq - it->second.last_seq > max_idle) {
+      EngineEvent event;
+      event.kind = EngineEvent::Kind::kEviction;
+      event.stream_id = it->first;
+      event.profile = it->second.profile;
+      event.sequence = now_seq;
       it = shard.detectors.erase(it);
       evicted_.fetch_add(1);
       live_streams_.fetch_sub(1);
+      EmitEvent(std::move(event));
     } else {
       ++it;
     }
@@ -184,15 +345,8 @@ void StreamEngine::Process(Shard& shard, Task task) {
     // Flattening failed at the ingest boundary: quarantine exactly like a
     // detector failure so later bags of this key are dropped, not processed
     // out of order, and any detector built by earlier good bags is freed.
-    auto existing = shard.detectors.find(task.stream_id);
-    if (existing != shard.detectors.end()) {
-      shard.detectors.erase(existing);
-      live_streams_.fetch_sub(1);
-    }
-    shard.quarantined.emplace(task.stream_id, task.bag.status());
-    std::lock_guard<std::mutex> lock(errors_mu_);
-    errors_.emplace_back(task.stream_id, task.bag.status());
-    quarantined_keys_.insert(task.stream_id);
+    QuarantineStream(shard, task.stream_id, task.profile, task.seq,
+                     task.bag.status());
     return;
   }
   auto it = shard.detectors.find(task.stream_id);
@@ -201,20 +355,37 @@ void StreamEngine::Process(Shard& shard, Task task) {
     // The key sat idle past the threshold: restart it from scratch. The
     // decision depends only on the global submission sequence, so it is
     // identical for any shard count.
+    EngineEvent event;
+    event.kind = EngineEvent::Kind::kEviction;
+    event.stream_id = task.stream_id;
+    event.profile = it->second.profile;
+    event.sequence = task.seq;
     shard.detectors.erase(it);
     it = shard.detectors.end();
     evicted_.fetch_add(1);
     live_streams_.fetch_sub(1);
+    EmitEvent(std::move(event));
+  }
+  if (it != shard.detectors.end() && it->second.profile != task.profile) {
+    // A key is bound to one profile for its whole (un-evicted) life; a
+    // conflicting submission is a caller bug, surfaced like any other
+    // stream failure. Depends only on submission order, so the outcome is
+    // shard-count deterministic. The event carries the BOUND profile (the
+    // EngineEvent.profile contract); the message names both.
+    QuarantineStream(shard, task.stream_id, it->second.profile, task.seq,
+                     Status::Invalid("stream '" + task.stream_id +
+                                     "' is bound to profile '" +
+                                     it->second.profile +
+                                     "' but was submitted with profile '" +
+                                     task.profile + "'"));
+    return;
   }
   if (it == shard.detectors.end()) {
-    DetectorOptions per_stream = options_.detector;
-    // Seeded by (engine seed, key) only — never by shard index or count — so
-    // a stream's entire output is reproducible under resharding, and a
-    // restarted stream behaves exactly like a fresh one.
-    per_stream.seed =
-        Rng::MixSeed64(options_.seed ^ Rng::StableHash64(task.stream_id));
+    DetectorOptions per_stream = ProfileOptions(task.profile);
+    per_stream.seed = DeriveStreamSeed(task.stream_id, task.profile);
     StreamState state;
     state.detector = std::make_unique<BagStreamDetector>(per_stream);
+    state.profile = task.profile;
     // Signature builds for this stream recycle buffers through the shard's
     // pool; the arena outlives every detector (member declaration order).
     state.detector->set_buffer_arena(shard.arena);
@@ -226,23 +397,18 @@ void StreamEngine::Process(Shard& shard, Task task) {
   Result<std::optional<StepResult>> step =
       it->second.detector->Push(task.bag.ValueOrDie().view());
   if (!step.ok()) {
-    shard.quarantined.emplace(task.stream_id, step.status());
-    shard.detectors.erase(it);
-    live_streams_.fetch_sub(1);
-    std::lock_guard<std::mutex> lock(errors_mu_);
-    errors_.emplace_back(task.stream_id, step.status());
-    quarantined_keys_.insert(task.stream_id);
+    QuarantineStream(shard, task.stream_id, task.profile, task.seq,
+                     step.status());
     return;
   }
   if (!step.ValueOrDie().has_value()) return;
-  StreamStepResult result{task.stream_id, *step.ValueOrDie()};
-  results_emitted_.fetch_add(1);
-  if (callback_) {
-    callback_(result);
-  } else if (options_.collect_results) {
-    std::lock_guard<std::mutex> lock(results_mu_);
-    results_.push_back(std::move(result));
-  }
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kStep;
+  event.stream_id = task.stream_id;
+  event.profile = task.profile;
+  event.sequence = task.seq;
+  event.step = *step.ValueOrDie();
+  EmitEvent(std::move(event));
 }
 
 void StreamEngine::Flush() {
@@ -253,35 +419,65 @@ void StreamEngine::Flush() {
   }
 }
 
+std::vector<EngineEvent> StreamEngine::DrainEvents() {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  std::vector<EngineEvent> out;
+  out.swap(events_);
+  return out;
+}
+
 std::vector<StreamStepResult> StreamEngine::Drain() {
-  std::lock_guard<std::mutex> lock(results_mu_);
+  std::lock_guard<std::mutex> lock(events_mu_);
   std::vector<StreamStepResult> out;
-  out.swap(results_);
+  std::vector<EngineEvent> keep;
+  keep.reserve(events_.size());
+  for (EngineEvent& event : events_) {
+    if (event.kind == EngineEvent::Kind::kStep) {
+      out.push_back(StreamStepResult{std::move(event.stream_id), event.step});
+    } else if (event.kind == EngineEvent::Kind::kError) {
+      keep.push_back(std::move(event));
+    }
+    // kEviction events are discarded: the legacy drains predate them, so a
+    // caller polling only Drain()/DrainErrors() must not accumulate them
+    // forever (evicted_count() still tracks the total).
+  }
+  events_.swap(keep);
   return out;
 }
 
 std::vector<std::pair<std::string, Status>> StreamEngine::DrainErrors() {
-  std::lock_guard<std::mutex> lock(errors_mu_);
+  std::lock_guard<std::mutex> lock(events_mu_);
   std::vector<std::pair<std::string, Status>> out;
-  out.swap(errors_);
+  std::vector<EngineEvent> keep;
+  keep.reserve(events_.size());
+  for (EngineEvent& event : events_) {
+    if (event.kind == EngineEvent::Kind::kError) {
+      out.emplace_back(std::move(event.stream_id), event.error);
+    } else if (event.kind == EngineEvent::Kind::kStep) {
+      keep.push_back(std::move(event));
+    }
+    // kEviction discarded; see Drain().
+  }
+  events_.swap(keep);
   return out;
 }
 
 Result<std::map<std::string, std::vector<StepResult>>> StreamEngine::RunBatch(
-    const std::map<std::string, BagSequence>& streams) {
+    const std::map<std::string, BagSequence>& streams,
+    const std::string& profile) {
   BAGCPD_RETURN_NOT_OK(init_status_);
-  if (callback_ || !options_.collect_results) {
+  if (sink_ || callback_ || !options_.collect_results) {
     return Status::Invalid(
-        "RunBatch needs collect_results = true and no callback");
+        "RunBatch needs collect_results = true and no sink or callback");
   }
+  BAGCPD_ASSIGN_OR_RETURN(std::string canonical, ResolveProfile(profile));
   // Isolate this batch from any earlier online traffic still in the queues.
   Flush();
-  Drain();
-  DrainErrors();
+  DrainEvents();
   // A key quarantined by earlier traffic would have its batch bags silently
   // dropped; refuse up front instead.
   {
-    std::lock_guard<std::mutex> lock(errors_mu_);
+    std::lock_guard<std::mutex> lock(events_mu_);
     for (const auto& [key, bags] : streams) {
       if (quarantined_keys_.count(key) > 0) {
         return Status::Invalid("stream '" + key +
@@ -298,7 +494,7 @@ Result<std::map<std::string, std::vector<StepResult>>> StreamEngine::RunBatch(
   for (std::size_t t = 0; t < max_len; ++t) {
     for (const auto& [key, bags] : streams) {
       if (t < bags.size()) {
-        BAGCPD_RETURN_NOT_OK(Submit(key, bags[t]));
+        BAGCPD_RETURN_NOT_OK(Submit(key, bags[t], canonical));
       }
     }
   }

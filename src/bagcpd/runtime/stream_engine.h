@@ -4,17 +4,28 @@
 // single thread against that stream's own BagStreamDetector — no locking on
 // the hot path, bounded per-shard queues for backpressure, and per-stream
 // results that are bitwise-independent of the shard count (each detector is
-// seeded from the engine seed and a platform-stable hash of its key only).
+// seeded from the engine seed, a platform-stable hash of its key, and — for
+// non-default profiles — the profile name, never from shard placement).
+//
+// Heterogeneous streams: the engine carries a set of *named detector
+// profiles* (RegisterProfile). Each stream key binds to one profile on first
+// sight — Submit(key, bag, "profile") — so one engine can run, say,
+// KL-scored activity streams next to Pearson/LR-scored network streams
+// without spinning up a second runtime.
 //
 // Ingestion is zero-copy past the boundary: nested bags are flattened into a
 // FlatBag exactly once at Submit/TrySubmit and then *moved* — never copied —
 // through the shard queue to the detector, which consumes a BagView.
 //
+// Observability is one typed stream: every step result, stream error, and
+// idle eviction is an EngineEvent delivered either to a caller-installed
+// sink (set_event_sink) or into a drainable queue (DrainEvents). The legacy
+// set_callback/Drain/DrainErrors trio is kept as shims over the same events.
+//
 // This is the serving layer the ROADMAP's "millions of streams" target grows
-// on: Submit() for online pushes (callback or drainable result queue),
-// TrySubmit() for non-blocking ingest, RunBatch() for offline sweeps over a
-// keyed corpus, and optional idle-stream eviction so mostly-idle keys do not
-// pin detector memory forever.
+// on: Submit() for online pushes, TrySubmit() for non-blocking ingest,
+// RunBatch() for offline sweeps over a keyed corpus, and optional
+// idle-stream eviction so mostly-idle keys do not pin detector memory.
 
 #ifndef BAGCPD_RUNTIME_STREAM_ENGINE_H_
 #define BAGCPD_RUNTIME_STREAM_ENGINE_H_
@@ -36,11 +47,17 @@
 
 #include "bagcpd/common/buffer_arena.h"
 #include "bagcpd/common/flat_bag.h"
+#include "bagcpd/common/macros.h"
 #include "bagcpd/common/point.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/core/detector.h"
 
 namespace bagcpd {
+
+/// \brief Name of the implicit profile backing StreamEngineOptions::detector;
+/// Submit() with no profile argument routes here. The name is reserved:
+/// RegisterProfile rejects it.
+inline constexpr const char kDefaultProfileName[] = "default";
 
 /// \brief Configuration of a StreamEngine.
 struct StreamEngineOptions {
@@ -51,16 +68,20 @@ struct StreamEngineOptions {
   /// while the target shard is full, TrySubmit returns Unavailable. Must be
   /// >= 1.
   std::size_t shard_queue_capacity = 1024;
-  /// Detector configuration shared by every stream. The per-stream seed is
-  /// derived as Mix(seed, StableHash64(stream_id)), so `detector.seed` itself
-  /// is ignored in favor of the engine seed below.
+  /// The "default" detector profile, used by every stream submitted without
+  /// an explicit profile name. Additional profiles are registered on the
+  /// engine (RegisterProfile). `detector.seed` MUST be 0: per-stream seeds
+  /// derive from the engine `seed` below plus the key (and profile), and a
+  /// nonzero value here used to be silently ignored — engine creation now
+  /// rejects it so the footgun is loud.
   DetectorOptions detector;
-  /// Engine seed; combined with each stream key to seed that stream's
-  /// detector deterministically (independent of num_shards).
+  /// Engine seed; combined with each stream key (and, for non-default
+  /// profiles, the profile name) to seed that stream's detector
+  /// deterministically (independent of num_shards).
   std::uint64_t seed = 0;
-  /// When true (and no callback is set) step results accumulate in an
-  /// internal queue read via Drain(). Disable for fire-and-forget callers
-  /// that only watch the counters.
+  /// When true (and no sink or callback is set) events accumulate in an
+  /// internal queue read via DrainEvents()/Drain(). Disable for
+  /// fire-and-forget callers that only watch the counters.
   bool collect_results = true;
   /// When > 0, a stream key is evicted once strictly more than this many
   /// engine-wide submissions (of any key) have been enqueued since the key's
@@ -71,8 +92,9 @@ struct StreamEngineOptions {
   /// receives another bag, the evict-or-continue decision (and therefore
   /// every result) is independent of the shard count. Keys that never
   /// return are reclaimed by a periodic per-shard sweep whose timing does
-  /// depend on sharding, so evicted_count()/live_stream_count() may differ
-  /// across shard counts even though results never do.
+  /// depend on sharding, so evicted_count()/live_stream_count() — and the
+  /// timing of kEviction events — may differ across shard counts even though
+  /// results never do.
   /// 0 disables eviction (streams live forever).
   std::uint64_t max_idle_submissions = 0;
   /// Per-shard buffer-arena tuning. Each shard owns one BufferArena; ingest
@@ -82,23 +104,68 @@ struct StreamEngineOptions {
   BufferArenaOptions arena;
 };
 
+/// \brief Checks that `options` form a coherent engine configuration; this is
+/// exactly the condition StreamEngine::Create succeeds under (and what the
+/// legacy constructor surfaces through init_status()).
+Status ValidateStreamEngineOptions(const StreamEngineOptions& options);
+
 /// \brief One detector step result tagged with the stream that produced it.
 struct StreamStepResult {
   std::string stream_id;
   StepResult step;
 };
 
+/// \brief One observable engine occurrence: a detector step result, an
+/// idle-stream eviction, or a stream failure. The single event type replaces
+/// the historical callback-for-results / DrainErrors-for-failures split.
+struct EngineEvent {
+  enum class Kind {
+    /// `step` holds the detector output for `stream_id`.
+    kStep,
+    /// `stream_id` sat idle past max_idle_submissions and its detector was
+    /// destroyed; a later bag restarts it from scratch.
+    kEviction,
+    /// `error` holds the failure that quarantined `stream_id` (ragged bag,
+    /// detector failure, or a profile conflict). Later bags are dropped.
+    kError,
+  };
+  Kind kind = Kind::kStep;
+  std::string stream_id;
+  /// Profile the stream is (was) bound to; kDefaultProfileName when none was
+  /// named at submission.
+  std::string profile;
+  /// Global submission sequence number of the bag that triggered the event
+  /// (for kEviction by sweep: the sequence the sweep observed).
+  std::uint64_t sequence = 0;
+  StepResult step;
+  Status error;
+};
+
 /// \brief Concurrent multi-stream change-point detection runtime.
 ///
-/// Thread-safety: Submit/TrySubmit/Flush/Drain/DrainErrors may be called from
-/// any thread (typically one producer). The result callback runs on shard
-/// worker threads and must be thread-safe if it touches shared state.
+/// Thread-safety: Submit/TrySubmit/Flush/Drain*/DrainEvents may be called
+/// from any thread (typically one producer). RegisterProfile, set_event_sink
+/// and set_callback must happen before the first Submit. The event sink runs
+/// on shard worker threads and must be thread-safe if it touches shared
+/// state.
 class StreamEngine {
  public:
-  /// Called on a shard thread for every step result when set; replaces the
-  /// internal result queue.
+  /// Receives every EngineEvent on a shard thread when installed; replaces
+  /// the internal event queue entirely.
+  using EventSink = std::function<void(const EngineEvent&)>;
+  /// Legacy step-results-only callback (shim over EventSink).
   using ResultCallback = std::function<void(const StreamStepResult&)>;
 
+  /// \brief Validating factory: fails with the exact
+  /// ValidateStreamEngineOptions status on incoherent options, otherwise
+  /// returns a running engine (init_status() is OK by construction). This is
+  /// the preferred entry point; see also api/spec.h for EngineSpec::Create().
+  static Result<std::unique_ptr<StreamEngine>> Create(
+      const StreamEngineOptions& options);
+
+  /// Legacy constructor kept as a migration shim: construction never fails
+  /// hard, so callers must check `init_status()` before use. Prefer Create().
+  BAGCPD_DEPRECATED("use StreamEngine::Create(options)")
   explicit StreamEngine(const StreamEngineOptions& options);
 
   /// Shuts down (draining all queued work) and joins the shard workers.
@@ -110,51 +177,89 @@ class StreamEngine {
   /// \brief OK iff the options were coherent.
   const Status& init_status() const { return init_status_; }
 
-  /// \brief Installs the result callback. Must be called before the first
-  /// Submit; not thread-safe against concurrent Submit.
-  void set_callback(ResultCallback callback);
+  /// \brief Registers a named detector profile so streams can be routed to
+  /// it via Submit(key, bag, name). Must be called before the first Submit
+  /// (not thread-safe against concurrent Submit). Fails on a duplicate or
+  /// reserved name, incoherent detector options, or a nonzero
+  /// `profile.seed` (per-stream seeds always derive from the engine seed).
+  Status RegisterProfile(const std::string& name,
+                         const DetectorOptions& profile);
+
+  /// \brief Number of registered profiles, including "default".
+  std::size_t profile_count() const { return 1 + profiles_.size(); }
+
+  /// \brief Installs the event sink receiving every EngineEvent. Must be
+  /// called before the first Submit; replaces the drainable queue. Mutually
+  /// exclusive with the legacy set_callback — installing both is refused
+  /// with Invalid (one would silently starve the other).
+  Status set_event_sink(EventSink sink);
+
+  /// \brief Legacy: installs a step-results-only callback. Errors still
+  /// accumulate for DrainErrors(); eviction events are dropped. Prefer
+  /// set_event_sink (mutually exclusive with it, like above).
+  BAGCPD_DEPRECATED("use set_event_sink")
+  Status set_callback(ResultCallback callback);
 
   /// \brief Enqueues `bag` as the next observation of `stream_id`, creating
-  /// the stream's detector on first sight. The nested bag is flattened once
-  /// here and moved through the shard queue. Blocks while the target shard's
-  /// queue is full. Returns an error after Shutdown() or a bad init.
-  Status Submit(const std::string& stream_id, const Bag& bag);
+  /// the stream's detector on first sight (bound to `profile`, or the
+  /// default profile when empty). The nested bag is flattened once here and
+  /// moved through the shard queue. Blocks while the target shard's queue is
+  /// full. Returns an error for an unknown profile, after Shutdown(), or on
+  /// a bad init. A stream already bound to a different profile is
+  /// quarantined when the conflicting bag is processed.
+  Status Submit(const std::string& stream_id, const Bag& bag,
+                const std::string& profile = std::string());
 
   /// \brief Zero-copy submission: `bag` is moved — never copied — through
   /// the shard queue.
-  Status Submit(const std::string& stream_id, FlatBag bag);
+  Status Submit(const std::string& stream_id, FlatBag bag,
+                const std::string& profile = std::string());
 
   /// \brief Non-blocking Submit: returns Unavailable (Status::IsUnavailable)
   /// immediately when the target shard's queue is full instead of blocking.
   /// The bag is NOT consumed in that case — retry or shed load upstream.
-  Status TrySubmit(const std::string& stream_id, const Bag& bag);
-  Status TrySubmit(const std::string& stream_id, FlatBag&& bag);
+  Status TrySubmit(const std::string& stream_id, const Bag& bag,
+                   const std::string& profile = std::string());
+  Status TrySubmit(const std::string& stream_id, FlatBag&& bag,
+                   const std::string& profile = std::string());
 
   /// \brief Blocks until every queued bag has been fully processed.
   void Flush();
 
-  /// \brief Removes and returns all accumulated step results. Order across
-  /// streams is arrival order (unspecified between shards); results of one
-  /// stream always appear in time order.
+  /// \brief Removes and returns all queued events (step results, errors,
+  /// evictions... every kind). Empty when an event sink is installed. Order
+  /// across streams is arrival order (unspecified between shards); events of
+  /// one stream always appear in submission order.
+  std::vector<EngineEvent> DrainEvents();
+
+  /// \brief Legacy: removes and returns the queued step results only
+  /// (queued errors stay for DrainErrors; queued evictions are discarded —
+  /// the legacy drains predate eviction events, and keeping them would grow
+  /// the queue forever for callers that only ever poll the legacy pair).
+  /// Results of one stream appear in time order.
   std::vector<StreamStepResult> Drain();
 
-  /// \brief Removes and returns per-stream failures. A stream that fails
-  /// (e.g. a ragged bag) is quarantined: its later bags are dropped and
-  /// counted in dropped_count(). Other streams are unaffected.
+  /// \brief Legacy: removes and returns the queued per-stream failures only
+  /// (queued steps stay for Drain; queued evictions are discarded, see
+  /// Drain). A stream that fails (e.g. a ragged bag) is quarantined: its
+  /// later bags are dropped and counted in dropped_count(). Other streams
+  /// are unaffected.
   std::vector<std::pair<std::string, Status>> DrainErrors();
 
   /// \brief Offline sweep: feeds every sequence through the engine (bags
   /// interleaved round-robin across streams to keep all shards busy), waits
-  /// for completion, and returns the per-stream result series.
+  /// for completion, and returns the per-stream result series. Streams are
+  /// routed to `profile` (default profile when empty).
   ///
-  /// Requires collect_results and no callback. The batch fails if any
+  /// Requires collect_results and no sink/callback. The batch fails if any
   /// requested stream is already quarantined or fails during the sweep.
   /// Deterministic for a fixed engine seed: per-stream output is identical
   /// for any num_shards. Note that detectors persist across calls, so a key
   /// already fed online (or by a previous batch) continues from its existing
   /// window state; use a fresh engine for a from-scratch sweep.
   Result<std::map<std::string, std::vector<StepResult>>> RunBatch(
-      const std::map<std::string, BagSequence>& streams);
+      const std::map<std::string, BagSequence>& streams,
+      const std::string& profile = std::string());
 
   /// \brief Stops accepting work, drains in-flight work, joins workers.
   /// Idempotent; called by the destructor.
@@ -178,6 +283,9 @@ class StreamEngine {
  private:
   struct Task {
     std::string stream_id;
+    // Profile the submission named (canonicalized; kDefaultProfileName when
+    // none was given).
+    std::string profile;
     // Carries either the flattened bag or the flattening error; a conversion
     // failure must quarantine the stream on its shard (exactly like a
     // detector failure), not reject the Submit call. The initializer only
@@ -189,6 +297,8 @@ class StreamEngine {
 
   struct StreamState {
     std::unique_ptr<BagStreamDetector> detector;
+    // Profile the key bound to at detector creation.
+    std::string profile;
     std::uint64_t last_seq = 0;
   };
 
@@ -211,8 +321,25 @@ class StreamEngine {
 
   // Moves *bag into the shard queue only once space is secured, so a
   // non-blocking rejection leaves the caller's payload intact.
-  Status SubmitImpl(const std::string& stream_id, std::size_t shard_index,
-                    Result<FlatBag>* bag, bool blocking);
+  Status SubmitImpl(const std::string& stream_id, const std::string& profile,
+                    std::size_t shard_index, Result<FlatBag>* bag,
+                    bool blocking);
+  // Maps a submission's profile argument to its canonical registered name
+  // (empty -> default), or fails for an unknown profile.
+  Result<std::string> ResolveProfile(const std::string& profile) const;
+  // The detector options behind a canonical profile name.
+  const DetectorOptions& ProfileOptions(const std::string& profile) const;
+  // Per-stream detector seed: a pure function of (engine seed, key, profile)
+  // — never of shard placement — with the default profile reproducing the
+  // historical (engine seed, key) derivation bit for bit.
+  std::uint64_t DeriveStreamSeed(const std::string& stream_id,
+                                 const std::string& profile) const;
+  // Routes an event to the sink / legacy callback / queue; `quarantine`
+  // additionally records the key so RunBatch can refuse it later.
+  void EmitEvent(EngineEvent event);
+  void QuarantineStream(Shard& shard, const std::string& stream_id,
+                        const std::string& profile, std::uint64_t seq,
+                        const Status& error);
   void WorkerLoop(std::size_t shard_index);
   void Process(Shard& shard, Task task);
   void SweepIdle(Shard& shard, std::uint64_t now_seq);
@@ -220,7 +347,11 @@ class StreamEngine {
 
   StreamEngineOptions options_;
   Status init_status_;
+  EventSink sink_;
   ResultCallback callback_;
+  // Named profiles beyond the implicit "default" (read-only once traffic
+  // starts; RegisterProfile enforces that).
+  std::map<std::string, DetectorOptions> profiles_;
   // One arena per shard; declared before shards_ so every pooled buffer
   // still referenced by shard state (queued FlatBags, detector scratch) dies
   // before its arena does.
@@ -241,12 +372,12 @@ class StreamEngine {
   // submitted_count() value: exactly one increment per accepted submission.
   std::atomic<std::uint64_t> submit_seq_{0};
 
-  mutable std::mutex results_mu_;
-  std::vector<StreamStepResult> results_;
-  mutable std::mutex errors_mu_;
-  std::vector<std::pair<std::string, Status>> errors_;
-  // Every key ever quarantined; unlike errors_ this is never drained, so
-  // RunBatch can refuse keys that failed in earlier traffic.
+  // The single event queue behind DrainEvents/Drain/DrainErrors (unused when
+  // a sink is installed). quarantined_keys_ lives under the same lock: every
+  // key ever quarantined, never drained, so RunBatch can refuse keys that
+  // failed in earlier traffic.
+  mutable std::mutex events_mu_;
+  std::vector<EngineEvent> events_;
   std::unordered_set<std::string> quarantined_keys_;
 };
 

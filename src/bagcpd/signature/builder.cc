@@ -1,5 +1,7 @@
 #include "bagcpd/signature/builder.h"
 
+#include "bagcpd/common/enum_names.h"
+
 namespace bagcpd {
 
 namespace {
@@ -28,6 +30,19 @@ const char* SignatureMethodName(SignatureMethod method) {
       return "centroid";
   }
   return "unknown";
+}
+
+const std::vector<SignatureMethod>& AllSignatureMethods() {
+  static const std::vector<SignatureMethod> kAll = {
+      SignatureMethod::kKMeans, SignatureMethod::kKMedoids,
+      SignatureMethod::kLvq, SignatureMethod::kHistogram,
+      SignatureMethod::kCentroid};
+  return kAll;
+}
+
+Result<SignatureMethod> ParseSignatureMethod(const std::string& name) {
+  return ParseNamedEnum(name, AllSignatureMethods(), SignatureMethodName,
+                        "quantizer");
 }
 
 Result<Signature> SignatureBuilder::Build(BagView bag, std::uint64_t bag_index,

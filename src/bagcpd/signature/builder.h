@@ -7,6 +7,8 @@
 #define BAGCPD_SIGNATURE_BUILDER_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "bagcpd/common/flat_bag.h"
 #include "bagcpd/common/point.h"
@@ -35,6 +37,14 @@ enum class SignatureMethod {
 
 /// \brief Returns a short lowercase name ("kmeans", "histogram", ...).
 const char* SignatureMethodName(SignatureMethod method);
+
+/// \brief Every quantization method, in declaration order (api/ registry
+/// name table).
+const std::vector<SignatureMethod>& AllSignatureMethods();
+
+/// \brief Inverse of SignatureMethodName; rejects unknown names with a
+/// message listing the known ones.
+Result<SignatureMethod> ParseSignatureMethod(const std::string& name);
 
 /// \brief Unified options for SignatureBuilder.
 struct SignatureBuilderOptions {

@@ -1,0 +1,100 @@
+#include "bagcpd/api/registry.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace bagcpd {
+namespace api {
+namespace {
+
+// Name -> parse -> name must be the identity for every registered value of
+// every component kind; this is the registry's core contract (specs, config
+// files, and bench JSON all key on these strings).
+template <typename E>
+void ExpectRoundTrip() {
+  ASSERT_FALSE(Component<E>::Values().empty()) << Component<E>::kKind;
+  std::set<std::string> seen;
+  for (E value : Component<E>::Values()) {
+    const std::string name = Component<E>::Name(value);
+    EXPECT_NE(name, "unknown") << Component<E>::kKind;
+    // Names are unique within a kind.
+    EXPECT_TRUE(seen.insert(name).second)
+        << Component<E>::kKind << " duplicate name " << name;
+    Result<E> parsed = Component<E>::Parse(name);
+    ASSERT_TRUE(parsed.ok())
+        << Component<E>::kKind << " '" << name
+        << "': " << parsed.status().ToString();
+    EXPECT_EQ(parsed.ValueOrDie(), value) << Component<E>::kKind;
+  }
+}
+
+TEST(RegistryTest, EveryComponentValueRoundTrips) {
+  ExpectRoundTrip<SignatureMethod>();
+  ExpectRoundTrip<ScoreType>();
+  ExpectRoundTrip<GroundDistance>();
+  ExpectRoundTrip<WeightScheme>();
+  ExpectRoundTrip<BootstrapMethod>();
+}
+
+TEST(RegistryTest, KnownComponentsCoverEveryKind) {
+  const std::vector<ComponentInfo> components = KnownComponents();
+  ASSERT_EQ(components.size(), 5u);
+  std::set<std::string> kinds;
+  for (const ComponentInfo& info : components) {
+    kinds.insert(info.kind);
+    EXPECT_FALSE(info.names.empty()) << info.kind;
+  }
+  EXPECT_EQ(kinds, (std::set<std::string>{"quantizer", "score", "ground",
+                                          "weights", "bootstrap"}));
+  // Spot-check the published names stay stable (bench JSON keys on them).
+  for (const ComponentInfo& info : components) {
+    if (info.kind == "quantizer") {
+      EXPECT_EQ(info.names,
+                (std::vector<std::string>{"kmeans", "kmedoids", "lvq",
+                                          "histogram", "centroid"}));
+    }
+    if (info.kind == "score") {
+      EXPECT_EQ(info.names, (std::vector<std::string>{"lr", "kl"}));
+    }
+  }
+}
+
+TEST(RegistryTest, UnknownNamesAreRejectedWithKnownNameList) {
+  Result<SignatureMethod> bad = ParseSignatureMethod("kmeens");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("kmeens"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("kmeans"), std::string::npos);
+
+  EXPECT_FALSE(ParseScoreType("pearson").ok());
+  EXPECT_FALSE(ParseGroundDistance("cosine").ok());
+  EXPECT_FALSE(ParseWeightScheme("exponential").ok());
+  EXPECT_FALSE(ParseBootstrapMethod("jackknife").ok());
+}
+
+TEST(RegistryTest, AliasesParseButCanonicalNamesWin) {
+  // Aliases exist for ergonomics; canonical names are what Name() returns.
+  EXPECT_EQ(ParseScoreType("skl").ValueOrDie(), ScoreType::kSymmetrizedKl);
+  EXPECT_EQ(ParseScoreType("llr").ValueOrDie(),
+            ScoreType::kLogLikelihoodRatio);
+  EXPECT_EQ(ParseGroundDistance("l2").ValueOrDie(),
+            GroundDistance::kEuclidean);
+  EXPECT_EQ(ParseGroundDistance("l1").ValueOrDie(),
+            GroundDistance::kManhattan);
+}
+
+TEST(RegistryTest, CanonicalNameResolvesKindAndAlias) {
+  EXPECT_EQ(CanonicalName("score", "skl").ValueOrDie(), "kl");
+  EXPECT_EQ(CanonicalName("ground", "l2").ValueOrDie(), "euclidean");
+  EXPECT_EQ(CanonicalName("quantizer", "kmeans").ValueOrDie(), "kmeans");
+
+  Result<std::string> bad_kind = CanonicalName("scorer", "kl");
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.status().message().find("scorer"), std::string::npos);
+  EXPECT_FALSE(CanonicalName("score", "nope").ok());
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace bagcpd

@@ -1,0 +1,279 @@
+#include "bagcpd/api/spec.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/data/gmm.h"
+
+namespace bagcpd {
+namespace api {
+namespace {
+
+BagSequence SmallStream(std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  const GaussianMixture mix = GaussianMixture::Isotropic({0.0, 0.0}, 0.5);
+  BagSequence bags;
+  for (std::size_t t = 0; t < length; ++t) {
+    bags.push_back(mix.SampleBag(15, &rng));
+  }
+  return bags;
+}
+
+TEST(DetectorSpecTest, FromKeyValuesParsesFullConfig) {
+  Result<DetectorSpec> spec = DetectorSpec::FromKeyValues(
+      "quantizer=kmeans, tau=5, score=skl, tau_prime=3, k=6, "
+      "weights=discounted, ground=manhattan, bootstrap=standard, "
+      "replicates=123, alpha=0.1, normalize=true, bin_width=0.5, "
+      "histogram_origin=-1.5, distance_floor=1e-9, seed=99");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  DetectorOptions options = spec->Build().ValueOrDie();
+  EXPECT_EQ(options.signature.method, SignatureMethod::kKMeans);
+  EXPECT_EQ(options.tau, 5u);
+  EXPECT_EQ(options.tau_prime, 3u);
+  EXPECT_EQ(options.score_type, ScoreType::kSymmetrizedKl);
+  EXPECT_EQ(options.signature.k, 6u);
+  EXPECT_EQ(options.weight_scheme, WeightScheme::kDiscounted);
+  EXPECT_EQ(options.ground, GroundDistance::kManhattan);
+  EXPECT_EQ(options.bootstrap.method, BootstrapMethod::kStandard);
+  EXPECT_EQ(options.bootstrap.replicates, 123);
+  EXPECT_DOUBLE_EQ(options.bootstrap.alpha, 0.1);
+  EXPECT_TRUE(options.signature.normalize);
+  EXPECT_DOUBLE_EQ(options.signature.bin_width, 0.5);
+  EXPECT_DOUBLE_EQ(options.signature.histogram_origin, -1.5);
+  EXPECT_DOUBLE_EQ(options.info.distance_floor, 1e-9);
+  EXPECT_EQ(options.seed, 99u);
+}
+
+TEST(DetectorSpecTest, FromKeyValuesRejectionMessagesNameTheToken) {
+  Result<DetectorSpec> unknown_key = DetectorSpec::FromKeyValues("taau=5");
+  ASSERT_FALSE(unknown_key.ok());
+  EXPECT_NE(unknown_key.status().message().find("unknown key 'taau'"),
+            std::string::npos);
+  // The message lists the accepted keys so config typos are self-serviced.
+  EXPECT_NE(unknown_key.status().message().find("tau_prime"),
+            std::string::npos);
+
+  Result<DetectorSpec> malformed = DetectorSpec::FromKeyValues("tau=5,score");
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_NE(malformed.status().message().find("'score'"), std::string::npos);
+  EXPECT_NE(malformed.status().message().find("key=value"), std::string::npos);
+
+  Result<DetectorSpec> bad_int = DetectorSpec::FromKeyValues("tau=five");
+  ASSERT_FALSE(bad_int.ok());
+  EXPECT_NE(bad_int.status().message().find("key 'tau'"), std::string::npos);
+  EXPECT_NE(bad_int.status().message().find("'five'"), std::string::npos);
+
+  Result<DetectorSpec> bad_enum =
+      DetectorSpec::FromKeyValues("quantizer=kmens");
+  ASSERT_FALSE(bad_enum.ok());
+  EXPECT_NE(bad_enum.status().message().find("kmens"), std::string::npos);
+
+  EXPECT_FALSE(DetectorSpec::FromKeyValues("alpha=0.0.5").ok());
+  EXPECT_FALSE(DetectorSpec::FromKeyValues("normalize=yes").ok());
+  EXPECT_FALSE(DetectorSpec::FromKeyValues("seed=-1").ok());
+}
+
+TEST(DetectorSpecTest, ToKeyValuesRoundTrips) {
+  const DetectorSpec spec = DetectorSpec()
+                                .Tau(7)
+                                .TauPrime(3)
+                                .Score(ScoreType::kLogLikelihoodRatio)
+                                .Quantizer(SignatureMethod::kHistogram)
+                                .BinWidth(0.25)
+                                .HistogramOrigin(-2.0)
+                                .Normalize(true)
+                                .Replicates(77)
+                                .Alpha(0.01)
+                                .Ground("manhattan")
+                                .Weights("discounted")
+                                .Bootstrap("standard")
+                                .DistanceFloor(1e-10)
+                                .Seed(5);
+  const std::string text = spec.ToKeyValues();
+  Result<DetectorSpec> reparsed = DetectorSpec::FromKeyValues(text);
+  ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToKeyValues(), text);
+  const DetectorOptions a = spec.Build().ValueOrDie();
+  const DetectorOptions b = reparsed->Build().ValueOrDie();
+  EXPECT_EQ(a.tau, b.tau);
+  EXPECT_EQ(a.tau_prime, b.tau_prime);
+  EXPECT_EQ(a.score_type, b.score_type);
+  EXPECT_EQ(a.signature.method, b.signature.method);
+  EXPECT_DOUBLE_EQ(a.signature.bin_width, b.signature.bin_width);
+  EXPECT_DOUBLE_EQ(a.signature.histogram_origin, b.signature.histogram_origin);
+  EXPECT_EQ(a.signature.normalize, b.signature.normalize);
+  EXPECT_EQ(a.bootstrap.replicates, b.bootstrap.replicates);
+  EXPECT_DOUBLE_EQ(a.bootstrap.alpha, b.bootstrap.alpha);
+  EXPECT_EQ(a.ground, b.ground);
+  EXPECT_EQ(a.weight_scheme, b.weight_scheme);
+  EXPECT_EQ(a.bootstrap.method, b.bootstrap.method);
+  EXPECT_DOUBLE_EQ(a.info.distance_floor, b.info.distance_floor);
+  EXPECT_EQ(a.seed, b.seed);
+}
+
+TEST(DetectorSpecTest, FluentStringErrorSurfacesAtBuild) {
+  const DetectorSpec spec = DetectorSpec().Quantizer("nope").Tau(5);
+  Result<DetectorOptions> built = spec.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.status().message().find("nope"), std::string::npos);
+  // Create() surfaces the same deferred error.
+  EXPECT_EQ(spec.Create().status().ToString(), built.status().ToString());
+}
+
+TEST(DetectorSpecTest, CreateFailuresMirrorEveryInitStatusCase) {
+  // Every incoherent-options case the legacy constructor reports through
+  // init_status() must fail Create() with the exact same status.
+  std::vector<DetectorOptions> bad_cases;
+  DetectorOptions bad_tau;
+  bad_tau.tau = 1;
+  bad_cases.push_back(bad_tau);
+  DetectorOptions bad_tau_prime;
+  bad_tau_prime.tau_prime = 0;
+  bad_cases.push_back(bad_tau_prime);
+  DetectorOptions bad_alpha_low;
+  bad_alpha_low.bootstrap.alpha = 0.0;
+  bad_cases.push_back(bad_alpha_low);
+  DetectorOptions bad_alpha_high;
+  bad_alpha_high.bootstrap.alpha = 1.0;
+  bad_cases.push_back(bad_alpha_high);
+  DetectorOptions bad_floor;
+  bad_floor.info.distance_floor = 0.0;
+  bad_cases.push_back(bad_floor);
+
+  for (const DetectorOptions& options : bad_cases) {
+    BagStreamDetector legacy(options);
+    ASSERT_FALSE(legacy.init_status().ok());
+    Result<std::unique_ptr<BagStreamDetector>> created =
+        BagStreamDetector::Create(options);
+    ASSERT_FALSE(created.ok());
+    EXPECT_EQ(created.status().ToString(), legacy.init_status().ToString());
+  }
+
+  // And a coherent config succeeds with init_status() OK by construction.
+  DetectorOptions good;
+  good.bootstrap.replicates = 0;
+  Result<std::unique_ptr<BagStreamDetector>> created =
+      BagStreamDetector::Create(good);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_TRUE((*created)->init_status().ok());
+}
+
+TEST(DetectorSpecTest, SpecCreatedDetectorMatchesLegacyConstruction) {
+  DetectorOptions options;
+  options.tau = 3;
+  options.tau_prime = 3;
+  options.bootstrap.replicates = 30;
+  options.signature.k = 3;
+  options.seed = 21;
+  BagStreamDetector legacy(options);
+  ASSERT_TRUE(legacy.init_status().ok());
+
+  std::unique_ptr<BagStreamDetector> modern =
+      DetectorSpec()
+          .Tau(3)
+          .TauPrime(3)
+          .Replicates(30)
+          .K(3)
+          .Seed(21)
+          .Create()
+          .MoveValueUnsafe();
+
+  const BagSequence bags = SmallStream(10, 4);
+  const std::vector<StepResult> a = legacy.Run(bags).ValueOrDie();
+  const std::vector<StepResult> b = modern->Run(bags).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].ci_lo, b[i].ci_lo);
+    EXPECT_EQ(a[i].ci_up, b[i].ci_up);
+  }
+}
+
+TEST(EngineSpecTest, CreateFailuresMirrorEveryInitStatusCase) {
+  std::vector<StreamEngineOptions> bad_cases;
+  StreamEngineOptions bad_queue;
+  bad_queue.num_shards = 1;
+  bad_queue.shard_queue_capacity = 0;
+  bad_cases.push_back(bad_queue);
+  StreamEngineOptions bad_detector;
+  bad_detector.num_shards = 1;
+  bad_detector.detector.tau = 1;
+  bad_cases.push_back(bad_detector);
+  StreamEngineOptions bad_arena;
+  bad_arena.num_shards = 1;
+  bad_arena.arena.min_buffer_capacity = 100;  // Not a power of two.
+  bad_cases.push_back(bad_arena);
+  // The detector.seed footgun: historically ignored silently, now loud.
+  StreamEngineOptions seeded_detector;
+  seeded_detector.num_shards = 1;
+  seeded_detector.detector.seed = 7;
+  bad_cases.push_back(seeded_detector);
+
+  for (const StreamEngineOptions& options : bad_cases) {
+    StreamEngine legacy(options);
+    ASSERT_FALSE(legacy.init_status().ok());
+    Result<std::unique_ptr<StreamEngine>> created =
+        StreamEngine::Create(options);
+    ASSERT_FALSE(created.ok());
+    EXPECT_EQ(created.status().ToString(), legacy.init_status().ToString());
+  }
+
+  EXPECT_NE(StreamEngine::Create(seeded_detector)
+                .status()
+                .message()
+                .find("detector.seed"),
+            std::string::npos);
+}
+
+TEST(EngineSpecTest, BuildRejectsSeededDetectorSpec) {
+  Result<StreamEngineOptions> built =
+      EngineSpec()
+          .NumShards(1)
+          .Seed(5)
+          .Detector(DetectorSpec().Tau(4).TauPrime(4).Seed(9))
+          .Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.status().message().find("detector.seed"), std::string::npos);
+}
+
+TEST(EngineSpecTest, CreateRegistersProfilesInOrder) {
+  Result<std::unique_ptr<StreamEngine>> created =
+      EngineSpec()
+          .NumShards(2)
+          .Seed(3)
+          .Detector(DetectorSpec().Tau(4).TauPrime(4).Replicates(0))
+          .Profile("coarse", DetectorSpec().Tau(2).TauPrime(2).Replicates(0))
+          .Profile("lr", DetectorSpec()
+                             .Tau(4)
+                             .TauPrime(4)
+                             .Score("lr")
+                             .Replicates(0))
+          .Create();
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  StreamEngine& engine = **created;
+  EXPECT_EQ(engine.profile_count(), 3u);
+
+  const BagSequence bags = SmallStream(6, 9);
+  for (const Bag& bag : bags) {
+    ASSERT_TRUE(engine.Submit("a", bag, "coarse").ok());
+  }
+  engine.Flush();
+  // tau + tau' = 4 on the coarse profile: 6 bags yield 3 results.
+  EXPECT_EQ(engine.Drain().size(), 3u);
+
+  // A bad profile spec fails Create with the profile's error.
+  Result<std::unique_ptr<StreamEngine>> bad =
+      EngineSpec()
+          .NumShards(1)
+          .Profile("broken", DetectorSpec().Tau(1))
+          .Create();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("tau"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace bagcpd

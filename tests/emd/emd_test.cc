@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "bagcpd/common/rng.h"
+#include "bagcpd/runtime/thread_pool.h"
+
 namespace bagcpd {
 namespace {
 
@@ -128,6 +131,37 @@ TEST(EmdTest, PairwiseMatrixIsSymmetricWithZeroDiagonal) {
   EXPECT_NEAR((*m)(1, 2), 3.0, 1e-12);
   EXPECT_NEAR((*m)(0, 2), 5.0, 1e-12);
   EXPECT_DOUBLE_EQ((*m)(2, 0), (*m)(0, 2));
+}
+
+TEST(EmdTest, ParallelPairwiseMatrixBitwiseEqualsSerial) {
+  // The ThreadPool overload must reproduce the serial matrix bit for bit for
+  // any pool size (and exercise odd sizes so the triangular index inversion
+  // is hit across chunk boundaries).
+  Rng rng(31);
+  SignatureSet set;
+  for (int s = 0; s < 13; ++s) {
+    std::vector<Point> centers;
+    std::vector<double> weights;
+    for (int k = 0; k < 3; ++k) {
+      centers.push_back({rng.Uniform() * 4.0, rng.Uniform() * 4.0});
+      weights.push_back(0.5 + rng.Uniform());
+    }
+    ASSERT_TRUE(set.Append(Sig(centers, std::move(weights))).ok());
+  }
+  const Matrix serial = PairwiseEmdMatrix(set).ValueOrDie();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    const Matrix parallel =
+        PairwiseEmdMatrix(set, GroundDistance::kEuclidean, &pool)
+            .ValueOrDie();
+    ASSERT_EQ(parallel.rows(), serial.rows());
+    for (std::size_t i = 0; i < serial.rows(); ++i) {
+      for (std::size_t j = 0; j < serial.cols(); ++j) {
+        EXPECT_EQ(parallel(i, j), serial(i, j))
+            << threads << " threads @ (" << i << ", " << j << ")";
+      }
+    }
+  }
 }
 
 TEST(EmdTest, RubnerStyleExample) {

@@ -48,6 +48,14 @@ DetectorOptions SmallDetector() {
   return options;
 }
 
+// Engine-side detector config: the engine derives per-stream seeds from its
+// own seed and rejects a nonzero detector.seed outright.
+DetectorOptions EngineDetector() {
+  DetectorOptions options = SmallDetector();
+  options.seed = 0;
+  return options;
+}
+
 BagSequence JumpStream(std::size_t length, std::size_t change_at,
                        std::uint64_t seed) {
   Rng rng(seed);
@@ -140,7 +148,7 @@ TEST(DeterminismTest, EngineRunBatchInvariantToShardCount) {
   for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     StreamEngineOptions options;
     options.num_shards = shards;
-    options.detector = SmallDetector();
+    options.detector = EngineDetector();
     options.seed = 77;
     StreamEngine engine(options);
     auto batch = engine.RunBatch(streams);
@@ -215,7 +223,7 @@ TEST(DeterminismTest, EngineArenaTuningNeverChangesResults) {
     for (const bool tiny_pool : {false, true}) {
       StreamEngineOptions options;
       options.num_shards = shards;
-      options.detector = SmallDetector();
+      options.detector = EngineDetector();
       options.seed = 13;
       if (tiny_pool) {
         // Degenerate tuning: nothing in the hot path fits the pool, so every
@@ -249,7 +257,7 @@ TEST(DeterminismTest, EngineOnlineMatchesBatch) {
 
   StreamEngineOptions options;
   options.num_shards = 2;
-  options.detector = SmallDetector();
+  options.detector = EngineDetector();
   options.seed = 5;
 
   StreamEngine batch_engine(options);

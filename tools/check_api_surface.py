@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Enforce the public-API facade on the examples.
+
+Two checks, both hard failures:
+
+1. Include surface: every example may include project headers ONLY through
+   the umbrella header "bagcpd/bagcpd.h" (system <...> includes are free).
+   This is what keeps the examples honest documentation of the public API —
+   no reaching into deep internal headers.
+
+2. (--compile) Each example translation unit compiles standalone against the
+   include dir, i.e. the umbrella header really does pull in everything an
+   application needs.
+
+Usage: tools/check_api_surface.py [--compile] [--compiler g++]
+Run from the repository root (or pass --root).
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+UMBRELLA = "bagcpd/bagcpd.h"
+# Both include forms: quote includes must BE the umbrella; angle includes are
+# free for system headers but must never reach into bagcpd/ (the -I src dir
+# resolves angle includes too, so they would otherwise evade the gate).
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(?:"([^"]+)"|<([^>]+)>)')
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--compile", action="store_true",
+                        help="also syntax-check each example standalone")
+    parser.add_argument("--compiler", default="g++")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    examples = sorted((root / "examples").glob("*.cc"))
+    if not examples:
+        print(f"FATAL: no examples found under {root}/examples", file=sys.stderr)
+        return 2
+
+    failures = []
+    for example in examples:
+        rel = example.relative_to(root)
+        for lineno, line in enumerate(example.read_text().splitlines(), 1):
+            match = INCLUDE_RE.match(line)
+            if not match:
+                continue
+            quoted, angled = match.group(1), match.group(2)
+            if quoted is not None and quoted != UMBRELLA:
+                failures.append(
+                    f'{rel}:{lineno}: includes "{quoted}" — examples '
+                    f'must include only "{UMBRELLA}"')
+            elif angled is not None and angled.startswith("bagcpd"):
+                failures.append(
+                    f"{rel}:{lineno}: includes <{angled}> — project headers "
+                    f'may only enter through "{UMBRELLA}"')
+        if args.compile:
+            cmd = [args.compiler, "-std=c++17", "-Wall", "-Wextra",
+                   "-fsyntax-only", "-I", str(root / "src"), str(example)]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                failures.append(
+                    f"{rel}: standalone compile failed:\n{proc.stderr}")
+
+    if failures:
+        print("API surface check FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+
+    mode = "include surface + standalone compile" if args.compile \
+        else "include surface"
+    print(f"API surface check passed for {len(examples)} examples ({mode}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
