@@ -85,7 +85,9 @@ int Main() {
         options.bootstrap.method = method;
         options.signature.k = 8;
         options.seed = static_cast<std::uint64_t>(seed);
-        BagStreamDetector detector(options);
+        auto detector_owner =
+            bench::Unwrap(BagStreamDetector::Create(options), "create");
+        BagStreamDetector& detector = *detector_owner;
         const DetectionReport report = EvaluateAlarms(
             AlarmTimes(bench::Unwrap(detector.Run(ds.bags), "detector")),
             ds.change_points, 3);

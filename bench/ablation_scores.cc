@@ -71,7 +71,9 @@ int Main() {
         options.bootstrap.replicates = 0;
         options.signature.k = 6;
         options.seed = static_cast<std::uint64_t>(seed);
-        BagStreamDetector detector(options);
+        auto detector_owner =
+            bench::Unwrap(BagStreamDetector::Create(options), "create");
+        BagStreamDetector& detector = *detector_owner;
         std::vector<StepResult> results =
             bench::Unwrap(detector.Run(ds.bags), "detector");
         contrast[which] += Contrast(results, 12);
@@ -106,7 +108,9 @@ int Main() {
         options.bootstrap.replicates = 150;
         options.signature.k = 6;
         options.seed = static_cast<std::uint64_t>(seed);
-        BagStreamDetector detector(options);
+        auto detector_owner =
+            bench::Unwrap(BagStreamDetector::Create(options), "create");
+        BagStreamDetector& detector = *detector_owner;
         const DetectionReport report = EvaluateAlarms(
             AlarmTimes(bench::Unwrap(detector.Run(ds.bags), "detector")),
             ds.change_points, 3);
@@ -145,7 +149,9 @@ int Main() {
       options.bootstrap.replicates = 200;
       options.signature.k = 6;
       options.seed = static_cast<std::uint64_t>(seed);
-      BagStreamDetector detector(options);
+      auto detector_owner =
+          bench::Unwrap(BagStreamDetector::Create(options), "create");
+      BagStreamDetector& detector = *detector_owner;
       alarms += static_cast<int>(
           AlarmTimes(bench::Unwrap(detector.Run(ds.bags), "detector")).size());
     }

@@ -43,7 +43,9 @@ int Main() {
     options.signature.k = 8;
     options.signature.bin_width = 1.0;
     options.seed = 91;
-    BagStreamDetector detector(options);
+    auto detector_owner =
+        bench::Unwrap(BagStreamDetector::Create(options), "create");
+    BagStreamDetector& detector = *detector_owner;
     const auto start = std::chrono::steady_clock::now();
     std::vector<StepResult> results =
         bench::Unwrap(detector.Run(stream.bags), "detector");

@@ -44,7 +44,9 @@ int Main() {
         options.bootstrap.replicates = 200;
         options.signature.k = 8;
         options.seed = static_cast<std::uint64_t>(seed);
-        BagStreamDetector detector(options);
+        auto detector_owner =
+            bench::Unwrap(BagStreamDetector::Create(options), "create");
+        BagStreamDetector& detector = *detector_owner;
         std::vector<StepResult> results =
             bench::Unwrap(detector.Run(ds.bags), "detector");
         const std::vector<std::uint64_t> alarms = AlarmTimes(results);

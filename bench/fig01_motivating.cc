@@ -77,7 +77,9 @@ int Main() {
   options.signature.method = SignatureMethod::kKMeans;
   options.signature.k = 8;
   options.seed = 1;
-  BagStreamDetector detector(options);
+  auto detector_owner =
+      bench::Unwrap(BagStreamDetector::Create(options), "create");
+  BagStreamDetector& detector = *detector_owner;
   std::vector<StepResult> ours =
       bench::Unwrap(detector.Run(stream.bags), "detector");
   bench::ResultSeries series = bench::Slice(ours, stream.bags.size());

@@ -82,7 +82,9 @@ int Main() {
     options.bootstrap.alpha = 0.05;
     options.signature = sig_options;
     options.seed = 61;
-    BagStreamDetector detector(options);
+    auto detector_owner =
+        bench::Unwrap(BagStreamDetector::Create(options), "create");
+    BagStreamDetector& detector = *detector_owner;
     std::vector<StepResult> results =
         bench::Unwrap(detector.Run(ds.bags), "detector");
     bench::ResultSeries series = bench::Slice(results, ds.bags.size());

@@ -58,7 +58,9 @@ int Main() {
     options.signature.method = SignatureMethod::kKMeans;
     options.signature.k = 10;
     options.seed = 70 + static_cast<std::uint64_t>(subject);
-    BagStreamDetector detector(options);
+    auto detector_owner =
+        bench::Unwrap(BagStreamDetector::Create(options), "create");
+    BagStreamDetector& detector = *detector_owner;
     std::vector<StepResult> results =
         bench::Unwrap(detector.Run(rec.stream.bags), "detector");
     bench::ResultSeries series =

@@ -15,9 +15,13 @@
 #include "bagcpd/analysis/ascii_plot.h"
 #include "bagcpd/analysis/metrics.h"
 #include "bagcpd/core/detector.h"
+#include "bagcpd/emd/emd.h"
 #include "bagcpd/graph/features.h"
 #include "bagcpd/graph/generators.h"
 #include "bagcpd/io/table.h"
+#include "bagcpd/runtime/thread_pool.h"
+#include "bagcpd/signature/builder.h"
+#include "bagcpd/signature/signature_set.h"
 #include "bench_util.h"
 
 namespace bagcpd {
@@ -57,9 +61,10 @@ int Main() {
       options.signature.method = SignatureMethod::kKMeans;
       options.signature.k = 6;
       options.seed = 100 + static_cast<std::uint64_t>(feature);
-      BagStreamDetector detector(options);
+      auto detector =
+          bench::Unwrap(BagStreamDetector::Create(options), "detector");
       std::vector<StepResult> results =
-          bench::Unwrap(detector.Run(bags), "detector");
+          bench::Unwrap(detector->Run(bags), "detector");
       bench::ResultSeries series = bench::Slice(results, bags.size());
 
       union_alarms.insert(union_alarms.end(), series.alarms.begin(),
@@ -100,8 +105,69 @@ int Main() {
     std::printf("\n");
   }
 
+  // Batch cross-distance analysis over the parallel CrossDistanceMatrix: for
+  // each dataset, quantize the source-strength feature of every step into a
+  // shared SignatureSet and compare pre-change vs post-change blocks. The
+  // pooled fill is bitwise-identical to the serial one (deterministic row
+  // chunking), so this block is pure throughput.
+  std::printf("batch check — EMD separation of the first change "
+              "(feature 5, pooled CrossDistanceMatrix):\n");
+  ThreadPool pool(4);
+  for (const BipartiteStream& stream : streams) {
+    if (stream.change_points.empty()) continue;
+    const std::size_t cp = stream.change_points.front();
+    SignatureBuilderOptions sig_options;
+    sig_options.method = SignatureMethod::kKMeans;
+    sig_options.k = 6;
+    sig_options.seed = 100 + static_cast<std::uint64_t>(
+                                 GraphFeature::kSourceStrength);
+    SignatureBuilder builder(sig_options);
+    SignatureSet before;
+    SignatureSet after;
+    for (std::size_t t = 0; t < stream.graphs.size(); ++t) {
+      const Bag bag = bench::Unwrap(
+          ExtractGraphFeature(stream.graphs[t],
+                              GraphFeature::kSourceStrength),
+          "feature");
+      Signature sig = bench::Unwrap(builder.Build(bag, t), "signature");
+      bench::UnwrapStatus((t < cp ? before : after).Append(sig), "append");
+    }
+    const Matrix within = bench::Unwrap(
+        CrossDistanceMatrix(before, before, GroundDistance::kEuclidean,
+                            &pool),
+        "within table");
+    const Matrix across = bench::Unwrap(
+        CrossDistanceMatrix(before, after, GroundDistance::kEuclidean, &pool),
+        "cross table");
+    double within_sum = 0.0;
+    std::size_t within_count = 0;
+    for (std::size_t i = 0; i < within.rows(); ++i) {
+      for (std::size_t j = 0; j < within.cols(); ++j) {
+        if (i == j) continue;
+        within_sum += within(i, j);
+        ++within_count;
+      }
+    }
+    double across_sum = 0.0;
+    for (std::size_t i = 0; i < across.rows(); ++i) {
+      for (std::size_t j = 0; j < across.cols(); ++j) {
+        across_sum += across(i, j);
+      }
+    }
+    const double within_mean =
+        within_sum / static_cast<double>(std::max<std::size_t>(1,
+                                                               within_count));
+    const double across_mean =
+        across_sum / static_cast<double>(across.rows() * across.cols());
+    std::printf(
+        "  %-12s mean EMD within pre-change %.3f, across change %.3f "
+        "(separation %.2fx)\n",
+        stream.name.c_str(), within_mean, across_mean,
+        across_mean / within_mean);
+  }
+
   std::printf(
-      "shape check (paper Fig. 10): features 5 and 6 detect the changes in\n"
+      "\nshape check (paper Fig. 10): features 5 and 6 detect the changes in\n"
       "every dataset (even small early ones); features 3 and 4 do not work\n"
       "here since the data has no source/destination correspondence.\n");
   return 0;

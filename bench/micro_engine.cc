@@ -103,8 +103,9 @@ int Main(int argc, char** argv) {
     options.num_shards = threads;
     options.detector = BenchDetector();
     options.seed = 7;
-    StreamEngine engine(options);
-    bench::UnwrapStatus(engine.init_status(), "engine init");
+    auto engine_owner =
+        bench::Unwrap(StreamEngine::Create(options), "engine init");
+    StreamEngine& engine = *engine_owner;
 
     const auto start = std::chrono::steady_clock::now();
     auto batch = bench::Unwrap(engine.RunBatch(streams), "RunBatch");

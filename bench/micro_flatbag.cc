@@ -190,7 +190,9 @@ int Main(int argc, char** argv) {
     options.tau_prime = 4;
     options.bootstrap.replicates = 0;
     options.signature.k = 4;
-    BagStreamDetector detector(options);
+    auto detector_owner =
+        bench::Unwrap(BagStreamDetector::Create(options), "create");
+    BagStreamDetector& detector = *detector_owner;
     const int ingest_repeats = std::max(1, repeats / 10);
     auto start = std::chrono::steady_clock::now();
     for (int r = 0; r < ingest_repeats; ++r) {

@@ -32,7 +32,8 @@ void BM_DetectorStep(benchmark::State& state) {
   options.bootstrap.replicates = replicates;
   options.signature.k = 8;
   options.seed = 1;
-  BagStreamDetector detector(options);
+  auto detector_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+  BagStreamDetector& detector = *detector_owner;
   std::size_t next = 0;
   for (auto _ : state) {
     if (next == bags.size()) {
@@ -108,7 +109,8 @@ void BM_FullRunPerBag(benchmark::State& state) {
   options.signature.k = 8;
   options.seed = 4;
   for (auto _ : state) {
-    BagStreamDetector detector(options);
+    auto detector_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+    BagStreamDetector& detector = *detector_owner;
     benchmark::DoNotOptimize(detector.Run(bags).ValueOrDie());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -5,7 +5,7 @@
 
 #include "bagcpd/common/check.h"
 #include "bagcpd/common/enum_names.h"
-#include "bagcpd/emd/emd.h"
+#include "bagcpd/emd/transport_solver.h"
 #include "bagcpd/info/weighted_set.h"
 #include "bagcpd/runtime/thread_pool.h"
 
@@ -52,20 +52,30 @@ Result<std::unique_ptr<BagStreamDetector>> BagStreamDetector::Create(
   return std::make_unique<BagStreamDetector>(options);
 }
 
+PairwiseDistanceCache::ComputeFn BagStreamDetector::MakeCacheComputeFn() {
+  // Full transportation solve on the detector-owned workspace (never the 1-d
+  // sweep), dispatching the batched cost kernel on the ground enum.
+  return [this](std::uint64_t i, std::uint64_t j) -> Result<double> {
+    return workspace_.Compute(SignatureAt(i), SignatureAt(j), options_.ground);
+  };
+}
+
 BagStreamDetector::BagStreamDetector(const DetectorOptions& options)
     : options_(options),
       init_status_(ValidateDetectorOptions(options)),
       builder_(options.signature),
       rng_(options.seed),
-      ground_(MakeGroundDistance(options_.ground)) {
+      cache_(MakeCacheComputeFn()) {
   if (init_status_.ok()) {
-    window_.Reset(options_.tau + options_.tau_prime);
-  }
-  cache_ = std::make_unique<PairwiseDistanceCache>(
-      [this](std::uint64_t i, std::uint64_t j) -> Result<double> {
-        return ComputeEmd(SignatureAt(i), SignatureAt(j), ground_);
-      });
-  if (init_status_.ok()) {
+    const std::size_t full = options_.tau + options_.tau_prime;
+    window_.Reset(full);
+    log_table_.assign(full * full, 0.0);
+    // The score-context matrices are sized once here and refilled in place
+    // every step; their diagonals stay at the 0.0 the scores ignore.
+    ctx_.info = options_.info;
+    ctx_.log_ref_ref = Matrix(options_.tau, options_.tau, 0.0);
+    ctx_.log_test_test = Matrix(options_.tau_prime, options_.tau_prime, 0.0);
+    ctx_.log_ref_test = Matrix(options_.tau, options_.tau_prime, 0.0);
     if (options_.weight_scheme == WeightScheme::kUniform) {
       pi_ref_.assign(options_.tau, 1.0 / static_cast<double>(options_.tau));
       pi_test_.assign(options_.tau_prime,
@@ -94,10 +104,11 @@ void BagStreamDetector::Reset() {
   }
   upper_history_.clear();
   next_index_ = 0;
-  cache_ = std::make_unique<PairwiseDistanceCache>(
-      [this](std::uint64_t i, std::uint64_t j) -> Result<double> {
-        return ComputeEmd(SignatureAt(i), SignatureAt(j), ground_);
-      });
+  table_base_ = 0;
+  table_primed_ = false;
+  // Clear — not reallocate — so a long-lived engine stream keeps the cache's
+  // bucket storage (and its one generator) across resets.
+  cache_.Clear();
 }
 
 Result<std::optional<StepResult>> BagStreamDetector::Push(const Bag& bag) {
@@ -129,23 +140,40 @@ Result<std::optional<StepResult>> BagStreamDetector::Push(BagView bag) {
   }
   BAGCPD_ASSIGN_OR_RETURN(StepResult step, ScoreInspectionPoint());
 
-  // Slide: drop the oldest signature and its cached distances.
+  // Slide: drop the oldest signature; its rolling-table slot becomes the
+  // next signature's row/column. Every cached raw distance has been folded
+  // into the table by now and is never read again, so drop them all —
+  // steady-state cache memory is O(tau + tau'), not O((tau + tau')^2).
   window_.PopFront();
-  cache_->EvictBefore(next_index_ - (full - 1));
+  table_base_ = (table_base_ + 1) % full;
+  cache_.EvictAll();
   return std::optional<StepResult>(step);
 }
 
 Status BagStreamDetector::PrefillWindowDistances() {
-  // Collect the window pairs missing from the cache — (tau + tau' - 1) per
-  // step in steady state, the full C(tau + tau', 2) table on the first step —
-  // and solve them concurrently. Each EMD depends only on its two signatures,
-  // so the cache contents (and everything downstream) are independent of the
-  // pool size; only the insertion happens on this thread.
+  // Collect the window pairs missing from the cache and solve them
+  // concurrently. The rolling table's invariant makes the missing set known
+  // without probing the cache: once primed, every pair of the previous
+  // window survives eviction, so only the (tau + tau' - 1) pairs of the
+  // newest signature are absent; before priming (first full window, or
+  // after Reset) the whole C(tau + tau', 2) table is. Each EMD depends only
+  // on its two signatures, so the cache contents (and everything downstream)
+  // are independent of the pool size; only the insertion happens on this
+  // thread.
   const std::uint64_t window_start = next_index_ - window_.size();
   std::vector<std::pair<std::uint64_t, std::uint64_t>> missing;
-  for (std::uint64_t i = window_start; i < next_index_; ++i) {
-    for (std::uint64_t j = i + 1; j < next_index_; ++j) {
-      if (!cache_->Contains(i, j)) missing.emplace_back(i, j);
+  if (table_primed_) {
+    const std::uint64_t newest = next_index_ - 1;
+    missing.reserve(window_.size() - 1);
+    for (std::uint64_t i = window_start; i < newest; ++i) {
+      missing.emplace_back(i, newest);
+    }
+  } else {
+    missing.reserve(window_.size() * (window_.size() - 1) / 2);
+    for (std::uint64_t i = window_start; i < next_index_; ++i) {
+      for (std::uint64_t j = i + 1; j < next_index_; ++j) {
+        missing.emplace_back(i, j);
+      }
     }
   }
   if (missing.empty()) return Status::OK();
@@ -153,7 +181,9 @@ Status BagStreamDetector::PrefillWindowDistances() {
   std::vector<Status> statuses(missing.size(), Status::OK());
   pool_->ParallelFor(0, missing.size(), [&](std::size_t p) {
     const auto [i, j] = missing[p];
-    Result<double> d = ComputeEmd(SignatureAt(i), SignatureAt(j), ground_);
+    // Per-pool-thread workspace: concurrent solves never share scratch.
+    Result<double> d = ThreadLocalEmdWorkspace().Compute(
+        SignatureAt(i), SignatureAt(j), options_.ground);
     if (d.ok()) {
       values[p] = d.ValueOrDie();
     } else {
@@ -162,7 +192,42 @@ Status BagStreamDetector::PrefillWindowDistances() {
   });
   for (std::size_t p = 0; p < missing.size(); ++p) {
     BAGCPD_RETURN_NOT_OK(statuses[p]);
-    cache_->Put(missing[p].first, missing[p].second, values[p]);
+    cache_.Put(missing[p].first, missing[p].second, values[p]);
+  }
+  return Status::OK();
+}
+
+Status BagStreamDetector::UpdateRollingTable() {
+  const std::size_t w = window_.size();  // == tau + tau' (window is full).
+  const std::uint64_t window_start = next_index_ - w;
+  const double floor = options_.info.distance_floor;
+  const auto slot = [this, w](std::size_t pos) {
+    return (table_base_ + pos) % w;
+  };
+  if (!table_primed_) {
+    // First full window (or first after Reset): fill every pair.
+    for (std::size_t p = 0; p < w; ++p) {
+      for (std::size_t q = p + 1; q < w; ++q) {
+        BAGCPD_ASSIGN_OR_RETURN(
+            double d, cache_.Get(window_start + p, window_start + q));
+        const double v = std::log(std::max(d, floor));
+        log_table_[slot(p) * w + slot(q)] = v;
+        log_table_[slot(q) * w + slot(p)] = v;
+      }
+    }
+    table_primed_ = true;
+    return Status::OK();
+  }
+  // Steady state: the slide already retired the oldest row/column (its slot
+  // is the newest signature's), so only the new pairs need writing.
+  const std::size_t newest = w - 1;
+  const std::size_t newest_slot = slot(newest);
+  for (std::size_t p = 0; p < newest; ++p) {
+    BAGCPD_ASSIGN_OR_RETURN(
+        double d, cache_.Get(window_start + p, window_start + newest));
+    const double v = std::log(std::max(d, floor));
+    log_table_[slot(p) * w + newest_slot] = v;
+    log_table_[newest_slot * w + slot(p)] = v;
   }
   return Status::OK();
 }
@@ -170,51 +235,53 @@ Status BagStreamDetector::PrefillWindowDistances() {
 Result<StepResult> BagStreamDetector::ScoreInspectionPoint() {
   const std::size_t tau = options_.tau;
   const std::size_t tau_prime = options_.tau_prime;
+  const std::size_t w = tau + tau_prime;
   // Global indices: reference = [t - tau, t), test = [t, t + tau').
   const std::uint64_t t = next_index_ - tau_prime;
-  const std::uint64_t ref_start = t - tau;
 
-  // Assemble the log-EMD tables from the rolling cache.
-  ScoreContext ctx;
-  ctx.info = options_.info;
-  ctx.log_ref_ref = Matrix(tau, tau, 0.0);
-  ctx.log_test_test = Matrix(tau_prime, tau_prime, 0.0);
-  ctx.log_ref_test = Matrix(tau, tau_prime, 0.0);
-  const double floor = options_.info.distance_floor;
-  auto log_dist = [&](std::uint64_t i, std::uint64_t j) -> Result<double> {
-    BAGCPD_ASSIGN_OR_RETURN(double d, cache_->Get(i, j));
-    return std::log(std::max(d, floor));
+  // Slide the rolling log-EMD table (one new row/column per step), then copy
+  // its three window blocks into the reused ScoreContext matrices — straight
+  // buffer reads instead of the historical per-step hash-map assembly, and
+  // no per-step Matrix allocations. The log values are computed once per
+  // pair, so every ctx entry is bit-identical to recomputing it from the
+  // cache each step. Reference window = positions 0..tau-1 (oldest first),
+  // test window = positions tau..w-1.
+  BAGCPD_RETURN_NOT_OK(UpdateRollingTable());
+  const auto slot = [this, w](std::size_t pos) {
+    return (table_base_ + pos) % w;
   };
   for (std::size_t i = 0; i < tau; ++i) {
+    const double* row = log_table_.data() + slot(i) * w;
     for (std::size_t j = i + 1; j < tau; ++j) {
-      BAGCPD_ASSIGN_OR_RETURN(double v, log_dist(ref_start + i, ref_start + j));
-      ctx.log_ref_ref(i, j) = v;
-      ctx.log_ref_ref(j, i) = v;
+      const double v = row[slot(j)];
+      ctx_.log_ref_ref(i, j) = v;
+      ctx_.log_ref_ref(j, i) = v;
     }
   }
   for (std::size_t i = 0; i < tau_prime; ++i) {
+    const double* row = log_table_.data() + slot(tau + i) * w;
     for (std::size_t j = i + 1; j < tau_prime; ++j) {
-      BAGCPD_ASSIGN_OR_RETURN(double v, log_dist(t + i, t + j));
-      ctx.log_test_test(i, j) = v;
-      ctx.log_test_test(j, i) = v;
+      const double v = row[slot(tau + j)];
+      ctx_.log_test_test(i, j) = v;
+      ctx_.log_test_test(j, i) = v;
     }
   }
   for (std::size_t i = 0; i < tau; ++i) {
+    const double* row = log_table_.data() + slot(i) * w;
     for (std::size_t j = 0; j < tau_prime; ++j) {
-      BAGCPD_ASSIGN_OR_RETURN(double v, log_dist(ref_start + i, t + j));
-      ctx.log_ref_test(i, j) = v;
+      ctx_.log_ref_test(i, j) = row[slot(tau + j)];
     }
   }
 
   StepResult step;
   step.time = t;
   BAGCPD_ASSIGN_OR_RETURN(
-      step.score, ComputeScore(options_.score_type, ctx, pi_ref_, pi_test_));
+      step.score, ComputeScore(options_.score_type, ctx_, pi_ref_, pi_test_));
 
   if (options_.bootstrap.replicates > 0) {
     BAGCPD_ASSIGN_OR_RETURN(
         BootstrapInterval ci,
-        BootstrapScoreInterval(options_.score_type, ctx, pi_ref_, pi_test_,
+        BootstrapScoreInterval(options_.score_type, ctx_, pi_ref_, pi_test_,
                                options_.bootstrap, &rng_, pool_));
     step.ci_lo = ci.lo;
     step.ci_up = ci.up;

@@ -27,6 +27,7 @@
 #include "bagcpd/core/scores.h"
 #include "bagcpd/emd/distance_cache.h"
 #include "bagcpd/emd/ground_distance.h"
+#include "bagcpd/emd/transport_solver.h"
 #include "bagcpd/signature/builder.h"
 #include "bagcpd/signature/signature_set.h"
 
@@ -138,9 +139,12 @@ class BagStreamDetector {
   /// \brief Number of bags pushed since the last Reset().
   std::uint64_t pushed_count() const { return next_index_; }
 
-  /// \brief EMD cache statistics (diagnostics / benchmarks).
-  std::uint64_t emd_cache_hits() const { return cache_->hits(); }
-  std::uint64_t emd_cache_misses() const { return cache_->misses(); }
+  /// \brief EMD cache statistics (diagnostics / benchmarks). Misses count
+  /// transportation solves; hits count cache reads of prefilled values (the
+  /// rolling score tables reuse log-distances without re-querying, so the
+  /// serial path reads each pair exactly once).
+  std::uint64_t emd_cache_hits() const { return cache_.hits(); }
+  std::uint64_t emd_cache_misses() const { return cache_.misses(); }
 
   const DetectorOptions& options() const { return options_; }
 
@@ -166,21 +170,38 @@ class BagStreamDetector {
  private:
   Result<StepResult> ScoreInspectionPoint();
   Status PrefillWindowDistances();
+  Status UpdateRollingTable();
   SignatureView SignatureAt(std::uint64_t global_index) const;
+  // The one place the cache's generator lambda is built (constructor and
+  // Reset() used to each create their own copy); solves run on workspace_.
+  PairwiseDistanceCache::ComputeFn MakeCacheComputeFn();
 
   DetectorOptions options_;
   Status init_status_;
   SignatureBuilder builder_;
   Rng rng_;
   ThreadPool* pool_ = nullptr;
-  GroundDistanceFn ground_;
   BufferArena* arena_ = nullptr;
-  std::unique_ptr<PairwiseDistanceCache> cache_;
+  // Reusable transport solver for the serial scoring path; the parallel
+  // prefill solves on per-pool-thread workspaces instead (identical values).
+  EmdWorkspace workspace_;
+  PairwiseDistanceCache cache_;
   // Sliding window of the most recent tau + tau' signatures packed into one
   // shared ring buffer; view(0) is the oldest and has global index
   // next_index_ - window_.size(). Sliding is allocation-free in steady state.
   SignatureRing window_;
   std::uint64_t next_index_ = 0;
+  // Rolling log-EMD table over the full window, W = tau + tau' slots square.
+  // Window position p (0 = oldest) lives in physical slot
+  // (table_base_ + p) % W; sliding just advances table_base_, and each step
+  // writes one new row/column (the pairs of the newest signature) instead of
+  // re-assembling every pair through hash lookups. ScoreInspectionPoint
+  // copies the three ScoreContext blocks out of this table into ctx_, whose
+  // matrices are allocated once and reused every step.
+  std::vector<double> log_table_;
+  std::size_t table_base_ = 0;
+  bool table_primed_ = false;
+  ScoreContext ctx_;
   // theta_up history for the xi test, keyed relative to inspection time:
   // upper_history_[k] is theta_up of inspection time (current_t - 1 - k).
   std::deque<double> upper_history_;

@@ -18,10 +18,10 @@ Result<SegmentationResult> SegmentBagSequence(
                            std::to_string(window) + " bags)");
   }
 
-  BagStreamDetector detector(options.detector);
-  BAGCPD_RETURN_NOT_OK(detector.init_status());
+  BAGCPD_ASSIGN_OR_RETURN(std::unique_ptr<BagStreamDetector> detector,
+                          BagStreamDetector::Create(options.detector));
   SegmentationResult result;
-  BAGCPD_ASSIGN_OR_RETURN(result.steps, detector.Run(bags));
+  BAGCPD_ASSIGN_OR_RETURN(result.steps, detector->Run(bags));
 
   // Alarms -> boundaries, merging clusters of alarms (an abrupt change often
   // alarms on a couple of consecutive inspection points).

@@ -50,6 +50,23 @@ class PairwiseDistanceCache {
   /// the window slides to keep memory proportional to the window size.
   void EvictBefore(std::uint64_t min_index);
 
+  /// \brief Drops every cached pair, keeping the hit/miss counters and the
+  /// map's bucket storage. Cheaper than EvictBefore(infinity) — no scan, no
+  /// scratch allocation — for callers that consume every value each step
+  /// (the detector folds distances into its rolling log table and never
+  /// reads them again).
+  void EvictAll() { cache_.clear(); }
+
+  /// \brief Back to the freshly-constructed state — empty, zeroed counters —
+  /// without touching the generator or releasing the map's bucket storage.
+  /// Detector Reset() uses this so long-lived engine streams don't rebuild
+  /// the cache (and its closure) on every reset.
+  void Clear() {
+    cache_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
   std::size_t size() const { return cache_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

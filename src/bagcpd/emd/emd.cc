@@ -7,68 +7,30 @@
 
 #include "bagcpd/common/check.h"
 #include "bagcpd/emd/emd_1d.h"
-#include "bagcpd/emd/min_cost_flow.h"
+#include "bagcpd/emd/transport_solver.h"
 #include "bagcpd/runtime/thread_pool.h"
 
 namespace bagcpd {
 
+// Every entry point below runs on an EmdWorkspace (emd/transport_solver.h):
+// the serial batch helpers keep one workspace for the whole matrix, the
+// parallel overloads use one workspace per pool thread, and the free
+// enum-dispatched two-signature functions share the calling thread's
+// workspace — so steady state everywhere is allocation-free. The fn-based
+// overloads run user code inside the solve and therefore use a local
+// workspace (re-entrancy safety over reuse). MinCostFlow remains as the
+// reference implementation; the property tests pin bitwise agreement
+// between the two.
+
 Result<EmdSolution> ComputeEmdDetailed(SignatureView a, SignatureView b,
                                        const GroundDistanceFn& ground) {
-  BAGCPD_RETURN_NOT_OK(a.Validate());
-  BAGCPD_RETURN_NOT_OK(b.Validate());
-  if (a.dim() != b.dim()) {
-    return Status::Invalid("signatures have different dimensions");
-  }
-
-  const std::size_t k = a.size();
-  const std::size_t l = b.size();
-  const double supply = a.TotalWeight();
-  const double demand = b.TotalWeight();
-  const double total_flow = std::min(supply, demand);
-
-  // Network layout: source = 0, supply nodes 1..K, demand nodes K+1..K+L,
-  // sink = K+L+1. Constraints (8)-(10) are the arc capacities; requesting
-  // `total_flow` units enforces (11).
-  const std::size_t source = 0;
-  const std::size_t sink = k + l + 1;
-  MinCostFlow network(k + l + 2);
-
-  for (std::size_t i = 0; i < k; ++i) {
-    network.AddArc(source, 1 + i, a.weight(i), 0.0);
-  }
-  // Arc ids of the transport arcs, for flow extraction.
-  std::vector<std::vector<int>> transport_ids(k, std::vector<int>(l));
-  for (std::size_t i = 0; i < k; ++i) {
-    for (std::size_t j = 0; j < l; ++j) {
-      const double dist = ground(a.center(i), b.center(j));
-      if (!(dist >= 0.0) || !std::isfinite(dist)) {
-        return Status::Invalid("ground distance produced a negative or "
-                               "non-finite value");
-      }
-      transport_ids[i][j] = network.AddArc(
-          1 + i, 1 + k + j, std::min(a.weight(i), b.weight(j)), dist);
-    }
-  }
-  for (std::size_t j = 0; j < l; ++j) {
-    network.AddArc(1 + k + j, sink, b.weight(j), 0.0);
-  }
-
-  BAGCPD_ASSIGN_OR_RETURN(FlowSolution flow_solution,
-                          network.Solve(source, sink, total_flow));
-
-  EmdSolution out;
-  out.total_flow = flow_solution.flow;
-  out.cost = flow_solution.cost;
-  out.flow = Matrix(k, l);
-  for (std::size_t i = 0; i < k; ++i) {
-    for (std::size_t j = 0; j < l; ++j) {
-      out.flow(i, j) = network.FlowOn(transport_ids[i][j]);
-    }
-  }
-  // Eq. 12. total_flow > 0 because signature weights are strictly positive.
-  BAGCPD_CHECK(out.total_flow > 0.0);
-  out.emd = out.cost / out.total_flow;
-  return out;
+  // A custom ground distance may itself call back into an EMD entry point
+  // (e.g. a nested-EMD dissimilarity); the fn-based entry points therefore
+  // solve on a local workspace so a re-entrant call cannot clobber the
+  // thread-local one mid-fill. Only the enum paths — where no user code runs
+  // inside the solve — share the per-thread workspace.
+  EmdWorkspace workspace;
+  return workspace.ComputeDetailed(a, b, ground);
 }
 
 Result<double> ComputeEmd(SignatureView a, SignatureView b,
@@ -80,13 +42,14 @@ Result<double> ComputeEmd(SignatureView a, SignatureView b,
       Emd1dApplicable(a, b)) {
     return ComputeEmd1d(a, b);
   }
-  return ComputeEmd(a, b, MakeGroundDistance(ground));
+  return ThreadLocalEmdWorkspace().Compute(a, b, ground);
 }
 
 Result<double> ComputeEmd(SignatureView a, SignatureView b,
                           const GroundDistanceFn& ground) {
-  BAGCPD_ASSIGN_OR_RETURN(EmdSolution sol, ComputeEmdDetailed(a, b, ground));
-  return sol.emd;
+  // Local workspace for the same re-entrancy reason as ComputeEmdDetailed.
+  EmdWorkspace workspace;
+  return workspace.Compute(a, b, ground);
 }
 
 namespace {
@@ -99,13 +62,14 @@ using ViewAt = std::function<SignatureView(std::size_t)>;
 Result<Matrix> PairwiseEmdImpl(const ViewAt& at, std::size_t n,
                                GroundDistance ground) {
   if (n == 0) return Status::Invalid("no signatures");
-  // Materialize the ground function once (this also pins the historical
-  // behaviour of always solving the full transportation problem here).
-  const GroundDistanceFn fn = MakeGroundDistance(ground);
+  // One workspace reused across all C(n, 2) solves. Dispatching on the enum
+  // per pair also pins the historical behaviour of always solving the full
+  // transportation problem here (never the 1-d sweep).
+  EmdWorkspace workspace;
   Matrix m(n, n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      BAGCPD_ASSIGN_OR_RETURN(double d, ComputeEmd(at(i), at(j), fn));
+      BAGCPD_ASSIGN_OR_RETURN(double d, workspace.Compute(at(i), at(j), ground));
       m(i, j) = d;
       m(j, i) = d;
     }
@@ -117,11 +81,12 @@ Result<Matrix> CrossDistanceImpl(const ViewAt& at_a, std::size_t n,
                                  const ViewAt& at_b, std::size_t m,
                                  GroundDistance ground) {
   if (n == 0 || m == 0) return Status::Invalid("no signatures");
-  const GroundDistanceFn fn = MakeGroundDistance(ground);
+  EmdWorkspace workspace;
   Matrix out(n, m);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < m; ++j) {
-      BAGCPD_ASSIGN_OR_RETURN(double dij, ComputeEmd(at_a(i), at_b(j), fn));
+      BAGCPD_ASSIGN_OR_RETURN(double dij,
+                              workspace.Compute(at_a(i), at_b(j), ground));
       out(i, j) = dij;
     }
   }
@@ -141,7 +106,6 @@ Result<Matrix> PairwiseEmdMatrix(const SignatureSet& signatures,
   if (pool == nullptr) return PairwiseEmdMatrix(signatures, ground);
   const std::size_t n = signatures.size();
   if (n == 0) return Status::Invalid("no signatures");
-  const GroundDistanceFn fn = MakeGroundDistance(ground);
   // ParallelFor over the flat index of the strict upper triangle so the
   // static chunking splits the actual workload; each worker recovers its
   // (i, j) arithmetically and writes its two (distinct) matrix cells
@@ -167,7 +131,8 @@ Result<Matrix> PairwiseEmdMatrix(const SignatureSet& signatures,
     while (i > 0 && start_of(i) > p) --i;
     while (i < n - 2 && start_of(i + 1) <= p) ++i;
     const std::size_t j = i + 1 + (p - start_of(i));
-    Result<double> d = ComputeEmd(signatures.view(i), signatures.view(j), fn);
+    Result<double> d = ThreadLocalEmdWorkspace().Compute(
+        signatures.view(i), signatures.view(j), ground);
     if (d.ok()) {
       m(i, j) = d.ValueOrDie();
       m(j, i) = d.ValueOrDie();
@@ -198,6 +163,46 @@ Result<Matrix> CrossDistanceMatrix(const SignatureSet& a,
   return CrossDistanceImpl([&](std::size_t i) { return a.view(i); }, a.size(),
                            [&](std::size_t j) { return b.view(j); }, b.size(),
                            ground);
+}
+
+Result<Matrix> CrossDistanceMatrix(const SignatureSet& a,
+                                   const SignatureSet& b,
+                                   GroundDistance ground, ThreadPool* pool) {
+  if (pool == nullptr) return CrossDistanceMatrix(a, b, ground);
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return Status::Invalid("no signatures");
+  // Deterministic row chunking: ParallelFor splits the n rows purely as a
+  // function of (n, pool size), each worker fills whole rows through its
+  // thread-local workspace, and every cell depends only on its two
+  // signatures — so the matrix is bitwise-identical to the serial overload
+  // for any pool size.
+  Matrix out(n, m);
+  std::mutex error_mu;
+  std::size_t first_error_flat = n * m;  // n * m == "no error".
+  Status first_error;
+  pool->ParallelFor(0, n, [&](std::size_t i) {
+    EmdWorkspace& workspace = ThreadLocalEmdWorkspace();
+    for (std::size_t j = 0; j < m; ++j) {
+      Result<double> dij = workspace.Compute(a.view(i), b.view(j), ground);
+      if (dij.ok()) {
+        out(i, j) = dij.ValueOrDie();
+        continue;
+      }
+      // Surface the error the serial row-major loop would hit first,
+      // independent of thread timing; the rest of this row would not have
+      // been evaluated serially, so stop it here too.
+      const std::size_t flat = i * m + j;
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (flat < first_error_flat) {
+        first_error_flat = flat;
+        first_error = dij.status();
+      }
+      break;
+    }
+  });
+  BAGCPD_RETURN_NOT_OK(first_error);
+  return out;
 }
 
 Result<Matrix> CrossDistanceMatrix(const std::vector<Signature>& a,

@@ -76,6 +76,15 @@ Result<Matrix> CrossDistanceMatrix(const SignatureSet& a,
                                    const SignatureSet& b,
                                    GroundDistance ground = GroundDistance::kEuclidean);
 
+/// \brief Parallel variant: fills the |a| x |b| table over `pool` with
+/// deterministic row chunking (the split is a pure function of the row count
+/// and pool size; each worker fills whole rows). Bitwise-identical to the
+/// serial overload for any pool size; `pool == nullptr` falls back to it
+/// outright.
+Result<Matrix> CrossDistanceMatrix(const SignatureSet& a,
+                                   const SignatureSet& b,
+                                   GroundDistance ground, ThreadPool* pool);
+
 /// \brief AoS compatibility shim; identical output to the SignatureSet form.
 Result<Matrix> CrossDistanceMatrix(const std::vector<Signature>& a,
                                    const std::vector<Signature>& b,

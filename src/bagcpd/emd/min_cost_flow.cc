@@ -9,12 +9,6 @@
 
 namespace bagcpd {
 
-namespace {
-// Flow amounts below this are treated as zero to keep real-valued
-// augmentation terminating in the presence of rounding noise.
-constexpr double kFlowEpsilon = 1e-12;
-}  // namespace
-
 MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
 
 int MinCostFlow::AddArc(std::size_t from, std::size_t to, double capacity,

@@ -16,6 +16,13 @@
 
 namespace bagcpd {
 
+/// \brief Flow amounts below this are treated as zero, keeping real-valued
+/// augmentation terminating in the presence of rounding noise. Shared by
+/// this reference solver and the EmdWorkspace fast path
+/// (emd/transport_solver.h) — the two must augment at identical points for
+/// their bitwise-equivalence contract to hold.
+inline constexpr double kFlowEpsilon = 1e-12;
+
 /// \brief Outcome of a min-cost-flow computation.
 struct FlowSolution {
   /// Units actually routed (== requested amount on success).

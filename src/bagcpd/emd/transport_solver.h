@@ -1,0 +1,151 @@
+// Dedicated transportation-problem solver for the complete bipartite
+// signature network behind every EMD evaluation (paper Eqs. 8-12).
+//
+// The generic MinCostFlow reference (min_cost_flow.h) rebuilds a
+// vector-of-vectors adjacency, runs a binary-heap Dijkstra, and calls a
+// `std::function` ground distance once per transport arc — from scratch for
+// every signature pair. EmdWorkspace replaces all of that on the hot path:
+//
+//  * ONE reusable workspace holds flat CSR-style arc arrays (to / capacity /
+//    cost / reverse-index), the Johnson potentials, the Dijkstra dist/prev
+//    arrays, and the K x L ground-distance matrix. Buffers grow
+//    monotonically, so steady-state solves perform ZERO heap allocations
+//    (allocation_count() exposes the growth counter the perf gate pins).
+//  * The EMD network is complete bipartite and tiny (K + L + 2 nodes), so
+//    Dijkstra runs as a dense O(n^2) scan with index-ordered tie-breaking —
+//    no heap, no per-entry allocations, and the exact processing order of
+//    the reference heap (which pops (dist, node) pairs, i.e. breaks distance
+//    ties by node index). Every augmentation therefore reproduces the
+//    reference augmentation sequence — and every rounding — bit for bit.
+//  * A batched ground-distance kernel fills the cost matrix directly from
+//    the two packed signature buffers, dispatching ONCE on the
+//    GroundDistance enum instead of through a GroundDistanceFn per arc.
+//
+// Ownership rules (see README "Performance"): a BagStreamDetector owns one
+// workspace for its serial scoring path; batch entry points
+// (PairwiseEmdMatrix / CrossDistanceMatrix) use one local workspace per
+// call; pool workers (parallel matrices, detector prefill) use
+// ThreadLocalEmdWorkspace(). A workspace is NOT thread-safe — never share
+// one across concurrent solves.
+
+#ifndef BAGCPD_EMD_TRANSPORT_SOLVER_H_
+#define BAGCPD_EMD_TRANSPORT_SOLVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bagcpd/common/result.h"
+#include "bagcpd/emd/emd.h"
+#include "bagcpd/emd/ground_distance.h"
+#include "bagcpd/signature/signature.h"
+
+namespace bagcpd {
+
+/// \brief Reusable, allocation-free-in-steady-state EMD transport solver.
+///
+/// Solves the full K x L transportation problem every time (no 1-d fast
+/// path), exactly like the MinCostFlow reference construction in
+/// ComputeEmdDetailed — results are bitwise-identical to it by design.
+class EmdWorkspace {
+ public:
+  EmdWorkspace() = default;
+
+  // The scratch buffers are the whole point of the type; accidental copies
+  // would silently defeat reuse.
+  EmdWorkspace(const EmdWorkspace&) = delete;
+  EmdWorkspace& operator=(const EmdWorkspace&) = delete;
+  EmdWorkspace(EmdWorkspace&&) = default;
+  EmdWorkspace& operator=(EmdWorkspace&&) = default;
+
+  /// \brief EMD between two signatures with a built-in ground distance
+  /// (batched enum-dispatched cost kernel; the fastest path).
+  Result<double> Compute(SignatureView a, SignatureView b,
+                         GroundDistance ground);
+
+  /// \brief EMD with a custom ground distance (called once per (k, l) cost
+  /// matrix entry, not once per residual arc).
+  Result<double> Compute(SignatureView a, SignatureView b,
+                         const GroundDistanceFn& ground);
+
+  /// \brief Full solution including the optimal flow matrix. The returned
+  /// EmdSolution owns its flow Matrix (one allocation for the caller); the
+  /// solve itself still runs entirely inside the workspace.
+  Result<EmdSolution> ComputeDetailed(SignatureView a, SignatureView b,
+                                      const GroundDistanceFn& ground);
+
+  /// \brief Enum-dispatched variant of ComputeDetailed.
+  Result<EmdSolution> ComputeDetailed(SignatureView a, SignatureView b,
+                                      GroundDistance ground);
+
+  /// \brief Number of successful solves since construction.
+  std::uint64_t solve_count() const { return solve_count_; }
+
+  /// \brief Number of buffer growths since construction. Once the workspace
+  /// has seen the largest (K, L) of its call site, this stops moving —
+  /// "allocations per solve" in steady state is exactly zero, which
+  /// bench/micro_emd measures and tools/check_perf_gate.py enforces.
+  std::uint64_t allocation_count() const { return allocation_count_; }
+
+ private:
+  // Validates the pair, sizes the buffers for (K, L), and fills the cost
+  // matrix via the batched kernel (enum) or the callback (fn).
+  Status Prepare(SignatureView a, SignatureView b, GroundDistance ground);
+  Status Prepare(SignatureView a, SignatureView b,
+                 const GroundDistanceFn& ground);
+  Status Layout(SignatureView a, SignatureView b);
+
+  // Builds the CSR residual network (arc order identical to the MinCostFlow
+  // reference construction) and runs successive shortest augmenting paths
+  // for min(total weights) units. On success `emd_out` is Eq. 12's value and
+  // the residual arc capacities hold the optimal flow.
+  Status SolveNetwork(SignatureView a, SignatureView b, double* emd_out,
+                      double* total_flow_out, double* cost_out);
+
+  // SolveNetwork plus extraction of the optimal flow matrix (the shared
+  // tail of both ComputeDetailed overloads; Prepare must have run).
+  Result<EmdSolution> SolveDetailed(SignatureView a, SignatureView b);
+
+  void BuildNetwork(SignatureView a, SignatureView b);
+
+  // Grows `v` to at least `count` elements (never shrinks), counting real
+  // reallocations into allocation_count_.
+  template <typename T>
+  void Ensure(std::vector<T>* v, std::size_t count);
+
+  std::size_t k_ = 0;      // Supply-side cluster count of the current solve.
+  std::size_t l_ = 0;      // Demand-side cluster count.
+  std::size_t nodes_ = 0;  // k_ + l_ + 2.
+  std::size_t arcs_ = 0;   // 2 * (k_ + l_ + k_ * l_), forward + residual.
+
+  std::vector<double> cost_matrix_;  // k_ x l_ ground distances, row-major.
+
+  // Flat residual network. Arc e leaves the node whose CSR range contains e;
+  // arc_rev_[e] is the global index of its reverse arc.
+  std::vector<std::size_t> arc_to_;
+  std::vector<std::size_t> arc_rev_;
+  std::vector<double> arc_cap_;
+  std::vector<double> arc_cost_;
+
+  // Dense Dijkstra + potentials scratch (nodes_ entries in use).
+  std::vector<double> dist_;
+  std::vector<double> potential_;
+  std::vector<std::size_t> prev_node_;
+  std::vector<std::size_t> prev_arc_;
+  std::vector<char> visited_;
+
+  std::uint64_t solve_count_ = 0;
+  std::uint64_t allocation_count_ = 0;
+};
+
+/// \brief Per-thread workspace used by the free enum-dispatched ComputeEmd
+/// entry point and by pool workers (parallel matrix fills, detector
+/// prefill). Each thread gets its own instance, so concurrent solves never
+/// share scratch state. Never solve through this from code that can run
+/// INSIDE another solve (a custom GroundDistanceFn) — such paths must use a
+/// local workspace, as the fn-based free entry points do.
+EmdWorkspace& ThreadLocalEmdWorkspace();
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_EMD_TRANSPORT_SOLVER_H_

@@ -384,7 +384,13 @@ void StreamEngine::Process(Shard& shard, Task task) {
     DetectorOptions per_stream = ProfileOptions(task.profile);
     per_stream.seed = DeriveStreamSeed(task.stream_id, task.profile);
     StreamState state;
-    state.detector = std::make_unique<BagStreamDetector>(per_stream);
+    // Cannot fail: every registered profile was validated up front and the
+    // engine only changes the seed.
+    Result<std::unique_ptr<BagStreamDetector>> created =
+        BagStreamDetector::Create(per_stream);
+    BAGCPD_CHECK_MSG(created.ok(), "validated profile failed Create: %s",
+                     created.status().ToString().c_str());
+    state.detector = created.MoveValueUnsafe();
     state.profile = task.profile;
     // Signature builds for this stream recycle buffers through the shard's
     // pool; the arena outlives every detector (member declaration order).

@@ -7,6 +7,11 @@
 
 #include "bagcpd/data/gmm.h"
 
+// This suite deliberately exercises the deprecated constructor shims to pin
+// their parity with the Create() factories; suppress the opt-in deprecation
+// warnings for the whole file.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace bagcpd {
 namespace api {
 namespace {

@@ -164,6 +164,53 @@ TEST(EmdTest, ParallelPairwiseMatrixBitwiseEqualsSerial) {
   }
 }
 
+TEST(EmdTest, ParallelCrossDistanceMatrixBitwiseEqualsSerial) {
+  // The pooled cross-distance fill (deterministic row chunking over
+  // per-thread workspaces) must reproduce the serial matrix bit for bit for
+  // any pool size, including ragged shapes that split unevenly across rows.
+  Rng rng(47);
+  SignatureSet a;
+  SignatureSet b;
+  for (int s = 0; s < 7; ++s) {
+    std::vector<Point> centers;
+    std::vector<double> weights;
+    for (int k = 0; k < 3; ++k) {
+      centers.push_back({rng.Uniform() * 4.0, rng.Uniform() * 4.0});
+      weights.push_back(0.5 + rng.Uniform());
+    }
+    ASSERT_TRUE(a.Append(Sig(centers, std::move(weights))).ok());
+  }
+  for (int s = 0; s < 11; ++s) {
+    std::vector<Point> centers;
+    std::vector<double> weights;
+    for (int k = 0; k < 4; ++k) {
+      centers.push_back({rng.Uniform() * 4.0 - 2.0, rng.Uniform() * 4.0});
+      weights.push_back(0.5 + rng.Uniform());
+    }
+    ASSERT_TRUE(b.Append(Sig(centers, std::move(weights))).ok());
+  }
+  const Matrix serial = CrossDistanceMatrix(a, b).ValueOrDie();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    const Matrix parallel =
+        CrossDistanceMatrix(a, b, GroundDistance::kEuclidean, &pool)
+            .ValueOrDie();
+    ASSERT_EQ(parallel.rows(), serial.rows());
+    ASSERT_EQ(parallel.cols(), serial.cols());
+    for (std::size_t i = 0; i < serial.rows(); ++i) {
+      for (std::size_t j = 0; j < serial.cols(); ++j) {
+        EXPECT_EQ(parallel(i, j), serial(i, j))
+            << threads << " threads @ (" << i << ", " << j << ")";
+      }
+    }
+  }
+  // nullptr falls back to the serial overload outright.
+  const Matrix fallback =
+      CrossDistanceMatrix(a, b, GroundDistance::kEuclidean, nullptr)
+          .ValueOrDie();
+  EXPECT_EQ(fallback.MaxAbsDiff(serial), 0.0);
+}
+
 TEST(EmdTest, RubnerStyleExample) {
   // A classic small instance: supplies {(1,0):0.4, (0,1):0.6} vs demands
   // {(0,0):0.5, (1,1):0.5}. Optimal cost is 1.0 * (all unit distances):

@@ -33,7 +33,8 @@ TEST(EndToEndTest, Fig1MixtureShapeChangesAreDetected) {
   options.signature.method = SignatureMethod::kKMeans;
   options.signature.k = 8;
   options.seed = 4;
-  BagStreamDetector detector(options);
+  auto detector_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+  BagStreamDetector& detector = *detector_owner;
   std::vector<StepResult> results = detector.Run(stream.bags).ValueOrDie();
 
   const std::vector<std::uint64_t> alarms = AlarmTimes(results);
@@ -61,11 +62,13 @@ TEST(EndToEndTest, SampleMeanReductionDestroysTheFig1Signal) {
   options.seed = 6;
 
   options.signature.method = SignatureMethod::kKMeans;
-  BagStreamDetector full(options);
+  auto full_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+  BagStreamDetector& full = *full_owner;
   std::vector<StepResult> full_results = full.Run(stream.bags).ValueOrDie();
 
   options.signature.method = SignatureMethod::kCentroid;
-  BagStreamDetector reduced(options);
+  auto reduced_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+  BagStreamDetector& reduced = *reduced_owner;
   std::vector<StepResult> reduced_results =
       reduced.Run(stream.bags).ValueOrDie();
 
@@ -109,7 +112,8 @@ TEST(EndToEndTest, BipartiteTrafficChangeVisibleThroughStrengthFeature) {
   options.signature.method = SignatureMethod::kKMeans;
   options.signature.k = 6;
   options.seed = 9;
-  BagStreamDetector detector(options);
+  auto detector_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+  BagStreamDetector& detector = *detector_owner;
   std::vector<StepResult> results = detector.Run(feature_bags).ValueOrDie();
 
   const std::vector<std::uint64_t> alarms = AlarmTimes(results);
@@ -144,7 +148,8 @@ TEST(EndToEndTest, ScoresAreFiniteEverywhere) {
   options.tau_prime = 3;
   options.bootstrap.replicates = 80;
   options.seed = 11;
-  BagStreamDetector detector(options);
+  auto detector_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+  BagStreamDetector& detector = *detector_owner;
   std::vector<StepResult> results = detector.Run(stream.bags).ValueOrDie();
   ASSERT_FALSE(results.empty());
   for (const StepResult& r : results) {
@@ -168,7 +173,8 @@ TEST(EndToEndTest, LrScoreAlsoDetectsFig1Changes) {
   options.bootstrap.replicates = 0;
   options.signature.k = 8;
   options.seed = 13;
-  BagStreamDetector detector(options);
+  auto detector_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+  BagStreamDetector& detector = *detector_owner;
   std::vector<StepResult> results = detector.Run(stream.bags).ValueOrDie();
   // Use score-level AUC: times near true changes must rank above the rest.
   std::vector<double> scores;

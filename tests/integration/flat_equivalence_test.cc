@@ -150,10 +150,13 @@ TEST(FlatEquivalenceTest, DetectorRunMatchesBitwise) {
   options.signature.k = 4;
   options.seed = 2;
 
-  BagStreamDetector nested(options);
+  auto nested_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+
+  BagStreamDetector& nested = *nested_owner;
   const std::vector<StepResult> nested_results =
       nested.Run(bags).ValueOrDie();
-  BagStreamDetector viewed(options);
+  auto viewed_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+  BagStreamDetector& viewed = *viewed_owner;
   const std::vector<StepResult> flat_results = viewed.Run(flat).ValueOrDie();
   ExpectBitwiseEqual(nested_results, flat_results, "detector");
 }
@@ -200,11 +203,14 @@ TEST(FlatEquivalenceTest, DetectorWithArenaMatchesBitwise) {
   options.signature.k = 4;
   options.seed = 8;
 
-  BagStreamDetector plain(options);
+  auto plain_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+
+  BagStreamDetector& plain = *plain_owner;
   const std::vector<StepResult> baseline = plain.Run(bags).ValueOrDie();
 
   BufferArena arena;
-  BagStreamDetector pooled(options);
+  auto pooled_owner = BagStreamDetector::Create(options).MoveValueUnsafe();
+  BagStreamDetector& pooled = *pooled_owner;
   pooled.set_buffer_arena(&arena);
   const std::vector<StepResult> with_arena = pooled.Run(bags).ValueOrDie();
   ExpectBitwiseEqual(baseline, with_arena, "detector with arena");
@@ -262,7 +268,8 @@ TEST(FlatEquivalenceTest, EngineMatchesBitwiseForAnyShardCountAndIngestForm) {
     for (const bool flat_ingest : {false, true}) {
       StreamEngineOptions options = base;
       options.num_shards = shards;
-      StreamEngine engine(options);
+      auto engine_owner = StreamEngine::Create(options).MoveValueUnsafe();
+      StreamEngine& engine = *engine_owner;
       ASSERT_TRUE(engine.init_status().ok());
       for (const auto& [key, bags] : streams) {
         for (const Bag& bag : bags) {

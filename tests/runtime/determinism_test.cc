@@ -121,19 +121,26 @@ TEST(DeterminismTest, BootstrapIntervalInvariantToPoolSize) {
 TEST(DeterminismTest, DetectorRunInvariantToPoolSize) {
   const BagSequence bags = JumpStream(24, 12, 7);
 
-  BagStreamDetector serial(SmallDetector());
+  auto serial_owner = BagStreamDetector::Create(SmallDetector()).MoveValueUnsafe();
+
+  BagStreamDetector& serial = *serial_owner;
   const std::vector<StepResult> baseline = serial.Run(bags).ValueOrDie();
 
   for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     ThreadPool pool(threads);
-    BagStreamDetector pooled(SmallDetector());
+    auto pooled_owner = BagStreamDetector::Create(SmallDetector()).MoveValueUnsafe();
+    BagStreamDetector& pooled = *pooled_owner;
     pooled.set_thread_pool(&pool);
     const std::vector<StepResult> results = pooled.Run(bags).ValueOrDie();
     ExpectIdenticalSteps(baseline, results,
                          "pool size " + std::to_string(threads));
     // The prefill path computes exactly the pairs the serial path would:
-    // same miss count, never more.
+    // same miss count (= transportation solves), never more. The rolling
+    // score tables then read the prefilled values back as cache hits — the
+    // serial path solves inside Get() instead, so it reports zero hits.
     EXPECT_EQ(pooled.emd_cache_misses(), serial.emd_cache_misses());
+    EXPECT_GT(pooled.emd_cache_hits(), 0u);
+    EXPECT_EQ(serial.emd_cache_hits(), 0u);
   }
 }
 
@@ -150,7 +157,8 @@ TEST(DeterminismTest, EngineRunBatchInvariantToShardCount) {
     options.num_shards = shards;
     options.detector = EngineDetector();
     options.seed = 77;
-    StreamEngine engine(options);
+    auto engine_owner = StreamEngine::Create(options).MoveValueUnsafe();
+    StreamEngine& engine = *engine_owner;
     auto batch = engine.RunBatch(streams);
     ASSERT_TRUE(batch.ok()) << batch.status().ToString();
     if (baseline.empty()) {
@@ -171,12 +179,15 @@ TEST(DeterminismTest, FlatIngestMatchesNestedForAnyPoolSize) {
   const BagSequence bags = JumpStream(24, 12, 7);
   const FlatBagSequence flat = FlattenSequence(bags).ValueOrDie();
 
-  BagStreamDetector serial(SmallDetector());
+  auto serial_owner = BagStreamDetector::Create(SmallDetector()).MoveValueUnsafe();
+
+  BagStreamDetector& serial = *serial_owner;
   const std::vector<StepResult> baseline = serial.Run(bags).ValueOrDie();
 
   for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     ThreadPool pool(threads);
-    BagStreamDetector pooled(SmallDetector());
+    auto pooled_owner = BagStreamDetector::Create(SmallDetector()).MoveValueUnsafe();
+    BagStreamDetector& pooled = *pooled_owner;
     pooled.set_thread_pool(&pool);
     const std::vector<StepResult> results = pooled.Run(flat).ValueOrDie();
     ExpectIdenticalSteps(baseline, results,
@@ -190,13 +201,16 @@ TEST(DeterminismTest, ArenaPooledDetectorInvariantToPoolSizeAndArena) {
   // bitwise-equal to the serial malloc baseline.
   const BagSequence bags = JumpStream(24, 12, 7);
 
-  BagStreamDetector serial(SmallDetector());
+  auto serial_owner = BagStreamDetector::Create(SmallDetector()).MoveValueUnsafe();
+
+  BagStreamDetector& serial = *serial_owner;
   const std::vector<StepResult> baseline = serial.Run(bags).ValueOrDie();
 
   for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     ThreadPool pool(threads);
     BufferArena arena;
-    BagStreamDetector pooled(SmallDetector());
+    auto pooled_owner = BagStreamDetector::Create(SmallDetector()).MoveValueUnsafe();
+    BagStreamDetector& pooled = *pooled_owner;
     pooled.set_thread_pool(&pool);
     pooled.set_buffer_arena(&arena);
     const std::vector<StepResult> results = pooled.Run(bags).ValueOrDie();
@@ -232,7 +246,8 @@ TEST(DeterminismTest, EngineArenaTuningNeverChangesResults) {
         options.arena.max_buffer_capacity = 2;
         options.arena.max_buffers_per_class = 1;
       }
-      StreamEngine engine(options);
+      auto engine_owner = StreamEngine::Create(options).MoveValueUnsafe();
+      StreamEngine& engine = *engine_owner;
       auto batch = engine.RunBatch(streams);
       ASSERT_TRUE(batch.ok()) << batch.status().ToString();
       if (baseline.empty()) {
@@ -260,10 +275,14 @@ TEST(DeterminismTest, EngineOnlineMatchesBatch) {
   options.detector = EngineDetector();
   options.seed = 5;
 
-  StreamEngine batch_engine(options);
+  auto batch_engine_owner = StreamEngine::Create(options).MoveValueUnsafe();
+
+  StreamEngine& batch_engine = *batch_engine_owner;
   auto batch = batch_engine.RunBatch(streams).ValueOrDie();
 
-  StreamEngine online(options);
+  auto online_owner = StreamEngine::Create(options).MoveValueUnsafe();
+
+  StreamEngine& online = *online_owner;
   for (const auto& [key, bags] : streams) {
     for (const Bag& bag : bags) {
       ASSERT_TRUE(online.Submit(key, bag).ok());

@@ -50,6 +50,11 @@ StreamEngineOptions SmallEngine(std::size_t shards) {
 }
 
 TEST(StreamEngineTest, RejectsBadOptions) {
+  // Deliberately exercises the legacy constructor shim: every bad option
+  // must keep surfacing through init_status() (Create-parity is pinned in
+  // api/spec_test.cc).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   StreamEngineOptions options = SmallEngine(2);
   options.shard_queue_capacity = 0;
   EXPECT_FALSE(StreamEngine(options).init_status().ok());
@@ -68,10 +73,12 @@ TEST(StreamEngineTest, RejectsBadOptions) {
   inverted_arena.arena.min_buffer_capacity = 64;
   inverted_arena.arena.max_buffer_capacity = 32;
   EXPECT_FALSE(StreamEngine(inverted_arena).init_status().ok());
+#pragma GCC diagnostic pop
 }
 
 TEST(StreamEngineTest, SubmitFlushDrainProcessesEveryBag) {
-  StreamEngine engine(SmallEngine(3));
+  auto engine_owner = StreamEngine::Create(SmallEngine(3)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   ASSERT_TRUE(engine.init_status().ok());
   const std::size_t kStreams = 6;
   const std::size_t kLength = 12;
@@ -104,7 +111,8 @@ TEST(StreamEngineTest, SubmitFlushDrainProcessesEveryBag) {
 }
 
 TEST(StreamEngineTest, RunBatchDetectsPlantedChanges) {
-  StreamEngine engine(SmallEngine(4));
+  auto engine_owner = StreamEngine::Create(SmallEngine(4)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   ASSERT_TRUE(engine.init_status().ok());
   std::map<std::string, BagSequence> streams;
   streams["changing-a"] = JumpStream(30, 15, 1);
@@ -127,12 +135,16 @@ TEST(StreamEngineTest, RunBatchDetectsPlantedChanges) {
 }
 
 TEST(StreamEngineTest, CallbackDeliversResultsOnShardThreads) {
-  StreamEngine engine(SmallEngine(2));
+  auto engine_owner = StreamEngine::Create(SmallEngine(2)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   std::atomic<int> callbacks{0};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   engine.set_callback([&](const StreamStepResult& r) {
     EXPECT_FALSE(r.stream_id.empty());
     callbacks.fetch_add(1);
   });
+#pragma GCC diagnostic pop
   BagSequence bags = JumpStream(12, 0, 5);
   for (const Bag& bag : bags) {
     ASSERT_TRUE(engine.Submit("cb", bag).ok());
@@ -144,7 +156,8 @@ TEST(StreamEngineTest, CallbackDeliversResultsOnShardThreads) {
 }
 
 TEST(StreamEngineTest, QuarantinesFailingStreamOnly) {
-  StreamEngine engine(SmallEngine(2));
+  auto engine_owner = StreamEngine::Create(SmallEngine(2)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   // A ragged bag (mismatched dimensions) fails the stream.
   Bag ragged = {{1.0, 2.0}, {3.0}};
   ASSERT_TRUE(engine.Submit("bad", ragged).ok());
@@ -168,7 +181,8 @@ TEST(StreamEngineTest, QuarantinesFailingStreamOnly) {
 TEST(StreamEngineTest, QuarantineFreesTheStreamsDetector) {
   // Whether the failure is a ragged bag at the boundary or a detector error,
   // the quarantined key's detector must be released, not pinned forever.
-  StreamEngine engine(SmallEngine(1));
+  auto engine_owner = StreamEngine::Create(SmallEngine(1)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   const BagSequence good = JumpStream(3, 0, 13);
   for (const Bag& bag : good) {
     ASSERT_TRUE(engine.Submit("doomed", bag).ok());
@@ -184,7 +198,8 @@ TEST(StreamEngineTest, QuarantineFreesTheStreamsDetector) {
 TEST(StreamEngineTest, RunBatchRefusesStreamsQuarantinedEarlier) {
   // A stream that failed during online traffic must fail a later batch that
   // includes it, not silently return an empty series.
-  StreamEngine engine(SmallEngine(2));
+  auto engine_owner = StreamEngine::Create(SmallEngine(2)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   Bag ragged = {{1.0, 2.0}, {3.0}};
   ASSERT_TRUE(engine.Submit("poisoned", ragged).ok());
   engine.Flush();
@@ -201,15 +216,18 @@ TEST(StreamEngineTest, RunBatchRefusesStreamsQuarantinedEarlier) {
 }
 
 TEST(StreamEngineTest, SubmitAfterShutdownFails) {
-  StreamEngine engine(SmallEngine(2));
+  auto engine_owner = StreamEngine::Create(SmallEngine(2)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   engine.Shutdown();
   EXPECT_FALSE(engine.Submit("x", JumpStream(1, 0, 7).front()).ok());
 }
 
 TEST(StreamEngineTest, FlatBagSubmitMatchesNestedSubmit) {
   const BagSequence bags = JumpStream(14, 7, 11);
-  StreamEngine nested(SmallEngine(2));
-  StreamEngine flat(SmallEngine(2));
+  auto nested_owner = StreamEngine::Create(SmallEngine(2)).MoveValueUnsafe();
+  StreamEngine& nested = *nested_owner;
+  auto flat_owner = StreamEngine::Create(SmallEngine(2)).MoveValueUnsafe();
+  StreamEngine& flat = *flat_owner;
   for (const Bag& bag : bags) {
     ASSERT_TRUE(nested.Submit("k", bag).ok());
     ASSERT_TRUE(flat.Submit("k", FlatBag::FromBag(bag).ValueOrDie()).ok());
@@ -229,7 +247,8 @@ TEST(StreamEngineTest, TrySubmitReturnsUnavailableWhenShardQueueFull) {
   StreamEngineOptions options = SmallEngine(1);
   options.detector.bootstrap.replicates = 0;
   options.shard_queue_capacity = 2;
-  StreamEngine engine(options);
+  auto engine_owner = StreamEngine::Create(options).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   ASSERT_TRUE(engine.init_status().ok());
 
   // Park the single worker inside the result callback so the queue can be
@@ -238,12 +257,15 @@ TEST(StreamEngineTest, TrySubmitReturnsUnavailableWhenShardQueueFull) {
   std::promise<void> release;
   std::shared_future<void> release_future = release.get_future().share();
   std::atomic<bool> signaled{false};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   engine.set_callback([&](const StreamStepResult&) {
     if (!signaled.exchange(true)) {
       entered.set_value();
       release_future.wait();
     }
   });
+#pragma GCC diagnostic pop
 
   // tau + tau' = 8 pushes produce the first result, which blocks the worker.
   const BagSequence bags = JumpStream(8, 0, 21);
@@ -277,7 +299,8 @@ TEST(StreamEngineTest, IdleStreamsAreEvictedAndRestartFresh) {
   StreamEngineOptions options = SmallEngine(1);
   options.detector.bootstrap.replicates = 0;
   options.max_idle_submissions = 4;
-  StreamEngine engine(options);
+  auto engine_owner = StreamEngine::Create(options).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   ASSERT_TRUE(engine.init_status().ok());
 
   const BagSequence cold_bags = JumpStream(12, 0, 31);
@@ -305,7 +328,8 @@ TEST(StreamEngineTest, IdleStreamsAreEvictedAndRestartFresh) {
   // segment's 3 bags are < tau + tau', so it yielded no results).
   DetectorOptions per_stream = options.detector;
   per_stream.seed = Rng::MixSeed64(options.seed ^ Rng::StableHash64("cold"));
-  BagStreamDetector reference(per_stream);
+  auto reference_owner = BagStreamDetector::Create(per_stream).MoveValueUnsafe();
+  BagStreamDetector& reference = *reference_owner;
   std::vector<StepResult> expected;
   for (std::size_t t = 3; t < cold_bags.size(); ++t) {
     auto step = reference.Push(cold_bags[t]).ValueOrDie();
@@ -328,7 +352,8 @@ TEST(StreamEngineTest, EvictionIsDeterministicAcrossShardCounts) {
     // Bursts of other keys put ~20 submissions between a key's adjacent
     // bursts and ~36 when it skips one; 24 evicts only the skippers.
     options.max_idle_submissions = 24;
-    StreamEngine engine(options);
+    auto engine_owner = StreamEngine::Create(options).MoveValueUnsafe();
+    StreamEngine& engine = *engine_owner;
     ASSERT_TRUE(engine.init_status().ok());
     // Alternate bursts so some keys go idle past the threshold mid-run; the
     // submission order (and hence the global idle clock) is fixed.
@@ -363,7 +388,8 @@ TEST(StreamEngineTest, IdleSweepReclaimsDetectorMemory) {
   StreamEngineOptions options = SmallEngine(1);
   options.detector.bootstrap.replicates = 0;
   options.max_idle_submissions = 16;
-  StreamEngine engine(options);
+  auto engine_owner = StreamEngine::Create(options).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   ASSERT_TRUE(engine.init_status().ok());
 
   // One bag for a key that then goes silent forever.
@@ -382,7 +408,8 @@ TEST(StreamEngineTest, IdleSweepReclaimsDetectorMemory) {
 TEST(StreamEngineTest, BackpressureDoesNotDeadlockTinyQueues) {
   StreamEngineOptions options = SmallEngine(2);
   options.shard_queue_capacity = 1;
-  StreamEngine engine(options);
+  auto engine_owner = StreamEngine::Create(options).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
   for (std::size_t s = 0; s < 4; ++s) {
     BagSequence bags = JumpStream(15, 0, 200 + s);
     for (const Bag& bag : bags) {

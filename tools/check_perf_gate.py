@@ -6,10 +6,17 @@ that RunBatch at --threads shards is at least --min-speedup times faster than
 the single-shard baseline (the ">2x @ 4 threads" criterion from the roadmap).
 Optionally also enforces the arena-ingest floor from BENCH_flatbag.json.
 
+Also enforces the EMD-solver floor from BENCH_emd.json (bench/micro_emd.cc):
+the workspace transport solver must beat the MinCostFlow reference by
+--min-speedup on the named run AND every run must report zero steady-state
+allocations per solve.
+
 Usage:
   check_perf_gate.py BENCH_engine.json [--threads 4] [--min-speedup 2.0]
   check_perf_gate.py BENCH_flatbag.json --memory-run arena_ingest \
       --min-speedup 1.15
+  check_perf_gate.py BENCH_emd.json --emd-run emd_solve_k16 \
+      --min-speedup 1.3
 
 Exits 0 when the gate passes, 1 when it fails or the row is missing.
 """
@@ -55,6 +62,39 @@ def check_memory_run(data, name, min_speedup):
     return ok
 
 
+def check_emd_run(data, name, min_speedup):
+    runs = data.get("runs", [])
+    row = next((r for r in runs if r.get("name") == name), None)
+    if row is None:
+        print(f"FAIL: no EMD run named '{name}' in "
+              f"{[r.get('name') for r in runs]}")
+        return False
+    speedup = row.get("speedup")
+    if speedup is None:
+        print(f"FAIL: EMD run '{name}' is missing 'speedup'")
+        return False
+    ok = speedup >= min_speedup
+    verdict = "PASS" if ok else "FAIL"
+    print(f"{verdict}: {name} speedup over MinCostFlow = {speedup:.3f}x "
+          f"(gate: >= {min_speedup:.2f}x)")
+    # Steady-state allocations must be exactly zero on EVERY measured size,
+    # not just the gated one — a single workspace regrowth per solve would
+    # show up here long before it shows up in wall-clock.
+    for r in runs:
+        allocs = r.get("steady_state_allocs_per_solve")
+        if allocs is None:
+            print(f"FAIL: run '{r.get('name')}' is missing "
+                  "'steady_state_allocs_per_solve'")
+            ok = False
+        elif allocs != 0:
+            print(f"FAIL: run '{r.get('name')}' reports {allocs} "
+                  "steady-state allocations per solve (gate: exactly 0)")
+            ok = False
+        else:
+            print(f"PASS: {r.get('name')} steady-state allocs/solve = 0")
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", help="path to a BENCH_*.json file")
@@ -65,6 +105,10 @@ def main():
     parser.add_argument("--memory-run", default=None,
                         help="gate on a memory_runs row of this name instead "
                              "of the engine thread-scaling rows")
+    parser.add_argument("--emd-run", default=None,
+                        help="gate on a BENCH_emd.json run of this name "
+                             "(speedup vs the MinCostFlow reference, plus "
+                             "zero steady-state allocations on every run)")
     args = parser.parse_args()
 
     try:
@@ -74,7 +118,9 @@ def main():
         print(f"FAIL: cannot parse {args.bench_json}: {error}")
         return 1
 
-    if args.memory_run is not None:
+    if args.emd_run is not None:
+        ok = check_emd_run(data, args.emd_run, args.min_speedup)
+    elif args.memory_run is not None:
         ok = check_memory_run(data, args.memory_run, args.min_speedup)
     else:
         ok = check_engine(data, args.threads, args.min_speedup)
