@@ -63,6 +63,8 @@ struct Row {
   // Aggregated shard-arena counters after the run, so CI can watch pool
   // efficiency (hit rate, dropped releases) over time alongside throughput.
   BufferArenaStats arena;
+  // Enqueue→process queueing latency over every processed submission.
+  EngineLatencyStats latency;
 };
 
 double ArenaHitRate(const BufferArenaStats& stats) {
@@ -120,14 +122,17 @@ int Main(int argc, char** argv) {
     row.streams_per_sec = static_cast<double>(num_streams) / seconds;
     row.results = engine.result_count();
     row.arena = engine.arena_stats();
+    row.latency = engine.latency_stats();
     if (baseline_seconds == 0.0) baseline_seconds = seconds;
     row.speedup = baseline_seconds / seconds;
     rows.push_back(row);
     std::printf(
         "threads=%2zu  %8.3fs  %10.0f bags/s  %8.1f streams/s  speedup %.2fx"
-        "  arena hit %.1f%%\n",
+        "  arena hit %.1f%%  queue mean %.1fus max %.1fus\n",
         row.threads, row.seconds, row.bags_per_sec, row.streams_per_sec,
-        row.speedup, 100.0 * ArenaHitRate(row.arena));
+        row.speedup, 100.0 * ArenaHitRate(row.arena),
+        row.latency.mean_ns() / 1e3,
+        static_cast<double>(row.latency.max_ns) / 1e3);
   }
 
   std::FILE* json = std::fopen("BENCH_engine.json", "w");
@@ -149,7 +154,9 @@ int Main(int argc, char** argv) {
                  "     \"arena\": {\"acquires\": %llu, \"pool_hits\": %llu, "
                  "\"hit_rate\": %.4f, \"releases\": %llu, "
                  "\"dropped_releases\": %llu, \"pooled_buffers\": %zu, "
-                 "\"pooled_doubles\": %zu}}%s\n",
+                 "\"pooled_doubles\": %zu},\n"
+                 "     \"queue_latency\": {\"samples\": %llu, "
+                 "\"mean_ns\": %.1f, \"max_ns\": %llu}}%s\n",
                  r.threads, r.seconds, r.bags_per_sec, r.streams_per_sec,
                  r.speedup, static_cast<unsigned long long>(r.results),
                  static_cast<unsigned long long>(r.arena.acquires),
@@ -158,6 +165,9 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.arena.releases),
                  static_cast<unsigned long long>(r.arena.dropped_releases),
                  r.arena.pooled_buffers, r.arena.pooled_doubles,
+                 static_cast<unsigned long long>(r.latency.samples),
+                 r.latency.mean_ns(),
+                 static_cast<unsigned long long>(r.latency.max_ns),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

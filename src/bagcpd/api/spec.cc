@@ -421,5 +421,114 @@ Result<std::unique_ptr<StreamEngine>> EngineSpec::Create() const {
   return engine;
 }
 
+// ---------------------------------------------------------------------------
+// BatchSpec
+// ---------------------------------------------------------------------------
+
+Result<BatchSpec> BatchSpec::FromKeyValues(const std::string& text) {
+  BatchSpec spec;
+  // Batch-level keys are peeled off here; every other token is forwarded to
+  // the default detector's parser in one pass so its error messages (and its
+  // last-occurrence-wins semantics) apply unchanged.
+  std::string detector_text;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = Trim(text.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (token.empty()) continue;  // Tolerates trailing/duplicate commas.
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::Invalid("malformed token '" + token +
+                             "' (expected key=value)");
+    }
+    const std::string key = Trim(token.substr(0, eq));
+    const std::string value = Trim(token.substr(eq + 1));
+    if (key == "shards") {
+      BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
+      spec.options_.num_shards = static_cast<std::size_t>(v);
+    } else if (key == "seed") {
+      // The run seed, matching the engine convention: detector seeds stay 0
+      // and per-group seeds derive from this.
+      BAGCPD_ASSIGN_OR_RETURN(spec.options_.seed, ParseUnsigned(key, value));
+    } else {
+      if (!detector_text.empty()) detector_text += ',';
+      detector_text += key + "=" + value;
+    }
+  }
+  BAGCPD_ASSIGN_OR_RETURN(spec.detector_,
+                          DetectorSpec::FromKeyValues(detector_text));
+  return spec;
+}
+
+BatchSpec& BatchSpec::NumShards(std::size_t num_shards) {
+  options_.num_shards = num_shards;
+  return *this;
+}
+
+BatchSpec& BatchSpec::Seed(std::uint64_t seed) {
+  options_.seed = seed;
+  return *this;
+}
+
+BatchSpec& BatchSpec::Pool(ThreadPool* pool) {
+  options_.pool = pool;
+  return *this;
+}
+
+BatchSpec& BatchSpec::Arena(const BufferArenaOptions& arena) {
+  options_.arena = arena;
+  return *this;
+}
+
+BatchSpec& BatchSpec::Detector(const DetectorSpec& spec) {
+  detector_ = spec;
+  return *this;
+}
+
+BatchSpec& BatchSpec::Profile(const std::string& name,
+                              const DetectorSpec& spec) {
+  profiles_.emplace_back(name, spec);
+  return *this;
+}
+
+BatchSpec& BatchSpec::ProfileForKey(const std::string& key,
+                                    const std::string& name) {
+  options_.profile_by_key[key] = name;
+  return *this;
+}
+
+Result<BatchRunnerOptions> BatchSpec::Build() const {
+  BatchRunnerOptions options = options_;
+  BAGCPD_ASSIGN_OR_RETURN(options.detector, detector_.Build());
+  options.profiles.clear();
+  for (const auto& [name, spec] : profiles_) {
+    if (options.profiles.count(name) > 0) {
+      return Status::Invalid("profile '" + name + "' is already registered");
+    }
+    BAGCPD_ASSIGN_OR_RETURN(DetectorOptions profile, spec.Build());
+    options.profiles.emplace(name, profile);
+  }
+  BAGCPD_RETURN_NOT_OK(ValidateBatchRunnerOptions(options));
+  return options;
+}
+
+std::string BatchSpec::ToKeyValues() const {
+  std::string out = "shards=" + std::to_string(options_.num_shards) +
+                    ",seed=" + std::to_string(options_.seed) + ",";
+  // The detector's canonical form ends with its own ",seed=0" (enforced 0
+  // under a batch run); strip it so the one `seed` key in the output is
+  // unambiguously the run seed.
+  std::string detector = detector_.ToKeyValues();
+  const std::string suffix = ",seed=0";
+  if (detector.size() >= suffix.size() &&
+      detector.compare(detector.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+    detector.erase(detector.size() - suffix.size());
+  }
+  return out + detector;
+}
+
 }  // namespace api
 }  // namespace bagcpd

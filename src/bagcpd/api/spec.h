@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "bagcpd/batch/batch_runner.h"
 #include "bagcpd/common/result.h"
 #include "bagcpd/core/detector.h"
 #include "bagcpd/runtime/stream_engine.h"
@@ -134,6 +135,59 @@ class EngineSpec {
 
  private:
   StreamEngineOptions options_;
+  DetectorSpec detector_;
+  std::vector<std::pair<std::string, DetectorSpec>> profiles_;
+};
+
+/// \brief Builder for BatchRunnerOptions — the offline, table-driven
+/// counterpart of EngineSpec, sharing its seeding rule: detector and profile
+/// seeds must stay 0, per-group seeds derive from Seed(), the group key, and
+/// the profile name.
+///
+///   auto options = BatchSpec()
+///                      .NumShards(8).Seed(42)
+///                      .Detector(DetectorSpec().Tau(4).TauPrime(4))
+///                      .Profile("network", DetectorSpec().Score("lr"))
+///                      .ProfileForKey("fw-01", "network")
+///                      .Build();               // Result<BatchRunnerOptions>
+class BatchSpec {
+ public:
+  BatchSpec() = default;
+
+  /// \brief Parses a comma-separated config string. `shards` and `seed` are
+  /// batch-level keys; every other key=value token configures the default
+  /// detector exactly as DetectorSpec::FromKeyValues would, e.g.
+  ///   "shards=8,seed=42,quantizer=kmeans,tau=4,replicates=0".
+  static Result<BatchSpec> FromKeyValues(const std::string& text);
+
+  DetectorSpec& detector() { return detector_; }
+
+  BatchSpec& NumShards(std::size_t num_shards);
+  BatchSpec& Seed(std::uint64_t seed);
+  /// \brief Compute pool the run executes on (non-owning; must outlive the
+  /// RunBatchColumnar call). Not representable in the text form.
+  BatchSpec& Pool(ThreadPool* pool);
+  BatchSpec& Arena(const BufferArenaOptions& arena);
+  /// \brief The default profile groups resolve to when unrouted.
+  BatchSpec& Detector(const DetectorSpec& spec);
+  /// \brief Adds a named profile for the table's profile column /
+  /// ProfileForKey routes.
+  BatchSpec& Profile(const std::string& name, const DetectorSpec& spec);
+  /// \brief Routes `key` to profile `name` (BatchRunnerOptions
+  /// .profile_by_key).
+  BatchSpec& ProfileForKey(const std::string& key, const std::string& name);
+
+  /// \brief The validated options; fails exactly when RunBatchColumnar
+  /// would reject them.
+  Result<BatchRunnerOptions> Build() const;
+
+  /// \brief Canonical "shards=...,seed=...,<detector keys>" form.
+  /// FromKeyValues(spec.ToKeyValues()) reproduces the batch-level and
+  /// default-detector configuration (profiles and the pool are API-only).
+  std::string ToKeyValues() const;
+
+ private:
+  BatchRunnerOptions options_;
   DetectorSpec detector_;
   std::vector<std::pair<std::string, DetectorSpec>> profiles_;
 };

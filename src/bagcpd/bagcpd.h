@@ -62,6 +62,13 @@
 #include "bagcpd/runtime/stream_engine.h"
 #include "bagcpd/runtime/thread_pool.h"
 
+// Columnar batch frontend: grouped-table ingest, the one-call batch runner,
+// its file formats, and the synthetic corpus generator.
+#include "bagcpd/batch/batch_io.h"
+#include "bagcpd/batch/batch_runner.h"
+#include "bagcpd/batch/batch_table.h"
+#include "bagcpd/batch/synthetic.h"
+
 // Public API layer: component registry and spec builders.
 #include "bagcpd/api/registry.h"
 #include "bagcpd/api/spec.h"

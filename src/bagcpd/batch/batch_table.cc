@@ -1,0 +1,171 @@
+#include "bagcpd/batch/batch_table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+namespace bagcpd {
+namespace {
+
+// Total order on two equal-length value rows via their IEEE-754 bit patterns.
+// Bit patterns (rather than operator<) keep the comparator a strict weak
+// ordering even if a row carries NaN, and any fixed total order suffices: the
+// canonical layout only needs to be a pure function of the row multiset.
+int CompareValues(const double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t ua, ub;
+    std::memcpy(&ua, &a[i], sizeof(ua));
+    std::memcpy(&ub, &b[i], sizeof(ub));
+    if (ua != ub) return ua < ub ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+BatchTableBuilder::BatchTableBuilder(BufferArena* arena) : arena_(arena) {
+  staging_ = PooledBuffer::AcquireFrom(arena_, 0);
+}
+
+void BatchTableBuilder::Reserve(std::size_t rows, std::size_t dim) {
+  rows_.reserve(rows);
+  staging_.vec().reserve(rows * dim);
+}
+
+Status BatchTableBuilder::AddRow(const std::string& key, std::int64_t timestamp,
+                                 PointView point, const std::string& profile) {
+  if (key.empty()) {
+    return Status::Invalid("BatchTableBuilder: row key must be non-empty");
+  }
+  if (point.empty()) {
+    return Status::Invalid("BatchTableBuilder: row for key '" + key +
+                           "' has a zero-dimensional point");
+  }
+  std::uint32_t group;
+  auto it = group_ids_.find(key);
+  if (it == group_ids_.end()) {
+    group = static_cast<std::uint32_t>(group_keys_.size());
+    group_ids_.emplace(key, group);
+    group_keys_.push_back(key);
+    group_profiles_.push_back(profile);
+    group_profile_status_.push_back(Status::OK());
+  } else {
+    group = it->second;
+    if (group_profile_status_[group].ok() &&
+        profile != group_profiles_[group]) {
+      group_profile_status_[group] = Status::Invalid(
+          "group '" + key + "' carries conflicting profiles '" +
+          group_profiles_[group] + "' and '" + profile + "'");
+    }
+  }
+  RowRef row;
+  row.group = group;
+  row.dim = static_cast<std::uint32_t>(point.size());
+  row.timestamp = timestamp;
+  row.value_begin = staging_.vec().size();
+  rows_.push_back(row);
+  staging_.vec().insert(staging_.vec().end(), point.begin(), point.end());
+  return Status::OK();
+}
+
+BatchTable BatchTableBuilder::Build() {
+  BatchTable table;
+  const std::size_t num_groups = group_keys_.size();
+  const std::size_t num_rows = rows_.size();
+
+  // Canonical group order: by key. rank[old_id] -> position in the table.
+  std::vector<std::uint32_t> by_key(num_groups);
+  std::iota(by_key.begin(), by_key.end(), 0u);
+  std::sort(by_key.begin(), by_key.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return group_keys_[a] < group_keys_[b];
+            });
+  std::vector<std::uint32_t> rank(num_groups);
+  for (std::size_t i = 0; i < num_groups; ++i) rank[by_key[i]] = i;
+
+  // Canonical row order: (group rank, timestamp, dim, values). Rows that tie
+  // on all four are identical, so the order is a pure function of the
+  // multiset of appended rows regardless of append order.
+  const double* staged = staging_.vec().data();
+  std::vector<std::size_t> order(num_rows);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const RowRef& ra = rows_[a];
+    const RowRef& rb = rows_[b];
+    if (rank[ra.group] != rank[rb.group]) return rank[ra.group] < rank[rb.group];
+    if (ra.timestamp != rb.timestamp) return ra.timestamp < rb.timestamp;
+    if (ra.dim != rb.dim) return ra.dim < rb.dim;
+    return CompareValues(staged + ra.value_begin, staged + rb.value_begin,
+                         ra.dim) < 0;
+  });
+
+  table.groups_.resize(num_groups);
+  table.step_timestamps_.reserve(num_rows);
+  table.step_row_begin_.reserve(num_rows + 1);
+  table.row_value_begin_.reserve(num_rows + 1);
+  table.values_ = PooledBuffer::AcquireFrom(arena_, staging_.vec().size());
+  std::vector<double>& values = table.values_.vec();
+
+  for (std::size_t i = 0; i < num_groups; ++i) {
+    BatchTable::Group& g = table.groups_[i];
+    const std::uint32_t old_id = by_key[i];
+    g.key = std::move(group_keys_[old_id]);
+    g.profile = std::move(group_profiles_[old_id]);
+    g.status = group_profile_status_[old_id];
+    g.step_begin = g.step_end = table.step_timestamps_.size();
+    g.row_begin = g.row_end = 0;  // filled below
+  }
+
+  std::size_t row_out = 0;
+  std::size_t group_cursor = num_groups;  // "no open group" sentinel
+  for (std::size_t idx : order) {
+    const RowRef& row = rows_[idx];
+    const std::size_t g = rank[row.group];
+    BatchTable::Group& group = table.groups_[g];
+    if (g != group_cursor) {
+      group_cursor = g;
+      group.step_begin = table.step_timestamps_.size();
+      group.step_end = group.step_begin;
+      group.row_begin = row_out;
+      group.dim = row.dim;
+    }
+    if (row.dim != group.dim && group.status.ok()) {
+      group.status = Status::Invalid(
+          "group '" + group.key + "' has ragged point dimensions (" +
+          std::to_string(group.dim) + " vs " + std::to_string(row.dim) + ")");
+    }
+    // Open a new step when the timestamp changes (rows of one step are
+    // adjacent after the sort).
+    if (group.step_end == group.step_begin ||
+        table.step_timestamps_.back() != row.timestamp) {
+      table.step_timestamps_.push_back(row.timestamp);
+      table.step_row_begin_.push_back(row_out);
+      group.step_end = table.step_timestamps_.size();
+    }
+    table.row_value_begin_.push_back(values.size());
+    values.insert(values.end(), staged + row.value_begin,
+                  staged + row.value_begin + row.dim);
+    group.row_end = ++row_out;
+  }
+  if (num_rows > 0) {
+    table.step_row_begin_.push_back(row_out);
+    table.row_value_begin_.push_back(values.size());
+  }
+  // A ragged group has no single dimension; report 0 so callers cannot build
+  // a bogus rectangular view from it.
+  for (BatchTable::Group& g : table.groups_) {
+    if (!g.status.ok()) g.dim = 0;
+  }
+
+  // Reset for reuse.
+  group_ids_.clear();
+  group_keys_.clear();
+  group_profiles_.clear();
+  group_profile_status_.clear();
+  rows_.clear();
+  staging_ = PooledBuffer::AcquireFrom(arena_, 0);
+  return table;
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,186 @@
+// BatchTable: the columnar ingest container behind the batch frontend. One
+// table holds thousands of grouped series in four contiguous buffers — group
+// directory, per-step timestamps, per-step row extents, and one flat
+// point-value buffer (arena-backed) — so an offline sweep over 10k+ series
+// ("millions of users" worth of keys) is a single allocation-friendly value
+// that RunBatchColumnar can walk with zero-copy BagViews.
+//
+// Shape: an input *row* is one observation (key, timestamp, point). Rows
+// sharing a (key, timestamp) pair form the bag observed by that key at that
+// step — the table-level analogue of the paper's bag-of-data per time step.
+// A *group* is all rows of one key: one independent detector stream.
+//
+// BatchTableBuilder accepts rows in ANY order and Build() sorts them into a
+// canonical layout: groups ordered by key, steps ordered by timestamp, and
+// rows within a step ordered by their point values — a pure function of the
+// row multiset, so shuffled ingest produces a bitwise-identical table (and
+// therefore bitwise-identical detection results) to pre-sorted ingest.
+//
+// Malformed groups never fail the table: a group whose rows disagree on the
+// point dimension (ragged) or on the profile column is retained but marked
+// with a non-OK group_status(); RunBatchColumnar reports it as quarantined
+// instead of crashing or silently dropping its rows.
+
+#ifndef BAGCPD_BATCH_BATCH_TABLE_H_
+#define BAGCPD_BATCH_BATCH_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bagcpd/common/buffer_arena.h"
+#include "bagcpd/common/point.h"
+#include "bagcpd/common/result.h"
+#include "bagcpd/common/status.h"
+
+namespace bagcpd {
+
+/// \brief Immutable columnar container of grouped (key, timestamp, point)
+/// rows in canonical sorted order. Built by BatchTableBuilder or the loaders
+/// in batch/batch_io.h.
+class BatchTable {
+ public:
+  /// \brief Empty table (no groups, no rows).
+  BatchTable() = default;
+
+  /// \brief Number of distinct keys.
+  std::size_t group_count() const { return groups_.size(); }
+  /// \brief Total input rows (observations) across all groups.
+  std::size_t row_count() const {
+    return row_value_begin_.empty() ? 0 : row_value_begin_.size() - 1;
+  }
+  /// \brief Total distinct (key, timestamp) steps across all groups.
+  std::size_t step_count() const { return step_timestamps_.size(); }
+  bool empty() const { return groups_.empty(); }
+
+  /// \brief Key of group `g`; groups are sorted by key.
+  const std::string& group_key(std::size_t g) const { return groups_[g].key; }
+  /// \brief Detector-profile name carried by group `g`'s rows (empty when the
+  /// rows named none; resolution to the default profile happens at run time).
+  const std::string& group_profile(std::size_t g) const {
+    return groups_[g].profile;
+  }
+  /// \brief OK iff the group is well-formed (uniform point dimension, one
+  /// profile). A non-OK group is carried for reporting: RunBatchColumnar
+  /// quarantines it with exactly this status.
+  const Status& group_status(std::size_t g) const { return groups_[g].status; }
+  /// \brief Point dimension shared by the group's rows (0 for ragged groups).
+  std::size_t group_dim(std::size_t g) const { return groups_[g].dim; }
+  std::size_t group_step_count(std::size_t g) const {
+    return groups_[g].step_end - groups_[g].step_begin;
+  }
+  std::size_t group_row_count(std::size_t g) const {
+    return groups_[g].row_end - groups_[g].row_begin;
+  }
+
+  /// \brief Timestamp of step `s` (0-based, time-ordered) of group `g`.
+  std::int64_t step_timestamp(std::size_t g, std::size_t s) const {
+    return step_timestamps_[groups_[g].step_begin + s];
+  }
+  /// \brief Number of rows merged into the step's bag.
+  std::size_t step_row_count(std::size_t g, std::size_t s) const {
+    const std::size_t gs = groups_[g].step_begin + s;
+    return step_row_begin_[gs + 1] - step_row_begin_[gs];
+  }
+  /// \brief Global index of the step's first row (rows of one step — and of
+  /// one group — are contiguous).
+  std::size_t step_first_row(std::size_t g, std::size_t s) const {
+    return step_row_begin_[groups_[g].step_begin + s];
+  }
+
+  /// \brief Zero-copy view of the bag observed at step `s` of group `g`.
+  /// Only meaningful when group_status(g).ok() (a ragged group has no
+  /// rectangular bag to view).
+  BagView step_bag(std::size_t g, std::size_t s) const {
+    const std::size_t first = step_first_row(g, s);
+    return BagView(values_.vec().data() + row_value_begin_[first],
+                   step_row_count(g, s), groups_[g].dim);
+  }
+
+  /// \brief Values of one global row (works for ragged groups too; the view's
+  /// size is that row's own dimension).
+  PointView row_values(std::size_t row) const {
+    return PointView(values_.vec().data() + row_value_begin_[row],
+                     row_value_begin_[row + 1] - row_value_begin_[row]);
+  }
+
+  /// \brief The flat value buffer (row values back to back in table order).
+  const std::vector<double>& values() const { return values_.vec(); }
+
+ private:
+  friend class BatchTableBuilder;
+
+  struct Group {
+    std::string key;
+    std::string profile;
+    Status status = Status::OK();
+    // Half-open ranges into the flat step arrays / global row index space.
+    std::size_t step_begin = 0;
+    std::size_t step_end = 0;
+    std::size_t row_begin = 0;
+    std::size_t row_end = 0;
+    std::size_t dim = 0;
+  };
+
+  std::vector<Group> groups_;
+  // One entry per step, concatenated in group order.
+  std::vector<std::int64_t> step_timestamps_;
+  // step_row_begin_[s] is the global index of step s's first row; one
+  // sentinel entry at the end holds row_count(). Empty tables keep it empty.
+  std::vector<std::size_t> step_row_begin_;
+  // row_value_begin_[r] is the offset of row r's values in values_; sentinel
+  // at the end. Per-row offsets (not row * dim) so ragged groups still have
+  // addressable storage.
+  std::vector<std::size_t> row_value_begin_;
+  // All point values back to back; returns to its arena (if any) with the
+  // table.
+  PooledBuffer values_;
+};
+
+/// \brief Accumulates rows in any order; Build() produces the canonical
+/// sorted BatchTable. Reusable after Build() (starts a fresh table).
+class BatchTableBuilder {
+ public:
+  /// \brief With a non-null `arena` the final value buffer (and the staging
+  /// buffer) recycle through it; contents are identical either way.
+  explicit BatchTableBuilder(BufferArena* arena = nullptr);
+
+  /// \brief Pre-sizes the staging buffers for `rows` rows of `dim` values.
+  void Reserve(std::size_t rows, std::size_t dim);
+
+  /// \brief Appends one observation row. The empty profile means "unnamed" —
+  /// such a group resolves to the runner's default or per-key profile.
+  /// Rejects empty keys and zero-dimensional points outright (malformed
+  /// input, not group raggedness).
+  Status AddRow(const std::string& key, std::int64_t timestamp, PointView point,
+                const std::string& profile = std::string());
+
+  /// \brief Rows appended since construction / the last Build().
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// \brief Sorts, groups, validates per group, and emits the table. Never
+  /// fails as a whole: malformed groups are marked via group_status().
+  BatchTable Build();
+
+ private:
+  struct RowRef {
+    std::uint32_t group = 0;
+    std::uint32_t dim = 0;
+    std::int64_t timestamp = 0;
+    std::size_t value_begin = 0;
+  };
+
+  BufferArena* arena_ = nullptr;
+  // Group ids in first-seen order; sorted by key at Build().
+  std::unordered_map<std::string, std::uint32_t> group_ids_;
+  std::vector<std::string> group_keys_;
+  std::vector<std::string> group_profiles_;
+  std::vector<Status> group_profile_status_;
+  std::vector<RowRef> rows_;
+  PooledBuffer staging_;
+};
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_BATCH_BATCH_TABLE_H_

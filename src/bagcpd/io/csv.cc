@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <utility>
 
 namespace bagcpd {
 
@@ -45,6 +47,108 @@ Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
   }
   if (!file.good()) return Status::IoError("write to " + path + " failed");
   return Status::OK();
+}
+
+Result<CsvData> ReadCsv(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for reading");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  // One pass over the whole file: embedded newlines inside quoted fields
+  // make line-by-line reading wrong, so rows are delimited here, not by
+  // getline.
+  CsvData data;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool row_has_content = false;
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_row = [&]() -> Status {
+    end_field();
+    if (data.header.empty()) {
+      data.header = std::move(row);
+    } else {
+      if (row.size() != data.header.size()) {
+        return Status::Invalid(
+            path + ": row " + std::to_string(data.rows.size() + 1) + " has " +
+            std::to_string(row.size()) + " fields, header has " +
+            std::to_string(data.header.size()));
+      }
+      data.rows.push_back(std::move(row));
+    }
+    row.clear();
+    row_has_content = false;
+    return Status::OK();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';  // Doubled quote: one literal quote.
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty() || field_was_quoted) {
+          return Status::Invalid(path + ": quote inside an unquoted field");
+        }
+        in_quotes = true;
+        field_was_quoted = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        // Only as part of a CRLF line ending; a bare CR is field content.
+        if (i + 1 < text.size() && text[i + 1] == '\n') {
+          BAGCPD_RETURN_NOT_OK(end_row());
+          ++i;
+        } else {
+          field += c;
+          row_has_content = true;
+        }
+        break;
+      case '\n':
+        BAGCPD_RETURN_NOT_OK(end_row());
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::Invalid(path + ": unterminated quoted field");
+  }
+  // A final row without a trailing newline still counts; a trailing newline
+  // must not produce a phantom empty row.
+  if (row_has_content || !row.empty() || !field.empty()) {
+    BAGCPD_RETURN_NOT_OK(end_row());
+  }
+  if (data.header.empty()) {
+    return Status::Invalid(path + ": empty CSV (no header row)");
+  }
+  return data;
 }
 
 std::string FormatDouble(double value, int precision) {

@@ -1,4 +1,4 @@
-// Minimal CSV writing for experiment outputs.
+// Minimal CSV reading and writing for experiment inputs and outputs.
 
 #ifndef BAGCPD_IO_CSV_H_
 #define BAGCPD_IO_CSV_H_
@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bagcpd/common/result.h"
 #include "bagcpd/common/status.h"
 
 namespace bagcpd {
@@ -14,6 +15,20 @@ namespace bagcpd {
 /// quotes, or newlines are quoted.
 Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
                 const std::vector<std::vector<std::string>>& rows);
+
+/// \brief Parsed CSV contents: one header row plus data rows, every row
+/// exactly header.size() fields wide.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Reads a CSV file written by WriteCsv (RFC 4180 quoting: quoted
+/// fields may contain commas, doubled quotes, and embedded newlines; CRLF
+/// line endings are accepted). Round-trips WriteCsv output exactly. Fails on
+/// an unreadable file, a row whose width differs from the header's, or a
+/// malformed quoted field.
+Result<CsvData> ReadCsv(const std::string& path);
 
 /// \brief Formats a double with fixed precision for CSV/table cells.
 std::string FormatDouble(double value, int precision = 6);

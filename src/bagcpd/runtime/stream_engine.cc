@@ -16,6 +16,16 @@ constexpr std::uint64_t kIdleSweepPeriod = 512;
 
 }  // namespace
 
+std::uint64_t DerivePerStreamSeed(std::uint64_t engine_seed,
+                                  const std::string& stream_id,
+                                  const std::string& profile) {
+  std::uint64_t base = engine_seed ^ Rng::StableHash64(stream_id);
+  if (!profile.empty() && profile != kDefaultProfileName) {
+    base ^= Rng::MixSeed64(Rng::StableHash64(profile));
+  }
+  return Rng::MixSeed64(base);
+}
+
 Status ValidateStreamEngineOptions(const StreamEngineOptions& options) {
   if (options.shard_queue_capacity < 1) {
     return Status::Invalid("shard_queue_capacity must be >= 1");
@@ -154,13 +164,10 @@ std::uint64_t StreamEngine::DeriveStreamSeed(const std::string& stream_id,
                                              const std::string& profile) const {
   // Seeded by (engine seed, key, profile) only — never by shard index or
   // count — so a stream's entire output is reproducible under resharding and
-  // a restarted stream behaves exactly like a fresh one. The default profile
-  // keeps the historical (engine seed, key) derivation bit for bit.
-  std::uint64_t base = options_.seed ^ Rng::StableHash64(stream_id);
-  if (profile != kDefaultProfileName) {
-    base ^= Rng::MixSeed64(Rng::StableHash64(profile));
-  }
-  return Rng::MixSeed64(base);
+  // a restarted stream behaves exactly like a fresh one. Shared with the
+  // offline batch runner so RunBatchColumnar reproduces engine seeding
+  // bit for bit.
+  return DerivePerStreamSeed(options_.seed, stream_id, profile);
 }
 
 Status StreamEngine::Submit(const std::string& stream_id, const Bag& bag,
@@ -235,7 +242,8 @@ Status StreamEngine::SubmitImpl(const std::string& stream_id,
     // The sequence number is taken only once queue space is secured, so a
     // rejected TrySubmit never advances the idle clock.
     const std::uint64_t seq = submit_seq_.fetch_add(1) + 1;
-    shard.queue.push_back(Task{stream_id, profile, std::move(*bag), seq});
+    shard.queue.push_back(Task{stream_id, profile, std::move(*bag), seq,
+                               std::chrono::steady_clock::now()});
   }
   shard.not_empty.notify_one();
   return Status::OK();
@@ -292,7 +300,8 @@ void StreamEngine::EmitEvent(EngineEvent event) {
 
 void StreamEngine::QuarantineStream(Shard& shard, const std::string& stream_id,
                                     const std::string& profile,
-                                    std::uint64_t seq, const Status& error) {
+                                    std::uint64_t seq, const Status& error,
+                                    std::uint64_t latency_ns) {
   shard.quarantined.emplace(stream_id, error);
   auto existing = shard.detectors.find(stream_id);
   if (existing != shard.detectors.end()) {
@@ -308,6 +317,7 @@ void StreamEngine::QuarantineStream(Shard& shard, const std::string& stream_id,
   event.stream_id = stream_id;
   event.profile = profile;
   event.sequence = seq;
+  event.enqueue_to_process_ns = latency_ns;
   event.error = error;
   EmitEvent(std::move(event));
 }
@@ -337,6 +347,18 @@ void StreamEngine::SweepIdle(Shard& shard, std::uint64_t now_seq) {
 
 void StreamEngine::Process(Shard& shard, Task task) {
   processed_.fetch_add(1);
+  // One latency sample per processed submission, taken before any work so the
+  // number measures queueing, not detector cost. Sampled even for dropped /
+  // quarantining bags: those submissions queued like any other.
+  const auto waited = std::chrono::steady_clock::now() - task.enqueued_at;
+  const std::uint64_t latency_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count());
+  latency_samples_.fetch_add(1);
+  latency_total_ns_.fetch_add(latency_ns);
+  std::uint64_t prev_max = latency_max_ns_.load();
+  while (latency_ns > prev_max &&
+         !latency_max_ns_.compare_exchange_weak(prev_max, latency_ns)) {
+  }
   if (shard.quarantined.count(task.stream_id) > 0) {
     dropped_.fetch_add(1);
     return;
@@ -346,7 +368,7 @@ void StreamEngine::Process(Shard& shard, Task task) {
     // detector failure so later bags of this key are dropped, not processed
     // out of order, and any detector built by earlier good bags is freed.
     QuarantineStream(shard, task.stream_id, task.profile, task.seq,
-                     task.bag.status());
+                     task.bag.status(), latency_ns);
     return;
   }
   auto it = shard.detectors.find(task.stream_id);
@@ -360,6 +382,7 @@ void StreamEngine::Process(Shard& shard, Task task) {
     event.stream_id = task.stream_id;
     event.profile = it->second.profile;
     event.sequence = task.seq;
+    event.enqueue_to_process_ns = latency_ns;
     shard.detectors.erase(it);
     it = shard.detectors.end();
     evicted_.fetch_add(1);
@@ -377,7 +400,8 @@ void StreamEngine::Process(Shard& shard, Task task) {
                                      "' is bound to profile '" +
                                      it->second.profile +
                                      "' but was submitted with profile '" +
-                                     task.profile + "'"));
+                                     task.profile + "'"),
+                     latency_ns);
     return;
   }
   if (it == shard.detectors.end()) {
@@ -404,7 +428,7 @@ void StreamEngine::Process(Shard& shard, Task task) {
       it->second.detector->Push(task.bag.ValueOrDie().view());
   if (!step.ok()) {
     QuarantineStream(shard, task.stream_id, task.profile, task.seq,
-                     step.status());
+                     step.status(), latency_ns);
     return;
   }
   if (!step.ValueOrDie().has_value()) return;
@@ -413,6 +437,7 @@ void StreamEngine::Process(Shard& shard, Task task) {
   event.stream_id = task.stream_id;
   event.profile = task.profile;
   event.sequence = task.seq;
+  event.enqueue_to_process_ns = latency_ns;
   event.step = *step.ValueOrDie();
   EmitEvent(std::move(event));
 }
@@ -471,12 +496,35 @@ std::vector<std::pair<std::string, Status>> StreamEngine::DrainErrors() {
 Result<std::map<std::string, std::vector<StepResult>>> StreamEngine::RunBatch(
     const std::map<std::string, BagSequence>& streams,
     const std::string& profile) {
+  return RunBatch(streams, /*profile_by_key=*/{}, profile);
+}
+
+Result<std::map<std::string, std::vector<StepResult>>> StreamEngine::RunBatch(
+    const std::map<std::string, BagSequence>& streams,
+    const std::map<std::string, std::string>& profile_by_key,
+    const std::string& default_profile) {
   BAGCPD_RETURN_NOT_OK(init_status_);
   if (sink_ || callback_ || !options_.collect_results) {
     return Status::Invalid(
         "RunBatch needs collect_results = true and no sink or callback");
   }
-  BAGCPD_ASSIGN_OR_RETURN(std::string canonical, ResolveProfile(profile));
+  BAGCPD_ASSIGN_OR_RETURN(std::string fallback,
+                          ResolveProfile(default_profile));
+  // Resolve every key's route up front: an unknown profile name must fail
+  // the batch before any bag is enqueued, never after a partial sweep.
+  // Routing-map entries for keys outside `streams` are ignored by the same
+  // token — only the routes this batch will actually use are validated.
+  std::map<std::string, std::string> route;
+  for (const auto& [key, bags] : streams) {
+    auto it = profile_by_key.find(key);
+    if (it == profile_by_key.end()) {
+      route.emplace(key, fallback);
+    } else {
+      BAGCPD_ASSIGN_OR_RETURN(std::string canonical,
+                              ResolveProfile(it->second));
+      route.emplace(key, std::move(canonical));
+    }
+  }
   // Isolate this batch from any earlier online traffic still in the queues.
   Flush();
   DrainEvents();
@@ -500,7 +548,7 @@ Result<std::map<std::string, std::vector<StepResult>>> StreamEngine::RunBatch(
   for (std::size_t t = 0; t < max_len; ++t) {
     for (const auto& [key, bags] : streams) {
       if (t < bags.size()) {
-        BAGCPD_RETURN_NOT_OK(Submit(key, bags[t], canonical));
+        BAGCPD_RETURN_NOT_OK(Submit(key, bags[t], route[key]));
       }
     }
   }
@@ -518,6 +566,14 @@ Result<std::map<std::string, std::vector<StepResult>>> StreamEngine::RunBatch(
     out[r.stream_id].push_back(r.step);
   }
   return out;
+}
+
+EngineLatencyStats StreamEngine::latency_stats() const {
+  EngineLatencyStats stats;
+  stats.samples = latency_samples_.load();
+  stats.total_ns = latency_total_ns_.load();
+  stats.max_ns = latency_max_ns_.load();
+  return stats;
 }
 
 BufferArenaStats StreamEngine::arena_stats() const {

@@ -31,6 +31,7 @@
 #define BAGCPD_RUNTIME_STREAM_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -58,6 +59,17 @@ namespace bagcpd {
 /// Submit() with no profile argument routes here. The name is reserved:
 /// RegisterProfile rejects it.
 inline constexpr const char kDefaultProfileName[] = "default";
+
+/// \brief The per-stream detector seed: a pure function of (engine seed,
+/// stream key, canonical profile name) — never of shard placement — with the
+/// default profile reproducing the historical (engine seed, key) derivation
+/// bit for bit. Exposed as a free function so offline runners (see
+/// batch/batch_runner.h) seed their detectors exactly like a StreamEngine
+/// with the same engine seed would; `profile` must already be canonical
+/// (empty canonicalizes to kDefaultProfileName here for convenience).
+std::uint64_t DerivePerStreamSeed(std::uint64_t engine_seed,
+                                  const std::string& stream_id,
+                                  const std::string& profile);
 
 /// \brief Configuration of a StreamEngine.
 struct StreamEngineOptions {
@@ -137,8 +149,24 @@ struct EngineEvent {
   /// Global submission sequence number of the bag that triggered the event
   /// (for kEviction by sweep: the sequence the sweep observed).
   std::uint64_t sequence = 0;
+  /// Wall time the triggering bag spent between enqueue (Submit securing
+  /// queue space) and the start of processing on the shard worker — the
+  /// queueing component of ingest latency, in nanoseconds. 0 for kEviction
+  /// events raised by the periodic sweep (no triggering bag of their own).
+  std::uint64_t enqueue_to_process_ns = 0;
   StepResult step;
   Status error;
+};
+
+/// \brief Aggregate enqueue→process latency over every processed submission
+/// (not just those that produced an event); see latency_stats().
+struct EngineLatencyStats {
+  std::uint64_t samples = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+  double mean_ns() const {
+    return samples == 0 ? 0.0 : static_cast<double>(total_ns) / samples;
+  }
 };
 
 /// \brief Concurrent multi-stream change-point detection runtime.
@@ -261,6 +289,20 @@ class StreamEngine {
       const std::map<std::string, BagSequence>& streams,
       const std::string& profile = std::string());
 
+  /// \brief Heterogeneous sweep: like RunBatch above, but each key routes to
+  /// its entry in `profile_by_key` (falling back to `default_profile`, then
+  /// to the default profile, when absent). Every referenced profile must be
+  /// registered — an unknown name fails the whole batch up front, before any
+  /// submission. Map entries for keys not present in `streams` are ignored,
+  /// so one long-lived routing map can serve many partial sweeps. A key
+  /// already bound to a different profile by earlier traffic is quarantined
+  /// deterministically when its first conflicting bag is processed, which
+  /// fails the batch like any other stream failure.
+  Result<std::map<std::string, std::vector<StepResult>>> RunBatch(
+      const std::map<std::string, BagSequence>& streams,
+      const std::map<std::string, std::string>& profile_by_key,
+      const std::string& default_profile = std::string());
+
   /// \brief Stops accepting work, drains in-flight work, joins workers.
   /// Idempotent; called by the destructor.
   void Shutdown();
@@ -279,6 +321,11 @@ class StreamEngine {
   std::size_t live_stream_count() const { return live_streams_.load(); }
   /// \brief Aggregated buffer-pool counters across all shard arenas.
   BufferArenaStats arena_stats() const;
+  /// \brief Aggregate enqueue→process latency across every processed
+  /// submission so far (the same quantity EngineEvent::enqueue_to_process_ns
+  /// reports per event). Purely observational: reading it never perturbs
+  /// results.
+  EngineLatencyStats latency_stats() const;
 
  private:
   struct Task {
@@ -293,6 +340,9 @@ class StreamEngine {
     Result<FlatBag> bag = Status::Invalid("empty task");
     // Global submission sequence number; drives idle eviction.
     std::uint64_t seq = 0;
+    // When the task entered the shard queue; Process() turns it into the
+    // enqueue→process latency sample.
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   struct StreamState {
@@ -339,7 +389,7 @@ class StreamEngine {
   void EmitEvent(EngineEvent event);
   void QuarantineStream(Shard& shard, const std::string& stream_id,
                         const std::string& profile, std::uint64_t seq,
-                        const Status& error);
+                        const Status& error, std::uint64_t latency_ns = 0);
   void WorkerLoop(std::size_t shard_index);
   void Process(Shard& shard, Task task);
   void SweepIdle(Shard& shard, std::uint64_t now_seq);
@@ -371,6 +421,11 @@ class StreamEngine {
   // engine-wide submissions, independent of sharding. Doubles as the
   // submitted_count() value: exactly one increment per accepted submission.
   std::atomic<std::uint64_t> submit_seq_{0};
+  // Enqueue→process latency accumulators behind latency_stats(); the max is
+  // maintained with a CAS loop so concurrent shard workers never lose a peak.
+  std::atomic<std::uint64_t> latency_samples_{0};
+  std::atomic<std::uint64_t> latency_total_ns_{0};
+  std::atomic<std::uint64_t> latency_max_ns_{0};
 
   // The single event queue behind DrainEvents/Drain/DrainErrors (unused when
   // a sink is installed). quarantined_keys_ lives under the same lock: every

@@ -279,6 +279,59 @@ TEST(EngineSpecTest, CreateRegistersProfilesInOrder) {
   EXPECT_NE(bad.status().message().find("tau"), std::string::npos);
 }
 
+TEST(BatchSpecTest, FromKeyValuesSplitsBatchAndDetectorKeys) {
+  Result<BatchSpec> spec = BatchSpec::FromKeyValues(
+      "shards=8,seed=42,quantizer=kmeans,tau=4,replicates=0");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Result<BatchRunnerOptions> options = spec->Build();
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->num_shards, 8u);
+  EXPECT_EQ(options->seed, 42u);
+  EXPECT_EQ(options->detector.tau, 4u);
+  EXPECT_EQ(options->detector.bootstrap.replicates, 0);
+  EXPECT_EQ(options->detector.seed, 0u);  // Engine convention: run seed only.
+
+  EXPECT_FALSE(BatchSpec::FromKeyValues("shards=zero").ok());
+  EXPECT_FALSE(BatchSpec::FromKeyValues("tau=not_a_number").ok());
+}
+
+TEST(BatchSpecTest, ToKeyValuesRoundTrips) {
+  Result<BatchSpec> spec = BatchSpec::FromKeyValues(
+      "shards=4,seed=9,tau=3,tau_prime=3,replicates=0");
+  ASSERT_TRUE(spec.ok());
+  const std::string text = spec->ToKeyValues();
+  Result<BatchSpec> reparsed = BatchSpec::FromKeyValues(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->ToKeyValues(), text);
+}
+
+TEST(BatchSpecTest, BuildValidatesLikeTheRunner) {
+  // A seeded detector spec violates the derive-from-run-seed convention.
+  BatchSpec seeded;
+  seeded.detector().Seed(7);
+  EXPECT_FALSE(seeded.Build().ok());
+
+  // Registering the reserved default profile name is refused.
+  BatchSpec reserved;
+  reserved.Profile("default", DetectorSpec());
+  EXPECT_FALSE(reserved.Build().ok());
+
+  // Routing a key to a profile that was never registered is refused.
+  BatchSpec dangling;
+  dangling.ProfileForKey("k", "missing");
+  EXPECT_FALSE(dangling.Build().ok());
+
+  // The full fluent surface builds coherent runner options.
+  DetectorSpec alt;
+  alt.Tau(3).TauPrime(3);
+  BatchSpec fluent;
+  fluent.NumShards(2).Seed(5).Profile("alt", alt).ProfileForKey("k", "alt");
+  Result<BatchRunnerOptions> options = fluent.Build();
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->profiles.count("alt"), 1u);
+  EXPECT_EQ(options->profile_by_key.at("k"), "alt");
+}
+
 }  // namespace
 }  // namespace api
 }  // namespace bagcpd

@@ -1,0 +1,194 @@
+#include "bagcpd/batch/batch_table.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/buffer_arena.h"
+
+namespace bagcpd {
+namespace {
+
+Point P(std::initializer_list<double> values) { return Point(values); }
+
+// Bitwise table comparison: the canonical-layout guarantee is "identical",
+// not "equivalent", so everything down to the value buffer bytes must match.
+void ExpectIdenticalTables(const BatchTable& a, const BatchTable& b) {
+  ASSERT_EQ(a.group_count(), b.group_count());
+  ASSERT_EQ(a.row_count(), b.row_count());
+  ASSERT_EQ(a.step_count(), b.step_count());
+  for (std::size_t g = 0; g < a.group_count(); ++g) {
+    EXPECT_EQ(a.group_key(g), b.group_key(g));
+    EXPECT_EQ(a.group_profile(g), b.group_profile(g));
+    EXPECT_EQ(a.group_status(g).ok(), b.group_status(g).ok());
+    EXPECT_EQ(a.group_dim(g), b.group_dim(g));
+    ASSERT_EQ(a.group_step_count(g), b.group_step_count(g));
+    for (std::size_t s = 0; s < a.group_step_count(g); ++s) {
+      EXPECT_EQ(a.step_timestamp(g, s), b.step_timestamp(g, s));
+      EXPECT_EQ(a.step_row_count(g, s), b.step_row_count(g, s));
+    }
+  }
+  ASSERT_EQ(a.values().size(), b.values().size());
+  EXPECT_EQ(std::memcmp(a.values().data(), b.values().data(),
+                        a.values().size() * sizeof(double)),
+            0);
+}
+
+TEST(BatchTableTest, EmptyBuilderProducesEmptyTable) {
+  BatchTableBuilder builder;
+  const BatchTable table = builder.Build();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.group_count(), 0u);
+  EXPECT_EQ(table.row_count(), 0u);
+  EXPECT_EQ(table.step_count(), 0u);
+}
+
+TEST(BatchTableTest, SingleGroupLayout) {
+  BatchTableBuilder builder;
+  ASSERT_TRUE(builder.AddRow("k", 10, P({1.0, 2.0})).ok());
+  ASSERT_TRUE(builder.AddRow("k", 20, P({3.0, 4.0})).ok());
+  ASSERT_TRUE(builder.AddRow("k", 30, P({5.0, 6.0})).ok());
+  const BatchTable table = builder.Build();
+
+  ASSERT_EQ(table.group_count(), 1u);
+  EXPECT_EQ(table.group_key(0), "k");
+  EXPECT_TRUE(table.group_status(0).ok());
+  EXPECT_EQ(table.group_dim(0), 2u);
+  ASSERT_EQ(table.group_step_count(0), 3u);
+  EXPECT_EQ(table.row_count(), 3u);
+  EXPECT_EQ(table.step_timestamp(0, 0), 10);
+  EXPECT_EQ(table.step_timestamp(0, 2), 30);
+  const BagView bag = table.step_bag(0, 1);
+  ASSERT_EQ(bag.size(), 1u);
+  EXPECT_EQ(bag[0][0], 3.0);
+  EXPECT_EQ(bag[0][1], 4.0);
+}
+
+TEST(BatchTableTest, DuplicateKeyTimestampRowsFormOneBag) {
+  BatchTableBuilder builder;
+  ASSERT_TRUE(builder.AddRow("k", 5, P({1.0})).ok());
+  ASSERT_TRUE(builder.AddRow("k", 5, P({2.0})).ok());
+  ASSERT_TRUE(builder.AddRow("k", 5, P({3.0})).ok());
+  ASSERT_TRUE(builder.AddRow("k", 6, P({4.0})).ok());
+  const BatchTable table = builder.Build();
+
+  ASSERT_EQ(table.group_count(), 1u);
+  ASSERT_EQ(table.group_step_count(0), 2u);
+  EXPECT_EQ(table.row_count(), 4u);
+  EXPECT_EQ(table.step_row_count(0, 0), 3u);
+  EXPECT_EQ(table.step_row_count(0, 1), 1u);
+  const BagView bag = table.step_bag(0, 0);
+  ASSERT_EQ(bag.size(), 3u);
+  EXPECT_EQ(bag.dim(), 1u);
+}
+
+TEST(BatchTableTest, UnsortedInputMatchesPreSortedInputBitwise) {
+  struct Row {
+    const char* key;
+    std::int64_t ts;
+    Point p;
+  };
+  std::vector<Row> rows = {
+      {"b", 2, P({5.0, 6.0})}, {"a", 1, P({1.0, 2.0})},
+      {"b", 1, P({3.0, 4.0})}, {"a", 2, P({7.0, 8.0})},
+      {"a", 1, P({0.5, 0.5})},  // duplicate (key, ts): second point in bag
+  };
+  BatchTableBuilder shuffled;
+  for (const Row& r : rows) {
+    ASSERT_TRUE(shuffled.AddRow(r.key, r.ts, r.p).ok());
+  }
+
+  // Pre-sorted order: by (key, timestamp, values).
+  BatchTableBuilder sorted;
+  ASSERT_TRUE(sorted.AddRow("a", 1, P({0.5, 0.5})).ok());
+  ASSERT_TRUE(sorted.AddRow("a", 1, P({1.0, 2.0})).ok());
+  ASSERT_TRUE(sorted.AddRow("a", 2, P({7.0, 8.0})).ok());
+  ASSERT_TRUE(sorted.AddRow("b", 1, P({3.0, 4.0})).ok());
+  ASSERT_TRUE(sorted.AddRow("b", 2, P({5.0, 6.0})).ok());
+
+  ExpectIdenticalTables(shuffled.Build(), sorted.Build());
+}
+
+TEST(BatchTableTest, RaggedGroupIsQuarantinedNotFatal) {
+  BatchTableBuilder builder;
+  ASSERT_TRUE(builder.AddRow("ragged", 1, P({1.0, 2.0})).ok());
+  ASSERT_TRUE(builder.AddRow("ragged", 2, P({3.0})).ok());  // dim 1 vs 2
+  ASSERT_TRUE(builder.AddRow("healthy", 1, P({1.0})).ok());
+  const BatchTable table = builder.Build();
+
+  ASSERT_EQ(table.group_count(), 2u);
+  // Groups are key-sorted: "healthy" < "ragged".
+  EXPECT_EQ(table.group_key(0), "healthy");
+  EXPECT_TRUE(table.group_status(0).ok());
+  EXPECT_EQ(table.group_key(1), "ragged");
+  EXPECT_FALSE(table.group_status(1).ok());
+  EXPECT_EQ(table.group_dim(1), 0u);
+  // Its rows are retained for accounting (and for binary round-trips).
+  EXPECT_EQ(table.group_row_count(1), 2u);
+  EXPECT_EQ(table.group_step_count(1), 2u);
+  EXPECT_EQ(table.row_count(), 3u);
+  // Per-row access still works on the ragged group.
+  EXPECT_EQ(table.row_values(table.step_first_row(1, 1)).size(), 1u);
+}
+
+TEST(BatchTableTest, ConflictingProfilesQuarantineTheGroup) {
+  BatchTableBuilder builder;
+  ASSERT_TRUE(builder.AddRow("k", 1, P({1.0}), "fast").ok());
+  ASSERT_TRUE(builder.AddRow("k", 2, P({2.0}), "slow").ok());
+  const BatchTable table = builder.Build();
+  ASSERT_EQ(table.group_count(), 1u);
+  EXPECT_FALSE(table.group_status(0).ok());
+  EXPECT_NE(table.group_status(0).message().find("conflicting profiles"),
+            std::string::npos);
+}
+
+TEST(BatchTableTest, UniformProfileIsKept) {
+  BatchTableBuilder builder;
+  ASSERT_TRUE(builder.AddRow("k", 1, P({1.0}), "fast").ok());
+  ASSERT_TRUE(builder.AddRow("k", 2, P({2.0}), "fast").ok());
+  const BatchTable table = builder.Build();
+  ASSERT_EQ(table.group_count(), 1u);
+  EXPECT_TRUE(table.group_status(0).ok());
+  EXPECT_EQ(table.group_profile(0), "fast");
+}
+
+TEST(BatchTableTest, RejectsEmptyKeyAndEmptyPoint) {
+  BatchTableBuilder builder;
+  EXPECT_FALSE(builder.AddRow("", 1, P({1.0})).ok());
+  EXPECT_FALSE(builder.AddRow("k", 1, PointView()).ok());
+  EXPECT_EQ(builder.row_count(), 0u);
+}
+
+TEST(BatchTableTest, ArenaBackedBuildIsIdenticalAndRecyclesBuffers) {
+  BufferArena arena;
+  BatchTableBuilder pooled(&arena);
+  BatchTableBuilder plain;
+  for (int t = 0; t < 8; ++t) {
+    const Point p = P({double(t), double(t) * 2});
+    ASSERT_TRUE(pooled.AddRow("k", t, p).ok());
+    ASSERT_TRUE(plain.AddRow("k", t, p).ok());
+  }
+  {
+    const BatchTable a = pooled.Build();
+    const BatchTable b = plain.Build();
+    ExpectIdenticalTables(a, b);
+  }
+  // The table's buffer (and the staging buffer) returned to the arena.
+  EXPECT_GT(arena.stats().releases, 0u);
+}
+
+TEST(BatchTableTest, BuilderIsReusableAfterBuild) {
+  BatchTableBuilder builder;
+  ASSERT_TRUE(builder.AddRow("first", 1, P({1.0})).ok());
+  const BatchTable first = builder.Build();
+  ASSERT_EQ(first.group_count(), 1u);
+  EXPECT_EQ(builder.row_count(), 0u);
+  ASSERT_TRUE(builder.AddRow("second", 1, P({2.0})).ok());
+  const BatchTable second = builder.Build();
+  ASSERT_EQ(second.group_count(), 1u);
+  EXPECT_EQ(second.group_key(0), "second");
+}
+
+}  // namespace
+}  // namespace bagcpd

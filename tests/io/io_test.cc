@@ -42,6 +42,71 @@ TEST(CsvTest, FailsOnUnwritablePath) {
   EXPECT_FALSE(WriteCsv("/nonexistent-dir/foo.csv", {"a"}, {}).ok());
 }
 
+TEST(CsvTest, ReadRoundTripsQuotedFields) {
+  const std::string path = ::testing::TempDir() + "/bagcpd_csv_read_rt.csv";
+  const std::vector<std::string> header = {"name", "note"};
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "no quoting needed"},
+      {"has,comma", "a\"quote"},
+      {"multi\nline", "trailing space "},
+      {"", "empty first field"},
+  };
+  ASSERT_TRUE(WriteCsv(path, header, rows).ok());
+  Result<CsvData> read = ReadCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->header, header);
+  EXPECT_EQ(read->rows, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadAcceptsCrlfAndMissingFinalNewline) {
+  const std::string path = ::testing::TempDir() + "/bagcpd_csv_crlf.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\r\n1,2\r\n3,4";  // CRLF endings, no trailing newline.
+  }
+  Result<CsvData> read = ReadCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(read->rows.size(), 2u);
+  EXPECT_EQ(read->rows[1], (std::vector<std::string>{"3", "4"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadDoesNotInventPhantomRows) {
+  const std::string path = ::testing::TempDir() + "/bagcpd_csv_tail.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a\nx\n";  // Trailing newline must not add an empty row.
+  }
+  Result<CsvData> read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->rows.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadRejectsMalformedInput) {
+  EXPECT_FALSE(ReadCsv("/nonexistent-dir/foo.csv").ok());
+
+  const std::string path = ::testing::TempDir() + "/bagcpd_csv_bad.csv";
+  const auto write = [&path](const std::string& body) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << body;
+  };
+
+  write("a,b\nonly-one\n");  // Row narrower than the header.
+  EXPECT_FALSE(ReadCsv(path).ok());
+  write("a\n1,2\n");  // Row wider than the header.
+  EXPECT_FALSE(ReadCsv(path).ok());
+  write("a\n\"unterminated\n");  // Quote never closed.
+  EXPECT_FALSE(ReadCsv(path).ok());
+  write("a\nhe\"llo\n");  // Quote inside an unquoted field.
+  EXPECT_FALSE(ReadCsv(path).ok());
+  write("");  // No header at all.
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(CsvTest, FormatDouble) {
   EXPECT_EQ(FormatDouble(1.5, 2), "1.50");
   EXPECT_EQ(FormatDouble(-0.125, 3), "-0.125");

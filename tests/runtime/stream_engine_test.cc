@@ -420,5 +420,103 @@ TEST(StreamEngineTest, BackpressureDoesNotDeadlockTinyQueues) {
   EXPECT_EQ(engine.processed_count(), 60u);
 }
 
+TEST(StreamEngineTest, RunBatchProfileMapRoutesPerKey) {
+  // "alt" has a shorter window: tau + tau' = 6 instead of 8, so a routed
+  // stream of length 12 yields 7 results instead of 5.
+  DetectorOptions alt = SmallDetector();
+  alt.tau = 3;
+  alt.tau_prime = 3;
+
+  auto engine_owner = StreamEngine::Create(SmallEngine(2)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
+  ASSERT_TRUE(engine.RegisterProfile("alt", alt).ok());
+
+  std::map<std::string, BagSequence> streams;
+  streams["routed"] = JumpStream(12, 0, 61);
+  streams["plain"] = JumpStream(12, 0, 62);
+  std::map<std::string, std::string> routes;
+  routes["routed"] = "alt";
+  routes["absent-key"] = "alt";  // Not in `streams`: must be ignored.
+  auto batch = engine.RunBatch(streams, routes);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->at("routed").size(), 7u);
+  EXPECT_EQ(batch->at("plain").size(), 5u);
+
+  // The routed stream is bitwise what an all-"alt" sweep of the same key
+  // produces: routing never perturbs the per-key seed derivation.
+  auto alt_engine = StreamEngine::Create(SmallEngine(1)).MoveValueUnsafe();
+  ASSERT_TRUE(alt_engine->RegisterProfile("alt", alt).ok());
+  std::map<std::string, BagSequence> routed_only;
+  routed_only["routed"] = JumpStream(12, 0, 61);
+  auto alt_batch = alt_engine->RunBatch(routed_only, "alt");
+  ASSERT_TRUE(alt_batch.ok());
+  const std::vector<StepResult>& a = batch->at("routed");
+  const std::vector<StepResult>& b = alt_batch->at("routed");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].alarm, b[i].alarm);
+  }
+}
+
+TEST(StreamEngineTest, RunBatchProfileMapRejectsUnknownProfileUpFront) {
+  auto engine_owner = StreamEngine::Create(SmallEngine(2)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
+  std::map<std::string, BagSequence> streams;
+  streams["k"] = JumpStream(10, 0, 63);
+  std::map<std::string, std::string> routes;
+  routes["k"] = "never-registered";
+  auto batch = engine.RunBatch(streams, routes);
+  EXPECT_FALSE(batch.ok());
+  // Failed before any submission: the engine is untouched and reusable.
+  EXPECT_EQ(engine.submitted_count(), 0u);
+  ASSERT_TRUE(engine.RunBatch(streams).ok());
+}
+
+TEST(StreamEngineTest, RunBatchProfileMapConflictFailsTheBatch) {
+  DetectorOptions alt = SmallDetector();
+  alt.tau = 3;
+  auto engine_owner = StreamEngine::Create(SmallEngine(1)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
+  ASSERT_TRUE(engine.RegisterProfile("alt", alt).ok());
+
+  // The key binds to the default profile through online traffic first.
+  ASSERT_TRUE(engine.Submit("k", JumpStream(1, 0, 64).front()).ok());
+  engine.Flush();
+
+  std::map<std::string, BagSequence> streams;
+  streams["k"] = JumpStream(10, 0, 65);
+  std::map<std::string, std::string> routes;
+  routes["k"] = "alt";
+  auto batch = engine.RunBatch(streams, routes);
+  EXPECT_FALSE(batch.ok());  // Profile conflict quarantines the stream.
+}
+
+TEST(StreamEngineTest, LatencyStatsCoverEveryProcessedSubmission) {
+  auto engine_owner = StreamEngine::Create(SmallEngine(2)).MoveValueUnsafe();
+  StreamEngine& engine = *engine_owner;
+  EXPECT_EQ(engine.latency_stats().samples, 0u);
+  EXPECT_EQ(engine.latency_stats().mean_ns(), 0.0);
+
+  const std::size_t kBags = 24;
+  BagSequence bags = JumpStream(kBags, 0, 66);
+  for (const Bag& bag : bags) {
+    ASSERT_TRUE(engine.Submit("k", bag).ok());
+  }
+  engine.Flush();
+
+  const EngineLatencyStats stats = engine.latency_stats();
+  EXPECT_EQ(stats.samples, kBags);
+  EXPECT_GE(stats.total_ns, stats.max_ns);
+  EXPECT_GE(stats.mean_ns(), 0.0);
+  EXPECT_LE(stats.mean_ns(), static_cast<double>(stats.max_ns));
+  // Per-event latency is a subset of the same measurement, so no event can
+  // exceed the engine-wide peak.
+  for (const EngineEvent& event : engine.DrainEvents()) {
+    EXPECT_LE(event.enqueue_to_process_ns, stats.max_ns);
+  }
+}
+
 }  // namespace
 }  // namespace bagcpd

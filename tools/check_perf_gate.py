@@ -11,12 +11,20 @@ the workspace transport solver must beat the MinCostFlow reference by
 --min-speedup on the named run AND every run must report zero steady-state
 allocations per solve.
 
+Also enforces the columnar-batch floor from BENCH_batch.json
+(bench/micro_batch.cc): BatchTableBuilder ingest must beat the nested
+per-vector baseline by --min-speedup, every detection run must preserve row
+counts exactly (output rows == input steps, nothing quarantined on the clean
+synthetic corpus), and all pool sizes must produce bitwise-identical score
+checksums.
+
 Usage:
   check_perf_gate.py BENCH_engine.json [--threads 4] [--min-speedup 2.0]
   check_perf_gate.py BENCH_flatbag.json --memory-run arena_ingest \
       --min-speedup 1.15
   check_perf_gate.py BENCH_emd.json --emd-run emd_solve_k16 \
       --min-speedup 1.3
+  check_perf_gate.py BENCH_batch.json --batch --min-speedup 1.15
 
 Exits 0 when the gate passes, 1 when it fails or the row is missing.
 """
@@ -95,6 +103,45 @@ def check_emd_run(data, name, min_speedup):
     return ok
 
 
+def check_batch(data, min_speedup):
+    ok = True
+
+    ingest = data.get("ingest", {})
+    speedup = ingest.get("columnar_speedup")
+    if speedup is None:
+        print("FAIL: 'ingest' is missing 'columnar_speedup'")
+        ok = False
+    else:
+        passed = speedup >= min_speedup
+        verdict = "PASS" if passed else "FAIL"
+        print(f"{verdict}: columnar ingest speedup over nested per-vector "
+              f"= {speedup:.3f}x (gate: >= {min_speedup:.2f}x)")
+        ok = ok and passed
+
+    runs = data.get("detection", [])
+    if not runs:
+        print("FAIL: no detection runs in BENCH_batch.json")
+        ok = False
+    for run in runs:
+        pool = run.get("pool")
+        if run.get("row_count_preserved") is not True:
+            print(f"FAIL: pool={pool} did not preserve row counts "
+                  "(gate: output rows == input steps, nothing quarantined)")
+            ok = False
+        else:
+            print(f"PASS: pool={pool} row counts preserved")
+
+    checksums = {run.get("checksum") for run in runs}
+    if data.get("checksums_match") is not True or len(checksums) > 1:
+        print(f"FAIL: detection checksums diverge across pool sizes: "
+              f"{sorted(checksums)}")
+        ok = False
+    elif runs:
+        print(f"PASS: all {len(runs)} pool sizes agree on score checksum "
+              f"{checksums.pop()}")
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", help="path to a BENCH_*.json file")
@@ -109,6 +156,10 @@ def main():
                         help="gate on a BENCH_emd.json run of this name "
                              "(speedup vs the MinCostFlow reference, plus "
                              "zero steady-state allocations on every run)")
+    parser.add_argument("--batch", action="store_true",
+                        help="gate on BENCH_batch.json: columnar ingest "
+                             "speedup, exact row-count preservation, and "
+                             "matching detection checksums across pool sizes")
     args = parser.parse_args()
 
     try:
@@ -118,7 +169,9 @@ def main():
         print(f"FAIL: cannot parse {args.bench_json}: {error}")
         return 1
 
-    if args.emd_run is not None:
+    if args.batch:
+        ok = check_batch(data, args.min_speedup)
+    elif args.emd_run is not None:
         ok = check_emd_run(data, args.emd_run, args.min_speedup)
     elif args.memory_run is not None:
         ok = check_memory_run(data, args.memory_run, args.min_speedup)
