@@ -3,22 +3,36 @@
 // replaced — per-solve latency at K = 4 / 16 / 64, steady-state allocations
 // per solve (the workspace growth counter), and pairwise-matrix throughput.
 // Both paths must agree bitwise on every instance; the harness aborts if a
-// single solve diverges. Emits BENCH_emd.json in the working directory,
-// which tools/check_perf_gate.py hard-gates (>= 1.3x at K = 16, zero
-// steady-state allocations).
+// single solve diverges. A second sweep (K = 4..256) races the approximate
+// solvers (emd/approx: sinkhorn, sliced) against the exact workspace, and a
+// fidelity section replays fig07/fig11-style detector scenarios under each
+// solver to report max |delta score| and the detection-delay shift of the
+// argmax step. Emits BENCH_emd.json in the working directory, which
+// tools/check_perf_gate.py hard-gates (>= 1.3x at K = 16 for the exact
+// rows; --emd-approx gates >= 3x at K = 64 for both approximate solvers,
+// zero steady-state allocations, and the fidelity ceilings).
 //
 //   micro_emd [repeats]   (default 50; scales the iteration counts)
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bagcpd/common/rng.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/data/pamap_simulator.h"
+#include "bagcpd/emd/approx/emd_solver.h"
+#include "bagcpd/emd/approx/options.h"
 #include "bagcpd/emd/emd.h"
 #include "bagcpd/emd/min_cost_flow.h"
 #include "bagcpd/emd/transport_solver.h"
+#include "bagcpd/graph/enron_simulator.h"
+#include "bagcpd/graph/features.h"
 #include "bagcpd/signature/signature_set.h"
 #include "bench_util.h"
 
@@ -83,6 +97,91 @@ struct SolveRow {
   double speedup = 0.0;
   double steady_state_allocs_per_solve = 0.0;
 };
+
+struct ApproxRow {
+  std::size_t k = 0;
+  std::string solver;
+  double exact_ns_per_solve = 0.0;
+  double ns_per_solve = 0.0;
+  double speedup_vs_exact = 0.0;
+  double steady_state_allocs_per_solve = 0.0;
+};
+
+struct FidelityRow {
+  std::string scenario;
+  std::string solver;
+  double max_abs_score_delta = 0.0;
+  // argmax(score) step of the approximate run minus the exact run's: the
+  // shift in where the strongest change-point evidence lands.
+  long delay_delta_steps = 0;
+};
+
+// Times `fn` over `iterations` calls, best of `reps` passes; returns seconds
+// per call and accumulates every returned value into *sink so the work cannot
+// be optimized away (and checksums stay comparable across solvers).
+template <typename Fn>
+double BestSecondsPerCall(int reps, int iterations, double* sink, Fn&& fn) {
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int it = 0; it < iterations; ++it) *sink += fn(it);
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best, Seconds(start, stop));
+  }
+  return best / iterations;
+}
+
+// Runs the detector over `bags` with the given approximate-solver spec and
+// returns the per-step scores (bootstrap off: fidelity measures the score
+// path itself, not CI resampling noise on top of it).
+std::vector<double> ScoreSeries(const BagSequence& bags,
+                                const DetectorOptions& base,
+                                const std::string& emd_spec) {
+  DetectorOptions options = base;
+  options.bootstrap.replicates = 0;
+  options.emd =
+      bench::Unwrap(ParseEmdSolverSpec(emd_spec), "emd spec");
+  auto detector =
+      bench::Unwrap(BagStreamDetector::Create(options), "fidelity detector");
+  const std::vector<StepResult> results =
+      bench::Unwrap(detector->Run(bags), "fidelity run");
+  std::vector<double> scores;
+  scores.reserve(results.size());
+  for (const StepResult& r : results) scores.push_back(r.score);
+  return scores;
+}
+
+std::size_t ArgMax(const std::vector<double>& v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+// One fidelity scenario: exact vs each approximate solver on the same stream.
+void RunFidelityScenario(const char* name, const BagSequence& bags,
+                         const DetectorOptions& base,
+                         std::vector<FidelityRow>* rows) {
+  const std::vector<double> exact = ScoreSeries(bags, base, "exact");
+  const std::size_t exact_peak = ArgMax(exact);
+  for (const char* spec : {"sinkhorn:0.1", "sliced:16"}) {
+    const std::vector<double> approx = ScoreSeries(bags, base, spec);
+    FidelityRow row;
+    row.scenario = name;
+    row.solver = spec;
+    for (std::size_t i = 0; i < exact.size() && i < approx.size(); ++i) {
+      row.max_abs_score_delta =
+          std::max(row.max_abs_score_delta, std::abs(approx[i] - exact[i]));
+    }
+    row.delay_delta_steps = static_cast<long>(ArgMax(approx)) -
+                            static_cast<long>(exact_peak);
+    rows->push_back(row);
+    std::printf(
+        "fidelity %-12s %-14s max|dScore| %.4f   delay shift %+ld steps\n",
+        name, spec, row.max_abs_score_delta, row.delay_delta_steps);
+  }
+}
 
 int Main(int argc, char** argv) {
   const int repeats = argc > 1 ? std::atoi(argv[1]) : 50;
@@ -217,6 +316,143 @@ int Main(int argc, char** argv) {
         pairwise_n, pairwise_k, pairwise_seconds, pairwise_solves_per_second);
   }
 
+  // --- Approximate-solver sweep: exact vs sinkhorn vs sliced --------------
+  std::printf("\napprox sweep (normalized signatures, squared-Euclidean):\n");
+  std::vector<ApproxRow> approx_rows;
+  for (const std::size_t k : {std::size_t{4}, std::size_t{16}, std::size_t{64},
+                              std::size_t{256}}) {
+    Rng rng(9000 + k);
+    const std::size_t pool_size = 8;
+    std::vector<Signature> left;
+    std::vector<Signature> right;
+    for (std::size_t p = 0; p < pool_size; ++p) {
+      Signature a = RandomSignature(&rng, k, 2);
+      Signature b = RandomSignature(&rng, k, 2);
+      a.NormalizeInPlace();
+      b.NormalizeInPlace();
+      left.push_back(std::move(a));
+      right.push_back(std::move(b));
+    }
+    // The exact dense solve is O(K^3)-ish; keep the iteration budget sane at
+    // K = 256 while still amortizing timer noise at small K.
+    const int iterations = std::max(
+        2, repeats * static_cast<int>(6400 / (k * k)) / 2 + (k <= 64 ? 8 : 0));
+
+    EmdSolver exact_solver;  // kind = exact
+    EmdSolver sinkhorn_solver(
+        bench::Unwrap(ParseEmdSolverSpec("sinkhorn:0.1"), "sinkhorn spec"));
+    EmdSolver sliced_solver(
+        bench::Unwrap(ParseEmdSolverSpec("sliced:16"), "sliced spec"));
+    struct Contender {
+      const char* name;
+      EmdSolver* solver;
+    };
+    const Contender contenders[] = {{"sinkhorn:0.1", &sinkhorn_solver},
+                                    {"sliced:16", &sliced_solver}};
+
+    double sink = 0.0;
+    // Warm every solver over the whole pool so the timed loops measure
+    // steady state (any later growth is a steady-state allocation).
+    for (std::size_t p = 0; p < pool_size; ++p) {
+      sink += bench::Unwrap(
+          exact_solver.Compute(left[p], right[p],
+                               GroundDistance::kSquaredEuclidean),
+          "exact warmup");
+      for (const Contender& c : contenders) {
+        sink += bench::Unwrap(
+            c.solver->Compute(left[p], right[p],
+                              GroundDistance::kSquaredEuclidean),
+            "approx warmup");
+      }
+    }
+
+    const double exact_seconds =
+        BestSecondsPerCall(2, iterations, &sink, [&](int it) {
+          const std::size_t p = static_cast<std::size_t>(it) % pool_size;
+          return bench::Unwrap(
+              exact_solver.Compute(left[p], right[p],
+                                   GroundDistance::kSquaredEuclidean),
+              "exact solve");
+        });
+    for (const Contender& c : contenders) {
+      const std::uint64_t allocs_before = c.solver->allocation_count();
+      std::uint64_t solves = 0;
+      const double seconds =
+          BestSecondsPerCall(2, iterations, &sink, [&](int it) {
+            const std::size_t p = static_cast<std::size_t>(it) % pool_size;
+            ++solves;
+            return bench::Unwrap(
+                c.solver->Compute(left[p], right[p],
+                                  GroundDistance::kSquaredEuclidean),
+                "approx solve");
+          });
+      ApproxRow row;
+      row.k = k;
+      row.solver = c.name;
+      row.exact_ns_per_solve = exact_seconds * 1e9;
+      row.ns_per_solve = seconds * 1e9;
+      row.speedup_vs_exact = exact_seconds / seconds;
+      row.steady_state_allocs_per_solve =
+          solves == 0 ? 0.0
+                      : static_cast<double>(c.solver->allocation_count() -
+                                            allocs_before) /
+                            static_cast<double>(solves);
+      approx_rows.push_back(row);
+      std::printf(
+          "emd_approx k=%-3zu %-14s exact %10.0f ns/solve   approx %9.0f "
+          "ns/solve   speedup %6.2fx   steady-state allocs/solve %.4f\n",
+          k, row.solver.c_str(), row.exact_ns_per_solve, row.ns_per_solve,
+          row.speedup_vs_exact, row.steady_state_allocs_per_solve);
+    }
+    if (sink == 12345.678) std::printf(" ");  // Keep `sink` observable.
+  }
+
+  // --- Fidelity: fig07/fig11-style detector scenarios ---------------------
+  std::printf("\nfidelity (bootstrap off; score path only):\n");
+  std::vector<FidelityRow> fidelity_rows;
+  {
+    // fig07-style: PAMAP-like activity stream, tau = tau' = 5, k = 10.
+    PamapSimulatorOptions sim;
+    sim.seed = 777;
+    sim.subject = 1;
+    sim.sampling_hz = 20.0;
+    sim.mean_bags_per_activity = 6.0;
+    PamapRecording rec =
+        bench::Unwrap(SimulatePamapSubject(sim), "pamap simulator");
+    DetectorOptions options;
+    options.tau = 5;
+    options.tau_prime = 5;
+    options.signature.method = SignatureMethod::kKMeans;
+    options.signature.k = 10;
+    options.seed = 71;
+    RunFidelityScenario("fig07_pamap", rec.stream.bags, options,
+                        &fidelity_rows);
+  }
+  {
+    // fig11-style: ENRON-like weekly email graphs, destination strength,
+    // tau = 5 / tau' = 3, k = 8.
+    EnronSimulatorOptions sim;
+    sim.seed = 2002;
+    sim.weeks = 60;
+    sim.node_rate = 50.0;
+    sim.edge_density = 0.25;
+    EnronStream stream =
+        bench::Unwrap(SimulateEnronStream(sim), "enron simulator");
+    BagSequence bags;
+    for (const BipartiteGraph& g : stream.weekly_graphs) {
+      bags.push_back(bench::Unwrap(
+          ExtractGraphFeature(g, GraphFeature::kDestinationStrength),
+          "feature"));
+    }
+    DetectorOptions options;
+    options.tau = 5;
+    options.tau_prime = 3;
+    options.signature.method = SignatureMethod::kKMeans;
+    options.signature.k = 8;
+    options.seed = 116;
+    RunFidelityScenario("fig11_enron", bags, options, &fidelity_rows);
+  }
+
   std::FILE* json = std::fopen("BENCH_emd.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "FATAL: cannot open BENCH_emd.json\n");
@@ -239,10 +475,34 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(json,
                "  ],\n  \"pairwise\": {\"n\": %zu, \"k\": %zu, "
-               "\"seconds_per_matrix\": %.6f, \"solves_per_second\": %.1f}\n"
-               "}\n",
+               "\"seconds_per_matrix\": %.6f, \"solves_per_second\": %.1f},\n",
                pairwise_n, pairwise_k, pairwise_seconds,
                pairwise_solves_per_second);
+  std::fprintf(json, "  \"approx_runs\": [\n");
+  for (std::size_t i = 0; i < approx_rows.size(); ++i) {
+    const ApproxRow& r = approx_rows[i];
+    std::fprintf(json,
+                 "    {\"name\": \"emd_approx_k%zu_%s\", \"k\": %zu, "
+                 "\"solver\": \"%s\", \"exact_ns_per_solve\": %.1f, "
+                 "\"ns_per_solve\": %.1f, \"speedup_vs_exact\": %.3f, "
+                 "\"steady_state_allocs_per_solve\": %.6f}%s\n",
+                 r.k, r.solver.c_str(), r.k, r.solver.c_str(),
+                 r.exact_ns_per_solve, r.ns_per_solve, r.speedup_vs_exact,
+                 r.steady_state_allocs_per_solve,
+                 i + 1 < approx_rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"fidelity\": [\n");
+  for (std::size_t i = 0; i < fidelity_rows.size(); ++i) {
+    const FidelityRow& r = fidelity_rows[i];
+    std::fprintf(json,
+                 "    {\"scenario\": \"%s\", \"solver\": \"%s\", "
+                 "\"max_abs_score_delta\": %.6f, "
+                 "\"delay_delta_steps\": %ld}%s\n",
+                 r.scenario.c_str(), r.solver.c_str(), r.max_abs_score_delta,
+                 r.delay_delta_steps,
+                 i + 1 < fidelity_rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("\nwrote BENCH_emd.json\n");
   return 0;

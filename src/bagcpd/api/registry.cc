@@ -26,7 +26,7 @@ Result<std::string> RoundTrip(const std::string& name) {
 std::vector<ComponentInfo> KnownComponents() {
   return {InfoFor<SignatureMethod>(), InfoFor<ScoreType>(),
           InfoFor<GroundDistance>(), InfoFor<WeightScheme>(),
-          InfoFor<BootstrapMethod>()};
+          InfoFor<BootstrapMethod>(), InfoFor<EmdSolverKind>()};
 }
 
 Result<std::string> CanonicalName(const std::string& kind,
@@ -43,6 +43,9 @@ Result<std::string> CanonicalName(const std::string& kind,
   }
   if (kind == Component<BootstrapMethod>::kKind) {
     return RoundTrip<BootstrapMethod>(name);
+  }
+  if (kind == Component<EmdSolverKind>::kKind) {
+    return RoundTrip<EmdSolverKind>(name);
   }
   // Derive the kind list from the same table a new registration extends, so
   // the message can never go stale.

@@ -88,6 +88,18 @@ struct Component<BootstrapMethod> {
   }
 };
 
+template <>
+struct Component<EmdSolverKind> {
+  static constexpr const char* kKind = "emd";
+  static const std::vector<EmdSolverKind>& Values() {
+    return AllEmdSolverKinds();
+  }
+  static const char* Name(EmdSolverKind v) { return EmdSolverKindName(v); }
+  static Result<EmdSolverKind> Parse(const std::string& name) {
+    return ParseEmdSolverKind(name);
+  }
+};
+
 /// \brief One component kind with the canonical names it accepts.
 struct ComponentInfo {
   std::string kind;
@@ -95,8 +107,8 @@ struct ComponentInfo {
 };
 
 /// \brief Every registered component kind ("quantizer", "score", "ground",
-/// "weights", "bootstrap") with its canonical names, for --help output and
-/// config validation in tools.
+/// "weights", "bootstrap", "emd") with its canonical names, for --help
+/// output and config validation in tools.
 std::vector<ComponentInfo> KnownComponents();
 
 /// \brief Parses `name` as a component of `kind` and echoes its canonical

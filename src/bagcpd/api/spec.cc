@@ -184,6 +184,26 @@ DetectorSpec& DetectorSpec::DistanceFloor(double floor) {
   return *this;
 }
 
+DetectorSpec& DetectorSpec::Emd(EmdSolverKind kind) {
+  options_.emd.kind = kind;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Emd(const EmdSolverOptions& options) {
+  options_.emd = options;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::Emd(const std::string& spec) {
+  Result<EmdSolverOptions> parsed = ParseEmdSolverSpec(spec);
+  if (parsed.ok()) {
+    options_.emd = parsed.ValueOrDie();
+  } else if (error_.ok()) {
+    error_ = parsed.status();
+  }
+  return *this;
+}
+
 DetectorSpec& DetectorSpec::Quantizer(SignatureMethod method) {
   options_.signature.method = method;
   return *this;
@@ -288,6 +308,10 @@ Status DetectorSpec::Set(const std::string& key, const std::string& value) {
   } else if (key == "distance_floor") {
     BAGCPD_ASSIGN_OR_RETURN(options_.info.distance_floor,
                             ParseDouble(key, value));
+  } else if (key == "emd") {
+    // The value is a full solver spec ("exact", "sinkhorn:0.05:200:1e-8",
+    // "sliced:32"); ParseEmdSolverSpec validates kind and knobs together.
+    BAGCPD_ASSIGN_OR_RETURN(options_.emd, ParseEmdSolverSpec(value));
   } else if (key == "seed") {
     BAGCPD_ASSIGN_OR_RETURN(options_.seed, ParseUnsigned(key, value));
   } else {
@@ -295,7 +319,7 @@ Status DetectorSpec::Set(const std::string& key, const std::string& value) {
         "unknown key '" + key +
         "' (known: quantizer, k, bin_width, histogram_origin, normalize, "
         "tau, tau_prime, score, weights, ground, bootstrap, replicates, "
-        "alpha, distance_floor, seed)");
+        "alpha, distance_floor, emd, seed)");
   }
   return Status::OK();
 }
@@ -354,6 +378,7 @@ std::string DetectorSpec::ToKeyValues() const {
   out += ",replicates=" + std::to_string(options_.bootstrap.replicates);
   out += ",alpha=" + FormatDouble(options_.bootstrap.alpha);
   out += ",distance_floor=" + FormatDouble(options_.info.distance_floor);
+  out += ",emd=" + EmdSolverSpecString(options_.emd);
   out += ",seed=" + std::to_string(options_.seed);
   return out;
 }
@@ -361,6 +386,73 @@ std::string DetectorSpec::ToKeyValues() const {
 // ---------------------------------------------------------------------------
 // EngineSpec
 // ---------------------------------------------------------------------------
+
+Result<EngineSpec> EngineSpec::FromKeyValues(const std::string& text) {
+  EngineSpec spec;
+  // Engine-level keys are peeled off here; every other token is forwarded to
+  // the default detector's parser in one pass so its error messages (and its
+  // last-occurrence-wins semantics) apply unchanged — the same split
+  // BatchSpec::FromKeyValues performs for its batch-level keys.
+  std::string detector_text;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = Trim(text.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (token.empty()) continue;  // Tolerates trailing/duplicate commas.
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::Invalid("malformed token '" + token +
+                             "' (expected key=value)");
+    }
+    const std::string key = Trim(token.substr(0, eq));
+    const std::string value = Trim(token.substr(eq + 1));
+    if (key == "shards") {
+      BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
+      spec.options_.num_shards = static_cast<std::size_t>(v);
+    } else if (key == "queue") {
+      BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
+      spec.options_.shard_queue_capacity = static_cast<std::size_t>(v);
+    } else if (key == "collect") {
+      BAGCPD_ASSIGN_OR_RETURN(spec.options_.collect_results,
+                              ParseBool(key, value));
+    } else if (key == "max_idle") {
+      BAGCPD_ASSIGN_OR_RETURN(spec.options_.max_idle_submissions,
+                              ParseUnsigned(key, value));
+    } else if (key == "seed") {
+      // The ENGINE seed: per-stream seeds derive from it, the stream key,
+      // and the profile name. Detector seeds stay 0 (Build() enforces it).
+      BAGCPD_ASSIGN_OR_RETURN(spec.options_.seed, ParseUnsigned(key, value));
+    } else {
+      if (!detector_text.empty()) detector_text += ',';
+      detector_text += key + "=" + value;
+    }
+  }
+  BAGCPD_ASSIGN_OR_RETURN(spec.detector_,
+                          DetectorSpec::FromKeyValues(detector_text));
+  return spec;
+}
+
+std::string EngineSpec::ToKeyValues() const {
+  std::string out = "shards=" + std::to_string(options_.num_shards) +
+                    ",queue=" + std::to_string(options_.shard_queue_capacity) +
+                    std::string(",collect=") +
+                    (options_.collect_results ? "true" : "false") +
+                    ",max_idle=" + std::to_string(options_.max_idle_submissions) +
+                    ",seed=" + std::to_string(options_.seed) + ",";
+  // The detector's canonical form ends with its own ",seed=0" (enforced 0
+  // under an engine); strip it so the one `seed` key in the output is
+  // unambiguously the engine seed.
+  std::string detector = detector_.ToKeyValues();
+  const std::string suffix = ",seed=0";
+  if (detector.size() >= suffix.size() &&
+      detector.compare(detector.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+    detector.erase(detector.size() - suffix.size());
+  }
+  return out + detector;
+}
 
 EngineSpec& EngineSpec::NumShards(std::size_t num_shards) {
   options_.num_shards = num_shards;

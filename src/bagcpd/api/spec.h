@@ -62,6 +62,13 @@ class DetectorSpec {
   DetectorSpec& Ground(const std::string& name);
   DetectorSpec& DistanceFloor(double floor);
 
+  // -- EMD solver ------------------------------------------------------
+  DetectorSpec& Emd(EmdSolverKind kind);
+  DetectorSpec& Emd(const EmdSolverOptions& options);
+  /// \brief Full spec-string form: "exact", "sinkhorn:0.05", "sliced:32",
+  /// ... (ParseEmdSolverSpec grammar, the `emd=` key's value).
+  DetectorSpec& Emd(const std::string& spec);
+
   // -- Quantizer -------------------------------------------------------
   DetectorSpec& Quantizer(SignatureMethod method);
   DetectorSpec& Quantizer(const std::string& name);
@@ -111,6 +118,16 @@ class EngineSpec {
  public:
   EngineSpec() = default;
 
+  /// \brief Parses a comma-separated config string covering the engine
+  /// topology plus the default detector. `shards`, `queue`, `collect`,
+  /// `max_idle`, and `seed` are engine-level keys (seed is the ENGINE seed —
+  /// detector seeds stay 0 under an engine, as Build() enforces); every
+  /// other key=value token configures the default detector exactly as
+  /// DetectorSpec::FromKeyValues would, e.g.
+  ///   "shards=8,seed=42,quantizer=kmeans,tau=5,emd=sinkhorn:0.1".
+  /// Profiles and the arena are API-only, like BatchSpec's pool.
+  static Result<EngineSpec> FromKeyValues(const std::string& text);
+
   DetectorSpec& detector() { return detector_; }
 
   EngineSpec& NumShards(std::size_t num_shards);
@@ -132,6 +149,11 @@ class EngineSpec {
   /// \brief Build() + StreamEngine::Create + RegisterProfile for every
   /// Profile() in registration order.
   Result<std::unique_ptr<StreamEngine>> Create() const;
+
+  /// \brief Canonical "shards=...,queue=...,collect=...,max_idle=...,
+  /// seed=...,<detector keys>" form. FromKeyValues(spec.ToKeyValues())
+  /// reproduces the engine-level and default-detector configuration.
+  std::string ToKeyValues() const;
 
  private:
   StreamEngineOptions options_;

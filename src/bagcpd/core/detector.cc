@@ -43,6 +43,7 @@ Status ValidateDetectorOptions(const DetectorOptions& options) {
   if (options.info.distance_floor <= 0.0) {
     return Status::Invalid("distance floor must be > 0");
   }
+  BAGCPD_RETURN_NOT_OK(ValidateEmdSolverOptions(options.emd));
   return Status::OK();
 }
 
@@ -53,10 +54,11 @@ Result<std::unique_ptr<BagStreamDetector>> BagStreamDetector::Create(
 }
 
 PairwiseDistanceCache::ComputeFn BagStreamDetector::MakeCacheComputeFn() {
-  // Full transportation solve on the detector-owned workspace (never the 1-d
-  // sweep), dispatching the batched cost kernel on the ground enum.
+  // Solve on the detector-owned EmdSolver (never the 1-d sweep): the exact
+  // transportation solve by default, or the configured approximate solver —
+  // both dispatch the batched cost kernel on the ground enum.
   return [this](std::uint64_t i, std::uint64_t j) -> Result<double> {
-    return workspace_.Compute(SignatureAt(i), SignatureAt(j), options_.ground);
+    return solver_.Compute(SignatureAt(i), SignatureAt(j), options_.ground);
   };
 }
 
@@ -65,6 +67,7 @@ BagStreamDetector::BagStreamDetector(const DetectorOptions& options)
       init_status_(ValidateDetectorOptions(options)),
       builder_(options.signature),
       rng_(options.seed),
+      solver_(options.emd),
       cache_(MakeCacheComputeFn()) {
   if (init_status_.ok()) {
     const std::size_t full = options_.tau + options_.tau_prime;
@@ -109,6 +112,10 @@ void BagStreamDetector::Reset() {
   // Clear — not reallocate — so a long-lived engine stream keeps the cache's
   // bucket storage (and its one generator) across resets.
   cache_.Clear();
+  // Per-owner memory policy: with a byte ceiling configured on the solver,
+  // oversized EMD scratch (grown by one outlier pair) is released here, at a
+  // quiet point, and regrows to the working-set size on the next solve.
+  solver_.ShrinkToCeiling();
 }
 
 Result<std::optional<StepResult>> BagStreamDetector::Push(const Bag& bag) {
@@ -121,14 +128,11 @@ Result<std::optional<StepResult>> BagStreamDetector::Push(const Bag& bag) {
 
 Result<std::optional<StepResult>> BagStreamDetector::Push(BagView bag) {
   BAGCPD_RETURN_NOT_OK(init_status_);
-  {
-    // The builder's signature (an arena-pooled packed buffer when an arena
-    // is attached) is copied into the window ring's shared storage, after
-    // which its buffer recycles immediately.
-    BAGCPD_ASSIGN_OR_RETURN(Signature sig,
-                            builder_.Build(bag, next_index_, arena_));
-    window_.PushBack(sig);
-  }
+  // The quantizer assembles straight into the window ring's next slot
+  // (borrowed-slot build) — no intermediate signature materialized or copied
+  // on the push path. Histogram, whose bin count is unbounded, falls back to
+  // the copying path inside BuildInto.
+  BAGCPD_RETURN_NOT_OK(builder_.BuildInto(bag, next_index_, arena_, &window_));
   ++next_index_;
 
   const std::size_t full = options_.tau + options_.tau_prime;
@@ -181,9 +185,11 @@ Status BagStreamDetector::PrefillWindowDistances() {
   std::vector<Status> statuses(missing.size(), Status::OK());
   pool_->ParallelFor(0, missing.size(), [&](std::size_t p) {
     const auto [i, j] = missing[p];
-    // Per-pool-thread workspace: concurrent solves never share scratch.
-    Result<double> d = ThreadLocalEmdWorkspace().Compute(
-        SignatureAt(i), SignatureAt(j), options_.ground);
+    // Per-pool-thread solver: concurrent solves never share scratch. The
+    // explicit-options overload lets one shared thread-local solver serve
+    // streams with different emd= selections.
+    Result<double> d = ThreadLocalEmdSolver().Compute(
+        SignatureAt(i), SignatureAt(j), options_.ground, options_.emd);
     if (d.ok()) {
       values[p] = d.ValueOrDie();
     } else {

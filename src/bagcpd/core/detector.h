@@ -25,6 +25,7 @@
 #include "bagcpd/common/rng.h"
 #include "bagcpd/core/bootstrap.h"
 #include "bagcpd/core/scores.h"
+#include "bagcpd/emd/approx/emd_solver.h"
 #include "bagcpd/emd/distance_cache.h"
 #include "bagcpd/emd/ground_distance.h"
 #include "bagcpd/emd/transport_solver.h"
@@ -66,6 +67,11 @@ struct DetectorOptions {
   /// How bags are quantized into signatures.
   SignatureBuilderOptions signature;
   GroundDistance ground = GroundDistance::kEuclidean;
+  /// Which solver evaluates EMD(P, Q) on the scoring path: the exact
+  /// transportation solve (default, bit-identical to earlier releases) or an
+  /// approximate solver trading bounded score error for per-pair speed
+  /// (spec key `emd=exact|sinkhorn:eps|sliced:n`).
+  EmdSolverOptions emd;
   InfoEstimatorOptions info;
   std::uint64_t seed = 0;
 };
@@ -167,6 +173,12 @@ class BagStreamDetector {
   void set_buffer_arena(BufferArena* arena) { arena_ = arena; }
   BufferArena* buffer_arena() const { return arena_; }
 
+  /// \brief The detector-owned EMD solver (exact workspace + approx
+  /// scratch). Exposed for diagnostics — allocation/solve counters — and for
+  /// the per-stream byte-ceiling policy: set a ceiling here and Reset()
+  /// releases oversized scratch (EmdSolver::ShrinkToCeiling).
+  EmdSolver& emd_solver() { return solver_; }
+
  private:
   Result<StepResult> ScoreInspectionPoint();
   Status PrefillWindowDistances();
@@ -182,9 +194,10 @@ class BagStreamDetector {
   Rng rng_;
   ThreadPool* pool_ = nullptr;
   BufferArena* arena_ = nullptr;
-  // Reusable transport solver for the serial scoring path; the parallel
-  // prefill solves on per-pool-thread workspaces instead (identical values).
-  EmdWorkspace workspace_;
+  // Reusable EMD solver (exact workspace or approximate, per options_.emd)
+  // for the serial scoring path; the parallel prefill solves on
+  // per-pool-thread solvers instead (identical values).
+  EmdSolver solver_;
   PairwiseDistanceCache cache_;
   // Sliding window of the most recent tau + tau' signatures packed into one
   // shared ring buffer; view(0) is the oldest and has global index

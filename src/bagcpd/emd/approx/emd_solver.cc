@@ -1,0 +1,40 @@
+#include "bagcpd/emd/approx/emd_solver.h"
+
+namespace bagcpd {
+
+Result<double> EmdSolver::Compute(SignatureView a, SignatureView b,
+                                  GroundDistance ground) {
+  return Compute(a, b, ground, options_);
+}
+
+Result<double> EmdSolver::Compute(SignatureView a, SignatureView b,
+                                  GroundDistance ground,
+                                  const EmdSolverOptions& options) {
+  switch (options.kind) {
+    case EmdSolverKind::kExact:
+      return workspace_.Compute(a, b, ground);
+    case EmdSolverKind::kSinkhorn:
+      BAGCPD_RETURN_NOT_OK(workspace_.PrepareCost(a, b, ground));
+      return SinkhornEmd(workspace_.cost_matrix(), workspace_.cost_rows(),
+                         workspace_.cost_cols(), a.weights_data(),
+                         b.weights_data(), options, &sinkhorn_);
+    case EmdSolverKind::kSliced:
+      return SlicedEmd(a, b, options, &sliced_);
+  }
+  return Status::Invalid("unknown emd solver kind");
+}
+
+void EmdSolver::ShrinkToCeiling() {
+  if (retained_byte_ceiling_ == 0) return;
+  if (retained_bytes() <= retained_byte_ceiling_) return;
+  workspace_.ReleaseBuffers();
+  sinkhorn_.Release();
+  sliced_.Release();
+}
+
+EmdSolver& ThreadLocalEmdSolver() {
+  static thread_local EmdSolver solver;
+  return solver;
+}
+
+}  // namespace bagcpd

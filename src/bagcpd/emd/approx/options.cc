@@ -1,0 +1,207 @@
+#include "bagcpd/emd/approx/options.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "bagcpd/common/enum_names.h"
+
+namespace bagcpd {
+
+namespace {
+
+// Locale-independent numeric parsing/formatting, same policy as
+// api/spec.cc: <charconv> where available, a classic-locale stringstream
+// fallback elsewhere. Spec strings must mean the same thing on every host.
+bool ParseSizeRaw(const std::string& text, std::size_t* out) {
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed, 10);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  *out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+bool ParseDoubleRaw(const std::string& text, double* out) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+#else
+  std::istringstream stream(text);
+  stream.imbue(std::locale::classic());
+  stream >> *out;
+  return !stream.fail() && stream.eof();
+#endif
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc()) return std::string(buf, ptr);
+#endif
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+Result<double> ParsePositiveDouble(const std::string& what,
+                                   const std::string& text) {
+  double v = 0.0;
+  if (text.empty() || !ParseDoubleRaw(text, &v) || !std::isfinite(v) ||
+      v <= 0.0) {
+    return Status::Invalid("emd solver spec: '" + text +
+                           "' is not a positive number for " + what);
+  }
+  return v;
+}
+
+Result<double> ParseNonNegativeDouble(const std::string& what,
+                                      const std::string& text) {
+  double v = 0.0;
+  if (text.empty() || !ParseDoubleRaw(text, &v) || !std::isfinite(v) ||
+      v < 0.0) {
+    return Status::Invalid("emd solver spec: '" + text +
+                           "' is not a non-negative number for " + what);
+  }
+  return v;
+}
+
+Result<std::size_t> ParsePositiveSize(const std::string& what,
+                                      const std::string& text) {
+  std::size_t v = 0;
+  if (text.empty() || !ParseSizeRaw(text, &v) || v == 0) {
+    return Status::Invalid("emd solver spec: '" + text +
+                           "' is not a positive integer for " + what);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* EmdSolverKindName(EmdSolverKind kind) {
+  switch (kind) {
+    case EmdSolverKind::kExact:
+      return "exact";
+    case EmdSolverKind::kSinkhorn:
+      return "sinkhorn";
+    case EmdSolverKind::kSliced:
+      return "sliced";
+  }
+  return "unknown";
+}
+
+const std::vector<EmdSolverKind>& AllEmdSolverKinds() {
+  static const std::vector<EmdSolverKind> kAll = {EmdSolverKind::kExact,
+                                                  EmdSolverKind::kSinkhorn,
+                                                  EmdSolverKind::kSliced};
+  return kAll;
+}
+
+Result<EmdSolverKind> ParseEmdSolverKind(const std::string& name) {
+  return ParseNamedEnum(name, AllEmdSolverKinds(), EmdSolverKindName,
+                        "emd solver");
+}
+
+Status ValidateEmdSolverOptions(const EmdSolverOptions& options) {
+  if (!(options.sinkhorn_eps > 0.0) || !std::isfinite(options.sinkhorn_eps)) {
+    return Status::Invalid("sinkhorn_eps must be a positive finite number");
+  }
+  if (options.sinkhorn_max_iters == 0) {
+    return Status::Invalid("sinkhorn_max_iters must be at least 1");
+  }
+  if (!(options.sinkhorn_tolerance >= 0.0) ||
+      !std::isfinite(options.sinkhorn_tolerance)) {
+    return Status::Invalid(
+        "sinkhorn_tolerance must be a non-negative finite number");
+  }
+  if (options.sliced_projections == 0) {
+    return Status::Invalid("sliced_projections must be at least 1");
+  }
+  return Status::OK();
+}
+
+Result<EmdSolverOptions> ParseEmdSolverSpec(const std::string& spec) {
+  // Split on ':' — the first token names the kind, the rest are its knobs.
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t colon = spec.find(':', begin);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(begin));
+      break;
+    }
+    parts.push_back(spec.substr(begin, colon - begin));
+    begin = colon + 1;
+  }
+
+  EmdSolverOptions options;
+  BAGCPD_ASSIGN_OR_RETURN(options.kind, ParseEmdSolverKind(parts[0]));
+  switch (options.kind) {
+    case EmdSolverKind::kExact:
+      if (parts.size() > 1) {
+        return Status::Invalid(
+            "emd solver spec: 'exact' takes no parameters, got '" + spec +
+            "'");
+      }
+      break;
+    case EmdSolverKind::kSinkhorn:
+      if (parts.size() > 4) {
+        return Status::Invalid(
+            "emd solver spec: expected 'sinkhorn[:eps[:iters[:tol]]]', got '" +
+            spec + "'");
+      }
+      if (parts.size() > 1) {
+        BAGCPD_ASSIGN_OR_RETURN(
+            options.sinkhorn_eps,
+            ParsePositiveDouble("sinkhorn eps", parts[1]));
+      }
+      if (parts.size() > 2) {
+        BAGCPD_ASSIGN_OR_RETURN(
+            options.sinkhorn_max_iters,
+            ParsePositiveSize("sinkhorn iteration cap", parts[2]));
+      }
+      if (parts.size() > 3) {
+        BAGCPD_ASSIGN_OR_RETURN(
+            options.sinkhorn_tolerance,
+            ParseNonNegativeDouble("sinkhorn tolerance", parts[3]));
+      }
+      break;
+    case EmdSolverKind::kSliced:
+      if (parts.size() > 2) {
+        return Status::Invalid(
+            "emd solver spec: expected 'sliced[:n]', got '" + spec + "'");
+      }
+      if (parts.size() > 1) {
+        BAGCPD_ASSIGN_OR_RETURN(
+            options.sliced_projections,
+            ParsePositiveSize("sliced projection count", parts[1]));
+      }
+      break;
+  }
+  BAGCPD_RETURN_NOT_OK(ValidateEmdSolverOptions(options));
+  return options;
+}
+
+std::string EmdSolverSpecString(const EmdSolverOptions& options) {
+  const EmdSolverOptions defaults;
+  switch (options.kind) {
+    case EmdSolverKind::kExact:
+      return "exact";
+    case EmdSolverKind::kSinkhorn: {
+      std::string out = "sinkhorn:" + FormatDouble(options.sinkhorn_eps);
+      if (options.sinkhorn_max_iters != defaults.sinkhorn_max_iters ||
+          options.sinkhorn_tolerance != defaults.sinkhorn_tolerance) {
+        out += ":" + std::to_string(options.sinkhorn_max_iters);
+        out += ":" + FormatDouble(options.sinkhorn_tolerance);
+      }
+      return out;
+    }
+    case EmdSolverKind::kSliced:
+      return "sliced:" + std::to_string(options.sliced_projections);
+  }
+  return "exact";
+}
+
+}  // namespace bagcpd

@@ -1,0 +1,86 @@
+// Solver selection for the EMD evaluation behind every detector score
+// (paper Eqs. 8-12): the exact transportation solve, or one of the
+// approximate solvers in this layer that trade a bounded score error for a
+// large per-pair speedup. The selection is spec-addressable
+// (`emd=exact|sinkhorn:eps|sliced:n`) so an engine profile or batch column
+// can pick a point on the accuracy/throughput curve per stream.
+
+#ifndef BAGCPD_EMD_APPROX_OPTIONS_H_
+#define BAGCPD_EMD_APPROX_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bagcpd/common/result.h"
+
+namespace bagcpd {
+
+/// \brief Which solver computes EMD(P, Q) from a signature pair.
+enum class EmdSolverKind {
+  /// The exact successive-shortest-path transportation solve (EmdWorkspace).
+  kExact,
+  /// Entropic-regularized Sinkhorn iterations over the K x L cost matrix.
+  kSinkhorn,
+  /// Sliced-1D: average of exact 1-d EMDs over deterministic projections.
+  kSliced,
+};
+
+/// \brief Short lowercase name ("exact", "sinkhorn", "sliced").
+const char* EmdSolverKindName(EmdSolverKind kind);
+
+/// \brief Every solver kind, in declaration order (registry name table).
+const std::vector<EmdSolverKind>& AllEmdSolverKinds();
+
+/// \brief Inverse of EmdSolverKindName; rejects unknown names with a message
+/// listing the known ones.
+Result<EmdSolverKind> ParseEmdSolverKind(const std::string& name);
+
+/// \brief Full solver selection: the kind plus its tuning knobs. Every field
+/// has a deterministic effect — two runs with equal options, equal inputs,
+/// and equal ground distance produce bitwise-identical values regardless of
+/// thread-pool size or shard count.
+struct EmdSolverOptions {
+  EmdSolverKind kind = EmdSolverKind::kExact;
+
+  /// Sinkhorn regularization strength, RELATIVE to the mean ground distance
+  /// of the pair being solved (scale-free: doubling all coordinates does not
+  /// change the iteration count or the relative error). Smaller = closer to
+  /// exact EMD but slower to converge; below ~0.01 the Gibbs kernel can
+  /// underflow and the solve reports an error instead of returning noise.
+  double sinkhorn_eps = 0.1;
+  /// Hard iteration cap — with the tolerance below, this makes the iteration
+  /// count (and therefore the result) a pure function of the inputs.
+  std::size_t sinkhorn_max_iters = 100;
+  /// L1 marginal-violation threshold (on unit-mass-normalized weights) that
+  /// ends the iteration early.
+  double sinkhorn_tolerance = 1e-6;
+
+  /// Sliced-1D: number of fixed, seed-derived projection directions. More
+  /// directions = a more stable estimate (exact in d = 1 for any n).
+  std::size_t sliced_projections = 16;
+};
+
+/// \brief Validates the tuning knobs (eps > 0, at least one iteration /
+/// projection, finite tolerance >= 0). Knobs of non-selected kinds are still
+/// validated so a spec round-trips without losing errors.
+Status ValidateEmdSolverOptions(const EmdSolverOptions& options);
+
+/// \brief Parses the spec-string form used by the `emd=` key:
+///   "exact"
+///   "sinkhorn" | "sinkhorn:EPS" | "sinkhorn:EPS:ITERS" |
+///   "sinkhorn:EPS:ITERS:TOL"
+///   "sliced" | "sliced:N"
+/// Omitted parameters keep their defaults. Numbers are parsed
+/// locale-independently.
+Result<EmdSolverOptions> ParseEmdSolverSpec(const std::string& spec);
+
+/// \brief Canonical spec string: "exact", "sinkhorn:EPS[:ITERS:TOL]" (the
+/// long form only when iters/tol differ from the defaults), or "sliced:N".
+/// ParseEmdSolverSpec(EmdSolverSpecString(o)) reproduces the selected kind's
+/// knobs exactly.
+std::string EmdSolverSpecString(const EmdSolverOptions& options);
+
+}  // namespace bagcpd
+
+#endif  // BAGCPD_EMD_APPROX_OPTIONS_H_

@@ -1,0 +1,141 @@
+#include "bagcpd/emd/approx/sinkhorn.h"
+
+#include <cmath>
+
+namespace bagcpd {
+
+namespace {
+
+// A scaling denominator below this means the Gibbs kernel has underflowed
+// for an entire row/column — the regularization is too sharp for the cost
+// spread and continuing would divide by (near-)zero.
+constexpr double kUnderflowFloor = 1e-290;
+
+}  // namespace
+
+std::size_t SinkhornScratch::retained_bytes() const {
+  return (kernel_.capacity() + p_.capacity() + q_.capacity() + u_.capacity() +
+          v_.capacity() + kv_.capacity() + ktu_.capacity()) *
+         sizeof(double);
+}
+
+void SinkhornScratch::Release() {
+  std::vector<double>().swap(kernel_);
+  std::vector<double>().swap(p_);
+  std::vector<double>().swap(q_);
+  std::vector<double>().swap(u_);
+  std::vector<double>().swap(v_);
+  std::vector<double>().swap(kv_);
+  std::vector<double>().swap(ktu_);
+}
+
+Result<double> SinkhornEmd(const double* cost, std::size_t k, std::size_t l,
+                           const double* wa, const double* wb,
+                           const EmdSolverOptions& options,
+                           SinkhornScratch* scratch) {
+  scratch->Ensure(&scratch->kernel_, k * l);
+  scratch->Ensure(&scratch->p_, k);
+  scratch->Ensure(&scratch->q_, l);
+  scratch->Ensure(&scratch->u_, k);
+  scratch->Ensure(&scratch->v_, l);
+  scratch->Ensure(&scratch->kv_, k);
+  scratch->Ensure(&scratch->ktu_, l);
+  double* kernel = scratch->kernel_.data();
+  double* p = scratch->p_.data();
+  double* q = scratch->q_.data();
+  double* u = scratch->u_.data();
+  double* v = scratch->v_.data();
+  double* kv = scratch->kv_.data();
+  double* ktu = scratch->ktu_.data();
+
+  // Unit-mass normalization (signature weights are strictly positive, so
+  // both totals are > 0).
+  double total_a = 0.0;
+  for (std::size_t i = 0; i < k; ++i) total_a += wa[i];
+  double total_b = 0.0;
+  for (std::size_t j = 0; j < l; ++j) total_b += wb[j];
+  for (std::size_t i = 0; i < k; ++i) p[i] = wa[i] / total_a;
+  for (std::size_t j = 0; j < l; ++j) q[j] = wb[j] / total_b;
+
+  // eps is relative to the mean ground distance so the iteration behaves
+  // identically under a global rescaling of the coordinates.
+  double cost_sum = 0.0;
+  for (std::size_t e = 0; e < k * l; ++e) cost_sum += cost[e];
+  const double mean_cost = cost_sum / static_cast<double>(k * l);
+  if (mean_cost == 0.0) {
+    // Every pairwise distance is zero, so no transport costs anything.
+    ++scratch->solve_count_;
+    return 0.0;
+  }
+  const double eps_abs = options.sinkhorn_eps * mean_cost;
+
+  const double inv_eps = 1.0 / eps_abs;
+  for (std::size_t e = 0; e < k * l; ++e) {
+    kernel[e] = std::exp(-cost[e] * inv_eps);
+  }
+
+  for (std::size_t j = 0; j < l; ++j) v[j] = 1.0;
+
+  // Scaling iterations. Each round satisfies the row marginals exactly and
+  // measures the remaining column violation; the loop ends on tolerance or
+  // on the hard cap, both pure functions of the inputs.
+  for (std::size_t iter = 0; iter < options.sinkhorn_max_iters; ++iter) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const double* row = kernel + i * l;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < l; ++j) acc += row[j] * v[j];
+      kv[i] = acc;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!(kv[i] > kUnderflowFloor)) {
+        return Status::Invalid(
+            "sinkhorn scaling underflowed: eps is too small for the cost "
+            "spread of this pair (increase sinkhorn eps)");
+      }
+      u[i] = p[i] / kv[i];
+    }
+    for (std::size_t j = 0; j < l; ++j) ktu[j] = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double* row = kernel + i * l;
+      const double ui = u[i];
+      for (std::size_t j = 0; j < l; ++j) ktu[j] += row[j] * ui;
+    }
+    // Column violation under the CURRENT v — if already within tolerance the
+    // coupling is (numerically) doubly stochastic and iterating further
+    // would only change the result below the requested accuracy.
+    double err = 0.0;
+    for (std::size_t j = 0; j < l; ++j) {
+      err += std::abs(v[j] * ktu[j] - q[j]);
+    }
+    if (err <= options.sinkhorn_tolerance) break;
+    for (std::size_t j = 0; j < l; ++j) {
+      if (!(ktu[j] > kUnderflowFloor)) {
+        return Status::Invalid(
+            "sinkhorn scaling underflowed: eps is too small for the cost "
+            "spread of this pair (increase sinkhorn eps)");
+      }
+      v[j] = q[j] / ktu[j];
+    }
+  }
+
+  // Transport cost of the (approximately) optimal coupling
+  // P_ij = u_i K_ij v_j; the coupling carries unit mass, so Eq. 12's
+  // moved-mass normalization is the identity here.
+  double transport = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* krow = kernel + i * l;
+    const double* crow = cost + i * l;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < l; ++j) acc += krow[j] * v[j] * crow[j];
+    transport += u[i] * acc;
+  }
+  if (!std::isfinite(transport)) {
+    return Status::Invalid(
+        "sinkhorn transport cost is non-finite (eps too small for this "
+        "pair)");
+  }
+  ++scratch->solve_count_;
+  return transport;
+}
+
+}  // namespace bagcpd

@@ -29,6 +29,9 @@ Status EmdWorkspace::Layout(SignatureView a, SignatureView b) {
   nodes_ = k_ + l_ + 2;
   arcs_ = 2 * (k_ + l_ + k_ * l_);
   Ensure(&cost_matrix_, k_ * l_);
+  // Sized in Layout (not just in the enum kernel) so that once a shape has
+  // been seen through ANY path, no path allocates for it again.
+  Ensure(&b_transposed_, a.dim() * l_);
   Ensure(&arc_to_, arcs_);
   Ensure(&arc_rev_, arcs_);
   Ensure(&arc_cap_, arcs_);
@@ -41,40 +44,86 @@ Status EmdWorkspace::Layout(SignatureView a, SignatureView b) {
   return Status::OK();
 }
 
-Status EmdWorkspace::Prepare(SignatureView a, SignatureView b,
-                             GroundDistance ground) {
+Status EmdWorkspace::PrepareCost(SignatureView a, SignatureView b,
+                                 GroundDistance ground) {
   BAGCPD_RETURN_NOT_OK(Layout(a, b));
   // Batched kernel: one dispatch for the whole K x L matrix, streaming both
   // packed center blocks, instead of a GroundDistanceFn call per arc. The
-  // per-pair arithmetic is the exact kernel the reference lambdas call, so
-  // every cost value is bit-identical.
+  // demand centers are transposed once into a (d x L) block so every inner
+  // loop below walks unit-stride over j — straight-line code the compiler
+  // auto-vectorizes. Bitwise identity with the scalar PointView kernels
+  // holds because each cost entry accumulates its per-coordinate terms in
+  // the same t order with the same operations (init with the t=0 term, then
+  // add one squared/absolute difference per coordinate; 0 + x == x exactly
+  // for the non-negative terms involved), and the baseline x86-64 target has
+  // no FMA contraction to re-associate them.
   const std::size_t d = a.dim();
   const double* ac = a.centers_data();
   const double* bc = b.centers_data();
   double* cost = cost_matrix_.data();
+  double* bt = b_transposed_.data();
+  for (std::size_t j = 0; j < l_; ++j) {
+    for (std::size_t t = 0; t < d; ++t) {
+      bt[t * l_ + j] = bc[j * d + t];
+    }
+  }
   switch (ground) {
     case GroundDistance::kSquaredEuclidean:
       for (std::size_t i = 0; i < k_; ++i) {
-        const PointView ai(ac + i * d, d);
+        const double* ai = ac + i * d;
+        double* row = cost + i * l_;
+        const double a0 = ai[0];
         for (std::size_t j = 0; j < l_; ++j) {
-          cost[i * l_ + j] = SquaredDistance(ai, PointView(bc + j * d, d));
+          const double diff = a0 - bt[j];
+          row[j] = diff * diff;
+        }
+        for (std::size_t t = 1; t < d; ++t) {
+          const double at = ai[t];
+          const double* btr = bt + t * l_;
+          for (std::size_t j = 0; j < l_; ++j) {
+            const double diff = at - btr[j];
+            row[j] += diff * diff;
+          }
         }
       }
       break;
     case GroundDistance::kManhattan:
       for (std::size_t i = 0; i < k_; ++i) {
-        const PointView ai(ac + i * d, d);
+        const double* ai = ac + i * d;
+        double* row = cost + i * l_;
+        const double a0 = ai[0];
         for (std::size_t j = 0; j < l_; ++j) {
-          cost[i * l_ + j] = ManhattanDistance(ai, PointView(bc + j * d, d));
+          row[j] = std::abs(a0 - bt[j]);
+        }
+        for (std::size_t t = 1; t < d; ++t) {
+          const double at = ai[t];
+          const double* btr = bt + t * l_;
+          for (std::size_t j = 0; j < l_; ++j) {
+            row[j] += std::abs(at - btr[j]);
+          }
         }
       }
       break;
     case GroundDistance::kEuclidean:
     default:  // MakeGroundDistance falls back to Euclidean as well.
       for (std::size_t i = 0; i < k_; ++i) {
-        const PointView ai(ac + i * d, d);
+        const double* ai = ac + i * d;
+        double* row = cost + i * l_;
+        const double a0 = ai[0];
         for (std::size_t j = 0; j < l_; ++j) {
-          cost[i * l_ + j] = EuclideanDistance(ai, PointView(bc + j * d, d));
+          const double diff = a0 - bt[j];
+          row[j] = diff * diff;
+        }
+        for (std::size_t t = 1; t < d; ++t) {
+          const double at = ai[t];
+          const double* btr = bt + t * l_;
+          for (std::size_t j = 0; j < l_; ++j) {
+            const double diff = at - btr[j];
+            row[j] += diff * diff;
+          }
+        }
+        for (std::size_t j = 0; j < l_; ++j) {
+          row[j] = std::sqrt(row[j]);
         }
       }
       break;
@@ -277,9 +326,53 @@ Status EmdWorkspace::SolveNetwork(SignatureView a, SignatureView b,
   return Status::OK();
 }
 
+std::size_t EmdWorkspace::retained_bytes() const {
+  std::size_t bytes = 0;
+  bytes += cost_matrix_.capacity() * sizeof(double);
+  bytes += b_transposed_.capacity() * sizeof(double);
+  bytes += arc_to_.capacity() * sizeof(std::size_t);
+  bytes += arc_rev_.capacity() * sizeof(std::size_t);
+  bytes += arc_cap_.capacity() * sizeof(double);
+  bytes += arc_cost_.capacity() * sizeof(double);
+  bytes += dist_.capacity() * sizeof(double);
+  bytes += potential_.capacity() * sizeof(double);
+  bytes += prev_node_.capacity() * sizeof(std::size_t);
+  bytes += prev_arc_.capacity() * sizeof(std::size_t);
+  bytes += visited_.capacity() * sizeof(char);
+  return bytes;
+}
+
+void EmdWorkspace::ShrinkToCeiling() {
+  if (retained_byte_ceiling_ == 0) return;
+  if (retained_bytes() <= retained_byte_ceiling_) return;
+  ReleaseBuffers();
+}
+
+void EmdWorkspace::ReleaseBuffers() {
+  // Drop everything rather than trimming individual arrays: partial trimming
+  // would leave the buffers inconsistent with (k_, l_) and save little — the
+  // common cause of an oversized footprint is one outlier pair inflating
+  // every array at once.
+  std::vector<double>().swap(cost_matrix_);
+  std::vector<double>().swap(b_transposed_);
+  std::vector<std::size_t>().swap(arc_to_);
+  std::vector<std::size_t>().swap(arc_rev_);
+  std::vector<double>().swap(arc_cap_);
+  std::vector<double>().swap(arc_cost_);
+  std::vector<double>().swap(dist_);
+  std::vector<double>().swap(potential_);
+  std::vector<std::size_t>().swap(prev_node_);
+  std::vector<std::size_t>().swap(prev_arc_);
+  std::vector<char>().swap(visited_);
+  k_ = 0;
+  l_ = 0;
+  nodes_ = 0;
+  arcs_ = 0;
+}
+
 Result<double> EmdWorkspace::Compute(SignatureView a, SignatureView b,
                                      GroundDistance ground) {
-  BAGCPD_RETURN_NOT_OK(Prepare(a, b, ground));
+  BAGCPD_RETURN_NOT_OK(PrepareCost(a, b, ground));
   double emd = 0.0;
   double total_flow = 0.0;
   double cost = 0.0;
@@ -323,7 +416,7 @@ Result<EmdSolution> EmdWorkspace::ComputeDetailed(
 Result<EmdSolution> EmdWorkspace::ComputeDetailed(SignatureView a,
                                                   SignatureView b,
                                                   GroundDistance ground) {
-  BAGCPD_RETURN_NOT_OK(Prepare(a, b, ground));
+  BAGCPD_RETURN_NOT_OK(PrepareCost(a, b, ground));
   return SolveDetailed(a, b);
 }
 

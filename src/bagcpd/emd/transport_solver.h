@@ -78,6 +78,19 @@ class EmdWorkspace {
   Result<EmdSolution> ComputeDetailed(SignatureView a, SignatureView b,
                                       GroundDistance ground);
 
+  /// \brief Validates the pair and fills the K x L ground-distance matrix
+  /// through the batched vectorized kernel WITHOUT building the flow
+  /// network. The approximate solvers (emd/approx/) run their iterations
+  /// directly over cost_matrix() afterwards, reusing this workspace's packed
+  /// cost buffer; the exact Compute() paths call it internally.
+  Status PrepareCost(SignatureView a, SignatureView b, GroundDistance ground);
+
+  /// \brief Row-major K x L cost matrix of the last PrepareCost/Compute.
+  /// Valid until the next call that re-lays-out the workspace.
+  const double* cost_matrix() const { return cost_matrix_.data(); }
+  std::size_t cost_rows() const { return k_; }
+  std::size_t cost_cols() const { return l_; }
+
   /// \brief Number of successful solves since construction.
   std::uint64_t solve_count() const { return solve_count_; }
 
@@ -87,10 +100,35 @@ class EmdWorkspace {
   /// bench/micro_emd measures and tools/check_perf_gate.py enforces.
   std::uint64_t allocation_count() const { return allocation_count_; }
 
+  /// \brief Per-owner memory ceiling for the monotonically-growing scratch.
+  /// 0 (the default) means unlimited — buffers never shrink, the historical
+  /// behavior. With a ceiling set, ShrinkToCeiling() releases ALL scratch
+  /// whenever the retained footprint exceeds the ceiling; owners call it at
+  /// quiet points (BagStreamDetector::Reset), never mid-solve. The next
+  /// solve regrows to its actual need and the regrowth is visible in
+  /// allocation_count() — which is exactly what the regression test pins.
+  void set_retained_byte_ceiling(std::size_t bytes) {
+    retained_byte_ceiling_ = bytes;
+  }
+  std::size_t retained_byte_ceiling() const { return retained_byte_ceiling_; }
+
+  /// \brief Bytes currently held across all scratch buffers (capacities, not
+  /// sizes — what the allocator actually retains).
+  std::size_t retained_bytes() const;
+
+  /// \brief Releases every scratch buffer if a ceiling is set and
+  /// retained_bytes() exceeds it; otherwise a no-op. Safe between solves.
+  void ShrinkToCeiling();
+
+  /// \brief Unconditionally releases all scratch (retained_bytes() drops to
+  /// zero; the next solve regrows). Owners with a pooled policy of their own
+  /// (EmdSolver) use this directly.
+  void ReleaseBuffers();
+
  private:
   // Validates the pair, sizes the buffers for (K, L), and fills the cost
-  // matrix via the batched kernel (enum) or the callback (fn).
-  Status Prepare(SignatureView a, SignatureView b, GroundDistance ground);
+  // matrix via the batched kernel (enum; public as PrepareCost) or the
+  // callback (fn).
   Status Prepare(SignatureView a, SignatureView b,
                  const GroundDistanceFn& ground);
   Status Layout(SignatureView a, SignatureView b);
@@ -119,6 +157,8 @@ class EmdWorkspace {
   std::size_t arcs_ = 0;   // 2 * (k_ + l_ + k_ * l_), forward + residual.
 
   std::vector<double> cost_matrix_;  // k_ x l_ ground distances, row-major.
+  std::vector<double> b_transposed_;  // d x l_ demand centers, for the
+                                      // unit-stride batched cost kernel.
 
   // Flat residual network. Arc e leaves the node whose CSR range contains e;
   // arc_rev_[e] is the global index of its reverse arc.
@@ -136,6 +176,7 @@ class EmdWorkspace {
 
   std::uint64_t solve_count_ = 0;
   std::uint64_t allocation_count_ = 0;
+  std::size_t retained_byte_ceiling_ = 0;  // 0 = never shrink.
 };
 
 /// \brief Per-thread workspace used by the free enum-dispatched ComputeEmd

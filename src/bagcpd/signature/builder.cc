@@ -1,5 +1,8 @@
 #include "bagcpd/signature/builder.h"
 
+#include <algorithm>
+
+#include "bagcpd/common/check.h"
 #include "bagcpd/common/enum_names.h"
 
 namespace bagcpd {
@@ -59,6 +62,80 @@ Result<Signature> SignatureBuilder::Build(const Bag& bag,
                                           BufferArena* arena) const {
   BAGCPD_ASSIGN_OR_RETURN(FlatBag flat, FlatBag::FromBag(bag, arena));
   return Build(flat.view(), bag_index, arena);
+}
+
+Status SignatureBuilder::BuildInto(BagView bag, std::uint64_t bag_index,
+                                   BufferArena* arena,
+                                   SignatureRing* ring) const {
+  // Histogram's bin count is data-dependent with no a-priori bound, so it
+  // cannot pre-size a borrowed slot; it builds normally and copies in.
+  if (options_.method == SignatureMethod::kHistogram) {
+    BAGCPD_ASSIGN_OR_RETURN(Signature sig, Build(bag, bag_index, arena));
+    ring->PushBack(sig);
+    return Status::OK();
+  }
+  // Validate before borrowing: the quantizers validate again internally
+  // (cheap shape checks), but the slot's dimension comes from the bag.
+  BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
+  if (options_.method != SignatureMethod::kCentroid && options_.k == 0) {
+    return Status::Invalid("k must be >= 1");
+  }
+  const std::size_t max_k = options_.method == SignatureMethod::kCentroid
+                                ? 1
+                                : std::min(options_.k, bag.size());
+  double* slot = ring->BorrowSlot(max_k, bag.dim());
+  SignatureAssembler assembler(slot, max_k, bag.dim());
+
+  const std::uint64_t seed = MixSeed(options_.seed ^ MixSeed(bag_index));
+  Status built = Status::OK();
+  switch (options_.method) {
+    case SignatureMethod::kKMeans: {
+      KMeansOptions opts;
+      opts.k = options_.k;
+      opts.seed = seed;
+      built = KMeansQuantizeInto(bag, opts, arena, &assembler);
+      break;
+    }
+    case SignatureMethod::kKMedoids: {
+      KMedoidsOptions opts;
+      opts.k = options_.k;
+      opts.seed = seed;
+      built = KMedoidsQuantizeInto(bag, opts, arena, &assembler);
+      break;
+    }
+    case SignatureMethod::kLvq: {
+      LvqOptions opts;
+      opts.k = options_.k;
+      opts.seed = seed;
+      built = LvqQuantizeInto(bag, opts, arena, &assembler);
+      break;
+    }
+    case SignatureMethod::kCentroid:
+      assembler.Add(BagMean(bag), static_cast<double>(bag.size()));
+      break;
+    case SignatureMethod::kHistogram:
+      break;  // Handled above.
+  }
+  if (!built.ok()) {
+    ring->CancelBorrow();
+    return built;
+  }
+  const std::size_t k = assembler.FinishInPlace();
+  if (k == 0) {
+    ring->CancelBorrow();
+    return Status::Invalid("signature has no centers");
+  }
+  if (options_.normalize) {
+    // Same arithmetic as Signature::NormalizeInPlace over the slot's packed
+    // weight block (sequential sum, then one divide per weight).
+    double* w = slot + k * bag.dim();
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) total += w[i];
+    BAGCPD_CHECK_MSG(total > 0.0, "normalizing a zero-mass signature");
+    for (std::size_t i = 0; i < k; ++i) w[i] /= total;
+  }
+  ring->CommitBorrowed(k);
+  return Status::OK();
 }
 
 Result<Signature> SignatureBuilder::BuildRaw(BagView bag,

@@ -18,6 +18,7 @@
 #include "bagcpd/signature/kmedoids.h"
 #include "bagcpd/signature/lvq.h"
 #include "bagcpd/signature/signature.h"
+#include "bagcpd/signature/signature_set.h"
 
 namespace bagcpd {
 
@@ -85,6 +86,16 @@ class SignatureBuilder {
   /// the view path. Output is bitwise-identical to the flat entry point.
   Result<Signature> Build(const Bag& bag, std::uint64_t bag_index = 0,
                           BufferArena* arena = nullptr) const;
+
+  /// \brief Builds the signature of `bag` directly into `ring`'s next slot —
+  /// the quantizer assembles into the ring's own storage (borrowed slot), so
+  /// the detector push path performs no intermediate signature copy. The
+  /// committed slot is bitwise-identical to Build() + SignatureRing::PushBack.
+  /// Histogram is the one method whose cluster count is data-dependent and
+  /// unbounded; it keeps the copying path internally. On error the ring is
+  /// unchanged.
+  Status BuildInto(BagView bag, std::uint64_t bag_index, BufferArena* arena,
+                   SignatureRing* ring) const;
 
   const SignatureBuilderOptions& options() const { return options_; }
 

@@ -88,10 +88,12 @@ std::size_t NearestCenter(PointView x, const std::vector<double>& centers,
   return best;
 }
 
-}  // namespace
-
-Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options,
-                                    BufferArena* arena) {
+// Core Lloyd run shared by both entry points; when `sink` is non-null the
+// surviving clusters stream into it (borrowed-slot assembly) instead of the
+// result signature. Identical arithmetic either way.
+Result<KMeansResult> QuantizeImpl(BagView bag, const KMeansOptions& options,
+                                  BufferArena* arena,
+                                  SignatureAssembler* sink) {
   BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (options.k == 0) return Status::Invalid("k must be >= 1");
 
@@ -174,14 +176,22 @@ Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options,
 
   // Drop empty clusters (can remain after the final assignment), compacting
   // the surviving rows into the signature's packed buffer (one allocation,
-  // no per-add weight shifting).
-  SignatureAssembler assembler(k, d, arena);
-  for (std::size_t c = 0; c < k; ++c) {
-    if (weights[c] > 0.0) {
-      assembler.Add(PointView(centers.data() + c * d, d), weights[c]);
+  // no per-add weight shifting) — or straight into the caller's sink.
+  if (sink != nullptr) {
+    for (std::size_t c = 0; c < k; ++c) {
+      if (weights[c] > 0.0) {
+        sink->Add(PointView(centers.data() + c * d, d), weights[c]);
+      }
     }
+  } else {
+    SignatureAssembler assembler(k, d, arena);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (weights[c] > 0.0) {
+        assembler.Add(PointView(centers.data() + c * d, d), weights[c]);
+      }
+    }
+    out.signature = assembler.Finish();
   }
-  Signature sig = assembler.Finish();
   // Remap assignments to the compacted cluster indices.
   std::vector<std::size_t> remap(k, 0);
   for (std::size_t c = 0, next = 0; c < k; ++c) {
@@ -189,10 +199,21 @@ Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options,
   }
   for (std::size_t i = 0; i < n; ++i) assignment[i] = remap[assignment[i]];
 
-  out.signature = std::move(sig);
   out.assignment = std::move(assignment);
-  BAGCPD_RETURN_NOT_OK(out.signature.Validate());
+  if (sink == nullptr) BAGCPD_RETURN_NOT_OK(out.signature.Validate());
   return out;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeansQuantize(BagView bag, const KMeansOptions& options,
+                                    BufferArena* arena) {
+  return QuantizeImpl(bag, options, arena, nullptr);
+}
+
+Status KMeansQuantizeInto(BagView bag, const KMeansOptions& options,
+                          BufferArena* arena, SignatureAssembler* sink) {
+  return QuantizeImpl(bag, options, arena, sink).status();
 }
 
 Result<KMeansResult> KMeansQuantize(const Bag& bag,

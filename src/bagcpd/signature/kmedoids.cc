@@ -30,11 +30,13 @@ double DeviationToNearest(BagView bag,
   return total;
 }
 
-}  // namespace
-
-Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
-                                        const KMedoidsOptions& options,
-                                        BufferArena* arena) {
+// Core BUILD/SWAP run shared by both entry points; a non-null `sink`
+// receives the surviving (medoid, weight) pairs directly (borrowed-slot
+// assembly) instead of the result signature. Identical arithmetic either way.
+Result<KMedoidsResult> QuantizeImpl(BagView bag,
+                                    const KMedoidsOptions& options,
+                                    BufferArena* arena,
+                                    SignatureAssembler* sink) {
   BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (options.k == 0) return Status::Invalid("k must be >= 1");
 
@@ -110,6 +112,15 @@ Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
   out.total_deviation = best_total;
   std::vector<double> weights(medoids.size(), 0.0);
   for (std::size_t i = 0; i < n; ++i) weights[assignment[i]] += 1.0;
+  if (sink != nullptr) {
+    for (std::size_t m = 0; m < medoids.size(); ++m) {
+      if (weights[m] > 0.0) {
+        sink->Add(bag[medoids[m]], weights[m]);
+        out.medoid_indices.push_back(medoids[m]);
+      }
+    }
+    return out;
+  }
   SignatureAssembler assembler(medoids.size(), bag.dim(), arena);
   for (std::size_t m = 0; m < medoids.size(); ++m) {
     if (weights[m] > 0.0) {
@@ -120,6 +131,19 @@ Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
   out.signature = assembler.Finish();
   BAGCPD_RETURN_NOT_OK(out.signature.Validate());
   return out;
+}
+
+}  // namespace
+
+Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
+                                        const KMedoidsOptions& options,
+                                        BufferArena* arena) {
+  return QuantizeImpl(bag, options, arena, nullptr);
+}
+
+Status KMedoidsQuantizeInto(BagView bag, const KMedoidsOptions& options,
+                            BufferArena* arena, SignatureAssembler* sink) {
+  return QuantizeImpl(bag, options, arena, sink).status();
 }
 
 Result<KMedoidsResult> KMedoidsQuantize(const Bag& bag,

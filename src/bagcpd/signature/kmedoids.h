@@ -41,6 +41,13 @@ Result<KMedoidsResult> KMedoidsQuantize(BagView bag,
                                         const KMedoidsOptions& options,
                                         BufferArena* arena = nullptr);
 
+/// \brief Same clustering, streaming the surviving (medoid, weight) pairs
+/// into `sink` (sized for at least min(options.k, bag.size()) centers,
+/// typically borrowed over a SignatureRing slot) instead of materializing a
+/// Signature; the pairs are bitwise-identical to KMedoidsQuantize's.
+Status KMedoidsQuantizeInto(BagView bag, const KMedoidsOptions& options,
+                            BufferArena* arena, SignatureAssembler* sink);
+
 /// \brief Nested-bag convenience: validates and flattens once, then runs the
 /// view path. Output is bitwise-identical to the flat entry point.
 Result<KMedoidsResult> KMedoidsQuantize(const Bag& bag,

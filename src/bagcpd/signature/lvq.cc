@@ -8,8 +8,13 @@
 
 namespace bagcpd {
 
-Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options,
-                              BufferArena* arena) {
+namespace {
+
+// Core competitive-learning run shared by both entry points; a non-null
+// `sink` receives the surviving (prototype, weight) pairs directly
+// (borrowed-slot assembly). Identical arithmetic either way.
+Result<Signature> QuantizeImpl(BagView bag, const LvqOptions& options,
+                               BufferArena* arena, SignatureAssembler* sink) {
   BAGCPD_RETURN_NOT_OK(ValidateBagView(bag));
   if (options.k == 0) return Status::Invalid("k must be >= 1");
   if (options.epochs <= 0) return Status::Invalid("epochs must be >= 1");
@@ -74,6 +79,14 @@ Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options,
     weights[winner] += 1.0;
   }
 
+  if (sink != nullptr) {
+    for (std::size_t m = 0; m < k; ++m) {
+      if (weights[m] > 0.0) {
+        sink->Add(PointView(prototypes.data() + m * d, d), weights[m]);
+      }
+    }
+    return Signature();
+  }
   SignatureAssembler assembler(k, d, arena);
   for (std::size_t m = 0; m < k; ++m) {
     if (weights[m] > 0.0) {
@@ -83,6 +96,18 @@ Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options,
   Signature sig = assembler.Finish();
   BAGCPD_RETURN_NOT_OK(sig.Validate());
   return sig;
+}
+
+}  // namespace
+
+Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options,
+                              BufferArena* arena) {
+  return QuantizeImpl(bag, options, arena, nullptr);
+}
+
+Status LvqQuantizeInto(BagView bag, const LvqOptions& options,
+                       BufferArena* arena, SignatureAssembler* sink) {
+  return QuantizeImpl(bag, options, arena, sink).status();
 }
 
 Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options,

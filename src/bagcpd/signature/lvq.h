@@ -32,6 +32,13 @@ struct LvqOptions {
 Result<Signature> LvqQuantize(BagView bag, const LvqOptions& options,
                               BufferArena* arena = nullptr);
 
+/// \brief Same quantization, streaming the surviving (prototype, weight)
+/// pairs into `sink` (sized for at least min(options.k, bag.size()) centers,
+/// typically borrowed over a SignatureRing slot) instead of materializing a
+/// Signature; the pairs are bitwise-identical to LvqQuantize's.
+Status LvqQuantizeInto(BagView bag, const LvqOptions& options,
+                       BufferArena* arena, SignatureAssembler* sink);
+
 /// \brief Nested-bag convenience: validates and flattens once, then runs the
 /// view path. Output is bitwise-identical to the flat entry point.
 Result<Signature> LvqQuantize(const Bag& bag, const LvqOptions& options,

@@ -193,18 +193,41 @@ SignatureAssembler::SignatureAssembler(std::size_t max_count, std::size_t dim,
   buffer_.vec().resize(max_count * (dim + 1));
 }
 
+SignatureAssembler::SignatureAssembler(double* slot, std::size_t max_count,
+                                       std::size_t dim)
+    : borrowed_(slot), max_count_(max_count), dim_(dim) {
+  BAGCPD_CHECK_MSG(slot != nullptr, "SignatureAssembler: null borrowed slot");
+  BAGCPD_CHECK_MSG(dim > 0, "SignatureAssembler: zero dimension");
+}
+
 void SignatureAssembler::Add(PointView center, double weight) {
   BAGCPD_CHECK_MSG(count_ < max_count_, "SignatureAssembler: over capacity");
   BAGCPD_CHECK_MSG(center.size() == dim_,
                    "SignatureAssembler: dimension %zu, expected %zu",
                    center.size(), dim_);
-  double* base = buffer_.vec().data();
+  double* base = this->base();
   std::memcpy(base + count_ * dim_, center.data(), dim_ * sizeof(double));
   base[max_count_ * dim_ + count_] = weight;
   ++count_;
 }
 
+std::size_t SignatureAssembler::FinishInPlace() {
+  BAGCPD_CHECK_MSG(borrowed_ != nullptr,
+                   "SignatureAssembler: FinishInPlace needs borrowed mode");
+  if (count_ < max_count_) {
+    std::memmove(borrowed_ + count_ * dim_, borrowed_ + max_count_ * dim_,
+                 count_ * sizeof(double));
+  }
+  const std::size_t k = count_;
+  borrowed_ = nullptr;
+  max_count_ = 0;
+  count_ = 0;
+  return k;
+}
+
 Signature SignatureAssembler::Finish() {
+  BAGCPD_CHECK_MSG(borrowed_ == nullptr,
+                   "SignatureAssembler: Finish unavailable in borrowed mode");
   double* base = buffer_.vec().data();
   if (count_ < max_count_) {
     // Fewer centers than reserved (e.g. empty clusters dropped): compact the

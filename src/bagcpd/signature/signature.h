@@ -244,6 +244,12 @@ class SignatureAssembler {
   SignatureAssembler(std::size_t max_count, std::size_t dim,
                      BufferArena* arena = nullptr);
 
+  /// \brief Borrowed-buffer mode: assembles into `slot`, caller-owned storage
+  /// of at least max_count*(dim+1) doubles (e.g. a SignatureRing slot), with
+  /// the same staging layout and arithmetic as the owning mode. Finalize with
+  /// FinishInPlace() — Finish() is unavailable, there is no buffer to adopt.
+  SignatureAssembler(double* slot, std::size_t max_count, std::size_t dim);
+
   /// \brief Appends one (center, weight) pair; at most max_count times.
   void Add(PointView center, double weight);
 
@@ -253,8 +259,18 @@ class SignatureAssembler {
   /// assembler is left empty; at most one Finish per assembler.
   Signature Finish();
 
+  /// \brief Borrowed-mode finalize: compacts the staged weights down to the
+  /// packed position (k*dim) inside the borrowed slot and returns k. The
+  /// slot then holds a valid packed signature image. At most once.
+  std::size_t FinishInPlace();
+
  private:
+  double* base() {
+    return borrowed_ != nullptr ? borrowed_ : buffer_.vec().data();
+  }
+
   PooledBuffer buffer_;
+  double* borrowed_ = nullptr;  // Non-null in borrowed-buffer mode.
   std::size_t max_count_ = 0;
   std::size_t dim_ = 0;
   std::size_t count_ = 0;

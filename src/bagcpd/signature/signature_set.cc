@@ -83,22 +83,22 @@ void SignatureRing::Reset(std::size_t capacity) {
   count_ = 0;
   dim_ = 0;
   stride_ = 0;
+  borrowed_max_k_ = 0;
   data_.clear();
   ks_.assign(capacity, 0);
 }
 
-void SignatureRing::PushBack(SignatureView sig) {
+double* SignatureRing::EnsureSlot(std::size_t k_cap, std::size_t dim) {
   BAGCPD_CHECK_MSG(count_ < capacity_, "SignatureRing overflow");
-  BAGCPD_CHECK_MSG(!sig.empty() && sig.dim() > 0,
-                   "SignatureRing: empty signature");
+  BAGCPD_CHECK_MSG(borrowed_max_k_ == 0, "SignatureRing: borrow outstanding");
+  BAGCPD_CHECK_MSG(k_cap > 0 && dim > 0, "SignatureRing: empty signature");
   if (dim_ == 0) {
-    dim_ = sig.dim();
+    dim_ = dim;
   } else {
-    BAGCPD_CHECK_MSG(sig.dim() == dim_,
-                     "SignatureRing: dimension %zu, expected %zu", sig.dim(),
-                     dim_);
+    BAGCPD_CHECK_MSG(dim == dim_,
+                     "SignatureRing: dimension %zu, expected %zu", dim, dim_);
   }
-  const std::size_t need = sig.size() * (dim_ + 1);
+  const std::size_t need = k_cap * (dim_ + 1);
   if (need > stride_) {
     // Re-layout with a wider stride, compacting live slots to the front in
     // age order. Rare: stride only grows until the largest signature the
@@ -118,13 +118,38 @@ void SignatureRing::PushBack(SignatureView sig) {
     stride_ = new_stride;
     head_ = 0;
   }
-  const std::size_t slot = SlotOf(count_);
-  double* base = data_.data() + slot * stride_;
+  return data_.data() + SlotOf(count_) * stride_;
+}
+
+void SignatureRing::PushBack(SignatureView sig) {
+  double* base = EnsureSlot(sig.size(), sig.dim());
   std::memcpy(base, sig.centers_data(), sig.size() * dim_ * sizeof(double));
   std::memcpy(base + sig.size() * dim_, sig.weights_data(),
               sig.size() * sizeof(double));
-  ks_[slot] = sig.size();
+  ks_[SlotOf(count_)] = sig.size();
   ++count_;
+}
+
+double* SignatureRing::BorrowSlot(std::size_t max_k, std::size_t dim) {
+  double* base = EnsureSlot(max_k, dim);
+  borrowed_max_k_ = max_k;
+  return base;
+}
+
+void SignatureRing::CommitBorrowed(std::size_t k) {
+  BAGCPD_CHECK_MSG(borrowed_max_k_ > 0, "SignatureRing: no outstanding borrow");
+  BAGCPD_CHECK_MSG(k > 0 && k <= borrowed_max_k_,
+                   "SignatureRing: committing %zu centers into a slot "
+                   "borrowed for %zu",
+                   k, borrowed_max_k_);
+  ks_[SlotOf(count_)] = k;
+  ++count_;
+  borrowed_max_k_ = 0;
+}
+
+void SignatureRing::CancelBorrow() {
+  BAGCPD_CHECK_MSG(borrowed_max_k_ > 0, "SignatureRing: no outstanding borrow");
+  borrowed_max_k_ = 0;
 }
 
 void SignatureRing::PopFront() {

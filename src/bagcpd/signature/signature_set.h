@@ -137,10 +137,11 @@ class SignatureRing {
       capacity_ = other.capacity_;
       head_ = other.head_;
       count_ = other.count_;
+      borrowed_max_k_ = other.borrowed_max_k_;
       other.data_.clear();
       other.ks_.clear();
       other.stride_ = other.dim_ = other.capacity_ = other.head_ =
-          other.count_ = 0;
+          other.count_ = other.borrowed_max_k_ = 0;
     }
     return *this;
   }
@@ -158,6 +159,23 @@ class SignatureRing {
   /// first push fixes the dimension and later mismatches abort.
   void PushBack(SignatureView sig);
 
+  /// \brief Hands out the next slot for direct in-place assembly (at least
+  /// max_k*(dim+1) doubles, the packed signature layout), so a producer that
+  /// knows its cluster-count bound — a SignatureAssembler in borrowed-buffer
+  /// mode — writes the signature straight into ring storage with no
+  /// intermediate copy. The ring must not be full; the usual dimension rules
+  /// apply. The slot is not live until CommitBorrowed; exactly one of
+  /// CommitBorrowed / CancelBorrow must follow before any other mutation.
+  double* BorrowSlot(std::size_t max_k, std::size_t dim);
+
+  /// \brief Publishes the borrowed slot as the newest signature with `k`
+  /// centers (1 <= k <= the borrowed max_k, packed at the front of the slot).
+  void CommitBorrowed(std::size_t k);
+
+  /// \brief Abandons an outstanding borrow (e.g. the quantizer failed); the
+  /// ring is unchanged.
+  void CancelBorrow();
+
   /// \brief Retires the oldest signature (the slot is reused in place).
   void PopFront();
 
@@ -170,6 +188,10 @@ class SignatureRing {
     return (head_ + i) % capacity_;
   }
 
+  // Fixes/checks the dimension, grows the stride to fit k_cap*(dim+1) if
+  // needed, and returns the next slot's base (shared by PushBack/BorrowSlot).
+  double* EnsureSlot(std::size_t k_cap, std::size_t dim);
+
   std::vector<double> data_;     // capacity_ * stride_ doubles.
   std::vector<std::size_t> ks_;  // Per-slot cluster count.
   std::size_t stride_ = 0;       // Doubles per slot, >= max K*(d+1) seen.
@@ -177,6 +199,7 @@ class SignatureRing {
   std::size_t capacity_ = 0;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
+  std::size_t borrowed_max_k_ = 0;  // Nonzero while a borrow is outstanding.
 };
 
 }  // namespace bagcpd

@@ -36,18 +36,19 @@ TEST(RegistryTest, EveryComponentValueRoundTrips) {
   ExpectRoundTrip<GroundDistance>();
   ExpectRoundTrip<WeightScheme>();
   ExpectRoundTrip<BootstrapMethod>();
+  ExpectRoundTrip<EmdSolverKind>();
 }
 
 TEST(RegistryTest, KnownComponentsCoverEveryKind) {
   const std::vector<ComponentInfo> components = KnownComponents();
-  ASSERT_EQ(components.size(), 5u);
+  ASSERT_EQ(components.size(), 6u);
   std::set<std::string> kinds;
   for (const ComponentInfo& info : components) {
     kinds.insert(info.kind);
     EXPECT_FALSE(info.names.empty()) << info.kind;
   }
   EXPECT_EQ(kinds, (std::set<std::string>{"quantizer", "score", "ground",
-                                          "weights", "bootstrap"}));
+                                          "weights", "bootstrap", "emd"}));
   // Spot-check the published names stay stable (bench JSON keys on them).
   for (const ComponentInfo& info : components) {
     if (info.kind == "quantizer") {
@@ -57,6 +58,10 @@ TEST(RegistryTest, KnownComponentsCoverEveryKind) {
     }
     if (info.kind == "score") {
       EXPECT_EQ(info.names, (std::vector<std::string>{"lr", "kl"}));
+    }
+    if (info.kind == "emd") {
+      EXPECT_EQ(info.names,
+                (std::vector<std::string>{"exact", "sinkhorn", "sliced"}));
     }
   }
 }

@@ -118,6 +118,77 @@ TEST(DetectorSpecTest, ToKeyValuesRoundTrips) {
   EXPECT_EQ(a.seed, b.seed);
 }
 
+TEST(DetectorSpecTest, EmdKeyParsesEverySolverForm) {
+  // Bare kind names select the solver with its defaults.
+  Result<DetectorSpec> exact = DetectorSpec::FromKeyValues("emd=exact");
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(exact->Build().ValueOrDie().emd.kind, EmdSolverKind::kExact);
+
+  Result<DetectorSpec> sinkhorn =
+      DetectorSpec::FromKeyValues("emd=sinkhorn:0.05");
+  ASSERT_TRUE(sinkhorn.ok()) << sinkhorn.status().ToString();
+  DetectorOptions sk = sinkhorn->Build().ValueOrDie();
+  EXPECT_EQ(sk.emd.kind, EmdSolverKind::kSinkhorn);
+  EXPECT_DOUBLE_EQ(sk.emd.sinkhorn_eps, 0.05);
+
+  Result<DetectorSpec> full =
+      DetectorSpec::FromKeyValues("emd=sinkhorn:0.2:250:1e-8");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  DetectorOptions fo = full->Build().ValueOrDie();
+  EXPECT_DOUBLE_EQ(fo.emd.sinkhorn_eps, 0.2);
+  EXPECT_EQ(fo.emd.sinkhorn_max_iters, 250u);
+  EXPECT_DOUBLE_EQ(fo.emd.sinkhorn_tolerance, 1e-8);
+
+  Result<DetectorSpec> sliced = DetectorSpec::FromKeyValues("emd=sliced:32");
+  ASSERT_TRUE(sliced.ok()) << sliced.status().ToString();
+  DetectorOptions sl = sliced->Build().ValueOrDie();
+  EXPECT_EQ(sl.emd.kind, EmdSolverKind::kSliced);
+  EXPECT_EQ(sl.emd.sliced_projections, 32u);
+
+  // Rejections name the offending token.
+  Result<DetectorSpec> bad = DetectorSpec::FromKeyValues("emd=sankhorn:0.1");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("sankhorn"), std::string::npos);
+  EXPECT_FALSE(DetectorSpec::FromKeyValues("emd=sinkhorn:0").ok());
+  EXPECT_FALSE(DetectorSpec::FromKeyValues("emd=sinkhorn:-0.1").ok());
+  EXPECT_FALSE(DetectorSpec::FromKeyValues("emd=sliced:0").ok());
+  EXPECT_FALSE(DetectorSpec::FromKeyValues("emd=exact:1").ok());
+  EXPECT_FALSE(DetectorSpec::FromKeyValues("emd=sliced:16:2").ok());
+}
+
+TEST(DetectorSpecTest, EmdKeyRoundTripsCanonically) {
+  // Default (exact) stays in the canonical echo and reparses.
+  const std::string base = DetectorSpec().ToKeyValues();
+  EXPECT_NE(base.find("emd=exact"), std::string::npos);
+
+  for (const std::string& form :
+       {std::string("exact"), std::string("sinkhorn:0.05"),
+        std::string("sinkhorn:0.1:250:1e-08"), std::string("sliced:32")}) {
+    const DetectorSpec spec = DetectorSpec().Emd(form);
+    const std::string text = spec.ToKeyValues();
+    EXPECT_NE(text.find("emd=" + form), std::string::npos) << text;
+    Result<DetectorSpec> reparsed = DetectorSpec::FromKeyValues(text);
+    ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->ToKeyValues(), text);
+  }
+
+  // Non-canonical but valid spellings normalize: default iters/tol collapse
+  // to the short form.
+  const DetectorSpec shorthand = DetectorSpec().Emd("sinkhorn:0.1:100:1e-06");
+  EXPECT_NE(shorthand.ToKeyValues().find("emd=sinkhorn:0.1,"),
+            std::string::npos)
+      << shorthand.ToKeyValues();
+
+  // The enum/options fluent overloads agree with the string form.
+  EmdSolverOptions options;
+  options.kind = EmdSolverKind::kSliced;
+  options.sliced_projections = 8;
+  EXPECT_EQ(DetectorSpec().Emd(options).ToKeyValues(),
+            DetectorSpec().Emd("sliced:8").ToKeyValues());
+  EXPECT_EQ(DetectorSpec().Emd(EmdSolverKind::kSinkhorn).ToKeyValues(),
+            DetectorSpec().Emd("sinkhorn").ToKeyValues());
+}
+
 TEST(DetectorSpecTest, FluentStringErrorSurfacesAtBuild) {
   const DetectorSpec spec = DetectorSpec().Quantizer("nope").Tau(5);
   Result<DetectorOptions> built = spec.Build();
@@ -277,6 +348,59 @@ TEST(EngineSpecTest, CreateRegistersProfilesInOrder) {
           .Create();
   ASSERT_FALSE(bad.ok());
   EXPECT_NE(bad.status().message().find("tau"), std::string::npos);
+}
+
+TEST(EngineSpecTest, FromKeyValuesSplitsEngineAndDetectorKeys) {
+  Result<EngineSpec> spec = EngineSpec::FromKeyValues(
+      "shards=4,queue=128,collect=true,max_idle=500,seed=42,"
+      "quantizer=kmeans,tau=5,tau_prime=5,replicates=0,emd=sinkhorn:0.1");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Result<StreamEngineOptions> options = spec->Build();
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->num_shards, 4u);
+  EXPECT_EQ(options->shard_queue_capacity, 128u);
+  EXPECT_TRUE(options->collect_results);
+  EXPECT_EQ(options->max_idle_submissions, 500u);
+  EXPECT_EQ(options->seed, 42u);
+  EXPECT_EQ(options->detector.tau, 5u);
+  EXPECT_EQ(options->detector.bootstrap.replicates, 0);
+  EXPECT_EQ(options->detector.emd.kind, EmdSolverKind::kSinkhorn);
+  // Engine convention: the run seed lives on the engine, never the detector.
+  EXPECT_EQ(options->detector.seed, 0u);
+
+  EXPECT_FALSE(EngineSpec::FromKeyValues("shards=many").ok());
+  EXPECT_FALSE(EngineSpec::FromKeyValues("collect=maybe").ok());
+  EXPECT_FALSE(EngineSpec::FromKeyValues("tau=not_a_number").ok());
+}
+
+TEST(EngineSpecTest, ToKeyValuesRoundTrips) {
+  Result<EngineSpec> spec = EngineSpec::FromKeyValues(
+      "shards=2,queue=64,collect=false,max_idle=100,seed=9,"
+      "tau=3,tau_prime=3,replicates=0,emd=sliced:8");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const std::string text = spec->ToKeyValues();
+  Result<EngineSpec> reparsed = EngineSpec::FromKeyValues(text);
+  ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToKeyValues(), text);
+
+  // The fluent path echoes the same canonical text as the parsed path.
+  EngineSpec fluent;
+  fluent.NumShards(2)
+      .QueueCapacity(64)
+      .CollectResults(false)
+      .MaxIdleSubmissions(100)
+      .Seed(9)
+      .Detector(
+          DetectorSpec().Tau(3).TauPrime(3).Replicates(0).Emd("sliced:8"));
+  EXPECT_EQ(fluent.ToKeyValues(), text);
+
+  // And the defaults round-trip too (detector seed suffix is elided).
+  const std::string defaults = EngineSpec().ToKeyValues();
+  Result<EngineSpec> redefaults = EngineSpec::FromKeyValues(defaults);
+  ASSERT_TRUE(redefaults.ok()) << defaults;
+  EXPECT_EQ(redefaults->ToKeyValues(), defaults);
+  EXPECT_EQ(defaults.find("seed=0,"), defaults.rfind("seed="))
+      << "detector seed must not be re-emitted: " << defaults;
 }
 
 TEST(BatchSpecTest, FromKeyValuesSplitsBatchAndDetectorKeys) {

@@ -1,0 +1,419 @@
+// Approximate-EMD solver contract tests: convergence properties (sinkhorn ->
+// exact as eps -> 0; sliced exact in d = 1 and Cauchy-stable in d > 1),
+// degenerate instances, exact-kind bitwise parity with EmdWorkspace,
+// zero-steady-state-allocation reuse, the per-owner byte-ceiling policy, and
+// end-to-end determinism of approximate detectors across pool sizes and
+// engine shard counts.
+
+#include "bagcpd/emd/approx/emd_solver.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bagcpd/common/rng.h"
+#include "bagcpd/core/detector.h"
+#include "bagcpd/data/gmm.h"
+#include "bagcpd/emd/approx/options.h"
+#include "bagcpd/emd/approx/sinkhorn.h"
+#include "bagcpd/emd/approx/sliced.h"
+#include "bagcpd/emd/transport_solver.h"
+#include "bagcpd/runtime/stream_engine.h"
+#include "bagcpd/runtime/thread_pool.h"
+
+namespace bagcpd {
+namespace {
+
+Signature RandomNormalizedSignature(Rng* rng, std::size_t k, std::size_t dim) {
+  Signature s;
+  for (std::size_t i = 0; i < k; ++i) {
+    Point c(dim);
+    for (double& v : c) v = rng->Uniform(-5.0, 5.0);
+    s.AddCenter(c, rng->Uniform(0.5, 3.0));
+  }
+  s.NormalizeInPlace();
+  return s;
+}
+
+EmdSolverOptions SinkhornOptions(double eps, std::size_t iters = 2000,
+                                 double tol = 1e-12) {
+  EmdSolverOptions o;
+  o.kind = EmdSolverKind::kSinkhorn;
+  o.sinkhorn_eps = eps;
+  o.sinkhorn_max_iters = iters;
+  o.sinkhorn_tolerance = tol;
+  return o;
+}
+
+EmdSolverOptions SlicedOptions(std::size_t n) {
+  EmdSolverOptions o;
+  o.kind = EmdSolverKind::kSliced;
+  o.sliced_projections = n;
+  return o;
+}
+
+TEST(SinkhornEmdTest, ConvergesToExactFromAboveAsEpsShrinks) {
+  Rng rng(71);
+  EmdSolver solver;
+  double prev_mean_err = std::numeric_limits<double>::infinity();
+  double first_mean_err = 0.0, last_mean_err = 0.0;
+  const std::vector<double> eps_ladder = {0.8, 0.4, 0.2, 0.1, 0.05};
+  for (std::size_t e = 0; e < eps_ladder.size(); ++e) {
+    double mean_err = 0.0;
+    Rng pair_rng(202);  // Same pairs at every eps.
+    const int kPairs = 12;
+    for (int p = 0; p < kPairs; ++p) {
+      const Signature a = RandomNormalizedSignature(&pair_rng, 6, 2);
+      const Signature b = RandomNormalizedSignature(&pair_rng, 5, 2);
+      const double exact =
+          solver.workspace()
+              .Compute(a, b, GroundDistance::kSquaredEuclidean)
+              .ValueOrDie();
+      const double approx =
+          solver
+              .Compute(a, b, GroundDistance::kSquaredEuclidean,
+                       SinkhornOptions(eps_ladder[e]))
+              .ValueOrDie();
+      // The entropic plan is a feasible transport plan, so its cost can dip
+      // below exact only by the (tolerance-bounded) marginal violation.
+      EXPECT_GE(approx, exact - 1e-6)
+          << "pair " << p << " eps " << eps_ladder[e];
+      mean_err += std::abs(approx - exact);
+    }
+    mean_err /= kPairs;
+    if (e == 0) first_mean_err = mean_err;
+    last_mean_err = mean_err;
+    // Monotone improvement down the ladder (deterministic inputs).
+    EXPECT_LE(mean_err, prev_mean_err + 1e-12) << "eps " << eps_ladder[e];
+    prev_mean_err = mean_err;
+  }
+  // And the improvement is substantial, not vacuous.
+  EXPECT_LT(last_mean_err, 0.25 * first_mean_err);
+}
+
+TEST(SinkhornEmdTest, RejectsUnderflowingEpsInsteadOfReturningNoise) {
+  Rng rng(5);
+  const Signature a = RandomNormalizedSignature(&rng, 4, 2);
+  const Signature b = RandomNormalizedSignature(&rng, 4, 2);
+  EmdSolver solver;
+  Result<double> r = solver.Compute(a, b, GroundDistance::kSquaredEuclidean,
+                                    SinkhornOptions(1e-6));
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(SlicedEmdTest, MatchesExactInOneDimension) {
+  Rng rng(17);
+  EmdSolver solver;
+  for (int p = 0; p < 10; ++p) {
+    const Signature a = RandomNormalizedSignature(&rng, 1 + p % 7, 1);
+    const Signature b = RandomNormalizedSignature(&rng, 7 - p % 6, 1);
+    const double exact =
+        solver.workspace()
+            .Compute(a, b, GroundDistance::kEuclidean)
+            .ValueOrDie();
+    for (std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      const double sliced =
+          solver
+              .Compute(a, b, GroundDistance::kEuclidean, SlicedOptions(n))
+              .ValueOrDie();
+      // In d = 1 every projection is +/-x, so any n recovers the exact 1-d
+      // transport, up to accumulation order.
+      EXPECT_NEAR(sliced, exact, 1e-9 * (1.0 + exact)) << "pair " << p;
+    }
+  }
+}
+
+TEST(SlicedEmdTest, LowerBoundsExactAndStabilizesInHigherDimensions) {
+  Rng rng(29);
+  EmdSolver solver;
+  for (int p = 0; p < 8; ++p) {
+    const Signature a = RandomNormalizedSignature(&rng, 6, 3);
+    const Signature b = RandomNormalizedSignature(&rng, 6, 3);
+    const double exact =
+        solver.workspace()
+            .Compute(a, b, GroundDistance::kEuclidean)
+            .ValueOrDie();
+    const double s8 =
+        solver.Compute(a, b, GroundDistance::kEuclidean, SlicedOptions(8))
+            .ValueOrDie();
+    const double s64 =
+        solver.Compute(a, b, GroundDistance::kEuclidean, SlicedOptions(64))
+            .ValueOrDie();
+    const double s256 =
+        solver.Compute(a, b, GroundDistance::kEuclidean, SlicedOptions(256))
+            .ValueOrDie();
+    // Projection is 1-Lipschitz: every slice (and thus the average)
+    // lower-bounds the Euclidean EMD.
+    EXPECT_LE(s8, exact + 1e-9) << "pair " << p;
+    EXPECT_LE(s64, exact + 1e-9) << "pair " << p;
+    // Cauchy stabilization as n grows (NOT convergence to exact; see
+    // sliced.h). The direction sets are nested prefixes, so the estimates
+    // settle toward the n -> infinity sliced value.
+    EXPECT_LT(std::abs(s256 - s64), std::abs(s256 - s8) + 1e-12)
+        << "pair " << p;
+  }
+}
+
+TEST(ApproxEmdTest, DegenerateInstances) {
+  EmdSolver solver;
+  // K = 1 vs K = 1, equal centers: all solvers report zero.
+  const Signature point_a = Signature::FromFlat({1.0, 2.0}, 2, {1.0});
+  const Signature point_b = Signature::FromFlat({1.0, 2.0}, 2, {1.0});
+  for (const EmdSolverOptions& o :
+       {SinkhornOptions(0.1), SlicedOptions(4), EmdSolverOptions{}}) {
+    const double v =
+        solver.Compute(point_a, point_b, GroundDistance::kEuclidean, o)
+            .ValueOrDie();
+    EXPECT_EQ(v, 0.0) << EmdSolverSpecString(o);
+  }
+
+  // K = 1 vs K = 1, distinct centers: the plan is forced, every solver
+  // returns the ground distance.
+  const Signature far_b = Signature::FromFlat({4.0, 6.0}, 2, {1.0});
+  const double dist =
+      solver.workspace()
+          .Compute(point_a, far_b, GroundDistance::kEuclidean)
+          .ValueOrDie();
+  EXPECT_NEAR(solver
+                  .Compute(point_a, far_b, GroundDistance::kEuclidean,
+                           SinkhornOptions(0.1))
+                  .ValueOrDie(),
+              dist, 1e-9 * dist);
+  EXPECT_NEAR(solver
+                  .Compute(point_a, far_b, GroundDistance::kEuclidean,
+                           SlicedOptions(16))
+                  .ValueOrDie(),
+              dist, 0.5 * dist);  // Sliced lower-bounds in d > 1.
+
+  // Extreme mass ratios: both approximate solvers normalize to unit mass,
+  // so scaling every weight by 1e6 (or 1e-6) must not move the value.
+  Rng rng(13);
+  const Signature a = RandomNormalizedSignature(&rng, 5, 2);
+  const Signature b = RandomNormalizedSignature(&rng, 4, 2);
+  for (const double scale : {1e6, 1e-6}) {
+    Signature sa = a;
+    Signature sb = b;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      sa.set_weight(i, sa.weight(i) * scale);
+    }
+    for (std::size_t i = 0; i < sb.size(); ++i) {
+      sb.set_weight(i, sb.weight(i) * scale);
+    }
+    for (const EmdSolverOptions& o : {SinkhornOptions(0.1), SlicedOptions(8)}) {
+      const double base =
+          solver.Compute(a, b, GroundDistance::kSquaredEuclidean, o)
+              .ValueOrDie();
+      const double scaled =
+          solver.Compute(sa, sb, GroundDistance::kSquaredEuclidean, o)
+              .ValueOrDie();
+      EXPECT_NEAR(scaled, base, 1e-9 * (1.0 + std::abs(base)))
+          << EmdSolverSpecString(o) << " scale " << scale;
+    }
+  }
+}
+
+TEST(ApproxEmdTest, ExactKindIsBitwiseIdenticalToWorkspace) {
+  Rng rng(47);
+  EmdSolver solver;  // Default options: exact.
+  EmdWorkspace workspace;
+  for (int p = 0; p < 10; ++p) {
+    const Signature a = RandomNormalizedSignature(&rng, 2 + p % 5, 3);
+    const Signature b = RandomNormalizedSignature(&rng, 6 - p % 5, 3);
+    for (const GroundDistance g :
+         {GroundDistance::kSquaredEuclidean, GroundDistance::kEuclidean,
+          GroundDistance::kManhattan}) {
+      EXPECT_EQ(solver.Compute(a, b, g).ValueOrDie(),
+                workspace.Compute(a, b, g).ValueOrDie());
+    }
+  }
+}
+
+TEST(ApproxEmdTest, DeterministicAcrossSolverInstancesAndZeroSteadyAllocs) {
+  for (const EmdSolverOptions& o : {SinkhornOptions(0.1), SlicedOptions(16)}) {
+    std::vector<double> first_pass;
+    EmdSolver solver(o);
+    Rng rng(99);
+    std::vector<Signature> as, bs;
+    for (int p = 0; p < 8; ++p) {
+      as.push_back(RandomNormalizedSignature(&rng, 3 + p % 4, 2));
+      bs.push_back(RandomNormalizedSignature(&rng, 6 - p % 4, 2));
+    }
+    for (int p = 0; p < 8; ++p) {
+      first_pass.push_back(
+          solver.Compute(as[p], bs[p], GroundDistance::kSquaredEuclidean)
+              .ValueOrDie());
+    }
+    // Second pass over the same shapes: the allocation counter must freeze.
+    const std::uint64_t allocs_after_peak = solver.allocation_count();
+    for (int round = 0; round < 3; ++round) {
+      for (int p = 0; p < 8; ++p) {
+        EXPECT_EQ(
+            solver.Compute(as[p], bs[p], GroundDistance::kSquaredEuclidean)
+                .ValueOrDie(),
+            first_pass[p])
+            << EmdSolverSpecString(o);
+      }
+    }
+    EXPECT_EQ(solver.allocation_count(), allocs_after_peak)
+        << EmdSolverSpecString(o);
+
+    // A fresh solver reproduces every value bitwise.
+    EmdSolver fresh(o);
+    for (int p = 0; p < 8; ++p) {
+      EXPECT_EQ(fresh.Compute(as[p], bs[p], GroundDistance::kSquaredEuclidean)
+                    .ValueOrDie(),
+                first_pass[p])
+          << EmdSolverSpecString(o);
+    }
+  }
+}
+
+TEST(ApproxEmdTest, ByteCeilingReleasesAllScratchAndRegrows) {
+  Rng rng(3);
+  const Signature big_a = RandomNormalizedSignature(&rng, 48, 3);
+  const Signature big_b = RandomNormalizedSignature(&rng, 48, 3);
+  EmdSolver solver(SinkhornOptions(0.2));
+  const double value =
+      solver.Compute(big_a, big_b, GroundDistance::kSquaredEuclidean)
+          .ValueOrDie();
+  ASSERT_GT(solver.retained_bytes(), 0u);
+
+  // No ceiling: ShrinkToCeiling is a no-op.
+  solver.ShrinkToCeiling();
+  EXPECT_GT(solver.retained_bytes(), 0u);
+
+  // Ceiling above the footprint: still a no-op.
+  solver.set_retained_byte_ceiling(solver.retained_bytes() + 1024);
+  solver.ShrinkToCeiling();
+  EXPECT_GT(solver.retained_bytes(), 0u);
+
+  // Ceiling below the footprint: everything is released, and the next solve
+  // regrows to the working set with identical output.
+  solver.set_retained_byte_ceiling(1024);
+  solver.ShrinkToCeiling();
+  EXPECT_EQ(solver.retained_bytes(), 0u);
+  const std::uint64_t allocs_before_regrow = solver.allocation_count();
+  EXPECT_EQ(solver.Compute(big_a, big_b, GroundDistance::kSquaredEuclidean)
+                .ValueOrDie(),
+            value);
+  EXPECT_GT(solver.allocation_count(), allocs_before_regrow);
+}
+
+// --- End-to-end determinism: pool sizes and shard counts ------------------
+
+BagSequence ApproxJumpStream(std::size_t length, std::size_t jump_at,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  const GaussianMixture before = GaussianMixture::Isotropic({0.0, 0.0}, 0.6);
+  const GaussianMixture after = GaussianMixture::Isotropic({3.0, 3.0}, 0.6);
+  BagSequence bags;
+  for (std::size_t t = 0; t < length; ++t) {
+    const GaussianMixture& mix =
+        (jump_at != 0 && t >= jump_at) ? after : before;
+    bags.push_back(mix.SampleBag(20, &rng));
+  }
+  return bags;
+}
+
+TEST(ApproxEmdTest, DetectorResultsAreBitwiseIdenticalForAnyPoolSize) {
+  const BagSequence bags = ApproxJumpStream(16, 8, 616);
+  for (const std::string& spec : {std::string("sinkhorn:0.1"),
+                                  std::string("sliced:8")}) {
+    DetectorOptions options;
+    options.tau = 4;
+    options.tau_prime = 4;
+    options.bootstrap.replicates = 30;
+    options.signature.k = 4;
+    options.signature.normalize = true;
+    options.seed = 11;
+    options.emd = ParseEmdSolverSpec(spec).ValueOrDie();
+
+    std::vector<StepResult> baseline;
+    for (const std::size_t threads :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      auto detector = BagStreamDetector::Create(options).MoveValueUnsafe();
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 0) {
+        pool = std::make_unique<ThreadPool>(threads);
+        detector->set_thread_pool(pool.get());
+      }
+      const std::vector<StepResult> results =
+          detector->Run(bags).ValueOrDie();
+      if (baseline.empty()) {
+        baseline = results;
+        ASSERT_FALSE(baseline.empty());
+        continue;
+      }
+      ASSERT_EQ(results.size(), baseline.size()) << spec;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].time, baseline[i].time) << spec;
+        EXPECT_EQ(results[i].score, baseline[i].score)
+            << spec << " @ " << threads << " threads";
+        EXPECT_EQ(results[i].ci_lo, baseline[i].ci_lo) << spec;
+        EXPECT_EQ(results[i].ci_up, baseline[i].ci_up) << spec;
+      }
+    }
+  }
+}
+
+TEST(ApproxEmdTest, EngineResultsAreBitwiseIdenticalForAnyShardCount) {
+  std::map<std::string, BagSequence> streams;
+  for (int s = 0; s < 4; ++s) {
+    streams["stream-" + std::to_string(s)] =
+        ApproxJumpStream(14, (s % 2 == 0) ? 7 : 0, 800 + s);
+  }
+  for (const std::string& spec : {std::string("sinkhorn:0.1"),
+                                  std::string("sliced:8")}) {
+    StreamEngineOptions base;
+    base.detector.tau = 4;
+    base.detector.tau_prime = 4;
+    base.detector.bootstrap.replicates = 25;
+    base.detector.signature.k = 4;
+    base.detector.signature.normalize = true;
+    base.detector.emd = ParseEmdSolverSpec(spec).ValueOrDie();
+    base.seed = 77;
+
+    std::map<std::string, std::vector<StepResult>> baseline;
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      StreamEngineOptions options = base;
+      options.num_shards = shards;
+      auto engine = StreamEngine::Create(options).MoveValueUnsafe();
+      for (const auto& [key, bags] : streams) {
+        for (const Bag& bag : bags) {
+          ASSERT_TRUE(engine->Submit(key, bag).ok());
+        }
+      }
+      engine->Flush();
+      std::map<std::string, std::vector<StepResult>> grouped;
+      for (StreamStepResult& r : engine->Drain()) {
+        grouped[r.stream_id].push_back(r.step);
+      }
+      if (baseline.empty()) {
+        baseline = std::move(grouped);
+        ASSERT_FALSE(baseline.empty());
+        continue;
+      }
+      ASSERT_EQ(grouped.size(), baseline.size()) << spec;
+      for (const auto& [key, series] : baseline) {
+        const std::vector<StepResult>& got = grouped[key];
+        ASSERT_EQ(got.size(), series.size()) << spec << " " << key;
+        for (std::size_t i = 0; i < series.size(); ++i) {
+          EXPECT_EQ(got[i].time, series[i].time) << spec << " " << key;
+          EXPECT_EQ(got[i].score, series[i].score)
+              << spec << " " << key << " @ " << shards << " shards";
+          EXPECT_EQ(got[i].ci_lo, series[i].ci_lo) << spec << " " << key;
+          EXPECT_EQ(got[i].ci_up, series[i].ci_up) << spec << " " << key;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bagcpd

@@ -300,6 +300,69 @@ TEST(TransportSolverTest, DetectorStepsIdenticalToFirstPrinciplesRebuild) {
   }
 }
 
+TEST(TransportSolverTest, AllocationCounterFreezesOnRepeatedShapes) {
+  // Regression pin for the zero-steady-state-allocation contract: after one
+  // warm-up pass over a set of problem shapes, replaying those shapes (in any
+  // order, any number of times) must not move allocation_count() at all.
+  Rng rng(1234);
+  std::vector<std::pair<Signature, Signature>> pairs;
+  for (const std::size_t k : {std::size_t{2}, std::size_t{7}, std::size_t{16}}) {
+    pairs.emplace_back(RandomSignature(&rng, k, 3),
+                       RandomSignature(&rng, 17 - k, 3));
+  }
+  EmdWorkspace workspace;
+  std::vector<double> warm;
+  for (const auto& [a, b] : pairs) {
+    warm.push_back(
+        workspace.Compute(a, b, GroundDistance::kSquaredEuclidean)
+            .ValueOrDie());
+  }
+  const std::uint64_t pinned = workspace.allocation_count();
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t p = pairs.size(); p-- > 0;) {  // Reverse order too.
+      EXPECT_EQ(workspace
+                    .Compute(pairs[p].first, pairs[p].second,
+                             GroundDistance::kSquaredEuclidean)
+                    .ValueOrDie(),
+                warm[p]);
+    }
+  }
+  EXPECT_EQ(workspace.allocation_count(), pinned);
+}
+
+TEST(TransportSolverTest, RetainedByteCeilingPolicy) {
+  Rng rng(555);
+  const Signature a = RandomSignature(&rng, 32, 3);
+  const Signature b = RandomSignature(&rng, 32, 3);
+  EmdWorkspace workspace;
+  const double value =
+      workspace.Compute(a, b, GroundDistance::kEuclidean).ValueOrDie();
+  const std::size_t footprint = workspace.retained_bytes();
+  ASSERT_GT(footprint, 0u);
+
+  // Default ceiling 0 = never shrink.
+  EXPECT_EQ(workspace.retained_byte_ceiling(), 0u);
+  workspace.ShrinkToCeiling();
+  EXPECT_EQ(workspace.retained_bytes(), footprint);
+
+  // A ceiling at or above the footprint is also a no-op.
+  workspace.set_retained_byte_ceiling(footprint);
+  workspace.ShrinkToCeiling();
+  EXPECT_EQ(workspace.retained_bytes(), footprint);
+
+  // Below the footprint, ALL scratch is released (no partial trim — the
+  // buffers are one working set), and the next solve regrows to the same
+  // value with the growth visible in allocation_count().
+  workspace.set_retained_byte_ceiling(footprint - 1);
+  workspace.ShrinkToCeiling();
+  EXPECT_EQ(workspace.retained_bytes(), 0u);
+  const std::uint64_t allocs = workspace.allocation_count();
+  EXPECT_EQ(workspace.Compute(a, b, GroundDistance::kEuclidean).ValueOrDie(),
+            value);
+  EXPECT_GT(workspace.allocation_count(), allocs);
+  EXPECT_EQ(workspace.retained_bytes(), footprint);
+}
+
 TEST(TransportSolverTest, DetectorRollingTablesSurviveReset) {
   // Reset() must rewind the rolling table, its base slot, and the cache to a
   // fresh state: re-running the same stream on the SAME detector yields

@@ -227,5 +227,116 @@ TEST(SignatureRingTest, GrowsStrideWhenLargerSignaturesArrive) {
   EXPECT_EQ(grown.weights(), big.weights());
 }
 
+TEST(SignatureRingTest, BorrowedSlotCommitMatchesPushBackBitwise) {
+  Rng rng(61);
+  const Signature sig = RandomSignature(&rng, 5, 3);
+
+  SignatureRing pushed(4);
+  pushed.PushBack(sig);
+
+  // Assemble the same signature straight into a borrowed slot (the detector
+  // push path): centers in [0, k*dim), weights compacted to [k*dim, k*dim+k).
+  SignatureRing borrowed(4);
+  double* slot = borrowed.BorrowSlot(sig.size(), sig.dim());
+  SignatureAssembler assembler(slot, sig.size(), sig.dim());
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    assembler.Add(sig.center(i), sig.weight(i));
+  }
+  const std::size_t k = assembler.FinishInPlace();
+  ASSERT_EQ(k, sig.size());
+  borrowed.CommitBorrowed(k);
+
+  ASSERT_EQ(borrowed.size(), 1u);
+  const SignatureView a = pushed.view(0);
+  const SignatureView b = borrowed.view(0);
+  ASSERT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.weights(), a.weights());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a.dim(); ++j) {
+      EXPECT_EQ(b.center(i)[j], a.center(i)[j]);
+    }
+  }
+}
+
+TEST(SignatureRingTest, BorrowedSlotCompactsWeightsWhenFewerCentersSurvive) {
+  // The assembler stages weights at max_count*dim; FinishInPlace must move
+  // them down to k*dim when only k < max_count centers were added.
+  SignatureRing ring(2);
+  const std::size_t max_k = 6, dim = 2, k = 2;
+  double* slot = ring.BorrowSlot(max_k, dim);
+  SignatureAssembler assembler(slot, max_k, dim);
+  assembler.Add(Point{1.0, 2.0}, 0.25);
+  assembler.Add(Point{3.0, 4.0}, 0.75);
+  ASSERT_EQ(assembler.FinishInPlace(), k);
+  ring.CommitBorrowed(k);
+
+  const SignatureView v = ring.view(0);
+  ASSERT_EQ(v.size(), k);
+  EXPECT_EQ(v.center(0)[0], 1.0);
+  EXPECT_EQ(v.center(1)[1], 4.0);
+  ASSERT_EQ(v.weights().size(), k);
+  EXPECT_EQ(v.weights()[0], 0.25);
+  EXPECT_EQ(v.weights()[1], 0.75);
+}
+
+TEST(SignatureRingTest, CancelBorrowLeavesRingUntouched) {
+  Rng rng(83);
+  SignatureRing ring(3);
+  const Signature first = RandomSignature(&rng, 3, 2);
+  ring.PushBack(first);
+
+  double* slot = ring.BorrowSlot(3, 2);
+  slot[0] = 99.0;  // Scribble; a canceled borrow must never become visible.
+  ring.CancelBorrow();
+
+  ASSERT_EQ(ring.size(), 1u);
+  const SignatureView v = ring.view(0);
+  ASSERT_EQ(v.size(), first.size());
+  EXPECT_EQ(v.weights(), first.weights());
+  for (std::size_t j = 0; j < v.dim(); ++j) {
+    EXPECT_EQ(v.center(0)[j], first.center(0)[j]);
+  }
+
+  // The ring is immediately borrowable/pushable again.
+  double* again = ring.BorrowSlot(2, 2);
+  SignatureAssembler assembler(again, 2, 2);
+  assembler.Add(Point{5.0, 6.0}, 1.0);
+  ring.CommitBorrowed(assembler.FinishInPlace());
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.view(1).weights()[0], 1.0);
+}
+
+TEST(SignatureRingTest, BorrowGrowsStrideAndPreservesExistingSlots) {
+  Rng rng(97);
+  SignatureRing ring(3);
+  std::vector<Signature> reference;
+  for (std::size_t i = 0; i < 2; ++i) {
+    reference.push_back(RandomSignature(&rng, 2, 2));
+    ring.PushBack(reference.back());
+  }
+  // Borrowing with a much larger max_k forces a stride re-layout while the
+  // existing entries must survive bitwise.
+  double* slot = ring.BorrowSlot(16, 2);
+  SignatureAssembler assembler(slot, 16, 2);
+  const Signature big = RandomSignature(&rng, 16, 2);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    assembler.Add(big.center(i), big.weight(i));
+  }
+  ring.CommitBorrowed(assembler.FinishInPlace());
+
+  ASSERT_EQ(ring.size(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const SignatureView v = ring.view(i);
+    ASSERT_EQ(v.size(), reference[i].size());
+    EXPECT_EQ(v.weights(), reference[i].weights());
+    for (std::size_t c = 0; c < v.size(); ++c) {
+      for (std::size_t j = 0; j < v.dim(); ++j) {
+        EXPECT_EQ(v.center(c)[j], reference[i].center(c)[j]);
+      }
+    }
+  }
+  EXPECT_EQ(ring.view(2).weights(), big.weights());
+}
+
 }  // namespace
 }  // namespace bagcpd

@@ -18,12 +18,20 @@ counts exactly (output rows == input steps, nothing quarantined on the clean
 synthetic corpus), and all pool sizes must produce bitwise-identical score
 checksums.
 
+Also enforces the approximate-EMD floor from the same BENCH_emd.json
+(--emd-approx): every approximate solver (sinkhorn, sliced) must beat the
+exact workspace solve by --min-speedup at K = --approx-k, every approx_runs
+row must report zero steady-state allocations per solve, and the fidelity
+section must stay under --max-score-delta / --max-delay-delta on every
+fig07/fig11-style scenario.
+
 Usage:
   check_perf_gate.py BENCH_engine.json [--threads 4] [--min-speedup 2.0]
   check_perf_gate.py BENCH_flatbag.json --memory-run arena_ingest \
       --min-speedup 1.15
   check_perf_gate.py BENCH_emd.json --emd-run emd_solve_k16 \
       --min-speedup 1.3
+  check_perf_gate.py BENCH_emd.json --emd-approx --min-speedup 3.0
   check_perf_gate.py BENCH_batch.json --batch --min-speedup 1.15
 
 Exits 0 when the gate passes, 1 when it fails or the row is missing.
@@ -103,6 +111,79 @@ def check_emd_run(data, name, min_speedup):
     return ok
 
 
+def check_emd_approx(data, approx_k, min_speedup, max_score_delta,
+                     max_delay_delta):
+    ok = True
+
+    runs = data.get("approx_runs", [])
+    if not runs:
+        print("FAIL: no 'approx_runs' section in BENCH_emd.json")
+        return False
+
+    # Speedup gate: every approximate solver present at K = approx_k must
+    # clear the floor against the exact workspace solve.
+    gated = [r for r in runs if r.get("k") == approx_k]
+    if not gated:
+        print(f"FAIL: no approx_runs rows with k={approx_k} in "
+              f"{sorted({r.get('k') for r in runs})}")
+        ok = False
+    for row in gated:
+        speedup = row.get("speedup_vs_exact")
+        name = row.get("name")
+        if speedup is None:
+            print(f"FAIL: run '{name}' is missing 'speedup_vs_exact'")
+            ok = False
+            continue
+        passed = speedup >= min_speedup
+        verdict = "PASS" if passed else "FAIL"
+        print(f"{verdict}: {name} speedup over exact = {speedup:.3f}x "
+              f"(gate: >= {min_speedup:.2f}x)")
+        ok = ok and passed
+
+    # Allocation gate: zero steady-state allocations on EVERY approx row,
+    # every size — the scratch buffers must reach a fixed point.
+    for row in runs:
+        allocs = row.get("steady_state_allocs_per_solve")
+        name = row.get("name")
+        if allocs is None:
+            print(f"FAIL: run '{name}' is missing "
+                  "'steady_state_allocs_per_solve'")
+            ok = False
+        elif allocs != 0:
+            print(f"FAIL: run '{name}' reports {allocs} steady-state "
+                  "allocations per solve (gate: exactly 0)")
+            ok = False
+        else:
+            print(f"PASS: {name} steady-state allocs/solve = 0")
+
+    # Fidelity gate: the approximate score paths must stay close to exact on
+    # the fig07/fig11-style scenarios, and the argmax step must not drift.
+    fidelity = data.get("fidelity", [])
+    if not fidelity:
+        print("FAIL: no 'fidelity' section in BENCH_emd.json")
+        ok = False
+    for row in fidelity:
+        label = f"{row.get('scenario')}/{row.get('solver')}"
+        delta = row.get("max_abs_score_delta")
+        delay = row.get("delay_delta_steps")
+        if delta is None or delay is None:
+            print(f"FAIL: fidelity row '{label}' is missing fields")
+            ok = False
+            continue
+        if delta > max_score_delta:
+            print(f"FAIL: {label} max|dScore| = {delta:.4f} "
+                  f"(gate: <= {max_score_delta:.4f})")
+            ok = False
+        elif abs(delay) > max_delay_delta:
+            print(f"FAIL: {label} detection-delay shift = {delay} steps "
+                  f"(gate: |shift| <= {max_delay_delta})")
+            ok = False
+        else:
+            print(f"PASS: {label} max|dScore| = {delta:.4f}, "
+                  f"delay shift = {delay:+d} steps")
+    return ok
+
+
 def check_batch(data, min_speedup):
     ok = True
 
@@ -160,6 +241,20 @@ def main():
                         help="gate on BENCH_batch.json: columnar ingest "
                              "speedup, exact row-count preservation, and "
                              "matching detection checksums across pool sizes")
+    parser.add_argument("--emd-approx", action="store_true",
+                        help="gate on BENCH_emd.json approx_runs/fidelity: "
+                             "approximate-solver speedup over exact at "
+                             "--approx-k, zero steady-state allocations, and "
+                             "score/delay fidelity ceilings")
+    parser.add_argument("--approx-k", type=int, default=64,
+                        help="signature size whose approx rows are speedup-"
+                             "gated (default: 64)")
+    parser.add_argument("--max-score-delta", type=float, default=1.0,
+                        help="maximum allowed max|dScore| vs exact on any "
+                             "fidelity scenario (default: 1.0)")
+    parser.add_argument("--max-delay-delta", type=int, default=2,
+                        help="maximum allowed argmax-step shift vs exact on "
+                             "any fidelity scenario (default: 2)")
     args = parser.parse_args()
 
     try:
@@ -171,6 +266,9 @@ def main():
 
     if args.batch:
         ok = check_batch(data, args.min_speedup)
+    elif args.emd_approx:
+        ok = check_emd_approx(data, args.approx_k, args.min_speedup,
+                              args.max_score_delta, args.max_delay_delta)
     elif args.emd_run is not None:
         ok = check_emd_run(data, args.emd_run, args.min_speedup)
     elif args.memory_run is not None:
