@@ -5,10 +5,13 @@
 #ifndef BAGCPD_BENCH_BENCH_UTIL_H_
 #define BAGCPD_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bagcpd/analysis/metrics.h"
@@ -88,6 +91,55 @@ inline double NearChangeAuc(const std::vector<StepResult>& results,
   }
   Result<double> auc = RocAuc(scores, labels);
   return auc.ok() ? auc.ValueOrDie() : std::nan("");
+}
+
+/// \brief Seconds between two steady_clock time points.
+inline double SecondsBetween(std::chrono::steady_clock::time_point start,
+                             std::chrono::steady_clock::time_point stop) {
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// \brief Times `fn(it)` over `iterations` calls, best of `reps` passes;
+/// returns seconds per call. Every value `fn` returns accumulates into *sink
+/// so the work cannot be optimized away (and checksums stay comparable
+/// across solvers).
+template <typename Fn>
+double BestSecondsPerCall(int reps, int iterations, double* sink, Fn&& fn) {
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int it = 0; it < iterations; ++it) *sink += fn(it);
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best, SecondsBetween(start, stop));
+  }
+  return best / iterations;
+}
+
+/// \brief Two-sided interleaved best-of timing for A-vs-B comparisons: each
+/// rep runs a full pass of `fn_a` then a full pass of `fn_b`, and each side
+/// keeps its own best pass — so a transient stall poisons at most one pass
+/// of one side, never the ratio. The sinks accumulate per side; when both
+/// functions solve the same instances, callers can compare *sink_a and
+/// *sink_b bitwise as an end-to-end agreement check over the timed loops
+/// themselves. Returns {seconds per call of A, seconds per call of B}.
+template <typename FnA, typename FnB>
+std::pair<double, double> BestSecondsPerCallInterleaved(
+    int reps, int iterations, double* sink_a, double* sink_b, FnA&& fn_a,
+    FnB&& fn_b) {
+  double best_a = 1e100;
+  double best_b = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    for (int it = 0; it < iterations; ++it) *sink_a += fn_a(it);
+    auto stop = std::chrono::steady_clock::now();
+    best_a = std::min(best_a, SecondsBetween(start, stop));
+
+    start = std::chrono::steady_clock::now();
+    for (int it = 0; it < iterations; ++it) *sink_b += fn_b(it);
+    stop = std::chrono::steady_clock::now();
+    best_b = std::min(best_b, SecondsBetween(start, stop));
+  }
+  return {best_a / iterations, best_b / iterations};
 }
 
 /// \brief Header printed by every harness.

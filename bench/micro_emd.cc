@@ -7,10 +7,17 @@
 // solvers (emd/approx: sinkhorn, sliced) against the exact workspace, and a
 // fidelity section replays fig07/fig11-style detector scenarios under each
 // solver to report max |delta score| and the detection-delay shift of the
-// argmax step. Emits BENCH_emd.json in the working directory, which
+// argmax step. A large-K sweep (K = 64..512) races the exact solver's dense
+// Dijkstra scan against its 4-ary-heap specialization (bitwise-identical by
+// construction; the harness verifies anyway), and a rolling-step section
+// times the detector's per-push batch — the (W - 1) shared-right solves of
+// UpdateRollingTable — as one ComputeBatch call against the pre-batch
+// per-pair dense loop. Emits BENCH_emd.json in the working directory, which
 // tools/check_perf_gate.py hard-gates (>= 1.3x at K = 16 for the exact
 // rows; --emd-approx gates >= 3x at K = 64 for both approximate solvers,
-// zero steady-state allocations, and the fidelity ceilings).
+// zero steady-state allocations, and the fidelity ceilings; --emd-large
+// gates the heap >= 1.5x at K = 256 and the batched rolling step >= 1.2x at
+// K = 64, zero steady-state allocations on both).
 //
 //   micro_emd [repeats]   (default 50; scales the iteration counts)
 
@@ -38,11 +45,6 @@
 
 namespace bagcpd {
 namespace {
-
-double Seconds(std::chrono::steady_clock::time_point start,
-               std::chrono::steady_clock::time_point stop) {
-  return std::chrono::duration<double>(stop - start).count();
-}
 
 Signature RandomSignature(Rng* rng, std::size_t k, std::size_t dim) {
   Signature s;
@@ -116,20 +118,22 @@ struct FidelityRow {
   long delay_delta_steps = 0;
 };
 
-// Times `fn` over `iterations` calls, best of `reps` passes; returns seconds
-// per call and accumulates every returned value into *sink so the work cannot
-// be optimized away (and checksums stay comparable across solvers).
-template <typename Fn>
-double BestSecondsPerCall(int reps, int iterations, double* sink, Fn&& fn) {
-  double best = 1e100;
-  for (int rep = 0; rep < reps; ++rep) {
-    const auto start = std::chrono::steady_clock::now();
-    for (int it = 0; it < iterations; ++it) *sink += fn(it);
-    const auto stop = std::chrono::steady_clock::now();
-    best = std::min(best, Seconds(start, stop));
-  }
-  return best / iterations;
-}
+struct LargeKRow {
+  std::size_t k = 0;
+  double dense_ns_per_solve = 0.0;
+  double heap_ns_per_solve = 0.0;
+  double heap_speedup = 0.0;
+  double steady_state_allocs_per_solve = 0.0;  // Heap-path workspace growth.
+};
+
+struct BatchRow {
+  std::size_t k = 0;
+  std::size_t pairs = 0;
+  double serial_ns_per_step = 0.0;
+  double batched_ns_per_step = 0.0;
+  double batched_speedup = 0.0;
+  double steady_state_allocs_per_step = 0.0;  // Batched-path growth.
+};
 
 // Runs the detector over `bags` with the given approximate-solver spec and
 // returns the per-step scores (bootstrap off: fidelity measures the score
@@ -230,32 +234,21 @@ int Main(int argc, char** argv) {
     const std::uint64_t allocs_before = workspace.allocation_count();
     std::uint64_t timed_solves = 0;
 
-    // Alternate the passes and keep each side's best, so transient container
-    // noise cannot poison one side of the ratio (micro_flatbag's scheme).
-    double ref_best = 1e100;
-    double ours_best = 1e100;
     double ref_sink = 0.0;
     double ours_sink = 0.0;
-    for (int rep = 0; rep < 3; ++rep) {
-      auto start = std::chrono::steady_clock::now();
-      for (int it = 0; it < iterations; ++it) {
-        const std::size_t p = static_cast<std::size_t>(it) % pool_size;
-        ref_sink += ReferenceEmd(left[p], right[p], ground);
-      }
-      auto stop = std::chrono::steady_clock::now();
-      ref_best = std::min(ref_best, Seconds(start, stop));
-
-      start = std::chrono::steady_clock::now();
-      for (int it = 0; it < iterations; ++it) {
-        const std::size_t p = static_cast<std::size_t>(it) % pool_size;
-        ours_sink += bench::Unwrap(
-            workspace.Compute(left[p], right[p], GroundDistance::kEuclidean),
-            "workspace solve");
-        ++timed_solves;
-      }
-      stop = std::chrono::steady_clock::now();
-      ours_best = std::min(ours_best, Seconds(start, stop));
-    }
+    const std::pair<double, double> timed = bench::BestSecondsPerCallInterleaved(
+        3, iterations, &ref_sink, &ours_sink,
+        [&](int it) {
+          const std::size_t p = static_cast<std::size_t>(it) % pool_size;
+          return ReferenceEmd(left[p], right[p], ground);
+        },
+        [&](int it) {
+          const std::size_t p = static_cast<std::size_t>(it) % pool_size;
+          ++timed_solves;
+          return bench::Unwrap(
+              workspace.Compute(left[p], right[p], GroundDistance::kEuclidean),
+              "workspace solve");
+        });
     // Same instances in the same order: the sums must match bitwise (the
     // verification pass again, but over the timed loops themselves).
     if (ref_sink != ours_sink) {
@@ -266,8 +259,8 @@ int Main(int argc, char** argv) {
 
     SolveRow row;
     row.k = k;
-    row.ref_ns_per_solve = ref_best * 1e9 / iterations;
-    row.ns_per_solve = ours_best * 1e9 / iterations;
+    row.ref_ns_per_solve = timed.first * 1e9;
+    row.ns_per_solve = timed.second * 1e9;
     row.speedup = row.ref_ns_per_solve / row.ns_per_solve;
     // The verification pass already saw this (K, L), so the timed loops run
     // against warm buffers: any growth here is a steady-state allocation.
@@ -298,22 +291,216 @@ int Main(int argc, char** argv) {
                           "append");
     }
     const int matrix_repeats = std::max(3, repeats / 5);
-    double best = 1e100;
-    for (int rep = 0; rep < 3; ++rep) {
-      const auto start = std::chrono::steady_clock::now();
-      for (int it = 0; it < matrix_repeats; ++it) {
-        bench::Unwrap(PairwiseEmdMatrix(set), "pairwise");
-      }
-      const auto stop = std::chrono::steady_clock::now();
-      best = std::min(best, Seconds(start, stop));
-    }
-    pairwise_seconds = best / matrix_repeats;
+    double matrix_sink = 0.0;
+    pairwise_seconds =
+        bench::BestSecondsPerCall(3, matrix_repeats, &matrix_sink, [&](int) {
+          return bench::Unwrap(PairwiseEmdMatrix(set), "pairwise")(0, 1);
+        });
     const double solves =
         static_cast<double>(pairwise_n * (pairwise_n - 1) / 2);
     pairwise_solves_per_second = solves / pairwise_seconds;
     std::printf(
         "\npairwise_matrix n=%zu k=%zu: %.4fs per matrix, %.0f solves/s\n",
         pairwise_n, pairwise_k, pairwise_seconds, pairwise_solves_per_second);
+  }
+
+  // --- Large-K sweep: dense Dijkstra scan vs 4-ary-heap specialization ----
+  std::printf("\nlarge-K sweep (dense scan vs 4-ary-heap Dijkstra):\n");
+  std::vector<LargeKRow> large_k_rows;
+  for (const std::size_t k : {std::size_t{64}, std::size_t{128},
+                              std::size_t{256}, std::size_t{512}}) {
+    Rng rng(4000 + k);
+    const std::size_t pool_size = k >= 256 ? 4 : 8;
+    std::vector<Signature> left;
+    std::vector<Signature> right;
+    for (std::size_t p = 0; p < pool_size; ++p) {
+      left.push_back(RandomSignature(&rng, k, 2));
+      right.push_back(RandomSignature(&rng, k, 2));
+    }
+
+    EmdWorkspace dense;
+    dense.set_heap_threshold(0);  // Always the dense scan (pre-heap path).
+    EmdWorkspace heap;
+    heap.set_heap_threshold(1);  // Always the heap.
+
+    // Bitwise agreement on every instance before any timing (this also warms
+    // both workspaces, so the timed loops measure steady state).
+    for (std::size_t p = 0; p < pool_size; ++p) {
+      const double d = bench::Unwrap(
+          dense.Compute(left[p], right[p], GroundDistance::kEuclidean),
+          "dense solve");
+      const double h = bench::Unwrap(
+          heap.Compute(left[p], right[p], GroundDistance::kEuclidean),
+          "heap solve");
+      if (d != h) {
+        std::fprintf(stderr,
+                     "FATAL: heap diverged from dense at k=%zu p=%zu "
+                     "(%.17g vs %.17g)\n",
+                     k, p, d, h);
+        return 1;
+      }
+    }
+
+    // The dense solve is ~K augmentations x O(K^2) scans apiece; scale the
+    // budget so K = 512 stays bounded while K = 64 still amortizes the timer.
+    const int iterations =
+        std::max(2, repeats * static_cast<int>(65536 / (k * k)));
+    const std::uint64_t allocs_before = heap.allocation_count();
+    std::uint64_t timed_solves = 0;
+    double dense_sink = 0.0;
+    double heap_sink = 0.0;
+    const std::pair<double, double> timed =
+        bench::BestSecondsPerCallInterleaved(
+            2, iterations, &dense_sink, &heap_sink,
+            [&](int it) {
+              const std::size_t p = static_cast<std::size_t>(it) % pool_size;
+              return bench::Unwrap(
+                  dense.Compute(left[p], right[p], GroundDistance::kEuclidean),
+                  "dense solve");
+            },
+            [&](int it) {
+              const std::size_t p = static_cast<std::size_t>(it) % pool_size;
+              ++timed_solves;
+              return bench::Unwrap(
+                  heap.Compute(left[p], right[p], GroundDistance::kEuclidean),
+                  "heap solve");
+            });
+    if (dense_sink != heap_sink) {
+      std::fprintf(stderr,
+                   "FATAL: large-K timed-loop checksums diverged at k=%zu\n",
+                   k);
+      return 1;
+    }
+
+    LargeKRow row;
+    row.k = k;
+    row.dense_ns_per_solve = timed.first * 1e9;
+    row.heap_ns_per_solve = timed.second * 1e9;
+    row.heap_speedup = row.dense_ns_per_solve / row.heap_ns_per_solve;
+    row.steady_state_allocs_per_solve =
+        timed_solves == 0
+            ? 0.0
+            : static_cast<double>(heap.allocation_count() - allocs_before) /
+                  static_cast<double>(timed_solves);
+    large_k_rows.push_back(row);
+    std::printf(
+        "emd_large k=%-3zu dense %10.0f ns/solve   heap %10.0f ns/solve   "
+        "speedup %.2fx   steady-state allocs/solve %.4f\n",
+        k, row.dense_ns_per_solve, row.heap_ns_per_solve, row.heap_speedup,
+        row.steady_state_allocs_per_solve);
+  }
+
+  // --- Rolling-step batch: (W - 1) shared-right solves per detector push --
+  std::printf(
+      "\nrolling-step batch (W - 1 = 9 shared-right pairs per step):\n");
+  std::vector<BatchRow> batch_rows;
+  for (const std::size_t k : {std::size_t{16}, std::size_t{64}}) {
+    Rng rng(7000 + k);
+    const std::size_t pairs = 9;  // tau = tau' = 5 => W - 1 = 9 new pairs.
+    const std::size_t pool_size = 4;
+    // pool_size detector "steps": each has `pairs` older window signatures
+    // and the one newest signature they all pair with.
+    std::vector<std::vector<Signature>> olders(pool_size);
+    std::vector<Signature> newest;
+    for (std::size_t s = 0; s < pool_size; ++s) {
+      for (std::size_t p = 0; p < pairs; ++p) {
+        olders[s].push_back(RandomSignature(&rng, k, 2));
+      }
+      newest.push_back(RandomSignature(&rng, k, 2));
+    }
+    std::vector<std::vector<SignatureView>> older_views(pool_size);
+    for (std::size_t s = 0; s < pool_size; ++s) {
+      for (const Signature& sig : olders[s]) older_views[s].push_back(sig);
+    }
+
+    // Serial baseline = the pre-batch rolling-table inner loop: one dense
+    // per-pair solve per (older, newest) pair. Batched = one shared-right
+    // ComputeBatch per step at the default heap crossover — exactly what
+    // UpdateRollingTable runs now. Same solves either way, so the two timed
+    // loops must agree bitwise.
+    EmdWorkspace serial;
+    serial.set_heap_threshold(0);
+    EmdWorkspace batched;  // Default crossover: heap engages at K + L >= 48.
+    std::vector<double> out(pairs);
+
+    // Warm both paths over every step and verify agreement.
+    for (std::size_t s = 0; s < pool_size; ++s) {
+      bench::UnwrapStatus(
+          batched.ComputeBatch(older_views[s].data(), pairs, newest[s],
+                               GroundDistance::kEuclidean, out.data()),
+          "batched step");
+      for (std::size_t p = 0; p < pairs; ++p) {
+        const double d = bench::Unwrap(
+            serial.Compute(older_views[s][p], newest[s],
+                           GroundDistance::kEuclidean),
+            "serial solve");
+        if (d != out[p]) {
+          std::fprintf(stderr,
+                       "FATAL: batched rolling step diverged at k=%zu s=%zu "
+                       "p=%zu (%.17g vs %.17g)\n",
+                       k, s, p, d, out[p]);
+          return 1;
+        }
+      }
+    }
+
+    const int iterations =
+        std::max(4, repeats * static_cast<int>(4096 / (k * k)));
+    const std::uint64_t allocs_before = batched.allocation_count();
+    std::uint64_t timed_steps = 0;
+    double serial_sink = 0.0;
+    double batched_sink = 0.0;
+    const std::pair<double, double> timed =
+        bench::BestSecondsPerCallInterleaved(
+            2, iterations, &serial_sink, &batched_sink,
+            [&](int it) {
+              const std::size_t s = static_cast<std::size_t>(it) % pool_size;
+              double sum = 0.0;
+              for (std::size_t p = 0; p < pairs; ++p) {
+                sum += bench::Unwrap(
+                    serial.Compute(older_views[s][p], newest[s],
+                                   GroundDistance::kEuclidean),
+                    "serial solve");
+              }
+              return sum;
+            },
+            [&](int it) {
+              const std::size_t s = static_cast<std::size_t>(it) % pool_size;
+              ++timed_steps;
+              bench::UnwrapStatus(
+                  batched.ComputeBatch(older_views[s].data(), pairs,
+                                       newest[s], GroundDistance::kEuclidean,
+                                       out.data()),
+                  "batched step");
+              double sum = 0.0;
+              for (std::size_t p = 0; p < pairs; ++p) sum += out[p];
+              return sum;
+            });
+    if (serial_sink != batched_sink) {
+      std::fprintf(stderr,
+                   "FATAL: rolling-step timed-loop checksums diverged at "
+                   "k=%zu\n",
+                   k);
+      return 1;
+    }
+
+    BatchRow row;
+    row.k = k;
+    row.pairs = pairs;
+    row.serial_ns_per_step = timed.first * 1e9;
+    row.batched_ns_per_step = timed.second * 1e9;
+    row.batched_speedup = row.serial_ns_per_step / row.batched_ns_per_step;
+    row.steady_state_allocs_per_step =
+        timed_steps == 0
+            ? 0.0
+            : static_cast<double>(batched.allocation_count() - allocs_before) /
+                  static_cast<double>(timed_steps);
+    batch_rows.push_back(row);
+    std::printf(
+        "emd_batch k=%-3zu serial %10.0f ns/step   batched %10.0f ns/step   "
+        "speedup %.2fx   steady-state allocs/step %.4f\n",
+        k, row.serial_ns_per_step, row.batched_ns_per_step,
+        row.batched_speedup, row.steady_state_allocs_per_step);
   }
 
   // --- Approximate-solver sweep: exact vs sinkhorn vs sliced --------------
@@ -367,7 +554,7 @@ int Main(int argc, char** argv) {
     }
 
     const double exact_seconds =
-        BestSecondsPerCall(2, iterations, &sink, [&](int it) {
+        bench::BestSecondsPerCall(2, iterations, &sink, [&](int it) {
           const std::size_t p = static_cast<std::size_t>(it) % pool_size;
           return bench::Unwrap(
               exact_solver.Compute(left[p], right[p],
@@ -378,7 +565,7 @@ int Main(int argc, char** argv) {
       const std::uint64_t allocs_before = c.solver->allocation_count();
       std::uint64_t solves = 0;
       const double seconds =
-          BestSecondsPerCall(2, iterations, &sink, [&](int it) {
+          bench::BestSecondsPerCall(2, iterations, &sink, [&](int it) {
             const std::size_t p = static_cast<std::size_t>(it) % pool_size;
             ++solves;
             return bench::Unwrap(
@@ -478,7 +665,32 @@ int Main(int argc, char** argv) {
                "\"seconds_per_matrix\": %.6f, \"solves_per_second\": %.1f},\n",
                pairwise_n, pairwise_k, pairwise_seconds,
                pairwise_solves_per_second);
-  std::fprintf(json, "  \"approx_runs\": [\n");
+  std::fprintf(json, "  \"large_k_runs\": [\n");
+  for (std::size_t i = 0; i < large_k_rows.size(); ++i) {
+    const LargeKRow& r = large_k_rows[i];
+    std::fprintf(json,
+                 "    {\"name\": \"emd_large_k%zu\", \"k\": %zu, "
+                 "\"dense_ns_per_solve\": %.1f, \"heap_ns_per_solve\": %.1f, "
+                 "\"heap_speedup\": %.3f, "
+                 "\"steady_state_allocs_per_solve\": %.6f}%s\n",
+                 r.k, r.k, r.dense_ns_per_solve, r.heap_ns_per_solve,
+                 r.heap_speedup, r.steady_state_allocs_per_solve,
+                 i + 1 < large_k_rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"batch_runs\": [\n");
+  for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+    const BatchRow& r = batch_rows[i];
+    std::fprintf(json,
+                 "    {\"name\": \"emd_batch_k%zu\", \"k\": %zu, "
+                 "\"pairs\": %zu, \"serial_ns_per_step\": %.1f, "
+                 "\"batched_ns_per_step\": %.1f, \"batched_speedup\": %.3f, "
+                 "\"steady_state_allocs_per_step\": %.6f}%s\n",
+                 r.k, r.k, r.pairs, r.serial_ns_per_step,
+                 r.batched_ns_per_step, r.batched_speedup,
+                 r.steady_state_allocs_per_step,
+                 i + 1 < batch_rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"approx_runs\": [\n");
   for (std::size_t i = 0; i < approx_rows.size(); ++i) {
     const ApproxRow& r = approx_rows[i];
     std::fprintf(json,

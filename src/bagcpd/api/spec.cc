@@ -197,10 +197,20 @@ DetectorSpec& DetectorSpec::Emd(const EmdSolverOptions& options) {
 DetectorSpec& DetectorSpec::Emd(const std::string& spec) {
   Result<EmdSolverOptions> parsed = ParseEmdSolverSpec(spec);
   if (parsed.ok()) {
+    // Mirrors Set("emd", ...): the spec string never carries heap_at (that
+    // is the separate `emd-heap-at=` key / EmdHeapAt() setter), so a
+    // previously chosen crossover survives re-selecting the solver kind.
+    const std::size_t heap_at = options_.emd.heap_at;
     options_.emd = parsed.ValueOrDie();
+    options_.emd.heap_at = heap_at;
   } else if (error_.ok()) {
     error_ = parsed.status();
   }
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::EmdHeapAt(std::size_t k_plus_l) {
+  options_.emd.heap_at = k_plus_l;
   return *this;
 }
 
@@ -311,7 +321,18 @@ Status DetectorSpec::Set(const std::string& key, const std::string& value) {
   } else if (key == "emd") {
     // The value is a full solver spec ("exact", "sinkhorn:0.05:200:1e-8",
     // "sliced:32"); ParseEmdSolverSpec validates kind and knobs together.
+    // Parsing replaces the whole EmdSolverOptions EXCEPT heap_at, which has
+    // its own key below — "emd=...,emd-heap-at=N" and the reverse order both
+    // land on the same options.
+    const std::size_t heap_at = options_.emd.heap_at;
     BAGCPD_ASSIGN_OR_RETURN(options_.emd, ParseEmdSolverSpec(value));
+    options_.emd.heap_at = heap_at;
+  } else if (key == "emd-heap-at") {
+    // K+L crossover for the exact solver's heap Dijkstra; 0 = always the
+    // dense scan. A performance knob only — results are bitwise-identical
+    // either way. ParseUnsigned rejects negative values.
+    BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
+    options_.emd.heap_at = static_cast<std::size_t>(v);
   } else if (key == "seed") {
     BAGCPD_ASSIGN_OR_RETURN(options_.seed, ParseUnsigned(key, value));
   } else {
@@ -319,7 +340,7 @@ Status DetectorSpec::Set(const std::string& key, const std::string& value) {
         "unknown key '" + key +
         "' (known: quantizer, k, bin_width, histogram_origin, normalize, "
         "tau, tau_prime, score, weights, ground, bootstrap, replicates, "
-        "alpha, distance_floor, emd, seed)");
+        "alpha, distance_floor, emd, emd-heap-at, seed)");
   }
   return Status::OK();
 }
@@ -379,6 +400,7 @@ std::string DetectorSpec::ToKeyValues() const {
   out += ",alpha=" + FormatDouble(options_.bootstrap.alpha);
   out += ",distance_floor=" + FormatDouble(options_.info.distance_floor);
   out += ",emd=" + EmdSolverSpecString(options_.emd);
+  out += ",emd-heap-at=" + std::to_string(options_.emd.heap_at);
   out += ",seed=" + std::to_string(options_.seed);
   return out;
 }

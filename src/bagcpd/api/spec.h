@@ -66,8 +66,13 @@ class DetectorSpec {
   DetectorSpec& Emd(EmdSolverKind kind);
   DetectorSpec& Emd(const EmdSolverOptions& options);
   /// \brief Full spec-string form: "exact", "sinkhorn:0.05", "sliced:32",
-  /// ... (ParseEmdSolverSpec grammar, the `emd=` key's value).
+  /// ... (ParseEmdSolverSpec grammar, the `emd=` key's value). Preserves a
+  /// previously chosen EmdHeapAt() crossover, like the `emd=` key does.
   DetectorSpec& Emd(const std::string& spec);
+  /// \brief K+L crossover for the exact solver's 4-ary-heap Dijkstra
+  /// (`emd-heap-at=` key); 0 = always the dense scan. A performance knob
+  /// only — results are bitwise-identical at any value.
+  DetectorSpec& EmdHeapAt(std::size_t k_plus_l);
 
   // -- Quantizer -------------------------------------------------------
   DetectorSpec& Quantizer(SignatureMethod method);

@@ -73,6 +73,9 @@ BagStreamDetector::BagStreamDetector(const DetectorOptions& options)
     const std::size_t full = options_.tau + options_.tau_prime;
     window_.Reset(full);
     log_table_.assign(full * full, 0.0);
+    batch_lefts_.reserve(full - 1);
+    batch_left_pos_.reserve(full - 1);
+    batch_emd_.reserve(full - 1);
     // The score-context matrices are sized once here and refilled in place
     // every step; their diagonals stay at the 0.0 the scores ignore.
     ctx_.info = options_.info;
@@ -181,20 +184,31 @@ Status BagStreamDetector::PrefillWindowDistances() {
     }
   }
   if (missing.empty()) return Status::OK();
+  std::vector<SignatureView> lefts;
+  std::vector<SignatureView> rights;
+  lefts.reserve(missing.size());
+  rights.reserve(missing.size());
+  for (const auto& [i, j] : missing) {
+    lefts.push_back(SignatureAt(i));
+    rights.push_back(SignatureAt(j));
+  }
   std::vector<double> values(missing.size(), 0.0);
   std::vector<Status> statuses(missing.size(), Status::OK());
-  pool_->ParallelFor(0, missing.size(), [&](std::size_t p) {
-    const auto [i, j] = missing[p];
-    // Per-pool-thread solver: concurrent solves never share scratch. The
-    // explicit-options overload lets one shared thread-local solver serve
-    // streams with different emd= selections.
-    Result<double> d = ThreadLocalEmdSolver().Compute(
-        SignatureAt(i), SignatureAt(j), options_.ground, options_.emd);
-    if (d.ok()) {
-      values[p] = d.ValueOrDie();
-    } else {
-      statuses[p] = d.status();
-    }
+  // Each chunk runs ONE batched solve over its contiguous slice of the pair
+  // list on a per-pool-thread solver (concurrent solves never share scratch;
+  // the explicit-options overload lets one shared thread-local solver serve
+  // streams with different emd= selections). ComputeBatch detects the runs
+  // of shared right operands — the whole steady-state list shares the newest
+  // signature — and hoists their transpose. Any chunking yields the same
+  // values because each pair's EMD depends only on its two signatures; a
+  // chunk's first error lands at its first index, so the scan below still
+  // surfaces the lowest failing pair.
+  pool_->ParallelForChunked(0, missing.size(),
+                            [&](std::size_t begin, std::size_t end) {
+    const Status s = ThreadLocalEmdSolver().ComputeBatch(
+        lefts.data() + begin, rights.data() + begin, end - begin,
+        options_.ground, options_.emd, values.data() + begin);
+    if (!s.ok()) statuses[begin] = s;
   });
   for (std::size_t p = 0; p < missing.size(); ++p) {
     BAGCPD_RETURN_NOT_OK(statuses[p]);
@@ -203,39 +217,65 @@ Status BagStreamDetector::PrefillWindowDistances() {
   return Status::OK();
 }
 
-Status BagStreamDetector::UpdateRollingTable() {
+Status BagStreamDetector::FoldNewPairsForColumn(std::size_t q) {
   const std::size_t w = window_.size();  // == tau + tau' (window is full).
   const std::uint64_t window_start = next_index_ - w;
   const double floor = options_.info.distance_floor;
   const auto slot = [this, w](std::size_t pos) {
     return (table_base_ + pos) % w;
   };
+  const std::size_t q_slot = slot(q);
+  const std::uint64_t gq = window_start + q;
+  const auto fold = [&](std::size_t p, double d) {
+    const double v = std::log(std::max(d, floor));
+    log_table_[slot(p) * w + q_slot] = v;
+    log_table_[q_slot * w + slot(p)] = v;
+  };
+  // Split column q's pairs into cached (pooled prefill already solved them;
+  // reading them back counts the same hits as before) and absent. The absent
+  // ones — ALL of them on the serial path — go through one batched solve
+  // sharing the right operand, then Put() records exactly the misses the
+  // per-pair cache walk would have.
+  batch_lefts_.clear();
+  batch_left_pos_.clear();
+  for (std::size_t p = 0; p < q; ++p) {
+    const std::uint64_t gp = window_start + p;
+    if (cache_.Contains(gp, gq)) {
+      BAGCPD_ASSIGN_OR_RETURN(double d, cache_.Get(gp, gq));
+      fold(p, d);
+    } else {
+      batch_lefts_.push_back(window_.view(p));
+      batch_left_pos_.push_back(p);
+    }
+  }
+  if (batch_lefts_.empty()) return Status::OK();
+  batch_emd_.resize(batch_lefts_.size());
+  BAGCPD_RETURN_NOT_OK(solver_.ComputeBatch(batch_lefts_.data(),
+                                            batch_lefts_.size(),
+                                            window_.view(q), options_.ground,
+                                            batch_emd_.data()));
+  for (std::size_t i = 0; i < batch_left_pos_.size(); ++i) {
+    cache_.Put(window_start + batch_left_pos_[i], gq, batch_emd_[i]);
+    fold(batch_left_pos_[i], batch_emd_[i]);
+  }
+  return Status::OK();
+}
+
+Status BagStreamDetector::UpdateRollingTable() {
+  const std::size_t w = window_.size();
   if (!table_primed_) {
-    // First full window (or first after Reset): fill every pair.
-    for (std::size_t p = 0; p < w; ++p) {
-      for (std::size_t q = p + 1; q < w; ++q) {
-        BAGCPD_ASSIGN_OR_RETURN(
-            double d, cache_.Get(window_start + p, window_start + q));
-        const double v = std::log(std::max(d, floor));
-        log_table_[slot(p) * w + slot(q)] = v;
-        log_table_[slot(q) * w + slot(p)] = v;
-      }
+    // First full window (or first after Reset): fill every pair, one batched
+    // shared-right column at a time.
+    for (std::size_t q = 1; q < w; ++q) {
+      BAGCPD_RETURN_NOT_OK(FoldNewPairsForColumn(q));
     }
     table_primed_ = true;
     return Status::OK();
   }
   // Steady state: the slide already retired the oldest row/column (its slot
-  // is the newest signature's), so only the new pairs need writing.
-  const std::size_t newest = w - 1;
-  const std::size_t newest_slot = slot(newest);
-  for (std::size_t p = 0; p < newest; ++p) {
-    BAGCPD_ASSIGN_OR_RETURN(
-        double d, cache_.Get(window_start + p, window_start + newest));
-    const double v = std::log(std::max(d, floor));
-    log_table_[slot(p) * w + newest_slot] = v;
-    log_table_[newest_slot * w + slot(p)] = v;
-  }
-  return Status::OK();
+  // is the newest signature's), so only the newest column's (w - 1) pairs
+  // need solving — the detector's hottest loop, now one ComputeBatch call.
+  return FoldNewPairsForColumn(w - 1);
 }
 
 Result<StepResult> BagStreamDetector::ScoreInspectionPoint() {

@@ -183,6 +183,12 @@ class BagStreamDetector {
   Result<StepResult> ScoreInspectionPoint();
   Status PrefillWindowDistances();
   Status UpdateRollingTable();
+  // Folds every pair (p, q), p < q, of window position q into the rolling
+  // table: cached pairs are read back (counted hits — the pooled-prefill
+  // case), the rest are solved in ONE EmdSolver::ComputeBatch call sharing
+  // the right operand, then inserted (counted misses). Bitwise- and
+  // counter-identical to the historical per-pair cache walk.
+  Status FoldNewPairsForColumn(std::size_t q);
   SignatureView SignatureAt(std::uint64_t global_index) const;
   // The one place the cache's generator lambda is built (constructor and
   // Reset() used to each create their own copy); solves run on workspace_.
@@ -214,6 +220,11 @@ class BagStreamDetector {
   std::vector<double> log_table_;
   std::size_t table_base_ = 0;
   bool table_primed_ = false;
+  // Scratch for FoldNewPairsForColumn's batched solves, reserved once to the
+  // window size so the steady-state serial path stays allocation-free.
+  std::vector<SignatureView> batch_lefts_;
+  std::vector<std::size_t> batch_left_pos_;
+  std::vector<double> batch_emd_;
   ScoreContext ctx_;
   // theta_up history for the xi test, keyed relative to inspection time:
   // upper_history_[k] is theta_up of inspection time (current_t - 1 - k).

@@ -12,6 +12,9 @@ Result<double> EmdSolver::Compute(SignatureView a, SignatureView b,
                                   const EmdSolverOptions& options) {
   switch (options.kind) {
     case EmdSolverKind::kExact:
+      // Applied per call: thread-local solvers serve streams with different
+      // `emd-heap-at=` selections through this one workspace.
+      workspace_.set_heap_threshold(options.heap_at);
       return workspace_.Compute(a, b, ground);
     case EmdSolverKind::kSinkhorn:
       BAGCPD_RETURN_NOT_OK(workspace_.PrepareCost(a, b, ground));
@@ -22,6 +25,36 @@ Result<double> EmdSolver::Compute(SignatureView a, SignatureView b,
       return SlicedEmd(a, b, options, &sliced_);
   }
   return Status::Invalid("unknown emd solver kind");
+}
+
+Status EmdSolver::ComputeBatch(const SignatureView* as, std::size_t count,
+                               SignatureView b, GroundDistance ground,
+                               double* out) {
+  if (options_.kind == EmdSolverKind::kExact) {
+    workspace_.set_heap_threshold(options_.heap_at);
+    return workspace_.ComputeBatch(as, count, b, ground, out);
+  }
+  // The approximate kinds have no cross-pair structure to exploit; a serial
+  // loop in pair order is already their batch-optimal form and keeps every
+  // value (and the first surfaced error) identical to per-pair calls.
+  for (std::size_t p = 0; p < count; ++p) {
+    BAGCPD_ASSIGN_OR_RETURN(out[p], Compute(as[p], b, ground, options_));
+  }
+  return Status::OK();
+}
+
+Status EmdSolver::ComputeBatch(const SignatureView* as,
+                               const SignatureView* bs, std::size_t count,
+                               GroundDistance ground,
+                               const EmdSolverOptions& options, double* out) {
+  if (options.kind == EmdSolverKind::kExact) {
+    workspace_.set_heap_threshold(options.heap_at);
+    return workspace_.ComputeBatch(as, bs, count, ground, out);
+  }
+  for (std::size_t p = 0; p < count; ++p) {
+    BAGCPD_ASSIGN_OR_RETURN(out[p], Compute(as[p], bs[p], ground, options));
+  }
+  return Status::OK();
 }
 
 void EmdSolver::ShrinkToCeiling() {

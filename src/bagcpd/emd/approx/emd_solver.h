@@ -54,6 +54,22 @@ class EmdSolver {
                          GroundDistance ground,
                          const EmdSolverOptions& options);
 
+  /// \brief Multi-pair solve under the stored options with a shared right
+  /// operand — the detector's rolling-table shape, where every new solve
+  /// pairs an older window signature with the newest one. `out[p]` is
+  /// bitwise-identical to `Compute(as[p], b, ground)`: the exact kind runs
+  /// EmdWorkspace::ComputeBatch (hoisted transpose, scratch reuse, zero
+  /// steady-state allocations), the approximate kinds run their per-pair
+  /// solves in pair order.
+  Status ComputeBatch(const SignatureView* as, std::size_t count,
+                      SignatureView b, GroundDistance ground, double* out);
+
+  /// \brief General pair-span batch under explicit options (the pooled
+  /// prefill path). `out[p]` == `Compute(as[p], bs[p], ground, options)`.
+  Status ComputeBatch(const SignatureView* as, const SignatureView* bs,
+                      std::size_t count, GroundDistance ground,
+                      const EmdSolverOptions& options, double* out);
+
   /// \brief The exact-path workspace (also the cost-matrix provider for
   /// sinkhorn). Exposed for tests and detailed/flow computations.
   EmdWorkspace& workspace() { return workspace_; }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bagcpd/common/result.h"
+#include "bagcpd/emd/transport_solver.h"  // kDefaultEmdHeapAt
 
 namespace bagcpd {
 
@@ -59,6 +60,13 @@ struct EmdSolverOptions {
   /// Sliced-1D: number of fixed, seed-derived projection directions. More
   /// directions = a more stable estimate (exact in d = 1 for any n).
   std::size_t sliced_projections = 16;
+
+  /// Exact-solver K+L crossover for the indexed 4-ary-heap Dijkstra inside
+  /// EmdWorkspace (spec key `emd-heap-at=`, NOT part of the `emd=` value —
+  /// it tunes HOW the exact solve runs, never WHAT it returns: the heap is
+  /// bitwise-identical to the dense scan by construction). 0 = always the
+  /// dense scan. Ignored by the approximate kinds.
+  std::size_t heap_at = kDefaultEmdHeapAt;
 };
 
 /// \brief Validates the tuning knobs (eps > 0, at least one iteration /

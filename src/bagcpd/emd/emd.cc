@@ -62,17 +62,23 @@ using ViewAt = std::function<SignatureView(std::size_t)>;
 Result<Matrix> PairwiseEmdImpl(const ViewAt& at, std::size_t n,
                                GroundDistance ground) {
   if (n == 0) return Status::Invalid("no signatures");
-  // One workspace reused across all C(n, 2) solves. Dispatching on the enum
-  // per pair also pins the historical behaviour of always solving the full
-  // transportation problem here (never the 1-d sweep).
+  // One workspace reused across all C(n, 2) solves, batched one row at a
+  // time: row i is a shared-left ComputeBatch over at(i) vs at(i+1..n-1), so
+  // all of the row's cost matrices fill in one vectorized pass and the
+  // upper-triangle cells are written contiguously. Pair order, and therefore
+  // the first surfaced error, matches the historical per-pair loop; so do
+  // the values, bit for bit (ComputeBatch always runs the full
+  // transportation solve, never the 1-d sweep).
   EmdWorkspace workspace;
   Matrix m(n, n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      BAGCPD_ASSIGN_OR_RETURN(double d, workspace.Compute(at(i), at(j), ground));
-      m(i, j) = d;
-      m(j, i) = d;
-    }
+  std::vector<SignatureView> rights;
+  rights.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    rights.clear();
+    for (std::size_t j = i + 1; j < n; ++j) rights.push_back(at(j));
+    BAGCPD_RETURN_NOT_OK(workspace.ComputeBatch(
+        at(i), rights.data(), rights.size(), ground, &m(i, i + 1)));
+    for (std::size_t j = i + 1; j < n; ++j) m(j, i) = m(i, j);
   }
   return m;
 }
@@ -81,14 +87,16 @@ Result<Matrix> CrossDistanceImpl(const ViewAt& at_a, std::size_t n,
                                  const ViewAt& at_b, std::size_t m,
                                  GroundDistance ground) {
   if (n == 0 || m == 0) return Status::Invalid("no signatures");
+  // Row-batched like PairwiseEmdImpl: each output row is one shared-left
+  // ComputeBatch writing straight into the row-major Matrix storage.
   EmdWorkspace workspace;
   Matrix out(n, m);
+  std::vector<SignatureView> rights;
+  rights.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) rights.push_back(at_b(j));
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < m; ++j) {
-      BAGCPD_ASSIGN_OR_RETURN(double dij,
-                              workspace.Compute(at_a(i), at_b(j), ground));
-      out(i, j) = dij;
-    }
+    BAGCPD_RETURN_NOT_OK(workspace.ComputeBatch(at_a(i), rights.data(), m,
+                                                ground, &out(i, 0)));
   }
   return out;
 }
@@ -173,32 +181,29 @@ Result<Matrix> CrossDistanceMatrix(const SignatureSet& a,
   const std::size_t m = b.size();
   if (n == 0 || m == 0) return Status::Invalid("no signatures");
   // Deterministic row chunking: ParallelFor splits the n rows purely as a
-  // function of (n, pool size), each worker fills whole rows through its
-  // thread-local workspace, and every cell depends only on its two
-  // signatures — so the matrix is bitwise-identical to the serial overload
-  // for any pool size.
+  // function of (n, pool size), each worker batch-solves whole rows through
+  // its thread-local workspace (one shared-left ComputeBatch per row, same
+  // as the serial impl), and every cell depends only on its two signatures —
+  // so the matrix is bitwise-identical to the serial overload for any pool
+  // size.
   Matrix out(n, m);
+  std::vector<SignatureView> rights;
+  rights.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) rights.push_back(b.view(j));
   std::mutex error_mu;
-  std::size_t first_error_flat = n * m;  // n * m == "no error".
+  std::size_t first_error_row = n;  // n == "no error".
   Status first_error;
   pool->ParallelFor(0, n, [&](std::size_t i) {
-    EmdWorkspace& workspace = ThreadLocalEmdWorkspace();
-    for (std::size_t j = 0; j < m; ++j) {
-      Result<double> dij = workspace.Compute(a.view(i), b.view(j), ground);
-      if (dij.ok()) {
-        out(i, j) = dij.ValueOrDie();
-        continue;
-      }
-      // Surface the error the serial row-major loop would hit first,
-      // independent of thread timing; the rest of this row would not have
-      // been evaluated serially, so stop it here too.
-      const std::size_t flat = i * m + j;
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (flat < first_error_flat) {
-        first_error_flat = flat;
-        first_error = dij.status();
-      }
-      break;
+    const Status s = ThreadLocalEmdWorkspace().ComputeBatch(
+        a.view(i), rights.data(), m, ground, &out(i, 0));
+    if (s.ok()) return;
+    // Surface the error the serial row-major loop would hit first,
+    // independent of thread timing: ComputeBatch already stops a row at its
+    // first failing column, and the lowest failing row wins here.
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (i < first_error_row) {
+      first_error_row = i;
+      first_error = s;
     }
   });
   BAGCPD_RETURN_NOT_OK(first_error);

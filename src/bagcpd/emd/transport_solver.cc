@@ -18,20 +18,11 @@ void EmdWorkspace::Ensure(std::vector<T>* v, std::size_t count) {
   v->resize(count);
 }
 
-Status EmdWorkspace::Layout(SignatureView a, SignatureView b) {
-  BAGCPD_RETURN_NOT_OK(a.Validate());
-  BAGCPD_RETURN_NOT_OK(b.Validate());
-  if (a.dim() != b.dim()) {
-    return Status::Invalid("signatures have different dimensions");
-  }
-  k_ = a.size();
-  l_ = b.size();
+void EmdWorkspace::LayoutShape(std::size_t k, std::size_t l) {
+  k_ = k;
+  l_ = l;
   nodes_ = k_ + l_ + 2;
   arcs_ = 2 * (k_ + l_ + k_ * l_);
-  Ensure(&cost_matrix_, k_ * l_);
-  // Sized in Layout (not just in the enum kernel) so that once a shape has
-  // been seen through ANY path, no path allocates for it again.
-  Ensure(&b_transposed_, a.dim() * l_);
   Ensure(&arc_to_, arcs_);
   Ensure(&arc_rev_, arcs_);
   Ensure(&arc_cap_, arcs_);
@@ -41,46 +32,54 @@ Status EmdWorkspace::Layout(SignatureView a, SignatureView b) {
   Ensure(&prev_node_, nodes_);
   Ensure(&prev_arc_, nodes_);
   Ensure(&visited_, nodes_);
+  Ensure(&heap_, nodes_);
+  Ensure(&heap_pos_, nodes_);
+}
+
+Status EmdWorkspace::Layout(SignatureView a, SignatureView b) {
+  BAGCPD_RETURN_NOT_OK(a.Validate());
+  BAGCPD_RETURN_NOT_OK(b.Validate());
+  if (a.dim() != b.dim()) {
+    return Status::Invalid("signatures have different dimensions");
+  }
+  LayoutShape(a.size(), b.size());
+  Ensure(&cost_matrix_, k_ * l_);
+  // Sized in Layout (not just in the enum kernel) so that once a shape has
+  // been seen through ANY path, no path allocates for it again.
+  Ensure(&b_transposed_, a.dim() * l_);
   return Status::OK();
 }
 
-Status EmdWorkspace::PrepareCost(SignatureView a, SignatureView b,
-                                 GroundDistance ground) {
-  BAGCPD_RETURN_NOT_OK(Layout(a, b));
-  // Batched kernel: one dispatch for the whole K x L matrix, streaming both
-  // packed center blocks, instead of a GroundDistanceFn call per arc. The
-  // demand centers are transposed once into a (d x L) block so every inner
-  // loop below walks unit-stride over j — straight-line code the compiler
-  // auto-vectorizes. Bitwise identity with the scalar PointView kernels
-  // holds because each cost entry accumulates its per-coordinate terms in
-  // the same t order with the same operations (init with the t=0 term, then
-  // add one squared/absolute difference per coordinate; 0 + x == x exactly
-  // for the non-negative terms involved), and the baseline x86-64 target has
-  // no FMA contraction to re-associate them.
-  const std::size_t d = a.dim();
-  const double* ac = a.centers_data();
-  const double* bc = b.centers_data();
-  double* cost = cost_matrix_.data();
-  double* bt = b_transposed_.data();
-  for (std::size_t j = 0; j < l_; ++j) {
-    for (std::size_t t = 0; t < d; ++t) {
-      bt[t * l_ + j] = bc[j * d + t];
-    }
-  }
+namespace {
+
+// Batched ground-distance fill: cost is a row-major (k x width) block whose
+// columns correspond to the transposed demand block `bt` (d x width). One
+// enum dispatch for the whole block, unit-stride inner loops. Every entry
+// accumulates its per-coordinate terms in the same t order with the same
+// operations as the scalar PointView kernels (init with the t=0 term, then
+// one squared/absolute difference per coordinate; 0 + x == x exactly for the
+// non-negative terms involved), and the baseline x86-64 target has no FMA
+// contraction to re-associate them — so each entry is bitwise-identical
+// regardless of `width`. That invariance is what lets the batch path fill
+// MANY pairs' cost matrices in one wide pass (width = sum of the pairs' L)
+// and still match the per-pair fill bit for bit.
+void FillCostBlock(const double* ac, std::size_t k, std::size_t d,
+                   const double* bt, std::size_t width, GroundDistance ground,
+                   double* cost) {
   switch (ground) {
     case GroundDistance::kSquaredEuclidean:
-      for (std::size_t i = 0; i < k_; ++i) {
+      for (std::size_t i = 0; i < k; ++i) {
         const double* ai = ac + i * d;
-        double* row = cost + i * l_;
+        double* row = cost + i * width;
         const double a0 = ai[0];
-        for (std::size_t j = 0; j < l_; ++j) {
+        for (std::size_t j = 0; j < width; ++j) {
           const double diff = a0 - bt[j];
           row[j] = diff * diff;
         }
         for (std::size_t t = 1; t < d; ++t) {
           const double at = ai[t];
-          const double* btr = bt + t * l_;
-          for (std::size_t j = 0; j < l_; ++j) {
+          const double* btr = bt + t * width;
+          for (std::size_t j = 0; j < width; ++j) {
             const double diff = at - btr[j];
             row[j] += diff * diff;
           }
@@ -88,17 +87,17 @@ Status EmdWorkspace::PrepareCost(SignatureView a, SignatureView b,
       }
       break;
     case GroundDistance::kManhattan:
-      for (std::size_t i = 0; i < k_; ++i) {
+      for (std::size_t i = 0; i < k; ++i) {
         const double* ai = ac + i * d;
-        double* row = cost + i * l_;
+        double* row = cost + i * width;
         const double a0 = ai[0];
-        for (std::size_t j = 0; j < l_; ++j) {
+        for (std::size_t j = 0; j < width; ++j) {
           row[j] = std::abs(a0 - bt[j]);
         }
         for (std::size_t t = 1; t < d; ++t) {
           const double at = ai[t];
-          const double* btr = bt + t * l_;
-          for (std::size_t j = 0; j < l_; ++j) {
+          const double* btr = bt + t * width;
+          for (std::size_t j = 0; j < width; ++j) {
             row[j] += std::abs(at - btr[j]);
           }
         }
@@ -106,33 +105,38 @@ Status EmdWorkspace::PrepareCost(SignatureView a, SignatureView b,
       break;
     case GroundDistance::kEuclidean:
     default:  // MakeGroundDistance falls back to Euclidean as well.
-      for (std::size_t i = 0; i < k_; ++i) {
+      for (std::size_t i = 0; i < k; ++i) {
         const double* ai = ac + i * d;
-        double* row = cost + i * l_;
+        double* row = cost + i * width;
         const double a0 = ai[0];
-        for (std::size_t j = 0; j < l_; ++j) {
+        for (std::size_t j = 0; j < width; ++j) {
           const double diff = a0 - bt[j];
           row[j] = diff * diff;
         }
         for (std::size_t t = 1; t < d; ++t) {
           const double at = ai[t];
-          const double* btr = bt + t * l_;
-          for (std::size_t j = 0; j < l_; ++j) {
+          const double* btr = bt + t * width;
+          for (std::size_t j = 0; j < width; ++j) {
             const double diff = at - btr[j];
             row[j] += diff * diff;
           }
         }
-        for (std::size_t j = 0; j < l_; ++j) {
+        for (std::size_t j = 0; j < width; ++j) {
           row[j] = std::sqrt(row[j]);
         }
       }
       break;
   }
-  // Same rejection the reference applies per transport arc, in the same
-  // row-major order, so the surfaced error is identical.
-  for (std::size_t i = 0; i < k_; ++i) {
-    for (std::size_t j = 0; j < l_; ++j) {
-      const double dist = cost[i * l_ + j];
+}
+
+// Same rejection the reference applies per transport arc, in the same
+// row-major order, so the surfaced error is identical. `stride` lets the
+// batch path validate a pair whose rows live inside a wider block.
+Status ValidateCostBlock(const double* cost, std::size_t k, std::size_t l,
+                         std::size_t stride) {
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      const double dist = cost[i * stride + j];
       if (!(dist >= 0.0) || !std::isfinite(dist)) {
         return Status::Invalid("ground distance produced a negative or "
                                "non-finite value");
@@ -140,6 +144,28 @@ Status EmdWorkspace::PrepareCost(SignatureView a, SignatureView b,
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status EmdWorkspace::PrepareCost(SignatureView a, SignatureView b,
+                                 GroundDistance ground) {
+  BAGCPD_RETURN_NOT_OK(Layout(a, b));
+  // Batched kernel: one dispatch for the whole K x L matrix, streaming both
+  // packed center blocks, instead of a GroundDistanceFn call per arc. The
+  // demand centers are transposed once into a (d x L) block so every inner
+  // loop walks unit-stride over j — straight-line code the compiler
+  // auto-vectorizes. See FillCostBlock for the bitwise-identity argument.
+  const std::size_t d = a.dim();
+  const double* bc = b.centers_data();
+  double* bt = b_transposed_.data();
+  for (std::size_t j = 0; j < l_; ++j) {
+    for (std::size_t t = 0; t < d; ++t) {
+      bt[t * l_ + j] = bc[j * d + t];
+    }
+  }
+  FillCostBlock(a.centers_data(), k_, d, bt, l_, ground, cost_matrix_.data());
+  return ValidateCostBlock(cost_matrix_.data(), k_, l_, l_);
 }
 
 Status EmdWorkspace::Prepare(SignatureView a, SignatureView b,
@@ -159,7 +185,9 @@ Status EmdWorkspace::Prepare(SignatureView a, SignatureView b,
   return Status::OK();
 }
 
-void EmdWorkspace::BuildNetwork(SignatureView a, SignatureView b) {
+void EmdWorkspace::BuildNetwork(SignatureView a, SignatureView b,
+                                const double* cost_block,
+                                std::size_t cost_stride) {
   // Node layout (identical to the reference construction): source = 0,
   // supply nodes 1..K, demand nodes K+1..K+L, sink = K+L+1. Per-node arc
   // order also matches the reference adjacency lists exactly — forward and
@@ -192,7 +220,7 @@ void EmdWorkspace::BuildNetwork(SignatureView a, SignatureView b) {
     for (std::size_t j = 0; j < l_; ++j) {
       const std::size_t fwd = supply_base + i * (l_ + 1) + 1 + j;
       const std::size_t rev = demand_base + j * (k_ + 1) + i;
-      const double cost = cost_matrix_[i * l_ + j];
+      const double cost = cost_block[i * cost_stride + j];
       arc_to_[fwd] = 1 + k_ + j;
       arc_cap_[fwd] = std::min(wa[i], wb[j]);
       arc_cost_[fwd] = cost;
@@ -217,21 +245,177 @@ void EmdWorkspace::BuildNetwork(SignatureView a, SignatureView b) {
   }
 }
 
-Status EmdWorkspace::SolveNetwork(SignatureView a, SignatureView b,
-                                  double* emd_out, double* total_flow_out,
-                                  double* cost_out) {
-  const double supply = a.TotalWeight();
-  const double demand = b.TotalWeight();
-  // Requesting min(W, W') units enforces Eq. 11 (partial matching).
-  const double amount = std::min(supply, demand);
-  BuildNetwork(a, b);
-
+void EmdWorkspace::DijkstraDense() {
+  // Dense O(n^2) selection: the network is complete bipartite and, at the
+  // paper's signature sizes, tiny — a branch-light scan beats a heap. The
+  // strict `<` makes the lowest-index node win among equal distances, which
+  // reproduces the reference heap's (distance, node) pop order exactly,
+  // augmentation for augmentation.
   const std::size_t supply_base = k_;
   const std::size_t demand_base = k_ + k_ * (l_ + 1);
   const std::size_t sink_base = demand_base + l_ * (k_ + 1);
   const std::size_t source = 0;
   const std::size_t sink = nodes_ - 1;
   const double inf = std::numeric_limits<double>::infinity();
+  std::fill(visited_.begin(), visited_.begin() + nodes_, 0);
+  for (;;) {
+    std::size_t u = nodes_;
+    double best = inf;
+    for (std::size_t v = 0; v < nodes_; ++v) {
+      if (!visited_[v] && dist_[v] < best) {
+        best = dist_[v];
+        u = v;
+      }
+    }
+    if (u == nodes_) break;  // Remaining nodes are unreachable.
+    visited_[u] = 1;
+    std::size_t begin;
+    std::size_t end;
+    if (u == source) {
+      begin = 0;
+      end = k_;
+    } else if (u <= k_) {
+      begin = supply_base + (u - 1) * (l_ + 1);
+      end = begin + l_ + 1;
+    } else if (u < sink) {
+      begin = demand_base + (u - 1 - k_) * (k_ + 1);
+      end = begin + k_ + 1;
+    } else {
+      begin = sink_base;
+      end = arcs_;
+    }
+    const double du = dist_[u];
+    const double pu = potential_[u];
+    for (std::size_t e = begin; e < end; ++e) {
+      if (arc_cap_[e] <= kFlowEpsilon) continue;
+      const std::size_t to = arc_to_[e];
+      // Reduced cost; clamp tiny negatives from floating-point noise.
+      double rc = arc_cost_[e] + pu - potential_[to];
+      if (rc < 0.0) rc = 0.0;
+      const double nd = du + rc;
+      if (nd + kFlowEpsilon < dist_[to]) {
+        dist_[to] = nd;
+        prev_node_[to] = u;
+        prev_arc_[to] = e;
+      }
+    }
+  }
+}
+
+void EmdWorkspace::HeapSiftUp(std::size_t pos) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!HeapLess(heap_[pos], heap_[parent])) break;
+    std::swap(heap_[pos], heap_[parent]);
+    heap_pos_[heap_[pos]] = pos + 1;
+    heap_pos_[heap_[parent]] = parent + 1;
+    pos = parent;
+  }
+}
+
+void EmdWorkspace::HeapSiftDown(std::size_t pos) {
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= heap_size_) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, heap_size_);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (HeapLess(heap_[c], heap_[best])) best = c;
+    }
+    if (!HeapLess(heap_[best], heap_[pos])) break;
+    std::swap(heap_[pos], heap_[best]);
+    heap_pos_[heap_[pos]] = pos + 1;
+    heap_pos_[heap_[best]] = best + 1;
+    pos = best;
+  }
+}
+
+void EmdWorkspace::DijkstraHeap() {
+  // Indexed 4-ary heap with decrease-key, keyed by the exact (dist, node)
+  // pairs the dense scan minimizes. At any step the heap holds precisely the
+  // unvisited nodes with finite tentative distance (a node enters when first
+  // relaxed, leaves when popped; a popped node can never be relaxed again
+  // because reduced costs are clamped >= 0, so nd >= du >= its final dist).
+  // The pop sequence — and therefore every relaxation, prev pointer, and
+  // augmentation downstream — is bitwise-identical to DijkstraDense; only
+  // the selection cost changes. 4-ary beats binary here: sift-downs touch
+  // one cache line of children per level and the tree is half as deep.
+  const std::size_t supply_base = k_;
+  const std::size_t demand_base = k_ + k_ * (l_ + 1);
+  const std::size_t sink_base = demand_base + l_ * (k_ + 1);
+  const std::size_t source = 0;
+  const std::size_t sink = nodes_ - 1;
+  std::fill(heap_pos_.begin(), heap_pos_.begin() + nodes_, 0);
+  heap_[0] = source;
+  heap_pos_[source] = 1;
+  heap_size_ = 1;
+  while (heap_size_ > 0) {
+    const std::size_t u = heap_[0];
+    heap_pos_[u] = 0;
+    --heap_size_;
+    if (heap_size_ > 0) {
+      heap_[0] = heap_[heap_size_];
+      heap_pos_[heap_[0]] = 1;
+      HeapSiftDown(0);
+    }
+    std::size_t begin;
+    std::size_t end;
+    if (u == source) {
+      begin = 0;
+      end = k_;
+    } else if (u <= k_) {
+      begin = supply_base + (u - 1) * (l_ + 1);
+      end = begin + l_ + 1;
+    } else if (u < sink) {
+      begin = demand_base + (u - 1 - k_) * (k_ + 1);
+      end = begin + k_ + 1;
+    } else {
+      begin = sink_base;
+      end = arcs_;
+    }
+    const double du = dist_[u];
+    const double pu = potential_[u];
+    for (std::size_t e = begin; e < end; ++e) {
+      if (arc_cap_[e] <= kFlowEpsilon) continue;
+      const std::size_t to = arc_to_[e];
+      // Identical relaxation to the dense scan, plus the heap bookkeeping.
+      double rc = arc_cost_[e] + pu - potential_[to];
+      if (rc < 0.0) rc = 0.0;
+      const double nd = du + rc;
+      if (nd + kFlowEpsilon < dist_[to]) {
+        dist_[to] = nd;
+        prev_node_[to] = u;
+        prev_arc_[to] = e;
+        if (heap_pos_[to] != 0) {
+          HeapSiftUp(heap_pos_[to] - 1);  // Decrease-key.
+        } else {
+          heap_[heap_size_] = to;
+          heap_pos_[to] = heap_size_ + 1;
+          ++heap_size_;
+          HeapSiftUp(heap_size_ - 1);
+        }
+      }
+    }
+  }
+}
+
+Status EmdWorkspace::SolveNetwork(SignatureView a, SignatureView b,
+                                  const double* cost_block,
+                                  std::size_t cost_stride, double* emd_out,
+                                  double* total_flow_out, double* cost_out) {
+  const double supply = a.TotalWeight();
+  const double demand = b.TotalWeight();
+  // Requesting min(W, W') units enforces Eq. 11 (partial matching).
+  const double amount = std::min(supply, demand);
+  BuildNetwork(a, b, cost_block, cost_stride);
+
+  const std::size_t source = 0;
+  const std::size_t sink = nodes_ - 1;
+  const double inf = std::numeric_limits<double>::infinity();
+  // Both strategies pop the same (dist, node) order — the heap just pays
+  // O(log n) per pop instead of an O(n) scan, which wins once the network
+  // outgrows the paper's typical signature sizes.
+  const bool use_heap = heap_threshold_ != 0 && k_ + l_ >= heap_threshold_;
 
   double flow = 0.0;
   double cost = 0.0;
@@ -240,55 +424,13 @@ Status EmdWorkspace::SolveNetwork(SignatureView a, SignatureView b,
     double remaining = amount;
     while (remaining > kFlowEpsilon) {
       // Dijkstra on reduced costs cost + h[u] - h[v] (all >= 0 by
-      // induction), as a dense scan: the network is complete bipartite and
-      // tiny, so an O(n^2) selection beats a binary heap — and selecting the
-      // lowest-index node among equal distances reproduces the reference
-      // heap's (distance, node) pop order exactly, augmentation for
-      // augmentation.
+      // induction).
       std::fill(dist_.begin(), dist_.begin() + nodes_, inf);
-      std::fill(visited_.begin(), visited_.begin() + nodes_, 0);
       dist_[source] = 0.0;
-      for (;;) {
-        std::size_t u = nodes_;
-        double best = inf;
-        for (std::size_t v = 0; v < nodes_; ++v) {
-          if (!visited_[v] && dist_[v] < best) {
-            best = dist_[v];
-            u = v;
-          }
-        }
-        if (u == nodes_) break;  // Remaining nodes are unreachable.
-        visited_[u] = 1;
-        std::size_t begin;
-        std::size_t end;
-        if (u == source) {
-          begin = 0;
-          end = k_;
-        } else if (u <= k_) {
-          begin = supply_base + (u - 1) * (l_ + 1);
-          end = begin + l_ + 1;
-        } else if (u < sink) {
-          begin = demand_base + (u - 1 - k_) * (k_ + 1);
-          end = begin + k_ + 1;
-        } else {
-          begin = sink_base;
-          end = arcs_;
-        }
-        const double du = dist_[u];
-        const double pu = potential_[u];
-        for (std::size_t e = begin; e < end; ++e) {
-          if (arc_cap_[e] <= kFlowEpsilon) continue;
-          const std::size_t to = arc_to_[e];
-          // Reduced cost; clamp tiny negatives from floating-point noise.
-          double rc = arc_cost_[e] + pu - potential_[to];
-          if (rc < 0.0) rc = 0.0;
-          const double nd = du + rc;
-          if (nd + kFlowEpsilon < dist_[to]) {
-            dist_[to] = nd;
-            prev_node_[to] = u;
-            prev_arc_[to] = e;
-          }
-        }
+      if (use_heap) {
+        DijkstraHeap();
+      } else {
+        DijkstraDense();
       }
       if (!std::isfinite(dist_[sink])) {
         return Status::Invalid(
@@ -339,6 +481,10 @@ std::size_t EmdWorkspace::retained_bytes() const {
   bytes += prev_node_.capacity() * sizeof(std::size_t);
   bytes += prev_arc_.capacity() * sizeof(std::size_t);
   bytes += visited_.capacity() * sizeof(char);
+  bytes += heap_.capacity() * sizeof(std::size_t);
+  bytes += heap_pos_.capacity() * sizeof(std::size_t);
+  bytes += batch_cost_.capacity() * sizeof(double);
+  bytes += batch_off_.capacity() * sizeof(std::size_t);
   return bytes;
 }
 
@@ -364,6 +510,10 @@ void EmdWorkspace::ReleaseBuffers() {
   std::vector<std::size_t>().swap(prev_node_);
   std::vector<std::size_t>().swap(prev_arc_);
   std::vector<char>().swap(visited_);
+  std::vector<std::size_t>().swap(heap_);
+  std::vector<std::size_t>().swap(heap_pos_);
+  std::vector<double>().swap(batch_cost_);
+  std::vector<std::size_t>().swap(batch_off_);
   k_ = 0;
   l_ = 0;
   nodes_ = 0;
@@ -376,7 +526,8 @@ Result<double> EmdWorkspace::Compute(SignatureView a, SignatureView b,
   double emd = 0.0;
   double total_flow = 0.0;
   double cost = 0.0;
-  BAGCPD_RETURN_NOT_OK(SolveNetwork(a, b, &emd, &total_flow, &cost));
+  BAGCPD_RETURN_NOT_OK(SolveNetwork(a, b, cost_matrix_.data(), l_, &emd,
+                                    &total_flow, &cost));
   return emd;
 }
 
@@ -386,15 +537,174 @@ Result<double> EmdWorkspace::Compute(SignatureView a, SignatureView b,
   double emd = 0.0;
   double total_flow = 0.0;
   double cost = 0.0;
-  BAGCPD_RETURN_NOT_OK(SolveNetwork(a, b, &emd, &total_flow, &cost));
+  BAGCPD_RETURN_NOT_OK(SolveNetwork(a, b, cost_matrix_.data(), l_, &emd,
+                                    &total_flow, &cost));
   return emd;
+}
+
+Status EmdWorkspace::ComputeBatch(const SignatureView* as,
+                                  const SignatureView* bs, std::size_t count,
+                                  GroundDistance ground, double* out) {
+  // Detect dynamically-shared operands (a span built from repeated views)
+  // so callers that materialize pair lists still get the hoisted fills.
+  const auto aliases = [](const SignatureView& x, const SignatureView& y) {
+    return x.centers_data() == y.centers_data() &&
+           x.weights_data() == y.weights_data() && x.size() == y.size() &&
+           x.dim() == y.dim();
+  };
+  bool same_a = count > 0;
+  bool same_b = count > 0;
+  for (std::size_t p = 1; p < count && (same_a || same_b); ++p) {
+    same_a = same_a && aliases(as[p], as[0]);
+    same_b = same_b && aliases(bs[p], bs[0]);
+  }
+  return ComputeBatchImpl(as, same_a ? 0 : 1, bs, same_b ? 0 : 1, count,
+                          ground, out);
+}
+
+Status EmdWorkspace::ComputeBatch(SignatureView a, const SignatureView* bs,
+                                  std::size_t count, GroundDistance ground,
+                                  double* out) {
+  return ComputeBatchImpl(&a, 0, bs, 1, count, ground, out);
+}
+
+Status EmdWorkspace::ComputeBatch(const SignatureView* as, std::size_t count,
+                                  SignatureView b, GroundDistance ground,
+                                  double* out) {
+  return ComputeBatchImpl(as, 1, &b, 0, count, ground, out);
+}
+
+Status EmdWorkspace::ComputeBatchImpl(const SignatureView* as,
+                                      std::size_t as_stride,
+                                      const SignatureView* bs,
+                                      std::size_t bs_stride, std::size_t count,
+                                      GroundDistance ground, double* out) {
+  if (count == 0) return Status::OK();
+  // Validate every pair up front, in pair order (a before b within a pair,
+  // shared operands once at their first appearance) — the first error is
+  // exactly the one the serial per-pair loop would surface. Shape maxima
+  // and the flat cost-block offsets fall out of the same scan.
+  std::size_t max_k = 0;
+  std::size_t max_l = 0;
+  std::size_t total_cost = 0;
+  for (std::size_t p = 0; p < count; ++p) {
+    const SignatureView& a = as[p * as_stride];
+    const SignatureView& b = bs[p * bs_stride];
+    if (as_stride != 0 || p == 0) BAGCPD_RETURN_NOT_OK(a.Validate());
+    if (bs_stride != 0 || p == 0) BAGCPD_RETURN_NOT_OK(b.Validate());
+    if (a.dim() != b.dim()) {
+      return Status::Invalid("signatures have different dimensions");
+    }
+    max_k = std::max(max_k, a.size());
+    max_l = std::max(max_l, b.size());
+    total_cost += a.size() * b.size();
+  }
+  LayoutShape(max_k, max_l);
+  Ensure(&batch_cost_, total_cost);
+  Ensure(&batch_off_, count + 1);
+
+  // Fill phase. batch_off_[p] addresses pair p's cost block: with a shared
+  // left operand it is a COLUMN offset into one wide row-major
+  // (k x sum L_p) matrix filled in a single kernel pass; otherwise it is a
+  // flat offset to a contiguous (K_p x L_p) block.
+  const bool shared_left = as_stride == 0;
+  std::size_t wide_l = 0;
+  if (shared_left) {
+    const std::size_t d = as->dim();
+    const std::size_t k = as->size();
+    wide_l = total_cost / k;
+    Ensure(&b_transposed_, d * wide_l);
+    double* bt = b_transposed_.data();
+    std::size_t off = 0;
+    for (std::size_t p = 0; p < count; ++p) {
+      const SignatureView& b = bs[p * bs_stride];
+      const double* bc = b.centers_data();
+      const std::size_t l = b.size();
+      batch_off_[p] = off;
+      for (std::size_t j = 0; j < l; ++j) {
+        for (std::size_t t = 0; t < d; ++t) {
+          bt[t * wide_l + off + j] = bc[j * d + t];
+        }
+      }
+      off += l;
+    }
+    batch_off_[count] = off;
+    // ONE vectorized pass fills every pair's K x L_p cost matrix: each wide
+    // row is the concatenation of the per-pair rows, and FillCostBlock's
+    // per-entry arithmetic is width-invariant (see its comment).
+    FillCostBlock(as->centers_data(), k, d, bt, wide_l, ground,
+                  batch_cost_.data());
+  } else {
+    const double* shared_bt = nullptr;
+    if (bs_stride == 0) {
+      // Shared right operand (the detector's rolling-table shape):
+      // transpose B once, reuse it for every pair's fill.
+      const std::size_t d = bs->dim();
+      const std::size_t l = bs->size();
+      Ensure(&b_transposed_, d * l);
+      double* bt = b_transposed_.data();
+      const double* bc = bs->centers_data();
+      for (std::size_t j = 0; j < l; ++j) {
+        for (std::size_t t = 0; t < d; ++t) {
+          bt[t * l + j] = bc[j * d + t];
+        }
+      }
+      shared_bt = bt;
+    }
+    std::size_t off = 0;
+    for (std::size_t p = 0; p < count; ++p) {
+      const SignatureView& a = as[p * as_stride];
+      const SignatureView& b = bs[p * bs_stride];
+      const std::size_t d = a.dim();
+      const std::size_t l = b.size();
+      batch_off_[p] = off;
+      const double* bt = shared_bt;
+      if (bt == nullptr) {
+        Ensure(&b_transposed_, d * l);
+        double* scratch = b_transposed_.data();
+        const double* bc = b.centers_data();
+        for (std::size_t j = 0; j < l; ++j) {
+          for (std::size_t t = 0; t < d; ++t) {
+            scratch[t * l + j] = bc[j * d + t];
+          }
+        }
+        bt = scratch;
+      }
+      FillCostBlock(a.centers_data(), a.size(), d, bt, l, ground,
+                    batch_cost_.data() + off);
+      off += a.size() * l;
+    }
+    batch_off_[count] = off;
+  }
+
+  // Entry validation then solve, pair by pair in order — identical error
+  // surfacing to the serial loop. The network/Dijkstra scratch is already
+  // sized to the batch maxima, so per-pair LayoutShape never allocates; the
+  // potentials are re-zeroed inside SolveNetwork for every pair (value
+  // warm-starting would change augmentation order and break the bitwise
+  // guarantee — only the scratch is warm).
+  for (std::size_t p = 0; p < count; ++p) {
+    const SignatureView& a = as[p * as_stride];
+    const SignatureView& b = bs[p * bs_stride];
+    const double* cost = batch_cost_.data() + batch_off_[p];
+    const std::size_t stride = shared_left ? wide_l : b.size();
+    BAGCPD_RETURN_NOT_OK(ValidateCostBlock(cost, a.size(), b.size(), stride));
+    LayoutShape(a.size(), b.size());
+    double emd = 0.0;
+    double total_flow = 0.0;
+    double path_cost = 0.0;
+    BAGCPD_RETURN_NOT_OK(
+        SolveNetwork(a, b, cost, stride, &emd, &total_flow, &path_cost));
+    out[p] = emd;
+  }
+  return Status::OK();
 }
 
 Result<EmdSolution> EmdWorkspace::SolveDetailed(SignatureView a,
                                                 SignatureView b) {
   EmdSolution out;
-  BAGCPD_RETURN_NOT_OK(SolveNetwork(a, b, &out.emd, &out.total_flow,
-                                    &out.cost));
+  BAGCPD_RETURN_NOT_OK(SolveNetwork(a, b, cost_matrix_.data(), l_, &out.emd,
+                                    &out.total_flow, &out.cost));
   // The optimal flow on transport arc (i, j) is the residual capacity of its
   // reverse arc, exactly what the reference FlowOn() reads back.
   out.flow = Matrix(k_, l_);

@@ -11,15 +11,32 @@
 //    arrays, and the K x L ground-distance matrix. Buffers grow
 //    monotonically, so steady-state solves perform ZERO heap allocations
 //    (allocation_count() exposes the growth counter the perf gate pins).
-//  * The EMD network is complete bipartite and tiny (K + L + 2 nodes), so
-//    Dijkstra runs as a dense O(n^2) scan with index-ordered tie-breaking —
-//    no heap, no per-entry allocations, and the exact processing order of
-//    the reference heap (which pops (dist, node) pairs, i.e. breaks distance
-//    ties by node index). Every augmentation therefore reproduces the
-//    reference augmentation sequence — and every rounding — bit for bit.
+//  * The EMD network is complete bipartite and tiny (K + L + 2 nodes) at the
+//    paper's signature sizes, so Dijkstra runs as a dense O(n^2) scan with
+//    index-ordered tie-breaking — no heap, no per-entry allocations, and the
+//    exact processing order of the reference heap (which pops (dist, node)
+//    pairs, i.e. breaks distance ties by node index). Every augmentation
+//    therefore reproduces the reference augmentation sequence — and every
+//    rounding — bit for bit.
+//  * Past a measured node-count crossover (large-K workloads: graph
+//    features, high-dimensional bags-of-features), the same scratch runs an
+//    indexed 4-ary heap with decrease-key instead. Its keys are the
+//    (dist, node) pairs the dense scan minimizes, so the pop order — and
+//    therefore every relaxation, augmentation, and rounding — is STILL
+//    bitwise-identical to the dense scan; only the selection cost drops from
+//    O(n) per pop to O(log n). The crossover is heap_threshold() (K + L;
+//    0 = always dense), default kDefaultEmdHeapAt.
 //  * A batched ground-distance kernel fills the cost matrix directly from
 //    the two packed signature buffers, dispatching ONCE on the
 //    GroundDistance enum instead of through a GroundDistanceFn per arc.
+//  * ComputeBatch solves a span of (A, B) pairs in one call: shared operands
+//    are detected (the detector's rolling-table refill shares its newest
+//    signature; the matrix helpers share a row signature), the shared side's
+//    transpose is hoisted out of the per-pair fill — one vectorized pass
+//    over all K x L cost matrices per shared left signature — and the
+//    potentials/dist/prev/heap scratch is reused across pairs without
+//    re-allocation. Every per-pair value is bitwise-identical to the
+//    corresponding serial Compute call.
 //
 // Ownership rules (see README "Performance"): a BagStreamDetector owns one
 // workspace for its serial scoring path; batch entry points
@@ -41,6 +58,16 @@
 #include "bagcpd/signature/signature.h"
 
 namespace bagcpd {
+
+/// \brief Default K+L crossover at which the exact solver's Dijkstra switches
+/// from the dense O(n^2) scan to the indexed 4-ary heap. Measured with
+/// bench/micro_emd's large-K sweep on the reference container: the two tie
+/// around K + L = 24, the heap wins ~12% by 48 and ~35% by 128, and the dense
+/// scan's branch-free selection only wins below ~16 total clusters — so 32 is
+/// the first clearly-winning point with margin above the tie. Both produce
+/// bitwise-identical results — the threshold only trades selection cost.
+/// 0 disables the heap entirely.
+inline constexpr std::size_t kDefaultEmdHeapAt = 32;
 
 /// \brief Reusable, allocation-free-in-steady-state EMD transport solver.
 ///
@@ -78,6 +105,29 @@ class EmdWorkspace {
   Result<EmdSolution> ComputeDetailed(SignatureView a, SignatureView b,
                                       GroundDistance ground);
 
+  /// \brief Solves `count` signature pairs in one call: `out[p]` is
+  /// bitwise-identical to `Compute(as[p], bs[p], ground)`. Shared operands
+  /// across the span are detected and their transpose/validation hoisted out
+  /// of the per-pair loop; all scratch (cost block, network, Dijkstra state)
+  /// is reused across pairs, so steady-state batches allocate nothing. On
+  /// error the batch stops at the first failing pair (pair order, then the
+  /// same row-major entry order as the serial path) and `out` is only
+  /// partially written.
+  Status ComputeBatch(const SignatureView* as, const SignatureView* bs,
+                      std::size_t count, GroundDistance ground, double* out);
+
+  /// \brief Shared-left convenience: `out[p]` == `Compute(a, bs[p], ground)`.
+  /// All cost matrices are filled in ONE vectorized pass over a concatenated
+  /// (d x sum L_p) transposed demand block.
+  Status ComputeBatch(SignatureView a, const SignatureView* bs,
+                      std::size_t count, GroundDistance ground, double* out);
+
+  /// \brief Shared-right convenience: `out[p]` == `Compute(as[p], b, ground)`
+  /// — the detector's rolling-table shape, where the newest window signature
+  /// is the right operand of every new solve. B is transposed once.
+  Status ComputeBatch(const SignatureView* as, std::size_t count,
+                      SignatureView b, GroundDistance ground, double* out);
+
   /// \brief Validates the pair and fills the K x L ground-distance matrix
   /// through the batched vectorized kernel WITHOUT building the flow
   /// network. The approximate solvers (emd/approx/) run their iterations
@@ -93,6 +143,14 @@ class EmdWorkspace {
 
   /// \brief Number of successful solves since construction.
   std::uint64_t solve_count() const { return solve_count_; }
+
+  /// \brief K+L at or above which SolveNetwork selects the indexed 4-ary
+  /// heap Dijkstra instead of the dense O(n^2) scan. 0 forces the dense scan
+  /// always (today's behavior, bit-for-bit — though the heap is also
+  /// bitwise-identical by construction). Exposed through
+  /// EmdSolverOptions::heap_at / the `emd-heap-at=` spec key.
+  void set_heap_threshold(std::size_t k_plus_l) { heap_threshold_ = k_plus_l; }
+  std::size_t heap_threshold() const { return heap_threshold_; }
 
   /// \brief Number of buffer growths since construction. Once the workspace
   /// has seen the largest (K, L) of its call site, this stops moving —
@@ -136,15 +194,45 @@ class EmdWorkspace {
   // Builds the CSR residual network (arc order identical to the MinCostFlow
   // reference construction) and runs successive shortest augmenting paths
   // for min(total weights) units. On success `emd_out` is Eq. 12's value and
-  // the residual arc capacities hold the optimal flow.
-  Status SolveNetwork(SignatureView a, SignatureView b, double* emd_out,
+  // the residual arc capacities hold the optimal flow. `cost` points at the
+  // k_ x l_ ground-distance block with `cost_stride` doubles between rows
+  // (the batched shared-left fill stores all pairs in one wide matrix).
+  Status SolveNetwork(SignatureView a, SignatureView b, const double* cost,
+                      std::size_t cost_stride, double* emd_out,
                       double* total_flow_out, double* cost_out);
 
   // SolveNetwork plus extraction of the optimal flow matrix (the shared
   // tail of both ComputeDetailed overloads; Prepare must have run).
   Result<EmdSolution> SolveDetailed(SignatureView a, SignatureView b);
 
-  void BuildNetwork(SignatureView a, SignatureView b);
+  void BuildNetwork(SignatureView a, SignatureView b, const double* cost,
+                    std::size_t cost_stride);
+
+  // One Dijkstra over the residual network from the source, filling
+  // dist_/prev_node_/prev_arc_. The two selection strategies pop the exact
+  // same (dist, node)-lexicographic order, so they are interchangeable
+  // bit for bit; SolveNetwork picks by heap_threshold_.
+  void DijkstraDense();
+  void DijkstraHeap();
+
+  // Indexed 4-ary min-heap primitives over heap_ (node ids) keyed by
+  // (dist_[node], node); heap_pos_[node] is position + 1, 0 = absent.
+  bool HeapLess(std::size_t u, std::size_t v) const {
+    return dist_[u] < dist_[v] || (dist_[u] == dist_[v] && u < v);
+  }
+  void HeapSiftUp(std::size_t pos);
+  void HeapSiftDown(std::size_t pos);
+
+  // Sets the (k, l) shape and sizes every network/Dijkstra buffer (but not
+  // the cost/transpose blocks, which the batch paths manage separately).
+  void LayoutShape(std::size_t k, std::size_t l);
+
+  // Shared implementation behind the three public ComputeBatch overloads.
+  // A stride of 0 means "every pair uses *as / *bs" (shared operand).
+  Status ComputeBatchImpl(const SignatureView* as, std::size_t as_stride,
+                          const SignatureView* bs, std::size_t bs_stride,
+                          std::size_t count, GroundDistance ground,
+                          double* out);
 
   // Grows `v` to at least `count` elements (never shrinks), counting real
   // reallocations into allocation_count_.
@@ -167,13 +255,25 @@ class EmdWorkspace {
   std::vector<double> arc_cap_;
   std::vector<double> arc_cost_;
 
-  // Dense Dijkstra + potentials scratch (nodes_ entries in use).
+  // Dijkstra + potentials scratch (nodes_ entries in use).
   std::vector<double> dist_;
   std::vector<double> potential_;
   std::vector<std::size_t> prev_node_;
   std::vector<std::size_t> prev_arc_;
   std::vector<char> visited_;
 
+  // Indexed 4-ary heap scratch (large-K selection; see DijkstraHeap).
+  std::vector<std::size_t> heap_;      // Node ids in heap order.
+  std::vector<std::size_t> heap_pos_;  // node -> heap position + 1; 0 = out.
+  std::size_t heap_size_ = 0;
+
+  // Multi-pair batch scratch: one flat cost block for all pairs (wide
+  // row-major k x sum(L_p) for shared-left, per-pair contiguous otherwise)
+  // plus the per-pair offsets into it.
+  std::vector<double> batch_cost_;
+  std::vector<std::size_t> batch_off_;
+
+  std::size_t heap_threshold_ = kDefaultEmdHeapAt;
   std::uint64_t solve_count_ = 0;
   std::uint64_t allocation_count_ = 0;
   std::size_t retained_byte_ceiling_ = 0;  // 0 = never shrink.

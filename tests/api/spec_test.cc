@@ -189,6 +189,54 @@ TEST(DetectorSpecTest, EmdKeyRoundTripsCanonically) {
             DetectorSpec().Emd("sinkhorn").ToKeyValues());
 }
 
+TEST(DetectorSpecTest, EmdHeapAtKeyParsesAndRoundTrips) {
+  // Default crossover is in the canonical echo and survives a round trip.
+  const std::string base = DetectorSpec().ToKeyValues();
+  EXPECT_NE(base.find("emd-heap-at=" + std::to_string(kDefaultEmdHeapAt)),
+            std::string::npos)
+      << base;
+
+  Result<DetectorSpec> parsed = DetectorSpec::FromKeyValues("emd-heap-at=64");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Build().ValueOrDie().emd.heap_at, 64u);
+  EXPECT_NE(parsed->ToKeyValues().find("emd-heap-at=64"), std::string::npos);
+  Result<DetectorSpec> reparsed =
+      DetectorSpec::FromKeyValues(parsed->ToKeyValues());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToKeyValues(), parsed->ToKeyValues());
+
+  // 0 = always the dense scan; the fluent setter agrees with the text form.
+  Result<DetectorSpec> dense = DetectorSpec::FromKeyValues("emd-heap-at=0");
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense->Build().ValueOrDie().emd.heap_at, 0u);
+  EXPECT_EQ(DetectorSpec().EmdHeapAt(64).ToKeyValues(),
+            parsed->ToKeyValues());
+
+  // Negative and malformed values are rejected with the numeric-key message.
+  Result<DetectorSpec> negative =
+      DetectorSpec::FromKeyValues("emd-heap-at=-1");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().message().find("a non-negative integer"),
+            std::string::npos)
+      << negative.status().ToString();
+  EXPECT_FALSE(DetectorSpec::FromKeyValues("emd-heap-at=abc").ok());
+
+  // The crossover is independent of the emd= key: setting either before or
+  // after the other preserves both (key-order independence).
+  Result<DetectorSpec> before =
+      DetectorSpec::FromKeyValues("emd-heap-at=96,emd=sinkhorn:0.1");
+  Result<DetectorSpec> after =
+      DetectorSpec::FromKeyValues("emd=sinkhorn:0.1,emd-heap-at=96");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->ToKeyValues(), after->ToKeyValues());
+  EXPECT_EQ(before->Build().ValueOrDie().emd.heap_at, 96u);
+  EXPECT_EQ(before->Build().ValueOrDie().emd.kind, EmdSolverKind::kSinkhorn);
+  // Likewise the fluent Emd(string) overload.
+  EXPECT_EQ(DetectorSpec().EmdHeapAt(96).Emd("sinkhorn:0.1").ToKeyValues(),
+            before->ToKeyValues());
+}
+
 TEST(DetectorSpecTest, FluentStringErrorSurfacesAtBuild) {
   const DetectorSpec spec = DetectorSpec().Quantizer("nope").Tau(5);
   Result<DetectorOptions> built = spec.Build();

@@ -18,6 +18,8 @@
 #include "bagcpd/core/detector.h"
 #include "bagcpd/core/scores.h"
 #include "bagcpd/data/gmm.h"
+#include "bagcpd/emd/approx/emd_solver.h"
+#include "bagcpd/emd/approx/options.h"
 #include "bagcpd/emd/emd.h"
 #include "bagcpd/emd/min_cost_flow.h"
 #include "bagcpd/signature/builder.h"
@@ -361,6 +363,321 @@ TEST(TransportSolverTest, RetainedByteCeilingPolicy) {
             value);
   EXPECT_GT(workspace.allocation_count(), allocs);
   EXPECT_EQ(workspace.retained_bytes(), footprint);
+}
+
+TEST(TransportSolverTest, HeapDijkstraMatchesDenseBitwise) {
+  // The 4-ary-heap Dijkstra (forced via threshold 1) against the dense scan
+  // (threshold 0): every augmentation must pop the same (dist, node)
+  // sequence, so EMD, cost, total flow, AND the full flow matrix must agree
+  // to the last bit on balanced, unbalanced, and rectangular instances.
+  Rng rng(808);
+  const GroundDistanceFn euclid =
+      MakeGroundDistance(GroundDistance::kEuclidean);
+  EmdWorkspace dense;
+  dense.set_heap_threshold(0);
+  EmdWorkspace heap;
+  heap.set_heap_threshold(1);
+  for (const auto& [k, l] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 2}, {3, 7}, {16, 5}, {24, 24}, {40, 17}, {33, 64}}) {
+    for (const double scale : {1.0, 16.0}) {
+      const Signature a = RandomSignature(&rng, k, 3);
+      const Signature b = RandomSignature(&rng, l, 3, scale);
+      const EmdSolution d = dense.ComputeDetailed(a, b, euclid).ValueOrDie();
+      const EmdSolution h = heap.ComputeDetailed(a, b, euclid).ValueOrDie();
+      ExpectBitwiseEqual(d, h,
+                         "k=" + std::to_string(k) + " l=" + std::to_string(l) +
+                             " scale=" + std::to_string(scale));
+    }
+  }
+}
+
+TEST(TransportSolverTest, HeapDijkstraMatchesDenseOnTieHeavyInstances) {
+  // Centers drawn from a tiny integer grid under Manhattan distance: most
+  // arcs share one of a handful of exact costs, so Dijkstra hits equal-dist
+  // ties on nearly every pop. The dense scan resolves them lowest-index-
+  // first (strict < over the linear sweep); the heap's (dist, node) keys
+  // must reproduce that order exactly, or some flow lands on a different
+  // equal-cost arc and the flow matrix diverges.
+  Rng rng(818);
+  auto grid_signature = [&rng](std::size_t n) {
+    Signature s;
+    for (std::size_t i = 0; i < n; ++i) {
+      Point c(2);
+      for (double& v : c) v = std::floor(rng.Uniform(0.0, 3.0));  // {0,1,2}
+      s.AddCenter(c, 1.0);
+    }
+    return s;
+  };
+  const GroundDistanceFn manhattan =
+      MakeGroundDistance(GroundDistance::kManhattan);
+  EmdWorkspace dense;
+  dense.set_heap_threshold(0);
+  EmdWorkspace heap;
+  heap.set_heap_threshold(1);
+  for (const std::size_t n :
+       {std::size_t{4}, std::size_t{12}, std::size_t{30}}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const Signature a = grid_signature(n);
+      const Signature b = grid_signature(n + 3);
+      const EmdSolution d =
+          dense.ComputeDetailed(a, b, manhattan).ValueOrDie();
+      const EmdSolution h = heap.ComputeDetailed(a, b, manhattan).ValueOrDie();
+      ExpectBitwiseEqual(d, h,
+                         "tie-heavy n=" + std::to_string(n) + " trial=" +
+                             std::to_string(trial));
+    }
+  }
+}
+
+TEST(TransportSolverTest, HeapPathAllocationCounterFreezes) {
+  // The heap arrays are part of the workspace working set: after one warm-up
+  // solve per shape on the forced-heap path, replaying the shapes must not
+  // move allocation_count() at all.
+  Rng rng(828);
+  std::vector<std::pair<Signature, Signature>> pairs;
+  for (const std::size_t k :
+       {std::size_t{3}, std::size_t{11}, std::size_t{26}}) {
+    pairs.emplace_back(RandomSignature(&rng, k, 2),
+                       RandomSignature(&rng, 29 - k, 2));
+  }
+  EmdWorkspace workspace;
+  workspace.set_heap_threshold(1);  // Every solve through the heap.
+  std::vector<double> warm;
+  for (const auto& [a, b] : pairs) {
+    warm.push_back(
+        workspace.Compute(a, b, GroundDistance::kEuclidean).ValueOrDie());
+  }
+  const std::uint64_t pinned = workspace.allocation_count();
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      EXPECT_EQ(workspace
+                    .Compute(pairs[p].first, pairs[p].second,
+                             GroundDistance::kEuclidean)
+                    .ValueOrDie(),
+                warm[p]);
+    }
+  }
+  EXPECT_EQ(workspace.allocation_count(), pinned);
+}
+
+TEST(TransportSolverTest, ComputeBatchMatchesPerPairBitwise) {
+  // All three overloads against the per-pair loop, on every ground distance.
+  Rng rng(838);
+  EmdWorkspace workspace;
+  EmdWorkspace reference;
+  for (const GroundDistance ground :
+       {GroundDistance::kEuclidean, GroundDistance::kSquaredEuclidean,
+        GroundDistance::kManhattan}) {
+    // Distinct pairs with varying shapes (the general overload).
+    std::vector<Signature> a_store;
+    std::vector<Signature> b_store;
+    for (const std::size_t k :
+         {std::size_t{2}, std::size_t{5}, std::size_t{9}, std::size_t{17}}) {
+      a_store.push_back(RandomSignature(&rng, k, 2));
+      b_store.push_back(RandomSignature(&rng, 19 - k, 2, 4.0));
+    }
+    std::vector<SignatureView> as(a_store.begin(), a_store.end());
+    std::vector<SignatureView> bs(b_store.begin(), b_store.end());
+    std::vector<double> batch(as.size());
+    ASSERT_TRUE(workspace
+                    .ComputeBatch(as.data(), bs.data(), as.size(), ground,
+                                  batch.data())
+                    .ok());
+    for (std::size_t p = 0; p < as.size(); ++p) {
+      EXPECT_EQ(batch[p],
+                reference.Compute(as[p], bs[p], ground).ValueOrDie())
+          << "general p=" << p;
+    }
+
+    // Shared left: one row of a cross-distance matrix.
+    const Signature shared = RandomSignature(&rng, 7, 2);
+    ASSERT_TRUE(workspace
+                    .ComputeBatch(SignatureView(shared), bs.data(), bs.size(),
+                                  ground, batch.data())
+                    .ok());
+    for (std::size_t p = 0; p < bs.size(); ++p) {
+      EXPECT_EQ(batch[p],
+                reference.Compute(shared, bs[p], ground).ValueOrDie())
+          << "shared-left p=" << p;
+    }
+
+    // Shared right: the detector's rolling-step shape (olders vs newest).
+    ASSERT_TRUE(workspace
+                    .ComputeBatch(as.data(), as.size(), SignatureView(shared),
+                                  ground, batch.data())
+                    .ok());
+    for (std::size_t p = 0; p < as.size(); ++p) {
+      EXPECT_EQ(batch[p],
+                reference.Compute(as[p], shared, ground).ValueOrDie())
+          << "shared-right p=" << p;
+    }
+
+    // The general overload must also detect dynamically-aliased operands
+    // (every slot the same view) and still match the per-pair loop.
+    std::vector<SignatureView> aliased(bs.size(), SignatureView(shared));
+    ASSERT_TRUE(workspace
+                    .ComputeBatch(aliased.data(), bs.data(), bs.size(), ground,
+                                  batch.data())
+                    .ok());
+    for (std::size_t p = 0; p < bs.size(); ++p) {
+      EXPECT_EQ(batch[p],
+                reference.Compute(shared, bs[p], ground).ValueOrDie())
+          << "aliased p=" << p;
+    }
+  }
+}
+
+TEST(TransportSolverTest, ComputeBatchSteadyStateAllocationsFreeze) {
+  // After one warm batch per shape, replaying the same batches (and their
+  // per-pair equivalents) must not grow the workspace: the flat cost block
+  // and offset table are sized once to the largest batch.
+  Rng rng(848);
+  const Signature newest = RandomSignature(&rng, 12, 2);
+  std::vector<Signature> older_store;
+  for (std::size_t p = 0; p < 9; ++p) {
+    older_store.push_back(RandomSignature(&rng, 12, 2));
+  }
+  std::vector<SignatureView> olders(older_store.begin(), older_store.end());
+  std::vector<double> out(olders.size());
+  EmdWorkspace workspace;
+  ASSERT_TRUE(workspace
+                  .ComputeBatch(olders.data(), olders.size(),
+                                SignatureView(newest),
+                                GroundDistance::kEuclidean, out.data())
+                  .ok());
+  const std::vector<double> warm = out;
+  const std::uint64_t pinned = workspace.allocation_count();
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(workspace
+                    .ComputeBatch(olders.data(), olders.size(),
+                                  SignatureView(newest),
+                                  GroundDistance::kEuclidean, out.data())
+                    .ok());
+    EXPECT_EQ(out, warm);
+  }
+  EXPECT_EQ(workspace.allocation_count(), pinned);
+}
+
+TEST(TransportSolverTest, ComputeBatchErrorCases) {
+  Rng rng(858);
+  EmdWorkspace workspace;
+  const Signature good = RandomSignature(&rng, 4, 2);
+  const Signature also_good = RandomSignature(&rng, 3, 2);
+  const Signature wrong_dim = RandomSignature(&rng, 4, 3);
+  const Signature empty;
+
+  // An empty batch is a no-op success.
+  EXPECT_TRUE(workspace
+                  .ComputeBatch(nullptr, nullptr, 0,
+                                GroundDistance::kEuclidean, nullptr)
+                  .ok());
+
+  // A bad pair anywhere in the span fails the whole batch up front (pair
+  // order, like the serial loop): dimension mismatch and empty signature.
+  std::vector<SignatureView> as = {good, good, wrong_dim};
+  std::vector<SignatureView> bs = {also_good, also_good, also_good};
+  std::vector<double> out(as.size(), -1.0);
+  EXPECT_FALSE(workspace
+                   .ComputeBatch(as.data(), bs.data(), as.size(),
+                                 GroundDistance::kEuclidean, out.data())
+                   .ok());
+  std::vector<SignatureView> with_empty = {good, empty};
+  EXPECT_FALSE(workspace
+                   .ComputeBatch(with_empty.data(), 2, SignatureView(good),
+                                 GroundDistance::kEuclidean, out.data())
+                   .ok());
+  // A failed batch must not poison the workspace.
+  EXPECT_EQ(workspace.Compute(good, also_good, GroundDistance::kEuclidean)
+                .ValueOrDie(),
+            EmdWorkspace()
+                .Compute(good, also_good, GroundDistance::kEuclidean)
+                .ValueOrDie());
+}
+
+TEST(TransportSolverTest, EmdSolverComputeBatchMatchesComputeForEveryKind) {
+  // EmdSolver::ComputeBatch must be value-identical to its per-pair Compute
+  // for the exact kind AND every approximate kind (which batch via the
+  // per-pair fallback) — normalized signatures so sinkhorn's balanced
+  // assumption holds.
+  Rng rng(868);
+  Signature newest = RandomSignature(&rng, 8, 2);
+  newest.NormalizeInPlace();
+  std::vector<Signature> older_store;
+  for (std::size_t p = 0; p < 5; ++p) {
+    Signature s = RandomSignature(&rng, 8, 2);
+    s.NormalizeInPlace();
+    older_store.push_back(std::move(s));
+  }
+  std::vector<SignatureView> olders(older_store.begin(), older_store.end());
+  for (const char* spec : {"exact", "sinkhorn:0.1", "sliced:16"}) {
+    const EmdSolverOptions options = ParseEmdSolverSpec(spec).ValueOrDie();
+    EmdSolver solver(options);
+    EmdSolver reference(options);
+    std::vector<double> batch(olders.size());
+    ASSERT_TRUE(solver
+                    .ComputeBatch(olders.data(), olders.size(),
+                                  SignatureView(newest),
+                                  GroundDistance::kSquaredEuclidean,
+                                  batch.data())
+                    .ok())
+        << spec;
+    for (std::size_t p = 0; p < olders.size(); ++p) {
+      EXPECT_EQ(batch[p],
+                reference
+                    .Compute(olders[p], newest,
+                             GroundDistance::kSquaredEuclidean)
+                    .ValueOrDie())
+          << spec << " p=" << p;
+    }
+    // The explicit-options pair-span overload (the pooled-prefill path).
+    std::vector<SignatureView> rights(olders.size(), SignatureView(newest));
+    std::vector<double> batch2(olders.size());
+    ASSERT_TRUE(solver
+                    .ComputeBatch(olders.data(), rights.data(), olders.size(),
+                                  GroundDistance::kSquaredEuclidean, options,
+                                  batch2.data())
+                    .ok())
+        << spec;
+    EXPECT_EQ(batch, batch2) << spec;
+  }
+}
+
+TEST(TransportSolverTest, DetectorIdenticalAcrossHeapThresholds) {
+  // emd-heap-at is a pure performance knob: forced-dense (0), forced-heap
+  // (1), and the default crossover must produce bitwise-identical per-step
+  // results on the same stream, bootstrap CIs included.
+  Rng rng(878);
+  const GaussianMixture before = GaussianMixture::Isotropic({0.0, 0.0}, 0.7);
+  const GaussianMixture after = GaussianMixture::Isotropic({2.5, 2.5}, 0.7);
+  BagSequence bags;
+  for (std::size_t t = 0; t < 18; ++t) {
+    bags.push_back((t < 9 ? before : after).SampleBag(16, &rng));
+  }
+  auto run_with = [&bags](std::size_t heap_at) {
+    DetectorOptions options;
+    options.tau = 3;
+    options.tau_prime = 3;
+    options.bootstrap.replicates = 40;
+    options.signature.method = SignatureMethod::kKMeans;
+    options.signature.k = 4;
+    options.seed = 31;
+    options.emd.heap_at = heap_at;
+    auto detector = BagStreamDetector::Create(options).MoveValueUnsafe();
+    return detector->Run(bags).ValueOrDie();
+  };
+  const std::vector<StepResult> dense = run_with(0);
+  const std::vector<StepResult> heap = run_with(1);
+  const std::vector<StepResult> preset = run_with(kDefaultEmdHeapAt);
+  ASSERT_EQ(dense.size(), heap.size());
+  ASSERT_EQ(dense.size(), preset.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    for (const std::vector<StepResult>* other : {&heap, &preset}) {
+      EXPECT_EQ(dense[i].score, (*other)[i].score) << i;
+      EXPECT_EQ(dense[i].ci_lo, (*other)[i].ci_lo) << i;
+      EXPECT_EQ(dense[i].ci_up, (*other)[i].ci_up) << i;
+      EXPECT_EQ(dense[i].alarm, (*other)[i].alarm) << i;
+    }
+  }
 }
 
 TEST(TransportSolverTest, DetectorRollingTablesSurviveReset) {

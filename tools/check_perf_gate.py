@@ -11,6 +11,13 @@ the workspace transport solver must beat the MinCostFlow reference by
 --min-speedup on the named run AND every run must report zero steady-state
 allocations per solve.
 
+Also enforces the large-K floor from the same BENCH_emd.json (--emd-large):
+the exact solver's 4-ary-heap Dijkstra must beat the dense scan by
+--min-heap-speedup at K = --large-k, the batched rolling-step solve must beat
+the serial per-pair dense loop by --min-batch-speedup at K = --batch-k, and
+every large_k_runs / batch_runs row must report zero steady-state
+allocations.
+
 Also enforces the columnar-batch floor from BENCH_batch.json
 (bench/micro_batch.cc): BatchTableBuilder ingest must beat the nested
 per-vector baseline by --min-speedup, every detection run must preserve row
@@ -32,6 +39,8 @@ Usage:
   check_perf_gate.py BENCH_emd.json --emd-run emd_solve_k16 \
       --min-speedup 1.3
   check_perf_gate.py BENCH_emd.json --emd-approx --min-speedup 3.0
+  check_perf_gate.py BENCH_emd.json --emd-large --min-heap-speedup 1.5 \
+      --min-batch-speedup 1.2
   check_perf_gate.py BENCH_batch.json --batch --min-speedup 1.15
 
 Exits 0 when the gate passes, 1 when it fails or the row is missing.
@@ -184,6 +193,77 @@ def check_emd_approx(data, approx_k, min_speedup, max_score_delta,
     return ok
 
 
+def check_emd_large(data, large_k, batch_k, min_heap_speedup,
+                    min_batch_speedup):
+    ok = True
+
+    # Heap gate: the 4-ary-heap Dijkstra must clear the floor against the
+    # dense scan at the gated size.
+    large_runs = data.get("large_k_runs", [])
+    if not large_runs:
+        print("FAIL: no 'large_k_runs' section in BENCH_emd.json")
+        ok = False
+    row = next((r for r in large_runs if r.get("k") == large_k), None)
+    if row is None:
+        print(f"FAIL: no large_k_runs row with k={large_k} in "
+              f"{sorted({r.get('k') for r in large_runs})}")
+        ok = False
+    else:
+        speedup = row.get("heap_speedup")
+        if speedup is None:
+            print(f"FAIL: run '{row.get('name')}' is missing 'heap_speedup'")
+            ok = False
+        else:
+            passed = speedup >= min_heap_speedup
+            verdict = "PASS" if passed else "FAIL"
+            print(f"{verdict}: {row.get('name')} heap speedup over dense "
+                  f"= {speedup:.3f}x (gate: >= {min_heap_speedup:.2f}x)")
+            ok = ok and passed
+
+    # Batch gate: one ComputeBatch rolling step must clear the floor against
+    # the serial per-pair dense loop it replaced.
+    batch_runs = data.get("batch_runs", [])
+    if not batch_runs:
+        print("FAIL: no 'batch_runs' section in BENCH_emd.json")
+        ok = False
+    row = next((r for r in batch_runs if r.get("k") == batch_k), None)
+    if row is None:
+        print(f"FAIL: no batch_runs row with k={batch_k} in "
+              f"{sorted({r.get('k') for r in batch_runs})}")
+        ok = False
+    else:
+        speedup = row.get("batched_speedup")
+        if speedup is None:
+            print(f"FAIL: run '{row.get('name')}' is missing "
+                  "'batched_speedup'")
+            ok = False
+        else:
+            passed = speedup >= min_batch_speedup
+            verdict = "PASS" if passed else "FAIL"
+            print(f"{verdict}: {row.get('name')} batched speedup over serial "
+                  f"= {speedup:.3f}x (gate: >= {min_batch_speedup:.2f}x)")
+            ok = ok and passed
+
+    # Allocation gate: zero steady-state allocations on EVERY row of both
+    # sections, every size — the heap arrays and batch cost block must reach
+    # a fixed point like the rest of the workspace scratch.
+    for runs, field in ((large_runs, "steady_state_allocs_per_solve"),
+                        (batch_runs, "steady_state_allocs_per_step")):
+        for r in runs:
+            allocs = r.get(field)
+            name = r.get("name")
+            if allocs is None:
+                print(f"FAIL: run '{name}' is missing '{field}'")
+                ok = False
+            elif allocs != 0:
+                print(f"FAIL: run '{name}' reports {allocs} steady-state "
+                      "allocations (gate: exactly 0)")
+                ok = False
+            else:
+                print(f"PASS: {name} steady-state allocs = 0")
+    return ok
+
+
 def check_batch(data, min_speedup):
     ok = True
 
@@ -246,6 +326,24 @@ def main():
                              "approximate-solver speedup over exact at "
                              "--approx-k, zero steady-state allocations, and "
                              "score/delay fidelity ceilings")
+    parser.add_argument("--emd-large", action="store_true",
+                        help="gate on BENCH_emd.json large_k_runs/batch_runs: "
+                             "heap-Dijkstra speedup over the dense scan at "
+                             "--large-k, batched rolling-step speedup over "
+                             "the serial per-pair loop at --batch-k, and "
+                             "zero steady-state allocations on every row")
+    parser.add_argument("--large-k", type=int, default=256,
+                        help="signature size whose heap row is speedup-gated "
+                             "(default: 256)")
+    parser.add_argument("--batch-k", type=int, default=64,
+                        help="signature size whose batch row is speedup-gated "
+                             "(default: 64)")
+    parser.add_argument("--min-heap-speedup", type=float, default=1.5,
+                        help="minimum heap-over-dense speedup at --large-k "
+                             "(default: 1.5)")
+    parser.add_argument("--min-batch-speedup", type=float, default=1.2,
+                        help="minimum batched-over-serial rolling-step "
+                             "speedup at --batch-k (default: 1.2)")
     parser.add_argument("--approx-k", type=int, default=64,
                         help="signature size whose approx rows are speedup-"
                              "gated (default: 64)")
@@ -266,6 +364,9 @@ def main():
 
     if args.batch:
         ok = check_batch(data, args.min_speedup)
+    elif args.emd_large:
+        ok = check_emd_large(data, args.large_k, args.batch_k,
+                             args.min_heap_speedup, args.min_batch_speedup)
     elif args.emd_approx:
         ok = check_emd_approx(data, args.approx_k, args.min_speedup,
                               args.max_score_delta, args.max_delay_delta)
