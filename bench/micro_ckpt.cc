@@ -1,0 +1,188 @@
+// Checkpoint subsystem cost: detector export / import round-trip latency and
+// blob size at several window configurations, plus the engine-wide
+// Checkpoint/Restore figures the crash-recovery story depends on. Emits
+// BENCH_ckpt.json for the perf job.
+//
+//   micro_ckpt [num_streams] [bags_per_stream]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bagcpd/common/rng.h"
+#include "bagcpd/data/gmm.h"
+#include "bagcpd/runtime/stream_engine.h"
+#include "bagcpd/serialize/checkpoint.h"
+#include "bench_util.h"
+
+namespace bagcpd {
+namespace {
+
+DetectorOptions BenchDetector(std::size_t tau) {
+  DetectorOptions options;
+  options.tau = tau;
+  options.tau_prime = tau;
+  options.bootstrap.replicates = 50;
+  options.signature.method = SignatureMethod::kKMeans;
+  options.signature.k = 4;
+  options.seed = 0;
+  return options;
+}
+
+BagSequence MakeStream(std::uint64_t seed, std::size_t length) {
+  Rng rng(seed);
+  const GaussianMixture mix = GaussianMixture::Isotropic({0.0, 0.0}, 0.5);
+  BagSequence bags;
+  bags.reserve(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    bags.push_back(mix.SampleBag(20, &rng));
+  }
+  return bags;
+}
+
+struct DetectorRow {
+  std::size_t tau = 0;
+  std::size_t blob_bytes = 0;
+  double export_us = 0.0;
+  double import_us = 0.0;
+};
+
+struct EngineRow {
+  std::size_t streams = 0;
+  std::size_t blob_bytes = 0;
+  double checkpoint_ms = 0.0;
+  double restore_ms = 0.0;
+  double per_stream_us = 0.0;
+};
+
+DetectorRow BenchDetectorCkpt(std::size_t tau, const BagSequence& bags) {
+  DetectorOptions options = BenchDetector(tau);
+  options.seed = 11;
+  auto detector =
+      bench::Unwrap(BagStreamDetector::Create(options), "detector init");
+  for (const Bag& bag : bags) {
+    bench::Unwrap(detector->Push(bag), "push");
+  }
+
+  constexpr int kReps = 200;
+  std::string blob;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    bench::UnwrapStatus(detector->ExportState(&blob), "ExportState");
+  }
+  auto stop = std::chrono::steady_clock::now();
+  DetectorRow row;
+  row.tau = tau;
+  row.blob_bytes = blob.size();
+  row.export_us =
+      std::chrono::duration<double, std::micro>(stop - start).count() / kReps;
+
+  auto restored =
+      bench::Unwrap(BagStreamDetector::Create(options), "detector init");
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    bench::UnwrapStatus(restored->ImportState(blob), "ImportState");
+  }
+  stop = std::chrono::steady_clock::now();
+  row.import_us =
+      std::chrono::duration<double, std::micro>(stop - start).count() / kReps;
+  return row;
+}
+
+EngineRow BenchEngineCkpt(std::size_t num_streams,
+                          std::size_t bags_per_stream) {
+  StreamEngineOptions options;
+  options.num_shards = 4;
+  options.seed = 7;
+  options.detector = BenchDetector(4);
+  options.collect_results = false;
+  auto engine = bench::Unwrap(StreamEngine::Create(options), "engine init");
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    const BagSequence bags = MakeStream(100 + s, bags_per_stream);
+    const std::string key = "stream-" + std::to_string(s);
+    for (const Bag& bag : bags) {
+      bench::UnwrapStatus(engine->Submit(key, bag), "submit");
+    }
+  }
+  engine->Flush();
+
+  EngineRow row;
+  row.streams = num_streams;
+  std::string blob;
+  auto start = std::chrono::steady_clock::now();
+  bench::UnwrapStatus(engine->Checkpoint(&blob), "Checkpoint");
+  auto stop = std::chrono::steady_clock::now();
+  row.blob_bytes = blob.size();
+  row.checkpoint_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+
+  auto second = bench::Unwrap(StreamEngine::Create(options), "engine init");
+  start = std::chrono::steady_clock::now();
+  bench::UnwrapStatus(second->Restore(blob), "Restore");
+  stop = std::chrono::steady_clock::now();
+  row.restore_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  row.per_stream_us = row.restore_ms * 1e3 / static_cast<double>(num_streams);
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  const std::size_t num_streams =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 64;
+  const std::size_t bags_per_stream =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 20;
+
+  bench::PrintHeader("micro_ckpt: checkpoint subsystem cost",
+                     "detector export/import latency, engine "
+                     "Checkpoint/Restore, blob sizes");
+
+  std::vector<DetectorRow> detector_rows;
+  for (std::size_t tau : {std::size_t{4}, std::size_t{8}, std::size_t{16}}) {
+    const BagSequence bags = MakeStream(42, 3 * tau);
+    const DetectorRow row = BenchDetectorCkpt(tau, bags);
+    detector_rows.push_back(row);
+    std::printf("detector tau=%-2zu  blob %6zu B  export %7.1fus  "
+                "import %7.1fus\n",
+                row.tau, row.blob_bytes, row.export_us, row.import_us);
+  }
+
+  const EngineRow engine_row = BenchEngineCkpt(num_streams, bags_per_stream);
+  std::printf("\nengine %zu streams  blob %zu B  checkpoint %.2fms  "
+              "restore %.2fms (%.1fus/stream)\n",
+              engine_row.streams, engine_row.blob_bytes,
+              engine_row.checkpoint_ms, engine_row.restore_ms,
+              engine_row.per_stream_us);
+
+  std::FILE* json = std::fopen("BENCH_ckpt.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open BENCH_ckpt.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"micro_ckpt\",\n  \"detector\": [\n");
+  for (std::size_t i = 0; i < detector_rows.size(); ++i) {
+    const DetectorRow& r = detector_rows[i];
+    std::fprintf(json,
+                 "    {\"tau\": %zu, \"blob_bytes\": %zu, "
+                 "\"export_us\": %.2f, \"import_us\": %.2f}%s\n",
+                 r.tau, r.blob_bytes, r.export_us, r.import_us,
+                 i + 1 < detector_rows.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"engine\": {\"streams\": %zu, \"blob_bytes\": %zu, "
+               "\"checkpoint_ms\": %.3f, \"restore_ms\": %.3f, "
+               "\"restore_us_per_stream\": %.2f}\n}\n",
+               engine_row.streams, engine_row.blob_bytes,
+               engine_row.checkpoint_ms, engine_row.restore_ms,
+               engine_row.per_stream_us);
+  std::fclose(json);
+  std::printf("\nwrote BENCH_ckpt.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bagcpd
+
+int main(int argc, char** argv) { return bagcpd::Main(argc, argv); }

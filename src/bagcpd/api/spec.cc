@@ -366,6 +366,12 @@ Result<DetectorSpec> DetectorSpec::FromKeyValues(const std::string& text) {
   return spec;
 }
 
+DetectorSpec DetectorSpec::FromOptions(const DetectorOptions& options) {
+  DetectorSpec spec;
+  spec.options_ = options;
+  return spec;
+}
+
 Result<DetectorOptions> DetectorSpec::Build() const {
   BAGCPD_RETURN_NOT_OK(error_);
   BAGCPD_RETURN_NOT_OK(ValidateDetectorOptions(options_));
@@ -446,6 +452,12 @@ Result<EngineSpec> EngineSpec::FromKeyValues(const std::string& text) {
       // The ENGINE seed: per-stream seeds derive from it, the stream key,
       // and the profile name. Detector seeds stay 0 (Build() enforces it).
       BAGCPD_ASSIGN_OR_RETURN(spec.options_.seed, ParseUnsigned(key, value));
+    } else if (key == "spill_dir") {
+      // A path (commas cannot appear in it — the text form's separator).
+      spec.options_.spill_directory = value;
+    } else if (key == "spill_budget") {
+      BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
+      spec.options_.spill_resident_bytes = static_cast<std::size_t>(v);
     } else {
       if (!detector_text.empty()) detector_text += ',';
       detector_text += key + "=" + value;
@@ -462,7 +474,16 @@ std::string EngineSpec::ToKeyValues() const {
                     std::string(",collect=") +
                     (options_.collect_results ? "true" : "false") +
                     ",max_idle=" + std::to_string(options_.max_idle_submissions) +
-                    ",seed=" + std::to_string(options_.seed) + ",";
+                    ",seed=" + std::to_string(options_.seed);
+  // Spill keys appear only when spilling is configured, so legacy configs
+  // echo byte-identically (and an empty value never has to be parsed).
+  if (!options_.spill_directory.empty()) {
+    out += ",spill_dir=" + options_.spill_directory;
+    if (options_.spill_resident_bytes > 0) {
+      out += ",spill_budget=" + std::to_string(options_.spill_resident_bytes);
+    }
+  }
+  out += ",";
   // The detector's canonical form ends with its own ",seed=0" (enforced 0
   // under an engine); strip it so the one `seed` key in the output is
   // unambiguously the engine seed.
@@ -503,6 +524,16 @@ EngineSpec& EngineSpec::MaxIdleSubmissions(std::uint64_t max_idle) {
 
 EngineSpec& EngineSpec::Arena(const BufferArenaOptions& arena) {
   options_.arena = arena;
+  return *this;
+}
+
+EngineSpec& EngineSpec::SpillDirectory(const std::string& directory) {
+  options_.spill_directory = directory;
+  return *this;
+}
+
+EngineSpec& EngineSpec::SpillBudget(std::size_t bytes) {
+  options_.spill_resident_bytes = bytes;
   return *this;
 }
 

@@ -51,6 +51,12 @@ class DetectorSpec {
   /// occurrences of a key overwrite earlier ones.
   static Result<DetectorSpec> FromKeyValues(const std::string& text);
 
+  /// \brief Wraps already-built options so they can be echoed canonically:
+  /// FromOptions(o).ToKeyValues() is the options wire form the checkpoint
+  /// subsystem embeds in every detector snapshot. No validation happens here
+  /// (Build() still validates as usual).
+  static DetectorSpec FromOptions(const DetectorOptions& options);
+
   // -- Window / scoring ------------------------------------------------
   DetectorSpec& Tau(std::size_t tau);
   DetectorSpec& TauPrime(std::size_t tau_prime);
@@ -125,7 +131,8 @@ class EngineSpec {
 
   /// \brief Parses a comma-separated config string covering the engine
   /// topology plus the default detector. `shards`, `queue`, `collect`,
-  /// `max_idle`, and `seed` are engine-level keys (seed is the ENGINE seed —
+  /// `max_idle`, `spill_dir`, `spill_budget`, and `seed` are engine-level
+  /// keys (seed is the ENGINE seed —
   /// detector seeds stay 0 under an engine, as Build() enforces); every
   /// other key=value token configures the default detector exactly as
   /// DetectorSpec::FromKeyValues would, e.g.
@@ -141,6 +148,14 @@ class EngineSpec {
   EngineSpec& CollectResults(bool collect);
   EngineSpec& MaxIdleSubmissions(std::uint64_t max_idle);
   EngineSpec& Arena(const BufferArenaOptions& arena);
+  /// \brief Spill-to-disk checkpoint eviction (StreamEngineOptions
+  /// .spill_directory); text-form key `spill_dir`. The path may not contain
+  /// a comma (the text form's separator).
+  EngineSpec& SpillDirectory(const std::string& directory);
+  /// \brief Resident-state byte budget for the spill LRU (StreamEngineOptions
+  /// .spill_resident_bytes); text-form key `spill_budget`; needs
+  /// SpillDirectory.
+  EngineSpec& SpillBudget(std::size_t bytes);
   /// \brief The default profile every unqualified Submit routes to.
   EngineSpec& Detector(const DetectorSpec& spec);
   /// \brief Adds a named profile; Submit(key, bag, name) routes to it.

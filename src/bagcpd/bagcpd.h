@@ -62,6 +62,11 @@
 #include "bagcpd/runtime/stream_engine.h"
 #include "bagcpd/runtime/thread_pool.h"
 
+// Checkpoint subsystem: wire format, blob inspection, and the file helpers
+// behind detector snapshot/restore, engine checkpoints, and spill-to-disk.
+#include "bagcpd/serialize/checkpoint.h"
+#include "bagcpd/serialize/wire.h"
+
 // Columnar batch frontend: grouped-table ingest, the one-call batch runner,
 // its file formats, and the synthetic corpus generator.
 #include "bagcpd/batch/batch_io.h"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <locale>
+#include <sstream>
 
 #include "bagcpd/common/check.h"
 
@@ -175,6 +177,29 @@ Point Rng::MultivariateGaussian(const Point& mean, const Matrix& covariance) {
     }
   }
   return x;
+}
+
+std::string Rng::SerializeState() const {
+  // The classic locale pins the text form ("group by 3 digits" locales would
+  // corrupt the round-trip); the engine encoding itself is specified by the
+  // standard, so the string is portable across platforms and libstdc++/libc++.
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << seed_ << ' ' << engine_;
+  return os.str();
+}
+
+Status Rng::DeserializeState(const std::string& state) {
+  std::istringstream is(state);
+  is.imbue(std::locale::classic());
+  std::uint64_t seed = 0;
+  std::mt19937_64 engine;
+  if (!(is >> seed >> engine)) {
+    return Status::Invalid("corrupt Rng state string");
+  }
+  seed_ = seed;
+  engine_ = engine;
+  return Status::OK();
 }
 
 std::vector<std::size_t> Rng::Permutation(std::size_t n) {

@@ -11,6 +11,7 @@
 
 #include "bagcpd/common/matrix.h"
 #include "bagcpd/common/point.h"
+#include "bagcpd/common/status.h"
 
 namespace bagcpd {
 
@@ -105,6 +106,19 @@ class Rng {
 
   /// \brief The seed this generator was constructed with.
   std::uint64_t seed() const { return seed_; }
+
+  /// \brief The complete generator state — construction seed plus the
+  /// mt19937_64 stream position — as a portable text string (the standard's
+  /// own `operator<<` engine encoding). A generator restored from it
+  /// continues the draw sequence bitwise where this one stands; every
+  /// distribution helper above builds its std:: distribution fresh per call,
+  /// so the engine stream is the whole state. Used by the checkpoint
+  /// subsystem (serialize/) to freeze a detector's RNG position.
+  std::string SerializeState() const;
+
+  /// \brief Restores a state captured by SerializeState(); rejects malformed
+  /// text without touching the current state.
+  Status DeserializeState(const std::string& state);
 
   /// \brief Access to the underlying engine (for std distributions in tests).
   std::mt19937_64& engine() { return engine_; }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bagcpd/common/buffer_arena.h"
@@ -178,6 +179,39 @@ class BagStreamDetector {
   /// the per-stream byte-ceiling policy: set a ceiling here and Reset()
   /// releases oversized scratch (EmdSolver::ShrinkToCeiling).
   EmdSolver& emd_solver() { return solver_; }
+
+  // -- Checkpointing (implemented in serialize/detector_serialize.cc) -----
+
+  /// \brief Snapshots the complete detector state into a versioned,
+  /// checksummed binary blob (serialize/checkpoint.h layout): the canonical
+  /// options spec, the signature window, the rolling log-EMD table, the
+  /// step/warm-up counters, the alarm history, and the RNG stream position.
+  /// A detector restored from the blob produces bitwise-identical scores to
+  /// this one on the same remaining stream. Call between pushes (the
+  /// detector is always between pushes from the caller's perspective;
+  /// StreamEngine quiesces the owning shard before exporting).
+  Status ExportState(std::string* blob) const;
+
+  /// \brief Restores a snapshot taken by ExportState into this detector,
+  /// replacing all buffered state. The blob's options spec must match this
+  /// detector's configuration exactly (Invalid otherwise — restoring into a
+  /// differently-configured detector would silently change scores); a
+  /// truncated or corrupt blob fails with IoError, an unsupported format
+  /// version with NotImplemented, all without modifying the detector.
+  /// Decode staging recycles through the attached buffer arena when set.
+  Status ImportState(std::string_view blob);
+
+  /// \brief Builds a detector configured from the blob's embedded options
+  /// spec and restores the snapshot into it (the one-call restore used when
+  /// no pre-configured detector exists, e.g. tools and cold restores).
+  static Result<std::unique_ptr<BagStreamDetector>> CreateFromState(
+      std::string_view blob);
+
+  /// \brief Approximate resident bytes of the restorable state (window ring,
+  /// rolling table, history) — the spill-budget accounting the engine's
+  /// byte-budget LRU runs on. Tracks the checkpoint blob size closely but
+  /// costs no serialization.
+  std::size_t EstimatedStateBytes() const;
 
  private:
   Result<StepResult> ScoreInspectionPoint();

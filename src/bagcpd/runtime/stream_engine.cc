@@ -1,9 +1,12 @@
 #include "bagcpd/runtime/stream_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "bagcpd/common/check.h"
 #include "bagcpd/common/rng.h"
+#include "bagcpd/serialize/checkpoint.h"
+#include "bagcpd/serialize/wire.h"
 
 namespace bagcpd {
 
@@ -43,6 +46,10 @@ Status ValidateStreamEngineOptions(const StreamEngineOptions& options) {
         "StreamEngineOptions.detector.seed must be 0: per-stream seeds derive "
         "from StreamEngineOptions.seed and the stream key (set the engine "
         "seed instead)");
+  }
+  if (options.spill_resident_bytes > 0 && options.spill_directory.empty()) {
+    return Status::Invalid(
+        "spill_resident_bytes needs a spill_directory to spill into");
   }
   return Status::OK();
 }
@@ -270,6 +277,13 @@ void StreamEngine::WorkerLoop(std::size_t shard_index) {
       shard.processed_since_sweep = 0;
       SweepIdle(shard, seq);
     }
+    // Byte-budget LRU: spill this shard's coldest streams while the
+    // engine-wide resident total is over budget. Runs before busy clears so
+    // QuiesceShard callers never observe a mid-spill shard.
+    if (options_.spill_resident_bytes > 0 &&
+        resident_bytes_.load() > options_.spill_resident_bytes) {
+      EnforceSpillBudget(shard, seq);
+    }
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.busy = false;
@@ -305,8 +319,15 @@ void StreamEngine::QuarantineStream(Shard& shard, const std::string& stream_id,
   shard.quarantined.emplace(stream_id, error);
   auto existing = shard.detectors.find(stream_id);
   if (existing != shard.detectors.end()) {
+    resident_bytes_.fetch_sub(existing->second.state_bytes);
     shard.detectors.erase(existing);
     live_streams_.fetch_sub(1);
+  }
+  auto spilled = shard.spilled.find(stream_id);
+  if (spilled != shard.spilled.end()) {
+    // A quarantined key never rehydrates; drop its spill file too.
+    std::remove(spilled->second.path.c_str());
+    shard.spilled.erase(spilled);
   }
   {
     std::lock_guard<std::mutex> lock(events_mu_);
@@ -323,10 +344,24 @@ void StreamEngine::QuarantineStream(Shard& shard, const std::string& stream_id,
 }
 
 void StreamEngine::SweepIdle(Shard& shard, std::uint64_t now_seq) {
-  // Reclaims detectors idle past the threshold. Any stream erased here would
-  // also be restarted by the lazy check on its next bag (its gap can only
-  // grow), so the sweep changes memory usage, never results.
+  // Reclaims detectors idle past the threshold. Without spilling, any stream
+  // erased here would also be restarted by the lazy check on its next bag
+  // (its gap can only grow), so the sweep changes memory usage, never
+  // results. With spilling, victims are exported instead of destroyed and
+  // rehydrate bitwise on their next bag — again memory only, never results.
   const std::uint64_t max_idle = options_.max_idle_submissions;
+  if (spill_enabled()) {
+    std::vector<std::string> victims;
+    for (const auto& [key, state] : shard.detectors) {
+      if (now_seq > state.last_seq && now_seq - state.last_seq > max_idle) {
+        victims.push_back(key);
+      }
+    }
+    for (const std::string& key : victims) {
+      SpillStream(shard, key, now_seq);
+    }
+    return;
+  }
   for (auto it = shard.detectors.begin(); it != shard.detectors.end();) {
     if (now_seq > it->second.last_seq &&
         now_seq - it->second.last_seq > max_idle) {
@@ -371,8 +406,36 @@ void StreamEngine::Process(Shard& shard, Task task) {
                      task.bag.status(), latency_ns);
     return;
   }
+  if (spill_enabled()) {
+    auto spilled_it = shard.spilled.find(task.stream_id);
+    if (spilled_it != shard.spilled.end()) {
+      if (spilled_it->second.profile != task.profile) {
+        // The binding survives the spill: a conflicting submission is the
+        // same caller bug as against a resident stream.
+        QuarantineStream(shard, task.stream_id, spilled_it->second.profile,
+                         task.seq,
+                         Status::Invalid("stream '" + task.stream_id +
+                                         "' is bound to profile '" +
+                                         spilled_it->second.profile +
+                                         "' but was submitted with profile '" +
+                                         task.profile + "'"),
+                         latency_ns);
+        return;
+      }
+      const Status restored =
+          RehydrateStream(shard, task.stream_id, task.seq, latency_ns);
+      if (!restored.ok()) {
+        QuarantineStream(shard, task.stream_id, task.profile, task.seq,
+                         restored, latency_ns);
+        return;
+      }
+    }
+  }
   auto it = shard.detectors.find(task.stream_id);
-  if (it != shard.detectors.end() && options_.max_idle_submissions > 0 &&
+  // The lazy idle-restart only exists without spilling: a spilling engine
+  // preserves idle state (on disk at worst) instead of discarding it.
+  if (!spill_enabled() && it != shard.detectors.end() &&
+      options_.max_idle_submissions > 0 &&
       task.seq - it->second.last_seq - 1 > options_.max_idle_submissions) {
     // The key sat idle past the threshold: restart it from scratch. The
     // decision depends only on the global submission sequence, so it is
@@ -431,6 +494,7 @@ void StreamEngine::Process(Shard& shard, Task task) {
                      step.status(), latency_ns);
     return;
   }
+  if (spill_enabled()) UpdateResidentBytes(it->second);
   if (!step.ValueOrDie().has_value()) return;
   EngineEvent event;
   event.kind = EngineEvent::Kind::kStep;
@@ -566,6 +630,321 @@ Result<std::map<std::string, std::vector<StepResult>>> StreamEngine::RunBatch(
     out[r.stream_id].push_back(r.step);
   }
   return out;
+}
+
+std::unique_lock<std::mutex> StreamEngine::QuiesceShard(Shard& shard) {
+  // With the lock held and the predicate true, the worker is parked on its
+  // empty-queue wait (it needs the mutex to pop) and Submit is blocked on the
+  // mutex, so the caller may safely touch shard-owned state. Post-Shutdown
+  // the predicate is true immediately (workers drain before joining).
+  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.drained.wait(lock, [&] { return shard.queue.empty() && !shard.busy; });
+  return lock;
+}
+
+void StreamEngine::UpdateResidentBytes(StreamState& state) {
+  const std::size_t now = state.detector->EstimatedStateBytes();
+  if (now >= state.state_bytes) {
+    resident_bytes_.fetch_add(now - state.state_bytes);
+  } else {
+    resident_bytes_.fetch_sub(state.state_bytes - now);
+  }
+  state.state_bytes = now;
+}
+
+std::string StreamEngine::SpillPathFor(const std::string& stream_id) {
+  // Hash plus a never-reused counter: unique even when the same key spills
+  // repeatedly, and free of unsanitized key bytes.
+  return options_.spill_directory + "/bagcpd-" +
+         std::to_string(Rng::StableHash64(stream_id)) + "-" +
+         std::to_string(spill_file_seq_.fetch_add(1)) + ".ckpt";
+}
+
+bool StreamEngine::SpillStream(Shard& shard, const std::string& stream_id,
+                               std::uint64_t now_seq) {
+  auto it = shard.detectors.find(stream_id);
+  if (it == shard.detectors.end()) return false;
+  std::string detector_blob;
+  if (!it->second.detector->ExportState(&detector_blob).ok()) return false;
+  std::string stream_blob;
+  serialize::BuildStreamBlob(stream_id, it->second.profile, detector_blob,
+                             &stream_blob);
+  SpilledStream rec;
+  rec.path = SpillPathFor(stream_id);
+  rec.profile = it->second.profile;
+  rec.last_seq = it->second.last_seq;
+  rec.blob_bytes = stream_blob.size();
+  if (!serialize::WriteFileBytes(rec.path, stream_blob).ok()) {
+    // Stream stays resident: memory pressure persists but nothing is lost.
+    std::remove(rec.path.c_str());
+    return false;
+  }
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kCheckpoint;
+  event.stream_id = stream_id;
+  event.profile = it->second.profile;
+  event.sequence = now_seq;
+  event.blob_bytes = rec.blob_bytes;
+  resident_bytes_.fetch_sub(it->second.state_bytes);
+  // Record the spill BEFORE erasing the detector entry: callers (the budget
+  // LRU in particular) pass a stream_id that aliases the map node's key, so
+  // the erase must be the last read of it.
+  shard.spilled.emplace(stream_id, std::move(rec));
+  shard.detectors.erase(it);
+  live_streams_.fetch_sub(1);
+  spilled_.fetch_add(1);
+  EmitEvent(std::move(event));
+  return true;
+}
+
+Status StreamEngine::RehydrateStream(Shard& shard, const std::string& stream_id,
+                                     std::uint64_t seq,
+                                     std::uint64_t latency_ns) {
+  auto rec_it = shard.spilled.find(stream_id);
+  SpilledStream rec = std::move(rec_it->second);
+  shard.spilled.erase(rec_it);
+  // The file is read through the shard arena, so once the pool is warm a
+  // rehydrate allocates nothing on this path.
+  std::vector<double> storage;
+  Status status = [&]() -> Status {
+    BAGCPD_ASSIGN_OR_RETURN(
+        std::size_t bytes,
+        serialize::ReadFileBytes(rec.path, shard.arena, &storage));
+    const std::string_view blob = serialize::FileBytesView(storage, bytes);
+    BAGCPD_ASSIGN_OR_RETURN(serialize::StreamBlobParts parts,
+                            serialize::ParseStreamBlob(blob));
+    if (parts.key != stream_id || parts.profile != rec.profile) {
+      return Status::IoError("spill file '" + rec.path +
+                             "' does not match stream '" + stream_id + "'");
+    }
+    return ImportStreamLocked(shard, stream_id, rec.profile,
+                              parts.detector_blob, blob.size(), seq,
+                              latency_ns);
+  }();
+  shard.arena->Release(std::move(storage));
+  // The spill file is consumed either way: on success the state is resident
+  // again, on failure the caller quarantines the stream.
+  std::remove(rec.path.c_str());
+  return status;
+}
+
+void StreamEngine::EnforceSpillBudget(Shard& shard, std::uint64_t now_seq) {
+  // Coldest-first (smallest last-submission sequence) within this shard; the
+  // stream whose bag triggered the check is never its own victim, so a
+  // single hot stream cannot thrash through its own spill file. Other shards
+  // enforce the same budget from their own workers.
+  while (resident_bytes_.load() > options_.spill_resident_bytes) {
+    const std::string* victim = nullptr;
+    std::uint64_t coldest = now_seq;
+    for (const auto& [key, state] : shard.detectors) {
+      if (state.last_seq < coldest) {
+        coldest = state.last_seq;
+        victim = &key;
+      }
+    }
+    if (victim == nullptr || !SpillStream(shard, *victim, now_seq)) return;
+  }
+}
+
+Status StreamEngine::ExportStream(const std::string& stream_id,
+                                  std::string* blob) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  Shard& shard = *shards_[ShardOf(stream_id)];
+  std::unique_lock<std::mutex> lock = QuiesceShard(shard);
+  return ExportStreamLocked(shard, stream_id, blob);
+}
+
+Status StreamEngine::ExportStreamLocked(Shard& shard,
+                                        const std::string& stream_id,
+                                        std::string* blob) {
+  auto quarantined = shard.quarantined.find(stream_id);
+  if (quarantined != shard.quarantined.end()) {
+    return Status::Invalid("stream '" + stream_id + "' is quarantined: " +
+                           quarantined->second.ToString());
+  }
+  std::string profile;
+  auto it = shard.detectors.find(stream_id);
+  if (it != shard.detectors.end()) {
+    std::string detector_blob;
+    BAGCPD_RETURN_NOT_OK(it->second.detector->ExportState(&detector_blob));
+    blob->clear();
+    serialize::BuildStreamBlob(stream_id, it->second.profile, detector_blob,
+                               blob);
+    profile = it->second.profile;
+  } else {
+    auto spilled = shard.spilled.find(stream_id);
+    if (spilled == shard.spilled.end()) {
+      return Status::Invalid("no stream with key '" + stream_id + "'");
+    }
+    // A spilled stream's file already IS its engine-stream blob.
+    std::vector<double> storage;
+    Result<std::size_t> read =
+        serialize::ReadFileBytes(spilled->second.path, shard.arena, &storage);
+    if (!read.ok()) {
+      shard.arena->Release(std::move(storage));
+      return read.status();
+    }
+    blob->assign(serialize::FileBytesView(storage, read.ValueOrDie()));
+    shard.arena->Release(std::move(storage));
+    profile = spilled->second.profile;
+  }
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kCheckpoint;
+  event.stream_id = stream_id;
+  event.profile = std::move(profile);
+  event.sequence = submit_seq_.load();
+  event.blob_bytes = blob->size();
+  EmitEvent(std::move(event));
+  return Status::OK();
+}
+
+Status StreamEngine::ImportStream(const std::string& stream_id,
+                                  std::string_view blob) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  BAGCPD_ASSIGN_OR_RETURN(serialize::StreamBlobParts parts,
+                          serialize::ParseStreamBlob(blob));
+  if (parts.key != stream_id) {
+    return Status::Invalid("blob was exported for stream '" +
+                           std::string(parts.key) + "', not '" + stream_id +
+                           "'");
+  }
+  const std::string profile(parts.profile);
+  if (profile != kDefaultProfileName && profiles_.count(profile) == 0) {
+    return Status::Invalid("blob binds stream '" + stream_id +
+                           "' to unregistered profile '" + profile + "'");
+  }
+  Shard& shard = *shards_[ShardOf(stream_id)];
+  std::unique_lock<std::mutex> lock = QuiesceShard(shard);
+  if (shard.quarantined.count(stream_id) > 0) {
+    return Status::Invalid("stream '" + stream_id +
+                           "' was quarantined by an earlier failure");
+  }
+  if (shard.detectors.count(stream_id) > 0 ||
+      shard.spilled.count(stream_id) > 0) {
+    return Status::Invalid(
+        "stream '" + stream_id +
+        "' is already bound; an import may not replace live state");
+  }
+  return ImportStreamLocked(shard, stream_id, profile, parts.detector_blob,
+                            blob.size(), submit_seq_.load(),
+                            /*latency_ns=*/0);
+}
+
+Status StreamEngine::ImportStreamLocked(Shard& shard,
+                                        const std::string& stream_id,
+                                        const std::string& profile,
+                                        std::string_view detector_blob,
+                                        std::uint64_t blob_bytes,
+                                        std::uint64_t last_seq,
+                                        std::uint64_t latency_ns) {
+  DetectorOptions per_stream = ProfileOptions(profile);
+  per_stream.seed = DeriveStreamSeed(stream_id, profile);
+  // The spec gate inside ImportState compares the blob against these exact
+  // options (seed included), so a wrong profile definition or engine seed
+  // surfaces as Invalid here rather than as silently different scores.
+  BAGCPD_ASSIGN_OR_RETURN(std::unique_ptr<BagStreamDetector> detector,
+                          BagStreamDetector::Create(per_stream));
+  detector->set_buffer_arena(shard.arena);
+  BAGCPD_RETURN_NOT_OK(detector->ImportState(detector_blob));
+  StreamState state;
+  state.detector = std::move(detector);
+  state.profile = profile;
+  state.last_seq = last_seq;
+  auto it = shard.detectors.emplace(stream_id, std::move(state)).first;
+  if (spill_enabled()) UpdateResidentBytes(it->second);
+  // Restores continue an existing stream, so streams_created_ stays put.
+  live_streams_.fetch_add(1);
+  restored_.fetch_add(1);
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kRestore;
+  event.stream_id = stream_id;
+  event.profile = profile;
+  event.sequence = last_seq;
+  event.enqueue_to_process_ns = latency_ns;
+  event.blob_bytes = blob_bytes;
+  EmitEvent(std::move(event));
+  return Status::OK();
+}
+
+Status StreamEngine::Checkpoint(std::string* blob) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  // Shards are visited (and quiesced) one at a time in index order, keys
+  // sorted within each shard, so the byte stream is deterministic for a
+  // given engine state; the caller keeps submissions stopped across the walk
+  // for the snapshot to be one consistent cut.
+  std::vector<std::string> stream_blobs;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::mutex> lock = QuiesceShard(shard);
+    std::vector<std::string> keys;
+    keys.reserve(shard.detectors.size() + shard.spilled.size());
+    for (const auto& [key, state] : shard.detectors) keys.push_back(key);
+    for (const auto& [key, rec] : shard.spilled) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const std::string& key : keys) {
+      std::string stream_blob;
+      BAGCPD_RETURN_NOT_OK(ExportStreamLocked(shard, key, &stream_blob));
+      stream_blobs.push_back(std::move(stream_blob));
+    }
+  }
+  blob->clear();
+  serialize::WireWriter writer(blob);
+  writer.BeginBlob(serialize::BlobKind::kEngineCheckpoint);
+  writer.BeginSection(serialize::kSecEngineMeta);
+  writer.PutU64(options_.seed);
+  writer.PutU64(stream_blobs.size());
+  writer.EndSection();
+  for (const std::string& stream_blob : stream_blobs) {
+    writer.BeginSection(serialize::kSecEngineStream);
+    writer.PutBytes(stream_blob.data(), stream_blob.size());
+    writer.EndSection();
+  }
+  writer.EndBlob();
+  return Status::OK();
+}
+
+Status StreamEngine::Restore(std::string_view blob) {
+  BAGCPD_RETURN_NOT_OK(init_status_);
+  BAGCPD_ASSIGN_OR_RETURN(
+      serialize::WireReader reader,
+      serialize::OpenBlob(blob, serialize::BlobKind::kEngineCheckpoint));
+  bool have_meta = false;
+  std::uint64_t declared = 0;
+  std::uint64_t seen = 0;
+  while (!reader.AtEnd()) {
+    std::uint32_t tag = 0;
+    std::string_view payload;
+    BAGCPD_RETURN_NOT_OK(reader.NextSection(&tag, &payload));
+    if (tag == serialize::kSecEngineMeta) {
+      serialize::WireReader meta(payload);
+      std::uint64_t engine_seed = 0;
+      BAGCPD_RETURN_NOT_OK(meta.ReadU64(&engine_seed));
+      BAGCPD_RETURN_NOT_OK(meta.ReadU64(&declared));
+      if (engine_seed != options_.seed) {
+        return Status::Invalid(
+            "checkpoint was taken with engine seed " +
+            std::to_string(engine_seed) + " but this engine is seeded " +
+            std::to_string(options_.seed) +
+            "; per-stream seeds would not match");
+      }
+      have_meta = true;
+    } else if (tag == serialize::kSecEngineStream) {
+      BAGCPD_ASSIGN_OR_RETURN(serialize::StreamBlobParts parts,
+                              serialize::ParseStreamBlob(payload));
+      BAGCPD_RETURN_NOT_OK(ImportStream(std::string(parts.key), payload));
+      ++seen;
+    }
+    // Unknown tags: forward-compatible extensions, skipped.
+  }
+  if (!have_meta) {
+    return Status::IoError("engine checkpoint is missing its metadata");
+  }
+  if (seen != declared) {
+    return Status::IoError("engine checkpoint declares " +
+                           std::to_string(declared) + " streams but holds " +
+                           std::to_string(seen));
+  }
+  return Status::OK();
 }
 
 EngineLatencyStats StreamEngine::latency_stats() const {

@@ -40,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -114,6 +115,23 @@ struct StreamEngineOptions {
   /// through it, so the steady-state hot path never touches malloc. Pooling
   /// never changes results (buffers are fully overwritten).
   BufferArenaOptions arena;
+  /// Spill-to-disk eviction. When non-empty, cold streams are *exported*
+  /// instead of destroyed: the idle sweep (and, when spill_resident_bytes is
+  /// set, a byte-budget LRU) writes each victim's checkpoint blob into this
+  /// directory and frees the detector; the next bag for the key transparently
+  /// re-imports the blob and continues with bitwise-identical results — no
+  /// restart, so with spilling on max_idle_submissions governs when state
+  /// leaves memory, never whether it survives. The directory must already
+  /// exist and be writable; a stream whose spill file cannot be read back is
+  /// quarantined like any other stream failure. Empty disables spilling.
+  std::string spill_directory;
+  /// Engine-wide resident-detector-state byte budget for the spill LRU; when
+  /// > 0 (requires spill_directory) each shard spills its coldest streams —
+  /// smallest last-submission sequence first, never the stream whose bag
+  /// triggered the check — while the engine-wide resident total (see
+  /// resident_state_bytes()) exceeds the budget. 0 means no budget: only the
+  /// idle sweep spills.
+  std::size_t spill_resident_bytes = 0;
 };
 
 /// \brief Checks that `options` form a coherent engine configuration; this is
@@ -140,6 +158,15 @@ struct EngineEvent {
     /// `error` holds the failure that quarantined `stream_id` (ragged bag,
     /// detector failure, or a profile conflict). Later bags are dropped.
     kError,
+    /// `stream_id`'s state was exported — by ExportStream, by an engine-wide
+    /// Checkpoint, or by a spill eviction; `blob_bytes` holds the snapshot
+    /// size. The legacy Drain()/DrainErrors() pair discards these, like
+    /// kEviction, so callers polling only the legacy drains are unaffected.
+    kCheckpoint,
+    /// `stream_id`'s state was restored — by ImportStream, by an engine-wide
+    /// Restore, or by the transparent rehydrate of a spilled key on its next
+    /// bag; `blob_bytes` holds the snapshot size read back.
+    kRestore,
   };
   Kind kind = Kind::kStep;
   std::string stream_id;
@@ -154,6 +181,8 @@ struct EngineEvent {
   /// queueing component of ingest latency, in nanoseconds. 0 for kEviction
   /// events raised by the periodic sweep (no triggering bag of their own).
   std::uint64_t enqueue_to_process_ns = 0;
+  /// Checkpoint blob size for kCheckpoint/kRestore events; 0 otherwise.
+  std::uint64_t blob_bytes = 0;
   StepResult step;
   Status error;
 };
@@ -303,8 +332,58 @@ class StreamEngine {
       const std::map<std::string, std::string>& profile_by_key,
       const std::string& default_profile = std::string());
 
+  // -- Checkpointing (wire format in serialize/checkpoint.h) -------------
+
+  /// \brief Snapshots one stream — key, profile binding, and complete
+  /// detector state — into an engine-stream blob. Quiesces the key's shard
+  /// (waits for its queue to drain), so the snapshot always sits between
+  /// pushes; other shards keep running. Works for both resident and spilled
+  /// streams. Fails with Invalid for an unknown or quarantined key. Emits a
+  /// kCheckpoint event. May be called from any thread, including after
+  /// Shutdown() (the checkpoint-at-exit pattern).
+  Status ExportStream(const std::string& stream_id, std::string* blob);
+
+  /// \brief Restores a stream exported by ExportStream (possibly from
+  /// another engine process). The blob's embedded key must equal
+  /// `stream_id`, its profile must be registered here with identical
+  /// detector options (per-stream seeds re-derive from THIS engine's seed,
+  /// so the engine seed must match the exporter's for bitwise continuation —
+  /// the options-spec gate enforces it), and the key must not already be
+  /// bound, spilled, or quarantined (Invalid otherwise). A truncated or
+  /// corrupt blob fails with IoError, an unknown format version with
+  /// NotImplemented; failures never leave a partial stream behind. Restored
+  /// detectors rehydrate their buffers through the owning shard's arena.
+  /// Emits a kRestore event.
+  Status ImportStream(const std::string& stream_id, std::string_view blob);
+
+  /// \brief Snapshots the whole engine — seed plus every stream, resident or
+  /// spilled — into one engine-checkpoint blob. Walks shards in index order
+  /// (quiescing each in turn) with keys sorted within a shard, so the bytes
+  /// are deterministic for a given engine state. The caller must stop
+  /// submitting for the snapshot to be a consistent cut across shards (after
+  /// a Flush(), or post-Shutdown()).
+  Status Checkpoint(std::string* blob);
+
+  /// \brief Restores every stream of an engine checkpoint into this engine
+  /// (which must be configured with the same engine seed — Invalid
+  /// otherwise — and have the profiles the checkpoint's streams bind to).
+  /// Each stream is restored exactly as ImportStream would; the first
+  /// failure aborts the walk, leaving earlier streams restored.
+  Status Restore(std::string_view blob);
+
+  /// \brief Streams spilled to disk so far (cumulative).
+  std::uint64_t spilled_count() const { return spilled_.load(); }
+  /// \brief Streams restored so far (ImportStream / Restore / transparent
+  /// rehydrate), cumulative.
+  std::uint64_t restored_count() const { return restored_.load(); }
+  /// \brief Estimated resident detector-state bytes across all shards (the
+  /// quantity the spill budget caps). Maintained only when spilling is
+  /// enabled; 0 otherwise.
+  std::size_t resident_state_bytes() const { return resident_bytes_.load(); }
+
   /// \brief Stops accepting work, drains in-flight work, joins workers.
-  /// Idempotent; called by the destructor.
+  /// Idempotent; called by the destructor. Spill files are left on disk (they
+  /// are the recovery artifacts).
   void Shutdown();
 
   std::size_t num_shards() const { return shards_.size(); }
@@ -350,6 +429,17 @@ class StreamEngine {
     // Profile the key bound to at detector creation.
     std::string profile;
     std::uint64_t last_seq = 0;
+    // Last EstimatedStateBytes() reading, folded into resident_bytes_;
+    // maintained only when spilling is enabled.
+    std::size_t state_bytes = 0;
+  };
+
+  // A stream whose detector state lives in a spill file instead of memory.
+  struct SpilledStream {
+    std::string path;
+    std::string profile;
+    std::uint64_t last_seq = 0;
+    std::uint64_t blob_bytes = 0;
   };
 
   struct Shard {
@@ -364,6 +454,8 @@ class StreamEngine {
     // Touched only by this shard's worker thread (keyed state lives with the
     // shard that owns the key).
     std::unordered_map<std::string, StreamState> detectors;
+    // Spilled keys of this shard (same ownership rules as detectors).
+    std::unordered_map<std::string, SpilledStream> spilled;
     std::unordered_map<std::string, Status> quarantined;
     // Worker-local counter driving the periodic idle sweep.
     std::uint64_t processed_since_sweep = 0;
@@ -395,6 +487,42 @@ class StreamEngine {
   void SweepIdle(Shard& shard, std::uint64_t now_seq);
   std::size_t ShardOf(const std::string& stream_id) const;
 
+  // -- Checkpoint / spill internals --------------------------------------
+  bool spill_enabled() const { return !options_.spill_directory.empty(); }
+  // Blocks until `shard` has no queued or in-flight task and returns the
+  // held lock: the worker is parked on its empty-queue wait and Submit is
+  // blocked on the mutex, so the caller may touch shard-owned state.
+  std::unique_lock<std::mutex> QuiesceShard(Shard& shard);
+  // ExportStream body, shard already quiesced.
+  Status ExportStreamLocked(Shard& shard, const std::string& stream_id,
+                            std::string* blob);
+  // ImportStream body past validation: builds the detector, restores the
+  // blob into it, registers the stream, emits kRestore. `restoring_spill`
+  // distinguishes a transparent rehydrate (keeps the spill record's
+  // last_seq) from an explicit import (stamped with the current sequence).
+  Status ImportStreamLocked(Shard& shard, const std::string& stream_id,
+                            const std::string& profile,
+                            std::string_view detector_blob,
+                            std::uint64_t blob_bytes, std::uint64_t last_seq,
+                            std::uint64_t latency_ns);
+  // Exports `stream_id`'s resident detector to a fresh spill file; true on
+  // success (the detector is freed), false if the stream stays resident
+  // (export or write failed — memory pressure persists but nothing is lost).
+  bool SpillStream(Shard& shard, const std::string& stream_id,
+                   std::uint64_t now_seq);
+  // Reads a spilled key's file back into a resident detector (through the
+  // shard arena). The spill record is consumed either way; a failure
+  // quarantines the stream at the caller.
+  Status RehydrateStream(Shard& shard, const std::string& stream_id,
+                         std::uint64_t seq, std::uint64_t latency_ns);
+  // Spills this shard's coldest streams while the engine-wide resident total
+  // exceeds the budget (never the stream whose bag triggered the check).
+  void EnforceSpillBudget(Shard& shard, std::uint64_t now_seq);
+  // Fresh spill-file path for `stream_id` (hash + running counter).
+  std::string SpillPathFor(const std::string& stream_id);
+  // Folds a new EstimatedStateBytes reading into the resident accounting.
+  void UpdateResidentBytes(StreamState& state);
+
   StreamEngineOptions options_;
   Status init_status_;
   EventSink sink_;
@@ -417,6 +545,13 @@ class StreamEngine {
   std::atomic<std::size_t> streams_created_{0};
   std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::size_t> live_streams_{0};
+  // Checkpoint subsystem counters: cumulative spills and restores, the
+  // resident-state total the spill budget caps, and the spill-file name
+  // sequence (never reused, so a respilled key gets a fresh file).
+  std::atomic<std::uint64_t> spilled_{0};
+  std::atomic<std::uint64_t> restored_{0};
+  std::atomic<std::size_t> resident_bytes_{0};
+  std::atomic<std::uint64_t> spill_file_seq_{0};
   // Global submission sequence; tasks record it so idleness is measured in
   // engine-wide submissions, independent of sharding. Doubles as the
   // submitted_count() value: exactly one increment per accepted submission.

@@ -1,0 +1,131 @@
+// Wire layer of the checkpoint subsystem: a little-endian, checksummed,
+// sectioned binary container. Every bagcpd checkpoint artifact — a detector
+// snapshot, an engine stream record, a whole-engine checkpoint file — is one
+// *blob* in this format:
+//
+//   [magic "BAGCPDCK" (8)] [format version u32] [blob kind u32]
+//   [section]*
+//   [CRC-32 u32 over every preceding byte]
+//
+// where a section is [tag u32][payload length u64][payload bytes]. Readers
+// skip sections with unknown tags, so later format versions can add sections
+// without breaking version-1 readers; the version field is bumped only for
+// incompatible layout changes. All integers and IEEE-754 doubles are
+// little-endian regardless of host byte order.
+//
+// WireWriter appends to a caller-owned std::string; WireReader walks a
+// non-owning view with bounds-checked, Status-returning accessors — a
+// truncated or corrupt blob is always a recoverable error, never UB.
+
+#ifndef BAGCPD_SERIALIZE_WIRE_H_
+#define BAGCPD_SERIALIZE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bagcpd/common/result.h"
+#include "bagcpd/common/status.h"
+
+namespace bagcpd {
+namespace serialize {
+
+/// \brief The 8-byte magic opening every checkpoint blob.
+inline constexpr char kBlobMagic[8] = {'B', 'A', 'G', 'C', 'P', 'D', 'C', 'K'};
+
+/// \brief Current (and only) format version.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// \brief What a blob contains (the header's kind field).
+enum class BlobKind : std::uint32_t {
+  /// One BagStreamDetector's complete state.
+  kDetector = 1,
+  /// One engine stream: key + profile binding + nested detector blob.
+  kEngineStream = 2,
+  /// A whole-engine checkpoint: engine metadata + one stream record per
+  /// resident (or spilled) stream.
+  kEngineCheckpoint = 3,
+};
+
+/// \brief IEEE CRC-32 (reflected, polynomial 0xEDB88320) of `size` bytes,
+/// continuing from `crc` (pass 0 to start).
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t crc = 0);
+
+/// \brief Appends wire-format primitives to a caller-owned buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  /// \brief Writes the blob header (magic + version + kind). Call first.
+  void BeginBlob(BlobKind kind);
+
+  /// \brief Appends the CRC-32 footer over everything written since
+  /// construction. Call last; the blob is complete afterwards.
+  void EndBlob();
+
+  /// \brief Opens a section; exactly one EndSection() must follow. Sections
+  /// do not nest (nest whole blobs inside a section payload instead).
+  void BeginSection(std::uint32_t tag);
+  void EndSection();
+
+  void PutU8(std::uint8_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutF64(double v);
+  void PutF64Array(const double* data, std::size_t n);
+  void PutBytes(const void* data, std::size_t n);
+  /// \brief u64 length prefix + raw bytes.
+  void PutString(std::string_view s);
+
+ private:
+  std::string* out_;
+  std::size_t blob_base_ = 0;
+  // Offset of the open section's length field; npos when none is open.
+  std::size_t section_len_at_ = std::string::npos;
+};
+
+/// \brief Bounds-checked cursor over a wire-format byte range. Every read
+/// fails with Status::IoError (never reads past the end) on truncation.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Status ReadU8(std::uint8_t* v);
+  Status ReadU32(std::uint32_t* v);
+  Status ReadU64(std::uint64_t* v);
+  Status ReadF64(double* v);
+  Status ReadF64Array(double* out, std::size_t n);
+  /// \brief Hands out a non-owning view of the next `n` raw bytes.
+  Status ReadBytes(std::size_t n, std::string_view* out);
+  /// \brief u64 length prefix + raw bytes, as a view into the buffer.
+  Status ReadString(std::string_view* out);
+
+  /// \brief Reads one section header + payload; `*tag` and `*payload` are
+  /// filled and the cursor moves past the section. Call AtEnd() first.
+  Status NextSection(std::uint32_t* tag, std::string_view* payload);
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// \brief Validates a complete blob — size, magic, version, kind, CRC footer
+/// — and returns a reader positioned at the first section. The returned
+/// reader covers exactly the section region (header and footer excluded).
+/// Errors: IoError for truncation/corruption (checksum), NotImplemented for
+/// a format version newer than this build, Invalid for a kind mismatch.
+Result<WireReader> OpenBlob(std::string_view blob, BlobKind expected_kind);
+
+/// \brief Reads just the kind field of a blob (magic/version/size are still
+/// validated; the CRC is not, so this is cheap on large files).
+Result<BlobKind> PeekBlobKind(std::string_view blob);
+
+}  // namespace serialize
+}  // namespace bagcpd
+
+#endif  // BAGCPD_SERIALIZE_WIRE_H_

@@ -183,6 +183,13 @@ class SignatureRing {
   SignatureView view(std::size_t i) const;
   SignatureView operator[](std::size_t i) const { return view(i); }
 
+  /// \brief Resident heap footprint of the ring's buffers, in bytes (the
+  /// checkpoint subsystem's spill-budget accounting).
+  std::size_t memory_bytes() const {
+    return data_.capacity() * sizeof(double) +
+           ks_.capacity() * sizeof(std::size_t);
+  }
+
  private:
   std::size_t SlotOf(std::size_t i) const {
     return (head_ + i) % capacity_;

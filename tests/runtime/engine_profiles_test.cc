@@ -299,6 +299,10 @@ TEST(EngineProfilesTest, EventSinkReceivesEveryKind) {
         EXPECT_EQ(event.stream_id, "broken");
         EXPECT_FALSE(event.error.ok());
         break;
+      case EngineEvent::Kind::kCheckpoint:
+      case EngineEvent::Kind::kRestore:
+        ADD_FAILURE() << "no checkpoint traffic in this test";
+        break;
     }
   }
   EXPECT_EQ(steps, 1u);  // steady: 8 bags, window 8 -> one result.

@@ -1,0 +1,83 @@
+// ckpt_inspect: prints what a checkpoint artifact contains without loading
+// any detector — the operator-facing view of the serialize/ wire format.
+// Accepts all three blob kinds (engine checkpoint, single engine-stream
+// blob, bare detector blob) and spill files, which ARE engine-stream blobs.
+//
+//   ckpt_inspect <file.ckpt> [...]
+//
+// For each file: the format version, the blob kind, the engine seed (engine
+// checkpoints only), and one row per stream — key, profile, window fill,
+// resume position, and serialized size.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bagcpd/bagcpd.h"
+
+namespace {
+
+const char* KindName(bagcpd::serialize::BlobKind kind) {
+  switch (kind) {
+    case bagcpd::serialize::BlobKind::kDetector:
+      return "detector";
+    case bagcpd::serialize::BlobKind::kEngineStream:
+      return "engine-stream";
+    case bagcpd::serialize::BlobKind::kEngineCheckpoint:
+      return "engine-checkpoint";
+  }
+  return "unknown";
+}
+
+int InspectFile(const std::string& path) {
+  std::vector<double> storage;
+  bagcpd::Result<std::size_t> bytes =
+      bagcpd::serialize::ReadFileBytes(path, nullptr, &storage);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 bytes.status().ToString().c_str());
+    return 1;
+  }
+  const std::string_view blob =
+      bagcpd::serialize::FileBytesView(storage, bytes.ValueOrDie());
+  bagcpd::Result<bagcpd::serialize::CheckpointInfo> info =
+      bagcpd::serialize::InspectCheckpoint(blob);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  const bagcpd::serialize::CheckpointInfo& ckpt = info.ValueOrDie();
+
+  std::printf("%s: %zu bytes, format v%u, kind %s", path.c_str(), blob.size(),
+              ckpt.version, KindName(ckpt.kind));
+  if (ckpt.kind == bagcpd::serialize::BlobKind::kEngineCheckpoint) {
+    std::printf(", engine seed %llu, %zu streams",
+                static_cast<unsigned long long>(ckpt.engine_seed),
+                ckpt.streams.size());
+  }
+  std::printf("\n");
+  for (const bagcpd::serialize::StreamBlobInfo& stream : ckpt.streams) {
+    std::printf(
+        "  %-24s profile=%-12s window=%zu/%zu next_index=%llu bytes=%zu\n",
+        stream.key.c_str(), stream.profile.c_str(),
+        stream.detector.window_fill, stream.detector.window_capacity,
+        static_cast<unsigned long long>(stream.detector.next_index),
+        stream.blob_bytes);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <checkpoint-file> [...]\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (InspectFile(argv[i]) != 0) rc = 1;
+  }
+  return rc;
+}

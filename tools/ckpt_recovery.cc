@@ -1,0 +1,164 @@
+// ckpt_recovery: crash-recovery integration driver for the CI job. Runs a
+// deterministic multi-stream workload in one of three modes and prints every
+// step result as hex floats (%a — bit-exact, locale-free), one line per
+// step, so plain `sort | diff` proves the recovery contract:
+//
+//   ckpt_recovery full   <shards> <split> <total> -        # uninterrupted
+//   ckpt_recovery phase1 <shards> <split> <total> <ckpt>   # run, checkpoint
+//   ckpt_recovery phase2 <shards> <split> <total> <ckpt>   # fresh process,
+//                                                          # restore, finish
+//
+// sort(phase1.out + phase2.out) must equal sort(full.out) bitwise, for ANY
+// shard counts on either side — phase2 is a different process with no state
+// but the checkpoint file.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bagcpd/bagcpd.h"
+
+namespace {
+
+constexpr std::size_t kKeys = 6;
+constexpr std::uint64_t kEngineSeed = 5;
+
+bagcpd::DetectorOptions RecoveryDetector() {
+  bagcpd::DetectorOptions options;
+  options.tau = 3;
+  options.tau_prime = 3;
+  options.bootstrap.replicates = 30;
+  options.signature.method = bagcpd::SignatureMethod::kKMeans;
+  options.signature.k = 3;
+  options.seed = 0;
+  return options;
+}
+
+std::map<std::string, bagcpd::BagSequence> Corpus(std::size_t total) {
+  std::map<std::string, bagcpd::BagSequence> corpus;
+  const bagcpd::GaussianMixture before =
+      bagcpd::GaussianMixture::Isotropic({0.0, 0.0}, 0.5);
+  const bagcpd::GaussianMixture after =
+      bagcpd::GaussianMixture::Isotropic({4.0, 4.0}, 0.5);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::string key = "stream-" + std::to_string(i);
+    bagcpd::Rng rng(1000 + i);
+    bagcpd::BagSequence bags;
+    for (std::size_t t = 0; t < total; ++t) {
+      bags.push_back((t >= total / 2 ? after : before).SampleBag(14, &rng));
+    }
+    corpus.emplace(key, std::move(bags));
+  }
+  return corpus;
+}
+
+int Fatal(const bagcpd::Status& status, const char* what) {
+  std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+void SubmitRange(bagcpd::StreamEngine* engine,
+                 const std::map<std::string, bagcpd::BagSequence>& corpus,
+                 std::size_t from, std::size_t to) {
+  for (std::size_t t = from; t < to; ++t) {
+    for (const auto& [key, bags] : corpus) {
+      const bagcpd::Status status = engine->Submit(key, bags[t]);
+      if (!status.ok()) {
+        std::fprintf(stderr, "FATAL submit %s t=%zu: %s\n", key.c_str(), t,
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+}
+
+void PrintSteps(bagcpd::StreamEngine* engine) {
+  // One self-contained line per step; hex floats make the diff bit-exact.
+  std::map<std::string, std::vector<bagcpd::StepResult>> steps;
+  for (const bagcpd::EngineEvent& event : engine->DrainEvents()) {
+    if (event.kind == bagcpd::EngineEvent::Kind::kStep) {
+      steps[event.stream_id].push_back(event.step);
+    }
+  }
+  for (const auto& [key, series] : steps) {
+    for (const bagcpd::StepResult& step : series) {
+      std::printf("%s t=%llu score=%a lo=%a up=%a xi=%a alarm=%d\n",
+                  key.c_str(), static_cast<unsigned long long>(step.time),
+                  step.score, step.ci_lo, step.ci_up, step.xi,
+                  step.alarm ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 6) {
+    std::fprintf(stderr,
+                 "usage: %s full|phase1|phase2 <shards> <split> <total> "
+                 "<ckpt-file|->\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const std::size_t shards =
+      static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10));
+  const std::size_t split =
+      static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+  const std::size_t total =
+      static_cast<std::size_t>(std::strtoull(argv[4], nullptr, 10));
+  const std::string ckpt_path = argv[5];
+  if (split > total || total == 0) {
+    std::fprintf(stderr, "FATAL: need 0 <= split <= total, total > 0\n");
+    return 2;
+  }
+
+  const auto corpus = Corpus(total);
+  bagcpd::StreamEngineOptions options;
+  options.num_shards = shards;
+  options.seed = kEngineSeed;
+  options.detector = RecoveryDetector();
+  bagcpd::Result<std::unique_ptr<bagcpd::StreamEngine>> created =
+      bagcpd::StreamEngine::Create(options);
+  if (!created.ok()) return Fatal(created.status(), "engine init");
+  std::unique_ptr<bagcpd::StreamEngine> engine = created.MoveValueUnsafe();
+
+  if (mode == "full") {
+    SubmitRange(engine.get(), corpus, 0, total);
+    engine->Flush();
+    PrintSteps(engine.get());
+    return 0;
+  }
+  if (mode == "phase1") {
+    SubmitRange(engine.get(), corpus, 0, split);
+    engine->Flush();
+    PrintSteps(engine.get());
+    std::string blob;
+    const bagcpd::Status status = engine->Checkpoint(&blob);
+    if (!status.ok()) return Fatal(status, "Checkpoint");
+    const bagcpd::Status written =
+        bagcpd::serialize::WriteFileBytes(ckpt_path, blob);
+    if (!written.ok()) return Fatal(written, "write checkpoint");
+    std::fprintf(stderr, "checkpoint: %zu bytes -> %s\n", blob.size(),
+                 ckpt_path.c_str());
+    return 0;
+  }
+  if (mode == "phase2") {
+    std::vector<double> storage;
+    bagcpd::Result<std::size_t> bytes =
+        bagcpd::serialize::ReadFileBytes(ckpt_path, nullptr, &storage);
+    if (!bytes.ok()) return Fatal(bytes.status(), "read checkpoint");
+    const bagcpd::Status restored = engine->Restore(
+        bagcpd::serialize::FileBytesView(storage, bytes.ValueOrDie()));
+    if (!restored.ok()) return Fatal(restored, "Restore");
+    engine->DrainEvents();  // Discard the kRestore events.
+    SubmitRange(engine.get(), corpus, split, total);
+    engine->Flush();
+    PrintSteps(engine.get());
+    return 0;
+  }
+  std::fprintf(stderr, "FATAL: unknown mode '%s'\n", mode.c_str());
+  return 2;
+}
