@@ -197,12 +197,17 @@ DetectorSpec& DetectorSpec::Emd(const EmdSolverOptions& options) {
 DetectorSpec& DetectorSpec::Emd(const std::string& spec) {
   Result<EmdSolverOptions> parsed = ParseEmdSolverSpec(spec);
   if (parsed.ok()) {
-    // Mirrors Set("emd", ...): the spec string never carries heap_at (that
-    // is the separate `emd-heap-at=` key / EmdHeapAt() setter), so a
-    // previously chosen crossover survives re-selecting the solver kind.
+    // Mirrors Set("emd", ...): the spec string never carries heap_at, the
+    // exact-fallback flag, or the fault scope (each has its own key/setter —
+    // or, for fault_scope, is stamped by the owning detector), so previously
+    // chosen values survive re-selecting the solver kind.
     const std::size_t heap_at = options_.emd.heap_at;
+    const bool fallback_exact = options_.emd.fallback_exact;
+    const std::uint64_t fault_scope = options_.emd.fault_scope;
     options_.emd = parsed.ValueOrDie();
     options_.emd.heap_at = heap_at;
+    options_.emd.fallback_exact = fallback_exact;
+    options_.emd.fault_scope = fault_scope;
   } else if (error_.ok()) {
     error_ = parsed.status();
   }
@@ -211,6 +216,11 @@ DetectorSpec& DetectorSpec::Emd(const std::string& spec) {
 
 DetectorSpec& DetectorSpec::EmdHeapAt(std::size_t k_plus_l) {
   options_.emd.heap_at = k_plus_l;
+  return *this;
+}
+
+DetectorSpec& DetectorSpec::EmdFallbackExact(bool fallback) {
+  options_.emd.fallback_exact = fallback;
   return *this;
 }
 
@@ -321,12 +331,27 @@ Status DetectorSpec::Set(const std::string& key, const std::string& value) {
   } else if (key == "emd") {
     // The value is a full solver spec ("exact", "sinkhorn:0.05:200:1e-8",
     // "sliced:32"); ParseEmdSolverSpec validates kind and knobs together.
-    // Parsing replaces the whole EmdSolverOptions EXCEPT heap_at, which has
-    // its own key below — "emd=...,emd-heap-at=N" and the reverse order both
-    // land on the same options.
+    // Parsing replaces the whole EmdSolverOptions EXCEPT heap_at and the
+    // exact-fallback flag, which have their own keys — "emd=...,emd-heap-at=N"
+    // and the reverse order both land on the same options (fault_scope is
+    // stamped by the owning detector, never spec-carried).
     const std::size_t heap_at = options_.emd.heap_at;
+    const bool fallback_exact = options_.emd.fallback_exact;
+    const std::uint64_t fault_scope = options_.emd.fault_scope;
     BAGCPD_ASSIGN_OR_RETURN(options_.emd, ParseEmdSolverSpec(value));
     options_.emd.heap_at = heap_at;
+    options_.emd.fallback_exact = fallback_exact;
+    options_.emd.fault_scope = fault_scope;
+  } else if (key == "emd-fallback") {
+    // Graceful degradation: "exact" re-solves a failed approximate pair with
+    // the exact solver; "none" (the default) surfaces the failure.
+    if (value == "exact") {
+      options_.emd.fallback_exact = true;
+    } else if (value == "none") {
+      options_.emd.fallback_exact = false;
+    } else {
+      return BadValue(key, value, "exact/none");
+    }
   } else if (key == "emd-heap-at") {
     // K+L crossover for the exact solver's heap Dijkstra; 0 = always the
     // dense scan. A performance knob only — results are bitwise-identical
@@ -340,7 +365,7 @@ Status DetectorSpec::Set(const std::string& key, const std::string& value) {
         "unknown key '" + key +
         "' (known: quantizer, k, bin_width, histogram_origin, normalize, "
         "tau, tau_prime, score, weights, ground, bootstrap, replicates, "
-        "alpha, distance_floor, emd, emd-heap-at, seed)");
+        "alpha, distance_floor, emd, emd-heap-at, emd-fallback, seed)");
   }
   return Status::OK();
 }
@@ -407,6 +432,10 @@ std::string DetectorSpec::ToKeyValues() const {
   out += ",distance_floor=" + FormatDouble(options_.info.distance_floor);
   out += ",emd=" + EmdSolverSpecString(options_.emd);
   out += ",emd-heap-at=" + std::to_string(options_.emd.heap_at);
+  // Emitted only when set: legacy canonical strings (and every checkpoint
+  // blob's embedded options spec) stay byte-identical for configs that never
+  // enable the fallback.
+  if (options_.emd.fallback_exact) out += ",emd-fallback=exact";
   out += ",seed=" + std::to_string(options_.seed);
   return out;
 }
@@ -458,6 +487,23 @@ Result<EngineSpec> EngineSpec::FromKeyValues(const std::string& text) {
     } else if (key == "spill_budget") {
       BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
       spec.options_.spill_resident_bytes = static_cast<std::size_t>(v);
+    } else if (key == "spill_gc") {
+      BAGCPD_ASSIGN_OR_RETURN(spec.options_.spill_gc_submissions,
+                              ParseUnsigned(key, value));
+    } else if (key == "fault_budget") {
+      BAGCPD_ASSIGN_OR_RETURN(std::uint64_t v, ParseUnsigned(key, value));
+      spec.options_.max_stream_faults = static_cast<std::size_t>(v);
+    } else if (key == "fault_backoff") {
+      BAGCPD_ASSIGN_OR_RETURN(spec.options_.fault_backoff_submissions,
+                              ParseUnsigned(key, value));
+    } else if (key == "snapshot_every") {
+      BAGCPD_ASSIGN_OR_RETURN(spec.options_.snapshot_interval,
+                              ParseUnsigned(key, value));
+    } else if (key == "fault") {
+      // A fault-injection spec ("point:mode:arg[:seed]"); colons are fine,
+      // commas cannot appear in it (the text form's separator). Validated by
+      // Build() with the rest of the options.
+      spec.options_.fault = value;
     } else {
       if (!detector_text.empty()) detector_text += ',';
       detector_text += key + "=" + value;
@@ -482,7 +528,23 @@ std::string EngineSpec::ToKeyValues() const {
     if (options_.spill_resident_bytes > 0) {
       out += ",spill_budget=" + std::to_string(options_.spill_resident_bytes);
     }
+    if (options_.spill_gc_submissions > 0) {
+      out += ",spill_gc=" + std::to_string(options_.spill_gc_submissions);
+    }
   }
+  // Fault-containment keys appear only when configured, for the same
+  // byte-identical-legacy-echo reason as the spill keys.
+  if (options_.max_stream_faults > 0) {
+    out += ",fault_budget=" + std::to_string(options_.max_stream_faults);
+    if (options_.fault_backoff_submissions > 0) {
+      out +=
+          ",fault_backoff=" + std::to_string(options_.fault_backoff_submissions);
+    }
+    if (options_.snapshot_interval > 0) {
+      out += ",snapshot_every=" + std::to_string(options_.snapshot_interval);
+    }
+  }
+  if (!options_.fault.empty()) out += ",fault=" + options_.fault;
   out += ",";
   // The detector's canonical form ends with its own ",seed=0" (enforced 0
   // under an engine); strip it so the one `seed` key in the output is
@@ -534,6 +596,36 @@ EngineSpec& EngineSpec::SpillDirectory(const std::string& directory) {
 
 EngineSpec& EngineSpec::SpillBudget(std::size_t bytes) {
   options_.spill_resident_bytes = bytes;
+  return *this;
+}
+
+EngineSpec& EngineSpec::FaultBudget(std::size_t budget) {
+  options_.max_stream_faults = budget;
+  return *this;
+}
+
+EngineSpec& EngineSpec::FaultBackoff(std::uint64_t submissions) {
+  options_.fault_backoff_submissions = submissions;
+  return *this;
+}
+
+EngineSpec& EngineSpec::SnapshotEvery(std::uint64_t pushes) {
+  options_.snapshot_interval = pushes;
+  return *this;
+}
+
+EngineSpec& EngineSpec::MaxRestoreFailures(std::size_t attempts) {
+  options_.max_restore_failures = attempts;
+  return *this;
+}
+
+EngineSpec& EngineSpec::SpillGc(std::uint64_t submissions) {
+  options_.spill_gc_submissions = submissions;
+  return *this;
+}
+
+EngineSpec& EngineSpec::Fault(const std::string& spec) {
+  options_.fault = spec;
   return *this;
 }
 

@@ -79,6 +79,14 @@ class DetectorSpec {
   /// (`emd-heap-at=` key); 0 = always the dense scan. A performance knob
   /// only — results are bitwise-identical at any value.
   DetectorSpec& EmdHeapAt(std::size_t k_plus_l);
+  /// \brief Graceful degradation: when true, an approximate EMD solve that
+  /// fails (Sinkhorn underflow / non-finite transport) silently re-solves
+  /// the pair with the exact solver instead of failing the push (`emd-fallback`
+  /// key: "exact" / "none"). Deterministic — whether a pair falls back is a
+  /// pure function of that pair's inputs, so results are identical across
+  /// thread pools and shard counts. Preserved by Emd(spec-string), like the
+  /// heap crossover.
+  DetectorSpec& EmdFallbackExact(bool fallback);
 
   // -- Quantizer -------------------------------------------------------
   DetectorSpec& Quantizer(SignatureMethod method);
@@ -131,7 +139,8 @@ class EngineSpec {
 
   /// \brief Parses a comma-separated config string covering the engine
   /// topology plus the default detector. `shards`, `queue`, `collect`,
-  /// `max_idle`, `spill_dir`, `spill_budget`, and `seed` are engine-level
+  /// `max_idle`, `spill_dir`, `spill_budget`, `spill_gc`, `fault_budget`,
+  /// `fault_backoff`, `snapshot_every`, `fault`, and `seed` are engine-level
   /// keys (seed is the ENGINE seed —
   /// detector seeds stay 0 under an engine, as Build() enforces); every
   /// other key=value token configures the default detector exactly as
@@ -156,6 +165,24 @@ class EngineSpec {
   /// .spill_resident_bytes); text-form key `spill_budget`; needs
   /// SpillDirectory.
   EngineSpec& SpillBudget(std::size_t bytes);
+  /// \brief Per-stream fault budget (StreamEngineOptions.max_stream_faults);
+  /// key `fault_budget`. 0 = historical quarantine-on-first-failure.
+  EngineSpec& FaultBudget(std::size_t budget);
+  /// \brief Backoff window per contained fault, in engine-wide submissions
+  /// (.fault_backoff_submissions); key `fault_backoff`; needs FaultBudget.
+  EngineSpec& FaultBackoff(std::uint64_t submissions);
+  /// \brief Rolling recovery-snapshot interval in pushes
+  /// (.snapshot_interval); key `snapshot_every`; needs FaultBudget.
+  EngineSpec& SnapshotEvery(std::uint64_t pushes);
+  /// \brief Failed restores tolerated before a snapshot is discarded
+  /// (.max_restore_failures). API-only, like Arena().
+  EngineSpec& MaxRestoreFailures(std::size_t attempts);
+  /// \brief Spill-file GC horizon in engine-wide submissions
+  /// (.spill_gc_submissions); key `spill_gc`; needs SpillDirectory.
+  EngineSpec& SpillGc(std::uint64_t submissions);
+  /// \brief Fault-injection spec armed at Create() (StreamEngineOptions
+  /// .fault, syntax in fault/fault_injector.h); key `fault`.
+  EngineSpec& Fault(const std::string& spec);
   /// \brief The default profile every unqualified Submit routes to.
   EngineSpec& Detector(const DetectorSpec& spec);
   /// \brief Adds a named profile; Submit(key, bag, name) routes to it.

@@ -58,6 +58,10 @@
 #include "bagcpd/core/scores.h"
 #include "bagcpd/core/segmentation.h"
 
+// Deterministic fault injection: the named fault points behind the engine's
+// `fault=` option and the recovery drills in tests/ and tools/fault_drill.
+#include "bagcpd/fault/fault_injector.h"
+
 // Concurrent runtime: thread pool + keyed multi-stream engine.
 #include "bagcpd/runtime/stream_engine.h"
 #include "bagcpd/runtime/thread_pool.h"

@@ -275,6 +275,14 @@ Result<BatchTable> ReadBatchTableCsv(const std::string& path,
                                ": value '" + row[2 + d] +
                                "' is not a number");
       }
+      // NaN/Inf are rejected at the file boundary so a poisoned value is
+      // named by its row instead of surfacing later as a skipped step or a
+      // dropped engine submission.
+      if (!std::isfinite(point[d])) {
+        return Status::Invalid(path + ": row " + std::to_string(r + 1) +
+                               ": column v" + std::to_string(d) +
+                               " holds non-finite value '" + row[2 + d] + "'");
+      }
     }
     const std::string& profile = has_profile ? row.back() : std::string();
     BAGCPD_RETURN_NOT_OK(
@@ -349,6 +357,14 @@ Result<BatchTable> ReadBatchTableBinary(const std::string& path,
         point.resize(dim);
         for (std::uint32_t d = 0; d < dim; ++d) {
           BAGCPD_RETURN_NOT_OK(reader.GetF64(&point[d]));
+          // Same boundary rejection as the CSV reader: name the offending
+          // row rather than let NaN/Inf propagate into a detector.
+          if (!std::isfinite(point[d])) {
+            return Status::Invalid(
+                path + ": group '" + key + "' step " + std::to_string(s) +
+                " row " + std::to_string(i) + " value " + std::to_string(d) +
+                " is non-finite");
+          }
         }
         BAGCPD_RETURN_NOT_OK(builder.AddRow(
             key, timestamp, PointView(point.data(), point.size()), profile));

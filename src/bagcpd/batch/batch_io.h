@@ -45,7 +45,8 @@ Status WriteBatchTableCsv(const std::string& path, const BatchTable& table);
 /// \brief Reads the CSV layout above into a canonical table. `arena`
 /// (optional) backs the table's value buffer. Column order is fixed; the
 /// trailing profile column is optional. Timestamps must parse as integers
-/// and values as doubles.
+/// and values as finite doubles — a NaN/Inf value fails the load with
+/// kInvalidArgument naming the offending row.
 Result<BatchTable> ReadBatchTableCsv(const std::string& path,
                                      BufferArena* arena = nullptr);
 
@@ -53,7 +54,9 @@ Result<BatchTable> ReadBatchTableCsv(const std::string& path,
 /// and profiles exactly).
 Status WriteBatchTableBinary(const std::string& path, const BatchTable& table);
 
-/// \brief Reads the binary layout above into a canonical table.
+/// \brief Reads the binary layout above into a canonical table. Values must
+/// be finite — a NaN/Inf fails the load with kInvalidArgument naming the
+/// offending group/step/row.
 Result<BatchTable> ReadBatchTableBinary(const std::string& path,
                                         BufferArena* arena = nullptr);
 

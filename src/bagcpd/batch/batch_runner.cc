@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "bagcpd/common/check.h"
+#include "bagcpd/common/point.h"
 #include "bagcpd/runtime/stream_engine.h"
 #include "bagcpd/runtime/thread_pool.h"
 
@@ -155,6 +156,9 @@ Result<BatchResultTable> RunBatchColumnar(const BatchTable& table,
   // the group after the fact). Slots are only ever written by the one shard
   // owning the group.
   std::vector<Status> outcome(num_groups, Status::OK());
+  // Steps skipped for non-finite values, per group; merged into out.skipped
+  // in table order by the epilogue so the report is shard-independent.
+  std::vector<std::vector<BatchResultTable::Skipped>> skipped_steps(num_groups);
 
   const std::size_t num_shards = std::max<std::size_t>(1, options.num_shards);
   std::vector<std::unique_ptr<BufferArena>> arenas;
@@ -194,16 +198,30 @@ Result<BatchResultTable> RunBatchColumnar(const BatchTable& table,
         out.step[offset + step] = static_cast<std::uint32_t>(step);
         out.timestamp[offset + step] = table.step_timestamp(g, step);
       }
+      // Detector time t is an index over the bags actually pushed; with
+      // skipped steps that differs from the table step, so the mapping is
+      // kept explicitly.
+      std::vector<std::size_t> pushed_step;
+      pushed_step.reserve(steps);
       for (std::size_t step = 0; step < steps; ++step) {
-        Result<std::optional<StepResult>> pushed =
-            detector->Push(table.step_bag(g, step));
+        const BagView bag = table.step_bag(g, step);
+        Status finite = CheckBagViewFinite(bag);
+        if (!finite.ok()) {
+          skipped_steps[g].push_back(BatchResultTable::Skipped{
+              table.group_key(g), static_cast<std::uint32_t>(step),
+              std::move(finite)});
+          continue;
+        }
+        pushed_step.push_back(step);
+        Result<std::optional<StepResult>> pushed = detector->Push(bag);
         if (!pushed.ok()) {
           outcome[g] = pushed.status();
           break;
         }
         if (!pushed.ValueOrDie().has_value()) continue;
         const StepResult& r = *pushed.ValueOrDie();
-        const std::size_t row = offset + static_cast<std::size_t>(r.time);
+        const std::size_t row =
+            offset + pushed_step[static_cast<std::size_t>(r.time)];
         out.score[row] = r.score;
         out.ci_lo[row] = r.ci_lo;
         out.ci_up[row] = r.ci_up;
@@ -243,6 +261,9 @@ Result<BatchResultTable> RunBatchColumnar(const BatchTable& table,
     }
     out.keys.push_back(table.group_key(g));
     out.profiles.push_back(resolution[g].ValueOrDie());
+    for (BatchResultTable::Skipped& s : skipped_steps[g]) {
+      out.skipped.push_back(std::move(s));
+    }
     if (any_runtime_failure) {
       const std::size_t steps = table.group_step_count(g);
       const std::size_t offset = row_offset[g];

@@ -3,9 +3,10 @@
 // group (key) of the table through its own BagStreamDetector and returns one
 // flat BatchResultTable — the `ts_detect_changepoints_by` shape of the
 // anofox-forecast extension, with the same row-accounting discipline: one
-// output row per input step of every healthy group, and every group the run
-// could NOT score listed in `quarantined` with the exact reason. Nothing is
-// silently dropped.
+// output row per input step of every healthy group, every group the run
+// could NOT score listed in `quarantined` with the exact reason, and every
+// step whose bag held a non-finite value listed in `skipped` (the step's row
+// stays, unscored; the group keeps going). Nothing is silently dropped.
 //
 // Determinism: each group's detector is seeded via DerivePerStreamSeed — the
 // identical (engine seed, key, profile) derivation StreamEngine uses — and
@@ -106,6 +107,18 @@ struct BatchResultTable {
     std::size_t steps = 0;
   };
   std::vector<Quarantined> quarantined;
+
+  /// One entry per input step whose bag held a non-finite value. The step is
+  /// never pushed into the detector — its row stays in the table with
+  /// has_score = 0 and NaN score columns — and the group keeps scoring its
+  /// later steps. Entries appear in table group order, steps ascending.
+  struct Skipped {
+    std::string key;
+    /// 0-based step within the group (matches the `step` column).
+    std::uint32_t step = 0;
+    Status status;
+  };
+  std::vector<Skipped> skipped;
 
   std::size_t row_count() const { return step.size(); }
   std::size_t group_count() const { return keys.size(); }

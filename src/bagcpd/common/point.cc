@@ -95,6 +95,22 @@ Status ValidateBagView(BagView bag, std::size_t expected_dim) {
   return Status::OK();
 }
 
+Status CheckBagViewFinite(BagView bag) {
+  const double* values = bag.data();
+  const std::size_t count = bag.value_count();
+  for (std::size_t v = 0; v < count; ++v) {
+    if (!std::isfinite(values[v])) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "point %zu holds a non-finite coordinate (index %zu)",
+                    bag.dim() == 0 ? std::size_t{0} : v / bag.dim(),
+                    bag.dim() == 0 ? std::size_t{0} : v % bag.dim());
+      return Status::Invalid(buf);
+    }
+  }
+  return Status::OK();
+}
+
 Status ValidateBagSequence(const BagSequence& bags) {
   if (bags.empty()) return Status::Invalid("bag sequence is empty");
   const std::size_t dim = bags.front().empty() ? 0 : bags.front().front().size();

@@ -137,6 +137,12 @@ Status ValidateBag(const Bag& bag, std::size_t expected_dim = 0);
 /// in a BagView, so only emptiness / dimension checks remain.
 Status ValidateBagView(BagView bag, std::size_t expected_dim = 0);
 
+/// \brief Verifies that every value of `bag` is finite, naming the first
+/// offending observation with kInvalidArgument otherwise. This is the
+/// boundary sanitization the ingest paths (detector Push, engine Submit,
+/// batch runner, loaders) apply so NaN/Inf never reaches a distance kernel.
+Status CheckBagViewFinite(BagView bag);
+
 /// \brief Verifies that every bag in the sequence is non-empty and all points
 /// across all bags share one dimension.
 Status ValidateBagSequence(const BagSequence& bags);

@@ -6,6 +6,7 @@
 #include "bagcpd/common/check.h"
 #include "bagcpd/common/enum_names.h"
 #include "bagcpd/emd/transport_solver.h"
+#include "bagcpd/fault/fault_injector.h"
 #include "bagcpd/info/weighted_set.h"
 #include "bagcpd/runtime/thread_pool.h"
 
@@ -69,6 +70,13 @@ BagStreamDetector::BagStreamDetector(const DetectorOptions& options)
       rng_(options.seed),
       solver_(options.emd),
       cache_(MakeCacheComputeFn()) {
+  // Fault-injection scope: the per-stream seed identifies this detector's
+  // solves deterministically. Threaded through options_.emd so the serial
+  // solver AND the pooled prefill (which passes options_.emd explicitly to
+  // thread-local solvers) see the same scope. No effect unless a fault is
+  // armed; never serialized.
+  options_.emd.fault_scope = options_.seed;
+  solver_.set_options(options_.emd);
   if (init_status_.ok()) {
     const std::size_t full = options_.tau + options_.tau_prime;
     window_.Reset(full);
@@ -112,6 +120,7 @@ void BagStreamDetector::Reset() {
   next_index_ = 0;
   table_base_ = 0;
   table_primed_ = false;
+  fault_emd_count_ = 0;
   // Clear — not reallocate — so a long-lived engine stream keeps the cache's
   // bucket storage (and its one generator) across resets.
   cache_.Clear();
@@ -131,6 +140,17 @@ Result<std::optional<StepResult>> BagStreamDetector::Push(const Bag& bag) {
 
 Result<std::optional<StepResult>> BagStreamDetector::Push(BagView bag) {
   BAGCPD_RETURN_NOT_OK(init_status_);
+  // Boundary sanitization: a NaN/Inf coordinate must never reach a distance
+  // kernel. Checked BEFORE any state mutation, so a direct caller can drop
+  // the bad bag and continue the stream on the next good one.
+  BAGCPD_RETURN_NOT_OK(CheckBagViewFinite(bag));
+  // `detector.push` fault point, keyed to (per-stream seed, push ordinal):
+  // deterministic across shard/pool counts, and — like the finite check —
+  // raised before any state mutation.
+  if (fault::FaultFires(fault::FaultPoint::kDetectorPush, options_.seed,
+                        next_index_ + 1)) {
+    return fault::InjectedFaultError(fault::FaultPoint::kDetectorPush);
+  }
   // The quantizer assembles straight into the window ring's next slot
   // (borrowed-slot build) — no intermediate signature materialized or copied
   // on the push path. Histogram, whose bin count is unbounded, falls back to
@@ -155,6 +175,18 @@ Result<std::optional<StepResult>> BagStreamDetector::Push(BagView bag) {
   table_base_ = (table_base_ + 1) % full;
   cache_.EvictAll();
   return std::optional<StepResult>(step);
+}
+
+Status BagStreamDetector::AdvanceEmdFaultCounter(std::size_t solved) {
+  const std::uint64_t begin = fault_emd_count_;
+  fault_emd_count_ += solved;
+  if (!fault::FaultInjector::Global().armed()) return Status::OK();
+  for (std::uint64_t c = begin + 1; c <= begin + solved; ++c) {
+    if (fault::FaultFires(fault::FaultPoint::kEmdSolve, options_.seed, c)) {
+      return fault::InjectedFaultError(fault::FaultPoint::kEmdSolve);
+    }
+  }
+  return Status::OK();
 }
 
 Status BagStreamDetector::PrefillWindowDistances() {
@@ -184,6 +216,7 @@ Status BagStreamDetector::PrefillWindowDistances() {
     }
   }
   if (missing.empty()) return Status::OK();
+  BAGCPD_RETURN_NOT_OK(AdvanceEmdFaultCounter(missing.size()));
   std::vector<SignatureView> lefts;
   std::vector<SignatureView> rights;
   lefts.reserve(missing.size());
@@ -249,6 +282,7 @@ Status BagStreamDetector::FoldNewPairsForColumn(std::size_t q) {
     }
   }
   if (batch_lefts_.empty()) return Status::OK();
+  BAGCPD_RETURN_NOT_OK(AdvanceEmdFaultCounter(batch_lefts_.size()));
   batch_emd_.resize(batch_lefts_.size());
   BAGCPD_RETURN_NOT_OK(solver_.ComputeBatch(batch_lefts_.data(),
                                             batch_lefts_.size(),

@@ -227,6 +227,13 @@ class BagStreamDetector {
   // The one place the cache's generator lambda is built (constructor and
   // Reset() used to each create their own copy); solves run on workspace_.
   PairwiseDistanceCache::ComputeFn MakeCacheComputeFn();
+  // `emd.solve` fault point: advances the per-stream solved-pair ordinal by
+  // `solved` and returns the injected error if any ordinal in the advanced
+  // range fires. The pooled prefill's missing set equals the serial fold's
+  // miss set exactly (the cache-counter invariant the tests pin), so the
+  // per-push ordinal range — and therefore the fault outcome — is identical
+  // for every pool size. One relaxed load when disarmed.
+  Status AdvanceEmdFaultCounter(std::size_t solved);
 
   DetectorOptions options_;
   Status init_status_;
@@ -259,6 +266,10 @@ class BagStreamDetector {
   std::vector<SignatureView> batch_lefts_;
   std::vector<std::size_t> batch_left_pos_;
   std::vector<double> batch_emd_;
+  // Solved-pair ordinal behind the `emd.solve` fault point; cleared by
+  // Reset(), deliberately NOT serialized (a restored detector restarts its
+  // drill ordinals — recovery metadata never affects scores).
+  std::uint64_t fault_emd_count_ = 0;
   ScoreContext ctx_;
   // theta_up history for the xi test, keyed relative to inspection time:
   // upper_history_[k] is theta_up of inspection time (current_t - 1 - k).

@@ -16,11 +16,22 @@ Result<double> EmdSolver::Compute(SignatureView a, SignatureView b,
       // `emd-heap-at=` selections through this one workspace.
       workspace_.set_heap_threshold(options.heap_at);
       return workspace_.Compute(a, b, ground);
-    case EmdSolverKind::kSinkhorn:
+    case EmdSolverKind::kSinkhorn: {
       BAGCPD_RETURN_NOT_OK(workspace_.PrepareCost(a, b, ground));
-      return SinkhornEmd(workspace_.cost_matrix(), workspace_.cost_rows(),
-                         workspace_.cost_cols(), a.weights_data(),
-                         b.weights_data(), options, &sinkhorn_);
+      Result<double> approx = SinkhornEmd(
+          workspace_.cost_matrix(), workspace_.cost_rows(),
+          workspace_.cost_cols(), a.weights_data(), b.weights_data(), options,
+          &sinkhorn_);
+      if (!approx.ok() && options.fallback_exact) {
+        // Graceful degradation (`emd-fallback=exact`): underflow at small
+        // eps / non-convergence retries the SAME pair exactly. Deterministic
+        // — the Sinkhorn outcome is a pure function of the pair and options.
+        ++fallback_count_;
+        workspace_.set_heap_threshold(options.heap_at);
+        return workspace_.Compute(a, b, ground);
+      }
+      return approx;
+    }
     case EmdSolverKind::kSliced:
       return SlicedEmd(a, b, options, &sliced_);
   }

@@ -80,6 +80,10 @@ class EmdSolver {
            sliced_.solve_count();
   }
 
+  /// \brief Pairs that fell back from an approximate solve to the exact
+  /// solver under `fallback_exact` (each also counts one exact solve).
+  std::uint64_t fallback_count() const { return fallback_count_; }
+
   /// \brief Buffer growths across the workspace and both approx scratches;
   /// freezes once the largest shape has been seen (the zero-steady-state
   /// -allocations invariant).
@@ -110,6 +114,7 @@ class EmdSolver {
   SinkhornScratch sinkhorn_;
   SlicedScratch sliced_;
   std::size_t retained_byte_ceiling_ = 0;  // 0 = never shrink.
+  std::uint64_t fallback_count_ = 0;
 };
 
 /// \brief Per-thread solver for pool workers (detector prefill, parallel

@@ -67,6 +67,20 @@ struct EmdSolverOptions {
   /// bitwise-identical to the dense scan by construction). 0 = always the
   /// dense scan. Ignored by the approximate kinds.
   std::size_t heap_at = kDefaultEmdHeapAt;
+
+  /// Graceful degradation (spec key `emd-fallback=exact`, NOT part of the
+  /// `emd=` value): when true, an approximate solve that fails with a typed
+  /// error — Sinkhorn underflow at small eps, non-convergence into a
+  /// non-finite transport — is transparently retried with the exact solver
+  /// on the same pair instead of surfacing the error. Deterministic: whether
+  /// a pair falls back is a pure function of the pair and these options.
+  bool fallback_exact = false;
+
+  /// Deterministic scope identifier threaded to the fault injector by the
+  /// solves running under these options (the owning detector stamps its seed
+  /// here; see fault/fault_injector.h). Not a spec key, never serialized;
+  /// has no effect unless a fault is armed.
+  std::uint64_t fault_scope = 0;
 };
 
 /// \brief Validates the tuning knobs (eps > 0, at least one iteration /

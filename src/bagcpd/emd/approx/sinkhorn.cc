@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "bagcpd/fault/fault_injector.h"
+
 namespace bagcpd {
 
 namespace {
@@ -80,6 +82,15 @@ Result<double> SinkhornEmd(const double* cost, std::size_t k, std::size_t l,
   // measures the remaining column violation; the loop ends on tolerance or
   // on the hard cap, both pure functions of the inputs.
   for (std::size_t iter = 0; iter < options.sinkhorn_max_iters; ++iter) {
+    // `sinkhorn.iterate` fault point: keyed to the iteration ordinal (and
+    // the owner's fault_scope), so an armed drill fails the same pairs no
+    // matter which thread or pool size runs the solve. Surfaces as the
+    // underflow-style error, exercising the `emd-fallback=exact` path.
+    if (fault::FaultFires(fault::FaultPoint::kSinkhornIterate,
+                          options.fault_scope, iter + 1)) {
+      return Status::Invalid(
+          "fault-injected: sinkhorn.iterate (simulated scaling underflow)");
+    }
     for (std::size_t i = 0; i < k; ++i) {
       const double* row = kernel + i * l;
       double acc = 0.0;

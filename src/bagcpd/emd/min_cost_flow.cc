@@ -14,9 +14,19 @@ MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
 int MinCostFlow::AddArc(std::size_t from, std::size_t to, double capacity,
                         double cost) {
   BAGCPD_CHECK(from < graph_.size() && to < graph_.size());
-  BAGCPD_CHECK_MSG(capacity >= 0.0, "negative capacity");
-  BAGCPD_CHECK_MSG(std::isfinite(cost) && cost >= 0.0,
-                   "arc cost must be finite and non-negative");
+  if (build_status_.ok()) {
+    // Deferred, not aborted: capacities/costs come straight from observation
+    // weights and ground distances, so corrupt input must surface as a typed
+    // error from Solve() rather than kill the process.
+    if (!(capacity >= 0.0)) {
+      build_status_ = Status::Invalid("negative or NaN arc capacity");
+    } else if (!(std::isfinite(cost) && cost >= 0.0)) {
+      build_status_ =
+          Status::Invalid("arc cost must be finite and non-negative");
+    }
+  }
+  if (!std::isfinite(cost)) cost = 0.0;  // Keep the graph arithmetic-safe.
+  if (!(capacity >= 0.0)) capacity = 0.0;
   const std::size_t fwd_index = graph_[from].size();
   const std::size_t rev_index = graph_[to].size();
   graph_[from].push_back(Arc{to, capacity, cost, rev_index});
@@ -30,7 +40,8 @@ Result<FlowSolution> MinCostFlow::Solve(std::size_t source, std::size_t sink,
   if (source >= graph_.size() || sink >= graph_.size()) {
     return Status::Invalid("source/sink out of range");
   }
-  if (amount < 0.0) return Status::Invalid("negative flow amount");
+  if (!build_status_.ok()) return build_status_;
+  if (!(amount >= 0.0)) return Status::Invalid("negative or NaN flow amount");
 
   FlowSolution solution;
   if (amount <= kFlowEpsilon) return solution;
@@ -83,7 +94,12 @@ Result<FlowSolution> MinCostFlow::Solve(std::size_t source, std::size_t sink,
     for (std::size_t v = sink; v != source; v = prev_node[v]) {
       push = std::min(push, graph_[prev_node[v]][prev_arc[v]].capacity);
     }
-    BAGCPD_CHECK(push > 0.0);
+    if (!(push > 0.0)) {
+      // A zero/NaN bottleneck on a reachable path means the input weights
+      // were degenerate (e.g. NaN propagated into capacities); typed error
+      // instead of an abort so the caller can contain the stream.
+      return Status::Internal("augmenting path has no positive bottleneck");
+    }
     // Augment.
     for (std::size_t v = sink; v != source; v = prev_node[v]) {
       Arc& arc = graph_[prev_node[v]][prev_arc[v]];

@@ -40,15 +40,24 @@ class MinCostFlow {
   explicit MinCostFlow(std::size_t num_nodes);
 
   /// \brief Adds a directed arc and returns its id for later FlowOn queries.
-  /// Capacity must be >= 0 and cost must be finite and >= 0.
+  /// Capacity must be >= 0 and cost must be finite and >= 0; a violation is
+  /// recorded (not aborted on) and surfaces as an Invalid status from
+  /// Solve() — corrupt observation data must degrade into a typed error, not
+  /// crash the process. Out-of-range node indices remain a programming error
+  /// and still abort.
   int AddArc(std::size_t from, std::size_t to, double capacity, double cost);
 
   /// \brief Routes `amount` units from `source` to `sink` at minimum cost.
   ///
-  /// Fails with Invalid if the network cannot carry `amount` units.
+  /// Fails with Invalid if the network cannot carry `amount` units or if any
+  /// AddArc call supplied a non-finite/negative cost or negative capacity.
   /// May be called once per instance (flows persist in the arcs).
   Result<FlowSolution> Solve(std::size_t source, std::size_t sink,
                              double amount);
+
+  /// \brief OK unless an AddArc call supplied invalid capacity/cost (the
+  /// first such violation, which Solve() also returns).
+  const Status& build_status() const { return build_status_; }
 
   /// \brief Flow routed on the arc returned by AddArc.
   double FlowOn(int arc_id) const;
@@ -67,6 +76,9 @@ class MinCostFlow {
   std::vector<std::vector<Arc>> graph_;
   // (node, index into graph_[node]) for each arc id, in insertion order.
   std::vector<std::pair<std::size_t, std::size_t>> arc_handles_;
+  // First AddArc input violation, deferred so construction from untrusted
+  // data cannot abort; checked by Solve().
+  Status build_status_;
 };
 
 }  // namespace bagcpd

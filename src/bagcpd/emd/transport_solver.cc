@@ -446,7 +446,12 @@ Status EmdWorkspace::SolveNetwork(SignatureView a, SignatureView b,
       for (std::size_t v = sink; v != source; v = prev_node_[v]) {
         push = std::min(push, arc_cap_[prev_arc_[v]]);
       }
-      BAGCPD_CHECK(push > 0.0);
+      if (!(push > 0.0)) {
+        // A zero/NaN bottleneck on a reachable path means degenerate input
+        // (e.g. NaN weights turned the requested amount NaN); surface it as
+        // a typed error so the stream can be contained, never an abort.
+        return Status::Internal("augmenting path has no positive bottleneck");
+      }
       // Augment.
       for (std::size_t v = sink; v != source; v = prev_node_[v]) {
         const std::size_t e = prev_arc_[v];
@@ -458,9 +463,12 @@ Status EmdWorkspace::SolveNetwork(SignatureView a, SignatureView b,
       remaining -= push;
     }
   }
-  // Eq. 12. The moved mass is positive because signature weights are
-  // strictly positive (the reference asserts the same invariant).
-  BAGCPD_CHECK(flow > 0.0);
+  // Eq. 12. The moved mass is positive whenever signature weights are
+  // strictly positive; anything else (NaN weights leave flow at 0) is
+  // degenerate input reported as a typed error, never an abort.
+  if (!(flow > 0.0)) {
+    return Status::Invalid("no transportable mass (degenerate weights)");
+  }
   *emd_out = cost / flow;
   *total_flow_out = flow;
   *cost_out = cost;

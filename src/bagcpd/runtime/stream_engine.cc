@@ -5,6 +5,7 @@
 
 #include "bagcpd/common/check.h"
 #include "bagcpd/common/rng.h"
+#include "bagcpd/fault/fault_injector.h"
 #include "bagcpd/serialize/checkpoint.h"
 #include "bagcpd/serialize/wire.h"
 
@@ -51,6 +52,21 @@ Status ValidateStreamEngineOptions(const StreamEngineOptions& options) {
     return Status::Invalid(
         "spill_resident_bytes needs a spill_directory to spill into");
   }
+  if (options.spill_gc_submissions > 0 && options.spill_directory.empty()) {
+    return Status::Invalid(
+        "spill_gc_submissions needs a spill_directory to collect from");
+  }
+  if (options.max_stream_faults == 0 &&
+      (options.fault_backoff_submissions > 0 ||
+       options.snapshot_interval > 0)) {
+    return Status::Invalid(
+        "fault_backoff_submissions / snapshot_interval need "
+        "max_stream_faults > 0 (with a zero budget the first failure "
+        "quarantines, so there is nothing to back off or restore)");
+  }
+  if (!options.fault.empty()) {
+    BAGCPD_RETURN_NOT_OK(fault::FaultInjector::ValidateSpec(options.fault));
+  }
   return Status::OK();
 }
 
@@ -63,6 +79,11 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
 StreamEngine::StreamEngine(const StreamEngineOptions& options)
     : options_(options), init_status_(ValidateStreamEngineOptions(options)) {
   if (!init_status_.ok()) return;
+  if (!options_.fault.empty()) {
+    // Validated above, so arming cannot fail; the injector is process-wide,
+    // so this replaces whatever spec an earlier engine (or BAGCPD_FAULT) set.
+    fault::FaultInjector::Global().ArmFromSpec(options_.fault).ok();
+  }
   std::size_t n = options_.num_shards;
   if (n == 0) {
     n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -231,6 +252,14 @@ Status StreamEngine::SubmitImpl(const std::string& stream_id,
   if (stop_.load()) {
     return Status::Invalid("Submit on a stopped StreamEngine");
   }
+  // Boundary sanitization, outside the shard lock: a NaN/Inf bag is tagged
+  // here (while still attributable to this submission) and dropped on the
+  // shard with a kStreamFault event; the stream continues on its next good
+  // bag. Raggedness (bag holding an error) stays a quarantine.
+  Status ingest_error;
+  if (bag->ok()) {
+    ingest_error = CheckBagViewFinite(bag->ValueOrDie().view());
+  }
   Shard& shard = *shards_[shard_index];
   {
     std::unique_lock<std::mutex> lock(shard.mu);
@@ -249,8 +278,24 @@ Status StreamEngine::SubmitImpl(const std::string& stream_id,
     // The sequence number is taken only once queue space is secured, so a
     // rejected TrySubmit never advances the idle clock.
     const std::uint64_t seq = submit_seq_.fetch_add(1) + 1;
-    shard.queue.push_back(Task{stream_id, profile, std::move(*bag), seq,
-                               std::chrono::steady_clock::now()});
+    Task task;
+    task.stream_id = stream_id;
+    task.profile = profile;
+    task.bag = std::move(*bag);
+    task.seq = seq;
+    task.ingest_error = std::move(ingest_error);
+    task.enqueued_at = std::chrono::steady_clock::now();
+    // `arena.alloc` fault point: a simulated ingest-side allocation failure,
+    // keyed to (key hash, global submission sequence) so the same bag faults
+    // for every shard count. Surfaces exactly like a bad bag: dropped on the
+    // shard, stream unharmed.
+    if (task.ingest_error.ok() && task.bag.ok() &&
+        fault::FaultFires(fault::FaultPoint::kArenaAlloc,
+                          Rng::StableHash64(stream_id), seq)) {
+      task.ingest_error =
+          fault::InjectedFaultError(fault::FaultPoint::kArenaAlloc);
+    }
+    shard.queue.push_back(std::move(task));
   }
   shard.not_empty.notify_one();
   return Status::OK();
@@ -272,7 +317,8 @@ void StreamEngine::WorkerLoop(std::size_t shard_index) {
     shard.not_full.notify_one();
     const std::uint64_t seq = task.seq;
     Process(shard, std::move(task));
-    if (options_.max_idle_submissions > 0 &&
+    if ((options_.max_idle_submissions > 0 ||
+         options_.spill_gc_submissions > 0) &&
         ++shard.processed_since_sweep >= kIdleSweepPeriod) {
       shard.processed_since_sweep = 0;
       SweepIdle(shard, seq);
@@ -317,6 +363,8 @@ void StreamEngine::QuarantineStream(Shard& shard, const std::string& stream_id,
                                     std::uint64_t seq, const Status& error,
                                     std::uint64_t latency_ns) {
   shard.quarantined.emplace(stream_id, error);
+  // A quarantined key never recovers; its fault history and snapshot go too.
+  shard.recovery.erase(stream_id);
   auto existing = shard.detectors.find(stream_id);
   if (existing != shard.detectors.end()) {
     resident_bytes_.fetch_sub(existing->second.state_bytes);
@@ -343,13 +391,132 @@ void StreamEngine::QuarantineStream(Shard& shard, const std::string& stream_id,
   EmitEvent(std::move(event));
 }
 
+void StreamEngine::HandleStreamFailure(Shard& shard,
+                                       const std::string& stream_id,
+                                       const std::string& profile,
+                                       std::uint64_t seq, const Status& error,
+                                       std::uint64_t latency_ns) {
+  if (options_.max_stream_faults == 0) {
+    // Historical contract: the first failure quarantines forever.
+    QuarantineStream(shard, stream_id, profile, seq, error, latency_ns);
+    return;
+  }
+  RecoveryState& rec = shard.recovery[stream_id];
+  rec.profile = profile;
+  ++rec.fault_count;
+  stream_faults_.fetch_add(1);
+  // The bag that surfaced the failure is consumed without a result, and the
+  // failed detector's state is not trustworthy: tear it down either way.
+  dropped_.fetch_add(1);
+  auto existing = shard.detectors.find(stream_id);
+  if (existing != shard.detectors.end()) {
+    resident_bytes_.fetch_sub(existing->second.state_bytes);
+    shard.detectors.erase(existing);
+    live_streams_.fetch_sub(1);
+  }
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kStreamFault;
+  event.stream_id = stream_id;
+  event.profile = profile;
+  event.sequence = seq;
+  event.enqueue_to_process_ns = latency_ns;
+  event.error = error;
+  EmitEvent(std::move(event));
+  if (rec.fault_count > options_.max_stream_faults) {
+    // Budget exhausted; the quarantine carries the final straw.
+    QuarantineStream(shard, stream_id, profile, seq, error, latency_ns);
+    return;
+  }
+  if (options_.fault_backoff_submissions > 0) {
+    // Linear backoff on the global submission sequence: deterministic for a
+    // fixed submission order, unlike any wall-clock delay.
+    rec.cooldown_until =
+        seq + options_.fault_backoff_submissions *
+                  static_cast<std::uint64_t>(rec.fault_count);
+  }
+  // Restore from the rolling snapshot when one exists. Each attempt can
+  // itself fail (a corrupt blob, or the ckpt.import fault point in a drill);
+  // after max_restore_failures such failures the snapshot is declared
+  // poisoned and discarded, and the stream restarts from scratch — lazily,
+  // on its next accepted bag, with its usual per-key seed.
+  while (!rec.snapshot.empty()) {
+    if (rec.restore_failures >= options_.max_restore_failures) {
+      rec.snapshot.clear();
+      rec.restore_failures = 0;
+      break;
+    }
+    const Status restored =
+        ImportStreamLocked(shard, stream_id, rec.profile, rec.snapshot,
+                           rec.snapshot.size(), seq, latency_ns);
+    if (restored.ok()) {
+      rec.restore_failures = 0;
+      return;
+    }
+    ++rec.restore_failures;
+  }
+}
+
+void StreamEngine::MaybeSnapshotStream(Shard& shard,
+                                       const std::string& stream_id,
+                                       StreamState& state) {
+  if (options_.snapshot_interval == 0) return;
+  if (state.detector->pushed_count() % options_.snapshot_interval != 0) {
+    return;
+  }
+  std::string blob;
+  // An export failure just keeps the previous snapshot: strictly better than
+  // discarding it, and the next interval retries.
+  if (!state.detector->ExportState(&blob).ok()) return;
+  RecoveryState& rec = shard.recovery[stream_id];
+  rec.profile = state.profile;
+  rec.snapshot = std::move(blob);
+  rec.restore_failures = 0;
+}
+
+void StreamEngine::CollectSpilledStream(Shard& shard,
+                                        const std::string& stream_id,
+                                        std::uint64_t now_seq) {
+  auto it = shard.spilled.find(stream_id);
+  if (it == shard.spilled.end()) return;
+  std::remove(it->second.path.c_str());
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kEviction;
+  event.stream_id = stream_id;
+  event.profile = it->second.profile;
+  event.sequence = now_seq;
+  shard.spilled.erase(it);
+  // The collected key restarts from scratch, so its fault history goes too.
+  shard.recovery.erase(stream_id);
+  evicted_.fetch_add(1);
+  spill_gc_.fetch_add(1);
+  EmitEvent(std::move(event));
+}
+
 void StreamEngine::SweepIdle(Shard& shard, std::uint64_t now_seq) {
   // Reclaims detectors idle past the threshold. Without spilling, any stream
   // erased here would also be restarted by the lazy check on its next bag
   // (its gap can only grow), so the sweep changes memory usage, never
   // results. With spilling, victims are exported instead of destroyed and
   // rehydrate bitwise on their next bag — again memory only, never results.
+  // Spill-file GC: keys that spilled and never returned are reclaimed here
+  // (the lazy per-task check cannot see them — it only runs when a key's
+  // next bag arrives). Sweep timing is shard-dependent, so only counters and
+  // kEviction timing vary with sharding; results never do (a collected key
+  // restarts from scratch either way).
+  if (options_.spill_gc_submissions > 0) {
+    std::vector<std::string> expired;
+    for (const auto& [key, rec] : shard.spilled) {
+      if (now_seq > rec.last_seq &&
+          now_seq - rec.last_seq > options_.spill_gc_submissions) {
+        expired.push_back(key);
+      }
+    }
+    for (const std::string& key : expired) {
+      CollectSpilledStream(shard, key, now_seq);
+    }
+  }
   const std::uint64_t max_idle = options_.max_idle_submissions;
+  if (max_idle == 0) return;
   if (spill_enabled()) {
     std::vector<std::string> victims;
     for (const auto& [key, state] : shard.detectors) {
@@ -370,6 +537,7 @@ void StreamEngine::SweepIdle(Shard& shard, std::uint64_t now_seq) {
       event.stream_id = it->first;
       event.profile = it->second.profile;
       event.sequence = now_seq;
+      shard.recovery.erase(it->first);
       it = shard.detectors.erase(it);
       evicted_.fetch_add(1);
       live_streams_.fetch_sub(1);
@@ -406,6 +574,33 @@ void StreamEngine::Process(Shard& shard, Task task) {
                      task.bag.status(), latency_ns);
     return;
   }
+  {
+    // Backoff window from an earlier contained failure: bags inside it are
+    // dropped. Keyed to the submission sequence, so the window covers the
+    // same bags for every shard count.
+    auto rec_it = shard.recovery.find(task.stream_id);
+    if (rec_it != shard.recovery.end() &&
+        task.seq <= rec_it->second.cooldown_until) {
+      dropped_.fetch_add(1);
+      return;
+    }
+  }
+  if (!task.ingest_error.ok()) {
+    // The ingest boundary tagged this bag (non-finite values or an injected
+    // arena.alloc fault): drop it with a kStreamFault event. The detector
+    // never saw the bag, so the stream is unharmed, charges no fault budget,
+    // and continues on its next good bag.
+    dropped_.fetch_add(1);
+    EngineEvent event;
+    event.kind = EngineEvent::Kind::kStreamFault;
+    event.stream_id = task.stream_id;
+    event.profile = task.profile;
+    event.sequence = task.seq;
+    event.enqueue_to_process_ns = latency_ns;
+    event.error = task.ingest_error;
+    EmitEvent(std::move(event));
+    return;
+  }
   if (spill_enabled()) {
     auto spilled_it = shard.spilled.find(task.stream_id);
     if (spilled_it != shard.spilled.end()) {
@@ -422,12 +617,25 @@ void StreamEngine::Process(Shard& shard, Task task) {
                          latency_ns);
         return;
       }
-      const Status restored =
-          RehydrateStream(shard, task.stream_id, task.seq, latency_ns);
-      if (!restored.ok()) {
-        QuarantineStream(shard, task.stream_id, task.profile, task.seq,
-                         restored, latency_ns);
-        return;
+      if (options_.spill_gc_submissions > 0 &&
+          task.seq - spilled_it->second.last_seq - 1 >
+              options_.spill_gc_submissions) {
+        // The key outlived the GC horizon before this bag arrived: collect
+        // the stale file now (the sweep may simply not have run yet) so the
+        // keep-or-restart decision is a pure function of the submission
+        // sequence, then fall through to a from-scratch restart.
+        CollectSpilledStream(shard, task.stream_id, task.seq);
+      } else {
+        const Status restored =
+            RehydrateStream(shard, task.stream_id, task.seq, latency_ns);
+        if (!restored.ok()) {
+          // Enters the recovery ladder: with a fault budget the stream
+          // restarts (from snapshot or scratch) and THIS bag is dropped;
+          // without one it quarantines exactly as before.
+          HandleStreamFailure(shard, task.stream_id, task.profile, task.seq,
+                              restored, latency_ns);
+          return;
+        }
       }
     }
   }
@@ -448,6 +656,9 @@ void StreamEngine::Process(Shard& shard, Task task) {
     event.enqueue_to_process_ns = latency_ns;
     shard.detectors.erase(it);
     it = shard.detectors.end();
+    // An evicted key restarts with a clean fault history (same decision the
+    // sweep-based eviction makes); keyed to the sequence, so deterministic.
+    shard.recovery.erase(task.stream_id);
     evicted_.fetch_add(1);
     live_streams_.fetch_sub(1);
     EmitEvent(std::move(event));
@@ -468,6 +679,22 @@ void StreamEngine::Process(Shard& shard, Task task) {
     return;
   }
   if (it == shard.detectors.end()) {
+    // A stream torn down by a contained fault keeps its profile binding in
+    // the recovery record; a conflicting later submission is the same caller
+    // bug as against a resident stream.
+    auto rec_it = shard.recovery.find(task.stream_id);
+    if (rec_it != shard.recovery.end() &&
+        !rec_it->second.profile.empty() &&
+        rec_it->second.profile != task.profile) {
+      QuarantineStream(shard, task.stream_id, rec_it->second.profile, task.seq,
+                       Status::Invalid("stream '" + task.stream_id +
+                                       "' is bound to profile '" +
+                                       rec_it->second.profile +
+                                       "' but was submitted with profile '" +
+                                       task.profile + "'"),
+                       latency_ns);
+      return;
+    }
     DetectorOptions per_stream = ProfileOptions(task.profile);
     per_stream.seed = DeriveStreamSeed(task.stream_id, task.profile);
     StreamState state;
@@ -490,11 +717,12 @@ void StreamEngine::Process(Shard& shard, Task task) {
   Result<std::optional<StepResult>> step =
       it->second.detector->Push(task.bag.ValueOrDie().view());
   if (!step.ok()) {
-    QuarantineStream(shard, task.stream_id, task.profile, task.seq,
-                     step.status(), latency_ns);
+    HandleStreamFailure(shard, task.stream_id, task.profile, task.seq,
+                        step.status(), latency_ns);
     return;
   }
   if (spill_enabled()) UpdateResidentBytes(it->second);
+  MaybeSnapshotStream(shard, task.stream_id, it->second);
   if (!step.ValueOrDie().has_value()) return;
   EngineEvent event;
   event.kind = EngineEvent::Kind::kStep;
@@ -664,6 +892,13 @@ bool StreamEngine::SpillStream(Shard& shard, const std::string& stream_id,
                                std::uint64_t now_seq) {
   auto it = shard.detectors.find(stream_id);
   if (it == shard.detectors.end()) return false;
+  // `spill.write` fault point: behaves exactly like a failed file write —
+  // the stream stays resident, nothing is lost, memory pressure persists.
+  if (fault::FaultFires(fault::FaultPoint::kSpillWrite,
+                        Rng::StableHash64(stream_id),
+                        fault_spill_write_ops_.fetch_add(1) + 1)) {
+    return false;
+  }
   std::string detector_blob;
   if (!it->second.detector->ExportState(&detector_blob).ok()) return false;
   std::string stream_blob;
@@ -703,6 +938,16 @@ Status StreamEngine::RehydrateStream(Shard& shard, const std::string& stream_id,
   auto rec_it = shard.spilled.find(stream_id);
   SpilledStream rec = std::move(rec_it->second);
   shard.spilled.erase(rec_it);
+  // `spill.read` fault point: behaves exactly like an unreadable spill file.
+  // The record is consumed like on any other failure (the caller runs the
+  // recovery ladder), and the file is deleted below with the shared epilog.
+  if (fault::FaultFires(fault::FaultPoint::kSpillRead,
+                        Rng::StableHash64(stream_id),
+                        fault_spill_read_ops_.fetch_add(1) + 1)) {
+    std::remove(rec.path.c_str());
+    return Status::IoError(
+        "fault-injected: spill.read (simulated unreadable spill file)");
+  }
   // The file is read through the shard arena, so once the pool is warm a
   // rehydrate allocates nothing on this path.
   std::vector<double> storage;
@@ -837,6 +1082,14 @@ Status StreamEngine::ImportStreamLocked(Shard& shard,
                                         std::uint64_t blob_bytes,
                                         std::uint64_t last_seq,
                                         std::uint64_t latency_ns) {
+  // `ckpt.import` fault point: fails the restore attempt before any state is
+  // touched (never leaves a partial stream), covering snapshot restores,
+  // spill rehydrates, and explicit imports alike.
+  if (fault::FaultFires(fault::FaultPoint::kCkptImport,
+                        Rng::StableHash64(stream_id),
+                        fault_ckpt_import_ops_.fetch_add(1) + 1)) {
+    return fault::InjectedFaultError(fault::FaultPoint::kCkptImport);
+  }
   DetectorOptions per_stream = ProfileOptions(profile);
   per_stream.seed = DeriveStreamSeed(stream_id, profile);
   // The spec gate inside ImportState compares the blob against these exact

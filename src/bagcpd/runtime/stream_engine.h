@@ -132,6 +132,48 @@ struct StreamEngineOptions {
   /// resident_state_bytes()) exceeds the budget. 0 means no budget: only the
   /// idle sweep spills.
   std::size_t spill_resident_bytes = 0;
+
+  // -- Fault containment & self-healing ----------------------------------
+
+  /// Per-stream fault budget. 0 (the historical default): the first failure
+  /// of a stream — detector error, failed rehydrate — quarantines it forever
+  /// (kError). When > 0 a failing stream is *restarted* instead: its detector
+  /// is torn down, a kStreamFault event carries the error, and the stream
+  /// resumes — from its rolling snapshot when snapshot_interval > 0, from
+  /// scratch otherwise — until it has failed strictly more than this many
+  /// times, after which it quarantines like before. Ragged bags and profile
+  /// conflicts are caller bugs and always quarantine immediately, budget or
+  /// not; non-finite bags are dropped per bag and never charge the budget.
+  std::size_t max_stream_faults = 0;
+  /// When > 0 (requires max_stream_faults > 0), a stream that just failed for
+  /// the k-th time drops its bags for the next `k * fault_backoff_submissions`
+  /// engine-wide submissions (linear backoff). The window is measured on the
+  /// global submission sequence — never wall-clock — so recovery timing is a
+  /// pure function of the submission order.
+  std::uint64_t fault_backoff_submissions = 0;
+  /// When > 0 (requires max_stream_faults > 0), each stream refreshes an
+  /// in-memory state snapshot after every `snapshot_interval`-th successful
+  /// push; a failing stream restores from it (losing at most
+  /// snapshot_interval - 1 pushes) instead of restarting from scratch.
+  /// Snapshots are recovery metadata: they are NOT part of Checkpoint(), so a
+  /// restored engine starts with a clean fault history.
+  std::uint64_t snapshot_interval = 0;
+  /// Failed restore attempts tolerated against one snapshot before it is
+  /// declared poisoned and discarded (the stream then restarts from scratch
+  /// with its usual per-key seed).
+  std::size_t max_restore_failures = 2;
+  /// Spill-file garbage collection for keys that never return. When > 0
+  /// (requires spill_directory), a spilled stream whose key has not been seen
+  /// for strictly more than this many engine-wide submissions has its spill
+  /// file deleted and its record dropped (kEviction event, counted in both
+  /// evicted_count() and spill_gc_count()); a later bag restarts the stream
+  /// from scratch. 0 keeps spill files forever.
+  std::uint64_t spill_gc_submissions = 0;
+  /// Fault-injection spec armed on the process-wide injector at engine
+  /// construction, e.g. "spill.read:every-n:3" (syntax in
+  /// fault/fault_injector.h). Empty arms nothing. This is a drill/test hook:
+  /// arming replaces any previously armed spec process-wide.
+  std::string fault;
 };
 
 /// \brief Checks that `options` form a coherent engine configuration; this is
@@ -167,6 +209,14 @@ struct EngineEvent {
     /// Restore, or by the transparent rehydrate of a spilled key on its next
     /// bag; `blob_bytes` holds the snapshot size read back.
     kRestore,
+    /// `stream_id` failed (`error` holds why) but stayed within its fault
+    /// budget (max_stream_faults > 0) — or the failing bag itself was bad
+    /// (non-finite values / an injected ingest fault) and was dropped without
+    /// touching the stream. The stream is NOT quarantined: it resumes from a
+    /// snapshot (a kRestore event follows) or from scratch, possibly after a
+    /// backoff window. The legacy Drain()/DrainErrors() discard these like
+    /// kEviction; only quarantines surface as kError.
+    kStreamFault,
   };
   Kind kind = Kind::kStep;
   std::string stream_id;
@@ -398,6 +448,12 @@ class StreamEngine {
   std::uint64_t evicted_count() const { return evicted_.load(); }
   /// \brief Detectors currently resident across all shards.
   std::size_t live_stream_count() const { return live_streams_.load(); }
+  /// \brief Contained stream failures so far (kStreamFault events charged
+  /// against a fault budget; quarantines surface in kError events instead).
+  std::uint64_t stream_fault_count() const { return stream_faults_.load(); }
+  /// \brief Spill files garbage-collected so far (keys that never returned;
+  /// also counted in evicted_count()).
+  std::uint64_t spill_gc_count() const { return spill_gc_.load(); }
   /// \brief Aggregated buffer-pool counters across all shard arenas.
   BufferArenaStats arena_stats() const;
   /// \brief Aggregate enqueue→process latency across every processed
@@ -419,6 +475,10 @@ class StreamEngine {
     Result<FlatBag> bag = Status::Invalid("empty task");
     // Global submission sequence number; drives idle eviction.
     std::uint64_t seq = 0;
+    // Non-OK when the ingest boundary tagged this bag as bad (non-finite
+    // values, or an injected arena.alloc fault): the shard drops the bag with
+    // a kStreamFault event and the stream continues on its next good bag.
+    Status ingest_error;
     // When the task entered the shard queue; Process() turns it into the
     // enqueue→process latency sample.
     std::chrono::steady_clock::time_point enqueued_at;
@@ -432,6 +492,25 @@ class StreamEngine {
     // Last EstimatedStateBytes() reading, folded into resident_bytes_;
     // maintained only when spilling is enabled.
     std::size_t state_bytes = 0;
+  };
+
+  // Self-healing bookkeeping for one stream key. Lives OUTSIDE StreamState so
+  // it survives detector teardown and spilling; erased on quarantine and on
+  // eviction/GC (an evicted key restarts with a clean history). Never part of
+  // Checkpoint(): snapshots are recovery metadata, not engine state.
+  struct RecoveryState {
+    // Profile the key bound to; snapshots restore against it and a
+    // conflicting later submission quarantines like a resident conflict.
+    std::string profile;
+    // Failures charged against max_stream_faults so far.
+    std::size_t fault_count = 0;
+    // Bags with seq <= cooldown_until are dropped (the backoff window).
+    std::uint64_t cooldown_until = 0;
+    // Most recent detector-state blob (empty: none yet, or discarded as
+    // poisoned after max_restore_failures failed restores).
+    std::string snapshot;
+    // Failed restore attempts against the current snapshot.
+    std::size_t restore_failures = 0;
   };
 
   // A stream whose detector state lives in a spill file instead of memory.
@@ -456,6 +535,8 @@ class StreamEngine {
     std::unordered_map<std::string, StreamState> detectors;
     // Spilled keys of this shard (same ownership rules as detectors).
     std::unordered_map<std::string, SpilledStream> spilled;
+    // Per-key fault/recovery bookkeeping (same ownership rules as detectors).
+    std::unordered_map<std::string, RecoveryState> recovery;
     std::unordered_map<std::string, Status> quarantined;
     // Worker-local counter driving the periodic idle sweep.
     std::uint64_t processed_since_sweep = 0;
@@ -482,6 +563,22 @@ class StreamEngine {
   void QuarantineStream(Shard& shard, const std::string& stream_id,
                         const std::string& profile, std::uint64_t seq,
                         const Status& error, std::uint64_t latency_ns = 0);
+  // Recovery ladder for a failed stream: quarantines when max_stream_faults
+  // is 0 (the historical contract) or the budget is exhausted; otherwise
+  // tears the detector down, emits kStreamFault, opens the backoff window,
+  // and restores from the rolling snapshot when one exists (falling back to
+  // a from-scratch restart once the snapshot fails too often).
+  void HandleStreamFailure(Shard& shard, const std::string& stream_id,
+                           const std::string& profile, std::uint64_t seq,
+                           const Status& error, std::uint64_t latency_ns);
+  // Refreshes the stream's rolling recovery snapshot when the push count
+  // hits the snapshot interval.
+  void MaybeSnapshotStream(Shard& shard, const std::string& stream_id,
+                           StreamState& state);
+  // Deletes a spilled key's file and record past the GC horizon (kEviction
+  // event); a later bag restarts the stream from scratch.
+  void CollectSpilledStream(Shard& shard, const std::string& stream_id,
+                            std::uint64_t now_seq);
   void WorkerLoop(std::size_t shard_index);
   void Process(Shard& shard, Task task);
   void SweepIdle(Shard& shard, std::uint64_t now_seq);
@@ -545,6 +642,16 @@ class StreamEngine {
   std::atomic<std::size_t> streams_created_{0};
   std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::size_t> live_streams_{0};
+  // Contained (non-quarantining) stream failures; see stream_fault_count().
+  std::atomic<std::uint64_t> stream_faults_{0};
+  // Spill files reclaimed by the GC horizon; see spill_gc_count().
+  std::atomic<std::uint64_t> spill_gc_{0};
+  // Occurrence ordinals feeding the spill/ckpt fault points. Engine-local so
+  // concurrent engines do not perturb each other's drills; deterministic per
+  // configuration (spill timing legitimately depends on sharding).
+  std::atomic<std::uint64_t> fault_spill_write_ops_{0};
+  std::atomic<std::uint64_t> fault_spill_read_ops_{0};
+  std::atomic<std::uint64_t> fault_ckpt_import_ops_{0};
   // Checkpoint subsystem counters: cumulative spills and restores, the
   // resident-state total the spill budget caps, and the spill-file name
   // sequence (never reused, so a respilled key gets a fresh file).

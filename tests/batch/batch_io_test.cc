@@ -1,5 +1,6 @@
 #include "bagcpd/batch/batch_io.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -125,6 +126,43 @@ TEST(BatchIoTest, CsvReaderValidates) {
     out << "key,timestamp,v0\nk,later,2.0\n";
   }
   EXPECT_FALSE(ReadBatchTableCsv(bad_ts).ok());
+}
+
+TEST(BatchIoTest, ReadersRejectNonFiniteValues) {
+  // File boundaries are validation boundaries: a NaN/Inf observation fails
+  // the load with a typed error naming where it sits, so poisoned data never
+  // reaches a detector through the loaders.
+  const std::string nan_csv = TempPath("nan_value.csv");
+  {
+    std::ofstream out(nan_csv);
+    out << "key,timestamp,v0\nk,1,1.0\nk,2,nan\n";
+  }
+  const Result<BatchTable> csv = ReadBatchTableCsv(nan_csv);
+  ASSERT_FALSE(csv.ok());
+  EXPECT_EQ(csv.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(csv.status().message().find("non-finite"), std::string::npos);
+  EXPECT_NE(csv.status().message().find("row 2"), std::string::npos);
+
+  const std::string inf_csv = TempPath("inf_value.csv");
+  {
+    std::ofstream out(inf_csv);
+    out << "key,timestamp,v0\nk,1,inf\n";
+  }
+  EXPECT_FALSE(ReadBatchTableCsv(inf_csv).ok());
+
+  // The builder itself accepts any doubles (in-memory tables are the
+  // caller's problem), so a NaN survives the write — and the binary reader
+  // refuses it coming back.
+  BatchTableBuilder builder;
+  ASSERT_TRUE(builder.AddRow("k", 1, Point{1.0}).ok());
+  ASSERT_TRUE(builder.AddRow("k", 2, Point{std::nan("")}).ok());
+  const std::string nan_bin = TempPath("nan_value.bin");
+  ASSERT_TRUE(WriteBatchTableBinary(nan_bin, builder.Build()).ok());
+  const Result<BatchTable> bin = ReadBatchTableBinary(nan_bin);
+  ASSERT_FALSE(bin.ok());
+  EXPECT_EQ(bin.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bin.status().message().find("non-finite"), std::string::npos);
+  EXPECT_NE(bin.status().message().find("'k'"), std::string::npos);
 }
 
 TEST(BatchIoTest, BinaryRoundTripIsBitwiseIdentical) {

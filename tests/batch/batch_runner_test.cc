@@ -308,6 +308,81 @@ TEST(BatchRunnerTest, ProfileRoutingAndConflicts) {
   EXPECT_FALSE(RunBatchColumnar(table, dangling).ok());
 }
 
+TEST(BatchRunnerTest, NonFiniteStepsAreSkippedNotFatal) {
+  // One poisoned observation must not take down its group (let alone the
+  // batch): the step is skipped, reported in `skipped`, its row stays with
+  // has_score = 0, and the group keeps scoring its later steps.
+  const double nan = std::nan("");
+  BatchTableBuilder builder;
+  for (int t = 0; t < 8; ++t) {
+    ASSERT_TRUE(
+        builder.AddRow("dirty", t, Point{t == 2 ? nan : double(t)}).ok());
+  }
+  for (int t = 0; t < 6; ++t) {
+    ASSERT_TRUE(builder.AddRow("clean", t, Point{double(t) * 0.5}).ok());
+  }
+  const BatchTable table = builder.Build();
+
+  BatchRunnerOptions options;
+  options.detector = FastDetector();
+  const Result<BatchResultTable> got = RunBatchColumnar(table, options);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const BatchResultTable& result = got.ValueOrDie();
+
+  // Nothing quarantined, nothing dropped: full row accounting holds.
+  EXPECT_TRUE(result.quarantined.empty());
+  ASSERT_EQ(result.keys.size(), 2u);
+  EXPECT_EQ(result.row_count(), table.step_count());
+  ASSERT_EQ(result.skipped.size(), 1u);
+  EXPECT_EQ(result.skipped[0].key, "dirty");
+  EXPECT_EQ(result.skipped[0].step, 2u);
+  EXPECT_EQ(result.skipped[0].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.skipped[0].status.message().find("non-finite"),
+            std::string::npos);
+
+  // The skipped step's row survives, unscored.
+  std::size_t dirty_base = 0;
+  while (result.keys[result.group[dirty_base]] != "dirty") ++dirty_base;
+  EXPECT_EQ(result.has_score[dirty_base + 2], 0);
+  EXPECT_TRUE(std::isnan(result.score[dirty_base + 2]));
+
+  // Scored rows match a detector that never saw the poisoned bag, with
+  // detector time mapped back to table steps across the gap.
+  DetectorOptions per_group = options.detector;
+  per_group.seed =
+      DerivePerStreamSeed(options.seed, "dirty", kDefaultProfileName);
+  std::unique_ptr<BagStreamDetector> reference =
+      BagStreamDetector::Create(per_group).MoveValueUnsafe();
+  std::size_t dirty_group = 0;  // Builder order is canonical (sorted keys).
+  while (table.group_key(dirty_group) != "dirty") ++dirty_group;
+  std::vector<std::size_t> pushed_step;
+  for (std::size_t s = 0; s < 8; ++s) {
+    if (s == 2) continue;
+    pushed_step.push_back(s);
+    Result<std::optional<StepResult>> pushed =
+        reference->Push(table.step_bag(dirty_group, s));
+    ASSERT_TRUE(pushed.ok());
+    if (!pushed.ValueOrDie().has_value()) continue;
+    const StepResult& r = *pushed.ValueOrDie();
+    const std::size_t row =
+        dirty_base + pushed_step[static_cast<std::size_t>(r.time)];
+    EXPECT_EQ(result.has_score[row], 1);
+    EXPECT_EQ(result.score[row], r.score);
+    EXPECT_EQ(result.is_change[row], r.alarm ? 1 : 0);
+  }
+
+  // The skip report and all columns are shard/pool-invariant.
+  ThreadPool pool(3);
+  BatchRunnerOptions sharded = options;
+  sharded.num_shards = 3;
+  sharded.pool = &pool;
+  const Result<BatchResultTable> parallel = RunBatchColumnar(table, sharded);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdenticalResults(result, parallel.ValueOrDie());
+  ASSERT_EQ(parallel.ValueOrDie().skipped.size(), 1u);
+  EXPECT_EQ(parallel.ValueOrDie().skipped[0].step, 2u);
+}
+
 TEST(BatchRunnerTest, ValidatesOptions) {
   const BatchTable empty;
   BatchRunnerOptions options;

@@ -151,12 +151,15 @@ TEST(BufferArenaTest, FlatBagRecyclesThroughArena) {
   const Bag bag = {{1.0, 2.0}, {3.0, 4.0}};
   const double* payload = nullptr;
   {
-    FlatBag flat = FlatBag::FromBag(bag, &arena).ValueOrDie();
+    // Move out of the Result: ValueOrDie() yields an lvalue whose copy is an
+    // unpooled fresh allocation, which would make the pointer check below
+    // compare malloc reuse instead of arena recycling.
+    FlatBag flat = FlatBag::FromBag(bag, &arena).MoveValueUnsafe();
     payload = flat.data();
     EXPECT_EQ(flat.ToBag(), bag);
   }
   // The next flatten of an equal-sized bag reuses the same buffer.
-  FlatBag again = FlatBag::FromBag(bag, &arena).ValueOrDie();
+  FlatBag again = FlatBag::FromBag(bag, &arena).MoveValueUnsafe();
   EXPECT_EQ(again.data(), payload);
   EXPECT_EQ(again.ToBag(), bag);
   EXPECT_EQ(arena.stats().pool_hits, 1u);
